@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the data substrate: context-population
+//! evaluation and neighbor generation. These are the inner loops behind every
+//! table in the paper (each `f_M` call filters the dataset once).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcor_data::generator::{salary_dataset, SalaryConfig};
+use pcor_data::Context;
+use pcor_graph::ContextGraph;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_population_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_evaluation");
+    for &records in &[1_000usize, 5_000, 20_000] {
+        let dataset = salary_dataset(&SalaryConfig::reduced().with_records(records)).unwrap();
+        let t = dataset.schema().total_values();
+        let graph = ContextGraph::new(t);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let contexts: Vec<Context> = (0..64).map(|_| graph.random_vertex(0.5, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let context = &contexts[i % contexts.len()];
+                i += 1;
+                black_box(dataset.population_size(context).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_neighbor_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_generation");
+    for &t in &[14usize, 25, 64] {
+        let graph = ContextGraph::new(t);
+        let context = Context::full(t);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |b, _| {
+            b.iter(|| black_box(graph.neighbors(&context).len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_minimal_context_and_cover(c: &mut Criterion) {
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(5_000)).unwrap();
+    let context = dataset.minimal_context(0).unwrap();
+    c.bench_function("covers_check", |b| {
+        b.iter(|| black_box(dataset.covers(&context, 0).unwrap()));
+    });
+    c.bench_function("minimal_context", |b| {
+        b.iter(|| black_box(dataset.minimal_context(42).unwrap()));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_population_evaluation,
+    bench_neighbor_generation,
+    bench_minimal_context_and_cover
+);
+criterion_main!(benches);

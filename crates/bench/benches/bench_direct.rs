@@ -1,0 +1,64 @@
+//! Criterion benchmark behind the Section 1.2 headline: the direct (O(2^t))
+//! approach versus PCOR-BFS on schemas of growing size. The absolute times are
+//! hardware-dependent; the *ratio* is the reproduction target.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcor_core::runner::find_random_outlier;
+use pcor_core::{release_context, PcorConfig, SamplingAlgorithm};
+use pcor_data::generator::{salary_dataset, SalaryConfig};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::ZScoreDetector;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_direct_vs_bfs(c: &mut Criterion) {
+    // Sweep the schema size: t = 11, 14 on a small record count so the direct
+    // approach stays measurable.
+    let detector = ZScoreDetector::new(3.0);
+    let utility = PopulationSizeUtility;
+
+    let t11 = SalaryConfig {
+        num_job_titles: 4,
+        num_employers: 4,
+        num_years: 3,
+        ..SalaryConfig::tiny()
+    }
+    .with_records(800);
+    let t14 = SalaryConfig::reduced().with_records(800);
+
+    for (label, cfg) in [("t11", t11), ("t14", t14)] {
+        let dataset = salary_dataset(&cfg).expect("dataset");
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        let Ok(outlier) = find_random_outlier(&dataset, &detector, 500, &mut rng) else {
+            continue;
+        };
+        let mut group = c.benchmark_group(format!("direct_vs_bfs_{label}"));
+        group.sample_size(10);
+        for algorithm in [SamplingAlgorithm::Direct, SamplingAlgorithm::Bfs] {
+            let config = PcorConfig::new(algorithm, 0.2)
+                .with_samples(20)
+                .with_starting_context(outlier.starting_context.clone());
+            group.bench_with_input(BenchmarkId::from_parameter(algorithm), &algorithm, |b, _| {
+                let mut rng = ChaCha12Rng::seed_from_u64(17);
+                b.iter(|| {
+                    black_box(
+                        release_context(
+                            &dataset,
+                            outlier.record_id,
+                            &detector,
+                            &utility,
+                            &config,
+                            &mut rng,
+                        )
+                        .expect("release"),
+                    )
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_direct_vs_bfs);
+criterion_main!(benches);

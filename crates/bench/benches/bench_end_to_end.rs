@@ -1,0 +1,137 @@
+//! End-to-end Criterion benchmarks: a full PCOR-BFS release (the paper's
+//! recommended configuration) across dataset sizes, detectors and utilities.
+//! Supports Tables 6–11 by exposing how the release cost scales.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcor_core::runner::find_random_outlier;
+use pcor_core::{enumerate_coe, release_context, PcorConfig, SamplingAlgorithm};
+use pcor_data::generator::{salary_dataset, SalaryConfig};
+use pcor_dp::{OverlapUtility, PopulationSizeUtility, Utility};
+use pcor_outlier::{DetectorKind, LofDetector};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_bfs_across_dataset_sizes(c: &mut Criterion) {
+    let detector = LofDetector::default();
+    let utility = PopulationSizeUtility;
+    let mut group = c.benchmark_group("bfs_release_by_records");
+    group.sample_size(10);
+    for &records in &[1_000usize, 3_000, 8_000] {
+        let dataset = salary_dataset(&SalaryConfig::reduced().with_records(records)).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let Ok(outlier) = find_random_outlier(&dataset, &detector, 800, &mut rng) else {
+            continue;
+        };
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
+            .with_samples(30)
+            .with_starting_context(outlier.starting_context.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(records), &records, |b, _| {
+            let mut rng = ChaCha12Rng::seed_from_u64(31);
+            b.iter(|| {
+                black_box(
+                    release_context(
+                        &dataset,
+                        outlier.record_id,
+                        &detector,
+                        &utility,
+                        &config,
+                        &mut rng,
+                    )
+                    .expect("release"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bfs_across_detectors(c: &mut Criterion) {
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(3_000)).unwrap();
+    let utility = PopulationSizeUtility;
+    let mut group = c.benchmark_group("bfs_release_by_detector");
+    group.sample_size(10);
+    for kind in DetectorKind::paper_detectors() {
+        let detector = kind.build();
+        let mut rng = ChaCha12Rng::seed_from_u64(13);
+        let Ok(outlier) = find_random_outlier(&dataset, detector.as_ref(), 800, &mut rng) else {
+            continue;
+        };
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
+            .with_samples(30)
+            .with_starting_context(outlier.starting_context.clone());
+        group.bench_with_input(BenchmarkId::from_parameter(kind), &kind, |b, _| {
+            let mut rng = ChaCha12Rng::seed_from_u64(37);
+            b.iter(|| {
+                black_box(
+                    release_context(
+                        &dataset,
+                        outlier.record_id,
+                        detector.as_ref(),
+                        &utility,
+                        &config,
+                        &mut rng,
+                    )
+                    .expect("release"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_utilities_and_reference(c: &mut Criterion) {
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(2_000)).unwrap();
+    let detector = LofDetector::default();
+    let mut rng = ChaCha12Rng::seed_from_u64(41);
+    let Ok(outlier) = find_random_outlier(&dataset, &detector, 800, &mut rng) else {
+        return;
+    };
+    let overlap = OverlapUtility::new(&dataset, outlier.starting_context.clone()).unwrap();
+    let population = PopulationSizeUtility;
+    let utilities: Vec<(&str, &dyn Utility)> =
+        vec![("population", &population), ("overlap", &overlap)];
+
+    let mut group = c.benchmark_group("bfs_release_by_utility");
+    group.sample_size(10);
+    for (name, utility) in utilities {
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
+            .with_samples(30)
+            .with_starting_context(outlier.starting_context.clone());
+        group.bench_function(name, |b| {
+            let mut rng = ChaCha12Rng::seed_from_u64(43);
+            b.iter(|| {
+                black_box(
+                    release_context(
+                        &dataset,
+                        outlier.record_id,
+                        &detector,
+                        utility,
+                        &config,
+                        &mut rng,
+                    )
+                    .expect("release"),
+                )
+            });
+        });
+    }
+    group.finish();
+
+    // The reference-file enumeration (the paper's three-day job, here t = 14).
+    c.bench_function("reference_file_enumeration_t14", |b| {
+        b.iter(|| {
+            black_box(
+                enumerate_coe(&dataset, outlier.record_id, &detector, &PopulationSizeUtility, 22)
+                    .expect("enumeration"),
+            )
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_bfs_across_dataset_sizes,
+    bench_bfs_across_detectors,
+    bench_utilities_and_reference
+);
+criterion_main!(benches);

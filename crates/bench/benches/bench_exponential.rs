@@ -1,0 +1,48 @@
+//! Criterion micro-benchmarks of the Exponential mechanism — the privacy
+//! primitive invoked once per expansion step in DP-DFS/DP-BFS and once for the
+//! final draw of every algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcor_dp::{ExponentialMechanism, LaplaceMechanism};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_exponential_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exponential_select");
+    let mechanism = ExponentialMechanism::new(0.002, 1.0).unwrap();
+    for &candidates in &[10usize, 100, 1_000, 10_000] {
+        let scores: Vec<f64> = (0..candidates).map(|i| (i % 977) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(candidates), &candidates, |b, _| {
+            let mut rng = ChaCha12Rng::seed_from_u64(7);
+            b.iter(|| black_box(mechanism.select(&scores, &mut rng).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exponential_probabilities(c: &mut Criterion) {
+    let mechanism = ExponentialMechanism::new(0.1, 1.0).unwrap();
+    let scores: Vec<f64> = (0..1_000)
+        .map(|i| if i % 7 == 0 { f64::NEG_INFINITY } else { (i % 977) as f64 })
+        .collect();
+    c.bench_function("exponential_probabilities_1000", |b| {
+        b.iter(|| black_box(mechanism.probabilities(&scores).unwrap()));
+    });
+}
+
+fn bench_laplace(c: &mut Criterion) {
+    let mechanism = LaplaceMechanism::new(0.1, 1.0).unwrap();
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    c.bench_function("laplace_release", |b| {
+        b.iter(|| black_box(mechanism.release(black_box(1234.0), &mut rng)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_exponential_select,
+    bench_exponential_probabilities,
+    bench_laplace
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the outlier detectors (the cost of one
+//! `f_M` verification for populations of different sizes). Supports Tables 6–7
+//! by showing where the per-detector runtime differences come from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcor_data::generator::sample_standard_normal;
+use pcor_outlier::{GrubbsDetector, HistogramDetector, LofDetector, OutlierDetector, ZScoreDetector};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn population(size: usize) -> Vec<f64> {
+    let mut rng = ChaCha12Rng::seed_from_u64(11);
+    let mut values: Vec<f64> = (0..size - 1)
+        .map(|_| 100.0 + 15.0 * sample_standard_normal(&mut rng))
+        .collect();
+    values.push(400.0); // one clear outlier at the end
+    values
+}
+
+fn bench_detectors(c: &mut Criterion) {
+    let detectors: Vec<(&str, Box<dyn OutlierDetector>)> = vec![
+        ("grubbs", Box::new(GrubbsDetector::default())),
+        ("histogram", Box::new(HistogramDetector::default())),
+        ("lof", Box::new(LofDetector::default())),
+        ("zscore", Box::new(ZScoreDetector::default())),
+    ];
+    for (name, detector) in &detectors {
+        let mut group = c.benchmark_group(format!("detector_{name}"));
+        for &size in &[100usize, 1_000, 10_000] {
+            let values = population(size);
+            let target = values.len() - 1;
+            group.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, _| {
+                b.iter(|| black_box(detector.is_outlier(&values, target)));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

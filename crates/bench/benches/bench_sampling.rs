@@ -1,0 +1,54 @@
+//! Criterion benchmark behind Table 2: one full release per sampling
+//! algorithm (Uniform, Random-Walk, DP-DFS, DP-BFS) on the reduced salary
+//! workload with the LOF detector and population-size utility.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcor_bench::workloads::{Workload, WorkloadKind};
+use pcor_bench::ExperimentScale;
+use pcor_core::{release_context, PcorConfig, SamplingAlgorithm};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::LofDetector;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn bench_sampling_algorithms(c: &mut Criterion) {
+    let scale = ExperimentScale::smoke();
+    let detector = LofDetector::default();
+    let utility = PopulationSizeUtility;
+    let workload = Workload::build(WorkloadKind::Salary, &scale, &detector)
+        .expect("workload construction");
+
+    let mut group = c.benchmark_group("sampling_release");
+    group.sample_size(10);
+    for algorithm in SamplingAlgorithm::sampling_algorithms() {
+        let config = PcorConfig::new(algorithm, scale.epsilon)
+            .with_samples(scale.samples)
+            .with_max_attempts(scale.uniform_attempt_cap)
+            .with_starting_context(workload.outlier.starting_context.clone());
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm),
+            &algorithm,
+            |b, _| {
+                let mut rng = ChaCha12Rng::seed_from_u64(99);
+                b.iter(|| {
+                    black_box(
+                        release_context(
+                            &workload.dataset,
+                            workload.outlier.record_id,
+                            &detector,
+                            &utility,
+                            &config,
+                            &mut rng,
+                        )
+                        .expect("release"),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Experiment scale configuration.
+//!
+//! One knob controls how faithful (and how slow) the reproduction is. The
+//! defaults target a laptop; `paper()` mirrors the sizes reported in
+//! Section 6 of the paper.
+
+use serde::{Deserialize, Serialize};
+
+/// The scale at which the experiments run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentScale {
+    /// Records in the (reduced) salary workload.
+    pub salary_records: usize,
+    /// Records in the (reduced) homicide workload.
+    pub homicide_records: usize,
+    /// Repetitions per configuration (the paper uses 200).
+    pub repetitions: usize,
+    /// Number of samples `n` collected by the sampling algorithms (paper: 50).
+    pub samples: usize,
+    /// Total privacy budget `ε` (paper: 0.2).
+    pub epsilon: f64,
+    /// Number of random outliers averaged over in the COE-match experiments
+    /// (paper: 100).
+    pub coe_outliers: usize,
+    /// Number of random neighboring datasets per outlier in the COE-match
+    /// experiments (paper: 50).
+    pub coe_neighbors: usize,
+    /// Attempt cap for uniform sampling.
+    pub uniform_attempt_cap: usize,
+    /// Master seed for all randomness in the harness.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Laptop-scale defaults: minutes, not days, while preserving the shape of
+    /// every table and figure.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            // Large enough that population-size differences between contexts
+            // dominate the per-step budget (the utility-guided searches need a
+            // visible gradient), small enough for laptop runtimes.
+            salary_records: 8_000,
+            homicide_records: 8_000,
+            repetitions: 12,
+            samples: 50,
+            epsilon: 0.2,
+            coe_outliers: 5,
+            coe_neighbors: 5,
+            uniform_attempt_cap: 60_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A micro scale used by unit tests of the harness itself (seconds).
+    pub fn smoke() -> Self {
+        ExperimentScale {
+            salary_records: 700,
+            homicide_records: 800,
+            repetitions: 4,
+            samples: 10,
+            epsilon: 0.2,
+            coe_outliers: 2,
+            coe_neighbors: 2,
+            uniform_attempt_cap: 20_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The paper's reported scale (Section 6): use only if you have hours to
+    /// days of compute to spare.
+    pub fn paper() -> Self {
+        ExperimentScale {
+            salary_records: 11_000,
+            homicide_records: 28_000,
+            repetitions: 200,
+            samples: 50,
+            epsilon: 0.2,
+            coe_outliers: 100,
+            coe_neighbors: 50,
+            uniform_attempt_cap: 2_000_000,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Parses a scale name (`quick`, `smoke`, `paper`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "quick" => Some(Self::quick()),
+            "smoke" => Some(Self::smoke()),
+            "paper" => Some(Self::paper()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for ExperimentScale {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_ordered_by_cost() {
+        let smoke = ExperimentScale::smoke();
+        let quick = ExperimentScale::quick();
+        let paper = ExperimentScale::paper();
+        assert!(smoke.salary_records < quick.salary_records);
+        assert!(quick.salary_records < paper.salary_records);
+        assert!(smoke.repetitions < quick.repetitions);
+        assert!(quick.repetitions < paper.repetitions);
+        assert_eq!(paper.repetitions, 200);
+        assert_eq!(paper.samples, 50);
+        assert_eq!(paper.epsilon, 0.2);
+    }
+
+    #[test]
+    fn by_name_resolves_presets() {
+        assert_eq!(ExperimentScale::by_name("quick"), Some(ExperimentScale::quick()));
+        assert_eq!(ExperimentScale::by_name("smoke"), Some(ExperimentScale::smoke()));
+        assert_eq!(ExperimentScale::by_name("paper"), Some(ExperimentScale::paper()));
+        assert_eq!(ExperimentScale::by_name("warp"), None);
+        assert_eq!(ExperimentScale::default(), ExperimentScale::quick());
+    }
+}

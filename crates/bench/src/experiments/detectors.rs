@@ -1,0 +1,114 @@
+//! Tables 6–7 and Figure 3: PCOR-BFS with the Grubbs and Histogram detectors
+//! on the reduced salary workload (Section 6.5).
+
+use crate::config::ExperimentScale;
+use crate::measure::measure_cell;
+use crate::report::{Histogram, Table};
+use crate::workloads::{Workload, WorkloadKind};
+use crate::Result;
+use pcor_core::{PcorConfig, SamplingAlgorithm};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::DetectorKind;
+use pcor_stats::RuntimeSummary;
+
+use super::ExperimentOutput;
+
+/// Runs the detector-compatibility experiment (Grubbs + Histogram, BFS).
+///
+/// # Errors
+/// Propagates workload-construction and measurement errors. A detector that
+/// finds no contextual outlier in the synthetic workload is reported as a row
+/// with `n/a` entries rather than an error, mirroring how the paper would
+/// simply pick a different outlier.
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let utility = PopulationSizeUtility;
+    let mut rng = Workload::rng(scale, "tables-6-7");
+
+    let mut performance = Table::new(
+        "Table 6: Outlier Detection Algorithms - Performance",
+        &["Algorithm", "Tmin", "Tmax", "Tavg", "eps", "Sampling"],
+    );
+    let mut utility_table = Table::new(
+        "Table 7: Outlier Detection Algorithms - Utility",
+        &["Algorithm", "Utility", "CI", "eps", "Sampling"],
+    );
+    let mut output = ExperimentOutput::default();
+
+    for kind in [DetectorKind::Grubbs, DetectorKind::Histogram] {
+        let detector = kind.build();
+        let workload = match Workload::build(WorkloadKind::Salary, scale, detector.as_ref()) {
+            Ok(w) => w,
+            Err(crate::BenchError::NoOutlierFound) => {
+                performance.push_row(vec![
+                    kind.to_string(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    format!("{}", scale.epsilon),
+                    "BFS".into(),
+                ]);
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, scale.epsilon)
+            .with_samples(scale.samples)
+            .with_starting_context(workload.outlier.starting_context.clone());
+        let cell = measure_cell(
+            &workload.dataset,
+            workload.outlier.record_id,
+            detector.as_ref(),
+            &utility,
+            &config,
+            Some(&workload.reference),
+            scale.repetitions,
+            &mut rng,
+        )?;
+        performance.push_row(vec![
+            kind.to_string(),
+            RuntimeSummary::humanize(cell.runtime.min_secs),
+            RuntimeSummary::humanize(cell.runtime.max_secs),
+            RuntimeSummary::humanize(cell.runtime.avg_secs),
+            format!("{}", scale.epsilon),
+            "BFS".into(),
+        ]);
+        if let Some(summary) = &cell.utility {
+            utility_table.push_row(vec![
+                kind.to_string(),
+                format!("{:.2}", summary.mean),
+                format!("({:.2}, {:.2})", summary.ci_lower, summary.ci_upper),
+                format!("{}", scale.epsilon),
+                "BFS".into(),
+            ]);
+        }
+        output.figures.push(Histogram::from_values(
+            format!("Figure 3: {kind} utility-ratio distribution"),
+            &cell.utility_ratios,
+            10,
+        ));
+        output.figures.push(Histogram::from_values(
+            format!("Figure 3: {kind} runtime distribution (seconds)"),
+            &cell.runtimes_secs,
+            10,
+        ));
+    }
+
+    output.tables.push(performance);
+    output.tables.push(utility_table);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detectors_experiment_produces_rows_for_grubbs_and_histogram() {
+        let output = run(&ExperimentScale::smoke()).unwrap();
+        assert_eq!(output.tables.len(), 2);
+        assert_eq!(output.tables[0].len(), 2);
+        assert!(output.to_string().contains("Table 6"));
+        assert!(output.to_string().contains("Grubbs"));
+        assert!(output.to_string().contains("Histogram"));
+    }
+}

@@ -1,0 +1,94 @@
+//! Tables 8–9 and Figure 4: the privacy / utility / performance trade-off.
+//! PCOR-BFS with LOF, sweeping the total budget `ε ∈ {0.05, 0.1, 0.2, 0.4}`.
+
+use crate::config::ExperimentScale;
+use crate::measure::measure_cell;
+use crate::report::{Histogram, Table};
+use crate::workloads::{Workload, WorkloadKind};
+use crate::Result;
+use pcor_core::{PcorConfig, SamplingAlgorithm};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::LofDetector;
+use pcor_stats::RuntimeSummary;
+
+use super::ExperimentOutput;
+
+/// The ε values swept in the paper.
+pub const EPSILONS: [f64; 4] = [0.05, 0.1, 0.2, 0.4];
+
+/// Runs the ε sweep.
+///
+/// # Errors
+/// Propagates workload-construction and measurement errors.
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let detector = LofDetector::default();
+    let utility = PopulationSizeUtility;
+    let workload = Workload::build(WorkloadKind::Salary, scale, &detector)?;
+    let mut rng = Workload::rng(scale, "tables-8-9");
+
+    let mut performance = Table::new(
+        "Table 8: Effect of privacy parameter on performance",
+        &["eps", "Tmin", "Tmax", "Tavg", "Sampling", "Outlier"],
+    );
+    let mut utility_table = Table::new(
+        "Table 9: Effect of privacy parameter on utility",
+        &["eps", "Utility", "CI", "Sampling", "Outlier"],
+    );
+    let mut output = ExperimentOutput::default();
+
+    for epsilon in EPSILONS {
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, epsilon)
+            .with_samples(scale.samples)
+            .with_starting_context(workload.outlier.starting_context.clone());
+        let cell = measure_cell(
+            &workload.dataset,
+            workload.outlier.record_id,
+            &detector,
+            &utility,
+            &config,
+            Some(&workload.reference),
+            scale.repetitions,
+            &mut rng,
+        )?;
+        performance.push_row(vec![
+            format!("{epsilon}"),
+            RuntimeSummary::humanize(cell.runtime.min_secs),
+            RuntimeSummary::humanize(cell.runtime.max_secs),
+            RuntimeSummary::humanize(cell.runtime.avg_secs),
+            "BFS".into(),
+            "LOF".into(),
+        ]);
+        if let Some(summary) = &cell.utility {
+            utility_table.push_row(vec![
+                format!("{epsilon}"),
+                format!("{:.2}", summary.mean),
+                format!("({:.2}, {:.2})", summary.ci_lower, summary.ci_upper),
+                "BFS".into(),
+                "LOF".into(),
+            ]);
+        }
+        output.figures.push(Histogram::from_values(
+            format!("Figure 4: eps = {epsilon} utility-ratio distribution"),
+            &cell.utility_ratios,
+            10,
+        ));
+    }
+
+    output.tables.push(performance);
+    output.tables.push(utility_table);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epsilon_sweep_covers_all_four_budgets() {
+        let output = run(&ExperimentScale::smoke()).unwrap();
+        assert_eq!(output.tables[0].len(), 4);
+        assert_eq!(output.figures.len(), 4);
+        assert!(output.to_string().contains("Table 8"));
+        assert!(output.to_string().contains("0.05"));
+    }
+}

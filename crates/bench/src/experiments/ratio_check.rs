@@ -1,0 +1,112 @@
+//! Section 6.7 (second experiment): the empirical output-probability ratio
+//! check. For neighboring datasets whose COE sets are *not* identical, verify
+//! that the Exponential-mechanism probabilities of the common contexts still
+//! stay within the unconstrained `e^ε` DP bound.
+
+use crate::config::ExperimentScale;
+use crate::report::Table;
+use crate::workloads::Workload;
+use crate::Result;
+use pcor_core::privacy::{empirical_ratio_check, reindex_after_removal};
+use pcor_core::runner::find_random_outliers;
+use pcor_core::enumerate_coe;
+use pcor_data::generator::{salary_dataset, SalaryConfig};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::DetectorKind;
+
+use super::ExperimentOutput;
+
+/// Runs the ratio check on the reduced salary workload for all three paper
+/// detectors.
+///
+/// # Errors
+/// Propagates generation/enumeration errors.
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(scale.salary_records))?;
+    let utility = PopulationSizeUtility;
+    let mut rng = Workload::rng(scale, "ratio-check");
+    let epsilon = scale.epsilon;
+
+    let mut table = Table::new(
+        format!(
+            "Section 6.7: empirical probability-ratio check (bound e^eps = {:.3})",
+            epsilon.exp()
+        ),
+        &["Algorithm", "Outliers", "Neighbors", "Max ratio", "Within bound"],
+    );
+
+    for kind in DetectorKind::paper_detectors() {
+        let detector = kind.build();
+        let outliers = match find_random_outliers(
+            &dataset,
+            detector.as_ref(),
+            scale.coe_outliers,
+            3_000,
+            &mut rng,
+        ) {
+            Ok(o) => o,
+            Err(_) => {
+                table.push_row(vec![
+                    kind.to_string(),
+                    "0".into(),
+                    "0".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                ]);
+                continue;
+            }
+        };
+        let mut worst: f64 = 1.0;
+        let mut neighbors_checked = 0usize;
+        let mut all_hold = true;
+        for outlier in &outliers {
+            let reference =
+                enumerate_coe(&dataset, outlier.record_id, detector.as_ref(), &utility, 22)?;
+            for _ in 0..scale.coe_neighbors {
+                let (neighbor, removed) = dataset
+                    .random_neighbor(&mut rng, 1, &[outlier.record_id])
+                    .map_err(pcor_core::PcorError::from)?;
+                let new_id = reindex_after_removal(outlier.record_id, &removed)
+                    .expect("outlier record is protected");
+                let neighbor_ref =
+                    enumerate_coe(&neighbor, new_id, detector.as_ref(), &utility, 22)?;
+                let check = empirical_ratio_check(&reference, &neighbor_ref, epsilon, 1.0)
+                    .map_err(pcor_core::PcorError::from)?;
+                worst = worst.max(check.max_ratio);
+                all_hold &= check.holds;
+                neighbors_checked += 1;
+            }
+        }
+        table.push_row(vec![
+            kind.to_string(),
+            outliers.len().to_string(),
+            neighbors_checked.to_string(),
+            format!("{worst:.4}"),
+            if all_hold { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_check_stays_within_the_bound_on_the_smoke_scale() {
+        let scale = ExperimentScale::smoke();
+        let output = run(&scale).unwrap();
+        let table = &output.tables[0];
+        assert_eq!(table.len(), 3);
+        for row in &table.rows {
+            // Whenever the experiment ran, the bound must hold (column 5).
+            if row[4] != "n/a" {
+                assert_eq!(row[4], "yes", "ratio bound violated for {}", row[0]);
+                let ratio: f64 = row[3].parse().unwrap();
+                assert!(ratio >= 1.0);
+                assert!(ratio <= scale.epsilon.exp() + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Tables 10–11 and Figure 5: the effect of the sample count
+//! `n ∈ {25, 50, 100, 200}` on runtime and utility (PCOR-BFS, LOF, ε = 0.2).
+//!
+//! At laptop scale the sweep is proportionally reduced so its largest setting
+//! stays affordable while preserving the trend (runtime grows roughly
+//! linearly-to-quadratically with `n`; utility first improves then degrades
+//! because `ε₁ = ε/(2n+2)` shrinks).
+
+use crate::config::ExperimentScale;
+use crate::measure::measure_cell;
+use crate::report::{Histogram, Table};
+use crate::workloads::{Workload, WorkloadKind};
+use crate::Result;
+use pcor_core::{PcorConfig, SamplingAlgorithm};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::LofDetector;
+use pcor_stats::RuntimeSummary;
+
+use super::ExperimentOutput;
+
+/// The sample counts swept (scaled from the paper's 25/50/100/200 by the
+/// configured base sample count: `n ∈ {base/2, base, 2·base, 4·base}`).
+pub fn sample_counts(scale: &ExperimentScale) -> [usize; 4] {
+    let base = scale.samples.max(2);
+    [base / 2, base, base * 2, base * 4]
+}
+
+/// Runs the sample-count sweep.
+///
+/// # Errors
+/// Propagates workload-construction and measurement errors.
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let detector = LofDetector::default();
+    let utility = PopulationSizeUtility;
+    let workload = Workload::build(WorkloadKind::Salary, scale, &detector)?;
+    let mut rng = Workload::rng(scale, "tables-10-11");
+
+    let mut performance = Table::new(
+        "Table 10: Effect of # of samples on performance",
+        &["# Samples", "Tmin", "Tmax", "Tavg", "Sampling", "Outlier"],
+    );
+    let mut utility_table = Table::new(
+        "Table 11: Effect of # of samples on utility",
+        &["# Samples", "Utility", "CI", "Sampling", "Outlier"],
+    );
+    let mut output = ExperimentOutput::default();
+
+    for n in sample_counts(scale) {
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, scale.epsilon)
+            .with_samples(n)
+            .with_starting_context(workload.outlier.starting_context.clone());
+        let cell = measure_cell(
+            &workload.dataset,
+            workload.outlier.record_id,
+            &detector,
+            &utility,
+            &config,
+            Some(&workload.reference),
+            scale.repetitions,
+            &mut rng,
+        )?;
+        performance.push_row(vec![
+            n.to_string(),
+            RuntimeSummary::humanize(cell.runtime.min_secs),
+            RuntimeSummary::humanize(cell.runtime.max_secs),
+            RuntimeSummary::humanize(cell.runtime.avg_secs),
+            "BFS".into(),
+            "LOF".into(),
+        ]);
+        if let Some(summary) = &cell.utility {
+            utility_table.push_row(vec![
+                n.to_string(),
+                format!("{:.2}", summary.mean),
+                format!("({:.2}, {:.2})", summary.ci_lower, summary.ci_upper),
+                "BFS".into(),
+                "LOF".into(),
+            ]);
+        }
+        output.figures.push(Histogram::from_values(
+            format!("Figure 5: n = {n} utility-ratio distribution"),
+            &cell.utility_ratios,
+            10,
+        ));
+        output.figures.push(Histogram::from_values(
+            format!("Figure 5: n = {n} runtime distribution (seconds)"),
+            &cell.runtimes_secs,
+            10,
+        ));
+    }
+
+    output.tables.push(performance);
+    output.tables.push(utility_table);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_sweep_covers_four_settings_and_runtime_grows() {
+        let scale = ExperimentScale::smoke();
+        let output = run(&scale).unwrap();
+        assert_eq!(output.tables[0].len(), 4);
+        assert_eq!(output.tables[1].len(), 4);
+        assert_eq!(output.figures.len(), 8);
+        assert!(output.to_string().contains("Table 10"));
+    }
+
+    #[test]
+    fn sample_counts_scale_with_the_configuration() {
+        let scale = ExperimentScale::smoke();
+        let counts = sample_counts(&scale);
+        assert_eq!(counts[1], scale.samples);
+        assert!(counts[0] < counts[1] && counts[1] < counts[2] && counts[2] < counts[3]);
+    }
+}

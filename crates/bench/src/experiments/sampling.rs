@@ -1,0 +1,102 @@
+//! Tables 2–3 and Figure 1: comparison of the four sampling algorithms
+//! (Uniform, Random-Walk, DP-DFS, DP-BFS) with the LOF detector and the
+//! population-size utility at `ε = 0.2`.
+
+use crate::config::ExperimentScale;
+use crate::measure::measure_cell;
+use crate::report::{Histogram, Table};
+use crate::workloads::{Workload, WorkloadKind};
+use crate::Result;
+use pcor_core::{PcorConfig, SamplingAlgorithm};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::LofDetector;
+use pcor_stats::RuntimeSummary;
+
+use super::ExperimentOutput;
+
+/// Runs the sampling-algorithm comparison.
+///
+/// # Errors
+/// Propagates workload-construction and measurement errors.
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let detector = LofDetector::default();
+    let utility = PopulationSizeUtility;
+    let workload = Workload::build(WorkloadKind::Salary, scale, &detector)?;
+    let mut rng = Workload::rng(scale, "tables-2-3");
+
+    let mut performance = Table::new(
+        "Table 2: Sampling Methods Comparison - Performance",
+        &["Algorithm", "Tmin", "Tmax", "Tavg", "eps", "Outlier"],
+    );
+    let mut utility_table = Table::new(
+        "Table 3: Sampling Methods Comparison - Utility",
+        &["Algorithm", "Utility", "CI", "eps", "Outlier"],
+    );
+    let mut output = ExperimentOutput::default();
+
+    for algorithm in SamplingAlgorithm::sampling_algorithms() {
+        let config = PcorConfig::new(algorithm, scale.epsilon)
+            .with_samples(scale.samples)
+            .with_max_attempts(scale.uniform_attempt_cap)
+            .with_starting_context(workload.outlier.starting_context.clone());
+        let cell = measure_cell(
+            &workload.dataset,
+            workload.outlier.record_id,
+            &detector,
+            &utility,
+            &config,
+            Some(&workload.reference),
+            scale.repetitions,
+            &mut rng,
+        )?;
+
+        performance.push_row(vec![
+            algorithm.to_string(),
+            RuntimeSummary::humanize(cell.runtime.min_secs),
+            RuntimeSummary::humanize(cell.runtime.max_secs),
+            RuntimeSummary::humanize(cell.runtime.avg_secs),
+            format!("{}", scale.epsilon),
+            "LOF".into(),
+        ]);
+        if let Some(summary) = &cell.utility {
+            utility_table.push_row(vec![
+                algorithm.to_string(),
+                format!("{:.2}", summary.mean),
+                format!("({:.2}, {:.2})", summary.ci_lower, summary.ci_upper),
+                format!("{}", scale.epsilon),
+                "LOF".into(),
+            ]);
+        }
+        output.figures.push(Histogram::from_values(
+            format!("Figure 1: {algorithm} utility-ratio distribution"),
+            &cell.utility_ratios,
+            10,
+        ));
+        output.figures.push(Histogram::from_values(
+            format!("Figure 1: {algorithm} runtime distribution (seconds)"),
+            &cell.runtimes_secs,
+            10,
+        ));
+    }
+
+    output.tables.push(performance);
+    output.tables.push(utility_table);
+    Ok(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_experiment_produces_both_tables_and_figures() {
+        let output = run(&ExperimentScale::smoke()).unwrap();
+        assert_eq!(output.tables.len(), 2);
+        assert_eq!(output.tables[0].len(), 4); // four sampling algorithms
+        assert!(output.tables[1].len() >= 3);
+        assert_eq!(output.figures.len(), 8);
+        let rendered = output.to_string();
+        assert!(rendered.contains("Table 2"));
+        assert!(rendered.contains("BFS"));
+    }
+}

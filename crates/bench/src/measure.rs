@@ -1,0 +1,126 @@
+//! Shared measurement loop: run one algorithm repeatedly and summarize
+//! runtime (min/max/avg) and utility (mean + 90% CI), the way every table in
+//! the paper reports results.
+
+use crate::Result;
+use pcor_core::runner::{run_repeated, RunMeasurement};
+use pcor_core::{PcorConfig, ReferenceFile};
+use pcor_data::Dataset;
+use pcor_dp::Utility;
+use pcor_outlier::OutlierDetector;
+use pcor_stats::{RuntimeSummary, UtilitySummary};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Summary of one experiment cell (one algorithm / parameter setting).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSummary {
+    /// Runtime summary over the repetitions.
+    pub runtime: RuntimeSummary,
+    /// Utility-ratio summary over the repetitions (absent when no reference
+    /// file was supplied).
+    pub utility: Option<UtilitySummary>,
+    /// The raw per-repetition utility ratios (for the figure histograms).
+    pub utility_ratios: Vec<f64>,
+    /// The raw per-repetition runtimes in seconds (for the figure histograms).
+    pub runtimes_secs: Vec<f64>,
+    /// Average number of `f_M` verification calls per repetition.
+    pub avg_verification_calls: f64,
+}
+
+/// Runs `repetitions` releases of `config` and summarizes them.
+///
+/// # Errors
+/// Propagates release and summary errors.
+pub fn measure_cell<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    outlier_id: usize,
+    detector: &dyn OutlierDetector,
+    utility: &dyn Utility,
+    config: &PcorConfig,
+    reference: Option<&ReferenceFile>,
+    repetitions: usize,
+    rng: &mut R,
+) -> Result<CellSummary> {
+    let runs: Vec<RunMeasurement> = run_repeated(
+        dataset,
+        outlier_id,
+        detector,
+        utility,
+        config,
+        reference,
+        repetitions,
+        rng,
+    )?;
+    summarize(&runs)
+}
+
+/// Summarizes a set of measured releases.
+///
+/// # Errors
+/// Returns a stats error for an empty run list.
+pub fn summarize(runs: &[RunMeasurement]) -> Result<CellSummary> {
+    let durations: Vec<Duration> = runs.iter().map(|r| r.runtime).collect();
+    let runtime = RuntimeSummary::from_durations(&durations)?;
+    let utility_ratios: Vec<f64> = runs.iter().filter_map(|r| r.utility_ratio).collect();
+    let utility = if utility_ratios.len() >= 2 {
+        Some(UtilitySummary::from_ratios(&utility_ratios)?)
+    } else {
+        None
+    };
+    let avg_verification_calls =
+        runs.iter().map(|r| r.verification_calls as f64).sum::<f64>() / runs.len().max(1) as f64;
+    Ok(CellSummary {
+        runtime,
+        utility,
+        runtimes_secs: runs.iter().map(|r| r.runtime.as_secs_f64()).collect(),
+        utility_ratios,
+        avg_verification_calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExperimentScale;
+    use crate::workloads::{Workload, WorkloadKind};
+    use pcor_core::SamplingAlgorithm;
+    use pcor_dp::PopulationSizeUtility;
+    use pcor_outlier::LofDetector;
+
+    #[test]
+    fn measure_cell_produces_consistent_summaries() {
+        let scale = ExperimentScale::smoke();
+        let detector = LofDetector::default();
+        let workload = Workload::build(WorkloadKind::Salary, &scale, &detector).unwrap();
+        let utility = PopulationSizeUtility;
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, scale.epsilon)
+            .with_samples(scale.samples)
+            .with_starting_context(workload.outlier.starting_context.clone());
+        let mut rng = Workload::rng(&scale, "measure-test");
+        let cell = measure_cell(
+            &workload.dataset,
+            workload.outlier.record_id,
+            &detector,
+            &utility,
+            &config,
+            Some(&workload.reference),
+            scale.repetitions,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(cell.utility_ratios.len(), scale.repetitions);
+        assert_eq!(cell.runtimes_secs.len(), scale.repetitions);
+        let summary = cell.utility.unwrap();
+        assert!(summary.mean > 0.0 && summary.mean <= 1.0 + 1e-9);
+        assert!(cell.runtime.min_secs <= cell.runtime.avg_secs);
+        assert!(cell.runtime.avg_secs <= cell.runtime.max_secs);
+        assert!(cell.avg_verification_calls >= 1.0);
+    }
+
+    #[test]
+    fn summarize_rejects_empty_input() {
+        assert!(summarize(&[]).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Result presentation: paper-style tables and ASCII histograms (figures).
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned table, mirroring the layout of the paper's tables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Title, e.g. `"Table 2: Sampling Methods Comparison - Performance"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (each row should have `headers.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with a title and headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let widths = self.column_widths();
+        writeln!(f, "{}", self.title)?;
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        writeln!(f, "  {}", header_line.join("  "))?;
+        writeln!(f, "  {}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .collect();
+            writeln!(f, "  {}", cells.join("  "))?;
+        }
+        Ok(())
+    }
+}
+
+/// An ASCII histogram of a sample, standing in for the distribution plots of
+/// Figures 1–5.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Title, e.g. `"Figure 1(d): BFS utility distribution"`.
+    pub title: String,
+    /// Bin lower edges.
+    pub edges: Vec<f64>,
+    /// Bin counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram of `values` with `bins` equal-width bins over
+    /// `[min, max]` of the data (a single-bin histogram for constant data).
+    pub fn from_values(title: impl Into<String>, values: &[f64], bins: usize) -> Self {
+        let title = title.into();
+        if values.is_empty() || bins == 0 {
+            return Histogram { title, edges: vec![], counts: vec![] };
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+        let mut counts = vec![0usize; bins];
+        for &v in values {
+            let idx = (((v - min) / width).floor() as isize).clamp(0, bins as isize - 1) as usize;
+            counts[idx] += 1;
+        }
+        let edges = (0..bins).map(|i| min + i as f64 * width).collect();
+        Histogram { title, edges, counts }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+}
+
+impl std::fmt::Display for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        for (edge, &count) in self.edges.iter().zip(&self.counts) {
+            let bar_len = (count * 40).div_ceil(max_count);
+            writeln!(
+                f,
+                "  {:>10.3} | {:<40} {}",
+                edge,
+                "#".repeat(bar_len.min(40)),
+                count
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned_columns() {
+        let mut t = Table::new("Table X: demo", &["Algorithm", "Tavg", "Utility"]);
+        t.push_row(vec!["BFS".into(), "37m".into(), "0.90".into()]);
+        t.push_row(vec!["RandomWalk".into(), "51s".into(), "0.57".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let rendered = t.to_string();
+        assert!(rendered.contains("Table X: demo"));
+        assert!(rendered.contains("Algorithm"));
+        assert!(rendered.contains("RandomWalk"));
+        // Columns are padded to the widest cell.
+        assert!(rendered.lines().count() >= 4);
+    }
+
+    #[test]
+    fn empty_table_is_just_headers() {
+        let t = Table::new("Empty", &["A", "B"]);
+        assert!(t.is_empty());
+        let rendered = t.to_string();
+        assert!(rendered.contains('A') && rendered.contains('B'));
+    }
+
+    #[test]
+    fn histogram_counts_and_renders() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::from_values("Figure demo", &values, 10);
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.counts.len(), 10);
+        assert!(h.counts.iter().all(|&c| c == 10));
+        let rendered = h.to_string();
+        assert!(rendered.contains("Figure demo"));
+        assert!(rendered.contains('#'));
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let h = Histogram::from_values("empty", &[], 5);
+        assert_eq!(h.total(), 0);
+        let h = Histogram::from_values("constant", &[3.0; 7], 4);
+        assert_eq!(h.total(), 7);
+        let h = Histogram::from_values("no bins", &[1.0], 0);
+        assert_eq!(h.total(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Workload construction shared by all experiments.
+//!
+//! A workload bundles a synthetic dataset, one confirmed contextual outlier
+//! (with its starting context) and, when the schema is small enough, the
+//! reference file (`COE_M` with utilities) used to normalize utility.
+
+use crate::config::ExperimentScale;
+use crate::{BenchError, Result};
+use pcor_core::runner::{find_random_outlier, OutlierQuery};
+use pcor_core::{enumerate_coe, ReferenceFile};
+use pcor_data::generator::{homicide_dataset, salary_dataset, HomicideConfig, SalaryConfig};
+use pcor_data::Dataset;
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::OutlierDetector;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Which evaluation dataset a workload uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// The Ontario public-sector salary workload (reduced schema, t = 14).
+    Salary,
+    /// The homicide-report workload (reduced schema, t = 12).
+    Homicide,
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadKind::Salary => write!(f, "salary"),
+            WorkloadKind::Homicide => write!(f, "homicide"),
+        }
+    }
+}
+
+/// A ready-to-measure workload.
+pub struct Workload {
+    /// Which dataset family this is.
+    pub kind: WorkloadKind,
+    /// The synthetic dataset.
+    pub dataset: Dataset,
+    /// The queried outlier and its starting context.
+    pub outlier: OutlierQuery,
+    /// The reference file (population-size utility) for utility normalization.
+    pub reference: ReferenceFile,
+}
+
+impl Workload {
+    /// Builds the workload: generates the dataset, finds a contextual outlier
+    /// for `detector`, and enumerates its reference file.
+    ///
+    /// # Errors
+    /// Returns [`BenchError::NoOutlierFound`] when the detector flags nothing
+    /// in the generated data, and propagates enumeration errors.
+    pub fn build(
+        kind: WorkloadKind,
+        scale: &ExperimentScale,
+        detector: &dyn OutlierDetector,
+    ) -> Result<Self> {
+        let dataset = match kind {
+            WorkloadKind::Salary => {
+                salary_dataset(&SalaryConfig::reduced().with_records(scale.salary_records))?
+            }
+            WorkloadKind::Homicide => {
+                homicide_dataset(&HomicideConfig::reduced().with_records(scale.homicide_records))?
+            }
+        };
+        let mut rng = ChaCha12Rng::seed_from_u64(scale.seed ^ 0xA11CE);
+        let outlier = find_random_outlier(&dataset, detector, 2_000, &mut rng)
+            .map_err(|_| BenchError::NoOutlierFound)?;
+        let reference = enumerate_coe(
+            &dataset,
+            outlier.record_id,
+            detector,
+            &PopulationSizeUtility,
+            22,
+        )?;
+        Ok(Workload { kind, dataset, outlier, reference })
+    }
+
+    /// A deterministic RNG derived from the scale seed and a label, so each
+    /// experiment gets its own reproducible stream.
+    pub fn rng(scale: &ExperimentScale, label: &str) -> ChaCha12Rng {
+        let mut hash: u64 = 0xcbf29ce484222325;
+        for b in label.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+        ChaCha12Rng::seed_from_u64(scale.seed ^ hash)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcor_outlier::LofDetector;
+
+    #[test]
+    fn salary_workload_builds_with_a_valid_outlier() {
+        let scale = ExperimentScale::smoke();
+        let detector = LofDetector::default();
+        let w = Workload::build(WorkloadKind::Salary, &scale, &detector).unwrap();
+        assert_eq!(w.kind, WorkloadKind::Salary);
+        assert_eq!(w.dataset.len(), scale.salary_records);
+        assert!(!w.reference.is_empty());
+        assert!(w.dataset.covers(&w.outlier.starting_context, w.outlier.record_id).unwrap());
+        assert_eq!(WorkloadKind::Salary.to_string(), "salary");
+    }
+
+    #[test]
+    fn homicide_workload_builds() {
+        let scale = ExperimentScale::smoke();
+        let detector = LofDetector::default();
+        let w = Workload::build(WorkloadKind::Homicide, &scale, &detector).unwrap();
+        assert_eq!(w.dataset.len(), scale.homicide_records);
+        assert_eq!(WorkloadKind::Homicide.to_string(), "homicide");
+    }
+
+    #[test]
+    fn derived_rngs_are_label_dependent_and_reproducible() {
+        use rand::Rng;
+        let scale = ExperimentScale::smoke();
+        let mut a1 = Workload::rng(&scale, "table2");
+        let mut a2 = Workload::rng(&scale, "table2");
+        let mut b = Workload::rng(&scale, "table3");
+        let x1: u64 = a1.random();
+        let x2: u64 = a2.random();
+        let y: u64 = b.random();
+        assert_eq!(x1, x2);
+        assert_ne!(x1, y);
+    }
+}

@@ -1,0 +1,247 @@
+//! Repeat-and-measure harness.
+//!
+//! The paper repeats every experiment 200 times and reports runtime spreads
+//! and utility ratios against the reference file. This module provides the
+//! shared machinery: finding records that actually are contextual outliers,
+//! running one release while measuring it, and running repetitions.
+
+use crate::coe::ReferenceFile;
+use crate::starting::find_starting_context;
+use crate::verify::Verifier;
+use crate::{release_context, PcorConfig, PcorError, Result};
+use pcor_data::{Context, Dataset};
+use pcor_dp::{PopulationSizeUtility, Utility};
+use pcor_outlier::OutlierDetector;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A record confirmed to be a contextual outlier, together with a matching
+/// starting context discovered for it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutlierQuery {
+    /// The record id of the outlier `V`.
+    pub record_id: usize,
+    /// A matching starting context `C_V`.
+    pub starting_context: Context,
+}
+
+/// Searches for a record that is a contextual outlier under `detector`,
+/// examining up to `max_candidates` uniformly random records.
+///
+/// # Errors
+/// Returns [`PcorError::NoMatchingContext`] when no candidate record has a
+/// matching context within the per-record search budget.
+pub fn find_random_outlier<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    detector: &dyn OutlierDetector,
+    max_candidates: usize,
+    rng: &mut R,
+) -> Result<OutlierQuery> {
+    if dataset.is_empty() {
+        return Err(PcorError::NoMatchingContext);
+    }
+    let utility = PopulationSizeUtility;
+    for _ in 0..max_candidates {
+        let record_id = rng.random_range(0..dataset.len());
+        let mut verifier = Verifier::new(dataset, detector, &utility, record_id);
+        if let Ok(context) = find_starting_context(&mut verifier, 500) {
+            return Ok(OutlierQuery { record_id, starting_context: context });
+        }
+    }
+    Err(PcorError::NoMatchingContext)
+}
+
+/// Finds up to `count` distinct outlier records (used by the COE-match
+/// experiments, which average over many random outliers).
+///
+/// # Errors
+/// Returns [`PcorError::NoMatchingContext`] if not a single outlier could be
+/// found.
+pub fn find_random_outliers<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    detector: &dyn OutlierDetector,
+    count: usize,
+    max_candidates: usize,
+    rng: &mut R,
+) -> Result<Vec<OutlierQuery>> {
+    let mut found: Vec<OutlierQuery> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    let mut attempts = 0usize;
+    while found.len() < count && attempts < max_candidates {
+        attempts += 1;
+        match find_random_outlier(dataset, detector, 1, rng) {
+            Ok(query) => {
+                if seen.insert(query.record_id) {
+                    found.push(query);
+                }
+            }
+            Err(PcorError::NoMatchingContext) => {}
+            Err(other) => return Err(other),
+        }
+    }
+    if found.is_empty() {
+        return Err(PcorError::NoMatchingContext);
+    }
+    Ok(found)
+}
+
+/// One measured PCOR release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Wall-clock runtime of the release.
+    pub runtime: Duration,
+    /// Raw utility of the released context.
+    pub utility: f64,
+    /// Utility normalized by the reference file's maximum (when available).
+    pub utility_ratio: Option<f64>,
+    /// Number of samples the algorithm collected.
+    pub samples_collected: usize,
+    /// Number of `f_M` verification calls performed.
+    pub verification_calls: usize,
+}
+
+/// Runs one release and measures it, optionally normalizing utility against a
+/// reference file.
+///
+/// # Errors
+/// Propagates release errors.
+pub fn run_once<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    outlier_id: usize,
+    detector: &dyn OutlierDetector,
+    utility: &dyn Utility,
+    config: &PcorConfig,
+    reference: Option<&ReferenceFile>,
+    rng: &mut R,
+) -> Result<RunMeasurement> {
+    let result = release_context(dataset, outlier_id, detector, utility, config, rng)?;
+    Ok(RunMeasurement {
+        runtime: result.runtime,
+        utility: result.utility,
+        utility_ratio: reference.map(|r| r.utility_ratio(result.utility)),
+        samples_collected: result.samples_collected,
+        verification_calls: result.verification_calls,
+    })
+}
+
+/// Runs `repetitions` independent releases (fresh verifier each time, like the
+/// paper's repeated experiments) and collects the measurements.
+///
+/// # Errors
+/// Propagates the first release error encountered.
+pub fn run_repeated<R: Rng + ?Sized>(
+    dataset: &Dataset,
+    outlier_id: usize,
+    detector: &dyn OutlierDetector,
+    utility: &dyn Utility,
+    config: &PcorConfig,
+    reference: Option<&ReferenceFile>,
+    repetitions: usize,
+    rng: &mut R,
+) -> Result<Vec<RunMeasurement>> {
+    let mut out = Vec::with_capacity(repetitions);
+    for _ in 0..repetitions {
+        out.push(run_once(dataset, outlier_id, detector, utility, config, reference, rng)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coe::enumerate_coe;
+    use crate::SamplingAlgorithm;
+    use pcor_data::{Attribute, Record, Schema};
+    use pcor_outlier::ZScoreDetector;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1"]),
+                Attribute::from_values("B", &["b0", "b1", "b2"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        let mut records = vec![Record::new(vec![0, 0], 950.0), Record::new(vec![1, 2], 875.0)];
+        for i in 0..90 {
+            records.push(Record::new(
+                vec![(i % 2) as u16, (i % 3) as u16],
+                100.0 + (i % 9) as f64,
+            ));
+        }
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn finds_planted_outliers() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let q = find_random_outlier(&d, &detector, 400, &mut rng).unwrap();
+        assert!(q.record_id == 0 || q.record_id == 1, "found {}", q.record_id);
+        // The starting context really is matching.
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&d, &detector, &utility, q.record_id);
+        assert!(verifier.is_matching(&q.starting_context).unwrap());
+    }
+
+    #[test]
+    fn finds_multiple_distinct_outliers() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let qs = find_random_outliers(&d, &detector, 2, 2_000, &mut rng).unwrap();
+        assert_eq!(qs.len(), 2);
+        assert_ne!(qs[0].record_id, qs[1].record_id);
+    }
+
+    #[test]
+    fn no_outlier_in_a_flat_dataset() {
+        let schema = Schema::new(vec![Attribute::from_values("A", &["a0", "a1"])], "M").unwrap();
+        let records = (0..40).map(|i| Record::new(vec![(i % 2) as u16], 10.0)).collect();
+        let d = Dataset::new(schema, records).unwrap();
+        let detector = ZScoreDetector::new(2.5);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        assert_eq!(
+            find_random_outlier(&d, &detector, 50, &mut rng),
+            Err(PcorError::NoMatchingContext)
+        );
+        assert_eq!(
+            find_random_outliers(&d, &detector, 3, 50, &mut rng),
+            Err(PcorError::NoMatchingContext)
+        );
+        let empty = Dataset::new(
+            Schema::new(vec![Attribute::from_values("A", &["a0"])], "M").unwrap(),
+            vec![],
+        )
+        .unwrap();
+        assert!(find_random_outlier(&empty, &detector, 10, &mut rng).is_err());
+    }
+
+    #[test]
+    fn measurements_normalize_against_the_reference() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let reference = enumerate_coe(&d, 0, &detector, &utility, 22).unwrap();
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2).with_samples(10);
+        let mut rng = ChaCha12Rng::seed_from_u64(17);
+        let runs = run_repeated(&d, 0, &detector, &utility, &config, Some(&reference), 5, &mut rng)
+            .unwrap();
+        assert_eq!(runs.len(), 5);
+        for run in &runs {
+            let ratio = run.utility_ratio.unwrap();
+            assert!((0.0..=1.0 + 1e-9).contains(&ratio), "ratio {ratio}");
+            assert!(run.samples_collected >= 1);
+            assert!(run.verification_calls >= 1);
+            assert!(run.runtime > Duration::ZERO);
+        }
+        // Without a reference the ratio is absent.
+        let run = run_once(&d, 0, &detector, &utility, &config, None, &mut rng).unwrap();
+        assert!(run.utility_ratio.is_none());
+    }
+}

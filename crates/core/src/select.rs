@@ -1,0 +1,93 @@
+//! Shared Exponential-mechanism selection helpers used by every algorithm.
+
+use crate::verify::Verifier;
+use crate::Result;
+use pcor_data::Context;
+use pcor_dp::ExponentialMechanism;
+use rand::Rng;
+
+/// Draws one context from `candidates` with the Exponential mechanism at
+/// per-invocation budget `epsilon1`, scoring each candidate with the
+/// verifier's mechanism score (utility for matching contexts, `-∞` otherwise).
+///
+/// Returns the chosen context and its utility score.
+///
+/// # Errors
+/// Returns [`crate::PcorError::NoSamples`] when no candidate is matching, and
+/// propagates verification errors.
+pub fn mechanism_draw<R: Rng + ?Sized>(
+    verifier: &mut Verifier<'_>,
+    candidates: &[Context],
+    epsilon1: f64,
+    rng: &mut R,
+) -> Result<(Context, f64)> {
+    let sensitivity = verifier.utility().sensitivity();
+    let mechanism = ExponentialMechanism::new(epsilon1, sensitivity)?;
+    let mut scores = Vec::with_capacity(candidates.len());
+    for candidate in candidates {
+        scores.push(verifier.mechanism_score(candidate)?);
+    }
+    let index = mechanism.select(&scores, rng)?;
+    let chosen = candidates[index].clone();
+    let utility = verifier.evaluate(&chosen)?.utility;
+    Ok((chosen, utility))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcor_data::{Attribute, Dataset, Record, Schema};
+    use pcor_dp::PopulationSizeUtility;
+    use pcor_outlier::ZScoreDetector;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1"]),
+                Attribute::from_values("B", &["b0", "b1"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        let mut records = vec![Record::new(vec![0, 0], 999.0)];
+        for i in 0..40 {
+            records.push(Record::new(vec![(i % 2) as u16, ((i / 2) % 2) as u16], 100.0 + (i % 7) as f64));
+        }
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn draw_returns_a_matching_context_and_its_utility() {
+        let dataset = dataset();
+        let detector = ZScoreDetector::new(2.0);
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let candidates = vec![
+            dataset.minimal_context(0).unwrap(),
+            Context::full(4),
+            Context::from_indices(4, [1, 3]), // does not cover record 0
+        ];
+        for _ in 0..50 {
+            let (chosen, utility_score) =
+                mechanism_draw(&mut verifier, &candidates, 1.0, &mut rng).unwrap();
+            assert!(verifier.is_matching(&chosen).unwrap());
+            assert!(utility_score > 0.0);
+            assert_ne!(chosen, candidates[2]);
+        }
+    }
+
+    #[test]
+    fn draw_with_no_matching_candidate_fails() {
+        let dataset = dataset();
+        let detector = ZScoreDetector::new(2.0);
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        let candidates = vec![Context::from_indices(4, [1, 3])];
+        assert!(mechanism_draw(&mut verifier, &candidates, 1.0, &mut rng).is_err());
+        assert!(mechanism_draw(&mut verifier, &[], 1.0, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,284 @@
+//! The outlier-verification function `f_M(D_C, V)` with memoization.
+//!
+//! Every PCOR algorithm repeatedly asks the same question about different
+//! contexts: *is the queried record `V` an outlier in the population selected
+//! by this context?* The answer requires filtering the dataset and running the
+//! detector — by far the dominant cost of a release (the paper's runtime
+//! numbers are essentially counts of `f_M` evaluations). The sampling
+//! algorithms also revisit contexts (e.g. BFS generates each vertex's children
+//! repeatedly), so the verifier memoizes evaluations per context.
+//!
+//! The verifier also computes the utility score of each context (the utility
+//! needs the same population bitmap the validity check needs), and exposes the
+//! *mechanism score*: the utility for matching contexts, `-∞` otherwise —
+//! exactly the scoring rule of Section 3.2 that makes the Exponential
+//! mechanism output constrained.
+
+use crate::Result;
+use pcor_data::{Context, Dataset};
+use pcor_dp::Utility;
+use pcor_outlier::OutlierDetector;
+use std::collections::HashMap;
+
+/// The cached outcome of evaluating one context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Whether the context is *matching*: it covers `V` and the detector
+    /// flags `V` as an outlier within the context's population.
+    pub matching: bool,
+    /// The utility score of the context (regardless of matching).
+    pub utility: f64,
+    /// The size of the context's population `|D_C|`.
+    pub population_size: usize,
+}
+
+impl Evaluation {
+    /// The Exponential-mechanism score: the utility for matching contexts and
+    /// `-∞` for non-matching ones.
+    pub fn mechanism_score(&self) -> f64 {
+        if self.matching {
+            self.utility
+        } else {
+            f64::NEG_INFINITY
+        }
+    }
+}
+
+/// Memoizing wrapper around `f_M` for one (dataset, detector, utility, `V`)
+/// tuple.
+pub struct Verifier<'a> {
+    dataset: &'a Dataset,
+    detector: &'a dyn OutlierDetector,
+    utility: &'a dyn Utility,
+    outlier_id: usize,
+    cache: HashMap<Context, Evaluation>,
+    calls: usize,
+}
+
+impl<'a> Verifier<'a> {
+    /// Creates a verifier for record `outlier_id` of `dataset`.
+    pub fn new(
+        dataset: &'a Dataset,
+        detector: &'a dyn OutlierDetector,
+        utility: &'a dyn Utility,
+        outlier_id: usize,
+    ) -> Self {
+        Verifier {
+            dataset,
+            detector,
+            utility,
+            outlier_id,
+            cache: HashMap::new(),
+            calls: 0,
+        }
+    }
+
+    /// The dataset the verifier is bound to.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// The queried outlier's record id.
+    pub fn outlier_id(&self) -> usize {
+        self.outlier_id
+    }
+
+    /// The utility function in use.
+    pub fn utility(&self) -> &'a dyn Utility {
+        self.utility
+    }
+
+    /// Number of *uncached* verification calls performed so far (each one
+    /// filtered the dataset and ran the detector).
+    pub fn calls(&self) -> usize {
+        self.calls
+    }
+
+    /// Number of distinct contexts evaluated (cache size).
+    pub fn distinct_contexts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// The minimal context of the queried record (its own attribute values).
+    ///
+    /// # Errors
+    /// Propagates schema mismatches from the data layer.
+    pub fn minimal_context(&self) -> Result<Context> {
+        Ok(self.dataset.minimal_context(self.outlier_id)?)
+    }
+
+    /// Evaluates a context: validity (`f_M`), utility and population size.
+    /// Results are memoized per context.
+    ///
+    /// # Errors
+    /// Propagates population-evaluation errors (context/schema mismatch).
+    pub fn evaluate(&mut self, context: &Context) -> Result<Evaluation> {
+        if let Some(cached) = self.cache.get(context) {
+            return Ok(*cached);
+        }
+        self.calls += 1;
+        let population = self.dataset.population(context)?;
+        let covers_outlier = population.contains(self.outlier_id);
+        let utility = self.utility.score(self.dataset, context, &population);
+        let population_size = population.count();
+
+        let matching = if covers_outlier {
+            // Build the metric slice of the population and locate V within it.
+            let mut metrics = Vec::with_capacity(population_size);
+            let mut target_index = 0usize;
+            for (pos, id) in population.iter_ones().enumerate() {
+                if id == self.outlier_id {
+                    target_index = pos;
+                }
+                metrics.push(self.dataset.metric(id));
+            }
+            self.detector.is_outlier(&metrics, target_index)
+        } else {
+            false
+        };
+
+        let evaluation = Evaluation { matching, utility, population_size };
+        self.cache.insert(context.clone(), evaluation);
+        Ok(evaluation)
+    }
+
+    /// Whether `context` is a matching context for `V` (`f_M(D_C, V) = true`
+    /// and `V ∈ D_C`).
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn is_matching(&mut self, context: &Context) -> Result<bool> {
+        Ok(self.evaluate(context)?.matching)
+    }
+
+    /// The Exponential-mechanism score of `context` (utility if matching,
+    /// `-∞` otherwise).
+    ///
+    /// # Errors
+    /// Propagates evaluation errors.
+    pub fn mechanism_score(&mut self, context: &Context) -> Result<f64> {
+        Ok(self.evaluate(context)?.mechanism_score())
+    }
+}
+
+impl std::fmt::Debug for Verifier<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Verifier")
+            .field("outlier_id", &self.outlier_id)
+            .field("detector", &self.detector.name())
+            .field("utility", &self.utility.name())
+            .field("calls", &self.calls)
+            .field("cached_contexts", &self.cache.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcor_data::{Attribute, Record, Schema};
+    use pcor_dp::PopulationSizeUtility;
+    use pcor_outlier::ZScoreDetector;
+
+    /// Ten records over a 2x2 schema; record 9 has an extreme metric within
+    /// the (a0, b0) subgroup but is unremarkable against a broad population.
+    fn toy() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1"]),
+                Attribute::from_values("B", &["b0", "b1"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        let mut records: Vec<Record> = (0..9)
+            .map(|i| {
+                let a = (i % 2) as u16;
+                let b = ((i / 2) % 2) as u16;
+                Record::new(vec![a, b], 100.0 + i as f64)
+            })
+            .collect();
+        records.push(Record::new(vec![0, 0], 500.0));
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn evaluation_distinguishes_matching_and_non_matching() {
+        let dataset = toy();
+        // Note: with a population of 4 the largest attainable z-score is
+        // (n-1)/sqrt(n) = 1.5, so use a slightly lower threshold.
+        let detector = ZScoreDetector::new(1.4);
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 9);
+
+        // The record's own subgroup (a0 AND b0) contains records 0, 4, 8, 9 —
+        // the 500.0 value stands out.
+        let own = dataset.minimal_context(9).unwrap();
+        let eval = verifier.evaluate(&own).unwrap();
+        assert!(eval.matching);
+        assert_eq!(eval.population_size, 4);
+        assert_eq!(eval.utility, 4.0);
+        assert_eq!(eval.mechanism_score(), 4.0);
+
+        // A context not covering the record is never matching.
+        let elsewhere = Context::from_indices(4, [1, 3]); // a1 AND b1
+        let eval = verifier.evaluate(&elsewhere).unwrap();
+        assert!(!eval.matching);
+        assert_eq!(eval.mechanism_score(), f64::NEG_INFINITY);
+        assert!(verifier.mechanism_score(&elsewhere).unwrap().is_infinite());
+        assert!(verifier.is_matching(&own).unwrap());
+    }
+
+    #[test]
+    fn cache_avoids_recomputation() {
+        let dataset = toy();
+        // Note: with a population of 4 the largest attainable z-score is
+        // (n-1)/sqrt(n) = 1.5, so use a slightly lower threshold.
+        let detector = ZScoreDetector::new(1.4);
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 9);
+        let c = dataset.minimal_context(9).unwrap();
+        for _ in 0..10 {
+            verifier.evaluate(&c).unwrap();
+        }
+        assert_eq!(verifier.calls(), 1);
+        assert_eq!(verifier.distinct_contexts(), 1);
+        let other = Context::full(4);
+        verifier.evaluate(&other).unwrap();
+        assert_eq!(verifier.calls(), 2);
+        assert_eq!(verifier.distinct_contexts(), 2);
+    }
+
+    #[test]
+    fn accessors_and_debug() {
+        let dataset = toy();
+        let detector = ZScoreDetector::default();
+        let utility = PopulationSizeUtility;
+        let verifier = Verifier::new(&dataset, &detector, &utility, 3);
+        assert_eq!(verifier.outlier_id(), 3);
+        assert_eq!(verifier.dataset().len(), 10);
+        assert_eq!(verifier.utility().name(), "PopulationSize");
+        let dbg = format!("{verifier:?}");
+        assert!(dbg.contains("ZScore"));
+        assert!(dbg.contains("outlier_id"));
+    }
+
+    #[test]
+    fn minimal_context_covers_the_record() {
+        let dataset = toy();
+        let detector = ZScoreDetector::default();
+        let utility = PopulationSizeUtility;
+        let verifier = Verifier::new(&dataset, &detector, &utility, 9);
+        let c = verifier.minimal_context().unwrap();
+        assert!(dataset.covers(&c, 9).unwrap());
+    }
+
+    #[test]
+    fn wrong_length_context_is_an_error() {
+        let dataset = toy();
+        let detector = ZScoreDetector::default();
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
+        assert!(verifier.evaluate(&Context::empty(7)).is_err());
+    }
+}

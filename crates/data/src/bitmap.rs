@@ -1,0 +1,235 @@
+//! Record bitmaps: fixed-size bitsets over record identifiers.
+//!
+//! The dataset keeps one bitmap per attribute value (`record id -> bit`).
+//! Evaluating a context's population is then an OR over the selected values of
+//! each attribute followed by an AND across attributes — a handful of word-wise
+//! passes over `n/64` words instead of a per-record scan. This is the data
+//! structure that makes the reference-file enumeration (Section 6.2 of the
+//! paper) and the sampling algorithms affordable.
+
+use serde::{Deserialize, Serialize};
+
+/// A bitset over record identifiers `0..len`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecordBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl RecordBitmap {
+    /// Creates an empty bitmap for `len` records.
+    pub fn new(len: usize) -> Self {
+        RecordBitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates a bitmap with every record set.
+    pub fn all(len: usize) -> Self {
+        let mut b = RecordBitmap::new(len);
+        for word in &mut b.words {
+            *word = u64::MAX;
+        }
+        b.mask_tail();
+        b
+    }
+
+    /// Number of addressable records.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap addresses zero records.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets the bit for `record`.
+    ///
+    /// # Panics
+    /// Panics if `record >= len`.
+    pub fn insert(&mut self, record: usize) {
+        assert!(record < self.len, "record {record} out of range {}", self.len);
+        self.words[record / 64] |= 1 << (record % 64);
+    }
+
+    /// Clears the bit for `record`.
+    ///
+    /// # Panics
+    /// Panics if `record >= len`.
+    pub fn remove(&mut self, record: usize) {
+        assert!(record < self.len, "record {record} out of range {}", self.len);
+        self.words[record / 64] &= !(1 << (record % 64));
+    }
+
+    /// Whether the bit for `record` is set.
+    ///
+    /// # Panics
+    /// Panics if `record >= len`.
+    pub fn contains(&self, record: usize) -> bool {
+        assert!(record < self.len, "record {record} out of range {}", self.len);
+        (self.words[record / 64] >> (record % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place union with `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn union_with(&mut self, other: &RecordBitmap) {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
+    /// In-place intersection with `other`.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersect_with(&mut self, other: &RecordBitmap) {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Size of the intersection with `other`, without allocating.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn intersection_count(&self, other: &RecordBitmap) -> usize {
+        assert_eq!(self.len, other.len, "bitmap lengths must match");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Clears all bits.
+    pub fn clear(&mut self) {
+        for w in &mut self.words {
+            *w = 0;
+        }
+    }
+
+    /// Iterator over the set record identifiers in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(move |(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+
+    /// Collects the set record identifiers into a vector.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter_ones().collect()
+    }
+
+    /// Clears any bits above `len` (kept as an invariant after whole-word
+    /// operations such as [`RecordBitmap::all`]).
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut b = RecordBitmap::new(100);
+        assert_eq!(b.count(), 0);
+        b.insert(0);
+        b.insert(63);
+        b.insert(64);
+        b.insert(99);
+        assert!(b.contains(0) && b.contains(63) && b.contains(64) && b.contains(99));
+        assert!(!b.contains(50));
+        assert_eq!(b.count(), 4);
+        b.remove(63);
+        assert!(!b.contains(63));
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.to_vec(), vec![0, 64, 99]);
+    }
+
+    #[test]
+    fn all_respects_length() {
+        let b = RecordBitmap::all(70);
+        assert_eq!(b.count(), 70);
+        assert_eq!(b.len(), 70);
+        assert!(!b.is_empty());
+        let empty = RecordBitmap::new(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = RecordBitmap::new(128);
+        let mut b = RecordBitmap::new(128);
+        for i in (0..128).step_by(2) {
+            a.insert(i);
+        }
+        for i in (0..128).step_by(3) {
+            b.insert(i);
+        }
+        assert_eq!(a.intersection_count(&b), (0..128).step_by(6).count());
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.count(), 64 + 43 - 22);
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.count(), 22);
+        assert_eq!(i.to_vec(), (0..128).step_by(6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "lengths must match")]
+    fn mismatched_lengths_panic() {
+        let mut a = RecordBitmap::new(10);
+        let b = RecordBitmap::new(20);
+        a.union_with(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        RecordBitmap::new(10).insert(10);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut b = RecordBitmap::all(33);
+        b.clear();
+        assert_eq!(b.count(), 0);
+        assert!(b.to_vec().is_empty());
+    }
+
+    #[test]
+    fn iter_ones_is_sorted_and_complete() {
+        let mut b = RecordBitmap::new(200);
+        let expected: Vec<usize> = vec![3, 64, 65, 127, 128, 199];
+        for &i in &expected {
+            b.insert(i);
+        }
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), expected);
+    }
+}

@@ -1,0 +1,418 @@
+//! Contexts: bit vectors over attribute values.
+//!
+//! A context `C` is a binary vector `⟨c_11, …, c_1|A_1|, …, c_m1, …, c_m|A_m|⟩`
+//! of length `t = Σ|A_i|`. Bit `c_ij` is set when predicate `P_ij` (attribute
+//! `A_i` takes its `j`-th domain value) is part of the context. A context
+//! filters a dataset to the population `D_C`: a record belongs to `D_C` iff,
+//! for **every** attribute, the bit of the record's value is set.
+//!
+//! Two contexts are *connected* (adjacent in the context graph) when their
+//! Hamming distance is 1, i.e. one is obtained from the other by adding or
+//! removing a single predicate.
+
+use crate::schema::Schema;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A context: a fixed-length bit vector over the schema's attribute values.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Context {
+    /// Bit storage, least-significant bit of `words[0]` is bit 0.
+    words: Vec<u64>,
+    /// Number of valid bits (`t`).
+    len: usize,
+}
+
+impl Context {
+    /// Creates an all-zero context of length `len`.
+    pub fn empty(len: usize) -> Self {
+        Context { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Creates an all-one context of length `len` (every predicate selected).
+    pub fn full(len: usize) -> Self {
+        let mut c = Context::empty(len);
+        for i in 0..len {
+            c.set(i, true);
+        }
+        c
+    }
+
+    /// Creates a context from an iterator of set bit indices.
+    ///
+    /// # Panics
+    /// Panics if any index is `>= len`.
+    pub fn from_indices(len: usize, indices: impl IntoIterator<Item = usize>) -> Self {
+        let mut c = Context::empty(len);
+        for i in indices {
+            c.set(i, true);
+        }
+        c
+    }
+
+    /// Parses a context from a string of `0`/`1` characters, e.g. the paper's
+    /// `"101001010"`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::Malformed`] for characters other than `0`/`1`.
+    pub fn from_bit_string(s: &str) -> Result<Self> {
+        let mut c = Context::empty(s.len());
+        for (i, ch) in s.chars().enumerate() {
+            match ch {
+                '1' => c.set(i, true),
+                '0' => {}
+                other => {
+                    return Err(DataError::Malformed(format!(
+                        "invalid character '{other}' in context bit string"
+                    )))
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    /// The *minimal context* of a record: exactly the record's own attribute
+    /// values are selected. This is the natural starting context `C_V` for the
+    /// outlier record `V` and always covers `V`.
+    pub fn for_record(schema: &Schema, values: &[u16]) -> Result<Self> {
+        if values.len() != schema.num_attributes() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.num_attributes(),
+                actual: values.len(),
+            });
+        }
+        let mut c = Context::empty(schema.total_values());
+        for (attr, &val) in values.iter().enumerate() {
+            let bit = schema.bit_index(attr, val as usize)?;
+            c.set(bit, true);
+        }
+        Ok(c)
+    }
+
+    /// Number of bits (`t`).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the context has zero bits (degenerate empty schema).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        if value {
+            self.words[i / 64] |= 1 << (i % 64);
+        } else {
+            self.words[i / 64] &= !(1 << (i % 64));
+        }
+    }
+
+    /// Flips bit `i` and returns the new value.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    pub fn flip(&mut self, i: usize) -> bool {
+        let new = !self.get(i);
+        self.set(i, new);
+        new
+    }
+
+    /// Returns a copy of this context with bit `i` flipped — the `i`-th
+    /// neighbor in the context graph.
+    pub fn with_flipped(&self, i: usize) -> Self {
+        let mut c = self.clone();
+        c.flip(i);
+        c
+    }
+
+    /// Number of set bits (the context's Hamming weight).
+    pub fn hamming_weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Hamming distance to another context of the same length.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ.
+    pub fn hamming_distance(&self, other: &Context) -> usize {
+        assert_eq!(self.len, other.len, "contexts must have equal length");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether two contexts are connected (adjacent in the context graph),
+    /// i.e. differ in exactly one predicate.
+    pub fn is_connected_to(&self, other: &Context) -> bool {
+        self.hamming_distance(other) == 1
+    }
+
+    /// Indices of all set bits.
+    pub fn ones(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.hamming_weight());
+        for i in 0..self.len {
+            if self.get(i) {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Whether the context is *well-formed* for `schema`: it selects at least
+    /// one value in **every** attribute block. (The paper: any non-empty
+    /// context has Hamming weight at least `m`, with at least one predicate
+    /// per attribute.) Ill-formed contexts always have an empty population.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ContextLengthMismatch`] if the length does not
+    /// match the schema.
+    pub fn is_well_formed(&self, schema: &Schema) -> Result<bool> {
+        self.check_len(schema)?;
+        for attr in 0..schema.num_attributes() {
+            let block = schema.block(attr);
+            if !block.clone().any(|bit| self.get(bit)) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Whether a record with categorical value indices `values` is covered by
+    /// (selected into) this context.
+    ///
+    /// # Errors
+    /// Returns an error if the context length or the record arity does not
+    /// match the schema.
+    pub fn covers(&self, schema: &Schema, values: &[u16]) -> Result<bool> {
+        self.check_len(schema)?;
+        if values.len() != schema.num_attributes() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.num_attributes(),
+                actual: values.len(),
+            });
+        }
+        for (attr, &val) in values.iter().enumerate() {
+            let bit = schema.bit_index(attr, val as usize)?;
+            if !self.get(bit) {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The set-bit count per attribute block (how many values of each
+    /// attribute the context selects).
+    pub fn selected_per_attribute(&self, schema: &Schema) -> Result<Vec<usize>> {
+        self.check_len(schema)?;
+        Ok((0..schema.num_attributes())
+            .map(|attr| schema.block(attr).filter(|&bit| self.get(bit)).count())
+            .collect())
+    }
+
+    /// Renders the context as a SQL-like conjunction of disjunctions using the
+    /// schema's attribute and value names, e.g.
+    /// `JobTitle IN {CEO, Lawyer} AND City IN {Toronto}`.
+    pub fn to_predicate_string(&self, schema: &Schema) -> String {
+        let mut clauses = Vec::new();
+        for attr in 0..schema.num_attributes() {
+            let attribute = schema.attribute(attr);
+            let selected: Vec<&str> = schema
+                .block(attr)
+                .filter(|&bit| self.get(bit))
+                .map(|bit| {
+                    let (_, v) = schema.bit_to_attr_value(bit);
+                    attribute.value(v).unwrap_or("?")
+                })
+                .collect();
+            if selected.is_empty() {
+                clauses.push(format!("{} IN {{}}", attribute.name()));
+            } else if selected.len() == attribute.domain_size() {
+                clauses.push(format!("{} IN *", attribute.name()));
+            } else {
+                clauses.push(format!("{} IN {{{}}}", attribute.name(), selected.join(", ")));
+            }
+        }
+        clauses.join(" AND ")
+    }
+
+    /// Renders the raw bit string, e.g. `101001010`.
+    pub fn to_bit_string(&self) -> String {
+        (0..self.len).map(|i| if self.get(i) { '1' } else { '0' }).collect()
+    }
+
+    /// Internal: validates that this context matches the schema's `t`.
+    fn check_len(&self, schema: &Schema) -> Result<()> {
+        if self.len != schema.total_values() {
+            return Err(DataError::ContextLengthMismatch {
+                expected: schema.total_values(),
+                actual: self.len,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Context {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_bit_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::from_values("JobTitle", &["CEO", "MedicalDoctor", "Lawyer"]),
+                Attribute::from_values("City", &["Montreal", "Ottawa", "Toronto"]),
+                Attribute::from_values("District", &["Business", "Historic", "Diplomatic"]),
+            ],
+            "Salary",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_running_example_bits() {
+        // C = <101001010>: CEOs and Lawyers in Toronto's Historic district.
+        let schema = toy_schema();
+        let c = Context::from_bit_string("101001010").unwrap();
+        assert_eq!(c.len(), 9);
+        assert_eq!(c.hamming_weight(), 4);
+        assert!(c.is_well_formed(&schema).unwrap());
+        assert_eq!(c.ones(), vec![0, 2, 5, 7]);
+        assert_eq!(c.to_bit_string(), "101001010");
+        assert_eq!(c.to_string(), "101001010");
+        let pred = c.to_predicate_string(&schema);
+        assert_eq!(
+            pred,
+            "JobTitle IN {CEO, Lawyer} AND City IN {Toronto} AND District IN {Historic}"
+        );
+    }
+
+    #[test]
+    fn paper_connected_context_example() {
+        // C' = <100001010> (drop Lawyer) is connected to C = <101001010>.
+        let c = Context::from_bit_string("101001010").unwrap();
+        let c2 = Context::from_bit_string("100001010").unwrap();
+        assert_eq!(c.hamming_distance(&c2), 1);
+        assert!(c.is_connected_to(&c2));
+        assert!(!c.is_connected_to(&c));
+        assert_eq!(c.with_flipped(2), c2);
+    }
+
+    #[test]
+    fn set_get_flip_round_trip() {
+        let mut c = Context::empty(130); // spans three words
+        assert_eq!(c.hamming_weight(), 0);
+        c.set(0, true);
+        c.set(64, true);
+        c.set(129, true);
+        assert!(c.get(0) && c.get(64) && c.get(129));
+        assert!(!c.get(1));
+        assert_eq!(c.hamming_weight(), 3);
+        assert!(!c.flip(0));
+        assert_eq!(c.hamming_weight(), 2);
+        assert!(c.flip(1));
+        assert_eq!(c.ones(), vec![1, 64, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Context::empty(8).get(8);
+    }
+
+    #[test]
+    fn full_and_empty_well_formedness() {
+        let schema = toy_schema();
+        let full = Context::full(schema.total_values());
+        let empty = Context::empty(schema.total_values());
+        assert!(full.is_well_formed(&schema).unwrap());
+        assert!(!empty.is_well_formed(&schema).unwrap());
+        // Missing an entire attribute block -> not well formed.
+        let c = Context::from_bit_string("111111000").unwrap();
+        assert!(!c.is_well_formed(&schema).unwrap());
+        // Wrong length -> error.
+        let short = Context::empty(5);
+        assert!(short.is_well_formed(&schema).is_err());
+    }
+
+    #[test]
+    fn covers_checks_every_attribute() {
+        let schema = toy_schema();
+        // Record 8 of the paper's Table 1: Lawyer, Ottawa, Diplomatic -> values [2, 1, 2].
+        let record = [2u16, 1, 2];
+        let c_match = Context::from_indices(9, [0, 2, 4, 8]); // {CEO, Lawyer} x {Ottawa} x {Diplomatic}
+        let c_miss = Context::from_indices(9, [0, 2, 5, 8]); // Toronto instead of Ottawa
+        assert!(c_match.covers(&schema, &record).unwrap());
+        assert!(!c_miss.covers(&schema, &record).unwrap());
+        assert!(c_match.covers(&schema, &[2u16, 1]).is_err());
+    }
+
+    #[test]
+    fn minimal_context_for_record_covers_it() {
+        let schema = toy_schema();
+        let record = [2u16, 1, 2];
+        let c = Context::for_record(&schema, &record).unwrap();
+        assert_eq!(c.hamming_weight(), schema.num_attributes());
+        assert!(c.covers(&schema, &record).unwrap());
+        assert!(c.is_well_formed(&schema).unwrap());
+        assert!(Context::for_record(&schema, &[1u16]).is_err());
+    }
+
+    #[test]
+    fn selected_per_attribute_counts() {
+        let schema = toy_schema();
+        let c = Context::from_bit_string("101001010").unwrap();
+        assert_eq!(c.selected_per_attribute(&schema).unwrap(), vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn from_bit_string_rejects_junk() {
+        assert!(Context::from_bit_string("10x").is_err());
+        assert_eq!(Context::from_bit_string("").unwrap().len(), 0);
+        assert!(Context::from_bit_string("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn predicate_string_star_for_full_attribute() {
+        let schema = toy_schema();
+        let c = Context::from_bit_string("111001010").unwrap();
+        let s = c.to_predicate_string(&schema);
+        assert!(s.starts_with("JobTitle IN *"));
+    }
+
+    #[test]
+    fn contexts_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let a = Context::from_bit_string("001").unwrap();
+        let b = Context::from_bit_string("100").unwrap();
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        set.insert(b.clone());
+        set.insert(a.clone());
+        assert_eq!(set.len(), 2);
+        assert!(a != b);
+    }
+}

@@ -1,0 +1,130 @@
+//! Records: one row of a PCOR dataset.
+
+use crate::schema::Schema;
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A single record: the categorical value index for every attribute plus the
+/// numeric metric value.
+///
+/// Categorical values are stored as `u16` indices into the attribute's domain
+/// (the paper's datasets have domains of size 4–9, so `u16` is generous while
+/// keeping records compact for the 50k–110k row workloads).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    values: Vec<u16>,
+    metric: f64,
+}
+
+impl Record {
+    /// Creates a record from categorical value indices and a metric value.
+    pub fn new(values: Vec<u16>, metric: f64) -> Self {
+        Record { values, metric }
+    }
+
+    /// The categorical value indices, one per attribute.
+    pub fn values(&self) -> &[u16] {
+        &self.values
+    }
+
+    /// The value index of attribute `attr`.
+    pub fn value(&self, attr: usize) -> u16 {
+        self.values[attr]
+    }
+
+    /// The metric value (the attribute `M` outliers are defined against).
+    pub fn metric(&self) -> f64 {
+        self.metric
+    }
+
+    /// Replaces the metric value, returning the modified record.
+    pub fn with_metric(mut self, metric: f64) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Validates the record against a schema: arity and domain bounds.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ArityMismatch`] or [`DataError::ValueOutOfDomain`].
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        if self.values.len() != schema.num_attributes() {
+            return Err(DataError::ArityMismatch {
+                expected: schema.num_attributes(),
+                actual: self.values.len(),
+            });
+        }
+        for (attr, &val) in self.values.iter().enumerate() {
+            let domain = schema.attribute(attr).domain_size();
+            if (val as usize) >= domain {
+                return Err(DataError::ValueOutOfDomain {
+                    attribute: attr,
+                    value: val as usize,
+                    domain_size: domain,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the record with attribute/value names from the schema, e.g.
+    /// `Lawyer, Ottawa, Diplomatic | Salary = 185000`.
+    pub fn describe(&self, schema: &Schema) -> String {
+        let names: Vec<&str> = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(attr, &val)| schema.attribute(attr).value(val as usize).unwrap_or("?"))
+            .collect();
+        format!("{} | {} = {}", names.join(", "), schema.metric_name(), self.metric)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::from_values("JobTitle", &["CEO", "MedicalDoctor", "Lawyer"]),
+                Attribute::from_values("City", &["Montreal", "Ottawa", "Toronto"]),
+            ],
+            "Salary",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accessors_and_with_metric() {
+        let r = Record::new(vec![2, 1], 185_000.0);
+        assert_eq!(r.values(), &[2, 1]);
+        assert_eq!(r.value(0), 2);
+        assert_eq!(r.metric(), 185_000.0);
+        let r2 = r.clone().with_metric(10.0);
+        assert_eq!(r2.metric(), 10.0);
+        assert_eq!(r2.values(), r.values());
+    }
+
+    #[test]
+    fn validation_catches_arity_and_domain() {
+        let schema = toy_schema();
+        assert!(Record::new(vec![2, 1], 1.0).validate(&schema).is_ok());
+        assert!(matches!(
+            Record::new(vec![2], 1.0).validate(&schema),
+            Err(DataError::ArityMismatch { expected: 2, actual: 1 })
+        ));
+        assert!(matches!(
+            Record::new(vec![3, 1], 1.0).validate(&schema),
+            Err(DataError::ValueOutOfDomain { attribute: 0, value: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn describe_uses_names() {
+        let schema = toy_schema();
+        let r = Record::new(vec![2, 1], 185_000.0);
+        assert_eq!(r.describe(&schema), "Lawyer, Ottawa | Salary = 185000");
+    }
+}

@@ -1,0 +1,278 @@
+//! Relational schemas with categorical attributes and a numeric metric.
+//!
+//! The schema fixes the *bit layout* of contexts: attribute `i`'s domain
+//! occupies the contiguous block `[offset(i), offset(i) + |A_i|)` of the
+//! context bit vector, and `t = Σ|A_i|` is the total number of attribute
+//! values — the length of every context and the degree of every vertex in the
+//! context graph.
+
+use crate::{DataError, Result};
+use serde::{Deserialize, Serialize};
+
+/// A categorical attribute: a name plus its full domain of values.
+///
+/// The PCOR paper stresses (Section 4) that contexts must be defined over the
+/// *entire domain* of each attribute — not only the values that happen to be
+/// present in the dataset — otherwise the released context itself leaks which
+/// values occur. The domain is therefore part of the schema, not derived from
+/// the data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Attribute {
+    name: String,
+    values: Vec<String>,
+}
+
+impl Attribute {
+    /// Creates an attribute from a name and its domain values.
+    ///
+    /// # Errors
+    /// Returns [`DataError::EmptySchema`] when the domain is empty.
+    pub fn new(name: impl Into<String>, values: Vec<String>) -> Result<Self> {
+        if values.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        Ok(Attribute { name: name.into(), values })
+    }
+
+    /// Convenience constructor from string slices.
+    ///
+    /// # Panics
+    /// Panics if the domain is empty; use [`Attribute::new`] for fallible
+    /// construction.
+    pub fn from_values(name: &str, values: &[&str]) -> Self {
+        Attribute::new(name, values.iter().map(|s| s.to_string()).collect())
+            .expect("attribute domain must be non-empty")
+    }
+
+    /// Attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of values in the attribute's domain, `|A_i|`.
+    pub fn domain_size(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All domain values in order.
+    pub fn values(&self) -> &[String] {
+        &self.values
+    }
+
+    /// The value at `index` within the domain.
+    pub fn value(&self, index: usize) -> Option<&str> {
+        self.values.get(index).map(|s| s.as_str())
+    }
+
+    /// Index of `value` within the domain, if present.
+    pub fn value_index(&self, value: &str) -> Option<usize> {
+        self.values.iter().position(|v| v == value)
+    }
+}
+
+/// A relational schema: `m` categorical attributes plus one numeric metric
+/// attribute `M`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+    metric_name: String,
+    /// `offsets[i]` is the bit index where attribute `i`'s block starts.
+    offsets: Vec<usize>,
+    /// `t = Σ|A_i|`.
+    total_values: usize,
+}
+
+impl Schema {
+    /// Creates a schema from categorical attributes and the metric name.
+    ///
+    /// # Errors
+    /// Returns [`DataError::EmptySchema`] when there are no attributes.
+    pub fn new(attributes: Vec<Attribute>, metric_name: impl Into<String>) -> Result<Self> {
+        if attributes.is_empty() {
+            return Err(DataError::EmptySchema);
+        }
+        let mut offsets = Vec::with_capacity(attributes.len());
+        let mut total = 0;
+        for attr in &attributes {
+            offsets.push(total);
+            total += attr.domain_size();
+        }
+        Ok(Schema {
+            attributes,
+            metric_name: metric_name.into(),
+            offsets,
+            total_values: total,
+        })
+    }
+
+    /// Number of categorical attributes, `m`.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Total number of attribute values, `t = Σ|A_i|` — the context length.
+    pub fn total_values(&self) -> usize {
+        self.total_values
+    }
+
+    /// The categorical attributes.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute at index `i`.
+    pub fn attribute(&self, i: usize) -> &Attribute {
+        &self.attributes[i]
+    }
+
+    /// Name of the numeric metric attribute `M`.
+    pub fn metric_name(&self) -> &str {
+        &self.metric_name
+    }
+
+    /// Bit offset of attribute `i`'s block within a context.
+    pub fn offset(&self, i: usize) -> usize {
+        self.offsets[i]
+    }
+
+    /// The bit range occupied by attribute `i`'s block.
+    pub fn block(&self, i: usize) -> std::ops::Range<usize> {
+        let start = self.offsets[i];
+        start..start + self.attributes[i].domain_size()
+    }
+
+    /// The context bit index of value `value_idx` of attribute `attr_idx`.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ValueOutOfDomain`] when the value index is outside
+    /// the attribute's domain.
+    pub fn bit_index(&self, attr_idx: usize, value_idx: usize) -> Result<usize> {
+        let domain = self.attributes[attr_idx].domain_size();
+        if value_idx >= domain {
+            return Err(DataError::ValueOutOfDomain {
+                attribute: attr_idx,
+                value: value_idx,
+                domain_size: domain,
+            });
+        }
+        Ok(self.offsets[attr_idx] + value_idx)
+    }
+
+    /// Maps a context bit index back to `(attribute index, value index)`.
+    ///
+    /// # Panics
+    /// Panics if `bit >= t`.
+    pub fn bit_to_attr_value(&self, bit: usize) -> (usize, usize) {
+        assert!(bit < self.total_values, "bit {bit} out of range (t = {})", self.total_values);
+        // Linear scan: m is tiny (3–4 in the paper's datasets).
+        for (i, &off) in self.offsets.iter().enumerate() {
+            let size = self.attributes[i].domain_size();
+            if bit < off + size {
+                return (i, bit - off);
+            }
+        }
+        unreachable!("bit index within total_values must fall inside some block")
+    }
+
+    /// Looks up an attribute by name.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name() == name)
+    }
+
+    /// A compact human-readable description, e.g. `JobTitle(9) x Employer(8) x Year(8) | metric Salary`.
+    pub fn describe(&self) -> String {
+        let attrs: Vec<String> = self
+            .attributes
+            .iter()
+            .map(|a| format!("{}({})", a.name(), a.domain_size()))
+            .collect();
+        format!("{} | metric {}", attrs.join(" x "), self.metric_name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_schema() -> Schema {
+        Schema::new(
+            vec![
+                Attribute::from_values("JobTitle", &["CEO", "MedicalDoctor", "Lawyer"]),
+                Attribute::from_values("City", &["Montreal", "Ottawa", "Toronto"]),
+                Attribute::from_values("District", &["Business", "Historic", "Diplomatic"]),
+            ],
+            "Salary",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn offsets_and_total_values() {
+        let s = toy_schema();
+        assert_eq!(s.num_attributes(), 3);
+        assert_eq!(s.total_values(), 9);
+        assert_eq!(s.offset(0), 0);
+        assert_eq!(s.offset(1), 3);
+        assert_eq!(s.offset(2), 6);
+        assert_eq!(s.block(1), 3..6);
+        assert_eq!(s.metric_name(), "Salary");
+    }
+
+    #[test]
+    fn bit_index_round_trips() {
+        let s = toy_schema();
+        for attr in 0..s.num_attributes() {
+            for val in 0..s.attribute(attr).domain_size() {
+                let bit = s.bit_index(attr, val).unwrap();
+                assert_eq!(s.bit_to_attr_value(bit), (attr, val));
+            }
+        }
+        assert!(s.bit_index(0, 3).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_to_attr_value_panics_out_of_range() {
+        toy_schema().bit_to_attr_value(9);
+    }
+
+    #[test]
+    fn attribute_value_lookups() {
+        let s = toy_schema();
+        let a = s.attribute(0);
+        assert_eq!(a.name(), "JobTitle");
+        assert_eq!(a.domain_size(), 3);
+        assert_eq!(a.value_index("Lawyer"), Some(2));
+        assert_eq!(a.value_index("Janitor"), None);
+        assert_eq!(a.value(1), Some("MedicalDoctor"));
+        assert_eq!(a.value(7), None);
+        assert_eq!(s.attribute_index("City"), Some(1));
+        assert_eq!(s.attribute_index("Nope"), None);
+    }
+
+    #[test]
+    fn empty_schemas_are_rejected() {
+        assert_eq!(Schema::new(vec![], "M").unwrap_err(), DataError::EmptySchema);
+        assert_eq!(Attribute::new("A", vec![]).unwrap_err(), DataError::EmptySchema);
+    }
+
+    #[test]
+    fn describe_is_human_readable() {
+        let s = toy_schema();
+        assert_eq!(
+            s.describe(),
+            "JobTitle(3) x City(3) x District(3) | metric Salary"
+        );
+    }
+
+    #[test]
+    fn running_example_matches_paper_layout() {
+        // The paper's running example: context <101001010> selects
+        // JobTitle in {CEO, Lawyer}, City = Toronto, District = Historic.
+        let s = toy_schema();
+        assert_eq!(s.bit_index(0, 0).unwrap(), 0); // CEO
+        assert_eq!(s.bit_index(0, 2).unwrap(), 2); // Lawyer
+        assert_eq!(s.bit_index(1, 2).unwrap(), 5); // Toronto
+        assert_eq!(s.bit_index(2, 1).unwrap(), 7); // Historic
+    }
+}

@@ -1,0 +1,218 @@
+//! Property-based tests of the context algebra and population evaluation.
+
+use pcor_data::generator::{salary_dataset, SalaryConfig};
+use pcor_data::{Attribute, Context, Dataset, Record, Schema};
+use proptest::prelude::*;
+
+/// Strategy: a small random schema (2–4 attributes, domains of 2–5 values).
+fn schema_strategy() -> impl Strategy<Value = Schema> {
+    proptest::collection::vec(2usize..=5, 2..=4).prop_map(|domains| {
+        let attributes = domains
+            .iter()
+            .enumerate()
+            .map(|(i, &size)| {
+                Attribute::new(
+                    format!("A{i}"),
+                    (0..size).map(|v| format!("v{v}")).collect(),
+                )
+                .unwrap()
+            })
+            .collect();
+        Schema::new(attributes, "M").unwrap()
+    })
+}
+
+/// Strategy: a dataset over a random schema with 20–120 records.
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (schema_strategy(), 20usize..120, any::<u64>()).prop_map(|(schema, n, seed)| {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as usize
+        };
+        let records: Vec<Record> = (0..n)
+            .map(|_| {
+                let values: Vec<u16> = (0..schema.num_attributes())
+                    .map(|attr| (next() % schema.attribute(attr).domain_size()) as u16)
+                    .collect();
+                Record::new(values, 100.0 + (next() % 1000) as f64)
+            })
+            .collect();
+        Dataset::new(schema, records).unwrap()
+    })
+}
+
+/// Strategy: a random context for a given bit length.
+fn context_strategy(t: usize) -> impl Strategy<Value = Context> {
+    proptest::collection::vec(any::<bool>(), t).prop_map(move |bits| {
+        let mut c = Context::empty(t);
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                c.set(i, true);
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping a bit twice restores the original context, and every neighbor
+    /// is at Hamming distance exactly one.
+    #[test]
+    fn flip_is_an_involution(t in 1usize..80, bit_fraction in 0.0f64..1.0, flip_bit_raw in any::<usize>()) {
+        let mut context = Context::empty(t);
+        for i in 0..t {
+            if (i as f64 / t as f64) < bit_fraction {
+                context.set(i, true);
+            }
+        }
+        let flip_bit = flip_bit_raw % t;
+        let neighbor = context.with_flipped(flip_bit);
+        prop_assert_eq!(context.hamming_distance(&neighbor), 1);
+        prop_assert!(context.is_connected_to(&neighbor));
+        let back = neighbor.with_flipped(flip_bit);
+        prop_assert_eq!(back, context);
+    }
+
+    /// Bit-string round trip is the identity.
+    #[test]
+    fn bit_string_round_trip(t in 0usize..100, seed in any::<u64>()) {
+        let mut context = Context::empty(t);
+        let mut state = seed;
+        for i in 0..t {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if (state >> 40) & 1 == 1 {
+                context.set(i, true);
+            }
+        }
+        let parsed = Context::from_bit_string(&context.to_bit_string()).unwrap();
+        prop_assert_eq!(parsed, context);
+    }
+
+    /// The bitmap-index population matches a naive per-record scan, for any
+    /// dataset and any context.
+    #[test]
+    fn population_matches_naive_scan(dataset in dataset_strategy(), seed in any::<u64>()) {
+        let t = dataset.schema().total_values();
+        let mut context = Context::empty(t);
+        let mut state = seed;
+        for i in 0..t {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(99);
+            if (state >> 41) & 1 == 1 {
+                context.set(i, true);
+            }
+        }
+        let fast: Vec<usize> = dataset.population_ids(&context).unwrap();
+        let naive: Vec<usize> = (0..dataset.len())
+            .filter(|&id| context.covers(dataset.schema(), dataset.record(id).values()).unwrap())
+            .collect();
+        prop_assert_eq!(fast, naive);
+    }
+
+    /// Adding a predicate never shrinks the population (monotonicity), and
+    /// removing one never grows it.
+    #[test]
+    fn population_is_monotone_in_predicates(dataset in dataset_strategy(), seed in any::<u64>()) {
+        let t = dataset.schema().total_values();
+        let context = {
+            let mut c = Context::full(t);
+            let mut state = seed;
+            for i in 0..t {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(7);
+                if (state >> 42) & 1 == 1 {
+                    c.set(i, false);
+                }
+            }
+            c
+        };
+        let base = dataset.population_size(&context).unwrap();
+        for bit in 0..t {
+            let toggled = context.with_flipped(bit);
+            let size = dataset.population_size(&toggled).unwrap();
+            if context.get(bit) {
+                // Removed a predicate: population can only shrink or stay.
+                prop_assert!(size <= base);
+            } else {
+                // Added a predicate: population can only grow or stay.
+                prop_assert!(size >= base);
+            }
+        }
+    }
+
+    /// Well-formedness is equivalent to "at least one value selected per
+    /// attribute", and ill-formed contexts always have empty populations.
+    #[test]
+    fn well_formedness_characterization(dataset in dataset_strategy(), seed in any::<u64>()) {
+        let schema = dataset.schema();
+        let t = schema.total_values();
+        let mut context = Context::empty(t);
+        let mut state = seed;
+        for i in 0..t {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(3);
+            if (state >> 43) & 1 == 1 {
+                context.set(i, true);
+            }
+        }
+        let per_attr = context.selected_per_attribute(schema).unwrap();
+        let expected = per_attr.iter().all(|&k| k > 0);
+        prop_assert_eq!(context.is_well_formed(schema).unwrap(), expected);
+        if !expected {
+            prop_assert_eq!(dataset.population_size(&context).unwrap(), 0);
+        }
+    }
+
+    /// A record's minimal context covers exactly the records sharing all of
+    /// its categorical values.
+    #[test]
+    fn minimal_context_population_is_exact(dataset in dataset_strategy(), idx_raw in any::<usize>()) {
+        prop_assume!(!dataset.is_empty());
+        let id = idx_raw % dataset.len();
+        let minimal = dataset.minimal_context(id).unwrap();
+        let expected: Vec<usize> = (0..dataset.len())
+            .filter(|&other| dataset.record(other).values() == dataset.record(id).values())
+            .collect();
+        prop_assert_eq!(dataset.population_ids(&minimal).unwrap(), expected);
+    }
+
+    /// Removing records changes any population by at most the number of
+    /// removed records (the sensitivity argument behind Δu = 1 / group
+    /// privacy).
+    #[test]
+    fn neighbor_population_sensitivity(delta in 1usize..10, seed in any::<u64>()) {
+        let dataset = salary_dataset(&SalaryConfig::tiny().with_records(200).with_seed(seed)).unwrap();
+        let t = dataset.schema().total_values();
+        let remove: Vec<usize> = (0..delta).map(|i| i * 7 % dataset.len()).collect();
+        let unique: std::collections::HashSet<usize> = remove.iter().copied().collect();
+        let neighbor = dataset.without_records(&remove).unwrap();
+        let mut state = seed ^ 0xABCD;
+        for _ in 0..10 {
+            let mut context = Context::empty(t);
+            for i in 0..t {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(13);
+                if (state >> 44) & 1 == 1 {
+                    context.set(i, true);
+                }
+            }
+            let before = dataset.population_size(&context).unwrap();
+            let after = neighbor.population_size(&context).unwrap();
+            prop_assert!(before >= after);
+            prop_assert!(before - after <= unique.len());
+        }
+    }
+}
+
+/// Non-proptest sanity check that the strategies themselves are exercised.
+#[test]
+fn strategies_produce_valid_values() {
+    use proptest::strategy::ValueTree;
+    let mut runner = proptest::test_runner::TestRunner::default();
+    let dataset = dataset_strategy().new_tree(&mut runner).unwrap().current();
+    assert!(dataset.len() >= 20);
+    let context = context_strategy(dataset.schema().total_values())
+        .new_tree(&mut runner)
+        .unwrap()
+        .current();
+    assert_eq!(context.len(), dataset.schema().total_values());
+}

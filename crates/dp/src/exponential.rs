@@ -1,0 +1,269 @@
+//! The Exponential mechanism (McSherry & Talwar 2007).
+//!
+//! Given candidates with utility scores `u(D, r)`, the mechanism selects
+//! candidate `r` with probability proportional to `exp(ε·u(D, r) / (2Δu))`.
+//! PCOR's *output constrained* use assigns `-∞` to non-matching contexts so
+//! that they are selected with probability exactly zero, guaranteeing the
+//! released context is always valid.
+//!
+//! The implementation works in log-space with max-subtraction, so very large
+//! scores (population sizes of tens of thousands, multiplied by `ε/(2Δu)`)
+//! never overflow `exp`.
+
+use crate::{DpError, Result};
+use rand::Rng;
+
+/// The Exponential mechanism with a fixed privacy parameter and sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+}
+
+impl ExponentialMechanism {
+    /// Creates an Exponential mechanism with privacy parameter `epsilon`
+    /// (the per-invocation `ε₁` of the paper) and utility sensitivity `Δu`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] / [`DpError::InvalidSensitivity`]
+    /// when either parameter is non-positive or non-finite.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(DpError::InvalidEpsilon(epsilon));
+        }
+        if !sensitivity.is_finite() || sensitivity <= 0.0 {
+            return Err(DpError::InvalidSensitivity(sensitivity));
+        }
+        Ok(ExponentialMechanism { epsilon, sensitivity })
+    }
+
+    /// The per-invocation privacy parameter `ε₁`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The utility sensitivity `Δu`.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The selection probabilities assigned to each candidate score.
+    ///
+    /// Scores of `-∞` map to probability exactly `0`. This is exposed mainly
+    /// for tests and for the empirical privacy-ratio experiment
+    /// (Section 6.7 of the paper), which compares output distributions on
+    /// neighboring datasets.
+    ///
+    /// # Errors
+    /// Returns [`DpError::NoValidCandidates`] when every score is `-∞` or the
+    /// slice is empty.
+    pub fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
+        let max = scores
+            .iter()
+            .copied()
+            .filter(|s| s.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            return Err(DpError::NoValidCandidates);
+        }
+        let scale = self.epsilon / (2.0 * self.sensitivity);
+        let weights: Vec<f64> = scores
+            .iter()
+            .map(|&s| if s.is_finite() { (scale * (s - max)).exp() } else { 0.0 })
+            .collect();
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || !total.is_finite() {
+            return Err(DpError::NoValidCandidates);
+        }
+        Ok(weights.into_iter().map(|w| w / total).collect())
+    }
+
+    /// Selects the index of one candidate according to the mechanism's
+    /// distribution over `scores`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::NoValidCandidates`] when no candidate has a finite
+    /// score.
+    pub fn select<R: Rng + ?Sized>(&self, scores: &[f64], rng: &mut R) -> Result<usize> {
+        let probabilities = self.probabilities(scores)?;
+        let draw: f64 = rng.random::<f64>();
+        let mut acc = 0.0;
+        let mut last_valid = None;
+        for (i, &p) in probabilities.iter().enumerate() {
+            if p > 0.0 {
+                last_valid = Some(i);
+                acc += p;
+                if draw < acc {
+                    return Ok(i);
+                }
+            }
+        }
+        // Floating-point round-off: fall back to the last candidate with
+        // non-zero probability.
+        last_valid.ok_or(DpError::NoValidCandidates)
+    }
+
+    /// Selects one item from `candidates`, scoring each with `score_fn`.
+    /// Returns the index of the chosen candidate.
+    ///
+    /// # Errors
+    /// Same conditions as [`ExponentialMechanism::select`].
+    pub fn select_by<T, R, F>(&self, candidates: &[T], mut score_fn: F, rng: &mut R) -> Result<usize>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&T) -> f64,
+    {
+        let scores: Vec<f64> = candidates.iter().map(&mut score_fn).collect();
+        self.select(&scores, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(ExponentialMechanism::new(0.1, 1.0).is_ok());
+        assert!(matches!(
+            ExponentialMechanism::new(0.0, 1.0),
+            Err(DpError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            ExponentialMechanism::new(-0.5, 1.0),
+            Err(DpError::InvalidEpsilon(_))
+        ));
+        assert!(matches!(
+            ExponentialMechanism::new(0.1, 0.0),
+            Err(DpError::InvalidSensitivity(_))
+        ));
+        assert!(matches!(
+            ExponentialMechanism::new(f64::NAN, 1.0),
+            Err(DpError::InvalidEpsilon(_))
+        ));
+        let m = ExponentialMechanism::new(0.2, 1.0).unwrap();
+        assert_eq!(m.epsilon(), 0.2);
+        assert_eq!(m.sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn probabilities_match_closed_form() {
+        // Two candidates with scores 0 and d: p1/p0 = exp(eps*d / (2*sens)).
+        let m = ExponentialMechanism::new(0.4, 1.0).unwrap();
+        let p = m.probabilities(&[0.0, 5.0]).unwrap();
+        let expected_ratio = (0.4 * 5.0 / 2.0_f64).exp();
+        assert!((p[1] / p[0] - expected_ratio).abs() < 1e-9);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_scores_get_zero_probability() {
+        let m = ExponentialMechanism::new(0.2, 1.0).unwrap();
+        let p = m.probabilities(&[f64::NEG_INFINITY, 3.0, f64::NEG_INFINITY, 4.0]).unwrap();
+        assert_eq!(p[0], 0.0);
+        assert_eq!(p[2], 0.0);
+        assert!(p[1] > 0.0 && p[3] > 0.0);
+        // A -inf candidate is never selected.
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let idx = m.select(&[f64::NEG_INFINITY, 3.0, f64::NEG_INFINITY, 4.0], &mut rng).unwrap();
+            assert!(idx == 1 || idx == 3);
+        }
+    }
+
+    #[test]
+    fn all_invalid_candidates_error() {
+        let m = ExponentialMechanism::new(0.2, 1.0).unwrap();
+        assert_eq!(
+            m.probabilities(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            Err(DpError::NoValidCandidates)
+        );
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        assert_eq!(m.select(&[], &mut rng), Err(DpError::NoValidCandidates));
+    }
+
+    #[test]
+    fn huge_scores_do_not_overflow() {
+        let m = ExponentialMechanism::new(10.0, 1.0).unwrap();
+        let p = m.probabilities(&[1e6, 1e6 - 1.0, 1e6 - 100.0]).unwrap();
+        assert!(p.iter().all(|x| x.is_finite()));
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > p[1] && p[1] > p[2]);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_probabilities() {
+        let m = ExponentialMechanism::new(1.0, 1.0).unwrap();
+        let scores = [1.0, 3.0, 5.0];
+        let expected = m.probabilities(&scores).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(99);
+        let trials = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[m.select(&scores, &mut rng).unwrap()] += 1;
+        }
+        for i in 0..3 {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!(
+                (freq - expected[i]).abs() < 0.01,
+                "candidate {i}: freq {freq} vs expected {}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn higher_epsilon_concentrates_on_the_best_candidate() {
+        let scores = [0.0, 10.0];
+        let weak = ExponentialMechanism::new(0.01, 1.0).unwrap();
+        let strong = ExponentialMechanism::new(2.0, 1.0).unwrap();
+        let p_weak = weak.probabilities(&scores).unwrap();
+        let p_strong = strong.probabilities(&scores).unwrap();
+        assert!(p_strong[1] > p_weak[1]);
+        assert!(p_strong[1] > 0.99);
+        assert!(p_weak[1] < 0.6);
+    }
+
+    #[test]
+    fn select_by_scores_candidates_with_a_closure() {
+        let m = ExponentialMechanism::new(5.0, 1.0).unwrap();
+        let candidates = vec!["small", "medium", "large"];
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut counts = [0usize; 3];
+        for _ in 0..500 {
+            let idx = m
+                .select_by(&candidates, |c| c.len() as f64 * 10.0, &mut rng)
+                .unwrap();
+            counts[idx] += 1;
+        }
+        // "medium" (6 chars) wins over "small"/"large" (5 chars) overwhelmingly.
+        assert!(counts[1] > 450);
+    }
+
+    #[test]
+    fn single_candidate_is_always_chosen() {
+        let m = ExponentialMechanism::new(0.2, 1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        assert_eq!(m.select(&[42.0], &mut rng).unwrap(), 0);
+    }
+
+    #[test]
+    fn privacy_ratio_bounded_on_neighboring_scores() {
+        // Simulates neighboring datasets: every score changes by at most the
+        // sensitivity (1). The probability ratio for any candidate must be
+        // bounded by exp(eps) (the mechanism's 2*eps1*Δu bound with eps1 = eps/2).
+        let eps_total = 0.2;
+        let m = ExponentialMechanism::new(eps_total / 2.0, 1.0).unwrap();
+        let d1 = [10.0, 7.0, 3.0, 9.0];
+        let d2 = [9.0, 8.0, 4.0, 8.0]; // each coordinate shifted by <= 1
+        let p1 = m.probabilities(&d1).unwrap();
+        let p2 = m.probabilities(&d2).unwrap();
+        for i in 0..d1.len() {
+            let ratio = p1[i] / p2[i];
+            assert!(ratio <= (eps_total as f64).exp() + 1e-9, "ratio {ratio}");
+            assert!(ratio >= (-(eps_total as f64)).exp() - 1e-9, "ratio {ratio}");
+        }
+    }
+}

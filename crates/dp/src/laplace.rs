@@ -1,0 +1,127 @@
+//! The Laplace mechanism (Dwork et al. 2006).
+//!
+//! Not used on PCOR's release path (contexts are discrete, hence the
+//! Exponential mechanism), but provided for ablations — e.g. perturbing
+//! population counts before ranking contexts, the natural "noisy counts"
+//! baseline — and for completeness of the privacy substrate.
+
+use crate::{DpError, Result};
+use rand::Rng;
+
+/// The Laplace mechanism for numeric queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    epsilon: f64,
+    sensitivity: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a Laplace mechanism with privacy parameter `epsilon` and query
+    /// sensitivity `sensitivity`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] / [`DpError::InvalidSensitivity`]
+    /// for non-positive or non-finite parameters.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(DpError::InvalidEpsilon(epsilon));
+        }
+        if !sensitivity.is_finite() || sensitivity <= 0.0 {
+            return Err(DpError::InvalidSensitivity(sensitivity));
+        }
+        Ok(LaplaceMechanism { epsilon, sensitivity })
+    }
+
+    /// The privacy parameter `ε`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The query sensitivity `Δf`.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    /// The scale `b = Δf / ε` of the Laplace noise.
+    pub fn scale(&self) -> f64 {
+        self.sensitivity / self.epsilon
+    }
+
+    /// Draws one Laplace(0, b) noise sample via inverse-CDF sampling.
+    pub fn sample_noise<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // u uniform in (-0.5, 0.5]; noise = -b * sign(u) * ln(1 - 2|u|)
+        let u: f64 = rng.random::<f64>() - 0.5;
+        let b = self.scale();
+        -b * u.signum() * (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE).ln()
+    }
+
+    /// Releases `value + Laplace(Δf/ε)` noise.
+    pub fn release<R: Rng + ?Sized>(&self, value: f64, rng: &mut R) -> f64 {
+        value + self.sample_noise(rng)
+    }
+
+    /// Releases a noisy count, clamped to be non-negative (counts cannot be
+    /// negative; clamping is a post-processing step and preserves DP).
+    pub fn release_count<R: Rng + ?Sized>(&self, count: usize, rng: &mut R) -> f64 {
+        self.release(count as f64, rng).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(LaplaceMechanism::new(0.1, 1.0).is_ok());
+        assert!(LaplaceMechanism::new(0.0, 1.0).is_err());
+        assert!(LaplaceMechanism::new(0.1, -1.0).is_err());
+        let m = LaplaceMechanism::new(0.5, 2.0).unwrap();
+        assert_eq!(m.epsilon(), 0.5);
+        assert_eq!(m.sensitivity(), 2.0);
+        assert_eq!(m.scale(), 4.0);
+    }
+
+    #[test]
+    fn noise_has_zero_mean_and_laplace_variance() {
+        let m = LaplaceMechanism::new(1.0, 1.0).unwrap(); // b = 1, var = 2b^2 = 2
+        let mut rng = ChaCha12Rng::seed_from_u64(17);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| m.sample_noise(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 2.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn release_centers_on_the_true_value() {
+        let m = LaplaceMechanism::new(2.0, 1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        let n = 50_000;
+        let avg: f64 = (0..n).map(|_| m.release(100.0, &mut rng)).sum::<f64>() / n as f64;
+        assert!((avg - 100.0).abs() < 0.05, "avg {avg}");
+    }
+
+    #[test]
+    fn noisy_counts_are_non_negative() {
+        let m = LaplaceMechanism::new(0.1, 1.0).unwrap(); // very noisy
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert!(m.release_count(0, &mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let tight = LaplaceMechanism::new(10.0, 1.0).unwrap();
+        let loose = LaplaceMechanism::new(0.1, 1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(23);
+        let spread = |m: &LaplaceMechanism, rng: &mut ChaCha12Rng| {
+            (0..5000).map(|_| m.sample_noise(rng).abs()).sum::<f64>() / 5000.0
+        };
+        assert!(spread(&loose, &mut rng) > spread(&tight, &mut rng) * 10.0);
+    }
+}

@@ -1,0 +1,102 @@
+//! # pcor-dp
+//!
+//! Differential-privacy substrate for the PCOR reproduction (SIGMOD 2021).
+//!
+//! PCOR guarantees a relaxed notion of differential privacy — *Output
+//! Constrained DP* (OCDP, He et al. 2017) — by drawing the released context
+//! through the **Exponential mechanism** (McSherry & Talwar 2007). This crate
+//! provides everything the search algorithms in `pcor-core` need:
+//!
+//! * [`exponential`] — a numerically stable Exponential mechanism that accepts
+//!   `-∞` scores (invalid candidates get probability exactly zero, which is
+//!   what makes the mechanism *output constrained*);
+//! * [`laplace`] — the Laplace mechanism, used in ablation benchmarks and for
+//!   noisy counts;
+//! * [`utility`] — the utility-function trait with the paper's two utilities:
+//!   context population size (Section 3.2.1) and overlap with a chosen
+//!   starting context (Section 3.2.2), both with sensitivity 1;
+//! * [`budget`] — OCDP budget accounting: the total budget `ε` maps to the
+//!   per-invocation parameter `ε₁ = ε/2` for the single-draw algorithms
+//!   (Direct, Uniform, Random-Walk; Theorems 4.1, 5.1, 5.3) and
+//!   `ε₁ = ε/(2n+2)` for the DP graph searches (DFS, BFS; Theorems 5.5, 5.7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod exponential;
+pub mod laplace;
+pub mod utility;
+
+pub use budget::{BudgetAccountant, OcdpGuarantee, PrivacyNotion};
+pub use exponential::ExponentialMechanism;
+pub use laplace::LaplaceMechanism;
+pub use utility::{OverlapUtility, PopulationSizeUtility, Utility};
+
+/// Errors produced by the differential-privacy substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DpError {
+    /// Every candidate handed to the Exponential mechanism had score `-∞`
+    /// (no valid context exists in the candidate set).
+    NoValidCandidates,
+    /// The privacy parameter `ε` was non-positive or non-finite.
+    InvalidEpsilon(f64),
+    /// The sensitivity `Δu` was non-positive or non-finite.
+    InvalidSensitivity(f64),
+    /// A mechanism invocation would exceed the remaining privacy budget.
+    BudgetExceeded {
+        /// Budget requested by the invocation.
+        requested: f64,
+        /// Budget still available.
+        remaining: f64,
+    },
+    /// A problem in the underlying data layer (population evaluation).
+    Data(String),
+}
+
+impl std::fmt::Display for DpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DpError::NoValidCandidates => write!(f, "no candidate with finite utility"),
+            DpError::InvalidEpsilon(e) => write!(f, "invalid epsilon: {e}"),
+            DpError::InvalidSensitivity(s) => write!(f, "invalid sensitivity: {s}"),
+            DpError::BudgetExceeded { requested, remaining } => {
+                write!(f, "budget exceeded: requested {requested}, remaining {remaining}")
+            }
+            DpError::Data(msg) => write!(f, "data error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+impl From<pcor_data::DataError> for DpError {
+    fn from(e: pcor_data::DataError) -> Self {
+        DpError::Data(e.to_string())
+    }
+}
+
+/// Convenience result alias for the privacy substrate.
+pub type Result<T> = std::result::Result<T, DpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_parameters() {
+        assert!(DpError::InvalidEpsilon(-1.0).to_string().contains("-1"));
+        assert!(DpError::InvalidSensitivity(0.0).to_string().contains('0'));
+        assert!(DpError::NoValidCandidates.to_string().contains("candidate"));
+        let e = DpError::BudgetExceeded { requested: 0.5, remaining: 0.1 };
+        assert!(e.to_string().contains("0.5") && e.to_string().contains("0.1"));
+        assert!(DpError::Data("oops".into()).to_string().contains("oops"));
+    }
+
+    #[test]
+    fn data_errors_convert() {
+        let data_err = pcor_data::DataError::EmptySchema;
+        let dp_err: DpError = data_err.into();
+        assert!(matches!(dp_err, DpError::Data(_)));
+    }
+}

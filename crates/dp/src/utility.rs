@@ -1,0 +1,243 @@
+//! Utility functions for contexts (Section 3.2 of the paper).
+//!
+//! The Exponential mechanism is driven by a utility function
+//! `u_V(D, C)`. The paper considers two families and stresses that PCOR works
+//! with *any* utility of bounded sensitivity:
+//!
+//! * **Context population size** ([`PopulationSizeUtility`]): `u = |D_C|`.
+//!   Adding or removing one record changes any population by at most one, so
+//!   the sensitivity is 1.
+//! * **Overlap with a starting context** ([`OverlapUtility`]):
+//!   `u = |D_C ∩ D_{C_V}|`, again with sensitivity 1.
+//!
+//! Validity handling (`u = -∞` for contexts where `V` is not an outlier) is
+//! the verifier's responsibility in `pcor-core`; the utilities here score any
+//! context.
+
+use pcor_data::{Context, Dataset, RecordBitmap};
+
+/// A utility function over contexts with bounded sensitivity.
+///
+/// The `population` argument is the bitmap of `D_C`, which the caller (the
+/// PCOR verifier) has already computed for the validity check — passing it in
+/// avoids recomputing the population for scoring.
+pub trait Utility: Send + Sync {
+    /// A short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// The sensitivity `Δu` of the utility (1 for both paper utilities).
+    fn sensitivity(&self) -> f64 {
+        1.0
+    }
+
+    /// Scores context `context` on dataset `dataset`, where `population` is
+    /// the record bitmap of `D_C`.
+    fn score(&self, dataset: &Dataset, context: &Context, population: &RecordBitmap) -> f64;
+}
+
+impl<T: Utility + ?Sized> Utility for &T {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn sensitivity(&self) -> f64 {
+        (**self).sensitivity()
+    }
+    fn score(&self, dataset: &Dataset, context: &Context, population: &RecordBitmap) -> f64 {
+        (**self).score(dataset, context, population)
+    }
+}
+
+impl<T: Utility + ?Sized> Utility for Box<T> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn sensitivity(&self) -> f64 {
+        (**self).sensitivity()
+    }
+    fn score(&self, dataset: &Dataset, context: &Context, population: &RecordBitmap) -> f64 {
+        (**self).score(dataset, context, population)
+    }
+}
+
+/// Utility = `|D_C|`, the size of the context's population (Section 3.2.1).
+///
+/// A larger population indicates a more significant outlier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PopulationSizeUtility;
+
+impl Utility for PopulationSizeUtility {
+    fn name(&self) -> &'static str {
+        "PopulationSize"
+    }
+
+    fn score(&self, _dataset: &Dataset, _context: &Context, population: &RecordBitmap) -> f64 {
+        population.count() as f64
+    }
+}
+
+/// Utility = `|D_C ∩ D_{C_V}|`, the overlap between the candidate context's
+/// population and the population of a chosen *starting* context
+/// (Section 3.2.2).
+///
+/// The starting context's population is materialized once at construction
+/// time, so scoring a candidate costs a single bitmap intersection count.
+#[derive(Debug, Clone)]
+pub struct OverlapUtility {
+    starting_context: Context,
+    starting_population: RecordBitmap,
+}
+
+impl OverlapUtility {
+    /// Binds the utility to `dataset` and the chosen starting context.
+    ///
+    /// # Errors
+    /// Propagates a context/schema mismatch from the population evaluation.
+    pub fn new(dataset: &Dataset, starting_context: Context) -> crate::Result<Self> {
+        let starting_population = dataset.population(&starting_context)?;
+        Ok(OverlapUtility { starting_context, starting_population })
+    }
+
+    /// The starting context this utility scores overlap against.
+    pub fn starting_context(&self) -> &Context {
+        &self.starting_context
+    }
+
+    /// The size of the starting context's population.
+    pub fn starting_population_size(&self) -> usize {
+        self.starting_population.count()
+    }
+}
+
+impl Utility for OverlapUtility {
+    fn name(&self) -> &'static str {
+        "Overlap"
+    }
+
+    fn score(&self, _dataset: &Dataset, _context: &Context, population: &RecordBitmap) -> f64 {
+        if population.len() != self.starting_population.len() {
+            // The utility was bound to a different dataset instance (e.g. a
+            // neighboring dataset with one record fewer). Fall back to the
+            // overlap of the common prefix of record ids; for neighbor
+            // experiments the discrepancy is at most the group-privacy delta.
+            let common = population.len().min(self.starting_population.len());
+            let mut count = 0usize;
+            for id in population.iter_ones() {
+                if id < common && self.starting_population.contains(id) {
+                    count += 1;
+                }
+            }
+            return count as f64;
+        }
+        population.intersection_count(&self.starting_population) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcor_data::generator::{salary_dataset, SalaryConfig};
+    use pcor_data::{Attribute, Record, Schema};
+
+    fn toy_dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1"]),
+                Attribute::from_values("B", &["b0", "b1"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        // Four records, one per (A, B) combination, plus two extra a0/b0 rows.
+        let records = vec![
+            Record::new(vec![0, 0], 1.0),
+            Record::new(vec![0, 1], 2.0),
+            Record::new(vec![1, 0], 3.0),
+            Record::new(vec![1, 1], 4.0),
+            Record::new(vec![0, 0], 5.0),
+            Record::new(vec![0, 0], 6.0),
+        ];
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn population_size_utility_counts_records() {
+        let d = toy_dataset();
+        let u = PopulationSizeUtility;
+        let full = Context::full(4);
+        let pop = d.population(&full).unwrap();
+        assert_eq!(u.score(&d, &full, &pop), 6.0);
+        let narrow = Context::from_indices(4, [0, 2]); // a0 AND b0
+        let pop = d.population(&narrow).unwrap();
+        assert_eq!(u.score(&d, &narrow, &pop), 3.0);
+        assert_eq!(u.sensitivity(), 1.0);
+        assert_eq!(u.name(), "PopulationSize");
+    }
+
+    #[test]
+    fn overlap_utility_scores_intersections() {
+        let d = toy_dataset();
+        let starting = Context::from_indices(4, [0, 2]); // a0 AND b0 -> records 0, 4, 5
+        let u = OverlapUtility::new(&d, starting.clone()).unwrap();
+        assert_eq!(u.starting_population_size(), 3);
+        assert_eq!(u.starting_context(), &starting);
+        assert_eq!(u.name(), "Overlap");
+        // Candidate: a0 AND (b0 or b1) -> records 0, 1, 4, 5; overlap = 3.
+        let candidate = Context::from_indices(4, [0, 2, 3]);
+        let pop = d.population(&candidate).unwrap();
+        assert_eq!(u.score(&d, &candidate, &pop), 3.0);
+        // Candidate: a1 AND b1 -> record 3; overlap = 0.
+        let disjoint = Context::from_indices(4, [1, 3]);
+        let pop = d.population(&disjoint).unwrap();
+        assert_eq!(u.score(&d, &disjoint, &pop), 0.0);
+    }
+
+    #[test]
+    fn overlap_utility_handles_neighboring_datasets() {
+        let d = toy_dataset();
+        let starting = Context::full(4);
+        let u = OverlapUtility::new(&d, starting).unwrap();
+        // Neighboring dataset with the last record removed: scoring still works
+        // and counts only common record ids.
+        let neighbor = d.without_records(&[5]).unwrap();
+        let candidate = Context::full(4);
+        let pop = neighbor.population(&candidate).unwrap();
+        assert_eq!(u.score(&neighbor, &candidate, &pop), 5.0);
+    }
+
+    #[test]
+    fn utilities_are_usable_through_references_and_boxes() {
+        let d = toy_dataset();
+        let full = Context::full(4);
+        let pop = d.population(&full).unwrap();
+        let boxed: Box<dyn Utility> = Box::new(PopulationSizeUtility);
+        let by_ref: &dyn Utility = &PopulationSizeUtility;
+        assert_eq!(boxed.score(&d, &full, &pop), 6.0);
+        assert_eq!(by_ref.score(&d, &full, &pop), 6.0);
+        assert_eq!(boxed.name(), "PopulationSize");
+        assert_eq!(by_ref.sensitivity(), 1.0);
+    }
+
+    #[test]
+    fn sensitivity_holds_empirically_on_generated_data() {
+        // |u(D1, C) - u(D2, C)| <= 1 for neighboring datasets and any context.
+        let d = salary_dataset(&SalaryConfig::tiny()).unwrap();
+        let neighbor = d.without_records(&[7]).unwrap();
+        let u = PopulationSizeUtility;
+        let t = d.schema().total_values();
+        for seed in 0..50u64 {
+            // Pseudo-random contexts from a simple LCG to avoid rand dependency here.
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut ctx = Context::empty(t);
+            for bit in 0..t {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (state >> 33) & 1 == 1 {
+                    ctx.set(bit, true);
+                }
+            }
+            let p1 = d.population(&ctx).unwrap();
+            let p2 = neighbor.population(&ctx).unwrap();
+            let diff = (u.score(&d, &ctx, &p1) - u.score(&neighbor, &ctx, &p2)).abs();
+            assert!(diff <= 1.0 + 1e-12, "sensitivity violated: {diff}");
+        }
+    }
+}

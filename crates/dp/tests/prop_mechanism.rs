@@ -1,0 +1,129 @@
+//! Property-based tests of the privacy substrate: the Exponential mechanism's
+//! distributional guarantees and the OCDP budget arithmetic.
+
+use pcor_dp::budget::OcdpGuarantee;
+use pcor_dp::{DpError, ExponentialMechanism, LaplaceMechanism};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn finite_scores() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1_000.0f64..1_000.0, 1..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Probabilities are a valid distribution, monotone in the score, and the
+    /// privacy ratio bound exp(eps * |u1 - u2| / (2*sens)) holds pointwise
+    /// when every score moves by at most the sensitivity.
+    #[test]
+    fn probabilities_form_a_monotone_distribution(
+        scores in finite_scores(),
+        epsilon in 0.01f64..5.0,
+        sensitivity in 0.1f64..5.0,
+    ) {
+        let mechanism = ExponentialMechanism::new(epsilon, sensitivity).unwrap();
+        let probabilities = mechanism.probabilities(&scores).unwrap();
+        prop_assert_eq!(probabilities.len(), scores.len());
+        let total: f64 = probabilities.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(probabilities.iter().all(|&p| (0.0..=1.0 + 1e-12).contains(&p)));
+        // Higher score implies (weakly) higher probability.
+        for i in 0..scores.len() {
+            for j in 0..scores.len() {
+                if scores[i] >= scores[j] {
+                    prop_assert!(probabilities[i] >= probabilities[j] - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// The DP guarantee of a single draw: when each score changes by at most
+    /// the sensitivity, every candidate's probability changes by at most
+    /// exp(eps) with eps = 2 * eps1 * sensitivity... i.e. for eps1 = eps/2 and
+    /// Δu = sensitivity the ratio stays within exp(eps).
+    #[test]
+    fn neighboring_scores_respect_the_privacy_bound(
+        scores in finite_scores(),
+        epsilon in 0.01f64..2.0,
+        perturbation_seed in any::<u64>(),
+    ) {
+        let sensitivity = 1.0;
+        let mechanism = ExponentialMechanism::new(epsilon / 2.0, sensitivity).unwrap();
+        // Neighboring dataset: each utility moves by at most the sensitivity.
+        let mut state = perturbation_seed;
+        let neighbor_scores: Vec<f64> = scores
+            .iter()
+            .map(|&s| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let shift = ((state >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0; // [-1, 1]
+                s + shift * sensitivity
+            })
+            .collect();
+        let p1 = mechanism.probabilities(&scores).unwrap();
+        let p2 = mechanism.probabilities(&neighbor_scores).unwrap();
+        let bound = epsilon.exp() + 1e-9;
+        for i in 0..p1.len() {
+            if p1[i] > 0.0 && p2[i] > 0.0 {
+                prop_assert!(p1[i] / p2[i] <= bound, "ratio {} > {}", p1[i] / p2[i], bound);
+                prop_assert!(p2[i] / p1[i] <= bound, "ratio {} > {}", p2[i] / p1[i], bound);
+            }
+        }
+    }
+
+    /// `select` never returns an index whose score is -inf, and always returns
+    /// an in-range index.
+    #[test]
+    fn select_respects_the_support(
+        scores in finite_scores(),
+        invalid_mask in proptest::collection::vec(any::<bool>(), 1..40),
+        epsilon in 0.01f64..3.0,
+        seed in any::<u64>(),
+    ) {
+        let masked: Vec<f64> = scores
+            .iter()
+            .zip(invalid_mask.iter().chain(std::iter::repeat(&false)))
+            .map(|(&s, &dead)| if dead { f64::NEG_INFINITY } else { s })
+            .collect();
+        let mechanism = ExponentialMechanism::new(epsilon, 1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        match mechanism.select(&masked, &mut rng) {
+            Ok(index) => {
+                prop_assert!(index < masked.len());
+                prop_assert!(masked[index].is_finite());
+            }
+            Err(DpError::NoValidCandidates) => {
+                prop_assert!(masked.iter().all(|s| s.is_infinite()));
+            }
+            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Budget arithmetic: composing the per-invocation costs reproduces the
+    /// configured total for both algorithm families, and the graph-search
+    /// eps1 is always strictly smaller than the single-draw eps1.
+    #[test]
+    fn budget_split_composes_back_to_the_total(epsilon in 0.001f64..10.0, samples in 1usize..500) {
+        let single = OcdpGuarantee::single_draw(epsilon).unwrap();
+        let search = OcdpGuarantee::graph_search(epsilon, samples).unwrap();
+        prop_assert!((single.composed_epsilon() - epsilon).abs() < 1e-9);
+        prop_assert!((search.composed_epsilon() - epsilon).abs() < 1e-9);
+        prop_assert!(search.epsilon_per_invocation < single.epsilon_per_invocation);
+        prop_assert_eq!(search.invocations, samples + 1);
+    }
+
+    /// Laplace noise is symmetric around zero and scales like 1/eps.
+    #[test]
+    fn laplace_noise_scale_tracks_epsilon(epsilon in 0.05f64..5.0, seed in any::<u64>()) {
+        let mechanism = LaplaceMechanism::new(epsilon, 1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let n = 4_000;
+        let mean_abs: f64 =
+            (0..n).map(|_| mechanism.sample_noise(&mut rng).abs()).sum::<f64>() / n as f64;
+        // E|Laplace(b)| = b = 1/eps; allow generous sampling slack.
+        let expected = 1.0 / epsilon;
+        prop_assert!(mean_abs > 0.5 * expected && mean_abs < 1.6 * expected,
+            "mean |noise| {mean_abs} vs expected {expected}");
+    }
+}

@@ -1,0 +1,204 @@
+//! # pcor-graph
+//!
+//! Context-graph substrate for the PCOR reproduction (SIGMOD 2021).
+//!
+//! Section 5.2 of the paper maps contexts to a graph `G`: the vertices are all
+//! `2^t` contexts over the schema's attribute values and two contexts are
+//! adjacent iff their Hamming distance is 1 (one predicate added or removed).
+//! Every vertex therefore has degree `t`. The differentially private sampling
+//! algorithms of PCOR are walks and searches over this graph.
+//!
+//! The graph is *implicit* — it is never materialized. This crate provides:
+//!
+//! * [`ContextGraph`] — neighbor enumeration, random vertices/neighbors, and
+//!   basic graph facts (degree, vertex count);
+//! * [`search`] — classic (non-private) breadth-first and depth-first searches
+//!   restricted to "matching" vertices, used as baselines and to discover a
+//!   starting context;
+//! * [`walk`] — non-private random-walk primitives over the matching subgraph;
+//! * [`locality`] — estimators for the *locality* hypothesis (a neighbor of a
+//!   matching context is much more likely to match than a uniformly random
+//!   context), which is the structural property that makes graph-based
+//!   sampling effective.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod locality;
+pub mod search;
+pub mod walk;
+
+pub use locality::LocalityEstimate;
+pub use search::{breadth_first_matching, depth_first_matching};
+pub use walk::RandomWalk;
+
+use pcor_data::Context;
+use rand::Rng;
+
+/// The implicit context graph over contexts of `t` bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextGraph {
+    t: usize,
+}
+
+impl ContextGraph {
+    /// Creates the context graph for contexts of `t = Σ|A_i|` bits.
+    pub fn new(t: usize) -> Self {
+        ContextGraph { t }
+    }
+
+    /// Creates the context graph matching a schema.
+    pub fn for_schema(schema: &pcor_data::Schema) -> Self {
+        ContextGraph { t: schema.total_values() }
+    }
+
+    /// The number of bits `t` (also the degree of every vertex).
+    pub fn bits(&self) -> usize {
+        self.t
+    }
+
+    /// The degree of every vertex (`t`).
+    pub fn degree(&self) -> usize {
+        self.t
+    }
+
+    /// The number of vertices, `2^t`, as an `f64` (it overflows integers for
+    /// realistic `t`; the value is only used for reporting and complexity
+    /// estimates).
+    pub fn num_vertices(&self) -> f64 {
+        (self.t as f64).exp2()
+    }
+
+    /// All neighbors of `context` (every single-bit flip), in bit order.
+    ///
+    /// # Panics
+    /// Panics if the context length does not match the graph.
+    pub fn neighbors(&self, context: &Context) -> Vec<Context> {
+        assert_eq!(context.len(), self.t, "context length must match the graph");
+        (0..self.t).map(|bit| context.with_flipped(bit)).collect()
+    }
+
+    /// Iterator over the neighbors of `context` without allocating them all
+    /// up front.
+    ///
+    /// # Panics
+    /// Panics if the context length does not match the graph.
+    pub fn neighbor_iter<'a>(&self, context: &'a Context) -> impl Iterator<Item = Context> + 'a {
+        assert_eq!(context.len(), self.t, "context length must match the graph");
+        let t = self.t;
+        (0..t).map(move |bit| context.with_flipped(bit))
+    }
+
+    /// A uniformly random vertex: each bit is set independently with
+    /// probability `p` (the paper's uniform sampling uses `p = 1/2`).
+    pub fn random_vertex<R: Rng + ?Sized>(&self, p: f64, rng: &mut R) -> Context {
+        let mut c = Context::empty(self.t);
+        for bit in 0..self.t {
+            if rng.random::<f64>() < p {
+                c.set(bit, true);
+            }
+        }
+        c
+    }
+
+    /// A uniformly random neighbor of `context`.
+    ///
+    /// # Panics
+    /// Panics if the context length does not match the graph or `t == 0`.
+    pub fn random_neighbor<R: Rng + ?Sized>(&self, context: &Context, rng: &mut R) -> Context {
+        assert_eq!(context.len(), self.t, "context length must match the graph");
+        assert!(self.t > 0, "cannot pick a neighbor in a zero-bit graph");
+        let bit = rng.random_range(0..self.t);
+        context.with_flipped(bit)
+    }
+
+    /// Whether two contexts are adjacent in this graph.
+    pub fn are_adjacent(&self, a: &Context, b: &Context) -> bool {
+        a.len() == self.t && b.len() == self.t && a.hamming_distance(b) == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn neighbors_are_all_single_bit_flips() {
+        let g = ContextGraph::new(9);
+        let c = Context::from_bit_string("101001010").unwrap();
+        let nbrs = g.neighbors(&c);
+        assert_eq!(nbrs.len(), 9);
+        assert_eq!(g.degree(), 9);
+        for (bit, n) in nbrs.iter().enumerate() {
+            assert_eq!(c.hamming_distance(n), 1);
+            assert_eq!(n.get(bit), !c.get(bit));
+            assert!(g.are_adjacent(&c, n));
+        }
+        // The iterator agrees with the vector version.
+        let iter_nbrs: Vec<Context> = g.neighbor_iter(&c).collect();
+        assert_eq!(iter_nbrs, nbrs);
+        assert!(!g.are_adjacent(&c, &c));
+    }
+
+    #[test]
+    fn vertex_count_is_two_to_the_t() {
+        assert_eq!(ContextGraph::new(3).num_vertices(), 8.0);
+        assert_eq!(ContextGraph::new(14).num_vertices(), 16384.0);
+        assert_eq!(ContextGraph::new(0).num_vertices(), 1.0);
+        assert_eq!(ContextGraph::new(14).bits(), 14);
+    }
+
+    #[test]
+    fn for_schema_uses_total_values() {
+        let schema = pcor_data::Schema::new(
+            vec![
+                pcor_data::Attribute::from_values("A", &["x", "y"]),
+                pcor_data::Attribute::from_values("B", &["u", "v", "w"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        assert_eq!(ContextGraph::for_schema(&schema).bits(), 5);
+    }
+
+    #[test]
+    fn random_vertex_with_extreme_probabilities() {
+        let g = ContextGraph::new(20);
+        let mut rng = ChaCha12Rng::seed_from_u64(0);
+        assert_eq!(g.random_vertex(0.0, &mut rng).hamming_weight(), 0);
+        assert_eq!(g.random_vertex(1.0, &mut rng).hamming_weight(), 20);
+        // p = 0.5 gives roughly half the bits on average.
+        let avg: f64 = (0..200)
+            .map(|_| g.random_vertex(0.5, &mut rng).hamming_weight() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!((avg - 10.0).abs() < 1.0, "avg weight {avg}");
+    }
+
+    #[test]
+    fn random_neighbor_is_adjacent_and_covers_all_bits() {
+        let g = ContextGraph::new(6);
+        let c = Context::from_bit_string("101010").unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let mut seen_bits = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let n = g.random_neighbor(&c, &mut rng);
+            assert_eq!(c.hamming_distance(&n), 1);
+            // Identify which bit changed.
+            for bit in 0..6 {
+                if n.get(bit) != c.get(bit) {
+                    seen_bits.insert(bit);
+                }
+            }
+        }
+        assert_eq!(seen_bits.len(), 6, "every neighbor should eventually be drawn");
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_context_length_panics() {
+        ContextGraph::new(4).neighbors(&Context::empty(5));
+    }
+}

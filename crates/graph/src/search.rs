@@ -1,0 +1,190 @@
+//! Classic (non-private) graph searches over the matching subgraph.
+//!
+//! These are the textbook breadth-first and depth-first searches the paper
+//! starts from before making them differentially private (Sections 5.2.2 and
+//! 5.2.3). They are used in the reproduction as
+//!
+//! * non-private baselines in ablation benchmarks (how much utility does the
+//!   Exponential-mechanism-guided expansion give up versus a deterministic
+//!   search?), and
+//! * a way for the data owner to discover a starting context `C_V` ("The data
+//!   owner can obtain this context through an initial search", footnote 5).
+//!
+//! Both searches only traverse *matching* vertices, as decided by a caller
+//! supplied predicate, and stop after visiting `limit` matching vertices.
+
+use crate::ContextGraph;
+use pcor_data::Context;
+use std::collections::{HashSet, VecDeque};
+
+/// Breadth-first search over matching contexts starting from `start`.
+///
+/// Visits matching vertices in breadth-first order and returns them (the start
+/// vertex is included iff it matches). Exploration stops once `limit` matching
+/// vertices have been collected or the reachable matching component is
+/// exhausted.
+pub fn breadth_first_matching<F>(
+    graph: &ContextGraph,
+    start: &Context,
+    mut is_match: F,
+    limit: usize,
+) -> Vec<Context>
+where
+    F: FnMut(&Context) -> bool,
+{
+    let mut visited: HashSet<Context> = HashSet::new();
+    let mut queue: VecDeque<Context> = VecDeque::new();
+    let mut result = Vec::new();
+    if limit == 0 {
+        return result;
+    }
+    if is_match(start) {
+        visited.insert(start.clone());
+        queue.push_back(start.clone());
+        result.push(start.clone());
+    }
+    while let Some(current) = queue.pop_front() {
+        if result.len() >= limit {
+            break;
+        }
+        for neighbor in graph.neighbor_iter(&current) {
+            if result.len() >= limit {
+                break;
+            }
+            if visited.contains(&neighbor) {
+                continue;
+            }
+            if is_match(&neighbor) {
+                visited.insert(neighbor.clone());
+                result.push(neighbor.clone());
+                queue.push_back(neighbor);
+            }
+        }
+    }
+    result
+}
+
+/// Depth-first search over matching contexts starting from `start`.
+///
+/// Same contract as [`breadth_first_matching`] but explores depth-first.
+pub fn depth_first_matching<F>(
+    graph: &ContextGraph,
+    start: &Context,
+    mut is_match: F,
+    limit: usize,
+) -> Vec<Context>
+where
+    F: FnMut(&Context) -> bool,
+{
+    let mut visited: HashSet<Context> = HashSet::new();
+    let mut stack: Vec<Context> = Vec::new();
+    let mut result = Vec::new();
+    if limit == 0 {
+        return result;
+    }
+    if is_match(start) {
+        visited.insert(start.clone());
+        stack.push(start.clone());
+        result.push(start.clone());
+    }
+    while let Some(current) = stack.pop() {
+        if result.len() >= limit {
+            break;
+        }
+        for neighbor in graph.neighbor_iter(&current) {
+            if result.len() >= limit {
+                break;
+            }
+            if visited.contains(&neighbor) {
+                continue;
+            }
+            if is_match(&neighbor) {
+                visited.insert(neighbor.clone());
+                result.push(neighbor.clone());
+                stack.push(neighbor);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Matching predicate: contexts with Hamming weight >= threshold.
+    fn weight_at_least(threshold: usize) -> impl FnMut(&Context) -> bool {
+        move |c: &Context| c.hamming_weight() >= threshold
+    }
+
+    #[test]
+    fn bfs_finds_the_whole_matching_component() {
+        let g = ContextGraph::new(4);
+        let start = Context::full(4);
+        // Matching: weight >= 3. Component: the full context and the four
+        // weight-3 contexts = 5 vertices.
+        let found = breadth_first_matching(&g, &start, weight_at_least(3), 100);
+        assert_eq!(found.len(), 5);
+        assert!(found.contains(&start));
+        for c in &found {
+            assert!(c.hamming_weight() >= 3);
+        }
+    }
+
+    #[test]
+    fn dfs_finds_the_same_component_as_bfs() {
+        let g = ContextGraph::new(5);
+        let start = Context::full(5);
+        let mut bfs = breadth_first_matching(&g, &start, weight_at_least(4), 100);
+        let mut dfs = depth_first_matching(&g, &start, weight_at_least(4), 100);
+        bfs.sort();
+        dfs.sort();
+        assert_eq!(bfs, dfs);
+        assert_eq!(bfs.len(), 6); // full + five weight-4 contexts
+    }
+
+    #[test]
+    fn limit_truncates_exploration() {
+        let g = ContextGraph::new(8);
+        let start = Context::full(8);
+        let found = breadth_first_matching(&g, &start, weight_at_least(1), 10);
+        assert_eq!(found.len(), 10);
+        let found = depth_first_matching(&g, &start, weight_at_least(1), 7);
+        assert_eq!(found.len(), 7);
+        assert!(breadth_first_matching(&g, &start, weight_at_least(1), 0).is_empty());
+    }
+
+    #[test]
+    fn non_matching_start_yields_nothing_reachable() {
+        let g = ContextGraph::new(4);
+        let start = Context::empty(4);
+        // Matching requires weight >= 3 but the start has weight 0 and is not
+        // matching, so the search returns nothing (it only walks matching
+        // vertices).
+        let found = breadth_first_matching(&g, &start, weight_at_least(3), 100);
+        assert!(found.is_empty());
+        let found = depth_first_matching(&g, &start, weight_at_least(3), 100);
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn bfs_visits_closer_vertices_first() {
+        let g = ContextGraph::new(6);
+        let start = Context::full(6);
+        let found = breadth_first_matching(&g, &start, weight_at_least(4), 100);
+        // BFS order: weight 6 (start), then the weight-5 layer, then weight-4.
+        let weights: Vec<usize> = found.iter().map(|c| c.hamming_weight()).collect();
+        let first_w4 = weights.iter().position(|&w| w == 4).unwrap();
+        let last_w5 = weights.iter().rposition(|&w| w == 5).unwrap();
+        assert!(last_w5 < first_w4, "BFS must finish the weight-5 layer before weight-4");
+    }
+
+    #[test]
+    fn searches_never_revisit_vertices() {
+        let g = ContextGraph::new(5);
+        let start = Context::full(5);
+        let found = depth_first_matching(&g, &start, weight_at_least(2), 1000);
+        let unique: std::collections::HashSet<_> = found.iter().cloned().collect();
+        assert_eq!(unique.len(), found.len());
+    }
+}

@@ -1,0 +1,147 @@
+//! Random-walk primitives over the matching subgraph.
+//!
+//! PCOR's random-walk sampler (Algorithm 3) repeatedly moves from the current
+//! matching context to a uniformly chosen *matching* neighbor, trying the
+//! `t` neighbors without replacement. This module provides the non-private
+//! walk machinery (the privacy comes from the final Exponential-mechanism
+//! draw, implemented in `pcor-core`).
+
+use crate::ContextGraph;
+use pcor_data::Context;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A random walk over matching contexts.
+#[derive(Debug, Clone)]
+pub struct RandomWalk {
+    graph: ContextGraph,
+    current: Context,
+    steps_taken: usize,
+}
+
+impl RandomWalk {
+    /// Starts a walk at `start` (usually the outlier's starting context
+    /// `C_V`).
+    ///
+    /// # Panics
+    /// Panics if the context length does not match the graph.
+    pub fn new(graph: ContextGraph, start: Context) -> Self {
+        assert_eq!(start.len(), graph.bits(), "start context must match the graph");
+        RandomWalk { graph, current: start, steps_taken: 0 }
+    }
+
+    /// The walk's current vertex.
+    pub fn current(&self) -> &Context {
+        &self.current
+    }
+
+    /// Number of successful steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Attempts one step: shuffles the `t` neighbors of the current vertex
+    /// and moves to the first one accepted by `is_match`. Returns the new
+    /// vertex, or `None` if no neighbor matches (the walk is stuck — the
+    /// paper's Algorithm 3 terminates in that case).
+    pub fn step<R, F>(&mut self, is_match: F, rng: &mut R) -> Option<Context>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&Context) -> bool,
+    {
+        let mut is_match = is_match;
+        let mut bits: Vec<usize> = (0..self.graph.bits()).collect();
+        bits.shuffle(rng);
+        for bit in bits {
+            let candidate = self.current.with_flipped(bit);
+            if is_match(&candidate) {
+                self.current = candidate.clone();
+                self.steps_taken += 1;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Runs the walk until `samples` matching vertices have been collected
+    /// (including the start vertex) or the walk gets stuck. Returns the path.
+    pub fn collect<R, F>(&mut self, mut is_match: F, samples: usize, rng: &mut R) -> Vec<Context>
+    where
+        R: Rng + ?Sized,
+        F: FnMut(&Context) -> bool,
+    {
+        let mut path = vec![self.current.clone()];
+        while path.len() < samples {
+            match self.step(&mut is_match, rng) {
+                Some(next) => path.push(next),
+                None => break,
+            }
+        }
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn every_step_moves_to_an_adjacent_matching_vertex() {
+        let g = ContextGraph::new(8);
+        let start = Context::full(8);
+        let mut walk = RandomWalk::new(g, start.clone());
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let mut previous = start;
+        for _ in 0..20 {
+            let next = walk.step(|c| c.hamming_weight() >= 4, &mut rng).unwrap();
+            assert_eq!(previous.hamming_distance(&next), 1);
+            assert!(next.hamming_weight() >= 4);
+            previous = next;
+        }
+        assert_eq!(walk.steps_taken(), 20);
+        assert_eq!(walk.current(), &previous);
+    }
+
+    #[test]
+    fn stuck_walk_returns_none() {
+        let g = ContextGraph::new(4);
+        let start = Context::full(4);
+        let mut walk = RandomWalk::new(g, start);
+        let mut rng = ChaCha12Rng::seed_from_u64(2);
+        // Nothing matches: the walk cannot move anywhere.
+        assert!(walk.step(|_| false, &mut rng).is_none());
+        assert_eq!(walk.steps_taken(), 0);
+    }
+
+    #[test]
+    fn collect_gathers_the_requested_number_of_samples() {
+        let g = ContextGraph::new(10);
+        let start = Context::full(10);
+        let mut walk = RandomWalk::new(g, start);
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        let path = walk.collect(|c| c.hamming_weight() >= 5, 15, &mut rng);
+        assert_eq!(path.len(), 15);
+        for pair in path.windows(2) {
+            assert_eq!(pair[0].hamming_distance(&pair[1]), 1);
+        }
+    }
+
+    #[test]
+    fn collect_stops_early_when_stuck() {
+        let g = ContextGraph::new(4);
+        let start = Context::full(4);
+        let mut walk = RandomWalk::new(g, start.clone());
+        let mut rng = ChaCha12Rng::seed_from_u64(4);
+        // Only the start matches.
+        let path = walk.collect(|c| *c == start, 10, &mut rng);
+        assert_eq!(path.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match the graph")]
+    fn wrong_length_start_panics() {
+        RandomWalk::new(ContextGraph::new(4), Context::empty(5));
+    }
+}

@@ -1,0 +1,174 @@
+//! Grubbs' test for outliers (Grubbs 1969) — the hypothesis-testing detector.
+//!
+//! The two-sided Grubbs test statistic for a value `x` in a population of size
+//! `N` with sample mean `x̄` and sample standard deviation `s` is
+//! `G = |x − x̄| / s`. The value is declared an outlier at significance level
+//! `α` when
+//!
+//! ```text
+//! G  >  (N−1)/√N · sqrt( t² / (N−2+t²) ),   t = t_{α/(2N), N−2}
+//! ```
+//!
+//! where `t_{p,ν}` is the upper-`p` critical value of the Student-t
+//! distribution with `ν` degrees of freedom. The classical test only examines
+//! the most extreme observation; PCOR's verification function asks about one
+//! *specific* record `V`, so we evaluate `V`'s own statistic against the same
+//! critical value — if `V` is not the most deviant observation its statistic
+//! is smaller and the verdict is conservative (never flags more than the
+//! classical test would).
+
+use crate::OutlierDetector;
+use pcor_stats::descriptive::{mean, sample_std};
+use pcor_stats::distributions::StudentT;
+
+/// Grubbs' test detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GrubbsDetector {
+    alpha: f64,
+}
+
+impl GrubbsDetector {
+    /// Creates a Grubbs detector with significance level `alpha` (e.g. 0.05).
+    ///
+    /// # Panics
+    /// Panics if `alpha` is not in `(0, 1)`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1), got {alpha}");
+        GrubbsDetector { alpha }
+    }
+
+    /// The configured significance level.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The Grubbs critical value for a population of size `n`.
+    ///
+    /// Returns `None` when `n < 3` (the test is undefined) or the Student-t
+    /// quantile cannot be computed.
+    pub fn critical_value(&self, n: usize) -> Option<f64> {
+        if n < 3 {
+            return None;
+        }
+        let nf = n as f64;
+        let dof = nf - 2.0;
+        let t = StudentT::new(dof).ok()?.upper_critical(self.alpha / (2.0 * nf)).ok()?;
+        let t2 = t * t;
+        Some((nf - 1.0) / nf.sqrt() * (t2 / (dof + t2)).sqrt())
+    }
+
+    /// The Grubbs statistic `G = |x − x̄| / s` of `population[target]`.
+    ///
+    /// Returns `None` for populations smaller than 3 or with zero variance.
+    pub fn statistic(&self, population: &[f64], target: usize) -> Option<f64> {
+        if population.len() < 3 || target >= population.len() {
+            return None;
+        }
+        let m = mean(population).ok()?;
+        let s = sample_std(population).ok()?;
+        if s == 0.0 {
+            return None;
+        }
+        Some((population[target] - m).abs() / s)
+    }
+}
+
+impl Default for GrubbsDetector {
+    /// The conventional 5% significance level.
+    fn default() -> Self {
+        GrubbsDetector::new(0.05)
+    }
+}
+
+impl OutlierDetector for GrubbsDetector {
+    fn name(&self) -> &'static str {
+        "Grubbs"
+    }
+
+    fn is_outlier(&self, population: &[f64], target: usize) -> bool {
+        match (self.statistic(population, target), self.critical_value(population.len())) {
+            (Some(g), Some(crit)) => g > crit,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn critical_value_matches_published_table() {
+        // Published two-sided Grubbs critical values at alpha = 0.05:
+        // N = 10 -> 2.290, N = 20 -> 2.709, N = 30 -> 2.908 (±0.01).
+        let det = GrubbsDetector::default();
+        let cases = [(10usize, 2.290), (20, 2.709), (30, 2.908), (50, 3.128)];
+        for &(n, expected) in &cases {
+            let c = det.critical_value(n).unwrap();
+            assert!((c - expected).abs() < 0.015, "N={n}: got {c}, want {expected}");
+        }
+    }
+
+    #[test]
+    fn obvious_outlier_is_flagged_and_inliers_are_not() {
+        let det = GrubbsDetector::default();
+        let mut population: Vec<f64> = (0..30).map(|i| 100.0 + (i % 7) as f64).collect();
+        population.push(500.0);
+        let target = population.len() - 1;
+        assert!(det.is_outlier(&population, target));
+        assert!(!det.is_outlier(&population, 0));
+        let verdicts = det.detect(&population);
+        assert_eq!(verdicts.iter().filter(|&&v| v).count(), 1);
+    }
+
+    #[test]
+    fn small_or_degenerate_populations_are_never_flagged() {
+        let det = GrubbsDetector::default();
+        assert!(!det.is_outlier(&[], 0));
+        assert!(!det.is_outlier(&[1.0], 0));
+        assert!(!det.is_outlier(&[1.0, 100.0], 1));
+        // Zero variance.
+        assert!(!det.is_outlier(&[5.0, 5.0, 5.0, 5.0], 2));
+        // Out-of-range target.
+        assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 7));
+        assert_eq!(det.critical_value(2), None);
+        assert_eq!(det.statistic(&[1.0, 2.0], 0), None);
+    }
+
+    #[test]
+    fn verdict_is_deterministic() {
+        let det = GrubbsDetector::default();
+        let population: Vec<f64> = (0..50).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let first = det.detect(&population);
+        for _ in 0..5 {
+            assert_eq!(det.detect(&population), first);
+        }
+    }
+
+    #[test]
+    fn tighter_alpha_flags_fewer_points() {
+        let mut population: Vec<f64> = (0..25).map(|i| 10.0 + (i % 5) as f64).collect();
+        population.push(30.0); // moderately extreme
+        let target = population.len() - 1;
+        let loose = GrubbsDetector::new(0.2);
+        let strict = GrubbsDetector::new(0.0001);
+        let loose_flag = loose.is_outlier(&population, target);
+        let strict_flag = strict.is_outlier(&population, target);
+        // Strict can only flag if loose does.
+        assert!(loose_flag || !strict_flag);
+        assert!(loose.critical_value(26).unwrap() < strict.critical_value(26).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1)")]
+    fn invalid_alpha_panics() {
+        GrubbsDetector::new(1.5);
+    }
+
+    #[test]
+    fn alpha_accessor() {
+        assert_eq!(GrubbsDetector::new(0.01).alpha(), 0.01);
+        assert_eq!(GrubbsDetector::default().alpha(), 0.05);
+        assert_eq!(GrubbsDetector::default().name(), "Grubbs");
+    }
+}

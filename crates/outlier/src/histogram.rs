@@ -1,0 +1,186 @@
+//! Histogram (distribution-fitting) outlier detector.
+//!
+//! Following Section 6.5 of the PCOR paper: the population of a context `C`
+//! is binned into `sqrt(|D_C|)` equal-width bins and the bins whose absolute
+//! frequency is below `2.5·10⁻³·|D_C|` are labeled outlier bins; a record is
+//! an outlier iff its metric value falls into an outlier bin.
+//!
+//! The paper's datasets are large (tens of thousands of rows), where the
+//! `2.5e-3·N` threshold is several records. For small populations that
+//! threshold drops below one and the rule can never fire, so this
+//! implementation additionally supports an absolute floor (default `2`
+//! records, i.e. a value alone in its bin is an outlier once `N` is small);
+//! set the floor to `0` to recover the paper's rule exactly.
+
+use crate::OutlierDetector;
+use pcor_stats::histogram::EqualWidthHistogram;
+
+/// Histogram-based outlier detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDetector {
+    /// Relative frequency threshold (the paper uses `2.5e-3`).
+    rel_threshold: f64,
+    /// Absolute floor for the count threshold (small-population extension).
+    min_count_floor: f64,
+}
+
+impl HistogramDetector {
+    /// The paper's relative frequency threshold.
+    pub const PAPER_REL_THRESHOLD: f64 = 2.5e-3;
+
+    /// Creates a detector with the given relative threshold and absolute
+    /// count floor. The effective threshold for a population of size `N` is
+    /// `max(rel_threshold · N, min_count_floor)`; a bin is an outlier bin when
+    /// its count is strictly below that threshold.
+    ///
+    /// # Panics
+    /// Panics if `rel_threshold` is not in `[0, 1]` or `min_count_floor` is
+    /// negative.
+    pub fn new(rel_threshold: f64, min_count_floor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&rel_threshold),
+            "rel_threshold must be in [0, 1], got {rel_threshold}"
+        );
+        assert!(min_count_floor >= 0.0, "min_count_floor must be >= 0");
+        HistogramDetector { rel_threshold, min_count_floor }
+    }
+
+    /// The exact rule from the paper: threshold `2.5e-3 · N`, no floor.
+    pub fn paper_exact() -> Self {
+        HistogramDetector::new(Self::PAPER_REL_THRESHOLD, 0.0)
+    }
+
+    /// The configured relative threshold.
+    pub fn rel_threshold(&self) -> f64 {
+        self.rel_threshold
+    }
+
+    /// The configured absolute floor.
+    pub fn min_count_floor(&self) -> f64 {
+        self.min_count_floor
+    }
+
+    /// Effective count threshold for a population of size `n`.
+    pub fn count_threshold(&self, n: usize) -> f64 {
+        (self.rel_threshold * n as f64).max(self.min_count_floor)
+    }
+}
+
+impl Default for HistogramDetector {
+    /// Paper threshold with an absolute floor of 2 records so the detector
+    /// remains meaningful on the scaled-down reproduction workloads.
+    fn default() -> Self {
+        HistogramDetector::new(Self::PAPER_REL_THRESHOLD, 2.0)
+    }
+}
+
+impl OutlierDetector for HistogramDetector {
+    fn name(&self) -> &'static str {
+        "Histogram"
+    }
+
+    fn is_outlier(&self, population: &[f64], target: usize) -> bool {
+        let n = population.len();
+        if n < self.min_population() || target >= n {
+            return false;
+        }
+        let Ok(hist) = EqualWidthHistogram::with_sqrt_bins(population) else {
+            return false;
+        };
+        let count = hist.count_at(population[target]) as f64;
+        count < self.count_threshold(n)
+    }
+
+    fn detect(&self, population: &[f64]) -> Vec<bool> {
+        let n = population.len();
+        if n < self.min_population() {
+            return vec![false; n];
+        }
+        let Ok(hist) = EqualWidthHistogram::with_sqrt_bins(population) else {
+            return vec![false; n];
+        };
+        let threshold = self.count_threshold(n);
+        population
+            .iter()
+            .map(|&x| (hist.count_at(x) as f64) < threshold)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lone_extreme_bin_is_flagged() {
+        // 499 values uniformly in [0, 100), one value at 1000.
+        let mut population: Vec<f64> = (0..499).map(|i| (i % 100) as f64).collect();
+        population.push(1000.0);
+        let det = HistogramDetector::default();
+        let target = population.len() - 1;
+        assert!(det.is_outlier(&population, target));
+        assert!(!det.is_outlier(&population, 0));
+    }
+
+    #[test]
+    fn paper_exact_rule_needs_large_populations() {
+        // With N = 200 the paper threshold is 0.5 < 1, so even a lone bin is
+        // not below it and nothing is flagged.
+        let mut population: Vec<f64> = (0..199).map(|i| (i % 50) as f64).collect();
+        population.push(10_000.0);
+        let exact = HistogramDetector::paper_exact();
+        assert!(!exact.is_outlier(&population, 199));
+        // With the default floor of 2 the same point is flagged.
+        let with_floor = HistogramDetector::default();
+        assert!(with_floor.is_outlier(&population, 199));
+    }
+
+    #[test]
+    fn paper_exact_rule_fires_on_large_population() {
+        // N = 4000 -> threshold 10; put 3 values in a far-away bin.
+        let mut population: Vec<f64> = (0..3997).map(|i| (i % 500) as f64).collect();
+        population.extend_from_slice(&[50_000.0, 50_001.0, 50_002.0]);
+        let det = HistogramDetector::paper_exact();
+        assert!(det.is_outlier(&population, 3999));
+        assert!(!det.is_outlier(&population, 10));
+    }
+
+    #[test]
+    fn batch_detect_matches_per_index() {
+        let mut population: Vec<f64> = (0..300).map(|i| (i % 60) as f64).collect();
+        population.push(5_000.0);
+        let det = HistogramDetector::default();
+        let batch = det.detect(&population);
+        for (i, &flag) in batch.iter().enumerate() {
+            assert_eq!(flag, det.is_outlier(&population, i), "index {i}");
+        }
+        assert!(batch[population.len() - 1]);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_not_flagged() {
+        let det = HistogramDetector::default();
+        assert!(!det.is_outlier(&[], 0));
+        assert!(!det.is_outlier(&[1.0, 2.0], 1));
+        assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 9));
+        assert_eq!(det.detect(&[1.0, 2.0]), vec![false, false]);
+        // Constant population: one bin holds everything, nobody is rare.
+        assert!(!det.is_outlier(&vec![7.0; 100], 5));
+    }
+
+    #[test]
+    fn count_threshold_uses_max_of_floor_and_relative() {
+        let det = HistogramDetector::new(0.01, 3.0);
+        assert_eq!(det.count_threshold(100), 3.0); // 1.0 vs floor 3.0
+        assert_eq!(det.count_threshold(1000), 10.0); // 10 vs floor 3
+        assert_eq!(det.rel_threshold(), 0.01);
+        assert_eq!(det.min_count_floor(), 3.0);
+        assert_eq!(det.name(), "Histogram");
+    }
+
+    #[test]
+    #[should_panic(expected = "rel_threshold")]
+    fn invalid_threshold_panics() {
+        HistogramDetector::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,123 @@
+//! Interquartile-range (Tukey fence) outlier rule (extension detector).
+//!
+//! Another detector beyond the paper's three, demonstrating PCOR's
+//! detector-agnostic design: a value is an outlier when it falls outside
+//! `[Q1 − k·IQR, Q3 + k·IQR]` with `k = 1.5` by default.
+
+use crate::OutlierDetector;
+use pcor_stats::descriptive::quantile;
+
+/// Tukey-fence IQR detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IqrDetector {
+    multiplier: f64,
+}
+
+impl IqrDetector {
+    /// Creates an IQR detector with the given fence multiplier (`k`).
+    ///
+    /// # Panics
+    /// Panics if `multiplier` is not strictly positive.
+    pub fn new(multiplier: f64) -> Self {
+        assert!(multiplier > 0.0, "multiplier must be positive");
+        IqrDetector { multiplier }
+    }
+
+    /// The configured fence multiplier.
+    pub fn multiplier(&self) -> f64 {
+        self.multiplier
+    }
+
+    /// The lower and upper Tukey fences for a population, if computable.
+    pub fn fences(&self, population: &[f64]) -> Option<(f64, f64)> {
+        if population.len() < 4 {
+            return None;
+        }
+        let q1 = quantile(population, 0.25).ok()?;
+        let q3 = quantile(population, 0.75).ok()?;
+        let iqr = q3 - q1;
+        Some((q1 - self.multiplier * iqr, q3 + self.multiplier * iqr))
+    }
+}
+
+impl Default for IqrDetector {
+    fn default() -> Self {
+        IqrDetector::new(1.5)
+    }
+}
+
+impl OutlierDetector for IqrDetector {
+    fn name(&self) -> &'static str {
+        "IQR"
+    }
+
+    fn is_outlier(&self, population: &[f64], target: usize) -> bool {
+        if target >= population.len() {
+            return false;
+        }
+        match self.fences(population) {
+            Some((lo, hi)) => {
+                let x = population[target];
+                x < lo || x > hi
+            }
+            None => false,
+        }
+    }
+
+    fn min_population(&self) -> usize {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_values_outside_fences() {
+        let mut population: Vec<f64> = (0..40).map(|i| 10.0 + (i % 8) as f64).collect();
+        population.push(200.0);
+        population.push(-150.0);
+        let det = IqrDetector::default();
+        assert!(det.is_outlier(&population, 40));
+        assert!(det.is_outlier(&population, 41));
+        assert!(!det.is_outlier(&population, 0));
+    }
+
+    #[test]
+    fn fences_match_hand_computation() {
+        // [1..=8]: Q1 = 2.75, Q3 = 6.25, IQR = 3.5 -> fences (-2.5, 11.5)
+        let population: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let (lo, hi) = IqrDetector::default().fences(&population).unwrap();
+        assert!((lo - (-2.5)).abs() < 1e-12);
+        assert!((hi - 11.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_populations_are_safe() {
+        let det = IqrDetector::default();
+        assert!(!det.is_outlier(&[], 0));
+        assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 0));
+        assert!(!det.is_outlier(&[1.0, 2.0, 3.0, 4.0], 11));
+        assert!(!det.is_outlier(&vec![5.0; 20], 3));
+        assert_eq!(det.fences(&[1.0, 2.0]), None);
+        assert_eq!(det.min_population(), 4);
+    }
+
+    #[test]
+    fn multiplier_controls_width() {
+        let narrow = IqrDetector::new(0.5);
+        let wide = IqrDetector::new(5.0);
+        let population: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 20.0];
+        assert!(narrow.is_outlier(&population, 8));
+        assert!(!wide.is_outlier(&population, 8));
+        assert_eq!(narrow.multiplier(), 0.5);
+        assert_eq!(narrow.name(), "IQR");
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be positive")]
+    fn non_positive_multiplier_panics() {
+        IqrDetector::new(0.0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Local Outlier Factor (Breunig et al., SIGMOD 2000) — the distance-based
+//! detector evaluated in the PCOR paper.
+//!
+//! LOF scores each point by comparing its local reachability density to that
+//! of its `k` nearest neighbors: scores near 1 indicate a point whose
+//! neighborhood is as dense as its neighbors' neighborhoods, scores well
+//! above 1 indicate a point sitting in a sparser region than its neighbors —
+//! an outlier. PCOR applies detectors to the one-dimensional metric attribute,
+//! so neighbor search is done on a sorted copy of the population with a
+//! two-pointer window (O(N log N) per population).
+
+use crate::OutlierDetector;
+
+/// Local Outlier Factor detector over one-dimensional metric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LofDetector {
+    /// Neighborhood size `k` (MinPts in the original paper).
+    k: usize,
+    /// Score threshold above which a point is declared an outlier.
+    threshold: f64,
+}
+
+impl LofDetector {
+    /// Creates a LOF detector with neighborhood size `k` and outlier score
+    /// `threshold`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or `threshold <= 0`.
+    pub fn new(k: usize, threshold: f64) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(threshold > 0.0, "threshold must be positive");
+        LofDetector { k, threshold }
+    }
+
+    /// The configured neighborhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The configured score threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// LOF scores for every member of the population (1.0 for degenerate
+    /// populations).
+    pub fn scores(&self, population: &[f64]) -> Vec<f64> {
+        let n = population.len();
+        if n < 3 {
+            return vec![1.0; n];
+        }
+        let k = self.k.min(n - 1);
+
+        // Sort indices by value; neighbors in 1-D are contiguous in the sorted
+        // order, found by expanding a two-pointer window.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            population[a]
+                .partial_cmp(&population[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let sorted: Vec<f64> = order.iter().map(|&i| population[i]).collect();
+
+        // neighbors[s] = sorted positions of the k nearest neighbors of sorted
+        // position s; kdist[s] = distance to the k-th nearest neighbor.
+        let mut neighbors: Vec<Vec<usize>> = Vec::with_capacity(n);
+        let mut kdist: Vec<f64> = Vec::with_capacity(n);
+        for s in 0..n {
+            let (nbrs, kd) = Self::knn_sorted(&sorted, s, k);
+            neighbors.push(nbrs);
+            kdist.push(kd);
+        }
+
+        // Local reachability density per sorted position.
+        let mut lrd: Vec<f64> = Vec::with_capacity(n);
+        for s in 0..n {
+            let mut sum = 0.0;
+            for &o in &neighbors[s] {
+                let d = (sorted[s] - sorted[o]).abs();
+                sum += d.max(kdist[o]);
+            }
+            let mean_reach = sum / neighbors[s].len() as f64;
+            lrd.push(if mean_reach > 0.0 { 1.0 / mean_reach } else { f64::INFINITY });
+        }
+
+        // LOF per sorted position, then scatter back to input order.
+        let mut scores_sorted: Vec<f64> = Vec::with_capacity(n);
+        for s in 0..n {
+            if lrd[s].is_infinite() {
+                // The point sits in a zero-diameter cluster: as dense as it gets.
+                scores_sorted.push(1.0);
+                continue;
+            }
+            let sum_ratio: f64 = neighbors[s]
+                .iter()
+                .map(|&o| if lrd[o].is_infinite() { f64::INFINITY } else { lrd[o] / lrd[s] })
+                .sum();
+            scores_sorted.push(sum_ratio / neighbors[s].len() as f64);
+        }
+
+        let mut scores = vec![1.0; n];
+        for (s, &orig) in order.iter().enumerate() {
+            scores[orig] = scores_sorted[s];
+        }
+        scores
+    }
+
+    /// k nearest neighbors (by sorted position) of sorted position `s`,
+    /// together with the k-distance. Ties beyond the k-th neighbor are
+    /// included, per the original LOF definition.
+    fn knn_sorted(sorted: &[f64], s: usize, k: usize) -> (Vec<usize>, f64) {
+        let n = sorted.len();
+        let mut lo = s;
+        let mut hi = s;
+        let mut picked: Vec<usize> = Vec::with_capacity(k + 2);
+        while picked.len() < k && (lo > 0 || hi + 1 < n) {
+            let left_d = if lo > 0 { sorted[s] - sorted[lo - 1] } else { f64::INFINITY };
+            let right_d = if hi + 1 < n { sorted[hi + 1] - sorted[s] } else { f64::INFINITY };
+            if left_d <= right_d {
+                lo -= 1;
+                picked.push(lo);
+            } else {
+                hi += 1;
+                picked.push(hi);
+            }
+        }
+        let kdist = picked
+            .iter()
+            .map(|&p| (sorted[s] - sorted[p]).abs())
+            .fold(0.0_f64, f64::max);
+        // Include any further ties at exactly the k-distance.
+        loop {
+            let left_d = if lo > 0 { sorted[s] - sorted[lo - 1] } else { f64::INFINITY };
+            let right_d = if hi + 1 < n { sorted[hi + 1] - sorted[s] } else { f64::INFINITY };
+            if left_d == kdist && left_d.is_finite() {
+                lo -= 1;
+                picked.push(lo);
+            } else if right_d == kdist && right_d.is_finite() {
+                hi += 1;
+                picked.push(hi);
+            } else {
+                break;
+            }
+        }
+        (picked, kdist)
+    }
+}
+
+impl Default for LofDetector {
+    /// `k = 10`, threshold `1.5` — conventional values used throughout the
+    /// reproduction experiments.
+    fn default() -> Self {
+        LofDetector::new(10, 1.5)
+    }
+}
+
+impl OutlierDetector for LofDetector {
+    fn name(&self) -> &'static str {
+        "LOF"
+    }
+
+    fn is_outlier(&self, population: &[f64], target: usize) -> bool {
+        if population.len() < self.min_population() || target >= population.len() {
+            return false;
+        }
+        self.scores(population)[target] > self.threshold
+    }
+
+    fn detect(&self, population: &[f64]) -> Vec<bool> {
+        if population.len() < self.min_population() {
+            return vec![false; population.len()];
+        }
+        self.scores(population).into_iter().map(|s| s > self.threshold).collect()
+    }
+
+    fn min_population(&self) -> usize {
+        self.k + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolated_point_gets_high_score() {
+        // Dense cluster near 0..20, one isolated value at 500.
+        let mut population: Vec<f64> = (0..40).map(|i| (i % 20) as f64).collect();
+        population.push(500.0);
+        let det = LofDetector::default();
+        let scores = det.scores(&population);
+        let target = population.len() - 1;
+        assert!(scores[target] > 2.0, "outlier score {}", scores[target]);
+        assert!(det.is_outlier(&population, target));
+        // Cluster members are not outliers.
+        assert!(!det.is_outlier(&population, 0));
+        assert!(scores[0] < 1.5);
+    }
+
+    #[test]
+    fn uniform_population_scores_near_one() {
+        let population: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let det = LofDetector::default();
+        let scores = det.scores(&population);
+        // Interior points of an evenly spaced line have LOF ~= 1.
+        for &s in &scores[10..90] {
+            assert!((s - 1.0).abs() < 0.35, "score {s}");
+        }
+        assert_eq!(det.detect(&population).iter().filter(|&&o| o).count(), 0);
+    }
+
+    #[test]
+    fn constant_population_is_never_flagged() {
+        let population = vec![42.0; 50];
+        let det = LofDetector::default();
+        assert!(det.scores(&population).iter().all(|&s| s == 1.0));
+        assert!(!det.is_outlier(&population, 7));
+    }
+
+    #[test]
+    fn duplicate_cluster_with_one_outlier() {
+        let mut population = vec![10.0; 30];
+        population.push(10_000.0);
+        let det = LofDetector::new(5, 1.5);
+        assert!(det.is_outlier(&population, 30));
+        assert!(!det.is_outlier(&population, 0));
+    }
+
+    #[test]
+    fn small_populations_are_not_flagged() {
+        let det = LofDetector::default();
+        assert!(!det.is_outlier(&[], 0));
+        assert!(!det.is_outlier(&[1.0, 100.0], 1));
+        assert!(!det.is_outlier(&[1.0, 2.0, 100.0], 2)); // below k + 1
+        assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 10)); // bad index
+        assert_eq!(det.min_population(), 11);
+    }
+
+    #[test]
+    fn k_larger_than_population_is_clamped() {
+        let det = LofDetector::new(50, 1.5);
+        let mut population: Vec<f64> = (0..60).map(|i| (i % 30) as f64).collect();
+        population.push(900.0);
+        // Works (k clamped to n-1) and still flags the isolated point.
+        assert!(det.is_outlier(&population, 60));
+    }
+
+    #[test]
+    fn scores_are_deterministic_and_batch_matches() {
+        let population: Vec<f64> = (0..80).map(|i| ((i * 37) % 23) as f64).collect();
+        let det = LofDetector::default();
+        let s1 = det.scores(&population);
+        let s2 = det.scores(&population);
+        assert_eq!(s1, s2);
+        let batch = det.detect(&population);
+        for (i, &flag) in batch.iter().enumerate() {
+            assert_eq!(flag, s1[i] > det.threshold());
+        }
+    }
+
+    #[test]
+    fn accessors_and_validation() {
+        let det = LofDetector::new(7, 2.0);
+        assert_eq!(det.k(), 7);
+        assert_eq!(det.threshold(), 2.0);
+        assert_eq!(det.name(), "LOF");
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn zero_k_panics() {
+        LofDetector::new(0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn non_positive_threshold_panics() {
+        LofDetector::new(5, 0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! z-score outlier rule (extension detector).
+//!
+//! Not part of the paper's evaluation, but included to demonstrate PCOR's
+//! claim that the framework accommodates *any* deterministic detector: a value
+//! is an outlier when its absolute z-score within the population exceeds a
+//! threshold (3.0 by default — the classical "three sigma" rule).
+
+use crate::OutlierDetector;
+use pcor_stats::descriptive::z_score;
+
+/// Three-sigma style z-score detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZScoreDetector {
+    threshold: f64,
+}
+
+impl ZScoreDetector {
+    /// Creates a z-score detector with the given absolute-score threshold.
+    ///
+    /// # Panics
+    /// Panics if `threshold` is not strictly positive.
+    pub fn new(threshold: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        ZScoreDetector { threshold }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+}
+
+impl Default for ZScoreDetector {
+    fn default() -> Self {
+        ZScoreDetector::new(3.0)
+    }
+}
+
+impl OutlierDetector for ZScoreDetector {
+    fn name(&self) -> &'static str {
+        "ZScore"
+    }
+
+    fn is_outlier(&self, population: &[f64], target: usize) -> bool {
+        if population.len() < self.min_population() || target >= population.len() {
+            return false;
+        }
+        match z_score(population, population[target]) {
+            Ok(z) => z.abs() > self.threshold,
+            Err(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_far_values_only() {
+        let mut population: Vec<f64> = (0..100).map(|i| 50.0 + (i % 10) as f64).collect();
+        population.push(500.0);
+        let det = ZScoreDetector::default();
+        assert!(det.is_outlier(&population, 100));
+        assert!(!det.is_outlier(&population, 3));
+    }
+
+    #[test]
+    fn degenerate_populations_are_safe() {
+        let det = ZScoreDetector::default();
+        assert!(!det.is_outlier(&[], 0));
+        assert!(!det.is_outlier(&[1.0, 2.0], 0));
+        assert!(!det.is_outlier(&vec![5.0; 10], 2));
+        assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 9));
+    }
+
+    #[test]
+    fn threshold_controls_sensitivity() {
+        let mut population: Vec<f64> = (0..30).map(|i| (i % 5) as f64).collect();
+        population.push(8.0);
+        let sensitive = ZScoreDetector::new(1.0);
+        let strict = ZScoreDetector::new(10.0);
+        assert!(sensitive.is_outlier(&population, 30));
+        assert!(!strict.is_outlier(&population, 30));
+        assert_eq!(sensitive.threshold(), 1.0);
+        assert_eq!(sensitive.name(), "ZScore");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn non_positive_threshold_panics() {
+        ZScoreDetector::new(-1.0);
+    }
+}

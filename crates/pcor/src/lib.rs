@@ -1,0 +1,90 @@
+//! # pcor
+//!
+//! Facade crate for **PCOR — Private Contextual Outlier Release via
+//! Differentially Private Search** (Shafieinejad, Kerschbaum, Ilyas;
+//! SIGMOD 2021), re-exporting the full public API of the workspace:
+//!
+//! * [`data`] — schemas, contexts, datasets, synthetic workload generators
+//!   (`pcor-data`);
+//! * [`stats`] — the statistics substrate (`pcor-stats`);
+//! * [`outlier`] — Grubbs, Histogram, LOF and extension detectors
+//!   (`pcor-outlier`);
+//! * [`dp`] — the Exponential/Laplace mechanisms, utility functions and OCDP
+//!   budgets (`pcor-dp`);
+//! * [`graph`] — the implicit context graph and classic searches
+//!   (`pcor-graph`);
+//! * [`core`] — the five PCOR release algorithms, COE enumeration and the
+//!   privacy experiments (`pcor-core`).
+//!
+//! The most common entry points are re-exported at the crate root so a typical
+//! application only needs `use pcor::prelude::*`.
+//!
+//! ```
+//! use pcor::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let dataset = salary_dataset(&SalaryConfig::tiny()).unwrap();
+//! let detector = LofDetector::default();
+//! let utility = PopulationSizeUtility;
+//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
+//!
+//! if let Ok(outlier) = find_random_outlier(&dataset, &detector, 100, &mut rng) {
+//!     let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2).with_samples(20);
+//!     let released =
+//!         release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
+//!             .unwrap();
+//!     println!("{}", released.context.to_predicate_string(dataset.schema()));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pcor_core as core;
+pub use pcor_data as data;
+pub use pcor_dp as dp;
+pub use pcor_graph as graph;
+pub use pcor_outlier as outlier;
+pub use pcor_stats as stats;
+
+/// Everything a typical PCOR application needs, in one import.
+pub mod prelude {
+    pub use pcor_core::runner::{find_random_outlier, find_random_outliers, OutlierQuery};
+    pub use pcor_core::{
+        enumerate_coe, release_context, PcorConfig, PcorError, PcorResult, ReferenceFile,
+        SamplingAlgorithm,
+    };
+    pub use pcor_data::generator::{
+        homicide_dataset, salary_dataset, HomicideConfig, SalaryConfig,
+    };
+    pub use pcor_data::{Attribute, Context, Dataset, Record, Schema};
+    pub use pcor_dp::{
+        BudgetAccountant, ExponentialMechanism, LaplaceMechanism, OverlapUtility,
+        PopulationSizeUtility, Utility,
+    };
+    pub use pcor_graph::ContextGraph;
+    pub use pcor_outlier::{
+        DetectorKind, GrubbsDetector, HistogramDetector, IqrDetector, LofDetector,
+        OutlierDetector, ZScoreDetector,
+    };
+    pub use pcor_stats::{ConfidenceInterval, RuntimeSummary, UtilitySummary};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        // Construct one value of each central type to prove the re-exports
+        // resolve.
+        let _ = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2);
+        let _ = SalaryConfig::tiny();
+        let _ = HomicideConfig::tiny();
+        let _ = PopulationSizeUtility;
+        let _ = LofDetector::default();
+        let _ = GrubbsDetector::default();
+        let _ = HistogramDetector::default();
+        let _ = ContextGraph::new(4);
+        let _ = Context::empty(4);
+    }
+}

@@ -1,0 +1,180 @@
+//! Descriptive statistics: means, variances, quantiles, z-scores.
+//!
+//! These helpers are shared by every outlier detector in `pcor-outlier` and by
+//! the experiment harness (which reports mean utilities and runtime spreads).
+
+use crate::{Result, StatsError};
+
+/// Arithmetic mean of `data`.
+///
+/// # Errors
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn mean(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance (denominator `n - 1`).
+///
+/// # Errors
+/// Requires at least two observations.
+pub fn sample_variance(data: &[f64]) -> Result<f64> {
+    if data.len() < 2 {
+        return Err(StatsError::InsufficientData { required: 2, actual: data.len() });
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Population variance (denominator `n`).
+///
+/// # Errors
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn population_variance(data: &[f64]) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let m = mean(data)?;
+    let ss: f64 = data.iter().map(|x| (x - m) * (x - m)).sum();
+    Ok(ss / data.len() as f64)
+}
+
+/// Unbiased sample standard deviation.
+///
+/// # Errors
+/// Requires at least two observations.
+pub fn sample_std(data: &[f64]) -> Result<f64> {
+    Ok(sample_variance(data)?.sqrt())
+}
+
+/// Median (interpolated for even-length inputs).
+///
+/// # Errors
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn median(data: &[f64]) -> Result<f64> {
+    quantile(data, 0.5)
+}
+
+/// Linear-interpolation quantile (type 7, the R/NumPy default).
+///
+/// `q` must lie in `[0, 1]`. The input does not need to be sorted.
+///
+/// # Errors
+/// Returns an error on empty input or `q` outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> Result<f64> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::InvalidParameter("quantile: q must be in [0, 1]"));
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    if n == 1 {
+        return Ok(sorted[0]);
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Z-score of `value` with respect to the sample mean and standard deviation
+/// of `data`.
+///
+/// Returns `0.0` when the standard deviation is zero (a degenerate constant
+/// population cannot single out any value).
+///
+/// # Errors
+/// Requires at least two observations.
+pub fn z_score(data: &[f64], value: f64) -> Result<f64> {
+    let m = mean(data)?;
+    let s = sample_std(data)?;
+    if s == 0.0 {
+        return Ok(0.0);
+    }
+    Ok((value - m) / s)
+}
+
+/// Minimum and maximum of a non-empty slice.
+///
+/// # Errors
+/// Returns [`StatsError::EmptyInput`] for an empty slice.
+pub fn min_max(data: &[f64]) -> Result<(f64, f64)> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyInput);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in data {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Ok((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&data).unwrap(), 5.0);
+        assert!((population_variance(&data).unwrap() - 4.0).abs() < 1e-12);
+        assert!((sample_variance(&data).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((sample_std(&data).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_short_inputs_error() {
+        assert_eq!(mean(&[]), Err(StatsError::EmptyInput));
+        assert!(matches!(
+            sample_variance(&[1.0]),
+            Err(StatsError::InsufficientData { required: 2, actual: 1 })
+        ));
+        assert_eq!(population_variance(&[]), Err(StatsError::EmptyInput));
+        assert_eq!(min_max(&[]), Err(StatsError::EmptyInput));
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+        assert_eq!(median(&[7.0]).unwrap(), 7.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert_eq!(quantile(&data, 0.5).unwrap(), 2.5);
+        assert!((quantile(&data, 0.25).unwrap() - 1.75).abs() < 1e-12);
+        assert!(quantile(&data, 1.5).is_err());
+    }
+
+    #[test]
+    fn z_score_basic_and_degenerate() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = z_score(&data, 5.0).unwrap();
+        assert!((z - 2.0 / (2.5f64).sqrt()).abs() < 1e-12);
+        // Constant population: every z-score is defined as 0.
+        assert_eq!(z_score(&[3.0, 3.0, 3.0], 10.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn min_max_finds_extremes() {
+        assert_eq!(min_max(&[3.0, -1.0, 7.0, 0.0]).unwrap(), (-1.0, 7.0));
+        assert_eq!(min_max(&[5.0]).unwrap(), (5.0, 5.0));
+    }
+}

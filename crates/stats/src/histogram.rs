@@ -1,0 +1,196 @@
+//! Equal-width histogram binning.
+//!
+//! The histogram (distribution-fitting) outlier detector from the PCOR paper
+//! bins a context's population into `sqrt(|D_C|)` equal-width bins and labels
+//! the bins whose frequency falls below `2.5e-3 * |D_C|` as outlier bins. The
+//! experiment harness also uses histograms to report the utility/runtime
+//! distributions shown in Figures 1–5.
+
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// A single histogram bin: `[lower, upper)` (the last bin is closed on both
+/// ends so that the maximum value is always binned).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HistogramBin {
+    /// Inclusive lower edge of the bin.
+    pub lower: f64,
+    /// Exclusive upper edge of the bin (inclusive for the final bin).
+    pub upper: f64,
+    /// Number of observations that fell into the bin.
+    pub count: usize,
+}
+
+impl HistogramBin {
+    /// Relative frequency of this bin given the total number of observations.
+    pub fn frequency(&self, total: usize) -> f64 {
+        if total == 0 {
+            0.0
+        } else {
+            self.count as f64 / total as f64
+        }
+    }
+}
+
+/// An equal-width histogram over a fixed range.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EqualWidthHistogram {
+    bins: Vec<HistogramBin>,
+    min: f64,
+    max: f64,
+    total: usize,
+}
+
+impl EqualWidthHistogram {
+    /// Builds a histogram of `data` with `num_bins` equal-width bins spanning
+    /// `[min(data), max(data)]`.
+    ///
+    /// # Errors
+    /// Returns an error for empty data or `num_bins == 0`.
+    pub fn from_data(data: &[f64], num_bins: usize) -> Result<Self> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        if num_bins == 0 {
+            return Err(StatsError::InvalidParameter("histogram: num_bins must be > 0"));
+        }
+        let (min, max) = crate::descriptive::min_max(data)?;
+        let width = if max > min { (max - min) / num_bins as f64 } else { 1.0 };
+        let mut bins: Vec<HistogramBin> = (0..num_bins)
+            .map(|i| HistogramBin {
+                lower: min + i as f64 * width,
+                upper: min + (i + 1) as f64 * width,
+                count: 0,
+            })
+            .collect();
+        for &x in data {
+            let idx = Self::index_for(x, min, width, num_bins);
+            bins[idx].count += 1;
+        }
+        Ok(EqualWidthHistogram { bins, min, max, total: data.len() })
+    }
+
+    /// Builds a histogram using the paper's rule of thumb: `sqrt(n)` bins.
+    ///
+    /// # Errors
+    /// Returns an error for empty data.
+    pub fn with_sqrt_bins(data: &[f64]) -> Result<Self> {
+        let num_bins = (data.len() as f64).sqrt().ceil().max(1.0) as usize;
+        Self::from_data(data, num_bins)
+    }
+
+    fn index_for(x: f64, min: f64, width: f64, num_bins: usize) -> usize {
+        if width <= 0.0 {
+            return 0;
+        }
+        let raw = ((x - min) / width).floor() as isize;
+        raw.clamp(0, num_bins as isize - 1) as usize
+    }
+
+    /// Index of the bin containing `value` (values outside the original range
+    /// are clamped into the first/last bin).
+    pub fn bin_index(&self, value: f64) -> usize {
+        let width = if self.bins.is_empty() {
+            1.0
+        } else {
+            self.bins[0].upper - self.bins[0].lower
+        };
+        Self::index_for(value, self.min, width, self.bins.len())
+    }
+
+    /// The bins of the histogram.
+    pub fn bins(&self) -> &[HistogramBin] {
+        &self.bins
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Count of the bin containing `value`.
+    pub fn count_at(&self, value: f64) -> usize {
+        self.bins[self.bin_index(value)].count
+    }
+
+    /// Relative frequency of the bin containing `value`.
+    pub fn frequency_at(&self, value: f64) -> f64 {
+        self.bins[self.bin_index(value)].frequency(self.total)
+    }
+
+    /// Minimum of the data range the histogram was built over.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum of the data range the histogram was built over.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_up_and_edges_are_binned() {
+        let data: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let h = EqualWidthHistogram::from_data(&data, 10).unwrap();
+        assert_eq!(h.bins().len(), 10);
+        assert_eq!(h.bins().iter().map(|b| b.count).sum::<usize>(), 100);
+        // Max value must land in the last bin, not fall off the end.
+        assert_eq!(h.bin_index(99.0), 9);
+        assert_eq!(h.bin_index(0.0), 0);
+        // Out-of-range values are clamped.
+        assert_eq!(h.bin_index(-5.0), 0);
+        assert_eq!(h.bin_index(500.0), 9);
+    }
+
+    #[test]
+    fn uniform_data_has_uniform_counts() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        let h = EqualWidthHistogram::from_data(&data, 10).unwrap();
+        for b in h.bins() {
+            assert_eq!(b.count, 100);
+            assert!((b.frequency(h.total()) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sqrt_rule_bin_count() {
+        let data: Vec<f64> = (0..400).map(|i| i as f64).collect();
+        let h = EqualWidthHistogram::with_sqrt_bins(&data).unwrap();
+        assert_eq!(h.bins().len(), 20);
+    }
+
+    #[test]
+    fn constant_data_all_in_one_bin() {
+        let data = vec![5.0; 50];
+        let h = EqualWidthHistogram::from_data(&data, 4).unwrap();
+        assert_eq!(h.count_at(5.0), 50);
+        assert_eq!(h.bins().iter().map(|b| b.count).sum::<usize>(), 50);
+    }
+
+    #[test]
+    fn invalid_inputs_error() {
+        assert!(EqualWidthHistogram::from_data(&[], 5).is_err());
+        assert!(EqualWidthHistogram::from_data(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn frequency_at_detects_rare_values() {
+        // 99 values near 0, one far away: the far bin must be rare.
+        let mut data = vec![0.0; 99];
+        data.push(100.0);
+        let h = EqualWidthHistogram::from_data(&data, 10).unwrap();
+        assert!(h.frequency_at(100.0) <= 0.01 + 1e-12);
+        assert!(h.frequency_at(0.0) >= 0.99 - 1e-12);
+    }
+
+    #[test]
+    fn bin_frequency_with_zero_total_is_zero() {
+        let bin = HistogramBin { lower: 0.0, upper: 1.0, count: 3 };
+        assert_eq!(bin.frequency(0), 0.0);
+    }
+}

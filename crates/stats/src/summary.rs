@@ -1,0 +1,228 @@
+//! Experiment summaries: confidence intervals and runtime aggregates.
+//!
+//! The PCOR paper repeats every experiment 200 times and reports (i) the mean
+//! utility with a 90% confidence interval and (ii) the min/max/average
+//! runtime. These types compute exactly those summaries for the reproduction
+//! harness in `pcor-bench`.
+
+use crate::descriptive::{mean, min_max, sample_std};
+use crate::distributions::StudentT;
+use crate::{Result, StatsError};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level in `(0, 1)`, e.g. `0.9` for the paper's 90% CIs.
+    pub level: f64,
+}
+
+impl ConfidenceInterval {
+    /// Student-t confidence interval for the mean of `data` at `level`
+    /// confidence (e.g. `0.9`).
+    ///
+    /// # Errors
+    /// Requires at least two observations and `level ∈ (0, 1)`.
+    pub fn for_mean(data: &[f64], level: f64) -> Result<Self> {
+        if !(0.0..1.0).contains(&level) || level <= 0.0 {
+            return Err(StatsError::InvalidParameter("confidence level must be in (0, 1)"));
+        }
+        if data.len() < 2 {
+            return Err(StatsError::InsufficientData { required: 2, actual: data.len() });
+        }
+        let m = mean(data)?;
+        let s = sample_std(data)?;
+        let n = data.len() as f64;
+        let t = StudentT::new(n - 1.0)?.quantile(0.5 + level / 2.0)?;
+        let half = t * s / n.sqrt();
+        Ok(ConfidenceInterval { mean: m, lower: m - half, upper: m + half, level })
+    }
+
+    /// Width of the interval.
+    pub fn width(&self) -> f64 {
+        self.upper - self.lower
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lower && value <= self.upper
+    }
+}
+
+/// Utility summary in the format of the paper's utility tables
+/// (mean utility ratio plus a 90% CI).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UtilitySummary {
+    /// Mean utility ratio across repetitions (1.0 = maximum-utility context).
+    pub mean: f64,
+    /// Lower end of the confidence interval.
+    pub ci_lower: f64,
+    /// Upper end of the confidence interval.
+    pub ci_upper: f64,
+    /// Number of repetitions summarised.
+    pub repetitions: usize,
+}
+
+impl UtilitySummary {
+    /// Summarises per-repetition utility ratios with a 90% confidence interval
+    /// (clamped to `[0, 1]`, the valid range of a utility ratio).
+    ///
+    /// # Errors
+    /// Requires at least two repetitions.
+    pub fn from_ratios(ratios: &[f64]) -> Result<Self> {
+        let ci = ConfidenceInterval::for_mean(ratios, 0.90)?;
+        Ok(UtilitySummary {
+            mean: ci.mean,
+            ci_lower: ci.lower.max(0.0),
+            ci_upper: ci.upper.min(1.0),
+            repetitions: ratios.len(),
+        })
+    }
+}
+
+impl std::fmt::Display for UtilitySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.2} ({:.2}, {:.2})",
+            self.mean, self.ci_lower, self.ci_upper
+        )
+    }
+}
+
+/// Runtime summary in the format of the paper's performance tables
+/// (min / max / average).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeSummary {
+    /// Shortest observed runtime in seconds.
+    pub min_secs: f64,
+    /// Longest observed runtime in seconds.
+    pub max_secs: f64,
+    /// Mean runtime in seconds.
+    pub avg_secs: f64,
+    /// Number of repetitions summarised.
+    pub repetitions: usize,
+}
+
+impl RuntimeSummary {
+    /// Summarises a list of measured durations.
+    ///
+    /// # Errors
+    /// Returns an error for an empty list.
+    pub fn from_durations(durations: &[Duration]) -> Result<Self> {
+        if durations.is_empty() {
+            return Err(StatsError::EmptyInput);
+        }
+        let secs: Vec<f64> = durations.iter().map(|d| d.as_secs_f64()).collect();
+        let (lo, hi) = min_max(&secs)?;
+        Ok(RuntimeSummary {
+            min_secs: lo,
+            max_secs: hi,
+            avg_secs: mean(&secs)?,
+            repetitions: secs.len(),
+        })
+    }
+
+    /// Formats a duration in the paper's human-readable style
+    /// (`15s`, `37m`, `24h`).
+    pub fn humanize(secs: f64) -> String {
+        if secs < 1.0 {
+            format!("{:.0}ms", secs * 1e3)
+        } else if secs < 120.0 {
+            format!("{secs:.1}s")
+        } else if secs < 7200.0 {
+            format!("{:.1}m", secs / 60.0)
+        } else {
+            format!("{:.1}h", secs / 3600.0)
+        }
+    }
+}
+
+impl std::fmt::Display for RuntimeSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min {} / max {} / avg {}",
+            Self::humanize(self.min_secs),
+            Self::humanize(self.max_secs),
+            Self::humanize(self.avg_secs)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_is_centered_and_shrinks_with_n() {
+        let small: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let large: Vec<f64> = (0..1000).map(|i| (i % 10) as f64).collect();
+        let ci_small = ConfidenceInterval::for_mean(&small, 0.9).unwrap();
+        let ci_large = ConfidenceInterval::for_mean(&large, 0.9).unwrap();
+        assert!((ci_small.mean - 4.5).abs() < 1e-12);
+        assert!((ci_large.mean - 4.5).abs() < 1e-12);
+        assert!(ci_large.width() < ci_small.width());
+        assert!(ci_small.contains(ci_small.mean));
+        assert!(ci_small.lower < ci_small.mean && ci_small.mean < ci_small.upper);
+    }
+
+    #[test]
+    fn ci_known_value() {
+        // data = [1..=5], mean 3, s = sqrt(2.5), n = 5, dof = 4
+        // t_{0.95, 4} = 2.1318..., half width = t * s / sqrt(5)
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ci = ConfidenceInterval::for_mean(&data, 0.90).unwrap();
+        let half = 2.131_846_786 * (2.5f64).sqrt() / (5.0f64).sqrt();
+        assert!((ci.upper - (3.0 + half)).abs() < 1e-5);
+        assert!((ci.lower - (3.0 - half)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ci_rejects_bad_input() {
+        assert!(ConfidenceInterval::for_mean(&[1.0], 0.9).is_err());
+        assert!(ConfidenceInterval::for_mean(&[1.0, 2.0], 1.5).is_err());
+        assert!(ConfidenceInterval::for_mean(&[1.0, 2.0], 0.0).is_err());
+    }
+
+    #[test]
+    fn utility_summary_clamps_to_unit_interval() {
+        let ratios = [0.98, 0.99, 1.0, 1.0, 0.97];
+        let s = UtilitySummary::from_ratios(&ratios).unwrap();
+        assert!(s.ci_upper <= 1.0);
+        assert!(s.ci_lower >= 0.0);
+        assert_eq!(s.repetitions, 5);
+        let display = s.to_string();
+        assert!(display.contains('('));
+    }
+
+    #[test]
+    fn runtime_summary_aggregates() {
+        let ds = [
+            Duration::from_millis(500),
+            Duration::from_secs(2),
+            Duration::from_secs(1),
+        ];
+        let s = RuntimeSummary::from_durations(&ds).unwrap();
+        assert!((s.min_secs - 0.5).abs() < 1e-12);
+        assert!((s.max_secs - 2.0).abs() < 1e-12);
+        assert!((s.avg_secs - 3.5 / 3.0).abs() < 1e-12);
+        assert_eq!(s.repetitions, 3);
+        assert!(RuntimeSummary::from_durations(&[]).is_err());
+    }
+
+    #[test]
+    fn humanize_selects_units() {
+        assert_eq!(RuntimeSummary::humanize(0.25), "250ms");
+        assert_eq!(RuntimeSummary::humanize(15.0), "15.0s");
+        assert_eq!(RuntimeSummary::humanize(600.0), "10.0m");
+        assert_eq!(RuntimeSummary::humanize(10800.0), "3.0h");
+    }
+}

@@ -1,0 +1,106 @@
+//! Property-based tests of the statistics substrate.
+
+use pcor_stats::descriptive::{mean, median, min_max, quantile, sample_variance};
+use pcor_stats::distributions::{Normal, StudentT};
+use pcor_stats::histogram::EqualWidthHistogram;
+use pcor_stats::special::{incomplete_beta_regularized, inverse_incomplete_beta, ln_gamma};
+use pcor_stats::summary::ConfidenceInterval;
+use proptest::prelude::*;
+
+fn data() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-1e6f64..1e6, 2..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The mean lies between the extremes, the variance is non-negative, and
+    /// shifting the data shifts the mean without changing the variance.
+    #[test]
+    fn mean_and_variance_behave_affinely(values in data(), shift in -1e3f64..1e3) {
+        let m = mean(&values).unwrap();
+        let (lo, hi) = min_max(&values).unwrap();
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+        let v = sample_variance(&values).unwrap();
+        prop_assert!(v >= -1e-9);
+        let shifted: Vec<f64> = values.iter().map(|x| x + shift).collect();
+        prop_assert!((mean(&shifted).unwrap() - (m + shift)).abs() < 1e-6);
+        prop_assert!((sample_variance(&shifted).unwrap() - v).abs() < 1e-3 * (1.0 + v));
+    }
+
+    /// Quantiles are monotone in q and bounded by the data range; the median
+    /// is the 0.5 quantile.
+    #[test]
+    fn quantiles_are_monotone(values in data(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = min_max(&values).unwrap();
+        let (qa, qb) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&values, qa).unwrap();
+        let b = quantile(&values, qb).unwrap();
+        prop_assert!(a <= b + 1e-9);
+        prop_assert!(a >= lo - 1e-9 && b <= hi + 1e-9);
+        prop_assert_eq!(median(&values).unwrap(), quantile(&values, 0.5).unwrap());
+    }
+
+    /// ln_gamma satisfies the recurrence ln Γ(x+1) = ln Γ(x) + ln x.
+    #[test]
+    fn ln_gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = ln_gamma(x) + x.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-9 * (1.0 + lhs.abs()));
+    }
+
+    /// The regularized incomplete beta is a CDF in x: monotone, 0 at 0, 1 at 1,
+    /// and its inverse round-trips.
+    #[test]
+    fn incomplete_beta_is_a_cdf(a in 0.2f64..20.0, b in 0.2f64..20.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let f_lo = incomplete_beta_regularized(a, b, lo).unwrap();
+        let f_hi = incomplete_beta_regularized(a, b, hi).unwrap();
+        prop_assert!(f_lo <= f_hi + 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f_lo));
+        let p = f_hi.clamp(1e-6, 1.0 - 1e-6);
+        let x_back = inverse_incomplete_beta(a, b, p).unwrap();
+        let p_back = incomplete_beta_regularized(a, b, x_back).unwrap();
+        prop_assert!((p_back - p).abs() < 1e-6);
+    }
+
+    /// Normal and Student-t quantiles invert their CDFs, and the t distribution
+    /// has heavier tails than the normal.
+    #[test]
+    fn distribution_quantiles_invert_cdfs(dof in 1.0f64..200.0, p in 0.001f64..0.999) {
+        let normal = Normal::standard();
+        let t = StudentT::new(dof).unwrap();
+        let zq = normal.quantile(p).unwrap();
+        prop_assert!((normal.cdf(zq) - p).abs() < 1e-7);
+        let tq = t.quantile(p).unwrap();
+        prop_assert!((t.cdf(tq) - p).abs() < 1e-6);
+        // Heavier tails: |t quantile| >= |normal quantile| away from the median.
+        if !(0.4..0.6).contains(&p) {
+            prop_assert!(tq.abs() + 1e-9 >= zq.abs());
+        }
+    }
+
+    /// Histograms conserve mass and respect bin membership.
+    #[test]
+    fn histograms_conserve_mass(values in data(), bins in 1usize..40) {
+        let hist = EqualWidthHistogram::from_data(&values, bins).unwrap();
+        prop_assert_eq!(hist.total(), values.len());
+        prop_assert_eq!(hist.bins().iter().map(|b| b.count).sum::<usize>(), values.len());
+        for &v in &values {
+            let idx = hist.bin_index(v);
+            prop_assert!(idx < hist.bins().len());
+            prop_assert!(hist.count_at(v) >= 1);
+        }
+    }
+
+    /// Confidence intervals contain the sample mean, and widen as the
+    /// confidence level grows.
+    #[test]
+    fn confidence_intervals_nest(values in data(), low in 0.5f64..0.8, high in 0.9f64..0.99) {
+        let narrow = ConfidenceInterval::for_mean(&values, low).unwrap();
+        let wide = ConfidenceInterval::for_mean(&values, high).unwrap();
+        prop_assert!(narrow.contains(narrow.mean));
+        prop_assert!(wide.contains(narrow.mean));
+        prop_assert!(wide.width() >= narrow.width() - 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Homicide-report analysis with the *overlap* utility.
+//!
+//! Mirrors Section 6.4 of the paper: the analyst has a context of interest
+//! (the starting context `C_V`) and wants the released explanation to stay
+//! close to it, so the utility of a candidate context is the overlap of its
+//! population with the starting context's population rather than its raw size.
+//! The workload is the synthetic homicide-report dataset (AgencyType × State ×
+//! Weapon, metric VictimAge) and the detector is Grubbs' test.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release -p pcor --example homicide_analysis
+//! ```
+
+use pcor::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let mut rng = ChaCha12Rng::seed_from_u64(1234);
+
+    let dataset =
+        homicide_dataset(&HomicideConfig::reduced().with_records(5_000)).expect("dataset");
+    let detector = GrubbsDetector::default();
+    println!("dataset: {} records, {}", dataset.len(), dataset.schema().describe());
+
+    let outlier = find_random_outlier(&dataset, &detector, 800, &mut rng).expect("outlier");
+    let record = dataset.record(outlier.record_id);
+    println!("outlier record #{}: {}", outlier.record_id, record.describe(dataset.schema()));
+    println!(
+        "analyst's context of interest (C_V): {}",
+        outlier.starting_context.to_predicate_string(dataset.schema())
+    );
+
+    // Overlap utility: score candidates by how much of C_V's population they
+    // retain.
+    let utility =
+        OverlapUtility::new(&dataset, outlier.starting_context.clone()).expect("utility");
+    println!(
+        "population of C_V: {} records\n",
+        utility.starting_population_size()
+    );
+
+    for (name, algorithm) in [("DP-DFS", SamplingAlgorithm::Dfs), ("DP-BFS", SamplingAlgorithm::Bfs)] {
+        let config = PcorConfig::new(algorithm, 0.2)
+            .with_samples(50)
+            .with_starting_context(outlier.starting_context.clone());
+        let released = release_context(
+            &dataset,
+            outlier.record_id,
+            &detector,
+            &utility,
+            &config,
+            &mut rng,
+        )
+        .expect("release");
+        println!("=== {name} ===");
+        println!("released context: {}", released.context.to_predicate_string(dataset.schema()));
+        println!(
+            "overlap with C_V: {} of {} records",
+            released.utility,
+            utility.starting_population_size()
+        );
+        println!("runtime: {:.2?}, samples: {}\n", released.runtime, released.samples_collected);
+    }
+
+    println!(
+        "Expected shape (paper, Tables 4-5): both searches stay close to the analyst's\n\
+         context (high overlap ratio), with BFS slightly ahead of DFS, and both run\n\
+         faster than under the population-size utility because high-overlap contexts\n\
+         cluster tightly around C_V."
+    );
+}

@@ -1,0 +1,130 @@
+//! Privacy audit: empirically check the assumptions behind OCDP.
+//!
+//! Mirrors Section 6.7 of the paper. Output Constrained DP conditions the
+//! guarantee on neighboring datasets having the *same* set of valid contexts
+//! for the queried outlier (`COE_M(D1, V) = COE_M(D2, V)`). This example
+//! measures, on a small synthetic salary workload:
+//!
+//! 1. how similar the COE sets of a dataset and random neighbors are, for
+//!    group-privacy distances ΔD ∈ {1, 5, 10, 25} and three detectors, and
+//! 2. when the sets differ, whether the Exponential-mechanism output
+//!    probabilities still satisfy the `e^ε` bound for the common contexts.
+//!
+//! It also estimates the *locality* of matching contexts — the structural
+//! property that makes graph search sampling effective (Section 5.2).
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release -p pcor --example privacy_audit
+//! ```
+
+use pcor::core::privacy::{compare_references, empirical_ratio_check, reindex_after_removal};
+use pcor::graph::locality::estimate_locality;
+use pcor::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn main() {
+    let mut rng = ChaCha12Rng::seed_from_u64(2021);
+    let epsilon: f64 = 0.2;
+
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(2_000)).expect("dataset");
+    let utility = PopulationSizeUtility;
+    println!("dataset: {} records, {}\n", dataset.len(), dataset.schema().describe());
+
+    // --- 1. COE match under group privacy -------------------------------
+    println!("COE match (Jaccard %) between D and random neighbors, 5 outliers x 5 neighbors:");
+    println!("{:<12} {:>8} {:>8} {:>8} {:>8}", "detector", "dD=1", "dD=5", "dD=10", "dD=25");
+    for kind in DetectorKind::paper_detectors() {
+        let detector = kind.build();
+        let outliers = match find_random_outliers(&dataset, &detector, 5, 500, &mut rng) {
+            Ok(o) => o,
+            Err(_) => {
+                println!("{:<12} (no contextual outliers found)", kind.to_string());
+                continue;
+            }
+        };
+        let mut row = format!("{:<12}", kind.to_string());
+        for delta in [1usize, 5, 10, 25] {
+            let mut total = 0.0;
+            let mut count = 0usize;
+            for outlier in &outliers {
+                let reference =
+                    enumerate_coe(&dataset, outlier.record_id, detector.as_ref(), &utility, 22)
+                        .expect("reference");
+                for _ in 0..5 {
+                    let (neighbor, removed) = dataset
+                        .random_neighbor(&mut rng, delta, &[outlier.record_id])
+                        .expect("neighbor");
+                    let new_id = reindex_after_removal(outlier.record_id, &removed)
+                        .expect("outlier was protected");
+                    let neighbor_ref =
+                        enumerate_coe(&neighbor, new_id, detector.as_ref(), &utility, 22)
+                            .expect("neighbor reference");
+                    total += compare_references(&reference, &neighbor_ref).jaccard;
+                    count += 1;
+                }
+            }
+            row.push_str(&format!(" {:>7.1}%", 100.0 * total / count as f64));
+        }
+        println!("{row}");
+    }
+
+    // --- 2. Output-probability ratio check -------------------------------
+    println!("\nEmpirical probability-ratio check (bound e^eps = {:.3}):", epsilon.exp());
+    let detector = LofDetector::default();
+    if let Ok(outlier) = find_random_outlier(&dataset, &detector, 500, &mut rng) {
+        let reference = enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22)
+            .expect("reference");
+        let mut worst: f64 = 1.0;
+        for _ in 0..20 {
+            let (neighbor, removed) = dataset
+                .random_neighbor(&mut rng, 1, &[outlier.record_id])
+                .expect("neighbor");
+            let new_id =
+                reindex_after_removal(outlier.record_id, &removed).expect("outlier protected");
+            let neighbor_ref =
+                enumerate_coe(&neighbor, new_id, &detector, &utility, 22).expect("neighbor ref");
+            let check = empirical_ratio_check(&reference, &neighbor_ref, epsilon, 1.0)
+                .expect("ratio check");
+            worst = worst.max(check.max_ratio);
+        }
+        println!(
+            "worst observed ratio over 20 neighbors: {:.4} ({})",
+            worst,
+            if worst <= epsilon.exp() { "within the bound" } else { "EXCEEDS the bound" }
+        );
+    }
+
+    // --- 3. Locality of matching contexts --------------------------------
+    println!("\nLocality of matching contexts (Section 5.2 hypothesis):");
+    let detector = LofDetector::default();
+    if let Ok(outlier) = find_random_outlier(&dataset, &detector, 500, &mut rng) {
+        let graph = ContextGraph::for_schema(dataset.schema());
+        let mut verifier = pcor::core::Verifier::new(
+            &dataset,
+            &detector,
+            &utility,
+            outlier.record_id,
+        );
+        let estimate = estimate_locality(
+            &graph,
+            &outlier.starting_context,
+            |c| verifier.is_matching(c).unwrap_or(false),
+            2_000,
+            2_000,
+            &mut rng,
+        );
+        println!(
+            "neighbor match rate {:.3} vs random match rate {:.3} -> locality ratio {:.1}x",
+            estimate.neighbor_match_rate,
+            estimate.random_match_rate,
+            estimate.ratio()
+        );
+        println!(
+            "locality hypothesis {}",
+            if estimate.supports_locality() { "SUPPORTED" } else { "NOT supported" }
+        );
+    }
+}

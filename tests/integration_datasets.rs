@@ -1,0 +1,132 @@
+//! Integration tests of the synthetic workload generators against the
+//! requirements of the paper's evaluation section.
+
+use pcor::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+#[test]
+fn full_salary_workload_matches_the_paper_dimensions() {
+    // 51,000 records; JobTitle(9) x Employer(8) x Year(8); salaries >= 100k.
+    let cfg = SalaryConfig::full().with_records(5_000); // scaled-down count, same schema
+    let dataset = salary_dataset(&cfg).unwrap();
+    let schema = dataset.schema();
+    assert_eq!(schema.num_attributes(), 3);
+    assert_eq!(schema.attribute(0).domain_size(), 9);
+    assert_eq!(schema.attribute(1).domain_size(), 8);
+    assert_eq!(schema.attribute(2).domain_size(), 8);
+    assert_eq!(schema.total_values(), 25);
+    assert!(dataset.metrics().iter().all(|&m| m >= 100_000.0));
+    assert_eq!(SalaryConfig::full().num_records, 51_000);
+}
+
+#[test]
+fn reduced_workloads_match_section_6_7_dimensions() {
+    // Salary: ~11,000 records, 14 attribute values; homicide: ~28,000 records,
+    // 12 attribute values.
+    assert_eq!(SalaryConfig::reduced().num_records, 11_000);
+    let salary_schema =
+        pcor::data::generator::salary_schema(&SalaryConfig::reduced()).unwrap();
+    assert_eq!(salary_schema.total_values(), 14);
+
+    assert_eq!(HomicideConfig::reduced().num_records, 28_000);
+    let homicide_schema =
+        pcor::data::generator::homicide_schema(&HomicideConfig::reduced()).unwrap();
+    assert_eq!(homicide_schema.total_values(), 12);
+}
+
+#[test]
+fn generated_workloads_contain_contextual_outliers_for_all_paper_detectors() {
+    let salary = salary_dataset(&SalaryConfig::reduced().with_records(2_000)).unwrap();
+    let homicide = homicide_dataset(&HomicideConfig::reduced().with_records(2_000)).unwrap();
+    let mut rng = ChaCha12Rng::seed_from_u64(0);
+
+    for (name, dataset) in [("salary", &salary), ("homicide", &homicide)] {
+        let mut found_any = false;
+        for kind in DetectorKind::paper_detectors() {
+            let detector = kind.build();
+            if find_random_outlier(dataset, &detector, 400, &mut rng).is_ok() {
+                found_any = true;
+            }
+        }
+        assert!(found_any, "{name}: no detector found any contextual outlier");
+    }
+}
+
+#[test]
+fn generation_is_reproducible_and_seed_sensitive() {
+    let a = salary_dataset(&SalaryConfig::tiny()).unwrap();
+    let b = salary_dataset(&SalaryConfig::tiny()).unwrap();
+    let c = salary_dataset(&SalaryConfig::tiny().with_seed(1234)).unwrap();
+    assert_eq!(a.records(), b.records());
+    assert_ne!(a.records(), c.records());
+
+    let h1 = homicide_dataset(&HomicideConfig::tiny()).unwrap();
+    let h2 = homicide_dataset(&HomicideConfig::tiny()).unwrap();
+    assert_eq!(h1.records(), h2.records());
+}
+
+#[test]
+fn neighboring_datasets_behave_like_the_privacy_model_expects() {
+    let dataset = salary_dataset(&SalaryConfig::tiny().with_records(300)).unwrap();
+    let mut rng = ChaCha12Rng::seed_from_u64(8);
+
+    // Removing delta records yields a dataset of n - delta rows and changes any
+    // context population by at most delta.
+    for delta in [1usize, 5, 10] {
+        let (neighbor, removed) = dataset.random_neighbor(&mut rng, delta, &[]).unwrap();
+        assert_eq!(neighbor.len(), dataset.len() - delta);
+        assert_eq!(removed.len(), delta);
+        let graph = ContextGraph::for_schema(dataset.schema());
+        for _ in 0..20 {
+            let context = graph.random_vertex(0.5, &mut rng);
+            let before = dataset.population_size(&context).unwrap();
+            let after = neighbor.population_size(&context).unwrap();
+            assert!(before >= after);
+            assert!(before - after <= delta);
+        }
+    }
+}
+
+#[test]
+fn paper_table_1_running_example_reproduces() {
+    // Rebuild Table 1 of the paper and check the running-example context for
+    // record 8 (CEOs and Lawyers in Ottawa's Diplomatic district).
+    let schema = Schema::new(
+        vec![
+            Attribute::from_values("JobTitle", &["CEO", "MedicalDoctor", "Lawyer"]),
+            Attribute::from_values("City", &["Montreal", "Ottawa", "Toronto"]),
+            Attribute::from_values("District", &["Business", "Historic", "Diplomatic"]),
+        ],
+        "Salary",
+    )
+    .unwrap();
+    let rows: Vec<(u16, u16, u16, f64)> = vec![
+        (1, 0, 0, 260_000.0),
+        (2, 2, 0, 150_000.0),
+        (0, 1, 2, 450_000.0),
+        (2, 2, 0, 155_000.0),
+        (2, 1, 2, 160_000.0),
+        (1, 2, 1, 240_000.0),
+        (2, 1, 0, 150_000.0),
+        (2, 1, 2, 1_500_000.0), // record "8" of Table 1 (index 7): the outlier V
+        (0, 0, 1, 400_000.0),
+        (1, 2, 2, 255_000.0),
+    ];
+    let records: Vec<Record> =
+        rows.into_iter().map(|(a, b, c, m)| Record::new(vec![a, b, c], m)).collect();
+    let dataset = Dataset::new(schema, records).unwrap();
+
+    // The paper's released context: JobTitle in {CEO, Lawyer} AND City = Ottawa
+    // AND District = Diplomatic covers records {3, 5, 8} (1-based) and V is the
+    // most extreme salary among them.
+    let context = Context::from_indices(9, [0, 2, 4, 8]);
+    assert_eq!(dataset.population_ids(&context).unwrap(), vec![2, 4, 7]);
+    let detector = ZScoreDetector::new(1.0);
+    let metrics = dataset.population_metrics(&context).unwrap();
+    assert!(detector.is_outlier(&metrics, 2), "record 8 should stand out in its context");
+    assert_eq!(
+        context.to_predicate_string(dataset.schema()),
+        "JobTitle IN {CEO, Lawyer} AND City IN {Ottawa} AND District IN {Diplomatic}"
+    );
+}

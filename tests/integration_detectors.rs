@@ -1,0 +1,161 @@
+//! Integration tests of the outlier detectors against realistic populations
+//! produced by the data substrate (rather than hand-built vectors).
+
+use pcor::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// Build a context population from the salary workload and check the detector
+/// family's behaviour on it.
+fn subgroup_metrics(dataset: &Dataset, record_id: usize) -> (Vec<f64>, usize) {
+    let context = dataset.minimal_context(record_id).unwrap();
+    let ids = dataset.population_ids(&context).unwrap();
+    let metrics = dataset.population_metrics(&context).unwrap();
+    let target = ids.iter().position(|&id| id == record_id).unwrap();
+    (metrics, target)
+}
+
+#[test]
+fn detectors_agree_that_planted_salary_outliers_stand_out() {
+    // The generator multiplies planted outliers' salaries by 2.5-6x, which any
+    // reasonable detector should flag within the record's own subgroup
+    // (provided the subgroup is large enough for the detector).
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(4_000)).unwrap();
+
+    // Locate clearly planted outliers: records whose salary is more than twice
+    // the median of their own subgroup (the generator multiplies ~2% of
+    // records by 2.5-6x, so such records must exist).
+    let mut examined = 0usize;
+    let mut agreements = 0usize;
+    for record_id in 0..dataset.len() {
+        let (metrics, target) = subgroup_metrics(&dataset, record_id);
+        if metrics.len() < 20 {
+            continue;
+        }
+        let median = {
+            let mut sorted = metrics.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[sorted.len() / 2]
+        };
+        if metrics[target] < 2.0 * median {
+            continue;
+        }
+        examined += 1;
+        let z = ZScoreDetector::default();
+        let grubbs = GrubbsDetector::default();
+        let lof = LofDetector::default();
+        let votes = z.is_outlier(&metrics, target) as u32
+            + grubbs.is_outlier(&metrics, target) as u32
+            + lof.is_outlier(&metrics, target) as u32;
+        if votes >= 2 {
+            agreements += 1;
+        }
+        if examined >= 20 {
+            break;
+        }
+    }
+    assert!(examined >= 5, "too few planted outliers located ({examined})");
+    assert!(
+        agreements * 2 >= examined,
+        "detector families agreed on only {agreements} of {examined} planted outliers"
+    );
+}
+
+#[test]
+fn detectors_rarely_flag_typical_records() {
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(3_000).with_seed(5)).unwrap();
+    let detectors: Vec<Box<dyn OutlierDetector>> = vec![
+        Box::new(GrubbsDetector::default()),
+        Box::new(ZScoreDetector::default()),
+        Box::new(IqrDetector::new(3.0)),
+    ];
+    // Typical records (metric near its subgroup median) should almost never be
+    // flagged.
+    let mut flagged = 0usize;
+    let mut total = 0usize;
+    for record_id in (0..dataset.len()).step_by(29) {
+        let (metrics, target) = subgroup_metrics(&dataset, record_id);
+        if metrics.len() < 15 {
+            continue;
+        }
+        let median = {
+            let mut sorted = metrics.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            sorted[sorted.len() / 2]
+        };
+        if (metrics[target] - median).abs() / median > 0.08 {
+            continue; // not a typical record
+        }
+        for detector in &detectors {
+            total += 1;
+            if detector.is_outlier(&metrics, target) {
+                flagged += 1;
+            }
+        }
+    }
+    assert!(total > 30, "not enough typical records sampled ({total})");
+    assert!(
+        (flagged as f64) < 0.05 * total as f64,
+        "typical records flagged too often: {flagged}/{total}"
+    );
+}
+
+#[test]
+fn histogram_detector_matches_paper_rule_on_large_populations() {
+    // Build one large population from the homicide workload and check the
+    // paper-exact histogram rule only fires for rare bins.
+    let dataset = homicide_dataset(&HomicideConfig::reduced().with_records(30_000)).unwrap();
+    let full = Context::full(dataset.schema().total_values());
+    let metrics = dataset.population_metrics(&full).unwrap();
+    assert_eq!(metrics.len(), dataset.len());
+
+    let detector = HistogramDetector::paper_exact();
+    let threshold = detector.count_threshold(metrics.len());
+    assert!((threshold - 2.5e-3 * metrics.len() as f64).abs() < 1e-9);
+
+    let flags = detector.detect(&metrics);
+    let flagged = flags.iter().filter(|&&f| f).count();
+    // Some ages are rare (planted far-tail outliers), but the vast majority of
+    // records must not be flagged.
+    assert!(flagged < metrics.len() / 20, "flagged {flagged} of {}", metrics.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn detectors_are_deterministic_and_total(
+        seed in 0u64..5_000,
+        population_size in 3usize..200,
+    ) {
+        // Any population drawn from the generators gives the same verdict on
+        // repeated evaluation and never panics, for every detector.
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let population: Vec<f64> = (0..population_size)
+            .map(|_| 100.0 + 50.0 * pcor::data::generator::sample_standard_normal(&mut rng))
+            .collect();
+        for kind in [
+            DetectorKind::Grubbs,
+            DetectorKind::Histogram,
+            DetectorKind::Lof,
+            DetectorKind::ZScore,
+            DetectorKind::Iqr,
+        ] {
+            let detector = kind.build();
+            let first = detector.detect(&population);
+            let second = detector.detect(&population);
+            prop_assert_eq!(&first, &second, "{} not deterministic", kind);
+            prop_assert_eq!(first.len(), population.len());
+        }
+    }
+
+    #[test]
+    fn grubbs_critical_value_is_monotone_in_population_size(n in 3usize..300) {
+        let detector = GrubbsDetector::default();
+        let c_n = detector.critical_value(n).unwrap();
+        let c_next = detector.critical_value(n + 1).unwrap();
+        // The two-sided Grubbs critical value grows with N.
+        prop_assert!(c_next >= c_n - 1e-9);
+    }
+}

@@ -1,0 +1,165 @@
+//! End-to-end integration tests: every release algorithm, on both synthetic
+//! workloads, through the public facade API.
+
+use pcor::core::runner::run_once;
+use pcor::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+fn salary() -> Dataset {
+    salary_dataset(&SalaryConfig::tiny().with_records(600)).expect("salary dataset")
+}
+
+fn homicide() -> Dataset {
+    homicide_dataset(&HomicideConfig::tiny().with_records(600)).expect("homicide dataset")
+}
+
+#[test]
+fn every_algorithm_releases_a_valid_context_on_the_salary_workload() {
+    let dataset = salary();
+    let detector = ZScoreDetector::new(3.0);
+    let utility = PopulationSizeUtility;
+    let mut rng = ChaCha12Rng::seed_from_u64(11);
+    let outlier = find_random_outlier(&dataset, &detector, 400, &mut rng).expect("outlier");
+
+    for algorithm in SamplingAlgorithm::all() {
+        let config = PcorConfig::new(algorithm, 0.2)
+            .with_samples(15)
+            .with_max_attempts(50_000)
+            .with_starting_context(outlier.starting_context.clone());
+        let result = release_context(
+            &dataset,
+            outlier.record_id,
+            &detector,
+            &utility,
+            &config,
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("{algorithm} failed: {e}"));
+
+        // Validity: the released context must cover the record and the record
+        // must be an outlier within it (Definition 3.2(a)).
+        assert!(dataset.covers(&result.context, outlier.record_id).unwrap());
+        let metrics = dataset.population_metrics(&result.context).unwrap();
+        let ids = dataset.population_ids(&result.context).unwrap();
+        let target = ids.iter().position(|&id| id == outlier.record_id).unwrap();
+        assert!(
+            detector.is_outlier(&metrics, target),
+            "{algorithm}: released context is not a matching context"
+        );
+        // The guarantee reflects the configured budget.
+        assert!((result.guarantee.epsilon - 0.2).abs() < 1e-12);
+        assert_eq!(result.algorithm, algorithm);
+        assert!(result.verification_calls > 0);
+    }
+}
+
+#[test]
+fn bfs_works_across_detectors_on_the_homicide_workload() {
+    let dataset = homicide();
+    let utility = PopulationSizeUtility;
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+
+    for kind in [DetectorKind::Grubbs, DetectorKind::ZScore, DetectorKind::Iqr] {
+        let detector = kind.build();
+        let Ok(outlier) = find_random_outlier(&dataset, &detector, 400, &mut rng) else {
+            // Some detectors may flag nothing on a given tiny workload; that
+            // is acceptable behaviour, not an error.
+            continue;
+        };
+        let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
+            .with_samples(15)
+            .with_starting_context(outlier.starting_context.clone());
+        let result = release_context(
+            &dataset,
+            outlier.record_id,
+            detector.as_ref(),
+            &utility,
+            &config,
+            &mut rng,
+        )
+        .unwrap_or_else(|e| panic!("{kind} failed: {e}"));
+        assert!(dataset.covers(&result.context, outlier.record_id).unwrap());
+    }
+}
+
+#[test]
+fn overlap_utility_releases_high_overlap_contexts() {
+    let dataset = salary();
+    let detector = ZScoreDetector::new(3.0);
+    let mut rng = ChaCha12Rng::seed_from_u64(21);
+    let outlier = find_random_outlier(&dataset, &detector, 400, &mut rng).expect("outlier");
+    let utility = OverlapUtility::new(&dataset, outlier.starting_context.clone()).unwrap();
+
+    let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.4)
+        .with_samples(20)
+        .with_starting_context(outlier.starting_context.clone());
+    let result = release_context(
+        &dataset,
+        outlier.record_id,
+        &detector,
+        &utility,
+        &config,
+        &mut rng,
+    )
+    .expect("release");
+    assert!(result.utility >= 1.0, "overlap must at least contain the outlier itself");
+    assert!(result.utility <= utility.starting_population_size() as f64);
+}
+
+#[test]
+fn run_once_reports_normalized_utility_against_the_reference() {
+    let dataset = salary();
+    let detector = ZScoreDetector::new(3.0);
+    let utility = PopulationSizeUtility;
+    let mut rng = ChaCha12Rng::seed_from_u64(31);
+    let outlier = find_random_outlier(&dataset, &detector, 400, &mut rng).expect("outlier");
+    let reference =
+        enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22).expect("reference");
+
+    let config = PcorConfig::new(SamplingAlgorithm::Dfs, 0.2)
+        .with_samples(15)
+        .with_starting_context(outlier.starting_context.clone());
+    let measurement = run_once(
+        &dataset,
+        outlier.record_id,
+        &detector,
+        &utility,
+        &config,
+        Some(&reference),
+        &mut rng,
+    )
+    .expect("measurement");
+    let ratio = measurement.utility_ratio.expect("ratio");
+    assert!((0.0..=1.0 + 1e-9).contains(&ratio));
+    assert!(measurement.runtime.as_nanos() > 0);
+}
+
+#[test]
+fn csv_round_trip_preserves_release_behaviour() {
+    // Export the dataset to CSV, re-import it, and verify the same record is
+    // still a contextual outlier with a matching release.
+    let dataset = salary();
+    let csv = pcor::data::csv::to_csv_string(&dataset).expect("csv export");
+    let reimported =
+        pcor::data::csv::read_csv_with_schema(dataset.schema(), csv.as_bytes()).expect("csv import");
+    assert_eq!(reimported.len(), dataset.len());
+
+    let detector = ZScoreDetector::new(3.0);
+    let utility = PopulationSizeUtility;
+    let mut rng = ChaCha12Rng::seed_from_u64(3);
+    let outlier = find_random_outlier(&dataset, &detector, 400, &mut rng).expect("outlier");
+    let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
+        .with_samples(10)
+        .with_starting_context(outlier.starting_context.clone());
+    let result = release_context(
+        &reimported,
+        outlier.record_id,
+        &detector,
+        &utility,
+        &config,
+        &mut rng,
+    )
+    .expect("release on the re-imported dataset");
+    assert!(reimported.covers(&result.context, outlier.record_id).unwrap());
+}

@@ -1,0 +1,100 @@
+//! Property-based integration tests of PCOR's central invariant: the released
+//! context is always a *matching* context (validity, Definition 3.2(a)),
+//! regardless of algorithm, seed, budget or sample count.
+
+use pcor::prelude::*;
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// A deterministic small workload with several planted contextual outliers.
+fn workload() -> Dataset {
+    salary_dataset(&SalaryConfig::tiny().with_records(500)).expect("dataset")
+}
+
+fn algorithms() -> impl Strategy<Value = SamplingAlgorithm> {
+    prop_oneof![
+        Just(SamplingAlgorithm::Uniform),
+        Just(SamplingAlgorithm::RandomWalk),
+        Just(SamplingAlgorithm::Dfs),
+        Just(SamplingAlgorithm::Bfs),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn released_context_is_always_matching(
+        algorithm in algorithms(),
+        seed in 0u64..1_000,
+        epsilon in 0.05f64..2.0,
+        samples in 5usize..25,
+    ) {
+        let dataset = workload();
+        let detector = ZScoreDetector::new(3.0);
+        let utility = PopulationSizeUtility;
+        let mut rng = ChaCha12Rng::seed_from_u64(seed);
+        let outlier = find_random_outlier(&dataset, &detector, 300, &mut rng)
+            .expect("tiny salary workload always has planted outliers");
+
+        let config = PcorConfig::new(algorithm, epsilon)
+            .with_samples(samples)
+            .with_max_attempts(30_000)
+            .with_starting_context(outlier.starting_context.clone());
+        let result = release_context(
+            &dataset, outlier.record_id, &detector, &utility, &config, &mut rng,
+        );
+        // Uniform sampling may legitimately fail to find samples within its
+        // attempt budget; every other failure is a bug.
+        let result = match result {
+            Ok(r) => r,
+            Err(PcorError::NoSamples) if algorithm == SamplingAlgorithm::Uniform => return Ok(()),
+            Err(e) => panic!("{algorithm} failed: {e}"),
+        };
+
+        // Validity.
+        prop_assert!(dataset.covers(&result.context, outlier.record_id).unwrap());
+        let metrics = dataset.population_metrics(&result.context).unwrap();
+        let ids = dataset.population_ids(&result.context).unwrap();
+        let target = ids.iter().position(|&id| id == outlier.record_id).unwrap();
+        prop_assert!(detector.is_outlier(&metrics, target));
+
+        // Utility is the population size of the released context.
+        prop_assert_eq!(result.utility, metrics.len() as f64);
+
+        // The guarantee always reflects the requested total budget.
+        prop_assert!((result.guarantee.epsilon - epsilon).abs() < 1e-9);
+        if algorithm.uses_per_step_budget() {
+            prop_assert!(
+                (result.guarantee.epsilon_per_invocation - epsilon / (2.0 * samples as f64 + 2.0)).abs()
+                    < 1e-9
+            );
+        } else {
+            prop_assert!((result.guarantee.epsilon_per_invocation - epsilon / 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn context_algebra_round_trips(bits in proptest::collection::vec(any::<bool>(), 1..64)) {
+        // Cross-crate sanity: context bit strings survive a round trip and
+        // population evaluation never panics for arbitrary contexts.
+        let dataset = workload();
+        let t = dataset.schema().total_values();
+        let mut context = Context::empty(t);
+        for (i, &b) in bits.iter().enumerate() {
+            if i < t && b {
+                context.set(i, true);
+            }
+        }
+        let round_tripped = Context::from_bit_string(&context.to_bit_string()).unwrap();
+        prop_assert_eq!(&round_tripped, &context);
+        let size = dataset.population_size(&context).unwrap();
+        prop_assert!(size <= dataset.len());
+        // Ill-formed contexts (missing an attribute block) always have empty
+        // populations.
+        if !context.is_well_formed(dataset.schema()).unwrap() {
+            prop_assert_eq!(size, 0);
+        }
+    }
+}
