@@ -18,13 +18,9 @@ fn bench_direct_vs_bfs(c: &mut Criterion) {
     let detector = ZScoreDetector::new(3.0);
     let utility = PopulationSizeUtility;
 
-    let t11 = SalaryConfig {
-        num_job_titles: 4,
-        num_employers: 4,
-        num_years: 3,
-        ..SalaryConfig::tiny()
-    }
-    .with_records(800);
+    let t11 =
+        SalaryConfig { num_job_titles: 4, num_employers: 4, num_years: 3, ..SalaryConfig::tiny() }
+            .with_records(800);
     let t14 = SalaryConfig::reduced().with_records(800);
 
     for (label, cfg) in [("t11", t11), ("t14", t14)] {

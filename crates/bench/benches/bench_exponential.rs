@@ -23,9 +23,8 @@ fn bench_exponential_select(c: &mut Criterion) {
 
 fn bench_exponential_probabilities(c: &mut Criterion) {
     let mechanism = ExponentialMechanism::new(0.1, 1.0).unwrap();
-    let scores: Vec<f64> = (0..1_000)
-        .map(|i| if i % 7 == 0 { f64::NEG_INFINITY } else { (i % 977) as f64 })
-        .collect();
+    let scores: Vec<f64> =
+        (0..1_000).map(|i| if i % 7 == 0 { f64::NEG_INFINITY } else { (i % 977) as f64 }).collect();
     c.bench_function("exponential_probabilities_1000", |b| {
         b.iter(|| black_box(mechanism.probabilities(&scores).unwrap()));
     });
@@ -39,10 +38,5 @@ fn bench_laplace(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_exponential_select,
-    bench_exponential_probabilities,
-    bench_laplace
-);
+criterion_group!(benches, bench_exponential_select, bench_exponential_probabilities, bench_laplace);
 criterion_main!(benches);

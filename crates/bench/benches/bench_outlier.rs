@@ -4,16 +4,17 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pcor_data::generator::sample_standard_normal;
-use pcor_outlier::{GrubbsDetector, HistogramDetector, LofDetector, OutlierDetector, ZScoreDetector};
+use pcor_outlier::{
+    GrubbsDetector, HistogramDetector, LofDetector, OutlierDetector, ZScoreDetector,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::hint::black_box;
 
 fn population(size: usize) -> Vec<f64> {
     let mut rng = ChaCha12Rng::seed_from_u64(11);
-    let mut values: Vec<f64> = (0..size - 1)
-        .map(|_| 100.0 + 15.0 * sample_standard_normal(&mut rng))
-        .collect();
+    let mut values: Vec<f64> =
+        (0..size - 1).map(|_| 100.0 + 15.0 * sample_standard_normal(&mut rng)).collect();
     values.push(400.0); // one clear outlier at the end
     values
 }

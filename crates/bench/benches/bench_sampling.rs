@@ -16,8 +16,8 @@ fn bench_sampling_algorithms(c: &mut Criterion) {
     let scale = ExperimentScale::smoke();
     let detector = LofDetector::default();
     let utility = PopulationSizeUtility;
-    let workload = Workload::build(WorkloadKind::Salary, &scale, &detector)
-        .expect("workload construction");
+    let workload =
+        Workload::build(WorkloadKind::Salary, &scale, &detector).expect("workload construction");
 
     let mut group = c.benchmark_group("sampling_release");
     group.sample_size(10);
@@ -26,26 +26,22 @@ fn bench_sampling_algorithms(c: &mut Criterion) {
             .with_samples(scale.samples)
             .with_max_attempts(scale.uniform_attempt_cap)
             .with_starting_context(workload.outlier.starting_context.clone());
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algorithm),
-            &algorithm,
-            |b, _| {
-                let mut rng = ChaCha12Rng::seed_from_u64(99);
-                b.iter(|| {
-                    black_box(
-                        release_context(
-                            &workload.dataset,
-                            workload.outlier.record_id,
-                            &detector,
-                            &utility,
-                            &config,
-                            &mut rng,
-                        )
-                        .expect("release"),
+        group.bench_with_input(BenchmarkId::from_parameter(algorithm), &algorithm, |b, _| {
+            let mut rng = ChaCha12Rng::seed_from_u64(99);
+            b.iter(|| {
+                black_box(
+                    release_context(
+                        &workload.dataset,
+                        workload.outlier.record_id,
+                        &detector,
+                        &utility,
+                        &config,
+                        &mut rng,
                     )
-                });
-            },
-        );
+                    .expect("release"),
+                )
+            });
+        });
     }
     group.finish();
 }

@@ -8,7 +8,7 @@
 //!   table2 .. table13   the corresponding table (paired tables run together)
 //!   figure1 .. figure5  the experiment behind the corresponding figure
 //!   sampling overlap detectors epsilon samples coe-salary coe-homicide
-//!   ratio direct figures
+//!   ratio direct figures service
 //! ```
 //!
 //! Examples:
@@ -56,7 +56,10 @@ fn main() {
                     "Usage: reproduce [--scale smoke|quick|paper] [--json <path>] [SELECTOR ...]"
                 );
                 println!("Selectors: all, table2..table13, figure1..figure5, sampling, overlap,");
-                println!("           detectors, epsilon, samples, coe-salary, coe-homicide, ratio, direct");
+                println!(
+                    "           detectors, epsilon, samples, coe-salary, coe-homicide, ratio,"
+                );
+                println!("           direct, service");
                 return;
             }
             other => selectors.push(other.to_string()),

@@ -12,9 +12,9 @@ use crate::config::ExperimentScale;
 use crate::report::Table;
 use crate::workloads::Workload;
 use crate::Result;
+use pcor_core::enumerate_coe;
 use pcor_core::privacy::{compare_references, reindex_after_removal};
 use pcor_core::runner::find_random_outliers;
-use pcor_core::enumerate_coe;
 use pcor_data::generator::{homicide_dataset, salary_dataset, HomicideConfig, SalaryConfig};
 use pcor_data::Dataset;
 use pcor_dp::PopulationSizeUtility;
@@ -52,53 +52,44 @@ fn run_for(
 ) -> Result<ExperimentOutput> {
     let utility = PopulationSizeUtility;
     let mut rng = Workload::rng(scale, rng_label);
-    let mut table = Table::new(
-        title,
-        &["Algorithm", "dD=1", "dD=5", "dD=10", "dD=25"],
-    );
+    let mut table = Table::new(title, &["Algorithm", "dD=1", "dD=5", "dD=10", "dD=25"]);
 
     for kind in DetectorKind::paper_detectors() {
         let detector = kind.build();
-        let outliers =
-            match find_random_outliers(dataset, detector.as_ref(), scale.coe_outliers, 3_000, &mut rng)
-            {
-                Ok(o) => o,
-                Err(_) => {
-                    table.push_row(vec![
-                        kind.to_string(),
-                        "n/a".into(),
-                        "n/a".into(),
-                        "n/a".into(),
-                        "n/a".into(),
-                    ]);
-                    continue;
-                }
-            };
+        let outliers = match find_random_outliers(
+            dataset,
+            detector.as_ref(),
+            scale.coe_outliers,
+            3_000,
+            &mut rng,
+        ) {
+            Ok(o) => o,
+            Err(_) => {
+                table.push_row(vec![
+                    kind.to_string(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                    "n/a".into(),
+                ]);
+                continue;
+            }
+        };
         let mut row = vec![kind.to_string()];
         for delta in DELTAS {
             let mut total = 0.0;
             let mut count = 0usize;
             for outlier in &outliers {
-                let reference = enumerate_coe(
-                    dataset,
-                    outlier.record_id,
-                    detector.as_ref(),
-                    &utility,
-                    22,
-                )?;
+                let reference =
+                    enumerate_coe(dataset, outlier.record_id, detector.as_ref(), &utility, 22)?;
                 for _ in 0..scale.coe_neighbors {
                     let (neighbor, removed) = dataset
                         .random_neighbor(&mut rng, delta, &[outlier.record_id])
                         .map_err(pcor_core::PcorError::from)?;
                     let new_id = reindex_after_removal(outlier.record_id, &removed)
                         .expect("the outlier record is protected from removal");
-                    let neighbor_ref = enumerate_coe(
-                        &neighbor,
-                        new_id,
-                        detector.as_ref(),
-                        &utility,
-                        22,
-                    )?;
+                    let neighbor_ref =
+                        enumerate_coe(&neighbor, new_id, detector.as_ref(), &utility, 22)?;
                     total += compare_references(&reference, &neighbor_ref).jaccard;
                     count += 1;
                 }

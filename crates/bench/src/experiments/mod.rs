@@ -10,6 +10,7 @@
 //! | [`coe_match`] | Tables 12–13 — COE match under group privacy |
 //! | [`ratio_check`] | Section 6.7 — empirical `e^ε` ratio check |
 //! | [`direct_vs_sampling`] | Section 1.2 headline — direct approach vs. BFS |
+//! | [`service_throughput`] | (beyond the paper) `pcor-service` throughput vs. worker count |
 
 pub mod coe_match;
 pub mod detectors;
@@ -17,8 +18,9 @@ pub mod direct_vs_sampling;
 pub mod epsilon_sweep;
 pub mod overlap;
 pub mod ratio_check;
-pub mod sampling;
 pub mod samples_sweep;
+pub mod sampling;
+pub mod service_throughput;
 
 use crate::report::{Histogram, Table};
 use serde::{Deserialize, Serialize};
@@ -74,6 +76,8 @@ pub enum ExperimentId {
     RatioCheck,
     /// Section 1.2 direct-vs-BFS headline.
     Direct,
+    /// Serving-layer throughput vs. worker count (beyond the paper).
+    ServiceThroughput,
 }
 
 impl ExperimentId {
@@ -89,6 +93,7 @@ impl ExperimentId {
             ExperimentId::CoeMatchHomicide,
             ExperimentId::RatioCheck,
             ExperimentId::Direct,
+            ExperimentId::ServiceThroughput,
         ]
     }
 
@@ -105,6 +110,7 @@ impl ExperimentId {
             "table13" | "coe-homicide" => vec![ExperimentId::CoeMatchHomicide],
             "ratio" => vec![ExperimentId::RatioCheck],
             "direct" => vec![ExperimentId::Direct],
+            "service" | "throughput" => vec![ExperimentId::ServiceThroughput],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -129,6 +135,7 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::CoeMatchHomicide => "COE match, homicide (Table 13)",
             ExperimentId::RatioCheck => "empirical ratio check (Section 6.7)",
             ExperimentId::Direct => "direct vs BFS (Section 1.2)",
+            ExperimentId::ServiceThroughput => "service throughput vs workers (pcor-service)",
         };
         write!(f, "{name}")
     }
@@ -149,6 +156,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::CoeMatchHomicide => coe_match::run_homicide(scale),
         ExperimentId::RatioCheck => ratio_check::run(scale),
         ExperimentId::Direct => direct_vs_sampling::run(scale),
+        ExperimentId::ServiceThroughput => service_throughput::run(scale),
     }
 }
 
@@ -164,6 +172,8 @@ mod tests {
         assert_eq!(ExperimentId::parse("table13"), vec![ExperimentId::CoeMatchHomicide]);
         assert_eq!(ExperimentId::parse("ratio"), vec![ExperimentId::RatioCheck]);
         assert_eq!(ExperimentId::parse("direct"), vec![ExperimentId::Direct]);
+        assert_eq!(ExperimentId::parse("service"), vec![ExperimentId::ServiceThroughput]);
+        assert_eq!(ExperimentId::parse("throughput"), vec![ExperimentId::ServiceThroughput]);
         assert_eq!(ExperimentId::parse("figures").len(), 5);
         assert!(ExperimentId::parse("nonsense").is_empty());
         for id in ExperimentId::all() {

@@ -24,13 +24,8 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         .map_err(pcor_core::PcorError::from)?;
     // Reference file under the overlap utility (the population-size reference
     // bundled in the workload does not apply here).
-    let reference = enumerate_coe(
-        &workload.dataset,
-        workload.outlier.record_id,
-        &detector,
-        &utility,
-        22,
-    )?;
+    let reference =
+        enumerate_coe(&workload.dataset, workload.outlier.record_id, &detector, &utility, 22)?;
     let mut rng = Workload::rng(scale, "tables-4-5");
 
     let mut performance = Table::new(

@@ -7,9 +7,9 @@ use crate::config::ExperimentScale;
 use crate::report::Table;
 use crate::workloads::Workload;
 use crate::Result;
+use pcor_core::enumerate_coe;
 use pcor_core::privacy::{empirical_ratio_check, reindex_after_removal};
 use pcor_core::runner::find_random_outliers;
-use pcor_core::enumerate_coe;
 use pcor_data::generator::{salary_dataset, SalaryConfig};
 use pcor_dp::PopulationSizeUtility;
 use pcor_outlier::DetectorKind;
@@ -70,8 +70,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
                     .expect("outlier record is protected");
                 let neighbor_ref =
                     enumerate_coe(&neighbor, new_id, detector.as_ref(), &utility, 22)?;
-                let check = empirical_ratio_check(&reference, &neighbor_ref, epsilon, 1.0)
-                    .map_err(pcor_core::PcorError::from)?;
+                let check = empirical_ratio_check(&reference, &neighbor_ref, epsilon, 1.0)?;
                 worst = worst.max(check.max_ratio);
                 all_hold &= check.holds;
                 neighbors_checked += 1;

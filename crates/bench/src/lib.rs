@@ -39,6 +39,8 @@ pub enum BenchError {
     Data(pcor_data::DataError),
     /// The harness could not find a suitable outlier record in the workload.
     NoOutlierFound,
+    /// An error from the serving layer (`pcor-service`).
+    Service(String),
     /// I/O error while persisting results.
     Io(std::io::Error),
 }
@@ -50,6 +52,7 @@ impl std::fmt::Display for BenchError {
             BenchError::Stats(e) => write!(f, "stats error: {e}"),
             BenchError::Data(e) => write!(f, "data error: {e}"),
             BenchError::NoOutlierFound => write!(f, "no contextual outlier found in the workload"),
+            BenchError::Service(msg) => write!(f, "service error: {msg}"),
             BenchError::Io(e) => write!(f, "io error: {e}"),
         }
     }
@@ -93,8 +96,10 @@ mod tests {
         assert!(e.to_string().contains("stats error"));
         let e: BenchError = pcor_data::DataError::EmptySchema.into();
         assert!(e.to_string().contains("data error"));
-        let e: BenchError = std::io::Error::new(std::io::ErrorKind::Other, "x").into();
+        let e: BenchError = std::io::Error::other("x").into();
         assert!(e.to_string().contains("io error"));
+        let e = BenchError::Service("queue full".into());
+        assert!(e.to_string().contains("service error: queue full"));
         assert!(BenchError::NoOutlierFound.to_string().contains("outlier"));
     }
 }

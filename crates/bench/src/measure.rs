@@ -33,6 +33,7 @@ pub struct CellSummary {
 ///
 /// # Errors
 /// Propagates release and summary errors.
+#[allow(clippy::too_many_arguments)]
 pub fn measure_cell<R: Rng + ?Sized>(
     dataset: &Dataset,
     outlier_id: usize,
@@ -43,16 +44,8 @@ pub fn measure_cell<R: Rng + ?Sized>(
     repetitions: usize,
     rng: &mut R,
 ) -> Result<CellSummary> {
-    let runs: Vec<RunMeasurement> = run_repeated(
-        dataset,
-        outlier_id,
-        detector,
-        utility,
-        config,
-        reference,
-        repetitions,
-        rng,
-    )?;
+    let runs: Vec<RunMeasurement> =
+        run_repeated(dataset, outlier_id, detector, utility, config, reference, repetitions, rng)?;
     summarize(&runs)
 }
 

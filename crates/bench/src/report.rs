@@ -69,7 +69,9 @@ impl std::fmt::Display for Table {
             let cells: Vec<String> = row
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(c.len()))
+                })
                 .collect();
             writeln!(f, "  {}", cells.join("  "))?;
         }
@@ -121,13 +123,7 @@ impl std::fmt::Display for Histogram {
         let max_count = self.counts.iter().copied().max().unwrap_or(0).max(1);
         for (edge, &count) in self.edges.iter().zip(&self.counts) {
             let bar_len = (count * 40).div_ceil(max_count);
-            writeln!(
-                f,
-                "  {:>10.3} | {:<40} {}",
-                edge,
-                "#".repeat(bar_len.min(40)),
-                count
-            )?;
+            writeln!(f, "  {:>10.3} | {:<40} {}", edge, "#".repeat(bar_len.min(40)), count)?;
         }
         Ok(())
     }

@@ -68,13 +68,8 @@ impl Workload {
         let mut rng = ChaCha12Rng::seed_from_u64(scale.seed ^ 0xA11CE);
         let outlier = find_random_outlier(&dataset, detector, 2_000, &mut rng)
             .map_err(|_| BenchError::NoOutlierFound)?;
-        let reference = enumerate_coe(
-            &dataset,
-            outlier.record_id,
-            detector,
-            &PopulationSizeUtility,
-            22,
-        )?;
+        let reference =
+            enumerate_coe(&dataset, outlier.record_id, detector, &PopulationSizeUtility, 22)?;
         Ok(Workload { kind, dataset, outlier, reference })
     }
 

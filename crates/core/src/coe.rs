@@ -176,13 +176,13 @@ pub fn enumerate_coe(
         out
     } else {
         let chunk = total.div_ceil(num_threads as u64);
-        let results = crossbeam::thread::scope(|scope| {
+        let results = std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for worker in 0..num_threads as u64 {
                 let lo = worker * chunk;
                 let hi = ((worker + 1) * chunk).min(total);
                 let build = &build_context;
-                handles.push(scope.spawn(move |_| -> Result<Vec<ReferenceEntry>> {
+                handles.push(scope.spawn(move || -> Result<Vec<ReferenceEntry>> {
                     let mut local = Vec::new();
                     for mask in lo..hi {
                         if let Some(entry) =
@@ -198,8 +198,7 @@ pub fn enumerate_coe(
                 .into_iter()
                 .map(|h| h.join().expect("enumeration worker panicked"))
                 .collect::<Vec<_>>()
-        })
-        .expect("crossbeam scope failed");
+        });
         let mut out = Vec::new();
         for r in results {
             out.extend(r?);
@@ -209,10 +208,7 @@ pub fn enumerate_coe(
 
     // Deterministic order independent of thread scheduling.
     entries.sort_by(|a, b| a.context.cmp(&b.context));
-    let max_utility = entries
-        .iter()
-        .map(|e| e.utility)
-        .fold(f64::NEG_INFINITY, f64::max);
+    let max_utility = entries.iter().map(|e| e.utility).fold(f64::NEG_INFINITY, f64::max);
     Ok(ReferenceFile {
         outlier_id,
         entries,
@@ -239,10 +235,7 @@ mod tests {
         .unwrap();
         let mut records = vec![Record::new(vec![0, 0], 950.0)];
         for i in 0..60 {
-            records.push(Record::new(
-                vec![(i % 2) as u16, (i % 3) as u16],
-                100.0 + (i % 9) as f64,
-            ));
+            records.push(Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0 + (i % 9) as f64));
         }
         Dataset::new(schema, records).unwrap()
     }
@@ -340,10 +333,7 @@ mod tests {
         let mut verifier = crate::verify::Verifier::new(&dataset, &detector, &utility, 0);
         for entry in reference.entries.iter().take(50) {
             assert!(verifier.is_matching(&entry.context).unwrap());
-            assert_eq!(
-                verifier.evaluate(&entry.context).unwrap().utility,
-                entry.utility
-            );
+            assert_eq!(verifier.evaluate(&entry.context).unwrap().utility, entry.utility);
         }
     }
 }

@@ -35,8 +35,11 @@ pub fn run<R: Rng + ?Sized>(
     config: &PcorConfig,
     rng: &mut R,
 ) -> Result<PcorResult> {
-    let start =
-        resolve_starting_context(verifier, config.starting_context.as_ref(), DEFAULT_SEARCH_BUDGET)?;
+    let start = resolve_starting_context(
+        verifier,
+        config.starting_context.as_ref(),
+        DEFAULT_SEARCH_BUDGET,
+    )?;
     let t = start.len();
 
     let guarantee = SamplingAlgorithm::Dfs.guarantee(config.epsilon, config.samples)?;
@@ -185,9 +188,6 @@ mod tests {
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 50);
         let config = PcorConfig::new(SamplingAlgorithm::Dfs, 0.2);
         let mut rng = ChaCha12Rng::seed_from_u64(3);
-        assert_eq!(
-            run(&mut verifier, &config, &mut rng),
-            Err(crate::PcorError::NoStartingContext)
-        );
+        assert_eq!(run(&mut verifier, &config, &mut rng), Err(crate::PcorError::NoStartingContext));
     }
 }

@@ -94,10 +94,7 @@ mod tests {
         .unwrap();
         let mut records = vec![Record::new(vec![0, 0], 950.0)];
         for i in 0..60 {
-            records.push(Record::new(
-                vec![(i % 2) as u16, (i % 3) as u16],
-                100.0 + (i % 9) as f64,
-            ));
+            records.push(Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0 + (i % 9) as f64));
         }
         Dataset::new(schema, records).unwrap()
     }
@@ -125,8 +122,7 @@ mod tests {
         let utility = PopulationSizeUtility;
         // With a very large budget the Exponential mechanism concentrates on
         // the maximum-utility context; compare against exhaustive enumeration.
-        let reference =
-            crate::coe::enumerate_coe(&dataset, 0, &detector, &utility, 22).unwrap();
+        let reference = crate::coe::enumerate_coe(&dataset, 0, &detector, &utility, 22).unwrap();
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
         let config = PcorConfig::new(SamplingAlgorithm::Direct, 50.0);
         let mut rng = ChaCha12Rng::seed_from_u64(3);

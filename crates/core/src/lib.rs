@@ -288,7 +288,10 @@ impl PcorConfig {
     /// samples.
     pub fn validate(&self) -> Result<()> {
         if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
-            return Err(PcorError::InvalidConfig(format!("epsilon must be > 0, got {}", self.epsilon)));
+            return Err(PcorError::InvalidConfig(format!(
+                "epsilon must be > 0, got {}",
+                self.epsilon
+            )));
         }
         if self.samples == 0 {
             return Err(PcorError::InvalidConfig("samples must be >= 1".into()));
@@ -385,10 +388,7 @@ mod tests {
     fn config_validation_rejects_bad_values() {
         assert!(PcorConfig::new(SamplingAlgorithm::Bfs, 0.0).validate().is_err());
         assert!(PcorConfig::new(SamplingAlgorithm::Bfs, -1.0).validate().is_err());
-        assert!(PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
-            .with_samples(0)
-            .validate()
-            .is_err());
+        assert!(PcorConfig::new(SamplingAlgorithm::Bfs, 0.2).with_samples(0).validate().is_err());
     }
 
     #[test]
@@ -415,9 +415,7 @@ mod tests {
     #[test]
     fn errors_display_and_convert() {
         assert!(PcorError::NoMatchingContext.to_string().contains("not an outlier"));
-        assert!(PcorError::TooManyAttributeValues { t: 30, limit: 22 }
-            .to_string()
-            .contains("30"));
+        assert!(PcorError::TooManyAttributeValues { t: 30, limit: 22 }.to_string().contains("30"));
         let from_dp: PcorError = pcor_dp::DpError::NoValidCandidates.into();
         assert_eq!(from_dp, PcorError::NoSamples);
         let from_dp: PcorError = pcor_dp::DpError::InvalidEpsilon(-1.0).into();

@@ -130,12 +130,8 @@ pub fn empirical_ratio_check(
     let p1 = mechanism.probabilities(&scores1)?;
     let p2 = mechanism.probabilities(&scores2)?;
 
-    let index2: HashMap<_, usize> = neighbor
-        .entries
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (e.context.clone(), i))
-        .collect();
+    let index2: HashMap<_, usize> =
+        neighbor.entries.iter().enumerate().map(|(i, e)| (e.context.clone(), i)).collect();
 
     let mut max_ratio: f64 = 1.0;
     let mut common = 0usize;
@@ -171,10 +167,7 @@ mod tests {
         .unwrap();
         let mut records = vec![Record::new(vec![0, 0], 950.0)];
         for i in 0..90 {
-            records.push(Record::new(
-                vec![(i % 2) as u16, (i % 3) as u16],
-                100.0 + (i % 9) as f64,
-            ));
+            records.push(Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0 + (i % 9) as f64));
         }
         Dataset::new(schema, records).unwrap()
     }

@@ -30,8 +30,11 @@ pub fn run<R: Rng + ?Sized>(
     config: &PcorConfig,
     rng: &mut R,
 ) -> Result<PcorResult> {
-    let start =
-        resolve_starting_context(verifier, config.starting_context.as_ref(), DEFAULT_SEARCH_BUDGET)?;
+    let start = resolve_starting_context(
+        verifier,
+        config.starting_context.as_ref(),
+        DEFAULT_SEARCH_BUDGET,
+    )?;
     let t = start.len();
 
     let mut samples: Vec<Context> = vec![start.clone()];
@@ -151,10 +154,7 @@ mod tests {
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 30);
         let config = PcorConfig::new(SamplingAlgorithm::RandomWalk, 0.2);
         let mut rng = ChaCha12Rng::seed_from_u64(1);
-        assert_eq!(
-            run(&mut verifier, &config, &mut rng),
-            Err(crate::PcorError::NoStartingContext)
-        );
+        assert_eq!(run(&mut verifier, &config, &mut rng), Err(crate::PcorError::NoStartingContext));
     }
 
     #[test]

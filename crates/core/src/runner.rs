@@ -130,6 +130,7 @@ pub fn run_once<R: Rng + ?Sized>(
 ///
 /// # Errors
 /// Propagates the first release error encountered.
+#[allow(clippy::too_many_arguments)]
 pub fn run_repeated<R: Rng + ?Sized>(
     dataset: &Dataset,
     outlier_id: usize,
@@ -168,10 +169,7 @@ mod tests {
         .unwrap();
         let mut records = vec![Record::new(vec![0, 0], 950.0), Record::new(vec![1, 2], 875.0)];
         for i in 0..90 {
-            records.push(Record::new(
-                vec![(i % 2) as u16, (i % 3) as u16],
-                100.0 + (i % 9) as f64,
-            ));
+            records.push(Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0 + (i % 9) as f64));
         }
         Dataset::new(schema, records).unwrap()
     }

@@ -53,7 +53,10 @@ mod tests {
         .unwrap();
         let mut records = vec![Record::new(vec![0, 0], 999.0)];
         for i in 0..40 {
-            records.push(Record::new(vec![(i % 2) as u16, ((i / 2) % 2) as u16], 100.0 + (i % 7) as f64));
+            records.push(Record::new(
+                vec![(i % 2) as u16, ((i / 2) % 2) as u16],
+                100.0 + (i % 7) as f64,
+            ));
         }
         Dataset::new(schema, records).unwrap()
     }

@@ -88,7 +88,8 @@ pub fn resolve_starting_context(
                 Ok(context.clone())
             } else {
                 Err(PcorError::InvalidConfig(
-                    "the configured starting context is not a matching context for the record".into(),
+                    "the configured starting context is not a matching context for the record"
+                        .into(),
                 ))
             }
         }
@@ -128,9 +129,8 @@ mod tests {
 
     /// No record is an outlier anywhere: constant metric.
     fn flat_dataset() -> Dataset {
-        let records = (0..30)
-            .map(|i| Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0))
-            .collect();
+        let records =
+            (0..30).map(|i| Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0)).collect();
         Dataset::new(schema(), records).unwrap()
     }
 
@@ -190,10 +190,7 @@ mod tests {
         let detector = ZScoreDetector::new(2.0);
         let utility = PopulationSizeUtility;
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 5);
-        assert_eq!(
-            find_starting_context(&mut verifier, 2),
-            Err(PcorError::NoStartingContext)
-        );
+        assert_eq!(find_starting_context(&mut verifier, 2), Err(PcorError::NoStartingContext));
     }
 
     #[test]
@@ -214,7 +211,8 @@ mod tests {
             Err(PcorError::InvalidConfig(_))
         ));
         // Without a configured context the search runs.
-        let searched = resolve_starting_context(&mut verifier, None, DEFAULT_SEARCH_BUDGET).unwrap();
+        let searched =
+            resolve_starting_context(&mut verifier, None, DEFAULT_SEARCH_BUDGET).unwrap();
         assert!(verifier.is_matching(&searched).unwrap());
     }
 }

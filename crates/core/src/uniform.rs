@@ -81,10 +81,7 @@ mod tests {
         .unwrap();
         let mut records = vec![Record::new(vec![0, 0], 950.0)];
         for i in 0..60 {
-            records.push(Record::new(
-                vec![(i % 2) as u16, (i % 3) as u16],
-                100.0 + (i % 9) as f64,
-            ));
+            records.push(Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0 + (i % 9) as f64));
         }
         Dataset::new(schema, records).unwrap()
     }
@@ -111,9 +108,8 @@ mod tests {
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
         // A tiny attempt budget: either we get a few samples or an error, but
         // never more verification calls than the cap.
-        let config = PcorConfig::new(SamplingAlgorithm::Uniform, 0.2)
-            .with_samples(50)
-            .with_max_attempts(20);
+        let config =
+            PcorConfig::new(SamplingAlgorithm::Uniform, 0.2).with_samples(50).with_max_attempts(20);
         let mut rng = ChaCha12Rng::seed_from_u64(5);
         match run(&mut verifier, &config, &mut rng) {
             Ok(result) => assert!(result.samples_collected <= 20),
@@ -129,9 +125,8 @@ mod tests {
         let detector = ZScoreDetector::new(2.5);
         let utility = PopulationSizeUtility;
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 3);
-        let config = PcorConfig::new(SamplingAlgorithm::Uniform, 0.2)
-            .with_samples(5)
-            .with_max_attempts(500);
+        let config =
+            PcorConfig::new(SamplingAlgorithm::Uniform, 0.2).with_samples(5).with_max_attempts(500);
         let mut rng = ChaCha12Rng::seed_from_u64(8);
         assert_eq!(run(&mut verifier, &config, &mut rng), Err(PcorError::NoSamples));
     }

@@ -63,14 +63,7 @@ impl<'a> Verifier<'a> {
         utility: &'a dyn Utility,
         outlier_id: usize,
     ) -> Self {
-        Verifier {
-            dataset,
-            detector,
-            utility,
-            outlier_id,
-            cache: HashMap::new(),
-            calls: 0,
-        }
+        Verifier { dataset, detector, utility, outlier_id, cache: HashMap::new(), calls: 0 }
     }
 
     /// The dataset the verifier is bound to.

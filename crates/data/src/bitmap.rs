@@ -102,11 +102,7 @@ impl RecordBitmap {
     /// Panics if the lengths differ.
     pub fn intersection_count(&self, other: &RecordBitmap) -> usize {
         assert_eq!(self.len, other.len, "bitmap lengths must match");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a & b).count_ones() as usize).sum()
     }
 
     /// Clears all bits.

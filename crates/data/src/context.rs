@@ -151,11 +151,7 @@ impl Context {
     /// Panics if the lengths differ.
     pub fn hamming_distance(&self, other: &Context) -> usize {
         assert_eq!(self.len, other.len, "contexts must have equal length");
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a ^ b).count_ones() as usize)
-            .sum()
+        self.words.iter().zip(&other.words).map(|(a, b)| (a ^ b).count_ones() as usize).sum()
     }
 
     /// Whether two contexts are connected (adjacent in the context graph),

@@ -28,11 +28,7 @@ pub fn write_csv<W: Write>(dataset: &Dataset, writer: &mut W) -> Result<()> {
             .iter()
             .enumerate()
             .map(|(attr, &val)| {
-                schema
-                    .attribute(attr)
-                    .value(val as usize)
-                    .unwrap_or("?")
-                    .to_string()
+                schema.attribute(attr).value(val as usize).unwrap_or("?").to_string()
             })
             .collect();
         fields.push(format_metric(record.metric()));
@@ -87,8 +83,7 @@ pub fn read_csv_with_schema<R: Read>(schema: &Schema, reader: R) -> Result<Datas
             )));
         }
         let mut values = Vec::with_capacity(schema.num_attributes());
-        for attr in 0..schema.num_attributes() {
-            let value = fields[attr];
+        for (attr, &value) in fields.iter().enumerate().take(schema.num_attributes()) {
             let idx = schema.attribute(attr).value_index(value).ok_or_else(|| {
                 DataError::Malformed(format!(
                     "unknown value '{value}' for attribute {} on line {}",

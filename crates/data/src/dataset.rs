@@ -142,11 +142,7 @@ impl Dataset {
     /// # Errors
     /// Same conditions as [`Dataset::population`].
     pub fn population_metrics(&self, context: &Context) -> Result<Vec<f64>> {
-        Ok(self
-            .population(context)?
-            .iter_ones()
-            .map(|id| self.records[id].metric())
-            .collect())
+        Ok(self.population(context)?.iter_ones().map(|id| self.records[id].metric()).collect())
     }
 
     /// Whether record `id` is covered by the context.
@@ -167,10 +163,7 @@ impl Dataset {
 
     /// Number of records carrying each value of attribute `attr`.
     pub fn value_counts(&self, attr: usize) -> Vec<usize> {
-        self.schema
-            .block(attr)
-            .map(|bit| self.value_bitmaps[bit].count())
-            .collect()
+        self.schema.block(attr).map(|bit| self.value_bitmaps[bit].count()).collect()
     }
 
     /// A neighboring dataset with the given record identifiers removed.
@@ -269,10 +262,7 @@ mod tests {
             (0, 0, 1, 400_000.0), // CEO, Montreal, Historic
             (1, 2, 2, 255_000.0), // MedicalDoctor, Toronto, Diplomatic
         ];
-        let records = rows
-            .into_iter()
-            .map(|(a, b, c, m)| Record::new(vec![a, b, c], m))
-            .collect();
+        let records = rows.into_iter().map(|(a, b, c, m)| Record::new(vec![a, b, c], m)).collect();
         Dataset::new(schema, records).unwrap()
     }
 
@@ -365,22 +355,14 @@ mod tests {
 
     #[test]
     fn dataset_rejects_invalid_records() {
-        let schema = Schema::new(
-            vec![Attribute::from_values("A", &["x", "y"])],
-            "M",
-        )
-        .unwrap();
+        let schema = Schema::new(vec![Attribute::from_values("A", &["x", "y"])], "M").unwrap();
         let bad = Dataset::new(schema, vec![Record::new(vec![5], 0.0)]);
         assert!(bad.is_err());
     }
 
     #[test]
     fn empty_dataset_is_fine() {
-        let schema = Schema::new(
-            vec![Attribute::from_values("A", &["x", "y"])],
-            "M",
-        )
-        .unwrap();
+        let schema = Schema::new(vec![Attribute::from_values("A", &["x", "y"])], "M").unwrap();
         let d = Dataset::new(schema, vec![]).unwrap();
         assert!(d.is_empty());
         let c = Context::full(2);

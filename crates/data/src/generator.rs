@@ -181,12 +181,9 @@ pub fn salary_dataset(cfg: &SalaryConfig) -> Result<Dataset> {
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
 
     // Per-group effects.
-    let base_by_job: Vec<f64> = (0..cfg.num_job_titles)
-        .map(|i| 105_000.0 + 28_000.0 * i as f64)
-        .collect();
-    let employer_factor: Vec<f64> = (0..cfg.num_employers)
-        .map(|i| 0.9 + 0.05 * i as f64)
-        .collect();
+    let base_by_job: Vec<f64> =
+        (0..cfg.num_job_titles).map(|i| 105_000.0 + 28_000.0 * i as f64).collect();
+    let employer_factor: Vec<f64> = (0..cfg.num_employers).map(|i| 0.9 + 0.05 * i as f64).collect();
     let year_growth: Vec<f64> = (0..cfg.num_years).map(|i| 1.0 + 0.02 * i as f64).collect();
 
     let mut records = Vec::with_capacity(cfg.num_records);
@@ -315,9 +312,8 @@ pub fn homicide_dataset(cfg: &HomicideConfig) -> Result<Dataset> {
     let schema = homicide_schema(cfg)?;
     let mut rng = ChaCha12Rng::seed_from_u64(cfg.seed);
 
-    let mean_age_by_weapon: Vec<f64> = (0..cfg.num_weapons)
-        .map(|i| 24.0 + 6.0 * i as f64)
-        .collect();
+    let mean_age_by_weapon: Vec<f64> =
+        (0..cfg.num_weapons).map(|i| 24.0 + 6.0 * i as f64).collect();
     let state_shift: Vec<f64> = (0..cfg.num_states).map(|i| i as f64 - 2.0).collect();
 
     let mut records = Vec::with_capacity(cfg.num_records);

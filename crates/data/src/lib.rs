@@ -86,7 +86,9 @@ impl std::fmt::Display for DataError {
             DataError::ContextLengthMismatch { expected, actual } => {
                 write!(f, "context has {actual} bits, schema expects {expected}")
             }
-            DataError::EmptySchema => write!(f, "schema must have at least one non-empty attribute"),
+            DataError::EmptySchema => {
+                write!(f, "schema must have at least one non-empty attribute")
+            }
             DataError::Malformed(msg) => write!(f, "malformed input: {msg}"),
         }
     }

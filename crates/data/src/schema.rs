@@ -97,12 +97,7 @@ impl Schema {
             offsets.push(total);
             total += attr.domain_size();
         }
-        Ok(Schema {
-            attributes,
-            metric_name: metric_name.into(),
-            offsets,
-            total_values: total,
-        })
+        Ok(Schema { attributes, metric_name: metric_name.into(), offsets, total_values: total })
     }
 
     /// Number of categorical attributes, `m`.
@@ -181,11 +176,8 @@ impl Schema {
 
     /// A compact human-readable description, e.g. `JobTitle(9) x Employer(8) x Year(8) | metric Salary`.
     pub fn describe(&self) -> String {
-        let attrs: Vec<String> = self
-            .attributes
-            .iter()
-            .map(|a| format!("{}({})", a.name(), a.domain_size()))
-            .collect();
+        let attrs: Vec<String> =
+            self.attributes.iter().map(|a| format!("{}({})", a.name(), a.domain_size())).collect();
         format!("{} | metric {}", attrs.join(" x "), self.metric_name)
     }
 }
@@ -259,10 +251,7 @@ mod tests {
     #[test]
     fn describe_is_human_readable() {
         let s = toy_schema();
-        assert_eq!(
-            s.describe(),
-            "JobTitle(3) x City(3) x District(3) | metric Salary"
-        );
+        assert_eq!(s.describe(), "JobTitle(3) x City(3) x District(3) | metric Salary");
     }
 
     #[test]

@@ -11,11 +11,8 @@ fn schema_strategy() -> impl Strategy<Value = Schema> {
             .iter()
             .enumerate()
             .map(|(i, &size)| {
-                Attribute::new(
-                    format!("A{i}"),
-                    (0..size).map(|v| format!("v{v}")).collect(),
-                )
-                .unwrap()
+                Attribute::new(format!("A{i}"), (0..size).map(|v| format!("v{v}")).collect())
+                    .unwrap()
             })
             .collect();
         Schema::new(attributes, "M").unwrap()
@@ -210,9 +207,7 @@ fn strategies_produce_valid_values() {
     let mut runner = proptest::test_runner::TestRunner::default();
     let dataset = dataset_strategy().new_tree(&mut runner).unwrap().current();
     assert!(dataset.len() >= 20);
-    let context = context_strategy(dataset.schema().total_values())
-        .new_tree(&mut runner)
-        .unwrap()
-        .current();
+    let context =
+        context_strategy(dataset.schema().total_values()).new_tree(&mut runner).unwrap().current();
     assert_eq!(context.len(), dataset.schema().total_values());
 }

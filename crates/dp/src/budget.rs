@@ -121,10 +121,21 @@ fn validate_epsilon(epsilon: f64) -> Result<()> {
 }
 
 /// Tracks privacy budget spending across multiple private releases.
+///
+/// Besides the immediate [`spend`](BudgetAccountant::spend), the accountant
+/// supports a two-phase **reserve/commit/refund** protocol for concurrent
+/// serving (used by `pcor-service`): a request first *reserves* its `ε` —
+/// which counts against the remaining budget immediately, so parallel
+/// requests can never jointly over-commit — and then either *commits* the
+/// reservation (the release happened; the spend becomes permanent) or
+/// *refunds* it (the release failed before consuming any privacy; the
+/// budget is returned). It also supports [`split`](BudgetAccountant::split),
+/// which carves a delegated sub-budget out of the remaining `ε`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BudgetAccountant {
     total: f64,
     spent: f64,
+    reserved: f64,
 }
 
 impl BudgetAccountant {
@@ -134,7 +145,7 @@ impl BudgetAccountant {
     /// Returns [`DpError::InvalidEpsilon`] for non-positive totals.
     pub fn new(total: f64) -> Result<Self> {
         validate_epsilon(total)?;
-        Ok(BudgetAccountant { total, spent: 0.0 })
+        Ok(BudgetAccountant { total, spent: 0.0, reserved: 0.0 })
     }
 
     /// Total budget.
@@ -142,14 +153,19 @@ impl BudgetAccountant {
         self.total
     }
 
-    /// Budget spent so far.
+    /// Budget spent so far (committed releases only).
     pub fn spent(&self) -> f64 {
         self.spent
     }
 
-    /// Budget still available.
+    /// Budget currently reserved by in-flight releases.
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// Budget still available (total minus spent minus in-flight reservations).
     pub fn remaining(&self) -> f64 {
-        (self.total - self.spent).max(0.0)
+        (self.total - self.spent - self.reserved).max(0.0)
     }
 
     /// Whether a release costing `epsilon` fits in the remaining budget.
@@ -165,10 +181,79 @@ impl BudgetAccountant {
     pub fn spend(&mut self, epsilon: f64) -> Result<()> {
         validate_epsilon(epsilon)?;
         if !self.can_spend(epsilon) {
-            return Err(DpError::BudgetExceeded { requested: epsilon, remaining: self.remaining() });
+            return Err(DpError::BudgetExceeded {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
         }
         self.spent += epsilon;
         Ok(())
+    }
+
+    /// Reserves `epsilon` for an in-flight release. Reserved budget counts
+    /// against [`remaining`](BudgetAccountant::remaining) until it is either
+    /// [committed](BudgetAccountant::commit) or
+    /// [refunded](BudgetAccountant::refund).
+    ///
+    /// # Errors
+    /// Returns [`DpError::BudgetExceeded`] when the reservation does not fit
+    /// and [`DpError::InvalidEpsilon`] for non-positive amounts.
+    pub fn reserve(&mut self, epsilon: f64) -> Result<()> {
+        validate_epsilon(epsilon)?;
+        if !self.can_spend(epsilon) {
+            return Err(DpError::BudgetExceeded {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.reserved += epsilon;
+        Ok(())
+    }
+
+    /// Converts `epsilon` of reserved budget into a permanent spend (the
+    /// release consumed its privacy budget).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] if `epsilon` exceeds the currently
+    /// reserved amount (a protocol violation) or is non-positive.
+    pub fn commit(&mut self, epsilon: f64) -> Result<()> {
+        self.take_reservation(epsilon)?;
+        self.spent += epsilon;
+        Ok(())
+    }
+
+    /// Returns `epsilon` of reserved budget to the pool (the release failed
+    /// before invoking any mechanism, so no privacy was consumed).
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] if `epsilon` exceeds the currently
+    /// reserved amount (a protocol violation) or is non-positive.
+    pub fn refund(&mut self, epsilon: f64) -> Result<()> {
+        self.take_reservation(epsilon)
+    }
+
+    fn take_reservation(&mut self, epsilon: f64) -> Result<()> {
+        validate_epsilon(epsilon)?;
+        if epsilon > self.reserved + 1e-12 {
+            return Err(DpError::InvalidEpsilon(epsilon));
+        }
+        // Clamp to zero so repeated float subtraction cannot drift negative.
+        self.reserved = (self.reserved - epsilon).max(0.0);
+        Ok(())
+    }
+
+    /// Carves a delegated sub-budget of `epsilon` out of the remaining
+    /// budget: the parent records `epsilon` as spent and the returned child
+    /// accountant may spend up to `epsilon` independently. Sequential
+    /// composition makes the parent's total a sound bound on the combined
+    /// spending.
+    ///
+    /// # Errors
+    /// Returns [`DpError::BudgetExceeded`] when the sub-budget does not fit
+    /// and [`DpError::InvalidEpsilon`] for non-positive amounts.
+    pub fn split(&mut self, epsilon: f64) -> Result<BudgetAccountant> {
+        self.spend(epsilon)?;
+        BudgetAccountant::new(epsilon)
     }
 }
 
@@ -239,5 +324,50 @@ mod tests {
         assert!(acct.remaining() < 1e-12);
         assert!(acct.spend(-0.1).is_err());
         assert!(BudgetAccountant::new(0.0).is_err());
+    }
+
+    #[test]
+    fn reservations_gate_remaining_budget() {
+        let mut acct = BudgetAccountant::new(1.0).unwrap();
+        acct.reserve(0.4).unwrap();
+        assert!((acct.reserved() - 0.4).abs() < 1e-12);
+        assert!((acct.remaining() - 0.6).abs() < 1e-12);
+        // A second reservation that would jointly over-commit is refused.
+        assert!(matches!(acct.reserve(0.7), Err(DpError::BudgetExceeded { .. })));
+        // Committing moves the reservation into permanent spend.
+        acct.commit(0.4).unwrap();
+        assert!((acct.spent() - 0.4).abs() < 1e-12);
+        assert!(acct.reserved().abs() < 1e-12);
+        assert!((acct.remaining() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refund_returns_budget_untouched() {
+        let mut acct = BudgetAccountant::new(0.5).unwrap();
+        acct.reserve(0.3).unwrap();
+        acct.refund(0.3).unwrap();
+        assert_eq!(acct.spent(), 0.0);
+        assert!((acct.remaining() - 0.5).abs() < 1e-12);
+        // Protocol violations are rejected: more than reserved, bad amounts.
+        assert!(acct.commit(0.1).is_err());
+        assert!(acct.refund(0.1).is_err());
+        acct.reserve(0.2).unwrap();
+        assert!(acct.commit(0.3).is_err());
+        assert!(acct.refund(-0.1).is_err());
+        acct.commit(0.2).unwrap();
+    }
+
+    #[test]
+    fn split_delegates_a_sub_budget() {
+        let mut parent = BudgetAccountant::new(1.0).unwrap();
+        let mut child = parent.split(0.25).unwrap();
+        assert_eq!(child.total(), 0.25);
+        assert!((parent.remaining() - 0.75).abs() < 1e-12);
+        child.spend(0.2).unwrap();
+        assert!(matches!(child.spend(0.2), Err(DpError::BudgetExceeded { .. })));
+        // Parent accounting is unaffected by the child's internal spending.
+        assert!((parent.spent() - 0.25).abs() < 1e-12);
+        assert!(parent.split(0.8).is_err());
+        assert!(parent.split(-1.0).is_err());
     }
 }

@@ -58,11 +58,8 @@ impl ExponentialMechanism {
     /// Returns [`DpError::NoValidCandidates`] when every score is `-∞` or the
     /// slice is empty.
     pub fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
-        let max = scores
-            .iter()
-            .copied()
-            .filter(|s| s.is_finite())
-            .fold(f64::NEG_INFINITY, f64::max);
+        let max =
+            scores.iter().copied().filter(|s| s.is_finite()).fold(f64::NEG_INFINITY, f64::max);
         if !max.is_finite() {
             return Err(DpError::NoValidCandidates);
         }
@@ -108,7 +105,12 @@ impl ExponentialMechanism {
     ///
     /// # Errors
     /// Same conditions as [`ExponentialMechanism::select`].
-    pub fn select_by<T, R, F>(&self, candidates: &[T], mut score_fn: F, rng: &mut R) -> Result<usize>
+    pub fn select_by<T, R, F>(
+        &self,
+        candidates: &[T],
+        mut score_fn: F,
+        rng: &mut R,
+    ) -> Result<usize>
     where
         R: Rng + ?Sized,
         F: FnMut(&T) -> f64,
@@ -127,18 +129,9 @@ mod tests {
     #[test]
     fn construction_validates_parameters() {
         assert!(ExponentialMechanism::new(0.1, 1.0).is_ok());
-        assert!(matches!(
-            ExponentialMechanism::new(0.0, 1.0),
-            Err(DpError::InvalidEpsilon(_))
-        ));
-        assert!(matches!(
-            ExponentialMechanism::new(-0.5, 1.0),
-            Err(DpError::InvalidEpsilon(_))
-        ));
-        assert!(matches!(
-            ExponentialMechanism::new(0.1, 0.0),
-            Err(DpError::InvalidSensitivity(_))
-        ));
+        assert!(matches!(ExponentialMechanism::new(0.0, 1.0), Err(DpError::InvalidEpsilon(_))));
+        assert!(matches!(ExponentialMechanism::new(-0.5, 1.0), Err(DpError::InvalidEpsilon(_))));
+        assert!(matches!(ExponentialMechanism::new(0.1, 0.0), Err(DpError::InvalidSensitivity(_))));
         assert!(matches!(
             ExponentialMechanism::new(f64::NAN, 1.0),
             Err(DpError::InvalidEpsilon(_))
@@ -168,7 +161,8 @@ mod tests {
         // A -inf candidate is never selected.
         let mut rng = ChaCha12Rng::seed_from_u64(3);
         for _ in 0..2000 {
-            let idx = m.select(&[f64::NEG_INFINITY, 3.0, f64::NEG_INFINITY, 4.0], &mut rng).unwrap();
+            let idx =
+                m.select(&[f64::NEG_INFINITY, 3.0, f64::NEG_INFINITY, 4.0], &mut rng).unwrap();
             assert!(idx == 1 || idx == 3);
         }
     }
@@ -233,9 +227,7 @@ mod tests {
         let mut rng = ChaCha12Rng::seed_from_u64(1);
         let mut counts = [0usize; 3];
         for _ in 0..500 {
-            let idx = m
-                .select_by(&candidates, |c| c.len() as f64 * 10.0, &mut rng)
-                .unwrap();
+            let idx = m.select_by(&candidates, |c| c.len() as f64 * 10.0, &mut rng).unwrap();
             counts[idx] += 1;
         }
         // "medium" (6 chars) wins over "small"/"large" (5 chars) overwhelmingly.
@@ -262,8 +254,8 @@ mod tests {
         let p2 = m.probabilities(&d2).unwrap();
         for i in 0..d1.len() {
             let ratio = p1[i] / p2[i];
-            assert!(ratio <= (eps_total as f64).exp() + 1e-9, "ratio {ratio}");
-            assert!(ratio >= (-(eps_total as f64)).exp() - 1e-9, "ratio {ratio}");
+            assert!(ratio <= eps_total.exp() + 1e-9, "ratio {ratio}");
+            assert!(ratio >= (-eps_total).exp() - 1e-9, "ratio {ratio}");
         }
     }
 }

@@ -170,10 +170,9 @@ mod tests {
         assert_eq!(g.random_vertex(0.0, &mut rng).hamming_weight(), 0);
         assert_eq!(g.random_vertex(1.0, &mut rng).hamming_weight(), 20);
         // p = 0.5 gives roughly half the bits on average.
-        let avg: f64 = (0..200)
-            .map(|_| g.random_vertex(0.5, &mut rng).hamming_weight() as f64)
-            .sum::<f64>()
-            / 200.0;
+        let avg: f64 =
+            (0..200).map(|_| g.random_vertex(0.5, &mut rng).hamming_weight() as f64).sum::<f64>()
+                / 200.0;
         assert!((avg - 10.0).abs() < 1.0, "avg weight {avg}");
     }
 

@@ -119,14 +119,8 @@ mod tests {
         let g = ContextGraph::new(t);
         let seed = Context::full(t);
         let mut rng = ChaCha12Rng::seed_from_u64(5);
-        let est = estimate_locality(
-            &g,
-            &seed,
-            |c| c.hamming_weight() >= t - 2,
-            2000,
-            2000,
-            &mut rng,
-        );
+        let est =
+            estimate_locality(&g, &seed, |c| c.hamming_weight() >= t - 2, 2000, 2000, &mut rng);
         assert!(est.supports_locality(), "estimate {est:?}");
         assert!(est.ratio() > 10.0, "ratio {}", est.ratio());
         assert_eq!(est.neighbor_trials, 2000);

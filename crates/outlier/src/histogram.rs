@@ -100,10 +100,7 @@ impl OutlierDetector for HistogramDetector {
             return vec![false; n];
         };
         let threshold = self.count_threshold(n);
-        population
-            .iter()
-            .map(|&x| (hist.count_at(x) as f64) < threshold)
-            .collect()
+        population.iter().map(|&x| (hist.count_at(x) as f64) < threshold).collect()
     }
 }
 

@@ -99,7 +99,7 @@ mod tests {
         assert!(!det.is_outlier(&[], 0));
         assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 0));
         assert!(!det.is_outlier(&[1.0, 2.0, 3.0, 4.0], 11));
-        assert!(!det.is_outlier(&vec![5.0; 20], 3));
+        assert!(!det.is_outlier(&[5.0; 20], 3));
         assert_eq!(det.fences(&[1.0, 2.0]), None);
         assert_eq!(det.min_population(), 4);
     }

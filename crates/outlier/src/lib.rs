@@ -102,8 +102,9 @@ impl<T: OutlierDetector + ?Sized> OutlierDetector for Box<T> {
 }
 
 /// The detector families evaluated in the paper, used by the experiment
-/// harness to instantiate detectors by name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// harness to instantiate detectors by name and by `pcor-service` to carry
+/// the detector choice inside serialized release requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum DetectorKind {
     /// Grubbs' hypothesis test.
     Grubbs,

@@ -55,9 +55,7 @@ impl LofDetector {
         // order, found by expanding a two-pointer window.
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by(|&a, &b| {
-            population[a]
-                .partial_cmp(&population[b])
-                .unwrap_or(std::cmp::Ordering::Equal)
+            population[a].partial_cmp(&population[b]).unwrap_or(std::cmp::Ordering::Equal)
         });
         let sorted: Vec<f64> = order.iter().map(|&i| population[i]).collect();
 
@@ -124,10 +122,7 @@ impl LofDetector {
                 picked.push(hi);
             }
         }
-        let kdist = picked
-            .iter()
-            .map(|&p| (sorted[s] - sorted[p]).abs())
-            .fold(0.0_f64, f64::max);
+        let kdist = picked.iter().map(|&p| (sorted[s] - sorted[p]).abs()).fold(0.0_f64, f64::max);
         // Include any further ties at exactly the k-distance.
         loop {
             let left_d = if lo > 0 { sorted[s] - sorted[lo - 1] } else { f64::INFINITY };

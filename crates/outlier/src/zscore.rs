@@ -70,7 +70,7 @@ mod tests {
         let det = ZScoreDetector::default();
         assert!(!det.is_outlier(&[], 0));
         assert!(!det.is_outlier(&[1.0, 2.0], 0));
-        assert!(!det.is_outlier(&vec![5.0; 10], 2));
+        assert!(!det.is_outlier(&[5.0; 10], 2));
         assert!(!det.is_outlier(&[1.0, 2.0, 3.0], 9));
     }
 

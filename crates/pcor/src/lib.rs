@@ -14,7 +14,9 @@
 //! * [`graph`] — the implicit context graph and classic searches
 //!   (`pcor-graph`);
 //! * [`core`] — the five PCOR release algorithms, COE enumeration and the
-//!   privacy experiments (`pcor-core`).
+//!   privacy experiments (`pcor-core`);
+//! * [`service`] — the concurrent multi-analyst release server: dataset
+//!   registry, per-analyst budget ledger and worker pool (`pcor-service`).
 //!
 //! The most common entry points are re-exported at the crate root so a typical
 //! application only needs `use pcor::prelude::*`.
@@ -45,6 +47,7 @@ pub use pcor_data as data;
 pub use pcor_dp as dp;
 pub use pcor_graph as graph;
 pub use pcor_outlier as outlier;
+pub use pcor_service as service;
 pub use pcor_stats as stats;
 
 /// Everything a typical PCOR application needs, in one import.
@@ -64,8 +67,12 @@ pub mod prelude {
     };
     pub use pcor_graph::ContextGraph;
     pub use pcor_outlier::{
-        DetectorKind, GrubbsDetector, HistogramDetector, IqrDetector, LofDetector,
-        OutlierDetector, ZScoreDetector,
+        DetectorKind, GrubbsDetector, HistogramDetector, IqrDetector, LofDetector, OutlierDetector,
+        ZScoreDetector,
+    };
+    pub use pcor_service::{
+        BudgetLedger, DatasetRegistry, ReleaseRequest, ReleaseResponse, Server, ServerConfig,
+        ServiceError,
     };
     pub use pcor_stats::{ConfidenceInterval, RuntimeSummary, UtilitySummary};
 }
@@ -86,5 +93,9 @@ mod tests {
         let _ = HistogramDetector::default();
         let _ = ContextGraph::new(4);
         let _ = Context::empty(4);
+        let _ = DatasetRegistry::new();
+        let _ = BudgetLedger::new(1.0);
+        let _ = ServerConfig::default();
+        let _ = ReleaseRequest::new("a", "d", 0);
     }
 }

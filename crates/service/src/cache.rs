@@ -1,0 +1,130 @@
+//! A small least-recently-used cache.
+//!
+//! Used by the [`DatasetRegistry`](crate::registry::DatasetRegistry) to
+//! memoize verified starting contexts. Implemented with a `HashMap` plus a
+//! monotone use-stamp; eviction scans for the minimum stamp. The scan is
+//! `O(len)`, which is deliberate: capacities here are small (hundreds), the
+//! cache sits behind a mutex on a path that otherwise runs a graph search
+//! over the dataset, and the simple structure keeps the hot `get` at a
+//! single hash lookup.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map that evicts the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    stamp: u64,
+    entries: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries (`capacity >= 1`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "LRU capacity must be at least 1");
+        LruCache { capacity, stamp: 0, entries: HashMap::new() }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.entries.get_mut(key) {
+            Some((value, used)) => {
+                *used = stamp;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if the
+    /// cache is full. Returns the evicted entry, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<(K, V)> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        if let Some(slot) = self.entries.get_mut(&key) {
+            *slot = (value, stamp);
+            return None;
+        }
+        let evicted = if self.entries.len() >= self.capacity {
+            self.entries
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+                .and_then(|k| self.entries.remove_entry(&k).map(|(k, (v, _))| (k, v)))
+        } else {
+            None
+        };
+        self.entries.insert(key, (value, stamp));
+        evicted
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_refresh_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        // Touch `a`, so `b` is now least recently used.
+        assert_eq!(cache.get(&"a"), Some(&1));
+        let evicted = cache.insert("c", 3);
+        assert_eq!(evicted, Some(("b", 2)));
+        assert_eq!(cache.get(&"a"), Some(&1));
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"c"), Some(&3));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.insert("a", 10), None);
+        assert_eq!(cache.get(&"a"), Some(&10));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn capacity_one_always_evicts_the_previous() {
+        let mut cache = LruCache::new(1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.insert(1, "x"), None);
+        assert_eq!(cache.insert(2, "y"), Some((1, "x")));
+        assert_eq!(cache.capacity(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-analyst, per-dataset privacy-budget accounting.
+//!
+//! The custodian grants every analyst an OCDP budget **per dataset** (the
+//! guarantee composes sequentially across an analyst's queries against the
+//! same data; queries against disjoint datasets do not compose). The ledger
+//! maps `(analyst, dataset)` to a [`pcor_dp::BudgetAccountant`] and drives
+//! its two-phase protocol:
+//!
+//! 1. [`reserve`](BudgetLedger::reserve) — atomically check-and-hold the
+//!    request's ε; concurrent requests see each other's holds, so the sum
+//!    of in-flight and committed ε can never exceed the grant;
+//! 2. [`commit`](BudgetLedger::commit) when the release succeeded, or
+//!    [`refund`](BudgetLedger::refund) when it failed before invoking any
+//!    private mechanism.
+//!
+//! Dropping a [`Reservation`] without committing refunds it automatically,
+//! so a panicking worker cannot leak budget.
+
+use crate::{Result, ServiceError};
+use pcor_dp::BudgetAccountant;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// The key of one budget account.
+type AccountKey = (String, String);
+
+#[derive(Debug)]
+struct LedgerInner {
+    accounts: HashMap<AccountKey, BudgetAccountant>,
+    grants: HashMap<AccountKey, f64>,
+}
+
+/// Thread-safe per-`(analyst, dataset)` budget accounting.
+pub struct BudgetLedger {
+    inner: Arc<Mutex<LedgerInner>>,
+    default_grant: f64,
+}
+
+/// A snapshot of one account, as reported by [`BudgetLedger::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerEntry {
+    /// The analyst principal.
+    pub analyst: String,
+    /// The dataset the grant applies to.
+    pub dataset: String,
+    /// Total granted ε.
+    pub total: f64,
+    /// Committed (irrevocably spent) ε.
+    pub spent: f64,
+    /// ε held by in-flight requests.
+    pub reserved: f64,
+    /// ε still available.
+    pub remaining: f64,
+}
+
+/// A held portion of an analyst's budget for one in-flight request.
+///
+/// Must be resolved with [`BudgetLedger::commit`] or
+/// [`BudgetLedger::refund`]; dropping it unresolved refunds automatically.
+#[derive(Debug)]
+pub struct Reservation {
+    key: AccountKey,
+    epsilon: f64,
+    inner: Arc<Mutex<LedgerInner>>,
+    resolved: bool,
+}
+
+impl Reservation {
+    /// The analyst holding the reservation.
+    pub fn analyst(&self) -> &str {
+        &self.key.0
+    }
+
+    /// The dataset the reservation is against.
+    pub fn dataset(&self) -> &str {
+        &self.key.1
+    }
+
+    /// The held ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn resolve(&mut self, commit: bool) {
+        if self.resolved {
+            return;
+        }
+        self.resolved = true;
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        if let Some(account) = inner.accounts.get_mut(&self.key) {
+            let outcome =
+                if commit { account.commit(self.epsilon) } else { account.refund(self.epsilon) };
+            debug_assert!(outcome.is_ok(), "reservation resolution violated the protocol");
+        }
+    }
+}
+
+impl Drop for Reservation {
+    fn drop(&mut self) {
+        // An unresolved reservation means the request died before the
+        // release ran to completion; no privacy was released, so refund.
+        self.resolve(false);
+    }
+}
+
+impl BudgetLedger {
+    /// Creates a ledger granting every `(analyst, dataset)` pair
+    /// `default_grant` of ε unless overridden with
+    /// [`set_grant`](BudgetLedger::set_grant).
+    pub fn new(default_grant: f64) -> Self {
+        assert!(default_grant.is_finite() && default_grant > 0.0, "default grant must be positive");
+        BudgetLedger {
+            inner: Arc::new(Mutex::new(LedgerInner {
+                accounts: HashMap::new(),
+                grants: HashMap::new(),
+            })),
+            default_grant,
+        }
+    }
+
+    /// Overrides the grant for one `(analyst, dataset)` pair. Takes effect
+    /// when the account is first touched; an already-opened account keeps
+    /// its original grant (budgets are immutable once spending starts).
+    pub fn set_grant(&self, analyst: &str, dataset: &str, epsilon: f64) {
+        assert!(epsilon.is_finite() && epsilon > 0.0, "grant must be positive");
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        inner.grants.insert((analyst.to_string(), dataset.to_string()), epsilon);
+    }
+
+    /// Atomically reserves `epsilon` from the analyst's account for the
+    /// dataset, opening the account at its grant on first touch.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::BudgetExhausted`] when the account cannot
+    /// cover the request and [`ServiceError::InvalidRequest`] for
+    /// non-positive ε.
+    pub fn reserve(&self, analyst: &str, dataset: &str, epsilon: f64) -> Result<Reservation> {
+        if !epsilon.is_finite() || epsilon <= 0.0 {
+            return Err(ServiceError::InvalidRequest(format!(
+                "epsilon must be positive, got {epsilon}"
+            )));
+        }
+        let key = (analyst.to_string(), dataset.to_string());
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        let grant = inner.grants.get(&key).copied().unwrap_or(self.default_grant);
+        let account = inner
+            .accounts
+            .entry(key.clone())
+            .or_insert_with(|| BudgetAccountant::new(grant).expect("grant validated above"));
+        match account.reserve(epsilon) {
+            Ok(()) => {
+                Ok(Reservation { key, epsilon, inner: Arc::clone(&self.inner), resolved: false })
+            }
+            Err(_) => Err(ServiceError::BudgetExhausted {
+                analyst: analyst.to_string(),
+                dataset: dataset.to_string(),
+                requested: epsilon,
+                remaining: account.remaining(),
+            }),
+        }
+    }
+
+    /// Commits a reservation: the held ε becomes a permanent spend.
+    /// Returns the account's remaining budget.
+    pub fn commit(&self, mut reservation: Reservation) -> f64 {
+        reservation.resolve(true);
+        self.remaining(reservation.analyst(), reservation.dataset())
+    }
+
+    /// Refunds a reservation: the held ε returns to the account.
+    /// Returns the account's remaining budget.
+    pub fn refund(&self, mut reservation: Reservation) -> f64 {
+        reservation.resolve(false);
+        self.remaining(reservation.analyst(), reservation.dataset())
+    }
+
+    /// The ε still available to `analyst` on `dataset` (the full grant if
+    /// the account has never been touched).
+    pub fn remaining(&self, analyst: &str, dataset: &str) -> f64 {
+        let key = (analyst.to_string(), dataset.to_string());
+        let inner = self.inner.lock().expect("ledger poisoned");
+        match inner.accounts.get(&key) {
+            Some(account) => account.remaining(),
+            None => inner.grants.get(&key).copied().unwrap_or(self.default_grant),
+        }
+    }
+
+    /// The ε committed by `analyst` on `dataset` so far.
+    pub fn spent(&self, analyst: &str, dataset: &str) -> f64 {
+        let key = (analyst.to_string(), dataset.to_string());
+        let inner = self.inner.lock().expect("ledger poisoned");
+        inner.accounts.get(&key).map(|a| a.spent()).unwrap_or(0.0)
+    }
+
+    /// A snapshot of every opened account, sorted by analyst then dataset.
+    pub fn snapshot(&self) -> Vec<LedgerEntry> {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        let mut entries: Vec<LedgerEntry> = inner
+            .accounts
+            .iter()
+            .map(|((analyst, dataset), account)| LedgerEntry {
+                analyst: analyst.clone(),
+                dataset: dataset.clone(),
+                total: account.total(),
+                spent: account.spent(),
+                reserved: account.reserved(),
+                remaining: account.remaining(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (&a.analyst, &a.dataset).cmp(&(&b.analyst, &b.dataset)));
+        entries
+    }
+}
+
+impl std::fmt::Debug for BudgetLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        f.debug_struct("BudgetLedger")
+            .field("default_grant", &self.default_grant)
+            .field("accounts", &inner.accounts.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn exhaustion_is_refused_and_reported() {
+        let ledger = BudgetLedger::new(0.5);
+        let r1 = ledger.reserve("alice", "salary", 0.2).unwrap();
+        assert_eq!(r1.analyst(), "alice");
+        assert_eq!(r1.dataset(), "salary");
+        assert_eq!(r1.epsilon(), 0.2);
+        let remaining = ledger.commit(r1);
+        assert!((remaining - 0.3).abs() < 1e-12);
+        let r2 = ledger.reserve("alice", "salary", 0.2).unwrap();
+        ledger.commit(r2);
+        // 0.1 left: a 0.2 request must be refused with the exact remainder.
+        match ledger.reserve("alice", "salary", 0.2) {
+            Err(ServiceError::BudgetExhausted { remaining, requested, .. }) => {
+                assert!((remaining - 0.1).abs() < 1e-9);
+                assert_eq!(requested, 0.2);
+            }
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+        // Exact exhaustion is allowed; afterwards everything is refused.
+        let r3 = ledger.reserve("alice", "salary", 0.1).unwrap();
+        ledger.commit(r3);
+        assert!(ledger.reserve("alice", "salary", 1e-6).is_err());
+        assert!((ledger.spent("alice", "salary") - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn refund_on_error_returns_the_budget() {
+        let ledger = BudgetLedger::new(0.5);
+        let r = ledger.reserve("bob", "salary", 0.4).unwrap();
+        // While held, a competing request cannot take the budget.
+        assert!(ledger.reserve("bob", "salary", 0.2).is_err());
+        let remaining = ledger.refund(r);
+        assert!((remaining - 0.5).abs() < 1e-12);
+        assert_eq!(ledger.spent("bob", "salary"), 0.0);
+        // Dropping a reservation unresolved refunds too.
+        {
+            let _held = ledger.reserve("bob", "salary", 0.4).unwrap();
+        }
+        assert!((ledger.remaining("bob", "salary") - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accounts_are_isolated_per_analyst_and_dataset() {
+        let ledger = BudgetLedger::new(0.3);
+        ledger.set_grant("carol", "homicide", 1.0);
+        let r = ledger.reserve("carol", "salary", 0.3).unwrap();
+        ledger.commit(r);
+        // Spending on salary leaves carol's homicide grant and dave's
+        // salary grant untouched.
+        assert!((ledger.remaining("carol", "homicide") - 1.0).abs() < 1e-12);
+        assert!((ledger.remaining("dave", "salary") - 0.3).abs() < 1e-12);
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].analyst, "carol");
+        assert!((snapshot[0].spent - 0.3).abs() < 1e-12);
+        assert_eq!(snapshot[0].reserved, 0.0);
+    }
+
+    #[test]
+    fn invalid_epsilon_is_rejected_without_opening_an_account() {
+        let ledger = BudgetLedger::new(0.5);
+        assert!(matches!(
+            ledger.reserve("eve", "salary", 0.0),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(matches!(
+            ledger.reserve("eve", "salary", f64::NAN),
+            Err(ServiceError::InvalidRequest(_))
+        ));
+        assert!(ledger.snapshot().is_empty());
+    }
+
+    /// Many threads hammer one account; the number of successful commits
+    /// must exactly match the budget (no over-spend, no double refund).
+    #[test]
+    fn concurrent_reservations_never_over_spend() {
+        let ledger = std::sync::Arc::new(BudgetLedger::new(1.0));
+        let committed = AtomicUsize::new(0);
+        let refused = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for worker in 0..8 {
+                let ledger = std::sync::Arc::clone(&ledger);
+                let committed = &committed;
+                let refused = &refused;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        match ledger.reserve("mallory", "salary", 0.1) {
+                            Ok(reservation) => {
+                                // Exercise both resolution paths.
+                                if (worker + i) % 5 == 0 {
+                                    ledger.refund(reservation);
+                                } else {
+                                    ledger.commit(reservation);
+                                    committed.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                            Err(ServiceError::BudgetExhausted { .. }) => {
+                                refused.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        let mut commits = committed.load(Ordering::SeqCst);
+        // Budget 1.0 at 0.1 per commit: at most 10 commits can ever fit,
+        // regardless of interleaving — the core no-over-spend invariant.
+        assert!(commits <= 10, "committed {commits} × 0.1 against a budget of 1.0");
+        let spent = ledger.spent("mallory", "salary");
+        assert!((spent - 0.1 * commits as f64).abs() < 1e-9, "spent {spent} for {commits} commits");
+        // Refunded budget is really back: drain the account to exhaustion.
+        while let Ok(reservation) = ledger.reserve("mallory", "salary", 0.1) {
+            ledger.commit(reservation);
+            commits += 1;
+        }
+        assert_eq!(commits, 10, "refunds must leave the full budget spendable");
+        assert!(refused.load(Ordering::SeqCst) > 0, "contention must refuse something");
+        assert!(ledger.remaining("mallory", "salary") < 1e-9);
+    }
+}

@@ -1,0 +1,81 @@
+//! Lock-free server counters.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters maintained by the worker pool.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    served: AtomicU64,
+    refused: AtomicU64,
+    failed: AtomicU64,
+    total_latency_nanos: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Records a successfully served release.
+    pub fn record_served(&self, latency: Duration) {
+        self.served.fetch_add(1, Ordering::Relaxed);
+        self.total_latency_nanos
+            .fetch_add(latency.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Records a budget refusal.
+    pub fn record_refused(&self) {
+        self.refused.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a failed release (non-budget error).
+    pub fn record_failed(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> ServerMetricsSnapshot {
+        let served = self.served.load(Ordering::Relaxed);
+        let nanos = self.total_latency_nanos.load(Ordering::Relaxed);
+        ServerMetricsSnapshot {
+            served,
+            refused: self.refused.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            mean_latency: nanos
+                .checked_div(served)
+                .map(Duration::from_nanos)
+                .unwrap_or(Duration::ZERO),
+        }
+    }
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerMetricsSnapshot {
+    /// Releases served successfully.
+    pub served: u64,
+    /// Requests refused for budget reasons.
+    pub refused: u64,
+    /// Requests that failed for non-budget reasons.
+    pub failed: u64,
+    /// Mean end-to-end latency of served releases.
+    pub mean_latency: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_average() {
+        let metrics = ServerMetrics::default();
+        assert_eq!(metrics.snapshot().mean_latency, Duration::ZERO);
+        metrics.record_served(Duration::from_millis(10));
+        metrics.record_served(Duration::from_millis(30));
+        metrics.record_refused();
+        metrics.record_failed();
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.served, 2);
+        assert_eq!(snapshot.refused, 1);
+        assert_eq!(snapshot.failed, 1);
+        assert_eq!(snapshot.mean_latency, Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,334 @@
+//! Named datasets behind `Arc`, with memoized derived state.
+//!
+//! Loading a dataset is cheap next to what the server derives from it per
+//! query: schema statistics (reported to analysts so they can form
+//! requests) and — far more expensive — the *verified starting context*
+//! `C_V` of a queried record, which requires a breadth-first search over
+//! super-contexts with a detector evaluation at every step. The registry
+//! memoizes both: statistics once per dataset, starting contexts in an LRU
+//! keyed by `(dataset, record, detector)` shared by all workers.
+//!
+//! Caching starting contexts is privacy-neutral: `C_V` is derived
+//! deterministically from the dataset and never released — it only seeds
+//! the private search — so reusing it across queries changes neither the
+//! released distribution nor the OCDP accounting.
+
+use crate::cache::LruCache;
+use crate::{Result, ServiceError};
+use pcor_core::starting::{find_starting_context, DEFAULT_SEARCH_BUDGET};
+use pcor_core::Verifier;
+use pcor_data::{Context, Dataset};
+use pcor_dp::PopulationSizeUtility;
+use pcor_outlier::DetectorKind;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default capacity of the starting-context LRU.
+pub const DEFAULT_STARTING_CONTEXT_CACHE: usize = 1024;
+
+/// Memoized summary statistics of a registered dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of records.
+    pub records: usize,
+    /// Number of categorical attributes.
+    pub attributes: usize,
+    /// Total number of attribute values `t` (context bit-vector length).
+    pub total_values: usize,
+    /// Minimum of the metric column.
+    pub metric_min: f64,
+    /// Maximum of the metric column.
+    pub metric_max: f64,
+    /// Mean of the metric column.
+    pub metric_mean: f64,
+}
+
+impl DatasetStats {
+    fn compute(dataset: &Dataset) -> Self {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for id in 0..dataset.len() {
+            let m = dataset.metric(id);
+            min = min.min(m);
+            max = max.max(m);
+            sum += m;
+        }
+        let records = dataset.len();
+        DatasetStats {
+            records,
+            attributes: dataset.schema().num_attributes(),
+            total_values: dataset.schema().total_values(),
+            metric_min: if records == 0 { 0.0 } else { min },
+            metric_max: if records == 0 { 0.0 } else { max },
+            metric_mean: if records == 0 { 0.0 } else { sum / records as f64 },
+        }
+    }
+}
+
+/// A registered dataset plus its memoized derived state.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    name: String,
+    dataset: Arc<Dataset>,
+    stats: DatasetStats,
+}
+
+impl DatasetEntry {
+    /// The registry name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The dataset itself.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// A cloneable handle to the dataset.
+    pub fn dataset_arc(&self) -> Arc<Dataset> {
+        Arc::clone(&self.dataset)
+    }
+
+    /// The memoized summary statistics.
+    pub fn stats(&self) -> &DatasetStats {
+        &self.stats
+    }
+}
+
+/// Hit/miss counters of the starting-context cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that ran the full search.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub len: usize,
+}
+
+type StartKey = (String, usize, DetectorKind);
+
+/// Thread-safe registry of named datasets with a shared starting-context
+/// cache.
+pub struct DatasetRegistry {
+    datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    starting_contexts: Mutex<LruCache<StartKey, Context>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    search_budget: usize,
+}
+
+impl Default for DatasetRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry with the default cache capacity and
+    /// starting-context search budget.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_STARTING_CONTEXT_CACHE)
+    }
+
+    /// Creates an empty registry whose starting-context LRU holds at most
+    /// `cache_capacity` entries.
+    pub fn with_capacity(cache_capacity: usize) -> Self {
+        DatasetRegistry {
+            datasets: RwLock::new(HashMap::new()),
+            starting_contexts: Mutex::new(LruCache::new(cache_capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            search_budget: DEFAULT_SEARCH_BUDGET,
+        }
+    }
+
+    /// Registers (or replaces) a dataset under `name`, computing its
+    /// summary statistics once. Replacing drops the previous dataset's
+    /// cached starting contexts.
+    pub fn register(&self, name: &str, dataset: Dataset) -> Arc<DatasetEntry> {
+        let entry = Arc::new(DatasetEntry {
+            name: name.to_string(),
+            stats: DatasetStats::compute(&dataset),
+            dataset: Arc::new(dataset),
+        });
+        let replaced = {
+            let mut datasets = self.datasets.write().expect("registry poisoned");
+            datasets.insert(name.to_string(), Arc::clone(&entry)).is_some()
+        };
+        if replaced {
+            // Cached contexts for the old dataset are invalid; the cache is
+            // keyed by name, so the simplest sound policy is a full clear.
+            self.starting_contexts.lock().expect("cache poisoned").clear();
+        }
+        entry
+    }
+
+    /// Looks up a dataset by name.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::UnknownDataset`] when absent.
+    pub fn get(&self, name: &str) -> Result<Arc<DatasetEntry>> {
+        self.datasets
+            .read()
+            .expect("registry poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownDataset(name.to_string()))
+    }
+
+    /// The registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.datasets.read().expect("registry poisoned").keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.datasets.read().expect("registry poisoned").len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns a verified starting context for `record_id` of `entry`'s
+    /// dataset under `detector`, serving repeats from the LRU. The boolean
+    /// is `true` on a cache hit.
+    ///
+    /// # Errors
+    /// Propagates [`ServiceError::Release`] when the record has no matching
+    /// context (it is not a contextual outlier for this detector).
+    pub fn starting_context(
+        &self,
+        entry: &DatasetEntry,
+        record_id: usize,
+        detector: DetectorKind,
+    ) -> Result<(Context, bool)> {
+        let key: StartKey = (entry.name.clone(), record_id, detector);
+        if let Some(context) = self.starting_contexts.lock().expect("cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((context.clone(), true));
+        }
+        // Search outside the cache lock: discovery can take milliseconds
+        // and other workers should keep hitting the cache meanwhile. Two
+        // workers may race on the same key; both compute the same
+        // deterministic context, so the double insert is harmless.
+        let built = detector.build();
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(entry.dataset(), built.as_ref(), &utility, record_id);
+        let context = find_starting_context(&mut verifier, self.search_budget)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.starting_contexts.lock().expect("cache poisoned").insert(key, context.clone());
+        Ok((context, false))
+    }
+
+    /// Hit/miss counters of the starting-context cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            len: self.starting_contexts.lock().expect("cache poisoned").len(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DatasetRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetRegistry")
+            .field("datasets", &self.names())
+            .field("cache", &self.cache_stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcor_data::{Attribute, Record, Schema};
+
+    /// A dataset where record 0 is extreme inside its own (a0, b0) cell.
+    fn toy_dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1"]),
+                Attribute::from_values("B", &["b0", "b1"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        let mut records = vec![Record::new(vec![0, 0], 900.0)];
+        for i in 0..40 {
+            records.push(Record::new(
+                vec![(i % 2) as u16, ((i / 2) % 2) as u16],
+                100.0 + (i % 7) as f64,
+            ));
+        }
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn register_get_and_stats() {
+        let registry = DatasetRegistry::new();
+        assert!(registry.is_empty());
+        let entry = registry.register("toy", toy_dataset());
+        assert_eq!(entry.name(), "toy");
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.names(), vec!["toy".to_string()]);
+        let stats = entry.stats();
+        assert_eq!(stats.records, 41);
+        assert_eq!(stats.attributes, 2);
+        assert_eq!(stats.total_values, 4);
+        assert_eq!(stats.metric_max, 900.0);
+        assert!(stats.metric_min >= 100.0);
+        assert!(stats.metric_mean > stats.metric_min && stats.metric_mean < stats.metric_max);
+        assert!(matches!(
+            registry.get("missing"),
+            Err(ServiceError::UnknownDataset(name)) if name == "missing"
+        ));
+        // The Arc handle points at the same dataset.
+        assert_eq!(entry.dataset_arc().len(), registry.get("toy").unwrap().dataset().len());
+    }
+
+    #[test]
+    fn starting_contexts_hit_on_repeat_lookups() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        let (first, hit1) = registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        assert!(!hit1, "first lookup must miss");
+        let (second, hit2) = registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        assert!(hit2, "second lookup must hit");
+        assert_eq!(first, second);
+        let stats = registry.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (1, 1, 1));
+        // A different detector is a different key.
+        let _ = registry.starting_context(&entry, 0, DetectorKind::Iqr);
+        assert!(registry.cache_stats().misses >= 2 || registry.cache_stats().len == 1);
+    }
+
+    #[test]
+    fn non_outliers_are_reported_without_caching() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        // Record 1 sits in the bulk of its cell: no matching context.
+        let result = registry.starting_context(&entry, 1, DetectorKind::ZScore);
+        assert!(matches!(result, Err(ServiceError::Release(_))));
+        assert_eq!(registry.cache_stats().len, 0);
+    }
+
+    #[test]
+    fn replacing_a_dataset_clears_the_cache() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        assert_eq!(registry.cache_stats().len, 1);
+        registry.register("toy", toy_dataset());
+        assert_eq!(registry.cache_stats().len, 0);
+    }
+}

@@ -1,0 +1,219 @@
+//! Typed, serializable release requests and responses.
+//!
+//! A [`ReleaseRequest`] is everything a remote analyst would put on the
+//! wire: their principal name, the dataset and record they are querying,
+//! the detector, the release algorithm and its ε/samples knobs, and a
+//! deterministic seed. The seed makes the service *replayable*: the same
+//! request against the same registered dataset produces the same released
+//! context, which is what an auditor needs to verify a custodian's logs.
+//!
+//! **Privacy caveat — who picks the seed matters.** The OCDP guarantee of
+//! the Exponential mechanism holds against observers who do *not* know the
+//! mechanism's randomness. A seed chosen (or known) by the analyst makes
+//! the release a deterministic function of the dataset for that analyst,
+//! and the ε-ratio bound no longer constrains what they learn. In a
+//! deployment with adversarial analysts the custodian must therefore
+//! assign seeds itself — drawn from secret entropy and logged for audit
+//! replay — rather than accept them from the request; the field is a knob
+//! for the custodian's front end, not a promise that analyst-chosen seeds
+//! are safe. (Trusted-analyst settings, experiments and tests can use it
+//! directly, which is what this workspace's examples do.)
+
+use crate::{Result, ServiceError};
+use pcor_core::{PcorConfig, SamplingAlgorithm};
+use pcor_data::Context;
+use pcor_dp::budget::OcdpGuarantee;
+use pcor_outlier::DetectorKind;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A contextual-outlier release request from one analyst.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseRequest {
+    /// The requesting analyst (budget principal).
+    pub analyst: String,
+    /// The registered dataset name.
+    pub dataset: String,
+    /// The queried record id.
+    pub record_id: usize,
+    /// The outlier detector to verify contexts with.
+    pub detector: DetectorKind,
+    /// The release algorithm.
+    pub algorithm: SamplingAlgorithm,
+    /// Total OCDP budget ε this release may consume.
+    pub epsilon: f64,
+    /// Number of samples `n` for the sampling algorithms.
+    pub samples: usize,
+    /// Seed of the per-request deterministic RNG.
+    pub seed: u64,
+}
+
+impl ReleaseRequest {
+    /// Creates a request with the paper's default knobs (BFS, ε = 0.2,
+    /// `n = 50`, LOF detector, seed 0).
+    pub fn new(analyst: &str, dataset: &str, record_id: usize) -> Self {
+        ReleaseRequest {
+            analyst: analyst.to_string(),
+            dataset: dataset.to_string(),
+            record_id,
+            detector: DetectorKind::Lof,
+            algorithm: SamplingAlgorithm::Bfs,
+            epsilon: 0.2,
+            samples: 50,
+            seed: 0,
+        }
+    }
+
+    /// Sets the detector.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the release algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: SamplingAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the privacy budget ε of this release.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the sample count `n`.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the request's scalar knobs (the dataset/record existence
+    /// checks happen against the registry at execution time).
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::InvalidRequest`] for empty principals,
+    /// non-positive ε or zero samples.
+    pub fn validate(&self) -> Result<()> {
+        if self.analyst.is_empty() {
+            return Err(ServiceError::InvalidRequest("analyst must not be empty".into()));
+        }
+        if self.dataset.is_empty() {
+            return Err(ServiceError::InvalidRequest("dataset must not be empty".into()));
+        }
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(ServiceError::InvalidRequest(format!(
+                "epsilon must be positive, got {}",
+                self.epsilon
+            )));
+        }
+        if self.samples == 0 {
+            return Err(ServiceError::InvalidRequest("samples must be >= 1".into()));
+        }
+        Ok(())
+    }
+
+    /// Maps the request's knobs onto a core [`PcorConfig`], seeding the
+    /// search with `starting_context` (resolved by the registry cache).
+    pub fn to_config(&self, starting_context: Context) -> PcorConfig {
+        PcorConfig::new(self.algorithm, self.epsilon)
+            .with_samples(self.samples)
+            .with_starting_context(starting_context)
+    }
+}
+
+/// The outcome of a successfully served release.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReleaseResponse {
+    /// The analyst the release was served to.
+    pub analyst: String,
+    /// The dataset queried.
+    pub dataset: String,
+    /// The record queried.
+    pub record_id: usize,
+    /// The privately released context.
+    pub context: Context,
+    /// The released context rendered as a predicate string.
+    pub predicate: String,
+    /// The utility score of the released context.
+    pub utility: f64,
+    /// Samples the algorithm collected before the final draw.
+    pub samples_collected: usize,
+    /// `f_M` verification calls performed by this query.
+    pub verification_calls: usize,
+    /// The OCDP guarantee of the release.
+    pub guarantee: OcdpGuarantee,
+    /// ε this release consumed (committed against the analyst's budget).
+    pub epsilon_spent: f64,
+    /// ε the analyst still has on this dataset after the release.
+    pub remaining_budget: f64,
+    /// Whether the starting context came from the registry cache.
+    pub cache_hit: bool,
+    /// End-to-end service latency of this query (queue wait + release).
+    pub latency: Duration,
+    /// Index of the worker thread that served the query.
+    pub worker: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_sets_every_knob() {
+        let request = ReleaseRequest::new("alice", "salary", 3)
+            .with_detector(DetectorKind::ZScore)
+            .with_algorithm(SamplingAlgorithm::RandomWalk)
+            .with_epsilon(0.4)
+            .with_samples(25)
+            .with_seed(99);
+        assert_eq!(request.analyst, "alice");
+        assert_eq!(request.dataset, "salary");
+        assert_eq!(request.record_id, 3);
+        assert_eq!(request.detector, DetectorKind::ZScore);
+        assert_eq!(request.algorithm, SamplingAlgorithm::RandomWalk);
+        assert_eq!(request.epsilon, 0.4);
+        assert_eq!(request.samples, 25);
+        assert_eq!(request.seed, 99);
+        assert!(request.validate().is_ok());
+        let config = request.to_config(Context::empty(4));
+        assert_eq!(config.algorithm, SamplingAlgorithm::RandomWalk);
+        assert_eq!(config.epsilon, 0.4);
+        assert_eq!(config.samples, 25);
+        assert!(config.starting_context.is_some());
+    }
+
+    #[test]
+    fn validation_rejects_bad_requests() {
+        assert!(ReleaseRequest::new("", "salary", 0).validate().is_err());
+        assert!(ReleaseRequest::new("a", "", 0).validate().is_err());
+        assert!(ReleaseRequest::new("a", "d", 0).with_epsilon(0.0).validate().is_err());
+        assert!(ReleaseRequest::new("a", "d", 0).with_epsilon(f64::NAN).validate().is_err());
+        assert!(ReleaseRequest::new("a", "d", 0).with_samples(0).validate().is_err());
+    }
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let request = ReleaseRequest::new("bob", "homicide", 17)
+            .with_algorithm(SamplingAlgorithm::Dfs)
+            .with_seed(u64::MAX);
+        let json = serde_json::to_string(&request).unwrap();
+        let back: ReleaseRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, request);
+        // The wire format is readable: field names and the enum tags appear.
+        assert!(json.contains("\"analyst\""));
+        assert!(json.contains("\"Dfs\""));
+        assert!(json.contains("\"Lof\""));
+    }
+}

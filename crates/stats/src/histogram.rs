@@ -90,11 +90,8 @@ impl EqualWidthHistogram {
     /// Index of the bin containing `value` (values outside the original range
     /// are clamped into the first/last bin).
     pub fn bin_index(&self, value: f64) -> usize {
-        let width = if self.bins.is_empty() {
-            1.0
-        } else {
-            self.bins[0].upper - self.bins[0].lower
-        };
+        let width =
+            if self.bins.is_empty() { 1.0 } else { self.bins[0].upper - self.bins[0].lower };
         Self::index_for(value, self.min, width, self.bins.len())
     }
 

@@ -82,11 +82,7 @@ mod tests {
     fn error_display_is_informative() {
         assert_eq!(StatsError::EmptyInput.to_string(), "empty input");
         assert_eq!(
-            StatsError::InsufficientData {
-                required: 3,
-                actual: 1
-            }
-            .to_string(),
+            StatsError::InsufficientData { required: 3, actual: 1 }.to_string(),
             "insufficient data: need 3, got 1"
         );
         assert!(StatsError::InvalidParameter("alpha").to_string().contains("alpha"));

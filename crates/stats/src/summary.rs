@@ -89,11 +89,7 @@ impl UtilitySummary {
 
 impl std::fmt::Display for UtilitySummary {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "{:.2} ({:.2}, {:.2})",
-            self.mean, self.ci_lower, self.ci_upper
-        )
+        write!(f, "{:.2} ({:.2}, {:.2})", self.mean, self.ci_lower, self.ci_upper)
     }
 }
 
@@ -205,11 +201,7 @@ mod tests {
 
     #[test]
     fn runtime_summary_aggregates() {
-        let ds = [
-            Duration::from_millis(500),
-            Duration::from_secs(2),
-            Duration::from_secs(1),
-        ];
+        let ds = [Duration::from_millis(500), Duration::from_secs(2), Duration::from_secs(1)];
         let s = RuntimeSummary::from_durations(&ds).unwrap();
         assert!((s.min_secs - 0.5).abs() < 1e-12);
         assert!((s.max_secs - 2.0).abs() < 1e-12);

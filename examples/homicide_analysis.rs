@@ -35,26 +35,18 @@ fn main() {
 
     // Overlap utility: score candidates by how much of C_V's population they
     // retain.
-    let utility =
-        OverlapUtility::new(&dataset, outlier.starting_context.clone()).expect("utility");
-    println!(
-        "population of C_V: {} records\n",
-        utility.starting_population_size()
-    );
+    let utility = OverlapUtility::new(&dataset, outlier.starting_context.clone()).expect("utility");
+    println!("population of C_V: {} records\n", utility.starting_population_size());
 
-    for (name, algorithm) in [("DP-DFS", SamplingAlgorithm::Dfs), ("DP-BFS", SamplingAlgorithm::Bfs)] {
+    for (name, algorithm) in
+        [("DP-DFS", SamplingAlgorithm::Dfs), ("DP-BFS", SamplingAlgorithm::Bfs)]
+    {
         let config = PcorConfig::new(algorithm, 0.2)
             .with_samples(50)
             .with_starting_context(outlier.starting_context.clone());
-        let released = release_context(
-            &dataset,
-            outlier.record_id,
-            &detector,
-            &utility,
-            &config,
-            &mut rng,
-        )
-        .expect("release");
+        let released =
+            release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
+                .expect("release");
         println!("=== {name} ===");
         println!("released context: {}", released.context.to_predicate_string(dataset.schema()));
         println!(

@@ -75,13 +75,12 @@ fn main() {
     println!("\nEmpirical probability-ratio check (bound e^eps = {:.3}):", epsilon.exp());
     let detector = LofDetector::default();
     if let Ok(outlier) = find_random_outlier(&dataset, &detector, 500, &mut rng) {
-        let reference = enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22)
-            .expect("reference");
+        let reference =
+            enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22).expect("reference");
         let mut worst: f64 = 1.0;
         for _ in 0..20 {
-            let (neighbor, removed) = dataset
-                .random_neighbor(&mut rng, 1, &[outlier.record_id])
-                .expect("neighbor");
+            let (neighbor, removed) =
+                dataset.random_neighbor(&mut rng, 1, &[outlier.record_id]).expect("neighbor");
             let new_id =
                 reindex_after_removal(outlier.record_id, &removed).expect("outlier protected");
             let neighbor_ref =
@@ -102,12 +101,8 @@ fn main() {
     let detector = LofDetector::default();
     if let Ok(outlier) = find_random_outlier(&dataset, &detector, 500, &mut rng) {
         let graph = ContextGraph::for_schema(dataset.schema());
-        let mut verifier = pcor::core::Verifier::new(
-            &dataset,
-            &detector,
-            &utility,
-            outlier.record_id,
-        );
+        let mut verifier =
+            pcor::core::Verifier::new(&dataset, &detector, &utility, outlier.record_id);
         let estimate = estimate_locality(
             &graph,
             &outlier.starting_context,

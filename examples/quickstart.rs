@@ -31,11 +31,7 @@ fn main() {
     let outlier = find_random_outlier(&dataset, &detector, 500, &mut rng)
         .expect("the synthetic workload plants contextual outliers");
     let record = dataset.record(outlier.record_id);
-    println!(
-        "outlier record #{}: {}",
-        outlier.record_id,
-        record.describe(dataset.schema())
-    );
+    println!("outlier record #{}: {}", outlier.record_id, record.describe(dataset.schema()));
     println!(
         "starting context C_V: {}",
         outlier.starting_context.to_predicate_string(dataset.schema())
@@ -47,15 +43,9 @@ fn main() {
     let pcor_config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
         .with_samples(50)
         .with_starting_context(outlier.starting_context.clone());
-    let released = release_context(
-        &dataset,
-        outlier.record_id,
-        &detector,
-        &utility,
-        &pcor_config,
-        &mut rng,
-    )
-    .expect("release");
+    let released =
+        release_context(&dataset, outlier.record_id, &detector, &utility, &pcor_config, &mut rng)
+            .expect("release");
 
     println!("\n=== private release ===");
     println!("context: {}", released.context.to_predicate_string(dataset.schema()));
@@ -71,8 +61,5 @@ fn main() {
     println!("\n=== comparison with the non-private optimum ===");
     println!("matching contexts: {}", reference.len());
     println!("maximum utility:   {}", reference.max_utility);
-    println!(
-        "utility ratio:     {:.2}",
-        reference.utility_ratio(released.utility)
-    );
+    println!("utility ratio:     {:.2}", reference.utility_ratio(released.utility));
 }

@@ -12,8 +12,8 @@
 //! cargo run --release -p pcor --example salary_analysis
 //! ```
 
-use pcor::prelude::*;
 use pcor::core::runner::run_repeated;
+use pcor::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
 use std::time::Duration;
@@ -62,7 +62,8 @@ fn main() {
                 let times: Vec<Duration> = runs.iter().map(|r| r.runtime).collect();
                 let ratios: Vec<f64> = runs.iter().filter_map(|r| r.utility_ratio).collect();
                 let time_summary = RuntimeSummary::from_durations(&times).expect("time summary");
-                let utility_summary = UtilitySummary::from_ratios(&ratios).expect("utility summary");
+                let utility_summary =
+                    UtilitySummary::from_ratios(&ratios).expect("utility summary");
                 println!(
                     "{:<12} {:>8} {:>10} {:>10.2} {:>10}",
                     algorithm.to_string(),

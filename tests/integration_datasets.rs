@@ -25,8 +25,7 @@ fn reduced_workloads_match_section_6_7_dimensions() {
     // Salary: ~11,000 records, 14 attribute values; homicide: ~28,000 records,
     // 12 attribute values.
     assert_eq!(SalaryConfig::reduced().num_records, 11_000);
-    let salary_schema =
-        pcor::data::generator::salary_schema(&SalaryConfig::reduced()).unwrap();
+    let salary_schema = pcor::data::generator::salary_schema(&SalaryConfig::reduced()).unwrap();
     assert_eq!(salary_schema.total_values(), 14);
 
     assert_eq!(HomicideConfig::reduced().num_records, 28_000);

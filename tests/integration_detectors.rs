@@ -64,7 +64,8 @@ fn detectors_agree_that_planted_salary_outliers_stand_out() {
 
 #[test]
 fn detectors_rarely_flag_typical_records() {
-    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(3_000).with_seed(5)).unwrap();
+    let dataset =
+        salary_dataset(&SalaryConfig::reduced().with_records(3_000).with_seed(5)).unwrap();
     let detectors: Vec<Box<dyn OutlierDetector>> = vec![
         Box::new(GrubbsDetector::default()),
         Box::new(ZScoreDetector::default()),

@@ -27,15 +27,9 @@ fn every_algorithm_releases_a_valid_context_on_the_salary_workload() {
             .with_samples(15)
             .with_max_attempts(50_000)
             .with_starting_context(outlier.starting_context.clone());
-        let result = release_context(
-            &dataset,
-            outlier.record_id,
-            &detector,
-            &utility,
-            &config,
-            &mut rng,
-        )
-        .unwrap_or_else(|e| panic!("{algorithm} failed: {e}"));
+        let result =
+            release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
+                .unwrap_or_else(|e| panic!("{algorithm} failed: {e}"));
 
         // Validity: the released context must cover the record and the record
         // must be an outlier within it (Definition 3.2(a)).
@@ -94,15 +88,9 @@ fn overlap_utility_releases_high_overlap_contexts() {
     let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.4)
         .with_samples(20)
         .with_starting_context(outlier.starting_context.clone());
-    let result = release_context(
-        &dataset,
-        outlier.record_id,
-        &detector,
-        &utility,
-        &config,
-        &mut rng,
-    )
-    .expect("release");
+    let result =
+        release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
+            .expect("release");
     assert!(result.utility >= 1.0, "overlap must at least contain the outlier itself");
     assert!(result.utility <= utility.starting_population_size() as f64);
 }
@@ -141,8 +129,8 @@ fn csv_round_trip_preserves_release_behaviour() {
     // still a contextual outlier with a matching release.
     let dataset = salary();
     let csv = pcor::data::csv::to_csv_string(&dataset).expect("csv export");
-    let reimported =
-        pcor::data::csv::read_csv_with_schema(dataset.schema(), csv.as_bytes()).expect("csv import");
+    let reimported = pcor::data::csv::read_csv_with_schema(dataset.schema(), csv.as_bytes())
+        .expect("csv import");
     assert_eq!(reimported.len(), dataset.len());
 
     let detector = ZScoreDetector::new(3.0);
@@ -152,14 +140,8 @@ fn csv_round_trip_preserves_release_behaviour() {
     let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
         .with_samples(10)
         .with_starting_context(outlier.starting_context.clone());
-    let result = release_context(
-        &reimported,
-        outlier.record_id,
-        &detector,
-        &utility,
-        &config,
-        &mut rng,
-    )
-    .expect("release on the re-imported dataset");
+    let result =
+        release_context(&reimported, outlier.record_id, &detector, &utility, &config, &mut rng)
+            .expect("release on the re-imported dataset");
     assert!(reimported.covers(&result.context, outlier.record_id).unwrap());
 }

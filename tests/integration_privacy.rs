@@ -20,10 +20,7 @@ fn tiny_dataset() -> Dataset {
     .unwrap();
     let mut records = vec![Record::new(vec![0, 0], 990.0)];
     for i in 0..80 {
-        records.push(Record::new(
-            vec![(i % 2) as u16, (i % 3) as u16],
-            100.0 + (i % 9) as f64,
-        ));
+        records.push(Record::new(vec![(i % 2) as u16, (i % 3) as u16], 100.0 + (i % 9) as f64));
     }
     Dataset::new(schema, records).unwrap()
 }
@@ -73,8 +70,7 @@ fn coe_match_degrades_gracefully_with_group_privacy_distance() {
     let utility = PopulationSizeUtility;
     let mut rng = ChaCha12Rng::seed_from_u64(17);
     let outlier = find_random_outlier(&dataset, &detector, 300, &mut rng).unwrap();
-    let reference =
-        enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22).unwrap();
+    let reference = enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22).unwrap();
 
     let avg_for = |delta: usize, rng: &mut ChaCha12Rng| -> f64 {
         let mut total = 0.0;
@@ -83,8 +79,7 @@ fn coe_match_degrades_gracefully_with_group_privacy_distance() {
             let (neighbor, removed) =
                 dataset.random_neighbor(rng, delta, &[outlier.record_id]).unwrap();
             let new_id = reindex_after_removal(outlier.record_id, &removed).unwrap();
-            let neighbor_ref =
-                enumerate_coe(&neighbor, new_id, &detector, &utility, 22).unwrap();
+            let neighbor_ref = enumerate_coe(&neighbor, new_id, &detector, &utility, 22).unwrap();
             total += compare_references(&reference, &neighbor_ref).jaccard;
         }
         total / trials as f64

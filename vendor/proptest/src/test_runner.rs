@@ -1,0 +1,129 @@
+//! The test runner: configuration, RNG and case outcomes.
+
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the heavier dataset-generating
+        // properties fast while still exercising plenty of cases.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: ChaCha12Rng,
+}
+
+impl TestRng {
+    fn from_seed(seed: u64) -> Self {
+        TestRng { inner: ChaCha12Rng::seed_from_u64(seed) }
+    }
+
+    /// 64 random bits.
+    pub fn next_bits(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform in `[0, span)`; `span > 0`.
+    pub fn u64_below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.inner.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[min, max_inclusive]`.
+    pub fn usize_in(&mut self, min: usize, max_inclusive: usize) -> usize {
+        debug_assert!(min <= max_inclusive);
+        let span = (max_inclusive - min) as u64;
+        if span == u64::MAX {
+            return self.inner.next_u64() as usize;
+        }
+        min + self.u64_below(span + 1) as usize
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.inner.random::<f64>()
+    }
+}
+
+/// Drives the cases of one property test.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+/// The fixed base seed: property tests are deterministic across runs (the
+/// real crate records failing seeds in a persistence file instead; without
+/// network access we prefer byte-for-byte reproducibility).
+const BASE_SEED: u64 = 0x5EED_CAFE_F00D_0001;
+
+impl TestRunner {
+    /// Creates a runner for `config`.
+    pub fn new(config: ProptestConfig) -> Self {
+        TestRunner { config, rng: TestRng::from_seed(BASE_SEED) }
+    }
+
+    /// Number of accepted cases to run.
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner::new(ProptestConfig::default())
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and is regenerated.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejected assumption.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(why) => write!(f, "rejected: {why}"),
+            TestCaseError::Fail(why) => write!(f, "failed: {why}"),
+        }
+    }
+}

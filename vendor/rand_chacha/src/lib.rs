@@ -1,0 +1,174 @@
+//! Offline stand-in for the [`rand_chacha`](https://crates.io/crates/rand_chacha)
+//! crate, providing [`ChaCha8Rng`], [`ChaCha12Rng`] and [`ChaCha20Rng`].
+//!
+//! Unlike most of the vendored shims in this workspace, the keystream here is
+//! the genuine ChaCha block function (Bernstein 2008) with the corresponding
+//! number of rounds — only the word-to-output ordering conveniences of the
+//! upstream crate are omitted, so streams are deterministic and of full
+//! cryptographic-PRG quality, but not bit-identical to upstream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha constants `"expand 32-byte k"`.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646E, 0x7962_2D32, 0x6B20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Generic ChaCha generator over `DOUBLE_ROUNDS` double-rounds.
+#[derive(Debug, Clone)]
+pub struct ChaChaRng<const DOUBLE_ROUNDS: usize> {
+    key: [u32; 8],
+    counter: u64,
+    buffer: [u32; 16],
+    index: usize,
+}
+
+impl<const DOUBLE_ROUNDS: usize> ChaChaRng<DOUBLE_ROUNDS> {
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        state[14] = 0;
+        state[15] = 0;
+        let input = state;
+        for _ in 0..DOUBLE_ROUNDS {
+            // Column round.
+            quarter_round(&mut state, 0, 4, 8, 12);
+            quarter_round(&mut state, 1, 5, 9, 13);
+            quarter_round(&mut state, 2, 6, 10, 14);
+            quarter_round(&mut state, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut state, 0, 5, 10, 15);
+            quarter_round(&mut state, 1, 6, 11, 12);
+            quarter_round(&mut state, 2, 7, 8, 13);
+            quarter_round(&mut state, 3, 4, 9, 14);
+        }
+        for (word, &init) in state.iter_mut().zip(input.iter()) {
+            *word = word.wrapping_add(init);
+        }
+        self.buffer = state;
+        self.counter = self.counter.wrapping_add(1);
+        self.index = 0;
+    }
+
+    /// The 64-bit block counter (number of blocks consumed so far).
+    pub fn get_word_pos(&self) -> u128 {
+        (self.counter as u128) * 16 + self.index as u128
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> RngCore for ChaChaRng<DOUBLE_ROUNDS> {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.buffer[self.index];
+        self.index += 1;
+        word
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl<const DOUBLE_ROUNDS: usize> SeedableRng for ChaChaRng<DOUBLE_ROUNDS> {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (i, word) in key.iter_mut().enumerate() {
+            let mut bytes = [0u8; 4];
+            bytes.copy_from_slice(&seed[i * 4..(i + 1) * 4]);
+            *word = u32::from_le_bytes(bytes);
+        }
+        // index == 16 forces a refill on first use.
+        ChaChaRng { key, counter: 0, buffer: [0; 16], index: 16 }
+    }
+}
+
+/// ChaCha with 8 rounds (4 double-rounds).
+pub type ChaCha8Rng = ChaChaRng<4>;
+/// ChaCha with 12 rounds (6 double-rounds) — the workspace default.
+pub type ChaCha12Rng = ChaChaRng<6>;
+/// ChaCha with 20 rounds (10 double-rounds).
+pub type ChaCha20Rng = ChaChaRng<10>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn quarter_round_matches_rfc7539() {
+        // RFC 7539 section 2.1.1 test vector for the ChaCha quarter round.
+        let mut state = [0u32; 16];
+        state[0] = 0x1111_1111;
+        state[1] = 0x0102_0304;
+        state[2] = 0x9b8d_6f43;
+        state[3] = 0x0123_4567;
+        quarter_round(&mut state, 0, 1, 2, 3);
+        assert_eq!(state[0], 0xea2a_92f4);
+        assert_eq!(state[1], 0xcb1c_f8ce);
+        assert_eq!(state[2], 0x4581_472e);
+        assert_eq!(state[3], 0x5881_c4bb);
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha12Rng::seed_from_u64(99);
+        let mut b = ChaCha12Rng::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha12Rng::seed_from_u64(100);
+        let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_floats_have_sane_moments() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let n = 200_000usize;
+        let samples: Vec<f64> = (0..n).map(|_| rng.random::<f64>()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 5e-3, "mean {mean}");
+        assert!((var - 1.0 / 12.0).abs() < 5e-3, "variance {var}");
+    }
+
+    #[test]
+    fn word_position_advances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let start = rng.get_word_pos();
+        rng.next_u64();
+        assert!(rng.get_word_pos() > start);
+    }
+
+    #[test]
+    fn clone_preserves_the_stream() {
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        rng.next_u64();
+        let mut fork = rng.clone();
+        for _ in 0..100 {
+            assert_eq!(rng.next_u64(), fork.next_u64());
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` crate without `syn`/`quote` (neither is available
+//! offline): the item is parsed directly from the `proc_macro` token stream
+//! and the impl is emitted as source text. Supported shapes — which cover
+//! every type in this workspace — are:
+//!
+//! * structs with named fields (encoded as objects),
+//! * tuple structs (newtype → inner value, otherwise → array),
+//! * unit structs (→ `null`),
+//! * enums with unit variants (→ the variant name as a string) and
+//!   data-carrying variants (externally tagged, serde's default).
+//!
+//! Generic types and `#[serde(...)]` attributes are intentionally not
+//! supported; the macro panics with a clear message if it meets one.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let tok = self.tokens.get(self.pos).cloned();
+        if tok.is_some() {
+            self.pos += 1;
+        }
+        tok
+    }
+
+    fn skip_attributes(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Punct(p)) = self.peek() {
+                        if p.as_char() == '!' {
+                            self.pos += 1;
+                        }
+                    }
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        other => panic!("serde_derive: malformed attribute near {other:?}"),
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+
+    /// Consumes tokens of a type (or discriminant expression) up to and
+    /// including the next comma at angle-bracket depth zero.
+    fn skip_to_top_level_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' if depth > 0 => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    /// Field names of a named-field body (`{ a: T, b: U }`).
+    fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+        let mut parser = Parser::new(stream);
+        let mut names = Vec::new();
+        loop {
+            parser.skip_attributes();
+            parser.skip_visibility();
+            if parser.peek().is_none() {
+                break;
+            }
+            let name = parser.expect_ident("field name");
+            match parser.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+            }
+            parser.skip_to_top_level_comma();
+            names.push(name);
+        }
+        names
+    }
+
+    /// Number of fields of a tuple body (`(T, U)`).
+    fn count_tuple_fields(stream: TokenStream) -> usize {
+        let mut depth = 0i32;
+        let mut count = 0usize;
+        let mut pending = false;
+        for tok in stream {
+            match &tok {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => {
+                        depth += 1;
+                        pending = true;
+                    }
+                    '>' => {
+                        if depth > 0 {
+                            depth -= 1;
+                        }
+                        pending = true;
+                    }
+                    ',' if depth == 0 => {
+                        if pending {
+                            count += 1;
+                        }
+                        pending = false;
+                    }
+                    _ => pending = true,
+                },
+                _ => pending = true,
+            }
+        }
+        if pending {
+            count += 1;
+        }
+        count
+    }
+
+    fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+        let mut parser = Parser::new(stream);
+        let mut variants = Vec::new();
+        loop {
+            parser.skip_attributes();
+            if parser.peek().is_none() {
+                break;
+            }
+            let name = parser.expect_ident("variant name");
+            let kind = match parser.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = Self::parse_named_fields(g.stream());
+                    parser.pos += 1;
+                    VariantKind::Named(fields)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let arity = Self::count_tuple_fields(g.stream());
+                    parser.pos += 1;
+                    VariantKind::Tuple(arity)
+                }
+                _ => VariantKind::Unit,
+            };
+            // Skip an explicit discriminant and the separating comma.
+            match parser.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                    parser.pos += 1;
+                    parser.skip_to_top_level_comma();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                    parser.pos += 1;
+                }
+                None => {}
+                other => panic!("serde_derive: unexpected token after variant `{name}`: {other:?}"),
+            }
+            variants.push(Variant { name, kind });
+        }
+        variants
+    }
+
+    /// Parses the item into `(type name, shape)`.
+    fn parse_item(mut self) -> (String, Shape) {
+        self.skip_attributes();
+        self.skip_visibility();
+        let keyword = self.expect_ident("`struct` or `enum`");
+        let name = self.expect_ident("type name");
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == '<' {
+                panic!(
+                    "serde_derive (vendored): generic type `{name}` is not supported; \
+                     write manual Serialize/Deserialize impls instead"
+                );
+            }
+        }
+        match keyword.as_str() {
+            "struct" => loop {
+                match self.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return (name, Shape::NamedStruct(Self::parse_named_fields(g.stream())));
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        return (name, Shape::TupleStruct(Self::count_tuple_fields(g.stream())));
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                        return (name, Shape::UnitStruct);
+                    }
+                    // Skip anything between the name and the body (a
+                    // `where` clause on a non-generic type, trailing trivia).
+                    Some(_) => {}
+                    None => panic!("serde_derive: unterminated struct `{name}`"),
+                }
+            },
+            "enum" => loop {
+                match self.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return (name, Shape::Enum(Self::parse_variants(g.stream())));
+                    }
+                    Some(_) => {}
+                    None => panic!("serde_derive: unterminated enum `{name}`"),
+                }
+            },
+            other => panic!("serde_derive: cannot derive for `{other}` items"),
+        }
+    }
+}
+
+/// Derives the vendored `serde::Serialize` (value-tree) implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = Parser::new(input).parse_item();
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                pushes.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{pushes}::serde::Value::Object(__fields)"
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let bindings = fields.join(", ");
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__inner.push((::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bindings} }} => {{\n\
+                             let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n{pushes}\
+                             ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(__inner))])\n}}\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{vname}\"), \
+                         ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Array(::std::vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+/// Derives the vendored `serde::Deserialize` (value-tree) implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = Parser::new(input).parse_item();
+    let body = match &shape {
+        Shape::NamedStruct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::from_value(__v.field(\"{f}\"))?,\n"
+                ));
+            }
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 ::std::result::Result::Ok({name}({items})),\n\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{n}-element array\", __other)),\n}}",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!(
+            "match __v {{\n\
+             ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+             __other => ::std::result::Result::Err(\
+             ::serde::DeError::expected(\"null\", __other)),\n}}"
+        ),
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Named(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!(
+                                "{f}: ::serde::Deserialize::from_value(\
+                                 __payload.field(\"{f}\"))?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => ::std::result::Result::Ok(\
+                             {name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__payload)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __payload {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                             __other => ::std::result::Result::Err(\
+                             ::serde::DeError::expected(\"{n}-element array\", __other)),\n}},\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::String(__s) = __v {{\n\
+                 return match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}};\n}}\n\
+                 if let ::std::option::Option::Some((__tag, __payload)) = __v.single_entry() {{\n\
+                 return match __tag {{\n{tagged_arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}};\n}}\n\
+                 ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", __v))"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("serde_derive: generated Deserialize impl failed to parse")
+}
