@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_context_ops-0da33a156a9f78b3.d: crates/bench/benches/bench_context_ops.rs
+
+/root/repo/target/debug/deps/bench_context_ops-0da33a156a9f78b3: crates/bench/benches/bench_context_ops.rs
+
+crates/bench/benches/bench_context_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_context_ops-a8bd31b056780c40.d: crates/bench/benches/bench_context_ops.rs
+
+/root/repo/target/debug/deps/bench_context_ops-a8bd31b056780c40: crates/bench/benches/bench_context_ops.rs
+
+crates/bench/benches/bench_context_ops.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_context_ops-e6748d104ade8dae.d: crates/bench/benches/bench_context_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_context_ops-e6748d104ade8dae.rmeta: crates/bench/benches/bench_context_ops.rs Cargo.toml
+
+crates/bench/benches/bench_context_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_direct-61ecc5810655258a.d: crates/bench/benches/bench_direct.rs
+
+/root/repo/target/debug/deps/bench_direct-61ecc5810655258a: crates/bench/benches/bench_direct.rs
+
+crates/bench/benches/bench_direct.rs:

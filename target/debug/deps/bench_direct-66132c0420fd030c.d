@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_direct-66132c0420fd030c.d: crates/bench/benches/bench_direct.rs
+
+/root/repo/target/debug/deps/bench_direct-66132c0420fd030c: crates/bench/benches/bench_direct.rs
+
+crates/bench/benches/bench_direct.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_direct-8f78f0a5e1e04bc8.d: crates/bench/benches/bench_direct.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_direct-8f78f0a5e1e04bc8.rmeta: crates/bench/benches/bench_direct.rs Cargo.toml
+
+crates/bench/benches/bench_direct.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

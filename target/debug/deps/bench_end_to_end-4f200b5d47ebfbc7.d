@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_end_to_end-4f200b5d47ebfbc7.d: crates/bench/benches/bench_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_end_to_end-4f200b5d47ebfbc7.rmeta: crates/bench/benches/bench_end_to_end.rs Cargo.toml
+
+crates/bench/benches/bench_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

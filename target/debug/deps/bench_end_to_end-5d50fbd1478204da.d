@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_end_to_end-5d50fbd1478204da.d: crates/bench/benches/bench_end_to_end.rs
+
+/root/repo/target/debug/deps/bench_end_to_end-5d50fbd1478204da: crates/bench/benches/bench_end_to_end.rs
+
+crates/bench/benches/bench_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_end_to_end-a24f58e3ebf6a6a8.d: crates/bench/benches/bench_end_to_end.rs
+
+/root/repo/target/debug/deps/bench_end_to_end-a24f58e3ebf6a6a8: crates/bench/benches/bench_end_to_end.rs
+
+crates/bench/benches/bench_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_exponential-481c0f6bfed90d69.d: crates/bench/benches/bench_exponential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_exponential-481c0f6bfed90d69.rmeta: crates/bench/benches/bench_exponential.rs Cargo.toml
+
+crates/bench/benches/bench_exponential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

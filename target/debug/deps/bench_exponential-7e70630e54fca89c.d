@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_exponential-7e70630e54fca89c.d: crates/bench/benches/bench_exponential.rs
+
+/root/repo/target/debug/deps/bench_exponential-7e70630e54fca89c: crates/bench/benches/bench_exponential.rs
+
+crates/bench/benches/bench_exponential.rs:

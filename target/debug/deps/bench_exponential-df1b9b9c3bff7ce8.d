@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_exponential-df1b9b9c3bff7ce8.d: crates/bench/benches/bench_exponential.rs
+
+/root/repo/target/debug/deps/bench_exponential-df1b9b9c3bff7ce8: crates/bench/benches/bench_exponential.rs
+
+crates/bench/benches/bench_exponential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_outlier-7474749c2cbb5a43.d: crates/bench/benches/bench_outlier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_outlier-7474749c2cbb5a43.rmeta: crates/bench/benches/bench_outlier.rs Cargo.toml
+
+crates/bench/benches/bench_outlier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

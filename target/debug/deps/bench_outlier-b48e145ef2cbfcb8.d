@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_outlier-b48e145ef2cbfcb8.d: crates/bench/benches/bench_outlier.rs
+
+/root/repo/target/debug/deps/bench_outlier-b48e145ef2cbfcb8: crates/bench/benches/bench_outlier.rs
+
+crates/bench/benches/bench_outlier.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_outlier-b5a2790d531a9b96.d: crates/bench/benches/bench_outlier.rs
+
+/root/repo/target/debug/deps/bench_outlier-b5a2790d531a9b96: crates/bench/benches/bench_outlier.rs
+
+crates/bench/benches/bench_outlier.rs:

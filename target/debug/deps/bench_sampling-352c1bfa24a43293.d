@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sampling-352c1bfa24a43293.d: crates/bench/benches/bench_sampling.rs
+
+/root/repo/target/debug/deps/bench_sampling-352c1bfa24a43293: crates/bench/benches/bench_sampling.rs
+
+crates/bench/benches/bench_sampling.rs:

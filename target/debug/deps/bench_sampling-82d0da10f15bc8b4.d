@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_sampling-82d0da10f15bc8b4.d: crates/bench/benches/bench_sampling.rs
+
+/root/repo/target/debug/deps/bench_sampling-82d0da10f15bc8b4: crates/bench/benches/bench_sampling.rs
+
+crates/bench/benches/bench_sampling.rs:

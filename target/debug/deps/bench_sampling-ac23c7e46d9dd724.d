@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sampling-ac23c7e46d9dd724.d: crates/bench/benches/bench_sampling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sampling-ac23c7e46d9dd724.rmeta: crates/bench/benches/bench_sampling.rs Cargo.toml
+
+crates/bench/benches/bench_sampling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

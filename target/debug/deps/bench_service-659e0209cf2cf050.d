@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_service-659e0209cf2cf050.d: crates/bench/benches/bench_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_service-659e0209cf2cf050.rmeta: crates/bench/benches/bench_service.rs Cargo.toml
+
+crates/bench/benches/bench_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

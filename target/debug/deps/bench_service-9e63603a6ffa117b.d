@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_service-9e63603a6ffa117b.d: crates/bench/benches/bench_service.rs
+
+/root/repo/target/debug/deps/bench_service-9e63603a6ffa117b: crates/bench/benches/bench_service.rs
+
+crates/bench/benches/bench_service.rs:

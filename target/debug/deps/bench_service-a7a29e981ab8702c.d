@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_service-a7a29e981ab8702c.d: crates/bench/benches/bench_service.rs
+
+/root/repo/target/debug/deps/bench_service-a7a29e981ab8702c: crates/bench/benches/bench_service.rs
+
+crates/bench/benches/bench_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-6374a3b12c41d3f1.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-6374a3b12c41d3f1: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_datasets-0fe148ab8f48346e.d: crates/pcor/../../tests/integration_datasets.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_datasets-0fe148ab8f48346e.rmeta: crates/pcor/../../tests/integration_datasets.rs Cargo.toml
+
+crates/pcor/../../tests/integration_datasets.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

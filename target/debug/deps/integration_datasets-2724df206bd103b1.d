@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_datasets-2724df206bd103b1.d: crates/pcor/../../tests/integration_datasets.rs
+
+/root/repo/target/debug/deps/integration_datasets-2724df206bd103b1: crates/pcor/../../tests/integration_datasets.rs
+
+crates/pcor/../../tests/integration_datasets.rs:

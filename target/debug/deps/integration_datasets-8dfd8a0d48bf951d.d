@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_datasets-8dfd8a0d48bf951d.d: crates/pcor/../../tests/integration_datasets.rs
+
+/root/repo/target/debug/deps/integration_datasets-8dfd8a0d48bf951d: crates/pcor/../../tests/integration_datasets.rs
+
+crates/pcor/../../tests/integration_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_datasets-b739588630c7e66f.d: crates/pcor/../../tests/integration_datasets.rs
+
+/root/repo/target/debug/deps/integration_datasets-b739588630c7e66f: crates/pcor/../../tests/integration_datasets.rs
+
+crates/pcor/../../tests/integration_datasets.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_detectors-1c18746fa9fb7104.d: crates/pcor/../../tests/integration_detectors.rs
+
+/root/repo/target/debug/deps/integration_detectors-1c18746fa9fb7104: crates/pcor/../../tests/integration_detectors.rs
+
+crates/pcor/../../tests/integration_detectors.rs:

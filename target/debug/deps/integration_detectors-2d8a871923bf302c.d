@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_detectors-2d8a871923bf302c.d: crates/pcor/../../tests/integration_detectors.rs
+
+/root/repo/target/debug/deps/integration_detectors-2d8a871923bf302c: crates/pcor/../../tests/integration_detectors.rs
+
+crates/pcor/../../tests/integration_detectors.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_detectors-5659e36c83793394.d: crates/pcor/../../tests/integration_detectors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_detectors-5659e36c83793394.rmeta: crates/pcor/../../tests/integration_detectors.rs Cargo.toml
+
+crates/pcor/../../tests/integration_detectors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

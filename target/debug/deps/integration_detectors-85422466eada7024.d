@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_detectors-85422466eada7024.d: crates/pcor/../../tests/integration_detectors.rs
+
+/root/repo/target/debug/deps/integration_detectors-85422466eada7024: crates/pcor/../../tests/integration_detectors.rs
+
+crates/pcor/../../tests/integration_detectors.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pcor-32f6a109ebda3b4e.d: crates/pcor/../../tests/integration_pcor.rs
+
+/root/repo/target/debug/deps/integration_pcor-32f6a109ebda3b4e: crates/pcor/../../tests/integration_pcor.rs
+
+crates/pcor/../../tests/integration_pcor.rs:

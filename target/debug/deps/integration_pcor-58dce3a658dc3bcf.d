@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_pcor-58dce3a658dc3bcf.d: crates/pcor/../../tests/integration_pcor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_pcor-58dce3a658dc3bcf.rmeta: crates/pcor/../../tests/integration_pcor.rs Cargo.toml
+
+crates/pcor/../../tests/integration_pcor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

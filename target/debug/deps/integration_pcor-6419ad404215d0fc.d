@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pcor-6419ad404215d0fc.d: crates/pcor/../../tests/integration_pcor.rs
+
+/root/repo/target/debug/deps/integration_pcor-6419ad404215d0fc: crates/pcor/../../tests/integration_pcor.rs
+
+crates/pcor/../../tests/integration_pcor.rs:

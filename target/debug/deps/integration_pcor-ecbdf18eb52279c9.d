@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_pcor-ecbdf18eb52279c9.d: crates/pcor/../../tests/integration_pcor.rs
+
+/root/repo/target/debug/deps/integration_pcor-ecbdf18eb52279c9: crates/pcor/../../tests/integration_pcor.rs
+
+crates/pcor/../../tests/integration_pcor.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_privacy-697a3340caf21a35.d: crates/pcor/../../tests/integration_privacy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_privacy-697a3340caf21a35.rmeta: crates/pcor/../../tests/integration_privacy.rs Cargo.toml
+
+crates/pcor/../../tests/integration_privacy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

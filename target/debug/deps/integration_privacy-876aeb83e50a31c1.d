@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_privacy-876aeb83e50a31c1.d: crates/pcor/../../tests/integration_privacy.rs
+
+/root/repo/target/debug/deps/integration_privacy-876aeb83e50a31c1: crates/pcor/../../tests/integration_privacy.rs
+
+crates/pcor/../../tests/integration_privacy.rs:

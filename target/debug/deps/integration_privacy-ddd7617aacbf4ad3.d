@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_privacy-ddd7617aacbf4ad3.d: crates/pcor/../../tests/integration_privacy.rs
+
+/root/repo/target/debug/deps/integration_privacy-ddd7617aacbf4ad3: crates/pcor/../../tests/integration_privacy.rs
+
+crates/pcor/../../tests/integration_privacy.rs:

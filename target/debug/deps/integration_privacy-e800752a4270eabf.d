@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_privacy-e800752a4270eabf.d: crates/pcor/../../tests/integration_privacy.rs
+
+/root/repo/target/debug/deps/integration_privacy-e800752a4270eabf: crates/pcor/../../tests/integration_privacy.rs
+
+crates/pcor/../../tests/integration_privacy.rs:

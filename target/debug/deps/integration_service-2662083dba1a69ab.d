@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_service-2662083dba1a69ab.d: crates/pcor/../../tests/integration_service.rs
+
+/root/repo/target/debug/deps/integration_service-2662083dba1a69ab: crates/pcor/../../tests/integration_service.rs
+
+crates/pcor/../../tests/integration_service.rs:

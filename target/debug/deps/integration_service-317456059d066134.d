@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_service-317456059d066134.d: crates/pcor/../../tests/integration_service.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_service-317456059d066134.rmeta: crates/pcor/../../tests/integration_service.rs Cargo.toml
+
+crates/pcor/../../tests/integration_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_service-8bbb872cfeef0f57.d: crates/pcor/../../tests/integration_service.rs
+
+/root/repo/target/debug/deps/integration_service-8bbb872cfeef0f57: crates/pcor/../../tests/integration_service.rs
+
+crates/pcor/../../tests/integration_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_service-c1afb47ca1671339.d: crates/pcor/../../tests/integration_service.rs
+
+/root/repo/target/debug/deps/integration_service-c1afb47ca1671339: crates/pcor/../../tests/integration_service.rs
+
+crates/pcor/../../tests/integration_service.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_validity-3a9e007270f7a95d.d: crates/pcor/../../tests/integration_validity.rs
+
+/root/repo/target/debug/deps/integration_validity-3a9e007270f7a95d: crates/pcor/../../tests/integration_validity.rs
+
+crates/pcor/../../tests/integration_validity.rs:

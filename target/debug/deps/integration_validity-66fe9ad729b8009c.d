@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/integration_validity-66fe9ad729b8009c.d: crates/pcor/../../tests/integration_validity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintegration_validity-66fe9ad729b8009c.rmeta: crates/pcor/../../tests/integration_validity.rs Cargo.toml
+
+crates/pcor/../../tests/integration_validity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

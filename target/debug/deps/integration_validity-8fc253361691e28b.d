@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_validity-8fc253361691e28b.d: crates/pcor/../../tests/integration_validity.rs
+
+/root/repo/target/debug/deps/integration_validity-8fc253361691e28b: crates/pcor/../../tests/integration_validity.rs
+
+crates/pcor/../../tests/integration_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/integration_validity-feffade81e0ace9f.d: crates/pcor/../../tests/integration_validity.rs
+
+/root/repo/target/debug/deps/integration_validity-feffade81e0ace9f: crates/pcor/../../tests/integration_validity.rs
+
+crates/pcor/../../tests/integration_validity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcor-37f7358d73bdf8a7.d: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/pcor-37f7358d73bdf8a7: crates/pcor/src/lib.rs
+
+crates/pcor/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcor-4d8d9cfbb5c2b503.d: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/pcor-4d8d9cfbb5c2b503: crates/pcor/src/lib.rs
+
+crates/pcor/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcor-6e19ed0fef684518.d: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/libpcor-6e19ed0fef684518.rlib: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/libpcor-6e19ed0fef684518.rmeta: crates/pcor/src/lib.rs
+
+crates/pcor/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcor-8624d237779b5902.d: crates/pcor/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor-8624d237779b5902.rmeta: crates/pcor/src/lib.rs Cargo.toml
+
+crates/pcor/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcor-a543c77fe80427e7.d: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/pcor-a543c77fe80427e7: crates/pcor/src/lib.rs
+
+crates/pcor/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pcor-f928c707c843e801.d: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/libpcor-f928c707c843e801.rlib: crates/pcor/src/lib.rs
+
+/root/repo/target/debug/deps/libpcor-f928c707c843e801.rmeta: crates/pcor/src/lib.rs
+
+crates/pcor/src/lib.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/pcor_bench-688e557acb19082a.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/coe_match.rs crates/bench/src/experiments/detectors.rs crates/bench/src/experiments/direct_vs_sampling.rs crates/bench/src/experiments/epsilon_sweep.rs crates/bench/src/experiments/overlap.rs crates/bench/src/experiments/ratio_check.rs crates/bench/src/experiments/samples_sweep.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/service_throughput.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpcor_bench-688e557acb19082a.rlib: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/coe_match.rs crates/bench/src/experiments/detectors.rs crates/bench/src/experiments/direct_vs_sampling.rs crates/bench/src/experiments/epsilon_sweep.rs crates/bench/src/experiments/overlap.rs crates/bench/src/experiments/ratio_check.rs crates/bench/src/experiments/samples_sweep.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/service_throughput.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+/root/repo/target/debug/deps/libpcor_bench-688e557acb19082a.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/coe_match.rs crates/bench/src/experiments/detectors.rs crates/bench/src/experiments/direct_vs_sampling.rs crates/bench/src/experiments/epsilon_sweep.rs crates/bench/src/experiments/overlap.rs crates/bench/src/experiments/ratio_check.rs crates/bench/src/experiments/samples_sweep.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/service_throughput.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/coe_match.rs:
+crates/bench/src/experiments/detectors.rs:
+crates/bench/src/experiments/direct_vs_sampling.rs:
+crates/bench/src/experiments/epsilon_sweep.rs:
+crates/bench/src/experiments/overlap.rs:
+crates/bench/src/experiments/ratio_check.rs:
+crates/bench/src/experiments/samples_sweep.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/service_throughput.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:

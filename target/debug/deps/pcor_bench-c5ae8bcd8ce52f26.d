@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/pcor_bench-c5ae8bcd8ce52f26.d: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/coe_match.rs crates/bench/src/experiments/detectors.rs crates/bench/src/experiments/direct_vs_sampling.rs crates/bench/src/experiments/epsilon_sweep.rs crates/bench/src/experiments/overlap.rs crates/bench/src/experiments/ratio_check.rs crates/bench/src/experiments/samples_sweep.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/service_throughput.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_bench-c5ae8bcd8ce52f26.rmeta: crates/bench/src/lib.rs crates/bench/src/config.rs crates/bench/src/experiments/mod.rs crates/bench/src/experiments/coe_match.rs crates/bench/src/experiments/detectors.rs crates/bench/src/experiments/direct_vs_sampling.rs crates/bench/src/experiments/epsilon_sweep.rs crates/bench/src/experiments/overlap.rs crates/bench/src/experiments/ratio_check.rs crates/bench/src/experiments/samples_sweep.rs crates/bench/src/experiments/sampling.rs crates/bench/src/experiments/service_throughput.rs crates/bench/src/measure.rs crates/bench/src/report.rs crates/bench/src/workloads.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/config.rs:
+crates/bench/src/experiments/mod.rs:
+crates/bench/src/experiments/coe_match.rs:
+crates/bench/src/experiments/detectors.rs:
+crates/bench/src/experiments/direct_vs_sampling.rs:
+crates/bench/src/experiments/epsilon_sweep.rs:
+crates/bench/src/experiments/overlap.rs:
+crates/bench/src/experiments/ratio_check.rs:
+crates/bench/src/experiments/samples_sweep.rs:
+crates/bench/src/experiments/sampling.rs:
+crates/bench/src/experiments/service_throughput.rs:
+crates/bench/src/measure.rs:
+crates/bench/src/report.rs:
+crates/bench/src/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/pcor_core-83b6b1d1da85e6b2.d: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/coe.rs crates/core/src/dfs.rs crates/core/src/direct.rs crates/core/src/privacy.rs crates/core/src/random_walk.rs crates/core/src/runner.rs crates/core/src/select.rs crates/core/src/starting.rs crates/core/src/uniform.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_core-83b6b1d1da85e6b2.rmeta: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/coe.rs crates/core/src/dfs.rs crates/core/src/direct.rs crates/core/src/privacy.rs crates/core/src/random_walk.rs crates/core/src/runner.rs crates/core/src/select.rs crates/core/src/starting.rs crates/core/src/uniform.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bfs.rs:
+crates/core/src/coe.rs:
+crates/core/src/dfs.rs:
+crates/core/src/direct.rs:
+crates/core/src/privacy.rs:
+crates/core/src/random_walk.rs:
+crates/core/src/runner.rs:
+crates/core/src/select.rs:
+crates/core/src/starting.rs:
+crates/core/src/uniform.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcor_core-e27851d8fa883463.d: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/coe.rs crates/core/src/dfs.rs crates/core/src/direct.rs crates/core/src/privacy.rs crates/core/src/random_walk.rs crates/core/src/runner.rs crates/core/src/select.rs crates/core/src/starting.rs crates/core/src/uniform.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/pcor_core-e27851d8fa883463: crates/core/src/lib.rs crates/core/src/bfs.rs crates/core/src/coe.rs crates/core/src/dfs.rs crates/core/src/direct.rs crates/core/src/privacy.rs crates/core/src/random_walk.rs crates/core/src/runner.rs crates/core/src/select.rs crates/core/src/starting.rs crates/core/src/uniform.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs.rs:
+crates/core/src/coe.rs:
+crates/core/src/dfs.rs:
+crates/core/src/direct.rs:
+crates/core/src/privacy.rs:
+crates/core/src/random_walk.rs:
+crates/core/src/runner.rs:
+crates/core/src/select.rs:
+crates/core/src/starting.rs:
+crates/core/src/uniform.rs:
+crates/core/src/verify.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcor_data-6b435f9012a125ae.d: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/debug/deps/libpcor_data-6b435f9012a125ae.rlib: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/debug/deps/libpcor_data-6b435f9012a125ae.rmeta: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+crates/data/src/lib.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/context.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generator.rs:
+crates/data/src/record.rs:
+crates/data/src/schema.rs:

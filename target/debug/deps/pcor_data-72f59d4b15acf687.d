@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcor_data-72f59d4b15acf687.d: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/debug/deps/libpcor_data-72f59d4b15acf687.rlib: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/debug/deps/libpcor_data-72f59d4b15acf687.rmeta: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+crates/data/src/lib.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/context.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generator.rs:
+crates/data/src/record.rs:
+crates/data/src/schema.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcor_data-b2401db095c6aae7.d: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/debug/deps/pcor_data-b2401db095c6aae7: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+crates/data/src/lib.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/context.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generator.rs:
+crates/data/src/record.rs:
+crates/data/src/schema.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pcor_data-b7d2fad4d39062b4.d: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_data-b7d2fad4d39062b4.rmeta: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs Cargo.toml
+
+crates/data/src/lib.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/context.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generator.rs:
+crates/data/src/record.rs:
+crates/data/src/schema.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

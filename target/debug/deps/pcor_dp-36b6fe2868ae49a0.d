@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pcor_dp-36b6fe2868ae49a0.d: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/debug/deps/pcor_dp-36b6fe2868ae49a0: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+crates/dp/src/lib.rs:
+crates/dp/src/budget.rs:
+crates/dp/src/exponential.rs:
+crates/dp/src/laplace.rs:
+crates/dp/src/utility.rs:

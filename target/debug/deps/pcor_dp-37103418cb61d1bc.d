@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcor_dp-37103418cb61d1bc.d: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/debug/deps/libpcor_dp-37103418cb61d1bc.rlib: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/debug/deps/libpcor_dp-37103418cb61d1bc.rmeta: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+crates/dp/src/lib.rs:
+crates/dp/src/budget.rs:
+crates/dp/src/exponential.rs:
+crates/dp/src/laplace.rs:
+crates/dp/src/utility.rs:

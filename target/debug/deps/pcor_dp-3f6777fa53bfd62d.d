@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcor_dp-3f6777fa53bfd62d.d: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_dp-3f6777fa53bfd62d.rmeta: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs Cargo.toml
+
+crates/dp/src/lib.rs:
+crates/dp/src/budget.rs:
+crates/dp/src/exponential.rs:
+crates/dp/src/laplace.rs:
+crates/dp/src/utility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

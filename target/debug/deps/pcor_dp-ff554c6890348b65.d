@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcor_dp-ff554c6890348b65.d: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/debug/deps/libpcor_dp-ff554c6890348b65.rlib: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/debug/deps/libpcor_dp-ff554c6890348b65.rmeta: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+crates/dp/src/lib.rs:
+crates/dp/src/budget.rs:
+crates/dp/src/exponential.rs:
+crates/dp/src/laplace.rs:
+crates/dp/src/utility.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcor_graph-5c6fff21e91575a6.d: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+/root/repo/target/debug/deps/pcor_graph-5c6fff21e91575a6: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/locality.rs:
+crates/graph/src/search.rs:
+crates/graph/src/walk.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pcor_graph-60666c224c00e03d.d: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+/root/repo/target/debug/deps/pcor_graph-60666c224c00e03d: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/locality.rs:
+crates/graph/src/search.rs:
+crates/graph/src/walk.rs:

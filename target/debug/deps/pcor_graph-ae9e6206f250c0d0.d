@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcor_graph-ae9e6206f250c0d0.d: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_graph-ae9e6206f250c0d0.rmeta: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/locality.rs:
+crates/graph/src/search.rs:
+crates/graph/src/walk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcor_graph-f032ba3a764a3d34.d: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+/root/repo/target/debug/deps/libpcor_graph-f032ba3a764a3d34.rlib: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+/root/repo/target/debug/deps/libpcor_graph-f032ba3a764a3d34.rmeta: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/locality.rs:
+crates/graph/src/search.rs:
+crates/graph/src/walk.rs:

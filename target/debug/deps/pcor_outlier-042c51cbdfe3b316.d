@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcor_outlier-042c51cbdfe3b316.d: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+/root/repo/target/debug/deps/libpcor_outlier-042c51cbdfe3b316.rlib: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+/root/repo/target/debug/deps/libpcor_outlier-042c51cbdfe3b316.rmeta: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+crates/outlier/src/lib.rs:
+crates/outlier/src/grubbs.rs:
+crates/outlier/src/histogram.rs:
+crates/outlier/src/iqr.rs:
+crates/outlier/src/lof.rs:
+crates/outlier/src/zscore.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcor_outlier-6cdc62340282e94d.d: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+/root/repo/target/debug/deps/pcor_outlier-6cdc62340282e94d: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+crates/outlier/src/lib.rs:
+crates/outlier/src/grubbs.rs:
+crates/outlier/src/histogram.rs:
+crates/outlier/src/iqr.rs:
+crates/outlier/src/lof.rs:
+crates/outlier/src/zscore.rs:

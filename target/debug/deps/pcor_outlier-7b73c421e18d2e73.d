@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcor_outlier-7b73c421e18d2e73.d: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_outlier-7b73c421e18d2e73.rmeta: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs Cargo.toml
+
+crates/outlier/src/lib.rs:
+crates/outlier/src/grubbs.rs:
+crates/outlier/src/histogram.rs:
+crates/outlier/src/iqr.rs:
+crates/outlier/src/lof.rs:
+crates/outlier/src/zscore.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

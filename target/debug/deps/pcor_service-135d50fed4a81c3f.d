@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/pcor_service-135d50fed4a81c3f.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/pcor_service-135d50fed4a81c3f: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/ledger.rs:
+crates/service/src/metrics.rs:
+crates/service/src/registry.rs:
+crates/service/src/request.rs:
+crates/service/src/server.rs:

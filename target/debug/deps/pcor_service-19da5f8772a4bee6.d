@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pcor_service-19da5f8772a4bee6.d: crates/service/src/lib.rs
+
+/root/repo/target/debug/deps/pcor_service-19da5f8772a4bee6: crates/service/src/lib.rs
+
+crates/service/src/lib.rs:

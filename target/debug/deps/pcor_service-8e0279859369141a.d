@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pcor_service-8e0279859369141a.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_service-8e0279859369141a.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs Cargo.toml
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/ledger.rs:
+crates/service/src/metrics.rs:
+crates/service/src/registry.rs:
+crates/service/src/request.rs:
+crates/service/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

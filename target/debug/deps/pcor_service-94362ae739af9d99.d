@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcor_service-94362ae739af9d99.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libpcor_service-94362ae739af9d99.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libpcor_service-94362ae739af9d99.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/ledger.rs:
+crates/service/src/metrics.rs:
+crates/service/src/registry.rs:
+crates/service/src/request.rs:
+crates/service/src/server.rs:

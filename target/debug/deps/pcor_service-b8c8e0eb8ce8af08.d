@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/pcor_service-b8c8e0eb8ce8af08.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libpcor_service-b8c8e0eb8ce8af08.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/debug/deps/libpcor_service-b8c8e0eb8ce8af08.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/ledger.rs:
+crates/service/src/metrics.rs:
+crates/service/src/registry.rs:
+crates/service/src/request.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pcor_stats-3514c7d5bb0f9d46.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libpcor_stats-3514c7d5bb0f9d46.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libpcor_stats-3514c7d5bb0f9d46.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcor_stats-4272c707845cdd49.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_stats-4272c707845cdd49.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

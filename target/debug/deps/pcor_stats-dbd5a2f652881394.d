@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pcor_stats-dbd5a2f652881394.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/pcor_stats-dbd5a2f652881394: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pcor_stats-f007b2c027a60c02.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpcor_stats-f007b2c027a60c02.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

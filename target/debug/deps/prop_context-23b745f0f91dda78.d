@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_context-23b745f0f91dda78.d: crates/data/tests/prop_context.rs
+
+/root/repo/target/debug/deps/prop_context-23b745f0f91dda78: crates/data/tests/prop_context.rs
+
+crates/data/tests/prop_context.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_context-2a2ba3d80ff3804b.d: crates/data/tests/prop_context.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_context-2a2ba3d80ff3804b.rmeta: crates/data/tests/prop_context.rs Cargo.toml
+
+crates/data/tests/prop_context.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_context-bb823b8bd9267e7d.d: crates/data/tests/prop_context.rs
+
+/root/repo/target/debug/deps/prop_context-bb823b8bd9267e7d: crates/data/tests/prop_context.rs
+
+crates/data/tests/prop_context.rs:

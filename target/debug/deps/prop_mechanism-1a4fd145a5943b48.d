@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mechanism-1a4fd145a5943b48.d: crates/dp/tests/prop_mechanism.rs
+
+/root/repo/target/debug/deps/prop_mechanism-1a4fd145a5943b48: crates/dp/tests/prop_mechanism.rs
+
+crates/dp/tests/prop_mechanism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_mechanism-3d14c2a527b191ec.d: crates/dp/tests/prop_mechanism.rs
+
+/root/repo/target/debug/deps/prop_mechanism-3d14c2a527b191ec: crates/dp/tests/prop_mechanism.rs
+
+crates/dp/tests/prop_mechanism.rs:

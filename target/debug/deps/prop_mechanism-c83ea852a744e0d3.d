@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_mechanism-c83ea852a744e0d3.d: crates/dp/tests/prop_mechanism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_mechanism-c83ea852a744e0d3.rmeta: crates/dp/tests/prop_mechanism.rs Cargo.toml
+
+crates/dp/tests/prop_mechanism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

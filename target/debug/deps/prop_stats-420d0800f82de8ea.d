@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prop_stats-420d0800f82de8ea.d: crates/stats/tests/prop_stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprop_stats-420d0800f82de8ea.rmeta: crates/stats/tests/prop_stats.rs Cargo.toml
+
+crates/stats/tests/prop_stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_stats-4ae5b17e536bd7c4.d: crates/stats/tests/prop_stats.rs
+
+/root/repo/target/debug/deps/prop_stats-4ae5b17e536bd7c4: crates/stats/tests/prop_stats.rs
+
+crates/stats/tests/prop_stats.rs:

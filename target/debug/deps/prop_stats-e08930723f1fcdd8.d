@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prop_stats-e08930723f1fcdd8.d: crates/stats/tests/prop_stats.rs
+
+/root/repo/target/debug/deps/prop_stats-e08930723f1fcdd8: crates/stats/tests/prop_stats.rs
+
+crates/stats/tests/prop_stats.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-2f7b45193eb7b87f.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-2f7b45193eb7b87f.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-2f7b45193eb7b87f.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

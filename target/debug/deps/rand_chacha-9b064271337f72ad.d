@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-9b064271337f72ad.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-9b064271337f72ad: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-16a33bcaad685a8e.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-16a33bcaad685a8e: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

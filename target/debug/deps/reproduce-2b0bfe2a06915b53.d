@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproduce-2b0bfe2a06915b53.d: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproduce-2b0bfe2a06915b53.rmeta: crates/bench/src/bin/reproduce.rs Cargo.toml
+
+crates/bench/src/bin/reproduce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-4960f285f5b4ccd1.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-4960f285f5b4ccd1: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-a8b8b6802c9050a7.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-a8b8b6802c9050a7: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

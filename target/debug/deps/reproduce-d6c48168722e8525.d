@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproduce-d6c48168722e8525.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/debug/deps/reproduce-d6c48168722e8525: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-79bd7955bb984fbc.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-79bd7955bb984fbc: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-fb0d7bdabf924250.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_derive-fb0d7bdabf924250.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c9ed8587cd6479a3.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-c9ed8587cd6479a3: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

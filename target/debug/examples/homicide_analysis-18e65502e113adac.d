@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/homicide_analysis-18e65502e113adac.d: crates/pcor/../../examples/homicide_analysis.rs
+
+/root/repo/target/debug/examples/homicide_analysis-18e65502e113adac: crates/pcor/../../examples/homicide_analysis.rs
+
+crates/pcor/../../examples/homicide_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/homicide_analysis-2555ed680c10a4ef.d: crates/pcor/../../examples/homicide_analysis.rs
+
+/root/repo/target/debug/examples/homicide_analysis-2555ed680c10a4ef: crates/pcor/../../examples/homicide_analysis.rs
+
+crates/pcor/../../examples/homicide_analysis.rs:

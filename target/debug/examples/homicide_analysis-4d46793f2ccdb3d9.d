@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/homicide_analysis-4d46793f2ccdb3d9.d: crates/pcor/../../examples/homicide_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhomicide_analysis-4d46793f2ccdb3d9.rmeta: crates/pcor/../../examples/homicide_analysis.rs Cargo.toml
+
+crates/pcor/../../examples/homicide_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

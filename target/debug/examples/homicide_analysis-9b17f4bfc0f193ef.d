@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/homicide_analysis-9b17f4bfc0f193ef.d: crates/pcor/../../examples/homicide_analysis.rs
+
+/root/repo/target/debug/examples/homicide_analysis-9b17f4bfc0f193ef: crates/pcor/../../examples/homicide_analysis.rs
+
+crates/pcor/../../examples/homicide_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_audit-2fc5a98e57b6a876.d: crates/pcor/../../examples/privacy_audit.rs
+
+/root/repo/target/debug/examples/privacy_audit-2fc5a98e57b6a876: crates/pcor/../../examples/privacy_audit.rs
+
+crates/pcor/../../examples/privacy_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_audit-931fd803e0707dca.d: crates/pcor/../../examples/privacy_audit.rs
+
+/root/repo/target/debug/examples/privacy_audit-931fd803e0707dca: crates/pcor/../../examples/privacy_audit.rs
+
+crates/pcor/../../examples/privacy_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/privacy_audit-9513e144c1b6439b.d: crates/pcor/../../examples/privacy_audit.rs
+
+/root/repo/target/debug/examples/privacy_audit-9513e144c1b6439b: crates/pcor/../../examples/privacy_audit.rs
+
+crates/pcor/../../examples/privacy_audit.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/privacy_audit-afdca174e91f7d5c.d: crates/pcor/../../examples/privacy_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprivacy_audit-afdca174e91f7d5c.rmeta: crates/pcor/../../examples/privacy_audit.rs Cargo.toml
+
+crates/pcor/../../examples/privacy_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

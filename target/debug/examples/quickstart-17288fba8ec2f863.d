@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-17288fba8ec2f863.d: crates/pcor/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-17288fba8ec2f863: crates/pcor/../../examples/quickstart.rs
+
+crates/pcor/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-48faef6d3f819ba7.d: crates/pcor/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-48faef6d3f819ba7: crates/pcor/../../examples/quickstart.rs
+
+crates/pcor/../../examples/quickstart.rs:

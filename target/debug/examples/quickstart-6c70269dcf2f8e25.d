@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-6c70269dcf2f8e25.d: crates/pcor/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-6c70269dcf2f8e25.rmeta: crates/pcor/../../examples/quickstart.rs Cargo.toml
+
+crates/pcor/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

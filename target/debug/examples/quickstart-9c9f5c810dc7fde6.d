@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9c9f5c810dc7fde6.d: crates/pcor/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9c9f5c810dc7fde6: crates/pcor/../../examples/quickstart.rs
+
+crates/pcor/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/salary_analysis-8ec63ae4fb0f5296.d: crates/pcor/../../examples/salary_analysis.rs
+
+/root/repo/target/debug/examples/salary_analysis-8ec63ae4fb0f5296: crates/pcor/../../examples/salary_analysis.rs
+
+crates/pcor/../../examples/salary_analysis.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/salary_analysis-cffb368cac24cce9.d: crates/pcor/../../examples/salary_analysis.rs
+
+/root/repo/target/debug/examples/salary_analysis-cffb368cac24cce9: crates/pcor/../../examples/salary_analysis.rs
+
+crates/pcor/../../examples/salary_analysis.rs:

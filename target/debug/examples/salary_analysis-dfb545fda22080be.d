@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/salary_analysis-dfb545fda22080be.d: crates/pcor/../../examples/salary_analysis.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsalary_analysis-dfb545fda22080be.rmeta: crates/pcor/../../examples/salary_analysis.rs Cargo.toml
+
+crates/pcor/../../examples/salary_analysis.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/salary_analysis-fa951b2ef2402af1.d: crates/pcor/../../examples/salary_analysis.rs
+
+/root/repo/target/debug/examples/salary_analysis-fa951b2ef2402af1: crates/pcor/../../examples/salary_analysis.rs
+
+crates/pcor/../../examples/salary_analysis.rs:

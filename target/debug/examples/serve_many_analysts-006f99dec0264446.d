@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_many_analysts-006f99dec0264446.d: crates/pcor/../../examples/serve_many_analysts.rs
+
+/root/repo/target/debug/examples/serve_many_analysts-006f99dec0264446: crates/pcor/../../examples/serve_many_analysts.rs
+
+crates/pcor/../../examples/serve_many_analysts.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_many_analysts-7545400f9377716c.d: crates/pcor/../../examples/serve_many_analysts.rs
+
+/root/repo/target/debug/examples/serve_many_analysts-7545400f9377716c: crates/pcor/../../examples/serve_many_analysts.rs
+
+crates/pcor/../../examples/serve_many_analysts.rs:

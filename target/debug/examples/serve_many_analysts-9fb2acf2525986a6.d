@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/serve_many_analysts-9fb2acf2525986a6.d: crates/pcor/../../examples/serve_many_analysts.rs Cargo.toml
+
+/root/repo/target/debug/examples/libserve_many_analysts-9fb2acf2525986a6.rmeta: crates/pcor/../../examples/serve_many_analysts.rs Cargo.toml
+
+crates/pcor/../../examples/serve_many_analysts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

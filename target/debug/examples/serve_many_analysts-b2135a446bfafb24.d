@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serve_many_analysts-b2135a446bfafb24.d: crates/pcor/../../examples/serve_many_analysts.rs
+
+/root/repo/target/debug/examples/serve_many_analysts-b2135a446bfafb24: crates/pcor/../../examples/serve_many_analysts.rs
+
+crates/pcor/../../examples/serve_many_analysts.rs:

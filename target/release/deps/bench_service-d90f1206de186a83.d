@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_service-d90f1206de186a83.d: crates/bench/benches/bench_service.rs
+
+/root/repo/target/release/deps/bench_service-d90f1206de186a83: crates/bench/benches/bench_service.rs
+
+crates/bench/benches/bench_service.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-4ce93bdeab8696b3.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-4ce93bdeab8696b3.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-4ce93bdeab8696b3.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pcor-987a5d0ed63d44e4.d: crates/pcor/src/lib.rs
+
+/root/repo/target/release/deps/libpcor-987a5d0ed63d44e4.rlib: crates/pcor/src/lib.rs
+
+/root/repo/target/release/deps/libpcor-987a5d0ed63d44e4.rmeta: crates/pcor/src/lib.rs
+
+crates/pcor/src/lib.rs:

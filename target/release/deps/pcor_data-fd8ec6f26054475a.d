@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pcor_data-fd8ec6f26054475a.d: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/release/deps/libpcor_data-fd8ec6f26054475a.rlib: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+/root/repo/target/release/deps/libpcor_data-fd8ec6f26054475a.rmeta: crates/data/src/lib.rs crates/data/src/bitmap.rs crates/data/src/context.rs crates/data/src/csv.rs crates/data/src/dataset.rs crates/data/src/generator.rs crates/data/src/record.rs crates/data/src/schema.rs
+
+crates/data/src/lib.rs:
+crates/data/src/bitmap.rs:
+crates/data/src/context.rs:
+crates/data/src/csv.rs:
+crates/data/src/dataset.rs:
+crates/data/src/generator.rs:
+crates/data/src/record.rs:
+crates/data/src/schema.rs:

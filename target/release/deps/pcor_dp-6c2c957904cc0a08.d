@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/pcor_dp-6c2c957904cc0a08.d: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/release/deps/libpcor_dp-6c2c957904cc0a08.rlib: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+/root/repo/target/release/deps/libpcor_dp-6c2c957904cc0a08.rmeta: crates/dp/src/lib.rs crates/dp/src/budget.rs crates/dp/src/exponential.rs crates/dp/src/laplace.rs crates/dp/src/utility.rs
+
+crates/dp/src/lib.rs:
+crates/dp/src/budget.rs:
+crates/dp/src/exponential.rs:
+crates/dp/src/laplace.rs:
+crates/dp/src/utility.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pcor_graph-298dfc021d612eb2.d: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+/root/repo/target/release/deps/libpcor_graph-298dfc021d612eb2.rlib: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+/root/repo/target/release/deps/libpcor_graph-298dfc021d612eb2.rmeta: crates/graph/src/lib.rs crates/graph/src/locality.rs crates/graph/src/search.rs crates/graph/src/walk.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/locality.rs:
+crates/graph/src/search.rs:
+crates/graph/src/walk.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pcor_outlier-5c5ce637948d8333.d: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+/root/repo/target/release/deps/libpcor_outlier-5c5ce637948d8333.rlib: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+/root/repo/target/release/deps/libpcor_outlier-5c5ce637948d8333.rmeta: crates/outlier/src/lib.rs crates/outlier/src/grubbs.rs crates/outlier/src/histogram.rs crates/outlier/src/iqr.rs crates/outlier/src/lof.rs crates/outlier/src/zscore.rs
+
+crates/outlier/src/lib.rs:
+crates/outlier/src/grubbs.rs:
+crates/outlier/src/histogram.rs:
+crates/outlier/src/iqr.rs:
+crates/outlier/src/lof.rs:
+crates/outlier/src/zscore.rs:

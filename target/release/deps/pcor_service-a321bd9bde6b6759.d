@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/pcor_service-a321bd9bde6b6759.d: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libpcor_service-a321bd9bde6b6759.rlib: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+/root/repo/target/release/deps/libpcor_service-a321bd9bde6b6759.rmeta: crates/service/src/lib.rs crates/service/src/cache.rs crates/service/src/ledger.rs crates/service/src/metrics.rs crates/service/src/registry.rs crates/service/src/request.rs crates/service/src/server.rs
+
+crates/service/src/lib.rs:
+crates/service/src/cache.rs:
+crates/service/src/ledger.rs:
+crates/service/src/metrics.rs:
+crates/service/src/registry.rs:
+crates/service/src/request.rs:
+crates/service/src/server.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pcor_stats-2465ef7f7727349a.d: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libpcor_stats-2465ef7f7727349a.rlib: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/libpcor_stats-2465ef7f7727349a.rmeta: crates/stats/src/lib.rs crates/stats/src/descriptive.rs crates/stats/src/distributions.rs crates/stats/src/histogram.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/descriptive.rs:
+crates/stats/src/distributions.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

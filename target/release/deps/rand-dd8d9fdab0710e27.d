@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-dd8d9fdab0710e27.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dd8d9fdab0710e27.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-dd8d9fdab0710e27.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-1c647950d20d27b5.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1c647950d20d27b5.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1c647950d20d27b5.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

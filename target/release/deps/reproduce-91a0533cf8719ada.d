@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproduce-91a0533cf8719ada.d: crates/bench/src/bin/reproduce.rs
+
+/root/repo/target/release/deps/reproduce-91a0533cf8719ada: crates/bench/src/bin/reproduce.rs
+
+crates/bench/src/bin/reproduce.rs:

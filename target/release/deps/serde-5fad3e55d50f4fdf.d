@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-5fad3e55d50f4fdf.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5fad3e55d50f4fdf.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-5fad3e55d50f4fdf.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-30e66732f546e9a5.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-30e66732f546e9a5.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-9584965b89f17847.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-9584965b89f17847.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

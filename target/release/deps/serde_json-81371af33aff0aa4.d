@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-81371af33aff0aa4.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-81371af33aff0aa4.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-81371af33aff0aa4.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

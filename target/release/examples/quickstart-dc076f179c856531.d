@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-dc076f179c856531.d: crates/pcor/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-dc076f179c856531: crates/pcor/../../examples/quickstart.rs
+
+crates/pcor/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_many_analysts-60e8bc2361f1cb48.d: crates/pcor/../../examples/serve_many_analysts.rs
+
+/root/repo/target/release/examples/serve_many_analysts-60e8bc2361f1cb48: crates/pcor/../../examples/serve_many_analysts.rs
+
+crates/pcor/../../examples/serve_many_analysts.rs:

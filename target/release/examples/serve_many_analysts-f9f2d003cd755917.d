@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serve_many_analysts-f9f2d003cd755917.d: crates/pcor/../../examples/serve_many_analysts.rs
+
+/root/repo/target/release/examples/serve_many_analysts-f9f2d003cd755917: crates/pcor/../../examples/serve_many_analysts.rs
+
+crates/pcor/../../examples/serve_many_analysts.rs:
