@@ -1,0 +1,165 @@
+//! Batch-vs-singles: verification cost and throughput of the batched
+//! release endpoint against equivalent single-record requests.
+//!
+//! Not a paper experiment — this measures the win the ROADMAP's batched
+//! release API promises: a batch binds dataset + detector once, shares one
+//! release session (and its memoized per-record verifiers) across all
+//! items, and therefore issues fewer fresh `f_M` verification calls than
+//! the same query mix sent as independent single requests. Reported per
+//! batch size: total fresh `f_M` calls on both paths, the call ratio and
+//! the wall-clock speedup.
+//!
+//! Both paths start on a fresh server (cold registry cache, fresh ledger)
+//! over an identical query mix that revisits a small pool of outlier
+//! records — the paper's experiments repeatedly query the same
+//! dataset/detector pair, which is exactly where batching pays.
+
+use crate::config::ExperimentScale;
+use crate::report::Table;
+use crate::{BenchError, Result};
+use pcor_core::runner::find_random_outliers;
+use pcor_data::Dataset;
+use pcor_outlier::DetectorKind;
+use pcor_service::{
+    BatchItem, BatchReleaseRequest, BudgetLedger, DatasetRegistry, ReleaseRequest, Server,
+    ServerConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::ExperimentOutput;
+
+/// Query-mix sizes compared (N singles vs one N-item batch).
+const BATCH_SIZES: [usize; 3] = [4, 8, 16];
+
+fn fresh_server(dataset: &Dataset) -> Server {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register("salary", dataset.clone());
+    let ledger = Arc::new(BudgetLedger::new(f64::MAX / 2.0));
+    Server::start(ServerConfig::default().with_workers(1).with_queue_capacity(64), registry, ledger)
+}
+
+/// Runs the batch-vs-singles comparison.
+///
+/// # Errors
+/// Returns [`BenchError::NoOutlierFound`] when the workload has no
+/// contextual outliers and propagates service errors as release failures.
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let dataset = pcor_data::generator::salary_dataset(
+        &pcor_data::generator::SalaryConfig::reduced().with_records(scale.salary_records),
+    )?;
+    let detector = DetectorKind::ZScore;
+    let built = detector.build();
+    let mut rng = ChaCha12Rng::seed_from_u64(scale.seed ^ 0xBA7C4);
+    let outliers = find_random_outliers(&dataset, built.as_ref(), 3, 2_000, &mut rng)
+        .map_err(|_| BenchError::NoOutlierFound)?;
+    let records: Vec<usize> = outliers.iter().map(|q| q.record_id).collect();
+
+    let samples = scale.samples.min(20);
+    let mut table = Table::new(
+        format!(
+            "Batch vs singles: fresh f_M calls and wall time (BFS, eps = {}, n = {samples}, \
+             {} distinct records)",
+            scale.epsilon,
+            records.len()
+        ),
+        &[
+            "Queries",
+            "Singles f_M",
+            "Batch f_M",
+            "Call ratio",
+            "Singles (ms)",
+            "Batch (ms)",
+            "Speedup",
+        ],
+    );
+
+    for &queries in &BATCH_SIZES {
+        let mix: Vec<usize> = (0..queries).map(|i| records[i % records.len()]).collect();
+
+        // N independent single requests on a cold server.
+        let single_server = fresh_server(&dataset);
+        let single_started = Instant::now();
+        let mut single_calls = 0usize;
+        for (i, &record_id) in mix.iter().enumerate() {
+            let response = single_server
+                .execute(
+                    ReleaseRequest::new("bench", "salary", record_id)
+                        .with_detector(detector)
+                        .with_epsilon(scale.epsilon)
+                        .with_samples(samples)
+                        .with_seed(scale.seed ^ i as u64),
+                )
+                .map_err(|e| BenchError::Service(e.to_string()))?;
+            single_calls += response.verification_calls;
+        }
+        let single_wall = single_started.elapsed();
+        single_server.shutdown();
+
+        // The same mix as one batch on an equally cold server.
+        let batch_server = fresh_server(&dataset);
+        let batch_started = Instant::now();
+        let batch_response = batch_server
+            .execute_batch(
+                BatchReleaseRequest::new("bench", "salary").with_detector(detector).with_items(
+                    mix.iter()
+                        .enumerate()
+                        .map(|(i, &record_id)| {
+                            BatchItem::new(record_id)
+                                .with_epsilon(scale.epsilon)
+                                .with_samples(samples)
+                                .with_seed(scale.seed ^ i as u64)
+                        })
+                        .collect(),
+                ),
+            )
+            .map_err(|e| BenchError::Service(e.to_string()))?;
+        let batch_wall = batch_started.elapsed();
+        batch_server.shutdown();
+
+        if batch_response.released() != queries {
+            return Err(BenchError::Service(format!(
+                "batch released {} of {queries} items",
+                batch_response.released()
+            )));
+        }
+        let batch_calls = batch_response.verification_calls;
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        table.push_row(vec![
+            queries.to_string(),
+            single_calls.to_string(),
+            batch_calls.to_string(),
+            format!("{:.2}", batch_calls as f64 / single_calls.max(1) as f64),
+            format!("{:.2}", ms(single_wall)),
+            format!("{:.2}", ms(batch_wall)),
+            format!("{:.2}x", ms(single_wall) / ms(batch_wall).max(1e-9)),
+        ]);
+    }
+
+    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_always_issues_fewer_calls_than_singles() {
+        let mut scale = ExperimentScale::smoke();
+        scale.samples = 8;
+        let output = run(&scale).expect("batch experiment");
+        assert_eq!(output.tables.len(), 1);
+        assert_eq!(output.tables[0].rows.len(), BATCH_SIZES.len());
+        for row in &output.tables[0].rows {
+            assert_eq!(row.len(), 7);
+            let singles: usize = row[1].parse().unwrap();
+            let batch: usize = row[2].parse().unwrap();
+            assert!(
+                batch < singles,
+                "the batch path must amortize verification ({batch} vs {singles})"
+            );
+        }
+    }
+}

@@ -11,7 +11,9 @@
 //! | [`ratio_check`] | Section 6.7 — empirical `e^ε` ratio check |
 //! | [`direct_vs_sampling`] | Section 1.2 headline — direct approach vs. BFS |
 //! | [`service_throughput`] | (beyond the paper) `pcor-service` throughput vs. worker count |
+//! | [`batch`] | (beyond the paper) batched releases vs. equivalent singles |
 
+pub mod batch;
 pub mod coe_match;
 pub mod detectors;
 pub mod direct_vs_sampling;
@@ -78,6 +80,8 @@ pub enum ExperimentId {
     Direct,
     /// Serving-layer throughput vs. worker count (beyond the paper).
     ServiceThroughput,
+    /// Batched releases vs. equivalent single requests (beyond the paper).
+    BatchVsSingles,
 }
 
 impl ExperimentId {
@@ -94,6 +98,7 @@ impl ExperimentId {
             ExperimentId::RatioCheck,
             ExperimentId::Direct,
             ExperimentId::ServiceThroughput,
+            ExperimentId::BatchVsSingles,
         ]
     }
 
@@ -111,6 +116,7 @@ impl ExperimentId {
             "ratio" => vec![ExperimentId::RatioCheck],
             "direct" => vec![ExperimentId::Direct],
             "service" | "throughput" => vec![ExperimentId::ServiceThroughput],
+            "batch" | "batch-vs-singles" => vec![ExperimentId::BatchVsSingles],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -136,6 +142,7 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::RatioCheck => "empirical ratio check (Section 6.7)",
             ExperimentId::Direct => "direct vs BFS (Section 1.2)",
             ExperimentId::ServiceThroughput => "service throughput vs workers (pcor-service)",
+            ExperimentId::BatchVsSingles => "batched releases vs equivalent singles (pcor-service)",
         };
         write!(f, "{name}")
     }
@@ -157,6 +164,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::RatioCheck => ratio_check::run(scale),
         ExperimentId::Direct => direct_vs_sampling::run(scale),
         ExperimentId::ServiceThroughput => service_throughput::run(scale),
+        ExperimentId::BatchVsSingles => batch::run(scale),
     }
 }
 
@@ -174,6 +182,8 @@ mod tests {
         assert_eq!(ExperimentId::parse("direct"), vec![ExperimentId::Direct]);
         assert_eq!(ExperimentId::parse("service"), vec![ExperimentId::ServiceThroughput]);
         assert_eq!(ExperimentId::parse("throughput"), vec![ExperimentId::ServiceThroughput]);
+        assert_eq!(ExperimentId::parse("batch"), vec![ExperimentId::BatchVsSingles]);
+        assert_eq!(ExperimentId::parse("batch-vs-singles"), vec![ExperimentId::BatchVsSingles]);
         assert_eq!(ExperimentId::parse("figures").len(), 5);
         assert!(ExperimentId::parse("nonsense").is_empty());
         for id in ExperimentId::all() {

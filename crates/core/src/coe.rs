@@ -116,6 +116,58 @@ fn evaluate_raw(
     }))
 }
 
+/// Enumerates `COE_M(D, V)` on an existing memoized
+/// [`Verifier`](crate::verify::Verifier), producing the reference file.
+///
+/// Unlike [`enumerate_coe`] this runs single-threaded but shares the
+/// verifier's `f_M` cache: contexts already evaluated by earlier releases or
+/// searches cost nothing, and everything this enumeration evaluates stays
+/// memoized for later releases. This is the variant
+/// [`crate::ReleaseSession::reference`] uses.
+///
+/// # Errors
+/// * [`PcorError::TooManyAttributeValues`] when `t` exceeds `limit`;
+/// * data-layer errors otherwise.
+pub fn enumerate_coe_with(
+    verifier: &mut crate::verify::Verifier<'_>,
+    limit: usize,
+) -> Result<ReferenceFile> {
+    let dataset = verifier.dataset();
+    let t = dataset.schema().total_values();
+    if t > limit {
+        return Err(PcorError::TooManyAttributeValues { t, limit });
+    }
+    let minimal = verifier.minimal_context()?;
+    let free_bits: Vec<usize> = (0..t).filter(|&bit| !minimal.get(bit)).collect();
+    let total: u64 = 1u64 << free_bits.len();
+
+    let mut entries: Vec<ReferenceEntry> = Vec::new();
+    for mask in 0..total {
+        let mut context = minimal.clone();
+        for (i, &bit) in free_bits.iter().enumerate() {
+            if (mask >> i) & 1 == 1 {
+                context.set(bit, true);
+            }
+        }
+        let evaluation = verifier.evaluate(&context)?;
+        if evaluation.matching {
+            entries.push(ReferenceEntry {
+                context,
+                utility: evaluation.utility,
+                population_size: evaluation.population_size,
+            });
+        }
+    }
+    entries.sort_by(|a, b| a.context.cmp(&b.context));
+    let max_utility = entries.iter().map(|e| e.utility).fold(f64::NEG_INFINITY, f64::max);
+    Ok(ReferenceFile {
+        outlier_id: verifier.outlier_id(),
+        entries,
+        max_utility: if max_utility.is_finite() { max_utility } else { 0.0 },
+        contexts_examined: total as usize,
+    })
+}
+
 /// Enumerates `COE_M(D, V)`: every matching context of record `outlier_id`,
 /// with utilities, producing the reference file.
 ///

@@ -26,36 +26,46 @@
 //! | [`dfs`] | Alg. 4 — differentially private depth-first search | `O(n·t)` | `ε₁ = ε/(2n+2)` |
 //! | [`bfs`] | Alg. 5 — differentially private breadth-first search | `O(n²·t)` | `ε₁ = ε/(2n+2)` |
 //!
-//! Supporting modules: [`verify`] (the memoized outlier-verification function
-//! `f_M`), [`starting`] (discovering a starting context `C_V`), [`coe`] (full
-//! `COE_M` enumeration / the reference file used to normalize utility),
-//! [`privacy`] (the COE-match and empirical-ratio experiments of Section 6.7)
-//! and [`runner`] (repeat-and-measure harness used by `pcor-bench`).
+//! Supporting modules: [`session`] (the [`ReleaseSession`] engine binding a
+//! dataset/detector/utility triple for many releases), [`verify`] (the
+//! memoized outlier-verification function `f_M`), [`starting`] (discovering a
+//! starting context `C_V`), [`coe`] (full `COE_M` enumeration / the reference
+//! file used to normalize utility), [`privacy`] (the COE-match and
+//! empirical-ratio experiments of Section 6.7) and [`runner`]
+//! (repeat-and-measure harness used by `pcor-bench`).
 //!
 //! ## Quick start
 //!
+//! The recommended entry point is a [`ReleaseSession`]: bind the dataset,
+//! detector and utility once, then release as often as the privacy budget
+//! allows. Repeat releases share the memoized verifier, so they skip
+//! verification work earlier releases already paid for.
+//!
 //! ```
-//! use pcor_core::{release_context, PcorConfig, SamplingAlgorithm};
+//! use pcor_core::{ReleaseSession, ReleaseSpec, SamplingAlgorithm, SeedPolicy};
 //! use pcor_data::generator::{salary_dataset, SalaryConfig};
 //! use pcor_dp::PopulationSizeUtility;
 //! use pcor_outlier::ZScoreDetector;
-//! use pcor_core::runner::find_random_outlier;
-//! use rand::SeedableRng;
 //!
 //! let dataset = salary_dataset(&SalaryConfig::tiny()).unwrap();
 //! let detector = ZScoreDetector::default();
 //! let utility = PopulationSizeUtility;
-//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(7);
+//!
+//! let mut session = ReleaseSession::builder(&dataset, &detector, &utility)
+//!     .seed_policy(SeedPolicy::Derived { base: 7 })
+//!     .build();
 //!
 //! // Pick a record that actually is a contextual outlier.
-//! let outlier = find_random_outlier(&dataset, &detector, 200, &mut rng).unwrap();
+//! let outlier = session.find_outliers(1, 200).unwrap().remove(0);
 //!
-//! let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2).with_samples(20);
-//! let result = release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
-//!     .unwrap();
+//! let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(20);
+//! let result = session.release(outlier.record_id, &spec).unwrap();
 //! println!("released: {}", result.context.to_predicate_string(dataset.schema()));
 //! assert!(result.guarantee.epsilon <= 0.2 + 1e-12);
 //! ```
+//!
+//! The one-shot [`release_context`] free function remains available and is a
+//! thin wrapper over a single-release session.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -68,12 +78,14 @@ pub mod privacy;
 pub mod random_walk;
 pub mod runner;
 pub mod select;
+pub mod session;
 pub mod starting;
 pub mod uniform;
 pub mod verify;
 
-pub use coe::{enumerate_coe, ReferenceEntry, ReferenceFile};
+pub use coe::{enumerate_coe, enumerate_coe_with, ReferenceEntry, ReferenceFile};
 pub use runner::find_random_outlier;
+pub use session::{ReleaseSession, ReleaseSessionBuilder, ReleaseSpec, SeedPolicy, SessionStats};
 pub use verify::{Evaluation, Verifier};
 
 use pcor_data::{Context, Dataset};
@@ -84,8 +96,16 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
+/// The historical name of [`ReleaseSpec`], kept as an alias so existing
+/// call sites keep compiling.
+pub type PcorConfig = ReleaseSpec;
+
 /// Errors produced by the PCOR core.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so new error conditions can be added without a semver break.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum PcorError {
     /// The queried record has no matching context at all (it is not a
     /// contextual outlier for the chosen detector).
@@ -194,6 +214,16 @@ impl SamplingAlgorithm {
         matches!(self, SamplingAlgorithm::Dfs | SamplingAlgorithm::Bfs)
     }
 
+    /// Whether the algorithm seeds its search from a starting context `C_V`
+    /// (the graph-based samplers do; Direct and Uniform enumerate/sample the
+    /// context space without one).
+    pub fn needs_starting_context(&self) -> bool {
+        matches!(
+            self,
+            SamplingAlgorithm::RandomWalk | SamplingAlgorithm::Dfs | SamplingAlgorithm::Bfs
+        )
+    }
+
     /// The OCDP guarantee this algorithm provides for a total budget
     /// `epsilon` and `samples` collected samples.
     ///
@@ -222,84 +252,6 @@ impl std::fmt::Display for SamplingAlgorithm {
     }
 }
 
-/// Configuration of a PCOR release.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct PcorConfig {
-    /// Which release algorithm to run.
-    pub algorithm: SamplingAlgorithm,
-    /// Total OCDP privacy budget `ε`.
-    pub epsilon: f64,
-    /// Number of samples `n` the sampling algorithms collect (the paper's
-    /// experiments use 25–200, default 50).
-    pub samples: usize,
-    /// Attempt cap for uniform sampling (it may otherwise never find `n`
-    /// matching contexts).
-    pub max_attempts: usize,
-    /// Maximum `t` for which exhaustive enumeration (Direct / reference file)
-    /// is permitted; protects against accidentally requesting `2^25` work.
-    pub enumeration_limit: usize,
-    /// Optional explicit starting context `C_V`; when `None` the release
-    /// searches for one from the record's minimal context.
-    pub starting_context: Option<Context>,
-}
-
-impl PcorConfig {
-    /// Creates a configuration with the paper's defaults (`n = 50`,
-    /// 200 000 uniform-sampling attempts, enumeration limited to `t ≤ 22`).
-    pub fn new(algorithm: SamplingAlgorithm, epsilon: f64) -> Self {
-        PcorConfig {
-            algorithm,
-            epsilon,
-            samples: 50,
-            max_attempts: 200_000,
-            enumeration_limit: 22,
-            starting_context: None,
-        }
-    }
-
-    /// Sets the number of samples `n`.
-    pub fn with_samples(mut self, samples: usize) -> Self {
-        self.samples = samples;
-        self
-    }
-
-    /// Sets the uniform-sampling attempt cap.
-    pub fn with_max_attempts(mut self, attempts: usize) -> Self {
-        self.max_attempts = attempts;
-        self
-    }
-
-    /// Sets the exhaustive-enumeration limit on `t`.
-    pub fn with_enumeration_limit(mut self, limit: usize) -> Self {
-        self.enumeration_limit = limit;
-        self
-    }
-
-    /// Provides an explicit starting context.
-    pub fn with_starting_context(mut self, context: Context) -> Self {
-        self.starting_context = Some(context);
-        self
-    }
-
-    /// Validates the configuration.
-    ///
-    /// # Errors
-    /// Returns [`PcorError::InvalidConfig`] for non-positive `ε` or zero
-    /// samples.
-    pub fn validate(&self) -> Result<()> {
-        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
-            return Err(PcorError::InvalidConfig(format!(
-                "epsilon must be > 0, got {}",
-                self.epsilon
-            )));
-        }
-        if self.samples == 0 {
-            return Err(PcorError::InvalidConfig("samples must be >= 1".into()));
-        }
-        Ok(())
-    }
-}
-
 /// The outcome of a PCOR release.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PcorResult {
@@ -320,12 +272,14 @@ pub struct PcorResult {
     pub algorithm: SamplingAlgorithm,
 }
 
-/// Runs a PCOR release: given the dataset, the outlier record id, a detector,
-/// a utility function and a configuration, returns a privately selected
+/// Runs one one-shot PCOR release: given the dataset, the outlier record id,
+/// a detector, a utility function and a spec, returns a privately selected
 /// matching context.
 ///
-/// This is the library's main entry point; it dispatches to the configured
-/// algorithm module.
+/// This is a thin wrapper over a single-release [`ReleaseSession`]; callers
+/// issuing more than one release against the same dataset/detector pair
+/// should hold a session instead and let repeats share the memoized
+/// verifier.
 ///
 /// # Errors
 /// * [`PcorError::NoMatchingContext`] / [`PcorError::NoStartingContext`] when
@@ -339,34 +293,17 @@ pub fn release_context<R: Rng + ?Sized>(
     outlier_id: usize,
     detector: &dyn OutlierDetector,
     utility: &dyn Utility,
-    config: &PcorConfig,
+    config: &ReleaseSpec,
     rng: &mut R,
 ) -> Result<PcorResult> {
-    config.validate()?;
-    if outlier_id >= dataset.len() {
-        return Err(PcorError::InvalidConfig(format!(
-            "outlier id {outlier_id} out of range for a dataset of {} records",
-            dataset.len()
-        )));
-    }
-    let start = std::time::Instant::now();
-    let mut verifier = Verifier::new(dataset, detector, utility, outlier_id);
-    let mut result = match config.algorithm {
-        SamplingAlgorithm::Direct => direct::run(&mut verifier, config, rng),
-        SamplingAlgorithm::Uniform => uniform::run(&mut verifier, config, rng),
-        SamplingAlgorithm::RandomWalk => random_walk::run(&mut verifier, config, rng),
-        SamplingAlgorithm::Dfs => dfs::run(&mut verifier, config, rng),
-        SamplingAlgorithm::Bfs => bfs::run(&mut verifier, config, rng),
-    }?;
-    result.verification_calls = verifier.calls();
-    result.runtime = start.elapsed();
-    result.algorithm = config.algorithm;
-    Ok(result)
+    let mut session = ReleaseSession::builder(dataset, detector, utility).build();
+    session.release_with_rng(outlier_id, config, rng)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pcor_data::Context;
 
     #[test]
     fn config_defaults_and_builders() {

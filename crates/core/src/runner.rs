@@ -6,9 +6,8 @@
 //! running one release while measuring it, and running repetitions.
 
 use crate::coe::ReferenceFile;
-use crate::starting::find_starting_context;
-use crate::verify::Verifier;
-use crate::{release_context, PcorConfig, PcorError, Result};
+use crate::session::ReleaseSession;
+use crate::{release_context, PcorConfig, Result};
 use pcor_data::{Context, Dataset};
 use pcor_dp::{PopulationSizeUtility, Utility};
 use pcor_outlier::OutlierDetector;
@@ -29,35 +28,35 @@ pub struct OutlierQuery {
 /// Searches for a record that is a contextual outlier under `detector`,
 /// examining up to `max_candidates` uniformly random records.
 ///
+/// Thin wrapper over [`ReleaseSession::find_outliers_with_rng`] with a
+/// throwaway session; callers that go on to release against the discovered
+/// record should hold their own session so the search's verification work is
+/// reused.
+///
 /// # Errors
-/// Returns [`PcorError::NoMatchingContext`] when no candidate record has a
-/// matching context within the per-record search budget.
+/// Returns [`crate::PcorError::NoMatchingContext`] when no candidate record
+/// has a matching context within the per-record search budget.
 pub fn find_random_outlier<R: Rng + ?Sized>(
     dataset: &Dataset,
     detector: &dyn OutlierDetector,
     max_candidates: usize,
     rng: &mut R,
 ) -> Result<OutlierQuery> {
-    if dataset.is_empty() {
-        return Err(PcorError::NoMatchingContext);
-    }
     let utility = PopulationSizeUtility;
-    for _ in 0..max_candidates {
-        let record_id = rng.random_range(0..dataset.len());
-        let mut verifier = Verifier::new(dataset, detector, &utility, record_id);
-        if let Ok(context) = find_starting_context(&mut verifier, 500) {
-            return Ok(OutlierQuery { record_id, starting_context: context });
-        }
-    }
-    Err(PcorError::NoMatchingContext)
+    let mut session = ReleaseSession::builder(dataset, detector, &utility).build();
+    let mut found = session.find_outliers_with_rng(1, max_candidates, rng)?;
+    Ok(found.remove(0))
 }
 
 /// Finds up to `count` distinct outlier records (used by the COE-match
 /// experiments, which average over many random outliers).
 ///
+/// One session is shared across all candidates, so a record drawn twice
+/// replays its starting-context search from the memoized verifier.
+///
 /// # Errors
-/// Returns [`PcorError::NoMatchingContext`] if not a single outlier could be
-/// found.
+/// Returns [`crate::PcorError::NoMatchingContext`] if not a single outlier
+/// could be found.
 pub fn find_random_outliers<R: Rng + ?Sized>(
     dataset: &Dataset,
     detector: &dyn OutlierDetector,
@@ -65,25 +64,9 @@ pub fn find_random_outliers<R: Rng + ?Sized>(
     max_candidates: usize,
     rng: &mut R,
 ) -> Result<Vec<OutlierQuery>> {
-    let mut found: Vec<OutlierQuery> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    let mut attempts = 0usize;
-    while found.len() < count && attempts < max_candidates {
-        attempts += 1;
-        match find_random_outlier(dataset, detector, 1, rng) {
-            Ok(query) => {
-                if seen.insert(query.record_id) {
-                    found.push(query);
-                }
-            }
-            Err(PcorError::NoMatchingContext) => {}
-            Err(other) => return Err(other),
-        }
-    }
-    if found.is_empty() {
-        return Err(PcorError::NoMatchingContext);
-    }
-    Ok(found)
+    let utility = PopulationSizeUtility;
+    let mut session = ReleaseSession::builder(dataset, detector, &utility).build();
+    session.find_outliers_with_rng(count, max_candidates, rng)
 }
 
 /// One measured PCOR release.
@@ -152,7 +135,8 @@ pub fn run_repeated<R: Rng + ?Sized>(
 mod tests {
     use super::*;
     use crate::coe::enumerate_coe;
-    use crate::SamplingAlgorithm;
+    use crate::verify::Verifier;
+    use crate::{PcorError, SamplingAlgorithm};
     use pcor_data::{Attribute, Record, Schema};
     use pcor_outlier::ZScoreDetector;
     use rand::SeedableRng;

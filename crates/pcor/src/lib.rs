@@ -19,22 +19,24 @@
 //!   registry, per-analyst budget ledger and worker pool (`pcor-service`).
 //!
 //! The most common entry points are re-exported at the crate root so a typical
-//! application only needs `use pcor::prelude::*`.
+//! application only needs `use pcor::prelude::*`. The recommended way to
+//! release is a [`ReleaseSession`](pcor_core::ReleaseSession): bind the
+//! dataset, detector and utility once, then release as many times as the
+//! privacy budget allows — repeats share the memoized verifier.
 //!
 //! ```
 //! use pcor::prelude::*;
-//! use rand::SeedableRng;
 //!
 //! let dataset = salary_dataset(&SalaryConfig::tiny()).unwrap();
 //! let detector = LofDetector::default();
 //! let utility = PopulationSizeUtility;
-//! let mut rng = rand_chacha::ChaCha12Rng::seed_from_u64(1);
 //!
-//! if let Ok(outlier) = find_random_outlier(&dataset, &detector, 100, &mut rng) {
-//!     let config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2).with_samples(20);
-//!     let released =
-//!         release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
-//!             .unwrap();
+//! let mut session = ReleaseSession::builder(&dataset, &detector, &utility)
+//!     .seed_policy(SeedPolicy::Derived { base: 1 })
+//!     .build();
+//! if let Ok(outliers) = session.find_outliers(1, 100) {
+//!     let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(20);
+//!     let released = session.release(outliers[0].record_id, &spec).unwrap();
 //!     println!("{}", released.context.to_predicate_string(dataset.schema()));
 //! }
 //! ```
@@ -55,7 +57,7 @@ pub mod prelude {
     pub use pcor_core::runner::{find_random_outlier, find_random_outliers, OutlierQuery};
     pub use pcor_core::{
         enumerate_coe, release_context, PcorConfig, PcorError, PcorResult, ReferenceFile,
-        SamplingAlgorithm,
+        ReleaseSession, ReleaseSpec, SamplingAlgorithm, SeedPolicy, SessionStats,
     };
     pub use pcor_data::generator::{
         homicide_dataset, salary_dataset, HomicideConfig, SalaryConfig,
@@ -71,8 +73,9 @@ pub mod prelude {
         ZScoreDetector,
     };
     pub use pcor_service::{
-        BudgetLedger, DatasetRegistry, ReleaseRequest, ReleaseResponse, Server, ServerConfig,
-        ServiceError,
+        BatchItem, BatchReleaseRequest, BatchReleaseResponse, BudgetLedger, DatasetRegistry,
+        ItemOutcome, ReleaseRequest, ReleaseResponse, RequestEnvelope, ResponseEnvelope, Server,
+        ServerConfig, ServiceError,
     };
     pub use pcor_stats::{ConfidenceInterval, RuntimeSummary, UtilitySummary};
 }
@@ -97,5 +100,10 @@ mod tests {
         let _ = BudgetLedger::new(1.0);
         let _ = ServerConfig::default();
         let _ = ReleaseRequest::new("a", "d", 0);
+        let _ = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2);
+        let _ = SeedPolicy::Derived { base: 7 };
+        let _ = RequestEnvelope::batch(
+            BatchReleaseRequest::new("a", "d").push(BatchItem::new(0).with_epsilon(0.1)),
+        );
     }
 }

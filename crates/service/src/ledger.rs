@@ -83,15 +83,29 @@ impl Reservation {
     }
 
     fn resolve(&mut self, commit: bool) {
+        self.resolve_split(if commit { self.epsilon } else { 0.0 });
+    }
+
+    /// Commits `spend` of the held ε and refunds the rest, atomically under
+    /// the ledger lock. `spend = 0` refunds everything; `spend = ε` commits
+    /// everything.
+    fn resolve_split(&mut self, spend: f64) {
         if self.resolved {
             return;
         }
         self.resolved = true;
+        let spend = spend.clamp(0.0, self.epsilon);
+        let refund = self.epsilon - spend;
         let mut inner = self.inner.lock().expect("ledger poisoned");
         if let Some(account) = inner.accounts.get_mut(&self.key) {
-            let outcome =
-                if commit { account.commit(self.epsilon) } else { account.refund(self.epsilon) };
-            debug_assert!(outcome.is_ok(), "reservation resolution violated the protocol");
+            if spend > 0.0 {
+                let outcome = account.commit(spend);
+                debug_assert!(outcome.is_ok(), "reservation commit violated the protocol");
+            }
+            if refund > 0.0 {
+                let outcome = account.refund(refund);
+                debug_assert!(outcome.is_ok(), "reservation refund violated the protocol");
+            }
         }
     }
 }
@@ -172,6 +186,16 @@ impl BudgetLedger {
     /// Returns the account's remaining budget.
     pub fn refund(&self, mut reservation: Reservation) -> f64 {
         reservation.resolve(false);
+        self.remaining(reservation.analyst(), reservation.dataset())
+    }
+
+    /// Resolves a reservation partially: `spend` of the held ε becomes a
+    /// permanent spend and the remainder returns to the account — the
+    /// batch-release primitive (failed items refund their slices while the
+    /// successful slices commit). `spend` is clamped to `[0, ε]`.
+    /// Returns the account's remaining budget.
+    pub fn commit_partial(&self, mut reservation: Reservation, spend: f64) -> f64 {
+        reservation.resolve_split(spend);
         self.remaining(reservation.analyst(), reservation.dataset())
     }
 
@@ -268,6 +292,51 @@ mod tests {
             let _held = ledger.reserve("bob", "salary", 0.4).unwrap();
         }
         assert!((ledger.remaining("bob", "salary") - 0.5).abs() < 1e-12);
+    }
+
+    /// A worker that panics mid-release must not leak its held ε: the
+    /// reservation's drop guard runs during unwinding and refunds.
+    #[test]
+    fn panicking_holder_refunds_via_the_drop_guard() {
+        let ledger = std::sync::Arc::new(BudgetLedger::new(0.5));
+        let ledger_for_panic = std::sync::Arc::clone(&ledger);
+        let outcome = std::panic::catch_unwind(move || {
+            let _held = ledger_for_panic.reserve("alice", "salary", 0.4).unwrap();
+            panic!("worker died mid-release");
+        });
+        assert!(outcome.is_err(), "the closure must have panicked");
+        // The reservation was dropped during unwinding: nothing is stuck.
+        assert!((ledger.remaining("alice", "salary") - 0.5).abs() < 1e-12);
+        assert_eq!(ledger.spent("alice", "salary"), 0.0);
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot.len(), 1);
+        assert_eq!(snapshot[0].reserved, 0.0);
+        // The account is fully usable afterwards.
+        let r = ledger.reserve("alice", "salary", 0.5).unwrap();
+        ledger.commit(r);
+        assert!(ledger.remaining("alice", "salary") < 1e-12);
+    }
+
+    /// The batch primitive: part of a summed reservation commits, the rest
+    /// refunds, in one atomic resolution.
+    #[test]
+    fn partial_commit_splits_a_summed_reservation() {
+        let ledger = BudgetLedger::new(1.0);
+        // A batch of 3 x 0.2 reserves 0.6; one item fails.
+        let reservation = ledger.reserve("alice", "salary", 0.6).unwrap();
+        let remaining = ledger.commit_partial(reservation, 0.4);
+        assert!((remaining - 0.6).abs() < 1e-12);
+        assert!((ledger.spent("alice", "salary") - 0.4).abs() < 1e-12);
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot[0].reserved, 0.0);
+        // spend = 0 refunds everything; spend above the held ε is clamped.
+        let reservation = ledger.reserve("alice", "salary", 0.3).unwrap();
+        let remaining = ledger.commit_partial(reservation, 0.0);
+        assert!((remaining - 0.6).abs() < 1e-12);
+        let reservation = ledger.reserve("alice", "salary", 0.3).unwrap();
+        let remaining = ledger.commit_partial(reservation, 9.9);
+        assert!((remaining - 0.3).abs() < 1e-12);
+        assert!((ledger.spent("alice", "salary") - 0.7).abs() < 1e-12);
     }
 
     #[test]

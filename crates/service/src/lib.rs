@@ -10,23 +10,32 @@
 //!
 //! The subsystem is built from four pieces:
 //!
-//! * [`DatasetRegistry`](registry::DatasetRegistry) — named datasets behind
+//! * [`DatasetRegistry`] — named datasets behind
 //!   `Arc`, with memoized schema statistics and an LRU cache of *verified
 //!   starting contexts* keyed by `(dataset, record, detector)`. Starting-
 //!   context discovery is the expensive, non-private preprocessing step of
 //!   every graph-based release; caching it turns repeat queries against the
 //!   same record into cheap work.
-//! * [`BudgetLedger`](ledger::BudgetLedger) — per-`(analyst, dataset)`
+//! * [`BudgetLedger`] — per-`(analyst, dataset)`
 //!   budget accounts wrapping [`pcor_dp::BudgetAccountant`]'s two-phase
 //!   reserve/commit/refund protocol, so concurrent requests can never
 //!   jointly over-spend and failed releases return their ε.
-//! * [`ReleaseRequest`](request::ReleaseRequest) /
-//!   [`ReleaseResponse`](request::ReleaseResponse) — serde-serializable
-//!   request/response types with per-request deterministic seeding and the
-//!   algorithm/ε/samples knobs mapped onto [`pcor_core::PcorConfig`].
-//! * [`Server`](server::Server) — a bounded-queue worker pool executing
-//!   requests concurrently; every response reports per-query latency and
-//!   the analyst's remaining budget.
+//! * [`RequestEnvelope`] /
+//!   [`ResponseEnvelope`] — the **versioned wire
+//!   protocol**: every message is an envelope whose body is either a
+//!   [`Single`](RequestBody::Single)
+//!   [`ReleaseRequest`] or a
+//!   [`Batch`](RequestBody::Batch)
+//!   [`BatchReleaseRequest`]; unknown
+//!   versions are refused with [`ServiceError::UnsupportedProtocol`].
+//! * [`Server`] — a bounded-queue worker pool executing
+//!   envelopes concurrently; every response reports per-query latency and
+//!   the analyst's remaining budget. A batch makes one summed-ε ledger
+//!   reservation (refused whole if it does not fit), is served on one
+//!   shared [`pcor_core::ReleaseSession`] — so repeat records replay from
+//!   the memoized verifier — and resolves items independently: failed
+//!   items refund exactly their ε slice (see the [`request`] module docs
+//!   for the full accounting rule).
 //!
 //! ## Privacy model and caveats
 //!
@@ -96,8 +105,12 @@ pub use cache::LruCache;
 pub use ledger::{BudgetLedger, LedgerEntry, Reservation};
 pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
 pub use registry::{CacheStats, DatasetEntry, DatasetRegistry, DatasetStats};
-pub use request::{ReleaseRequest, ReleaseResponse};
-pub use server::{Server, ServerConfig};
+pub use request::{
+    BatchItem, BatchItemResponse, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome,
+    ItemRelease, ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseBody,
+    ResponseEnvelope, PROTOCOL_VERSION,
+};
+pub use server::{PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig};
 
 use pcor_core::runner::find_random_outlier;
 use pcor_outlier::DetectorKind;
@@ -108,16 +121,31 @@ use rand_chacha::ChaCha12Rng;
 pub mod prelude {
     pub use crate::ledger::{BudgetLedger, LedgerEntry};
     pub use crate::registry::{DatasetEntry, DatasetRegistry};
-    pub use crate::request::{ReleaseRequest, ReleaseResponse};
+    pub use crate::request::{
+        BatchItem, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome, ReleaseRequest,
+        ReleaseResponse, RequestEnvelope, ResponseEnvelope,
+    };
     pub use crate::server::{Server, ServerConfig};
     pub use crate::ServiceError;
 }
 
 /// Errors produced by the serving layer.
+///
+/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
+/// so the envelope protocol can grow new refusal kinds without a semver
+/// break.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServiceError {
     /// The request named a dataset the registry does not hold.
     UnknownDataset(String),
+    /// The request envelope's protocol version is not supported.
+    UnsupportedProtocol {
+        /// The version the client asked for.
+        requested: u16,
+        /// The version this server speaks.
+        supported: u16,
+    },
     /// The analyst's budget for the dataset cannot cover the request.
     BudgetExhausted {
         /// The requesting analyst.
@@ -143,6 +171,10 @@ impl std::fmt::Display for ServiceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServiceError::UnknownDataset(name) => write!(f, "unknown dataset `{name}`"),
+            ServiceError::UnsupportedProtocol { requested, supported } => write!(
+                f,
+                "unsupported protocol version {requested} (this server speaks {supported})"
+            ),
             ServiceError::BudgetExhausted { analyst, dataset, requested, remaining } => write!(
                 f,
                 "budget exhausted for analyst `{analyst}` on `{dataset}`: \

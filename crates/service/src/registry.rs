@@ -229,6 +229,41 @@ impl DatasetRegistry {
         Ok((context, false))
     }
 
+    /// Peeks the starting-context cache without searching on a miss — the
+    /// batch path resolves misses on its own session verifier (so the
+    /// search's evaluations stay memoized for the releases that follow) and
+    /// publishes the result back via
+    /// [`store_starting_context`](DatasetRegistry::store_starting_context).
+    /// Counts a hit; the matching miss is counted at store time.
+    pub fn cached_starting_context(
+        &self,
+        dataset: &str,
+        record_id: usize,
+        detector: DetectorKind,
+    ) -> Option<Context> {
+        let key: StartKey = (dataset.to_string(), record_id, detector);
+        let cached = self.starting_contexts.lock().expect("cache poisoned").get(&key).cloned();
+        if cached.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        cached
+    }
+
+    /// Publishes an externally resolved starting context into the shared
+    /// cache (counted as one miss, mirroring the search path in
+    /// [`starting_context`](DatasetRegistry::starting_context)).
+    pub fn store_starting_context(
+        &self,
+        dataset: &str,
+        record_id: usize,
+        detector: DetectorKind,
+        context: Context,
+    ) {
+        let key: StartKey = (dataset.to_string(), record_id, detector);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.starting_contexts.lock().expect("cache poisoned").insert(key, context);
+    }
+
     /// Hit/miss counters of the starting-context cache.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {

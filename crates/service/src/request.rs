@@ -1,11 +1,32 @@
-//! Typed, serializable release requests and responses.
+//! Typed, serializable release requests and responses, wrapped in a
+//! versioned protocol envelope.
 //!
-//! A [`ReleaseRequest`] is everything a remote analyst would put on the
-//! wire: their principal name, the dataset and record they are querying,
-//! the detector, the release algorithm and its ε/samples knobs, and a
-//! deterministic seed. The seed makes the service *replayable*: the same
-//! request against the same registered dataset produces the same released
-//! context, which is what an auditor needs to verify a custodian's logs.
+//! Everything a remote analyst puts on the wire travels inside a
+//! [`RequestEnvelope`]: a protocol version `v` plus a [`RequestBody`] that
+//! is either a [`Single`](RequestBody::Single) [`ReleaseRequest`] or a
+//! [`Batch`](RequestBody::Batch) [`BatchReleaseRequest`]. Responses mirror
+//! the shape ([`ResponseEnvelope`] / [`ResponseBody`]). Versioning the
+//! envelope (rather than the payloads) lets the protocol grow new body
+//! kinds without breaking old clients: a server refuses versions it does
+//! not speak with `ServiceError::UnsupportedProtocol` instead of
+//! misparsing them.
+//!
+//! A [`ReleaseRequest`] carries the analyst's principal name, the dataset
+//! and record they are querying, the detector, the release algorithm and
+//! its ε/samples knobs, and a deterministic seed. The seed makes the
+//! service *replayable*: the same request against the same registered
+//! dataset produces the same released context, which is what an auditor
+//! needs to verify a custodian's logs.
+//!
+//! A [`BatchReleaseRequest`] bundles many record queries against one
+//! dataset/detector/algorithm binding. **Batch ε accounting:** the server
+//! makes *one* two-phase ledger reservation for the **sum** of the
+//! per-item budgets before any work starts (a batch that does not fit is
+//! refused whole), shares one release session — and therefore one memoized
+//! verifier per record — across all items, and resolves each item
+//! independently: items that fail refund exactly their own ε slice while
+//! the successful items' slices are committed. Per-record OCDP guarantees
+//! are identical to single requests; only computation is amortized.
 //!
 //! **Privacy caveat — who picks the seed matters.** The OCDP guarantee of
 //! the Exponential mechanism holds against observers who do *not* know the
@@ -166,6 +187,345 @@ pub struct ReleaseResponse {
     pub worker: usize,
 }
 
+/// The wire-protocol version this build of the service speaks.
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// The versioned request envelope: every message to the server is one of
+/// these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version; the server refuses versions other than
+    /// [`PROTOCOL_VERSION`].
+    pub v: u16,
+    /// The request payload.
+    pub body: RequestBody,
+}
+
+impl RequestEnvelope {
+    /// Wraps a single-record request at the current protocol version.
+    pub fn single(request: ReleaseRequest) -> Self {
+        RequestEnvelope { v: PROTOCOL_VERSION, body: RequestBody::Single(request) }
+    }
+
+    /// Wraps a batch request at the current protocol version.
+    pub fn batch(batch: BatchReleaseRequest) -> Self {
+        RequestEnvelope { v: PROTOCOL_VERSION, body: RequestBody::Batch(batch) }
+    }
+
+    /// Validates the envelope: version check plus body validation.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::UnsupportedProtocol`] for unknown versions and
+    /// propagates the body's validation errors.
+    pub fn validate(&self) -> Result<()> {
+        if self.v != PROTOCOL_VERSION {
+            return Err(ServiceError::UnsupportedProtocol {
+                requested: self.v,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        match &self.body {
+            RequestBody::Single(request) => request.validate(),
+            RequestBody::Batch(batch) => batch.validate(),
+        }
+    }
+}
+
+/// The payload of a [`RequestEnvelope`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// One record query.
+    Single(ReleaseRequest),
+    /// Many record queries sharing one dataset/detector/algorithm binding.
+    Batch(BatchReleaseRequest),
+}
+
+/// One record query inside a batch: the per-item knobs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchItem {
+    /// The queried record id.
+    pub record_id: usize,
+    /// OCDP budget ε this item may consume (refunded if the item fails).
+    pub epsilon: f64,
+    /// Number of samples `n` for the sampling algorithms.
+    pub samples: usize,
+    /// Seed of this item's deterministic RNG.
+    pub seed: u64,
+}
+
+impl BatchItem {
+    /// Creates an item with the paper's default knobs (ε = 0.2, `n = 50`,
+    /// seed 0).
+    pub fn new(record_id: usize) -> Self {
+        BatchItem { record_id, epsilon: 0.2, samples: 50, seed: 0 }
+    }
+
+    /// Sets the item's privacy budget ε.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the item's sample count `n`.
+    #[must_use]
+    pub fn with_samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the item's deterministic seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// A batched release request: many records, one dataset/detector/algorithm
+/// binding, one summed-ε ledger reservation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReleaseRequest {
+    /// The requesting analyst (budget principal).
+    pub analyst: String,
+    /// The registered dataset name.
+    pub dataset: String,
+    /// The outlier detector shared by every item.
+    pub detector: DetectorKind,
+    /// The release algorithm shared by every item.
+    pub algorithm: SamplingAlgorithm,
+    /// The record queries.
+    pub items: Vec<BatchItem>,
+}
+
+impl BatchReleaseRequest {
+    /// Creates an empty batch with the paper's default knobs (BFS, LOF).
+    pub fn new(analyst: &str, dataset: &str) -> Self {
+        BatchReleaseRequest {
+            analyst: analyst.to_string(),
+            dataset: dataset.to_string(),
+            detector: DetectorKind::Lof,
+            algorithm: SamplingAlgorithm::Bfs,
+            items: Vec::new(),
+        }
+    }
+
+    /// Sets the shared detector.
+    #[must_use]
+    pub fn with_detector(mut self, detector: DetectorKind) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the shared release algorithm.
+    #[must_use]
+    pub fn with_algorithm(mut self, algorithm: SamplingAlgorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Appends one item.
+    #[must_use]
+    pub fn push(mut self, item: BatchItem) -> Self {
+        self.items.push(item);
+        self
+    }
+
+    /// Replaces the item list.
+    #[must_use]
+    pub fn with_items(mut self, items: Vec<BatchItem>) -> Self {
+        self.items = items;
+        self
+    }
+
+    /// The summed ε of every item — the size of the batch's single ledger
+    /// reservation.
+    pub fn total_epsilon(&self) -> f64 {
+        self.items.iter().map(|item| item.epsilon).sum()
+    }
+
+    /// Validates the batch's scalar knobs (dataset/record existence checks
+    /// happen against the registry at execution time).
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::InvalidRequest`] for empty principals, an
+    /// empty item list, non-positive per-item ε or zero samples.
+    pub fn validate(&self) -> Result<()> {
+        if self.analyst.is_empty() {
+            return Err(ServiceError::InvalidRequest("analyst must not be empty".into()));
+        }
+        if self.dataset.is_empty() {
+            return Err(ServiceError::InvalidRequest("dataset must not be empty".into()));
+        }
+        if self.items.is_empty() {
+            return Err(ServiceError::InvalidRequest(
+                "batch must contain at least one item".into(),
+            ));
+        }
+        for (index, item) in self.items.iter().enumerate() {
+            if !item.epsilon.is_finite() || item.epsilon <= 0.0 {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "item {index}: epsilon must be positive, got {}",
+                    item.epsilon
+                )));
+            }
+            if item.samples == 0 {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "item {index}: samples must be >= 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Maps one item's knobs onto a core [`PcorConfig`].
+    pub fn item_config(&self, item: &BatchItem) -> PcorConfig {
+        PcorConfig::new(self.algorithm, item.epsilon).with_samples(item.samples)
+    }
+}
+
+/// The versioned response envelope mirroring [`RequestEnvelope`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseEnvelope {
+    /// Protocol version of the response.
+    pub v: u16,
+    /// The response payload.
+    pub body: ResponseBody,
+}
+
+impl ResponseEnvelope {
+    /// Wraps a single-record response at the current protocol version.
+    pub fn single(response: ReleaseResponse) -> Self {
+        ResponseEnvelope { v: PROTOCOL_VERSION, body: ResponseBody::Single(response) }
+    }
+
+    /// Wraps a batch response at the current protocol version.
+    pub fn batch(response: BatchReleaseResponse) -> Self {
+        ResponseEnvelope { v: PROTOCOL_VERSION, body: ResponseBody::Batch(response) }
+    }
+
+    /// Unwraps a single-record response, `None` for batch bodies.
+    pub fn into_single(self) -> Option<ReleaseResponse> {
+        match self.body {
+            ResponseBody::Single(response) => Some(response),
+            ResponseBody::Batch(_) => None,
+        }
+    }
+
+    /// Unwraps a batch response, `None` for single bodies.
+    pub fn into_batch(self) -> Option<BatchReleaseResponse> {
+        match self.body {
+            ResponseBody::Batch(response) => Some(response),
+            ResponseBody::Single(_) => None,
+        }
+    }
+}
+
+/// The payload of a [`ResponseEnvelope`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// The answer to a [`RequestBody::Single`].
+    Single(ReleaseResponse),
+    /// The answer to a [`RequestBody::Batch`].
+    Batch(BatchReleaseResponse),
+}
+
+/// The released context of one successful batch item.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ItemRelease {
+    /// The privately released context.
+    pub context: Context,
+    /// The released context rendered as a predicate string.
+    pub predicate: String,
+    /// The utility score of the released context.
+    pub utility: f64,
+    /// Samples the algorithm collected before the final draw.
+    pub samples_collected: usize,
+    /// Fresh `f_M` verification calls this item performed (cached
+    /// evaluations from earlier items in the batch are free and not
+    /// counted).
+    pub verification_calls: usize,
+    /// The OCDP guarantee of this item's release (identical to an
+    /// equivalent single request).
+    pub guarantee: OcdpGuarantee,
+    /// Whether the item's starting context was already cached (by the
+    /// registry or by an earlier item of this batch).
+    pub cache_hit: bool,
+}
+
+/// How one batch item resolved.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ItemOutcome {
+    /// The item's release succeeded; its ε slice was committed.
+    Released(ItemRelease),
+    /// The item's release failed; its ε slice was refunded.
+    Failed {
+        /// Human-readable failure reason.
+        error: String,
+    },
+}
+
+impl ItemOutcome {
+    /// The release payload, `None` for failed items.
+    pub fn released(&self) -> Option<&ItemRelease> {
+        match self {
+            ItemOutcome::Released(release) => Some(release),
+            ItemOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the item succeeded.
+    pub fn is_released(&self) -> bool {
+        matches!(self, ItemOutcome::Released(_))
+    }
+}
+
+/// The per-item result of one batch item, echoing its identity and ε slice.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchItemResponse {
+    /// The queried record id.
+    pub record_id: usize,
+    /// The item's ε slice (committed on success, refunded on failure).
+    pub epsilon: f64,
+    /// How the item resolved.
+    pub outcome: ItemOutcome,
+}
+
+/// The outcome of a served batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReleaseResponse {
+    /// The analyst the batch was served to.
+    pub analyst: String,
+    /// The dataset queried.
+    pub dataset: String,
+    /// Per-item results, in request order (partial-failure semantics).
+    pub items: Vec<BatchItemResponse>,
+    /// ε committed against the analyst's budget (sum over released items).
+    pub epsilon_committed: f64,
+    /// ε refunded back to the analyst (sum over failed items).
+    pub epsilon_refunded: f64,
+    /// ε the analyst still has on this dataset after the batch.
+    pub remaining_budget: f64,
+    /// Total fresh `f_M` verification calls across the whole batch.
+    pub verification_calls: usize,
+    /// End-to-end service latency of the batch (queue wait + releases).
+    pub latency: Duration,
+    /// Index of the worker thread that served the batch.
+    pub worker: usize,
+}
+
+impl BatchReleaseResponse {
+    /// Number of items that released successfully.
+    pub fn released(&self) -> usize {
+        self.items.iter().filter(|item| item.outcome.is_released()).count()
+    }
+
+    /// Number of items that failed.
+    pub fn failed(&self) -> usize {
+        self.items.len() - self.released()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +561,98 @@ mod tests {
         assert!(ReleaseRequest::new("a", "d", 0).with_epsilon(0.0).validate().is_err());
         assert!(ReleaseRequest::new("a", "d", 0).with_epsilon(f64::NAN).validate().is_err());
         assert!(ReleaseRequest::new("a", "d", 0).with_samples(0).validate().is_err());
+    }
+
+    #[test]
+    fn envelopes_round_trip_through_json() {
+        let single = RequestEnvelope::single(ReleaseRequest::new("alice", "salary", 3));
+        let json = serde_json::to_string(&single).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, single);
+        assert!(json.contains("\"v\""));
+        assert!(json.contains("\"Single\""));
+
+        let batch = RequestEnvelope::batch(
+            BatchReleaseRequest::new("bob", "homicide")
+                .with_detector(DetectorKind::ZScore)
+                .with_algorithm(SamplingAlgorithm::Dfs)
+                .push(BatchItem::new(4).with_epsilon(0.1).with_samples(25).with_seed(9))
+                .push(BatchItem::new(7)),
+        );
+        let json = serde_json::to_string(&batch).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+        assert!(json.contains("\"Batch\""));
+        assert!(json.contains("\"items\""));
+    }
+
+    #[test]
+    fn envelope_validation_checks_version_and_body() {
+        let good = RequestEnvelope::single(ReleaseRequest::new("alice", "salary", 3));
+        assert_eq!(good.v, PROTOCOL_VERSION);
+        assert!(good.validate().is_ok());
+        let mut wrong_version = good.clone();
+        wrong_version.v = 2;
+        assert!(matches!(
+            wrong_version.validate(),
+            Err(ServiceError::UnsupportedProtocol { requested: 2, supported: PROTOCOL_VERSION })
+        ));
+        let bad_body = RequestEnvelope::single(ReleaseRequest::new("", "salary", 3));
+        assert!(matches!(bad_body.validate(), Err(ServiceError::InvalidRequest(_))));
+        let empty_batch = RequestEnvelope::batch(BatchReleaseRequest::new("alice", "salary"));
+        assert!(matches!(empty_batch.validate(), Err(ServiceError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn batch_builders_sum_epsilon_and_map_item_configs() {
+        let batch = BatchReleaseRequest::new("alice", "salary")
+            .with_detector(DetectorKind::Iqr)
+            .with_algorithm(SamplingAlgorithm::RandomWalk)
+            .with_items(vec![
+                BatchItem::new(1).with_epsilon(0.2).with_samples(10).with_seed(1),
+                BatchItem::new(2).with_epsilon(0.3).with_samples(20).with_seed(2),
+            ]);
+        assert!((batch.total_epsilon() - 0.5).abs() < 1e-12);
+        assert!(batch.validate().is_ok());
+        let config = batch.item_config(&batch.items[1]);
+        assert_eq!(config.algorithm, SamplingAlgorithm::RandomWalk);
+        assert_eq!(config.epsilon, 0.3);
+        assert_eq!(config.samples, 20);
+        // Per-item validation failures name the offending item.
+        let bad = batch.clone().push(BatchItem::new(3).with_samples(0));
+        match bad.validate() {
+            Err(ServiceError::InvalidRequest(msg)) => assert!(msg.contains("item 2")),
+            other => panic!("expected per-item validation failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_envelopes_unwrap_by_kind() {
+        let batch_response = BatchReleaseResponse {
+            analyst: "alice".into(),
+            dataset: "salary".into(),
+            items: vec![BatchItemResponse {
+                record_id: 1,
+                epsilon: 0.2,
+                outcome: ItemOutcome::Failed { error: "no matching context".into() },
+            }],
+            epsilon_committed: 0.0,
+            epsilon_refunded: 0.2,
+            remaining_budget: 1.0,
+            verification_calls: 12,
+            latency: Duration::from_millis(3),
+            worker: 0,
+        };
+        assert_eq!(batch_response.released(), 0);
+        assert_eq!(batch_response.failed(), 1);
+        assert!(!batch_response.items[0].outcome.is_released());
+        assert!(batch_response.items[0].outcome.released().is_none());
+        let envelope = ResponseEnvelope::batch(batch_response.clone());
+        let json = serde_json::to_string(&envelope).unwrap();
+        let back: ResponseEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, envelope);
+        assert!(back.clone().into_single().is_none());
+        assert_eq!(back.into_batch().unwrap(), batch_response);
     }
 
     #[test]

@@ -1,28 +1,37 @@
 //! The bounded-queue worker pool executing release requests.
 //!
 //! [`Server::start`] spawns `workers` threads draining one shared bounded
-//! channel. [`Server::submit`] enqueues a request and returns a
-//! [`PendingRelease`] future-like handle; [`Server::try_submit`] refuses
-//! with [`ServiceError::QueueFull`] instead of blocking when the queue is
-//! at capacity (back-pressure for load generators). Every response carries
-//! the end-to-end latency (queue wait included) and the analyst's
-//! remaining budget after the query.
+//! channel of [`RequestEnvelope`]s. [`Server::submit`] /
+//! [`Server::submit_batch`] enqueue a request and return a future-like
+//! handle ([`PendingRelease`] / [`PendingBatch`]); [`Server::try_submit`]
+//! and [`Server::try_submit_batch`] refuse with
+//! [`ServiceError::QueueFull`] instead of blocking when the queue is at
+//! capacity (back-pressure for load generators). Raw envelopes go through
+//! [`Server::submit_envelope`]. Every response carries the end-to-end
+//! latency (queue wait included) and the analyst's remaining budget.
 //!
 //! Budget safety under concurrency comes from the ledger's two-phase
-//! protocol: a worker *reserves* the request's ε before touching the
-//! dataset, *commits* after a successful release and *refunds* when the
-//! release fails before invoking a private mechanism. A worker panic
-//! refunds via the reservation's drop guard.
+//! protocol: a worker *reserves* the request's ε — for a batch, the
+//! **sum** of the per-item budgets, refused whole if it does not fit —
+//! before touching the dataset, *commits* what the successful releases
+//! consumed and *refunds* the rest (for a batch: each failed item's slice).
+//! A worker panic refunds via the reservation's drop guard.
+//!
+//! A batch is served on one [`pcor_core::ReleaseSession`]: the detector is
+//! built once and every record's memoized verifier is shared across the
+//! batch's items, so repeat records cost strictly fewer fresh `f_M`
+//! verification calls than equivalent single requests.
 
 use crate::ledger::BudgetLedger;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
 use crate::registry::DatasetRegistry;
-use crate::request::{ReleaseRequest, ReleaseResponse};
+use crate::request::{
+    BatchItemResponse, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome, ItemRelease,
+    ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseEnvelope,
+};
 use crate::{Result, ServiceError};
-use pcor_core::release_context;
+use pcor_core::{PcorConfig, ReleaseSession};
 use pcor_dp::PopulationSizeUtility;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -63,15 +72,32 @@ impl ServerConfig {
 }
 
 struct Job {
-    request: ReleaseRequest,
+    envelope: RequestEnvelope,
     enqueued: Instant,
-    reply: mpsc::Sender<Result<ReleaseResponse>>,
+    reply: mpsc::Sender<Result<ResponseEnvelope>>,
 }
 
-/// A handle to a submitted request; resolves to the response.
+/// A handle to a submitted envelope; resolves to the response envelope.
+#[derive(Debug)]
+pub struct PendingResponse {
+    receiver: mpsc::Receiver<Result<ResponseEnvelope>>,
+}
+
+impl PendingResponse {
+    /// Blocks until the worker pool has answered.
+    ///
+    /// # Errors
+    /// Propagates the request's service error, or
+    /// [`ServiceError::Shutdown`] if the server stopped first.
+    pub fn wait(self) -> Result<ResponseEnvelope> {
+        self.receiver.recv().map_err(|_| ServiceError::Shutdown)?
+    }
+}
+
+/// A handle to a submitted single-record request; resolves to the response.
 #[derive(Debug)]
 pub struct PendingRelease {
-    receiver: mpsc::Receiver<Result<ReleaseResponse>>,
+    inner: PendingResponse,
 }
 
 impl PendingRelease {
@@ -81,7 +107,29 @@ impl PendingRelease {
     /// Propagates the request's service error, or
     /// [`ServiceError::Shutdown`] if the server stopped first.
     pub fn wait(self) -> Result<ReleaseResponse> {
-        self.receiver.recv().map_err(|_| ServiceError::Shutdown)?
+        self.inner.wait()?.into_single().ok_or_else(|| {
+            ServiceError::InvalidRequest("protocol violation: batch answer to a single".into())
+        })
+    }
+}
+
+/// A handle to a submitted batch request; resolves to the batch response.
+#[derive(Debug)]
+pub struct PendingBatch {
+    inner: PendingResponse,
+}
+
+impl PendingBatch {
+    /// Blocks until the worker pool has answered.
+    ///
+    /// # Errors
+    /// Propagates the batch's service error (a refused batch is one error;
+    /// per-item failures are inside the response), or
+    /// [`ServiceError::Shutdown`] if the server stopped first.
+    pub fn wait(self) -> Result<BatchReleaseResponse> {
+        self.inner.wait()?.into_batch().ok_or_else(|| {
+            ServiceError::InvalidRequest("protocol violation: single answer to a batch".into())
+        })
     }
 }
 
@@ -123,15 +171,15 @@ impl Server {
                         let Ok(job) = job else {
                             return; // Channel closed: shutdown.
                         };
-                        let outcome = Self::handle(
+                        let outcome = Self::handle_envelope(
                             worker_index,
                             &registry,
                             &ledger,
                             &metrics,
-                            job.request,
+                            job.envelope,
                             job.enqueued,
                         );
-                        // A dropped PendingRelease is fine; ignore send errors.
+                        // A dropped handle is fine; ignore send errors.
                         let _ = job.reply.send(outcome);
                     })
                     .expect("failed to spawn worker thread"),
@@ -146,7 +194,149 @@ impl Server {
         }
     }
 
-    /// Serves one request end to end on the calling worker thread.
+    /// Serves one envelope end to end on the calling worker thread.
+    fn handle_envelope(
+        worker_index: usize,
+        registry: &DatasetRegistry,
+        ledger: &BudgetLedger,
+        metrics: &ServerMetrics,
+        envelope: RequestEnvelope,
+        enqueued: Instant,
+    ) -> Result<ResponseEnvelope> {
+        envelope.validate()?;
+        match envelope.body {
+            RequestBody::Single(request) => {
+                Self::handle(worker_index, registry, ledger, metrics, request, enqueued)
+                    .map(ResponseEnvelope::single)
+            }
+            RequestBody::Batch(batch) => {
+                Self::handle_batch(worker_index, registry, ledger, metrics, batch, enqueued)
+                    .map(ResponseEnvelope::batch)
+            }
+        }
+    }
+
+    /// Serves one batch on the calling worker thread: one summed-ε
+    /// reservation, one shared release session, per-item partial-failure
+    /// resolution.
+    fn handle_batch(
+        worker_index: usize,
+        registry: &DatasetRegistry,
+        ledger: &BudgetLedger,
+        metrics: &ServerMetrics,
+        batch: BatchReleaseRequest,
+        enqueued: Instant,
+    ) -> Result<BatchReleaseResponse> {
+        let entry = registry.get(&batch.dataset)?;
+        // Refuse the whole batch before any work when an item is malformed:
+        // partial-failure semantics apply to *release* failures, not to
+        // requests the analyst could have validated locally.
+        for item in &batch.items {
+            if item.record_id >= entry.dataset().len() {
+                return Err(ServiceError::InvalidRequest(format!(
+                    "record {} out of range for dataset `{}` of {} records",
+                    item.record_id,
+                    batch.dataset,
+                    entry.dataset().len()
+                )));
+            }
+        }
+
+        // Phase 1: one reservation for the summed ε. A batch the analyst's
+        // remaining budget cannot cover is refused whole, before any work.
+        let total_epsilon = batch.total_epsilon();
+        let reservation = match ledger.reserve(&batch.analyst, &batch.dataset, total_epsilon) {
+            Ok(reservation) => reservation,
+            Err(err) => {
+                if matches!(err, ServiceError::BudgetExhausted { .. }) {
+                    metrics.record_refused();
+                }
+                return Err(err);
+            }
+        };
+
+        // One session for the whole batch: the detector is built once and
+        // every record's memoized verifier is shared across items.
+        let detector = batch.detector.build();
+        let utility = PopulationSizeUtility;
+        let mut session =
+            ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility).build();
+
+        let mut items: Vec<BatchItemResponse> = Vec::with_capacity(batch.items.len());
+        let mut committed = 0.0f64;
+        for item in &batch.items {
+            // Warm the session from the cross-batch registry cache; on a
+            // session-side miss the search runs on the item's verifier and
+            // the result is published back for future requests.
+            let mut cache_hit = session.starting_context(item.record_id).is_some();
+            if !cache_hit {
+                if let Some(context) =
+                    registry.cached_starting_context(&batch.dataset, item.record_id, batch.detector)
+                {
+                    session.seed_starting_context(item.record_id, context);
+                    cache_hit = true;
+                }
+            }
+            let config = batch.item_config(item);
+            let outcome = match session.release_with_seed(item.record_id, &config, item.seed) {
+                Ok(result) => {
+                    committed += item.epsilon;
+                    if !cache_hit {
+                        if let Some(context) = session.starting_context(item.record_id) {
+                            registry.store_starting_context(
+                                &batch.dataset,
+                                item.record_id,
+                                batch.detector,
+                                context.clone(),
+                            );
+                        }
+                    }
+                    ItemOutcome::Released(ItemRelease {
+                        predicate: result.context.to_predicate_string(entry.dataset().schema()),
+                        context: result.context,
+                        utility: result.utility,
+                        samples_collected: result.samples_collected,
+                        verification_calls: result.verification_calls,
+                        guarantee: result.guarantee,
+                        cache_hit,
+                    })
+                }
+                // The item failed before its mechanism produced output; its
+                // ε slice stays in the reservation and is refunded below.
+                Err(err) => ItemOutcome::Failed { error: err.to_string() },
+            };
+            items.push(BatchItemResponse {
+                record_id: item.record_id,
+                epsilon: item.epsilon,
+                outcome,
+            });
+        }
+
+        // Phase 2: commit what the successful items consumed; every failed
+        // item's slice goes back to the analyst.
+        let remaining = ledger.commit_partial(reservation, committed);
+        let latency = enqueued.elapsed();
+        let released = items.iter().filter(|item| item.outcome.is_released()).count();
+        if released > 0 {
+            metrics.record_served(latency);
+        } else {
+            metrics.record_failed();
+        }
+        Ok(BatchReleaseResponse {
+            analyst: batch.analyst,
+            dataset: batch.dataset,
+            verification_calls: session.stats().verification_calls,
+            items,
+            epsilon_committed: committed,
+            epsilon_refunded: total_epsilon - committed,
+            remaining_budget: remaining,
+            latency,
+            worker: worker_index,
+        })
+    }
+
+    /// Serves one single-record request end to end on the calling worker
+    /// thread.
     fn handle(
         worker_index: usize,
         registry: &DatasetRegistry,
@@ -155,7 +345,6 @@ impl Server {
         request: ReleaseRequest,
         enqueued: Instant,
     ) -> Result<ReleaseResponse> {
-        request.validate()?;
         let entry = registry.get(&request.dataset)?;
         if request.record_id >= entry.dataset().len() {
             return Err(ServiceError::InvalidRequest(format!(
@@ -180,31 +369,41 @@ impl Server {
             }
         };
 
-        // Resolve the starting context through the registry cache. On
-        // failure the reservation drops here and refunds: a record that is
-        // not a contextual outlier consumed no privacy budget.
-        let (starting_context, cache_hit) =
-            match registry.starting_context(&entry, request.record_id, request.detector) {
-                Ok(found) => found,
-                Err(err) => {
-                    metrics.record_failed();
-                    return Err(err);
-                }
-            };
-
+        // One single-release session, warmed from the registry's shared
+        // starting-context cache. On a miss the session resolves the context
+        // on the same verifier the release then runs on (no throwaway
+        // verifier, and the search's f_M calls are reported with the query);
+        // on failure the reservation drops below and refunds: a record that
+        // is not a contextual outlier consumed no privacy budget.
         let detector = request.detector.build();
         let utility = PopulationSizeUtility;
-        let config = request.to_config(starting_context);
-        let mut rng = ChaCha12Rng::seed_from_u64(request.seed);
-        match release_context(
-            entry.dataset(),
+        let mut session =
+            ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility).build();
+        let cache_hit = match registry.cached_starting_context(
+            &request.dataset,
             request.record_id,
-            detector.as_ref(),
-            &utility,
-            &config,
-            &mut rng,
+            request.detector,
         ) {
+            Some(context) => {
+                session.seed_starting_context(request.record_id, context);
+                true
+            }
+            None => false,
+        };
+        let config =
+            PcorConfig::new(request.algorithm, request.epsilon).with_samples(request.samples);
+        match session.release_with_seed(request.record_id, &config, request.seed) {
             Ok(result) => {
+                if !cache_hit {
+                    if let Some(context) = session.starting_context(request.record_id) {
+                        registry.store_starting_context(
+                            &request.dataset,
+                            request.record_id,
+                            request.detector,
+                            context.clone(),
+                        );
+                    }
+                }
                 // Phase 2: the mechanism ran; the spend is now permanent.
                 let remaining = ledger.commit(reservation);
                 let latency = enqueued.elapsed();
@@ -236,48 +435,95 @@ impl Server {
         }
     }
 
-    /// Enqueues a request, blocking while the queue is full.
+    /// Enqueues a raw envelope, blocking while the queue is full.
     ///
     /// # Errors
     /// Returns [`ServiceError::Shutdown`] after
     /// [`shutdown`](Server::shutdown).
-    pub fn submit(&self, request: ReleaseRequest) -> Result<PendingRelease> {
+    pub fn submit_envelope(&self, envelope: RequestEnvelope) -> Result<PendingResponse> {
         let (reply, receiver) = mpsc::channel();
-        let job = Job { request, enqueued: Instant::now(), reply };
+        let job = Job { envelope, enqueued: Instant::now(), reply };
         // Clone the sender out of the lock before sending: a blocking send
         // while holding the mutex would serialize producers and make
         // `try_submit` block on the lock, violating its contract.
         let sender = self.current_sender()?;
         sender.send(job).map_err(|_| ServiceError::Shutdown)?;
-        Ok(PendingRelease { receiver })
+        Ok(PendingResponse { receiver })
     }
 
-    /// Enqueues a request without blocking.
+    /// Enqueues a raw envelope without blocking.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::QueueFull`] when the queue is at capacity and
+    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
+    pub fn try_submit_envelope(&self, envelope: RequestEnvelope) -> Result<PendingResponse> {
+        let (reply, receiver) = mpsc::channel();
+        let job = Job { envelope, enqueued: Instant::now(), reply };
+        let sender = self.current_sender()?;
+        match sender.try_send(job) {
+            Ok(()) => Ok(PendingResponse { receiver }),
+            Err(mpsc::TrySendError::Full(_)) => Err(ServiceError::QueueFull),
+            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+        }
+    }
+
+    /// Enqueues a single-record request, blocking while the queue is full.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Shutdown`] after
+    /// [`shutdown`](Server::shutdown).
+    pub fn submit(&self, request: ReleaseRequest) -> Result<PendingRelease> {
+        Ok(PendingRelease { inner: self.submit_envelope(RequestEnvelope::single(request))? })
+    }
+
+    /// Enqueues a single-record request without blocking.
     ///
     /// # Errors
     /// Returns [`ServiceError::QueueFull`] when the queue is at capacity and
     /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
     pub fn try_submit(&self, request: ReleaseRequest) -> Result<PendingRelease> {
-        let (reply, receiver) = mpsc::channel();
-        let job = Job { request, enqueued: Instant::now(), reply };
-        let sender = self.current_sender()?;
-        match sender.try_send(job) {
-            Ok(()) => Ok(PendingRelease { receiver }),
-            Err(mpsc::TrySendError::Full(_)) => Err(ServiceError::QueueFull),
-            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
-        }
+        Ok(PendingRelease { inner: self.try_submit_envelope(RequestEnvelope::single(request))? })
+    }
+
+    /// Enqueues a batch, blocking while the queue is full. The whole batch
+    /// occupies one queue slot and is served by one worker on one shared
+    /// session.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Shutdown`] after
+    /// [`shutdown`](Server::shutdown).
+    pub fn submit_batch(&self, batch: BatchReleaseRequest) -> Result<PendingBatch> {
+        Ok(PendingBatch { inner: self.submit_envelope(RequestEnvelope::batch(batch))? })
+    }
+
+    /// Enqueues a batch without blocking.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::QueueFull`] when the queue is at capacity and
+    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
+    pub fn try_submit_batch(&self, batch: BatchReleaseRequest) -> Result<PendingBatch> {
+        Ok(PendingBatch { inner: self.try_submit_envelope(RequestEnvelope::batch(batch))? })
     }
 
     fn current_sender(&self) -> Result<mpsc::SyncSender<Job>> {
         self.sender.lock().expect("sender poisoned").as_ref().cloned().ok_or(ServiceError::Shutdown)
     }
 
-    /// Submits a request and blocks for its response.
+    /// Submits a single-record request and blocks for its response.
     ///
     /// # Errors
     /// Propagates submission and release errors.
     pub fn execute(&self, request: ReleaseRequest) -> Result<ReleaseResponse> {
         self.submit(request)?.wait()
+    }
+
+    /// Submits a batch and blocks for its response.
+    ///
+    /// # Errors
+    /// Propagates submission errors and whole-batch refusals (per-item
+    /// failures are reported inside the response).
+    pub fn execute_batch(&self, batch: BatchReleaseRequest) -> Result<BatchReleaseResponse> {
+        self.submit_batch(batch)?.wait()
     }
 
     /// The registry the server serves from.
@@ -476,5 +722,168 @@ mod tests {
         server.shutdown();
         assert!(matches!(server.submit(toy_request("alice", 2)), Err(ServiceError::Shutdown)));
         assert!(matches!(server.try_submit(toy_request("alice", 3)), Err(ServiceError::Shutdown)));
+        assert!(matches!(
+            server.submit_batch(toy_batch("alice", &[0, 0])),
+            Err(ServiceError::Shutdown)
+        ));
+    }
+
+    use crate::request::{BatchItem, BatchReleaseRequest, RequestEnvelope};
+
+    fn toy_batch(analyst: &str, records: &[usize]) -> BatchReleaseRequest {
+        BatchReleaseRequest::new(analyst, "toy")
+            .with_detector(DetectorKind::ZScore)
+            .with_algorithm(SamplingAlgorithm::Bfs)
+            .with_items(
+                records
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &record_id)| {
+                        BatchItem::new(record_id)
+                            .with_epsilon(0.2)
+                            .with_samples(5)
+                            .with_seed(i as u64)
+                    })
+                    .collect(),
+            )
+    }
+
+    #[test]
+    fn batch_shares_the_session_across_repeat_records() {
+        let server = toy_server(10.0, 1);
+        let response = server.execute_batch(toy_batch("alice", &[0, 0, 0])).unwrap();
+        assert_eq!(response.items.len(), 3);
+        assert_eq!(response.released(), 3);
+        assert_eq!(response.failed(), 0);
+        let calls: Vec<usize> = response
+            .items
+            .iter()
+            .map(|item| item.outcome.released().unwrap().verification_calls)
+            .collect();
+        assert!(
+            calls[1] < calls[0] && calls[2] <= calls[1],
+            "repeat items must replay from the shared verifier cache, got {calls:?}"
+        );
+        // The first item misses the starting-context cache, repeats hit the
+        // session's copy.
+        let hits: Vec<bool> =
+            response.items.iter().map(|i| i.outcome.released().unwrap().cache_hit).collect();
+        assert_eq!(hits, vec![false, true, true]);
+        assert!((response.epsilon_committed - 0.6).abs() < 1e-9);
+        assert_eq!(response.epsilon_refunded, 0.0);
+        // A follow-up single request hits the registry cache the batch
+        // populated.
+        let single = server.execute(toy_request("alice", 9)).unwrap();
+        assert!(single.cache_hit, "the batch must publish starting contexts to the registry");
+    }
+
+    #[test]
+    fn batch_items_fail_independently_and_refund_their_slice() {
+        let server = toy_server(10.0, 1);
+        // Record 1 is not a contextual outlier: its item fails, the others
+        // succeed.
+        let response = server.execute_batch(toy_batch("alice", &[0, 1, 0])).unwrap();
+        assert_eq!(response.released(), 2);
+        assert_eq!(response.failed(), 1);
+        assert!(matches!(response.items[1].outcome, ItemOutcome::Failed { .. }));
+        assert!((response.epsilon_committed - 0.4).abs() < 1e-9);
+        assert!((response.epsilon_refunded - 0.2).abs() < 1e-9);
+        assert!((server.ledger().remaining("alice", "toy") - 9.6).abs() < 1e-9);
+        assert!((server.ledger().spent("alice", "toy") - 0.4).abs() < 1e-9);
+        // Per-record guarantees match an equivalent single request.
+        let single = server.execute(toy_request("bob", 1)).unwrap();
+        let batch_guarantee = response.items[0].outcome.released().unwrap().guarantee;
+        assert_eq!(batch_guarantee.epsilon, single.guarantee.epsilon);
+    }
+
+    #[test]
+    fn over_budget_batches_are_refused_whole_before_any_work() {
+        let server = toy_server(0.5, 1);
+        // 3 x 0.2 = 0.6 > 0.5: the whole batch must be refused...
+        match server.execute_batch(toy_batch("alice", &[0, 0, 0])) {
+            Err(ServiceError::BudgetExhausted { requested, remaining, .. }) => {
+                assert!((requested - 0.6).abs() < 1e-9);
+                assert!((remaining - 0.5).abs() < 1e-9);
+            }
+            other => panic!("expected whole-batch refusal, got {other:?}"),
+        }
+        // ...with no budget consumed and no work done (the starting-context
+        // cache saw no traffic).
+        assert!((server.ledger().remaining("alice", "toy") - 0.5).abs() < 1e-12);
+        let stats = server.registry().cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.len), (0, 0, 0));
+        assert_eq!(server.metrics().refused, 1);
+        // A batch that exactly fits is fine.
+        let response = server.execute_batch(toy_batch("alice", &[0, 0])).unwrap();
+        assert_eq!(response.released(), 2);
+        assert!(response.remaining_budget < 0.1 + 1e-9);
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected_without_spending() {
+        let server = toy_server(1.0, 1);
+        let empty = BatchReleaseRequest::new("alice", "toy").with_detector(DetectorKind::ZScore);
+        assert!(matches!(server.execute_batch(empty), Err(ServiceError::InvalidRequest(_))));
+        let out_of_range = toy_batch("alice", &[0, 50_000]);
+        assert!(matches!(server.execute_batch(out_of_range), Err(ServiceError::InvalidRequest(_))));
+        let bad_epsilon = BatchReleaseRequest::new("alice", "toy")
+            .with_detector(DetectorKind::ZScore)
+            .push(BatchItem::new(0).with_epsilon(-0.5));
+        assert!(matches!(server.execute_batch(bad_epsilon), Err(ServiceError::InvalidRequest(_))));
+        let unknown = toy_batch("alice", &[0]);
+        let unknown = BatchReleaseRequest { dataset: "nope".into(), ..unknown };
+        assert!(matches!(server.execute_batch(unknown), Err(ServiceError::UnknownDataset(_))));
+        assert!((server.ledger().remaining("alice", "toy") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unsupported_protocol_versions_are_refused() {
+        let server = toy_server(1.0, 1);
+        let mut envelope = RequestEnvelope::single(toy_request("alice", 1));
+        envelope.v = 99;
+        match server.submit_envelope(envelope).unwrap().wait() {
+            Err(ServiceError::UnsupportedProtocol { requested, supported }) => {
+                assert_eq!(requested, 99);
+                assert_eq!(supported, crate::request::PROTOCOL_VERSION);
+            }
+            other => panic!("expected a protocol refusal, got {other:?}"),
+        }
+        assert!((server.ledger().remaining("alice", "toy") - 1.0).abs() < 1e-12);
+    }
+
+    /// `try_submit` must refuse with `QueueFull` while a slow batch occupies
+    /// the single worker and the queue slot is taken — back-pressure for
+    /// load generators, now including the batch path.
+    #[test]
+    fn try_submit_applies_back_pressure_under_a_full_queue() {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let ledger = Arc::new(BudgetLedger::new(1_000.0));
+        let server = Server::start(
+            ServerConfig::default().with_workers(1).with_queue_capacity(1),
+            registry,
+            ledger,
+        );
+        // A heavy batch keeps the lone worker busy for a while.
+        let slow = toy_batch("alice", &vec![0; 64]);
+        let slow_handle = server.submit_batch(slow).unwrap();
+        let mut queued = Vec::new();
+        let mut saw_queue_full = false;
+        for seed in 0..10_000 {
+            match server.try_submit(toy_request("bob", seed)) {
+                Ok(handle) => queued.push(handle),
+                Err(ServiceError::QueueFull) => {
+                    saw_queue_full = true;
+                    break;
+                }
+                Err(other) => panic!("unexpected submit error: {other}"),
+            }
+        }
+        assert!(saw_queue_full, "a capacity-1 queue behind a busy worker must fill up");
+        // Everything that was accepted still resolves.
+        assert!(slow_handle.wait().is_ok());
+        for handle in queued {
+            assert!(handle.wait().is_ok());
+        }
     }
 }

@@ -38,15 +38,20 @@ fn main() {
     let utility = OverlapUtility::new(&dataset, outlier.starting_context.clone()).expect("utility");
     println!("population of C_V: {} records\n", utility.starting_population_size());
 
+    // One session serves both algorithms: the second search replays every
+    // context the first one already verified from the memoized cache.
+    let mut session = ReleaseSession::builder(&dataset, &detector, &utility)
+        .seed_policy(SeedPolicy::Derived { base: 1234 })
+        .build();
+    session.seed_starting_context(outlier.record_id, outlier.starting_context.clone());
+
     for (name, algorithm) in
         [("DP-DFS", SamplingAlgorithm::Dfs), ("DP-BFS", SamplingAlgorithm::Bfs)]
     {
-        let config = PcorConfig::new(algorithm, 0.2)
+        let spec = ReleaseSpec::new(algorithm, 0.2)
             .with_samples(50)
             .with_starting_context(outlier.starting_context.clone());
-        let released =
-            release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
-                .expect("release");
+        let released = session.release(outlier.record_id, &spec).expect("release");
         println!("=== {name} ===");
         println!("released context: {}", released.context.to_predicate_string(dataset.schema()));
         println!(
@@ -54,7 +59,10 @@ fn main() {
             released.utility,
             utility.starting_population_size()
         );
-        println!("runtime: {:.2?}, samples: {}\n", released.runtime, released.samples_collected);
+        println!(
+            "runtime: {:.2?}, samples: {}, fresh verification calls: {}\n",
+            released.runtime, released.samples_collected, released.verification_calls
+        );
     }
 
     println!(

@@ -1,12 +1,15 @@
-//! Quickstart: release one private context for a contextual outlier.
+//! Quickstart: release private contexts for a contextual outlier through a
+//! [`ReleaseSession`].
 //!
 //! This walks through the full PCOR pipeline on a small synthetic salary
 //! dataset:
 //!
 //! 1. generate a dataset,
-//! 2. find a record that is a contextual outlier (under LOF),
-//! 3. release a context for it with the differentially private BFS sampler,
-//! 4. compare the private answer to the true maximum-utility context.
+//! 2. bind a release session (dataset + detector + utility + seed policy),
+//! 3. find a record that is a contextual outlier (under LOF),
+//! 4. release contexts for it with the differentially private BFS sampler —
+//!    twice, to watch the session's memoized verifier amortize the cost,
+//! 5. compare the private answers to the true maximum-utility context.
 //!
 //! Run with:
 //!
@@ -15,21 +18,27 @@
 //! ```
 
 use pcor::prelude::*;
-use rand::SeedableRng;
-use rand_chacha::ChaCha12Rng;
 
 fn main() {
-    let mut rng = ChaCha12Rng::seed_from_u64(42);
-
     // 1. A small synthetic version of the Ontario public-sector salary data.
     let config = SalaryConfig::reduced().with_records(4_000);
     let dataset = salary_dataset(&config).expect("dataset generation");
     println!("dataset: {} records, schema {}", dataset.len(), dataset.schema().describe());
 
-    // 2. Find a record that is a contextual outlier under LOF.
+    // 2. Bind the session once: dataset, detector, utility and seed policy.
+    //    Every release drawn through the session shares the memoized
+    //    verifier of its record.
     let detector = LofDetector::default();
-    let outlier = find_random_outlier(&dataset, &detector, 500, &mut rng)
-        .expect("the synthetic workload plants contextual outliers");
+    let utility = PopulationSizeUtility;
+    let mut session = ReleaseSession::builder(&dataset, &detector, &utility)
+        .seed_policy(SeedPolicy::Derived { base: 42 })
+        .build();
+
+    // 3. Find a record that is a contextual outlier under LOF.
+    let outlier = session
+        .find_outliers(1, 500)
+        .expect("the synthetic workload plants contextual outliers")
+        .remove(0);
     let record = dataset.record(outlier.record_id);
     println!("outlier record #{}: {}", outlier.record_id, record.describe(dataset.schema()));
     println!(
@@ -37,29 +46,50 @@ fn main() {
         outlier.starting_context.to_predicate_string(dataset.schema())
     );
 
-    // 3. Release a context with the differentially private BFS sampler at the
-    //    paper's parameters (epsilon = 0.2, n = 50 samples).
-    let utility = PopulationSizeUtility;
-    let pcor_config = PcorConfig::new(SamplingAlgorithm::Bfs, 0.2)
-        .with_samples(50)
-        .with_starting_context(outlier.starting_context.clone());
-    let released =
-        release_context(&dataset, outlier.record_id, &detector, &utility, &pcor_config, &mut rng)
-            .expect("release");
+    // 4. Release contexts with the differentially private BFS sampler at the
+    //    paper's parameters (epsilon = 0.2, n = 50 samples). Each release
+    //    consumes its own epsilon; the session only amortizes computation.
+    let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(50);
+    let first = session.release(outlier.record_id, &spec).expect("release");
+    let second = session.release(outlier.record_id, &spec).expect("release");
 
-    println!("\n=== private release ===");
-    println!("context: {}", released.context.to_predicate_string(dataset.schema()));
-    println!("population size (utility): {}", released.utility);
-    println!("samples collected: {}", released.samples_collected);
-    println!("verification calls: {}", released.verification_calls);
-    println!("guarantee: {}", released.guarantee);
-    println!("runtime: {:.2?}", released.runtime);
+    println!("\n=== private releases (same record, independent draws) ===");
+    for (label, released) in [("first", &first), ("second", &second)] {
+        println!("{label} release:");
+        println!("  context: {}", released.context.to_predicate_string(dataset.schema()));
+        println!("  population size (utility): {}", released.utility);
+        println!("  samples collected: {}", released.samples_collected);
+        println!("  fresh verification calls: {}", released.verification_calls);
+        println!("  guarantee: {}", released.guarantee);
+        println!("  runtime: {:.2?}", released.runtime);
+    }
+    println!(
+        "\nThe second release replayed {} of its work from the session cache \
+         ({} fresh calls vs {} on the first).",
+        if second.verification_calls < first.verification_calls { "most" } else { "some" },
+        second.verification_calls,
+        first.verification_calls,
+    );
 
-    // 4. Compare against the non-private optimum (the reference file).
-    let reference = enumerate_coe(&dataset, outlier.record_id, &detector, &utility, 22)
-        .expect("reference enumeration");
+    // 5. Compare against the non-private optimum: the session computes (and
+    //    caches) the reference file on the same memoized verifier.
+    let (reference_len, max_utility, first_ratio, second_ratio) = {
+        let reference = session.reference(outlier.record_id, 22).expect("reference enumeration");
+        (
+            reference.len(),
+            reference.max_utility,
+            reference.utility_ratio(first.utility),
+            reference.utility_ratio(second.utility),
+        )
+    };
     println!("\n=== comparison with the non-private optimum ===");
-    println!("matching contexts: {}", reference.len());
-    println!("maximum utility:   {}", reference.max_utility);
-    println!("utility ratio:     {:.2}", reference.utility_ratio(released.utility));
+    println!("matching contexts: {reference_len}");
+    println!("maximum utility:   {max_utility}");
+    println!("utility ratios:    {first_ratio:.2} (first), {second_ratio:.2} (second)");
+
+    let stats = session.stats();
+    println!(
+        "\nsession totals: {} releases, {} fresh verification calls, {} contexts memoized",
+        stats.releases, stats.verification_calls, stats.cached_contexts
+    );
 }

@@ -4,7 +4,7 @@
 //! Supports the subset of the API this workspace's property tests use:
 //! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
 //! header), [`prop_assert!`]/[`prop_assert_eq!`]/[`prop_assume!`],
-//! [`prop_oneof!`], [`strategy::Just`], [`any`], range strategies, tuple
+//! [`prop_oneof!`], [`strategy::Just`], `any`, range strategies, tuple
 //! strategies, `prop_map`, and [`collection::vec`].
 //!
 //! Differences from the real crate: cases are generated from a fixed
