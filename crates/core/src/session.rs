@@ -484,11 +484,25 @@ impl<'a> ReleaseSession<'a> {
                 }
                 continue;
             }
-            // The candidate search memoizes on the record's verifier, so a
-            // re-drawn record replays from cache at zero fresh calls.
-            let verifier = self.verifier(record_id);
+            // Search on the record's verifier if the session already holds
+            // one, otherwise on a scratch verifier that is kept only when
+            // the candidate turns out to be an outlier — a scan over
+            // thousands of non-outlier candidates must not pin thousands of
+            // memoized caches in memory.
+            let mut scratch = if self.verifiers.contains_key(&record_id) {
+                None
+            } else {
+                Some(Verifier::new(self.dataset, self.detector, self.utility, record_id))
+            };
+            let verifier = match scratch.as_mut() {
+                Some(verifier) => verifier,
+                None => self.verifiers.get_mut(&record_id).expect("checked above"),
+            };
             match find_starting_context(verifier, CANDIDATE_SEARCH_BUDGET) {
                 Ok(context) => {
+                    if let Some(verifier) = scratch {
+                        self.verifiers.insert(record_id, verifier);
+                    }
                     self.starting_contexts.insert(record_id, context.clone());
                     if seen.insert(record_id) {
                         found.push(OutlierQuery { record_id, starting_context: context });
@@ -668,6 +682,20 @@ mod tests {
         let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(5);
         session.release(found[0].record_id, &spec).unwrap();
         assert!(session.stats().verification_calls >= calls_before);
+    }
+
+    #[test]
+    fn failed_candidate_scans_do_not_pin_verifiers() {
+        // A flat dataset has no outliers anywhere: the scan must fail
+        // without binding a memoized verifier per examined candidate.
+        let schema = Schema::new(vec![Attribute::from_values("A", &["a0", "a1"])], "M").unwrap();
+        let records = (0..40).map(|i| Record::new(vec![(i % 2) as u16], 10.0)).collect();
+        let d = Dataset::new(schema, records).unwrap();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let mut session = ReleaseSession::builder(&d, &detector, &utility).build();
+        assert_eq!(session.find_outliers(3, 200), Err(PcorError::NoMatchingContext));
+        assert_eq!(session.stats().records_bound, 0, "failed candidates must not be retained");
     }
 
     #[test]

@@ -31,6 +31,20 @@ impl ServerMetrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a served batch with per-item resolution: `released` items
+    /// count as served releases and `failed` items as failed releases, so
+    /// the counters stay comparable with the single-request path. The
+    /// batch's end-to-end latency is added once (when anything released),
+    /// making `mean_latency` the *amortized* latency per served release.
+    pub fn record_batch(&self, released: u64, failed: u64, latency: Duration) {
+        self.served.fetch_add(released, Ordering::Relaxed);
+        self.failed.fetch_add(failed, Ordering::Relaxed);
+        if released > 0 {
+            self.total_latency_nanos
+                .fetch_add(latency.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+        }
+    }
+
     /// A consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> ServerMetricsSnapshot {
         let served = self.served.load(Ordering::Relaxed);

@@ -145,12 +145,11 @@ impl ReleaseRequest {
         Ok(())
     }
 
-    /// Maps the request's knobs onto a core [`PcorConfig`], seeding the
-    /// search with `starting_context` (resolved by the registry cache).
-    pub fn to_config(&self, starting_context: Context) -> PcorConfig {
-        PcorConfig::new(self.algorithm, self.epsilon)
-            .with_samples(self.samples)
-            .with_starting_context(starting_context)
+    /// Maps the request's knobs onto a core [`PcorConfig`]. The starting
+    /// context is left unset: the server resolves it through the release
+    /// session (warmed from the registry cache).
+    pub fn to_config(&self) -> PcorConfig {
+        PcorConfig::new(self.algorithm, self.epsilon).with_samples(self.samples)
     }
 }
 
@@ -547,11 +546,11 @@ mod tests {
         assert_eq!(request.samples, 25);
         assert_eq!(request.seed, 99);
         assert!(request.validate().is_ok());
-        let config = request.to_config(Context::empty(4));
+        let config = request.to_config();
         assert_eq!(config.algorithm, SamplingAlgorithm::RandomWalk);
         assert_eq!(config.epsilon, 0.4);
         assert_eq!(config.samples, 25);
-        assert!(config.starting_context.is_some());
+        assert!(config.starting_context.is_none(), "the session resolves the starting context");
     }
 
     #[test]

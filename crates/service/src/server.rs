@@ -30,7 +30,7 @@ use crate::request::{
     ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseEnvelope,
 };
 use crate::{Result, ServiceError};
-use pcor_core::{PcorConfig, ReleaseSession};
+use pcor_core::ReleaseSession;
 use pcor_dp::PopulationSizeUtility;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -278,19 +278,23 @@ impl Server {
                 }
             }
             let config = batch.item_config(item);
-            let outcome = match session.release_with_seed(item.record_id, &config, item.seed) {
+            let result = session.release_with_seed(item.record_id, &config, item.seed);
+            // Publish a freshly discovered starting context whether or not
+            // the release itself succeeded: the search result is valid and
+            // expensive, and a retry must not pay for it again.
+            if !cache_hit {
+                if let Some(context) = session.starting_context(item.record_id) {
+                    registry.store_starting_context(
+                        &batch.dataset,
+                        item.record_id,
+                        batch.detector,
+                        context.clone(),
+                    );
+                }
+            }
+            let outcome = match result {
                 Ok(result) => {
                     committed += item.epsilon;
-                    if !cache_hit {
-                        if let Some(context) = session.starting_context(item.record_id) {
-                            registry.store_starting_context(
-                                &batch.dataset,
-                                item.record_id,
-                                batch.detector,
-                                context.clone(),
-                            );
-                        }
-                    }
                     ItemOutcome::Released(ItemRelease {
                         predicate: result.context.to_predicate_string(entry.dataset().schema()),
                         context: result.context,
@@ -317,11 +321,7 @@ impl Server {
         let remaining = ledger.commit_partial(reservation, committed);
         let latency = enqueued.elapsed();
         let released = items.iter().filter(|item| item.outcome.is_released()).count();
-        if released > 0 {
-            metrics.record_served(latency);
-        } else {
-            metrics.record_failed();
-        }
+        metrics.record_batch(released as u64, (items.len() - released) as u64, latency);
         Ok(BatchReleaseResponse {
             analyst: batch.analyst,
             dataset: batch.dataset,
@@ -390,20 +390,23 @@ impl Server {
             }
             None => false,
         };
-        let config =
-            PcorConfig::new(request.algorithm, request.epsilon).with_samples(request.samples);
-        match session.release_with_seed(request.record_id, &config, request.seed) {
+        let config = request.to_config();
+        let outcome = session.release_with_seed(request.record_id, &config, request.seed);
+        // Publish a freshly discovered starting context whether or not the
+        // release itself succeeded: the search result is valid and
+        // expensive, and a retry must not pay for it again.
+        if !cache_hit {
+            if let Some(context) = session.starting_context(request.record_id) {
+                registry.store_starting_context(
+                    &request.dataset,
+                    request.record_id,
+                    request.detector,
+                    context.clone(),
+                );
+            }
+        }
+        match outcome {
             Ok(result) => {
-                if !cache_hit {
-                    if let Some(context) = session.starting_context(request.record_id) {
-                        registry.store_starting_context(
-                            &request.dataset,
-                            request.record_id,
-                            request.detector,
-                            context.clone(),
-                        );
-                    }
-                }
                 // Phase 2: the mechanism ran; the spend is now permanent.
                 let remaining = ledger.commit(reservation);
                 let latency = enqueued.elapsed();
