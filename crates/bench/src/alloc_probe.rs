@@ -1,0 +1,66 @@
+//! Allocation counting hooks for the experiment harness.
+//!
+//! The library side is plain safe code: two atomics and their readers. The
+//! `reproduce` binary installs a counting `GlobalAlloc` wrapper around the
+//! system allocator that calls [`note_alloc`] on every allocation (the
+//! `unsafe impl` lives in the binary — this crate forbids unsafe code), so
+//! experiments such as `verify-hotpath` can report *allocations per call*
+//! before and after the zero-allocation engine. When no counting allocator
+//! is installed (unit tests, criterion benches), [`installed`] is `false`
+//! and the experiments report allocation counts as unavailable.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Called by the binary's counting allocator on every allocation.
+pub fn note_alloc() {
+    ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Marks the counting allocator as installed (called once at startup by the
+/// binary that registered it).
+pub fn mark_installed() {
+    INSTALLED.store(true, Ordering::Relaxed);
+}
+
+/// Whether a counting allocator is feeding [`note_alloc`].
+pub fn installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}
+
+/// Total allocations observed so far (monotone; diff two readings around a
+/// measured section).
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Runs `f` and returns `(result, allocations during f)`, or `None` for the
+/// count when no counting allocator is installed.
+pub fn counted<T>(f: impl FnOnce() -> T) -> (T, Option<u64>) {
+    let before = allocations();
+    let result = f();
+    let after = allocations();
+    (result, installed().then_some(after - before))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probe_is_inert_without_an_installed_allocator() {
+        // Unit tests run without the counting allocator; the probe must
+        // report unavailability rather than a bogus zero.
+        let (value, count) = counted(|| vec![1u8; 128].len());
+        assert_eq!(value, 128);
+        if !installed() {
+            assert_eq!(count, None);
+        }
+        // The raw counter API stays monotone.
+        let before = allocations();
+        note_alloc();
+        assert!(allocations() > before);
+    }
+}

@@ -8,7 +8,7 @@
 //!   table2 .. table13   the corresponding table (paired tables run together)
 //!   figure1 .. figure5  the experiment behind the corresponding figure
 //!   sampling overlap detectors epsilon samples coe-salary coe-homicide
-//!   ratio direct figures service batch
+//!   ratio direct figures service batch verify
 //! ```
 //!
 //! Examples:
@@ -21,9 +21,38 @@
 
 use pcor_bench::experiments::{self, ExperimentId, ExperimentOutput};
 use pcor_bench::ExperimentScale;
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::time::Instant;
 
+/// System allocator wrapper feeding `pcor_bench::alloc_probe` so experiments
+/// (notably `verify-hotpath`) can report allocations per call. Counting is
+/// one relaxed atomic increment per allocation — noise for the wall-clock
+/// numbers, which measure µs-scale sections.
+struct CountingAllocator;
+
+// SAFETY: delegates allocation verbatim to `System`; the only addition is a
+// side-effect-free atomic counter bump.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        pcor_bench::alloc_probe::note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        pcor_bench::alloc_probe::note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
 fn main() {
+    pcor_bench::alloc_probe::mark_installed();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = ExperimentScale::quick();
     let mut selectors: Vec<String> = Vec::new();
@@ -59,7 +88,7 @@ fn main() {
                 println!(
                     "           detectors, epsilon, samples, coe-salary, coe-homicide, ratio,"
                 );
-                println!("           direct, service, batch");
+                println!("           direct, service, batch, verify");
                 return;
             }
             other => selectors.push(other.to_string()),

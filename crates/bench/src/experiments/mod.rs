@@ -12,6 +12,7 @@
 //! | [`direct_vs_sampling`] | Section 1.2 headline — direct approach vs. BFS |
 //! | [`service_throughput`] | (beyond the paper) `pcor-service` throughput vs. worker count |
 //! | [`batch`] | (beyond the paper) batched releases vs. equivalent singles |
+//! | [`verify_hotpath`] | (beyond the paper) `f_M` evaluation engines: from-scratch vs. incremental |
 
 pub mod batch;
 pub mod coe_match;
@@ -23,6 +24,7 @@ pub mod ratio_check;
 pub mod samples_sweep;
 pub mod sampling;
 pub mod service_throughput;
+pub mod verify_hotpath;
 
 use crate::report::{Histogram, Table};
 use serde::{Deserialize, Serialize};
@@ -82,6 +84,9 @@ pub enum ExperimentId {
     ServiceThroughput,
     /// Batched releases vs. equivalent single requests (beyond the paper).
     BatchVsSingles,
+    /// `f_M` verification engines: from-scratch vs. incremental/sharded
+    /// (beyond the paper).
+    VerifyHotpath,
 }
 
 impl ExperimentId {
@@ -99,6 +104,7 @@ impl ExperimentId {
             ExperimentId::Direct,
             ExperimentId::ServiceThroughput,
             ExperimentId::BatchVsSingles,
+            ExperimentId::VerifyHotpath,
         ]
     }
 
@@ -117,6 +123,7 @@ impl ExperimentId {
             "direct" => vec![ExperimentId::Direct],
             "service" | "throughput" => vec![ExperimentId::ServiceThroughput],
             "batch" | "batch-vs-singles" => vec![ExperimentId::BatchVsSingles],
+            "verify" | "verify-hotpath" | "hotpath" => vec![ExperimentId::VerifyHotpath],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -143,6 +150,9 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::Direct => "direct vs BFS (Section 1.2)",
             ExperimentId::ServiceThroughput => "service throughput vs workers (pcor-service)",
             ExperimentId::BatchVsSingles => "batched releases vs equivalent singles (pcor-service)",
+            ExperimentId::VerifyHotpath => {
+                "verify hot path: f_M evaluation engines (pcor-data/core)"
+            }
         };
         write!(f, "{name}")
     }
@@ -165,6 +175,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::Direct => direct_vs_sampling::run(scale),
         ExperimentId::ServiceThroughput => service_throughput::run(scale),
         ExperimentId::BatchVsSingles => batch::run(scale),
+        ExperimentId::VerifyHotpath => verify_hotpath::run(scale),
     }
 }
 
@@ -184,6 +195,8 @@ mod tests {
         assert_eq!(ExperimentId::parse("throughput"), vec![ExperimentId::ServiceThroughput]);
         assert_eq!(ExperimentId::parse("batch"), vec![ExperimentId::BatchVsSingles]);
         assert_eq!(ExperimentId::parse("batch-vs-singles"), vec![ExperimentId::BatchVsSingles]);
+        assert_eq!(ExperimentId::parse("verify"), vec![ExperimentId::VerifyHotpath]);
+        assert_eq!(ExperimentId::parse("verify-hotpath"), vec![ExperimentId::VerifyHotpath]);
         assert_eq!(ExperimentId::parse("figures").len(), 5);
         assert!(ExperimentId::parse("nonsense").is_empty());
         for id in ExperimentId::all() {

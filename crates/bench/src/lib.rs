@@ -19,6 +19,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_probe;
 pub mod config;
 pub mod experiments;
 pub mod measure;

@@ -39,7 +39,6 @@ pub fn run<R: Rng + ?Sized>(
         config.starting_context.as_ref(),
         DEFAULT_SEARCH_BUDGET,
     )?;
-    let t = start.len();
 
     let guarantee = SamplingAlgorithm::Bfs.guarantee(config.epsilon, config.samples)?;
     let epsilon1 = guarantee.epsilon_per_invocation;
@@ -64,16 +63,20 @@ pub fn run<R: Rng + ?Sized>(
         visited_set.insert(current.clone());
         visited.push(current.clone());
 
-        // Insert the matching, unvisited children into the frontier.
-        for bit in 0..t {
+        // Insert the matching, unvisited children into the frontier. The
+        // whole neighbor frontier shares one batched cursor walk; children
+        // already visited or queued are cache hits, not fresh `f_M` calls.
+        let neighbor_evals = verifier.evaluate_neighbors(&current)?;
+        for (bit, evaluation) in neighbor_evals.iter().enumerate() {
+            if !evaluation.matching {
+                continue;
+            }
             let child = current.with_flipped(bit);
             if visited_set.contains(&child) || frontier_set.contains(&child) {
                 continue;
             }
-            if verifier.is_matching(&child)? {
-                frontier_set.insert(child.clone());
-                frontier.push(child);
-            }
+            frontier_set.insert(child.clone());
+            frontier.push(child);
         }
     }
 

@@ -83,37 +83,61 @@ impl ReferenceFile {
     }
 }
 
-/// Evaluates one context against a dataset without the memoizing verifier —
-/// used by the multi-threaded enumeration where each thread works on a
-/// disjoint slice of the context space.
-fn evaluate_raw(
+/// Enumerates the Gray-code range `[lo, hi)` of the `2^|free_bits|`
+/// super-contexts of `minimal` on one incremental cursor, collecting the
+/// matching entries.
+///
+/// The binary-reflected Gray code visits every subset of the free bits
+/// exactly once while consecutive steps differ in a single bit, so each step
+/// costs one cursor flip plus one fused AND/popcount pass — no per-context
+/// allocation. Used by both the serial and the multi-threaded enumeration
+/// (each worker walks a disjoint mask range).
+#[allow(clippy::too_many_arguments)]
+fn enumerate_gray_range(
     dataset: &Dataset,
     outlier_id: usize,
     detector: &dyn OutlierDetector,
     utility: &dyn Utility,
-    context: &Context,
-) -> Result<Option<ReferenceEntry>> {
-    let population = dataset.population(context)?;
-    if !population.contains(outlier_id) {
-        return Ok(None);
-    }
-    let mut metrics = Vec::with_capacity(population.count());
-    let mut target_index = 0usize;
-    for (pos, id) in population.iter_ones().enumerate() {
-        if id == outlier_id {
-            target_index = pos;
+    minimal: &Context,
+    free_bits: &[usize],
+    lo: u64,
+    hi: u64,
+) -> Result<Vec<ReferenceEntry>> {
+    // Position the start of the range: the Gray code of `lo`.
+    let mut start = minimal.clone();
+    let gray = lo ^ (lo >> 1);
+    for (i, &bit) in free_bits.iter().enumerate() {
+        if (gray >> i) & 1 == 1 {
+            start.set(bit, true);
         }
-        metrics.push(dataset.metric(id));
     }
-    if !detector.is_outlier(&metrics, target_index) {
-        return Ok(None);
+    let mut cursor = pcor_data::PopulationCursor::new(dataset, &start)?;
+    let use_moments = detector.supports_moments();
+    let mut metrics: Vec<f64> = Vec::new();
+    let mut entries: Vec<ReferenceEntry> = Vec::new();
+    for step in lo..hi {
+        if step > lo {
+            // gray(step) differs from gray(step - 1) in bit trailing_zeros(step).
+            cursor.flip(free_bits[step.trailing_zeros() as usize]);
+        }
+        let (context, population, population_size) = cursor.evaluated();
+        if crate::verify::classify_population(
+            dataset,
+            population,
+            population_size,
+            outlier_id,
+            detector,
+            use_moments,
+            &mut metrics,
+        ) {
+            entries.push(ReferenceEntry {
+                utility: utility.score(dataset, context, population),
+                context: context.clone(),
+                population_size,
+            });
+        }
     }
-    let score = utility.score(dataset, context, &population);
-    Ok(Some(ReferenceEntry {
-        context: context.clone(),
-        utility: score,
-        population_size: population.count(),
-    }))
+    Ok(entries)
 }
 
 /// Enumerates `COE_M(D, V)` on an existing memoized
@@ -141,18 +165,19 @@ pub fn enumerate_coe_with(
     let free_bits: Vec<usize> = (0..t).filter(|&bit| !minimal.get(bit)).collect();
     let total: u64 = 1u64 << free_bits.len();
 
+    // Walk the space in Gray-code order: consecutive contexts differ in one
+    // bit, so the verifier's cursor advances by a single flip per context
+    // (cache hits for anything earlier releases already evaluated).
     let mut entries: Vec<ReferenceEntry> = Vec::new();
-    for mask in 0..total {
-        let mut context = minimal.clone();
-        for (i, &bit) in free_bits.iter().enumerate() {
-            if (mask >> i) & 1 == 1 {
-                context.set(bit, true);
-            }
+    let mut context = minimal;
+    for step in 0..total {
+        if step > 0 {
+            context.flip(free_bits[step.trailing_zeros() as usize]);
         }
         let evaluation = verifier.evaluate(&context)?;
         if evaluation.matching {
             entries.push(ReferenceEntry {
-                context,
+                context: context.clone(),
                 utility: evaluation.utility,
                 population_size: evaluation.population_size,
             });
@@ -198,18 +223,9 @@ pub fn enumerate_coe(
     let free_bits: Vec<usize> = (0..t).filter(|&bit| !minimal.get(bit)).collect();
     let total: u64 = 1u64 << free_bits.len();
 
-    let build_context = |mask: u64| {
-        let mut context = minimal.clone();
-        for (i, &bit) in free_bits.iter().enumerate() {
-            if (mask >> i) & 1 == 1 {
-                context.set(bit, true);
-            }
-        }
-        context
-    };
-
     // Parallelize for large spaces; stay single-threaded for small ones to
-    // avoid thread-spawn overhead in tests.
+    // avoid thread-spawn overhead in tests. Every worker walks its mask
+    // range in Gray-code order on its own incremental cursor.
     let num_threads = if total >= 4_096 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(16)
     } else {
@@ -217,15 +233,9 @@ pub fn enumerate_coe(
     };
 
     let mut entries: Vec<ReferenceEntry> = if num_threads <= 1 {
-        let mut out = Vec::new();
-        for mask in 0..total {
-            if let Some(entry) =
-                evaluate_raw(dataset, outlier_id, detector, utility, &build_context(mask))?
-            {
-                out.push(entry);
-            }
-        }
-        out
+        enumerate_gray_range(
+            dataset, outlier_id, detector, utility, &minimal, &free_bits, 0, total,
+        )?
     } else {
         let chunk = total.div_ceil(num_threads as u64);
         let results = std::thread::scope(|scope| {
@@ -233,17 +243,12 @@ pub fn enumerate_coe(
             for worker in 0..num_threads as u64 {
                 let lo = worker * chunk;
                 let hi = ((worker + 1) * chunk).min(total);
-                let build = &build_context;
-                handles.push(scope.spawn(move || -> Result<Vec<ReferenceEntry>> {
-                    let mut local = Vec::new();
-                    for mask in lo..hi {
-                        if let Some(entry) =
-                            evaluate_raw(dataset, outlier_id, detector, utility, &build(mask))?
-                        {
-                            local.push(entry);
-                        }
-                    }
-                    Ok(local)
+                let minimal = &minimal;
+                let free_bits = &free_bits;
+                handles.push(scope.spawn(move || {
+                    enumerate_gray_range(
+                        dataset, outlier_id, detector, utility, minimal, free_bits, lo, hi,
+                    )
                 }));
             }
             handles

@@ -40,7 +40,6 @@ pub fn run<R: Rng + ?Sized>(
         config.starting_context.as_ref(),
         DEFAULT_SEARCH_BUDGET,
     )?;
-    let t = start.len();
 
     let guarantee = SamplingAlgorithm::Dfs.guarantee(config.epsilon, config.samples)?;
     let epsilon1 = guarantee.epsilon_per_invocation;
@@ -56,19 +55,21 @@ pub fn run<R: Rng + ?Sized>(
             visited.push(current.clone());
         }
 
-        // Generate the matching, unvisited children of the current vertex.
+        // Generate the matching, unvisited children of the current vertex in
+        // one batched cursor walk (visited children are cache hits).
         let mut children: Vec<Context> = Vec::new();
         let mut child_scores: Vec<f64> = Vec::new();
-        for bit in 0..t {
+        let neighbor_evals = verifier.evaluate_neighbors(&current)?;
+        for (bit, evaluation) in neighbor_evals.iter().enumerate() {
+            if !evaluation.matching {
+                continue;
+            }
             let child = current.with_flipped(bit);
             if visited_set.contains(&child) {
                 continue;
             }
-            let evaluation = verifier.evaluate(&child)?;
-            if evaluation.matching {
-                children.push(child);
-                child_scores.push(evaluation.utility);
-            }
+            children.push(child);
+            child_scores.push(evaluation.utility);
         }
 
         if children.is_empty() {

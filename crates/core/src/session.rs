@@ -242,10 +242,26 @@ pub struct SessionStats {
     pub releases: u64,
     /// Total uncached `f_M` verification calls across all verifiers.
     pub verification_calls: usize,
+    /// Total evaluation requests across all verifiers (cache hits included).
+    pub cache_lookups: usize,
+    /// Evaluation requests answered from the verifiers' memo caches.
+    pub cache_hits: usize,
     /// Total distinct contexts memoized across all verifiers.
     pub cached_contexts: usize,
     /// Starting contexts resolved and cached.
     pub starting_contexts: usize,
+}
+
+impl SessionStats {
+    /// Fraction of evaluation requests answered from the memo caches
+    /// (`0.0` before any lookup happened).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
 }
 
 /// A release engine bound to one `(dataset, detector, utility)` triple.
@@ -310,6 +326,8 @@ impl<'a> ReleaseSession<'a> {
             records_bound: self.verifiers.len(),
             releases: self.releases,
             verification_calls: self.verifiers.values().map(Verifier::calls).sum(),
+            cache_lookups: self.verifiers.values().map(Verifier::lookups).sum(),
+            cache_hits: self.verifiers.values().map(Verifier::cache_hits).sum(),
             cached_contexts: self.verifiers.values().map(Verifier::distinct_contexts).sum(),
             starting_contexts: self.starting_contexts.len(),
         }

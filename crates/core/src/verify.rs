@@ -1,4 +1,5 @@
-//! The outlier-verification function `f_M(D_C, V)` with memoization.
+//! The outlier-verification function `f_M(D_C, V)` with memoization, built
+//! on the incremental population engine.
 //!
 //! Every PCOR algorithm repeatedly asks the same question about different
 //! contexts: *is the queried record `V` an outlier in the population selected
@@ -8,16 +9,32 @@
 //! algorithms also revisit contexts (e.g. BFS generates each vertex's children
 //! repeatedly), so the verifier memoizes evaluations per context.
 //!
+//! Three engine properties keep the hot path allocation-free and incremental:
+//!
+//! * **Cursor-backed evaluation** — populations come from a
+//!   [`PopulationCursor`] that caches per-attribute union bitmaps; the search
+//!   algorithms move by single-bit context flips, so a fresh evaluation costs
+//!   one block update plus one fused AND/popcount pass (sharded across
+//!   threads for very large `n` per the cursor's [`ShardPolicy`]) instead of
+//!   the full per-attribute loop with two bitmap allocations.
+//! * **Fingerprinted memo cache** — the cache is keyed by a 128-bit
+//!   XOR-decomposable fingerprint of the context's words, so hits hash a few
+//!   words and misses insert two `u64`s instead of cloning the context; the
+//!   decomposability gives [`Verifier::evaluate_neighbors`] O(1) per-neighbor
+//!   cache probes without materializing neighbor contexts.
+//! * **Columnar metric gather** — population metrics are gathered from the
+//!   dataset's flat metric column into one reusable buffer.
+//!
 //! The verifier also computes the utility score of each context (the utility
 //! needs the same population bitmap the validity check needs), and exposes the
 //! *mechanism score*: the utility for matching contexts, `-∞` otherwise —
 //! exactly the scoring rule of Section 3.2 that makes the Exponential
 //! mechanism output constrained.
 
-use crate::Result;
-use pcor_data::{Context, Dataset};
+use crate::{PcorError, Result};
+use pcor_data::{Context, Dataset, PopulationCursor, RecordBitmap, ShardPolicy};
 use pcor_dp::Utility;
-use pcor_outlier::OutlierDetector;
+use pcor_outlier::{OutlierDetector, PopulationMoments};
 use std::collections::HashMap;
 
 /// The cached outcome of evaluating one context.
@@ -44,6 +61,95 @@ impl Evaluation {
     }
 }
 
+/// SplitMix64 finalizer: the word mixer behind the context fingerprints.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Independent seeds for the two 64-bit fingerprint halves.
+const FP_SEED_A: u64 = 0xA076_1D64_78BD_642F;
+const FP_SEED_B: u64 = 0xE703_7ED1_A0B4_28DB;
+
+/// Per-word contribution to one fingerprint half. XORing contributions makes
+/// the fingerprint decomposable: flipping one context bit replaces exactly
+/// one word's contribution, so neighbor fingerprints cost O(1).
+fn fp_word(word: u64, index: usize, seed: u64) -> u64 {
+    splitmix64(word ^ splitmix64(index as u64 ^ seed))
+}
+
+/// The 128-bit fingerprint of a context, split into its two halves.
+///
+/// Collisions would silently conflate two contexts in the memo cache; at 128
+/// bits the probability over any realistic number of distinct contexts
+/// (≪ 2^40) is below 2^-48, far beyond concern — and the property tests
+/// cross-check the engine against from-scratch evaluation.
+fn fingerprint_parts(context: &Context) -> (u64, u64) {
+    let mut a = splitmix64(context.len() as u64 ^ FP_SEED_A);
+    let mut b = splitmix64(context.len() as u64 ^ FP_SEED_B);
+    for (i, &w) in context.words().iter().enumerate() {
+        a ^= fp_word(w, i, FP_SEED_A);
+        b ^= fp_word(w, i, FP_SEED_B);
+    }
+    (a, b)
+}
+
+/// The fingerprint of `context` with `bit` flipped, derived in O(1) from the
+/// context's own fingerprint parts.
+fn neighbor_parts(context: &Context, parts: (u64, u64), bit: usize) -> (u64, u64) {
+    let wi = bit / 64;
+    let old = context.words()[wi];
+    let new = old ^ (1u64 << (bit % 64));
+    (
+        parts.0 ^ fp_word(old, wi, FP_SEED_A) ^ fp_word(new, wi, FP_SEED_A),
+        parts.1 ^ fp_word(old, wi, FP_SEED_B) ^ fp_word(new, wi, FP_SEED_B),
+    )
+}
+
+fn fp_key(parts: (u64, u64)) -> u128 {
+    ((parts.0 as u128) << 64) | parts.1 as u128
+}
+
+/// Runs `f_M` on an already-evaluated population: is `outlier_id` covered
+/// and flagged by the detector?
+///
+/// Moment-decidable detectors are answered from a single-pass sufficient-
+/// statistics accumulation over the columnar metric store; slice detectors
+/// gather the metrics into the caller's reusable buffer. Contexts not
+/// covering the record short-circuit to `false` with no metric pass at all.
+/// Shared by the [`Verifier`] and the reference-file enumeration so every
+/// engine entry point classifies identically.
+pub(crate) fn classify_population(
+    dataset: &Dataset,
+    population: &RecordBitmap,
+    population_size: usize,
+    outlier_id: usize,
+    detector: &dyn OutlierDetector,
+    use_moments: bool,
+    metrics_buf: &mut Vec<f64>,
+) -> bool {
+    let covers = outlier_id < population.len() && population.contains(outlier_id);
+    if !covers {
+        return false;
+    }
+    if use_moments {
+        // Shift the accumulation by the queried record's own value: it is
+        // inside the population, so the shifted-variance identity stays
+        // numerically sound (see `Dataset::population_metric_moments`).
+        let value = dataset.metric(outlier_id);
+        let (sum, sum_sq_dev) = dataset.population_metric_moments(population, value);
+        let moments = PopulationMoments::new(population_size, sum, sum_sq_dev);
+        detector.is_outlier_by_moments(&moments, value)
+    } else {
+        let target = dataset
+            .gather_population_metrics(population, outlier_id, metrics_buf)
+            .expect("coverage checked above");
+        detector.is_outlier(metrics_buf, target)
+    }
+}
+
 /// Memoizing wrapper around `f_M` for one (dataset, detector, utility, `V`)
 /// tuple.
 pub struct Verifier<'a> {
@@ -51,19 +157,51 @@ pub struct Verifier<'a> {
     detector: &'a dyn OutlierDetector,
     utility: &'a dyn Utility,
     outlier_id: usize,
-    cache: HashMap<Context, Evaluation>,
+    cache: HashMap<u128, Evaluation>,
+    cursor: Option<PopulationCursor<'a>>,
+    metrics_buf: Vec<f64>,
+    policy: ShardPolicy,
+    /// Whether the detector decides from population moments (probed once at
+    /// construction; `supports_moments` is constant per instance).
+    use_moments: bool,
     calls: usize,
+    lookups: usize,
 }
 
 impl<'a> Verifier<'a> {
-    /// Creates a verifier for record `outlier_id` of `dataset`.
+    /// Creates a verifier for record `outlier_id` of `dataset` with the
+    /// default (auto) shard policy.
     pub fn new(
         dataset: &'a Dataset,
         detector: &'a dyn OutlierDetector,
         utility: &'a dyn Utility,
         outlier_id: usize,
     ) -> Self {
-        Verifier { dataset, detector, utility, outlier_id, cache: HashMap::new(), calls: 0 }
+        Self::with_shard_policy(dataset, detector, utility, outlier_id, ShardPolicy::auto())
+    }
+
+    /// Creates a verifier with an explicit [`ShardPolicy`] for the fused
+    /// AND/popcount pass of its population cursor.
+    pub fn with_shard_policy(
+        dataset: &'a Dataset,
+        detector: &'a dyn OutlierDetector,
+        utility: &'a dyn Utility,
+        outlier_id: usize,
+        policy: ShardPolicy,
+    ) -> Self {
+        Verifier {
+            dataset,
+            detector,
+            utility,
+            outlier_id,
+            cache: HashMap::new(),
+            cursor: None,
+            metrics_buf: Vec::new(),
+            policy,
+            use_moments: detector.supports_moments(),
+            calls: 0,
+            lookups: 0,
+        }
     }
 
     /// The dataset the verifier is bound to.
@@ -87,6 +225,16 @@ impl<'a> Verifier<'a> {
         self.calls
     }
 
+    /// Total number of evaluation requests (cache hits included).
+    pub fn lookups(&self) -> usize {
+        self.lookups
+    }
+
+    /// Number of evaluation requests answered from the memo cache.
+    pub fn cache_hits(&self) -> usize {
+        self.lookups - self.calls
+    }
+
     /// Number of distinct contexts evaluated (cache size).
     pub fn distinct_contexts(&self) -> usize {
         self.cache.len()
@@ -100,39 +248,114 @@ impl<'a> Verifier<'a> {
         Ok(self.dataset.minimal_context(self.outlier_id)?)
     }
 
+    /// Validates that a context matches the schema (the cache key is a
+    /// fingerprint, so mismatches must be rejected before lookup).
+    fn check_context(&self, context: &Context) -> Result<()> {
+        let expected = self.dataset.schema().total_values();
+        if context.len() != expected {
+            return Err(PcorError::Data(format!(
+                "context of length {} does not match schema with t = {expected}",
+                context.len()
+            )));
+        }
+        Ok(())
+    }
+
     /// Evaluates a context: validity (`f_M`), utility and population size.
-    /// Results are memoized per context.
+    /// Results are memoized per context (by fingerprint); fresh evaluations
+    /// run on the incremental cursor and allocate nothing after warm-up.
     ///
     /// # Errors
     /// Propagates population-evaluation errors (context/schema mismatch).
     pub fn evaluate(&mut self, context: &Context) -> Result<Evaluation> {
-        if let Some(cached) = self.cache.get(context) {
+        self.check_context(context)?;
+        let key = fp_key(fingerprint_parts(context));
+        self.lookups += 1;
+        if let Some(cached) = self.cache.get(&key) {
             return Ok(*cached);
         }
-        self.calls += 1;
-        let population = self.dataset.population(context)?;
-        let covers_outlier = population.contains(self.outlier_id);
-        let utility = self.utility.score(self.dataset, context, &population);
-        let population_size = population.count();
-
-        let matching = if covers_outlier {
-            // Build the metric slice of the population and locate V within it.
-            let mut metrics = Vec::with_capacity(population_size);
-            let mut target_index = 0usize;
-            for (pos, id) in population.iter_ones().enumerate() {
-                if id == self.outlier_id {
-                    target_index = pos;
-                }
-                metrics.push(self.dataset.metric(id));
-            }
-            self.detector.is_outlier(&metrics, target_index)
-        } else {
-            false
-        };
-
-        let evaluation = Evaluation { matching, utility, population_size };
-        self.cache.insert(context.clone(), evaluation);
+        let evaluation = self.evaluate_fresh(context)?;
+        self.cache.insert(key, evaluation);
         Ok(evaluation)
+    }
+
+    /// Runs one uncached evaluation at `context`, repositioning the cursor.
+    fn evaluate_fresh(&mut self, context: &Context) -> Result<Evaluation> {
+        match self.cursor.as_mut() {
+            Some(cursor) => cursor.move_to(context)?,
+            None => {
+                self.cursor =
+                    Some(PopulationCursor::with_policy(self.dataset, context, self.policy)?);
+            }
+        }
+        Ok(self.evaluate_at_cursor())
+    }
+
+    /// Evaluates at the cursor's current position. The caller has already
+    /// positioned the cursor and checked the cache.
+    fn evaluate_at_cursor(&mut self) -> Evaluation {
+        self.calls += 1;
+        let cursor = self.cursor.as_mut().expect("cursor positioned by caller");
+        let (current, population, population_size) = cursor.evaluated();
+        let utility = self.utility.score(self.dataset, current, population);
+        let matching = classify_population(
+            self.dataset,
+            population,
+            population_size,
+            self.outlier_id,
+            self.detector,
+            self.use_moments,
+            &mut self.metrics_buf,
+        );
+        Evaluation { matching, utility, population_size }
+    }
+
+    /// Evaluates all `t` single-bit neighbors of `base` in one batched cursor
+    /// walk, returning one [`Evaluation`] per bit.
+    ///
+    /// Cache probes use O(1) incremental fingerprints (no neighbor context is
+    /// materialized); every miss costs one bit flip on the shared cursor,
+    /// one fused AND/popcount pass and one flip back. This is the child
+    /// generation primitive of the graph searches: a whole neighbor frontier
+    /// shares one cursor walk.
+    ///
+    /// # Errors
+    /// Propagates population-evaluation errors (context/schema mismatch).
+    pub fn evaluate_neighbors(&mut self, base: &Context) -> Result<Vec<Evaluation>> {
+        // Warm the base itself first: searches always need it, and it leaves
+        // the cursor positioned adjacent to every neighbor.
+        self.evaluate(base)?;
+        let base_parts = fingerprint_parts(base);
+        let t = base.len();
+        let mut out = Vec::with_capacity(t);
+        let mut cursor_at_base = false;
+        for bit in 0..t {
+            let key = fp_key(neighbor_parts(base, base_parts, bit));
+            self.lookups += 1;
+            if let Some(cached) = self.cache.get(&key) {
+                out.push(*cached);
+                continue;
+            }
+            if !cursor_at_base {
+                // Position once; after each miss we flip back, so the cursor
+                // stays at `base` for the rest of the walk.
+                match self.cursor.as_mut() {
+                    Some(cursor) => cursor.move_to(base)?,
+                    None => {
+                        self.cursor =
+                            Some(PopulationCursor::with_policy(self.dataset, base, self.policy)?);
+                    }
+                }
+                cursor_at_base = true;
+            }
+            let cursor = self.cursor.as_mut().expect("cursor positioned above");
+            cursor.flip(bit);
+            let evaluation = self.evaluate_at_cursor();
+            self.cursor.as_mut().expect("cursor positioned above").flip(bit);
+            self.cache.insert(key, evaluation);
+            out.push(evaluation);
+        }
+        Ok(out)
     }
 
     /// Whether `context` is a matching context for `V` (`f_M(D_C, V) = true`
@@ -161,6 +384,7 @@ impl std::fmt::Debug for Verifier<'_> {
             .field("detector", &self.detector.name())
             .field("utility", &self.utility.name())
             .field("calls", &self.calls)
+            .field("lookups", &self.lookups)
             .field("cached_contexts", &self.cache.len())
             .finish()
     }
@@ -236,10 +460,54 @@ mod tests {
         }
         assert_eq!(verifier.calls(), 1);
         assert_eq!(verifier.distinct_contexts(), 1);
+        assert_eq!(verifier.lookups(), 10);
+        assert_eq!(verifier.cache_hits(), 9);
         let other = Context::full(4);
         verifier.evaluate(&other).unwrap();
         assert_eq!(verifier.calls(), 2);
         assert_eq!(verifier.distinct_contexts(), 2);
+    }
+
+    #[test]
+    fn evaluate_neighbors_agrees_with_per_context_evaluation() {
+        let dataset = toy();
+        let detector = ZScoreDetector::new(1.4);
+        let utility = PopulationSizeUtility;
+        let base = dataset.minimal_context(9).unwrap();
+
+        let mut batched = Verifier::new(&dataset, &detector, &utility, 9);
+        let neighbor_evals = batched.evaluate_neighbors(&base).unwrap();
+        assert_eq!(neighbor_evals.len(), 4);
+
+        let mut serial = Verifier::new(&dataset, &detector, &utility, 9);
+        for (bit, eval) in neighbor_evals.iter().enumerate() {
+            let expected = serial.evaluate(&base.with_flipped(bit)).unwrap();
+            assert_eq!(*eval, expected, "neighbor {bit} diverged");
+        }
+        // A second batched walk is answered entirely from cache.
+        let calls = batched.calls();
+        let again = batched.evaluate_neighbors(&base).unwrap();
+        assert_eq!(again, neighbor_evals);
+        assert_eq!(batched.calls(), calls);
+    }
+
+    #[test]
+    fn sharded_verifier_matches_serial() {
+        let dataset = toy();
+        let detector = ZScoreDetector::new(1.4);
+        let utility = PopulationSizeUtility;
+        let mut serial =
+            Verifier::with_shard_policy(&dataset, &detector, &utility, 9, ShardPolicy::serial());
+        let mut sharded =
+            Verifier::with_shard_policy(&dataset, &detector, &utility, 9, ShardPolicy::forced(3));
+        for mask in 0..(1u32 << 4) {
+            let context = Context::from_indices(4, (0..4).filter(|i| (mask >> i) & 1 == 1));
+            assert_eq!(
+                serial.evaluate(&context).unwrap(),
+                sharded.evaluate(&context).unwrap(),
+                "sharded evaluation diverged at mask {mask:04b}"
+            );
+        }
     }
 
     #[test]
@@ -273,5 +541,21 @@ mod tests {
         let utility = PopulationSizeUtility;
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
         assert!(verifier.evaluate(&Context::empty(7)).is_err());
+        assert!(verifier.evaluate_neighbors(&Context::empty(7)).is_err());
+    }
+
+    #[test]
+    fn fingerprints_are_incremental() {
+        let context = Context::from_bit_string("1010011100101").unwrap();
+        let parts = fingerprint_parts(&context);
+        for bit in 0..context.len() {
+            let direct = fingerprint_parts(&context.with_flipped(bit));
+            assert_eq!(neighbor_parts(&context, parts, bit), direct);
+        }
+        // Distinct lengths fingerprint differently even with equal words.
+        assert_ne!(
+            fp_key(fingerprint_parts(&Context::empty(5))),
+            fp_key(fingerprint_parts(&Context::empty(6)))
+        );
     }
 }

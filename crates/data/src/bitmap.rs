@@ -112,6 +112,28 @@ impl RecordBitmap {
         }
     }
 
+    /// Sets every bit (respecting the length).
+    pub fn fill(&mut self) {
+        for w in &mut self.words {
+            *w = u64::MAX;
+        }
+        self.mask_tail();
+    }
+
+    /// Word-level view of the bitmap (least-significant bit of `words()[0]`
+    /// is record 0). Exposed for the population-evaluation engine, which
+    /// fuses multi-bitmap AND/OR/popcount passes over raw words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable word-level view. Callers must keep the tail invariant: bits
+    /// at positions `>= len` stay zero. The engine's writers (the fused
+    /// AND pass) only combine words of valid bitmaps, which preserves it.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Iterator over the set record identifiers in ascending order.
     pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
         self.words.iter().enumerate().flat_map(move |(wi, &word)| {

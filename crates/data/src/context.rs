@@ -140,6 +140,19 @@ impl Context {
         c
     }
 
+    /// Word-level view of the bit storage (least-significant bit of
+    /// `words()[0]` is bit 0; bits `>= len` are zero). Exposed for the
+    /// evaluation engine: cursors diff contexts word-wise and verifier
+    /// caches fingerprint the words instead of cloning contexts.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable word-level view. Callers must keep bits `>= len` zero.
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
     /// Number of set bits (the context's Hamming weight).
     pub fn hamming_weight(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()

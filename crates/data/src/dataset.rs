@@ -14,6 +14,7 @@
 
 use crate::bitmap::RecordBitmap;
 use crate::context::Context;
+use crate::population::PopulationScratch;
 use crate::record::Record;
 use crate::schema::Schema;
 use crate::{DataError, Result};
@@ -28,11 +29,20 @@ pub struct Dataset {
     records: Vec<Record>,
     /// One bitmap per context bit (attribute value): which records carry it.
     value_bitmaps: Vec<RecordBitmap>,
+    /// Columnar copy of every record's metric, indexed by record id — the
+    /// evaluation hot path gathers population metrics from this flat array
+    /// instead of chasing per-[`Record`] indirection.
+    metric_column: Vec<f64>,
+    /// Flattened `n × m` matrix of context-bit indices: entry `id * m + attr`
+    /// is the bit of record `id`'s value of attribute `attr`. Lets
+    /// [`Dataset::covers`] answer with `m` direct bit probes.
+    record_bits: Vec<u32>,
 }
 
 impl Dataset {
     /// Creates a dataset, validating every record against the schema and
-    /// building the per-value record bitmaps.
+    /// building the per-value record bitmaps plus the columnar metric and
+    /// record-bit indexes.
     ///
     /// # Errors
     /// Propagates validation errors from [`Record::validate`].
@@ -41,7 +51,15 @@ impl Dataset {
             r.validate(&schema)?;
         }
         let value_bitmaps = Self::build_bitmaps(&schema, &records)?;
-        Ok(Dataset { schema, records, value_bitmaps })
+        let metric_column = records.iter().map(Record::metric).collect();
+        let m = schema.num_attributes();
+        let mut record_bits = Vec::with_capacity(records.len() * m);
+        for r in &records {
+            for (attr, &val) in r.values().iter().enumerate() {
+                record_bits.push(schema.bit_index(attr, val as usize)? as u32);
+            }
+        }
+        Ok(Dataset { schema, records, value_bitmaps, metric_column, record_bits })
     }
 
     fn build_bitmaps(schema: &Schema, records: &[Record]) -> Result<Vec<RecordBitmap>> {
@@ -82,26 +100,56 @@ impl Dataset {
         &self.records
     }
 
-    /// The metric value of record `id`.
+    /// The metric value of record `id` (read from the columnar store).
     pub fn metric(&self, id: usize) -> f64 {
-        self.records[id].metric()
+        self.metric_column[id]
     }
 
     /// The population bitmap `D_C` of a context.
+    ///
+    /// Allocates a fresh bitmap per call; hot paths should hold a
+    /// [`PopulationScratch`] and use [`Dataset::population_into`], or a
+    /// [`PopulationCursor`](crate::PopulationCursor) when evaluating a
+    /// sequence of connected contexts.
     ///
     /// # Errors
     /// Returns [`DataError::ContextLengthMismatch`] when the context does not
     /// match the schema.
     pub fn population(&self, context: &Context) -> Result<RecordBitmap> {
+        let mut scratch = PopulationScratch::for_dataset(self);
+        self.population_into(context, &mut scratch)?;
+        Ok(scratch.into_result())
+    }
+
+    /// Evaluates the population of a context into reusable scratch buffers,
+    /// returning the result bitmap. After the first call on a given scratch
+    /// no allocation happens.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ContextLengthMismatch`] when the context does not
+    /// match the schema, or [`DataError::Malformed`] when the scratch is
+    /// sized for a different dataset.
+    pub fn population_into<'s>(
+        &self,
+        context: &Context,
+        scratch: &'s mut PopulationScratch,
+    ) -> Result<&'s RecordBitmap> {
         if context.len() != self.schema.total_values() {
             return Err(DataError::ContextLengthMismatch {
                 expected: self.schema.total_values(),
                 actual: context.len(),
             });
         }
-        let n = self.records.len();
-        let mut result = RecordBitmap::all(n);
-        let mut attr_union = RecordBitmap::new(n);
+        if scratch.len() != self.records.len() {
+            return Err(DataError::Malformed(format!(
+                "population scratch sized for {} records used on a dataset of {}",
+                scratch.len(),
+                self.records.len()
+            )));
+        }
+        let result = &mut scratch.result;
+        let attr_union = &mut scratch.attr_union;
+        result.fill();
         for attr in 0..self.schema.num_attributes() {
             attr_union.clear();
             let mut any = false;
@@ -114,11 +162,11 @@ impl Dataset {
             if !any {
                 // No value of this attribute selected: population is empty.
                 result.clear();
-                return Ok(result);
+                return Ok(&scratch.result);
             }
-            result.intersect_with(&attr_union);
+            result.intersect_with(attr_union);
         }
-        Ok(result)
+        Ok(&scratch.result)
     }
 
     /// Identifiers of the records covered by a context.
@@ -129,12 +177,50 @@ impl Dataset {
         Ok(self.population(context)?.to_vec())
     }
 
-    /// Size of the population `|D_C|`.
+    /// Size of the population `|D_C|`, computed without materializing any
+    /// bitmap: a single word-at-a-time pass fuses the per-attribute OR, the
+    /// cross-attribute AND and the popcount.
     ///
     /// # Errors
     /// Same conditions as [`Dataset::population`].
     pub fn population_size(&self, context: &Context) -> Result<usize> {
-        Ok(self.population(context)?.count())
+        if context.len() != self.schema.total_values() {
+            return Err(DataError::ContextLengthMismatch {
+                expected: self.schema.total_values(),
+                actual: context.len(),
+            });
+        }
+        // Hoist the selected bits out of the word loop: one O(t) scan into a
+        // flat list with per-attribute block boundaries, then the fused pass
+        // touches only selected bitmaps (O(num_words · selected), not
+        // O(num_words · t)).
+        let m = self.schema.num_attributes();
+        let mut selected: Vec<usize> = Vec::with_capacity(self.schema.total_values());
+        let mut block_ends: Vec<usize> = Vec::with_capacity(m);
+        for attr in 0..m {
+            let before = selected.len();
+            selected.extend(self.schema.block(attr).filter(|&bit| context.get(bit)));
+            if selected.len() == before {
+                return Ok(0); // Ill-formed context: empty population.
+            }
+            block_ends.push(selected.len());
+        }
+        let num_words = self.records.len().div_ceil(64);
+        let mut count = 0usize;
+        for word in 0..num_words {
+            let mut and = u64::MAX;
+            let mut start = 0usize;
+            for &end in &block_ends {
+                let mut or = 0u64;
+                for &bit in &selected[start..end] {
+                    or |= self.value_bitmaps[bit].words()[word];
+                }
+                and &= or;
+                start = end;
+            }
+            count += and.count_ones() as usize;
+        }
+        Ok(count)
     }
 
     /// Metric values of the records covered by a context, in record-id order.
@@ -142,15 +228,80 @@ impl Dataset {
     /// # Errors
     /// Same conditions as [`Dataset::population`].
     pub fn population_metrics(&self, context: &Context) -> Result<Vec<f64>> {
-        Ok(self.population(context)?.iter_ones().map(|id| self.records[id].metric()).collect())
+        Ok(self.population(context)?.iter_ones().map(|id| self.metric_column[id]).collect())
     }
 
-    /// Whether record `id` is covered by the context.
+    /// Gathers the metric values of a population bitmap into a reusable
+    /// buffer (cleared first), returning the position of `target` within the
+    /// gathered slice when the population contains it. This is the verifier's
+    /// inner gather: columnar reads, no per-call allocation once `out` has
+    /// grown to capacity.
+    pub fn gather_population_metrics(
+        &self,
+        population: &RecordBitmap,
+        target: usize,
+        out: &mut Vec<f64>,
+    ) -> Option<usize> {
+        out.clear();
+        let mut target_index = None;
+        for (pos, id) in population.iter_ones().enumerate() {
+            if id == target {
+                target_index = Some(pos);
+            }
+            out.push(self.metric_column[id]);
+        }
+        target_index
+    }
+
+    /// Accumulates `(Σ x, Σ (x − x̄)²)` of the metric values of a population
+    /// bitmap over the columnar store — the sufficient statistics
+    /// moment-decidable detectors need, with no metrics slice materialized.
+    ///
+    /// One pass in record-id order, accumulating deviations from `origin`
+    /// and applying the shifted-variance identity
+    /// `Σ(x − x̄)² = Σd² − (Σd)²/n` with `d = x − origin` (clamped at zero).
+    /// `origin` must be a value on the scale of the population — the
+    /// verification engine passes the queried record's own metric. The
+    /// naive `origin = 0` form cancels catastrophically for populations
+    /// with a large mean and small spread; with an in-population origin the
+    /// cancellation term scales with `(x̄ − origin)² / Var ≈ z²`, so the
+    /// relative error stays ~`n·ε·(1 + z²)` — negligible where verdicts are
+    /// decided (z near a detector threshold) and far too small to drag a
+    /// genuinely extreme z below one.
+    pub fn population_metric_moments(&self, population: &RecordBitmap, origin: f64) -> (f64, f64) {
+        let mut sum_dev = 0.0;
+        let mut sum_sq = 0.0;
+        let mut count = 0usize;
+        for id in population.iter_ones() {
+            let d = self.metric_column[id] - origin;
+            sum_dev += d;
+            sum_sq += d * d;
+            count += 1;
+        }
+        if count == 0 {
+            return (0.0, 0.0);
+        }
+        let sum = origin * count as f64 + sum_dev;
+        let sum_sq_dev = (sum_sq - sum_dev * sum_dev / count as f64).max(0.0);
+        (sum, sum_sq_dev)
+    }
+
+    /// Whether record `id` is covered by the context, answered from the
+    /// dataset's flattened record-bit index: `m` direct bit probes, no
+    /// per-attribute value scan or domain re-validation.
     ///
     /// # Errors
-    /// Same conditions as [`Context::covers`].
+    /// Returns [`DataError::ContextLengthMismatch`] when the context does not
+    /// match the schema.
     pub fn covers(&self, context: &Context, id: usize) -> Result<bool> {
-        context.covers(&self.schema, self.records[id].values())
+        if context.len() != self.schema.total_values() {
+            return Err(DataError::ContextLengthMismatch {
+                expected: self.schema.total_values(),
+                actual: context.len(),
+            });
+        }
+        let m = self.schema.num_attributes();
+        Ok(self.record_bits[id * m..(id + 1) * m].iter().all(|&bit| context.get(bit as usize)))
     }
 
     /// The minimal (starting) context of record `id`: exactly its own values.
@@ -224,9 +375,16 @@ impl Dataset {
         Ok((neighbor, removed))
     }
 
-    /// All metric values in record-id order (the "global" population).
-    pub fn metrics(&self) -> Vec<f64> {
-        self.records.iter().map(|r| r.metric()).collect()
+    /// All metric values in record-id order (the "global" population), as a
+    /// borrowed view of the columnar store.
+    pub fn metrics(&self) -> &[f64] {
+        &self.metric_column
+    }
+
+    /// The record bitmap of one context bit (attribute value) — which
+    /// records carry it. Used by the population-evaluation engine.
+    pub(crate) fn value_bitmap(&self, bit: usize) -> &RecordBitmap {
+        &self.value_bitmaps[bit]
     }
 }
 

@@ -31,12 +31,14 @@ pub mod context;
 pub mod csv;
 pub mod dataset;
 pub mod generator;
+pub mod population;
 pub mod record;
 pub mod schema;
 
 pub use bitmap::RecordBitmap;
 pub use context::Context;
 pub use dataset::Dataset;
+pub use population::{PopulationCursor, PopulationScratch, ShardPolicy};
 pub use record::Record;
 pub use schema::{Attribute, Schema};
 

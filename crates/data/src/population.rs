@@ -1,0 +1,514 @@
+//! Incremental, allocation-free population evaluation.
+//!
+//! `Dataset::population` is the inner loop of every PCOR algorithm: the
+//! paper's runtime numbers are essentially counts of `f_M` evaluations, and
+//! each one filters the dataset. The naive evaluation allocates two fresh
+//! [`RecordBitmap`]s and re-runs the OR/AND pass over *all* attributes even
+//! though the search algorithms (BFS, DFS, random walk, Gray-code
+//! enumeration) only ever move by single-bit context flips.
+//!
+//! This module provides the machinery that removes both costs:
+//!
+//! * [`PopulationScratch`] — reusable result/attribute-union bitmaps for
+//!   [`Dataset::population_into`](crate::Dataset::population_into), making a
+//!   from-scratch evaluation allocation-free after the first call;
+//! * [`PopulationCursor`] — a stateful evaluator that caches one union
+//!   bitmap *per attribute*. A one-bit context flip then recomputes only the
+//!   touched attribute's union (an OR over at most `|A_i|` value bitmaps —
+//!   or a single OR when a bit turns on) followed by one fused
+//!   AND + popcount pass over the `m` cached unions, instead of the full
+//!   per-attribute loop over all selected values;
+//! * [`ShardPolicy`] — for large `n`, the fused AND/popcount pass shards the
+//!   record-word space across `std::thread::scope` workers, parallelizing
+//!   evaluation *within* a single release rather than only across releases
+//!   (the "dataset sharding" ROADMAP item). Sharded and serial evaluation
+//!   are bit-identical: the pass is an exact word-wise AND.
+
+use crate::bitmap::RecordBitmap;
+use crate::context::Context;
+use crate::dataset::Dataset;
+use crate::{DataError, Result};
+
+/// Reusable buffers for from-scratch population evaluation.
+///
+/// Create one per long-lived evaluator (verifier, enumeration worker) and
+/// pass it to [`Dataset::population_into`](crate::Dataset::population_into);
+/// after the first call no evaluation allocates.
+#[derive(Debug, Clone)]
+pub struct PopulationScratch {
+    pub(crate) result: RecordBitmap,
+    pub(crate) attr_union: RecordBitmap,
+}
+
+impl PopulationScratch {
+    /// Creates scratch buffers for datasets of `len` records.
+    pub fn new(len: usize) -> Self {
+        PopulationScratch { result: RecordBitmap::new(len), attr_union: RecordBitmap::new(len) }
+    }
+
+    /// Creates scratch buffers sized for `dataset`.
+    pub fn for_dataset(dataset: &Dataset) -> Self {
+        PopulationScratch::new(dataset.len())
+    }
+
+    /// Number of records the scratch is sized for.
+    pub fn len(&self) -> usize {
+        self.result.len()
+    }
+
+    /// Whether the scratch addresses zero records.
+    pub fn is_empty(&self) -> bool {
+        self.result.is_empty()
+    }
+
+    /// The population bitmap of the most recent
+    /// [`Dataset::population_into`](crate::Dataset::population_into) call.
+    pub fn result(&self) -> &RecordBitmap {
+        &self.result
+    }
+
+    /// Consumes the scratch, yielding the result bitmap.
+    pub fn into_result(self) -> RecordBitmap {
+        self.result
+    }
+}
+
+/// How the fused AND/popcount pass of a [`PopulationCursor`] distributes its
+/// word range across threads.
+///
+/// Sharding is exact — the pass is a word-wise AND, so sharded and serial
+/// results are bit-identical — but spawning scoped threads costs tens of
+/// microseconds, which only pays off once a single pass streams megabytes.
+/// The [`ShardPolicy::auto`] default therefore stays serial below
+/// [`ShardPolicy::AUTO_MIN_WORDS`] words (≈ 4 M records).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardPolicy {
+    /// Maximum number of worker threads for one pass.
+    pub threads: usize,
+    /// Minimum number of 64-bit words in the record space before the pass
+    /// shards at all.
+    pub min_words: usize,
+}
+
+impl ShardPolicy {
+    /// Word threshold of the [`ShardPolicy::auto`] policy: 2^16 words
+    /// (≈ 4.2 M records), below which one AND pass is too cheap to amortize
+    /// thread spawns.
+    pub const AUTO_MIN_WORDS: usize = 1 << 16;
+
+    /// Never shard; every pass runs on the calling thread.
+    pub fn serial() -> Self {
+        ShardPolicy { threads: 1, min_words: usize::MAX }
+    }
+
+    /// Shard across up to `available_parallelism` (capped at 8) threads once
+    /// the record space reaches [`ShardPolicy::AUTO_MIN_WORDS`] words.
+    pub fn auto() -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        ShardPolicy { threads, min_words: Self::AUTO_MIN_WORDS }
+    }
+
+    /// Shard every pass across `threads` workers regardless of size — for
+    /// tests (bit-identity against serial) and benchmarks; production code
+    /// should prefer [`ShardPolicy::auto`].
+    pub fn forced(threads: usize) -> Self {
+        ShardPolicy { threads: threads.max(1), min_words: 0 }
+    }
+
+    /// The number of shards a pass over `words` words uses under this policy.
+    fn shards_for(&self, words: usize) -> usize {
+        if self.threads > 1 && words >= self.min_words {
+            self.threads.min(words.max(1))
+        } else {
+            1
+        }
+    }
+}
+
+impl Default for ShardPolicy {
+    fn default() -> Self {
+        ShardPolicy::auto()
+    }
+}
+
+/// A stateful population evaluator positioned at one context.
+///
+/// The cursor caches the per-attribute union bitmap
+/// `U_i = OR over selected values j of attribute i (B_ij)` for its current
+/// context. Moving to a connected context (one-bit flip) updates only the
+/// touched attribute's union — a single OR when the bit turns on, an OR over
+/// the block's remaining selected values when it turns off — and the
+/// population is then one fused AND + popcount pass over the `m` cached
+/// unions. No step allocates.
+///
+/// [`PopulationCursor::move_to`] generalizes to arbitrary jumps at cost
+/// proportional to the number of *attributes* whose selection changed, so a
+/// cursor is never slower than a from-scratch evaluation and strictly
+/// cheaper for the local moves every search algorithm makes.
+#[derive(Debug)]
+pub struct PopulationCursor<'a> {
+    dataset: &'a Dataset,
+    context: Context,
+    /// One cached union bitmap per attribute.
+    attr_unions: Vec<RecordBitmap>,
+    /// Number of selected values per attribute (0 ⇒ empty population).
+    selected: Vec<usize>,
+    /// Scratch flags for [`PopulationCursor::move_to`] (one per attribute).
+    touched: Vec<bool>,
+    result: RecordBitmap,
+    population_size: usize,
+    /// Whether `result`/`population_size` reflect the current context.
+    fresh: bool,
+    policy: ShardPolicy,
+}
+
+impl<'a> PopulationCursor<'a> {
+    /// Positions a new cursor at `context` with the default (auto) shard
+    /// policy.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ContextLengthMismatch`] when the context does
+    /// not match the dataset's schema.
+    pub fn new(dataset: &'a Dataset, context: &Context) -> Result<Self> {
+        Self::with_policy(dataset, context, ShardPolicy::auto())
+    }
+
+    /// Positions a new cursor at `context` with an explicit shard policy.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ContextLengthMismatch`] when the context does
+    /// not match the dataset's schema.
+    pub fn with_policy(
+        dataset: &'a Dataset,
+        context: &Context,
+        policy: ShardPolicy,
+    ) -> Result<Self> {
+        let schema = dataset.schema();
+        if context.len() != schema.total_values() {
+            return Err(DataError::ContextLengthMismatch {
+                expected: schema.total_values(),
+                actual: context.len(),
+            });
+        }
+        let n = dataset.len();
+        let m = schema.num_attributes();
+        let mut cursor = PopulationCursor {
+            dataset,
+            context: context.clone(),
+            attr_unions: vec![RecordBitmap::new(n); m],
+            selected: vec![0; m],
+            touched: vec![false; m],
+            result: RecordBitmap::new(n),
+            population_size: 0,
+            fresh: false,
+            policy,
+        };
+        for attr in 0..m {
+            cursor.rebuild_union(attr);
+        }
+        Ok(cursor)
+    }
+
+    /// The context the cursor is positioned at.
+    pub fn context(&self) -> &Context {
+        &self.context
+    }
+
+    /// The dataset the cursor evaluates against.
+    pub fn dataset(&self) -> &'a Dataset {
+        self.dataset
+    }
+
+    /// The shard policy of the fused AND/popcount pass.
+    pub fn policy(&self) -> ShardPolicy {
+        self.policy
+    }
+
+    /// Flips one context bit and updates the touched attribute's cached
+    /// union. Returns the bit's new value. Cost: one bitmap OR when the bit
+    /// turns on, an OR over the block's remaining selected values when it
+    /// turns off. The population itself is recomputed lazily on the next
+    /// [`PopulationCursor::population`] call.
+    ///
+    /// # Panics
+    /// Panics if `bit` is out of range for the schema.
+    pub fn flip(&mut self, bit: usize) -> bool {
+        let now_set = self.context.flip(bit);
+        let (attr, _) = self.dataset.schema().bit_to_attr_value(bit);
+        if now_set {
+            self.attr_unions[attr].union_with(self.dataset.value_bitmap(bit));
+            self.selected[attr] += 1;
+        } else {
+            self.selected[attr] -= 1;
+            self.rebuild_union(attr);
+        }
+        self.fresh = false;
+        now_set
+    }
+
+    /// Repositions the cursor at `target`, rebuilding only the unions of
+    /// attributes whose selection actually changed.
+    ///
+    /// # Errors
+    /// Returns [`DataError::ContextLengthMismatch`] when the target does not
+    /// match the schema.
+    pub fn move_to(&mut self, target: &Context) -> Result<()> {
+        let schema = self.dataset.schema();
+        if target.len() != schema.total_values() {
+            return Err(DataError::ContextLengthMismatch {
+                expected: schema.total_values(),
+                actual: target.len(),
+            });
+        }
+        self.touched.iter_mut().for_each(|t| *t = false);
+        let mut any = false;
+        for (word_index, (current, wanted)) in
+            self.context.words().iter().zip(target.words()).enumerate()
+        {
+            let mut diff = current ^ wanted;
+            while diff != 0 {
+                let bit = word_index * 64 + diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let (attr, _) = schema.bit_to_attr_value(bit);
+                self.touched[attr] = true;
+                any = true;
+            }
+        }
+        if !any {
+            return Ok(());
+        }
+        self.context.words_mut().copy_from_slice(target.words());
+        for attr in 0..self.touched.len() {
+            if self.touched[attr] {
+                self.rebuild_union(attr);
+            }
+        }
+        self.fresh = false;
+        Ok(())
+    }
+
+    /// The population bitmap `D_C` of the current context. Recomputes the
+    /// fused AND/popcount pass only when the context moved since the last
+    /// call.
+    pub fn population(&mut self) -> &RecordBitmap {
+        self.refresh();
+        &self.result
+    }
+
+    /// The population size `|D_C|` of the current context.
+    pub fn population_size(&mut self) -> usize {
+        self.refresh();
+        self.population_size
+    }
+
+    /// Refreshes and returns the current `(context, population, |D_C|)` as
+    /// simultaneous shared borrows — the shape the verification hot path
+    /// needs (coverage probe, utility scoring and metric gather all read the
+    /// same evaluation).
+    pub fn evaluated(&mut self) -> (&Context, &RecordBitmap, usize) {
+        self.refresh();
+        (&self.context, &self.result, self.population_size)
+    }
+
+    /// Rebuilds `attr`'s union from the context's selected values and resets
+    /// the selected count.
+    fn rebuild_union(&mut self, attr: usize) {
+        let schema = self.dataset.schema();
+        let union = &mut self.attr_unions[attr];
+        union.clear();
+        let mut count = 0;
+        for bit in schema.block(attr) {
+            if self.context.get(bit) {
+                union.union_with(self.dataset.value_bitmap(bit));
+                count += 1;
+            }
+        }
+        self.selected[attr] = count;
+    }
+
+    /// Recomputes the result bitmap and popcount when stale: one fused pass
+    /// computing `AND over attributes i (U_i)` word by word, sharded across
+    /// scoped threads when the policy and size warrant it.
+    fn refresh(&mut self) {
+        if self.fresh {
+            return;
+        }
+        self.fresh = true;
+        if self.selected.contains(&0) {
+            // Ill-formed context (an attribute with no selected value):
+            // empty population by definition.
+            self.result.clear();
+            self.population_size = 0;
+            return;
+        }
+        let PopulationCursor { attr_unions, result, .. } = self;
+        let (first, rest) = attr_unions.split_first().expect("schemas have >= 1 attribute");
+        let out = result.words_mut();
+        let shards = self.policy.shards_for(out.len());
+        if shards <= 1 {
+            self.population_size = and_popcount(first.words(), rest, out, 0);
+        } else {
+            let chunk = out.len().div_ceil(shards);
+            self.population_size = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(shards);
+                for (shard, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                    let lo = shard * chunk;
+                    let first_words = &first.words()[lo..lo + out_chunk.len()];
+                    handles
+                        .push(scope.spawn(move || and_popcount(first_words, rest, out_chunk, lo)));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("population shard worker panicked"))
+                    .sum()
+            });
+        }
+    }
+}
+
+/// The fused pass over one word range: `out[k] = first[k] AND (AND over rest
+/// of rest[attr][lo + k])`, returning the popcount of the range. `first` is
+/// pre-sliced to the range; `rest` bitmaps are indexed at `lo + k`.
+fn and_popcount(first: &[u64], rest: &[RecordBitmap], out: &mut [u64], lo: usize) -> usize {
+    let mut count = 0usize;
+    for (k, (slot, &word)) in out.iter_mut().zip(first).enumerate() {
+        let mut w = word;
+        for union in rest {
+            w &= union.words()[lo + k];
+        }
+        *slot = w;
+        count += w.count_ones() as usize;
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Record;
+    use crate::schema::{Attribute, Schema};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1", "a2"]),
+                Attribute::from_values("B", &["b0", "b1"]),
+                Attribute::from_values("C", &["c0", "c1", "c2", "c3"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        let records = (0..200u32)
+            .map(|i| {
+                Record::new(
+                    vec![(i % 3) as u16, ((i / 3) % 2) as u16, ((i / 7) % 4) as u16],
+                    i as f64,
+                )
+            })
+            .collect();
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn cursor_matches_from_scratch_population_after_flips() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let start = Context::from_indices(t, [0, 3, 5]);
+        let mut cursor = PopulationCursor::new(&d, &start).unwrap();
+        let mut reference = start.clone();
+        // A deterministic pseudo-random flip sequence.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let bit = (state >> 33) as usize % t;
+            cursor.flip(bit);
+            reference.flip(bit);
+            let expected = d.population(&reference).unwrap();
+            assert_eq!(cursor.population(), &expected);
+            assert_eq!(cursor.population_size(), expected.count());
+            assert_eq!(cursor.context(), &reference);
+        }
+    }
+
+    #[test]
+    fn move_to_handles_arbitrary_jumps() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let mut cursor = PopulationCursor::new(&d, &Context::empty(t)).unwrap();
+        let targets = [
+            Context::full(t),
+            Context::from_indices(t, [1, 4, 6, 8]),
+            Context::empty(t),
+            Context::from_indices(t, [0, 1, 2, 3, 4, 5, 6, 7, 8]),
+        ];
+        for target in &targets {
+            cursor.move_to(target).unwrap();
+            let expected = d.population(target).unwrap();
+            assert_eq!(cursor.population(), &expected);
+        }
+        // A no-op move keeps the cached result valid.
+        let before = cursor.population_size();
+        cursor.move_to(&targets[targets.len() - 1].clone()).unwrap();
+        assert_eq!(cursor.population_size(), before);
+    }
+
+    #[test]
+    fn sharded_pass_is_bit_identical_to_serial() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let context = Context::from_indices(t, [0, 2, 3, 5, 7]);
+        let mut serial =
+            PopulationCursor::with_policy(&d, &context, ShardPolicy::serial()).unwrap();
+        let mut sharded =
+            PopulationCursor::with_policy(&d, &context, ShardPolicy::forced(4)).unwrap();
+        assert_eq!(serial.population(), sharded.population());
+        assert_eq!(serial.population_size(), sharded.population_size());
+        for bit in 0..t {
+            serial.flip(bit);
+            sharded.flip(bit);
+            assert_eq!(serial.population(), sharded.population());
+        }
+    }
+
+    #[test]
+    fn ill_formed_contexts_have_empty_populations() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        // No value of attribute B selected.
+        let context = Context::from_indices(t, [0, 6]);
+        let mut cursor = PopulationCursor::new(&d, &context).unwrap();
+        assert_eq!(cursor.population_size(), 0);
+        assert_eq!(cursor.population().count(), 0);
+        // Selecting a B value repairs it.
+        cursor.flip(3);
+        assert!(cursor.population_size() > 0);
+    }
+
+    #[test]
+    fn length_mismatches_are_rejected() {
+        let d = dataset();
+        assert!(PopulationCursor::new(&d, &Context::empty(3)).is_err());
+        let t = d.schema().total_values();
+        let mut cursor = PopulationCursor::new(&d, &Context::empty(t)).unwrap();
+        assert!(cursor.move_to(&Context::empty(3)).is_err());
+    }
+
+    #[test]
+    fn scratch_reports_its_capacity() {
+        let d = dataset();
+        let scratch = PopulationScratch::for_dataset(&d);
+        assert_eq!(scratch.len(), d.len());
+        assert!(!scratch.is_empty());
+        assert!(PopulationScratch::new(0).is_empty());
+    }
+
+    #[test]
+    fn shard_policy_thresholds() {
+        assert_eq!(ShardPolicy::serial().shards_for(1 << 20), 1);
+        assert_eq!(ShardPolicy::forced(4).shards_for(10), 4);
+        assert_eq!(ShardPolicy::forced(4).shards_for(2), 2);
+        let auto = ShardPolicy::auto();
+        assert_eq!(auto.shards_for(ShardPolicy::AUTO_MIN_WORDS - 1), 1);
+        assert_eq!(ShardPolicy::default(), auto);
+    }
+}

@@ -17,7 +17,7 @@
 //! is smaller and the verdict is conservative (never flags more than the
 //! classical test would).
 
-use crate::OutlierDetector;
+use crate::{OutlierDetector, PopulationMoments};
 use pcor_stats::descriptive::{mean, sample_std};
 use pcor_stats::distributions::StudentT;
 
@@ -90,6 +90,26 @@ impl OutlierDetector for GrubbsDetector {
             (Some(g), Some(crit)) => g > crit,
             _ => false,
         }
+    }
+
+    /// The Grubbs statistic of a specific value is `|x − x̄| / s` — a
+    /// function of the population moments, so the engine's single-pass
+    /// accumulation decides without a metrics slice.
+    fn supports_moments(&self) -> bool {
+        true
+    }
+
+    fn is_outlier_by_moments(&self, moments: &PopulationMoments, value: f64) -> bool {
+        let Some(crit) = self.critical_value(moments.count) else {
+            return false;
+        };
+        let (Some(m), Some(s)) = (moments.mean(), moments.sample_std()) else {
+            return false;
+        };
+        if s == 0.0 {
+            return false;
+        }
+        (value - m).abs() / s > crit
     }
 }
 

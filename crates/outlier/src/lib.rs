@@ -38,6 +38,69 @@ pub use iqr::IqrDetector;
 pub use lof::LofDetector;
 pub use zscore::ZScoreDetector;
 
+/// Sufficient statistics of a population's metric values: count, sum and
+/// the *centered* sum of squared deviations `Σ (x − x̄)²`.
+///
+/// Moment-decidable detectors ([`ZScoreDetector`], [`GrubbsDetector`]) can
+/// answer [`OutlierDetector::is_outlier_by_moments`] from these three
+/// numbers, which the verification engine accumulates in a single pass over
+/// the population bitmap without materializing a metrics slice. Producers
+/// must compute `sum_sq_dev` with a cancellation-safe algorithm — a shifted
+/// accumulation around an in-population origin (the engine shifts by the
+/// queried record's value) or a two-pass mean-then-deviations sweep; the
+/// naive `Σx² − n·x̄²` form silently collapses to zero variance for
+/// populations with a large mean and small spread. Quantile- and
+/// density-based detectors (IQR, LOF, Histogram) need the full value
+/// multiset and keep the slice path.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PopulationMoments {
+    /// Number of values, `N = |D_C|`.
+    pub count: usize,
+    /// `Σ x`.
+    pub sum: f64,
+    /// `Σ (x − x̄)²`, the centered sum of squared deviations.
+    pub sum_sq_dev: f64,
+}
+
+impl PopulationMoments {
+    /// Bundles precomputed moments (`sum_sq_dev` must be the *centered*
+    /// sum of squared deviations, not `Σ x²`).
+    pub fn new(count: usize, sum: f64, sum_sq_dev: f64) -> Self {
+        PopulationMoments { count, sum, sum_sq_dev }
+    }
+
+    /// Accumulates the moments of a value slice (two passes, matching the
+    /// numerics of the slice-based detectors).
+    pub fn from_values(values: &[f64]) -> Self {
+        let sum: f64 = values.iter().sum();
+        if values.is_empty() {
+            return PopulationMoments { count: 0, sum, sum_sq_dev: 0.0 };
+        }
+        let mean = sum / values.len() as f64;
+        let sum_sq_dev: f64 = values.iter().map(|x| (x - mean) * (x - mean)).sum();
+        PopulationMoments { count: values.len(), sum, sum_sq_dev }
+    }
+
+    /// The mean, or `None` for an empty population.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Unbiased sample variance (denominator `n − 1`); `None` for fewer
+    /// than two values. Non-negative by construction.
+    pub fn sample_variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        Some(self.sum_sq_dev / (self.count - 1) as f64)
+    }
+
+    /// Unbiased sample standard deviation; `None` for fewer than two values.
+    pub fn sample_std(&self) -> Option<f64> {
+        self.sample_variance().map(f64::sqrt)
+    }
+}
+
 /// A deterministic unsupervised outlier detector over a numeric population.
 ///
 /// `population` is the multiset of metric values of the records in the
@@ -55,6 +118,26 @@ pub trait OutlierDetector: Send + Sync {
     /// Implementations should return `false` (not panic) for degenerate
     /// populations that are too small for the test to be meaningful.
     fn is_outlier(&self, population: &[f64], target: usize) -> bool;
+
+    /// Whether this detector's verdict is a function of the population's
+    /// [`PopulationMoments`] and the target's value alone. When `true`, the
+    /// verification engine skips materializing the metrics slice and calls
+    /// [`OutlierDetector::is_outlier_by_moments`] instead. Must be constant
+    /// for a given detector instance.
+    fn supports_moments(&self) -> bool {
+        false
+    }
+
+    /// Verdict from sufficient statistics: is a member of the population
+    /// with metric `value` an outlier? Only called when
+    /// [`OutlierDetector::supports_moments`] returns `true`; the `value` is
+    /// guaranteed to belong to a record inside the population the moments
+    /// describe. Must agree with [`OutlierDetector::is_outlier`] up to
+    /// floating-point summation order.
+    fn is_outlier_by_moments(&self, moments: &PopulationMoments, value: f64) -> bool {
+        let _ = (moments, value);
+        false
+    }
 
     /// Verdicts for every member of the population.
     ///
@@ -78,6 +161,12 @@ impl<T: OutlierDetector + ?Sized> OutlierDetector for &T {
     fn is_outlier(&self, population: &[f64], target: usize) -> bool {
         (**self).is_outlier(population, target)
     }
+    fn supports_moments(&self) -> bool {
+        (**self).supports_moments()
+    }
+    fn is_outlier_by_moments(&self, moments: &PopulationMoments, value: f64) -> bool {
+        (**self).is_outlier_by_moments(moments, value)
+    }
     fn detect(&self, population: &[f64]) -> Vec<bool> {
         (**self).detect(population)
     }
@@ -92,6 +181,12 @@ impl<T: OutlierDetector + ?Sized> OutlierDetector for Box<T> {
     }
     fn is_outlier(&self, population: &[f64], target: usize) -> bool {
         (**self).is_outlier(population, target)
+    }
+    fn supports_moments(&self) -> bool {
+        (**self).supports_moments()
+    }
+    fn is_outlier_by_moments(&self, moments: &PopulationMoments, value: f64) -> bool {
+        (**self).is_outlier_by_moments(moments, value)
     }
     fn detect(&self, population: &[f64]) -> Vec<bool> {
         (**self).detect(population)
@@ -152,6 +247,51 @@ impl std::fmt::Display for DetectorKind {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn moments_agree_with_slice_verdicts() {
+        // The moment path must agree with the slice path — including on
+        // populations with a large mean and tiny spread, where a naive
+        // one-pass Σx² − n·x̄² form would cancel catastrophically and
+        // report zero variance (flipping every verdict to false).
+        let mut population: Vec<f64> = (0..1000).map(|i| 1.0e8 + (i % 3) as f64).collect();
+        population.push(1.0e8 + 40.0); // the queried record: far out in z terms
+        let target = population.len() - 1;
+        let moments = PopulationMoments::from_values(&population);
+        assert!(moments.sample_variance().unwrap() > 0.0, "variance must survive the large mean");
+        for detector in
+            [&ZScoreDetector::default() as &dyn OutlierDetector, &GrubbsDetector::default()]
+        {
+            assert!(detector.supports_moments());
+            assert_eq!(
+                detector.is_outlier_by_moments(&moments, population[target]),
+                detector.is_outlier(&population, target),
+                "{} moment verdict diverged from the slice verdict",
+                detector.name()
+            );
+            assert!(detector.is_outlier_by_moments(&moments, population[target]));
+            assert!(!detector.is_outlier_by_moments(&moments, population[0]));
+        }
+    }
+
+    #[test]
+    fn moments_handle_degenerate_populations() {
+        let empty = PopulationMoments::from_values(&[]);
+        assert_eq!(empty.mean(), None);
+        assert_eq!(empty.sample_variance(), None);
+        let single = PopulationMoments::from_values(&[5.0]);
+        assert_eq!(single.mean(), Some(5.0));
+        assert_eq!(single.sample_std(), None);
+        let constant = PopulationMoments::from_values(&[7.0; 10]);
+        assert_eq!(constant.sample_variance(), Some(0.0));
+        // Zero variance: neither moment detector flags anything.
+        assert!(!ZScoreDetector::default().is_outlier_by_moments(&constant, 7.0));
+        assert!(!GrubbsDetector::default().is_outlier_by_moments(&constant, 7.0));
+        // Too-small populations are never flagged.
+        let tiny = PopulationMoments::from_values(&[1.0, 100.0]);
+        assert!(!ZScoreDetector::default().is_outlier_by_moments(&tiny, 100.0));
+        assert!(!GrubbsDetector::default().is_outlier_by_moments(&tiny, 100.0));
+    }
 
     #[test]
     fn detector_kind_builds_all_detectors() {

@@ -5,7 +5,7 @@
 //! is an outlier when its absolute z-score within the population exceeds a
 //! threshold (3.0 by default — the classical "three sigma" rule).
 
-use crate::OutlierDetector;
+use crate::{OutlierDetector, PopulationMoments};
 use pcor_stats::descriptive::z_score;
 
 /// Three-sigma style z-score detector.
@@ -49,6 +49,25 @@ impl OutlierDetector for ZScoreDetector {
             Ok(z) => z.abs() > self.threshold,
             Err(_) => false,
         }
+    }
+
+    /// The z-score is a function of `(N, Σx, Σx², value)`: the engine's
+    /// single-pass moment accumulation decides without a metrics slice.
+    fn supports_moments(&self) -> bool {
+        true
+    }
+
+    fn is_outlier_by_moments(&self, moments: &PopulationMoments, value: f64) -> bool {
+        if moments.count < self.min_population() {
+            return false;
+        }
+        let (Some(mean), Some(std)) = (moments.mean(), moments.sample_std()) else {
+            return false;
+        };
+        if std == 0.0 {
+            return false; // Matches the slice path: zero variance ⇒ z = 0.
+        }
+        ((value - mean) / std).abs() > self.threshold
     }
 }
 

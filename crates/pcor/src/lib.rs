@@ -62,7 +62,10 @@ pub mod prelude {
     pub use pcor_data::generator::{
         homicide_dataset, salary_dataset, HomicideConfig, SalaryConfig,
     };
-    pub use pcor_data::{Attribute, Context, Dataset, Record, Schema};
+    pub use pcor_data::{
+        Attribute, Context, Dataset, PopulationCursor, PopulationScratch, Record, Schema,
+        ShardPolicy,
+    };
     pub use pcor_dp::{
         BudgetAccountant, ExponentialMechanism, LaplaceMechanism, OverlapUtility,
         PopulationSizeUtility, Utility,
@@ -70,7 +73,7 @@ pub mod prelude {
     pub use pcor_graph::ContextGraph;
     pub use pcor_outlier::{
         DetectorKind, GrubbsDetector, HistogramDetector, IqrDetector, LofDetector, OutlierDetector,
-        ZScoreDetector,
+        PopulationMoments, ZScoreDetector,
     };
     pub use pcor_service::{
         BatchItem, BatchReleaseRequest, BatchReleaseResponse, BudgetLedger, DatasetRegistry,

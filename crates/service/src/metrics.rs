@@ -11,6 +11,12 @@ pub struct ServerMetrics {
     refused: AtomicU64,
     failed: AtomicU64,
     total_latency_nanos: AtomicU64,
+    /// Fresh `f_M` verification calls performed by the release engine.
+    verification_calls: AtomicU64,
+    /// Total verifier evaluation requests (memo-cache hits included).
+    verifier_lookups: AtomicU64,
+    /// Verifier evaluation requests answered from the memo cache.
+    verifier_cache_hits: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -29,6 +35,18 @@ impl ServerMetrics {
     /// Records a failed release (non-budget error).
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the verification engine's work for one served request
+    /// (single or batch): fresh `f_M` calls, total evaluation lookups and
+    /// memo-cache hits, straight from the session's
+    /// [`SessionStats`](pcor_core::SessionStats). Makes the incremental
+    /// engine's effect — evaluations per release and cache hit rate —
+    /// observable from the server side.
+    pub fn record_engine(&self, verification_calls: u64, lookups: u64, cache_hits: u64) {
+        self.verification_calls.fetch_add(verification_calls, Ordering::Relaxed);
+        self.verifier_lookups.fetch_add(lookups, Ordering::Relaxed);
+        self.verifier_cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
     }
 
     /// Records a served batch with per-item resolution: `released` items
@@ -57,6 +75,9 @@ impl ServerMetrics {
                 .checked_div(served)
                 .map(Duration::from_nanos)
                 .unwrap_or(Duration::ZERO),
+            verification_calls: self.verification_calls.load(Ordering::Relaxed),
+            verifier_lookups: self.verifier_lookups.load(Ordering::Relaxed),
+            verifier_cache_hits: self.verifier_cache_hits.load(Ordering::Relaxed),
         }
     }
 }
@@ -72,6 +93,34 @@ pub struct ServerMetricsSnapshot {
     pub failed: u64,
     /// Mean end-to-end latency of served releases.
     pub mean_latency: Duration,
+    /// Fresh `f_M` verification calls across all requests.
+    pub verification_calls: u64,
+    /// Total verifier evaluation requests (cache hits included).
+    pub verifier_lookups: u64,
+    /// Verifier evaluation requests answered from memo caches.
+    pub verifier_cache_hits: u64,
+}
+
+impl ServerMetricsSnapshot {
+    /// Fraction of verifier evaluation requests answered from memo caches
+    /// (`0.0` before any lookup happened).
+    pub fn verifier_cache_hit_rate(&self) -> f64 {
+        if self.verifier_lookups == 0 {
+            0.0
+        } else {
+            self.verifier_cache_hits as f64 / self.verifier_lookups as f64
+        }
+    }
+
+    /// Average fresh `f_M` verification calls per served release (`0.0`
+    /// before anything was served).
+    pub fn evaluations_per_release(&self) -> f64 {
+        if self.served == 0 {
+            0.0
+        } else {
+            self.verification_calls as f64 / self.served as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +140,23 @@ mod tests {
         assert_eq!(snapshot.refused, 1);
         assert_eq!(snapshot.failed, 1);
         assert_eq!(snapshot.mean_latency, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn engine_counters_expose_cache_hit_rate_and_calls_per_release() {
+        let metrics = ServerMetrics::default();
+        let empty = metrics.snapshot();
+        assert_eq!(empty.verifier_cache_hit_rate(), 0.0);
+        assert_eq!(empty.evaluations_per_release(), 0.0);
+        metrics.record_served(Duration::from_millis(1));
+        metrics.record_served(Duration::from_millis(1));
+        metrics.record_engine(30, 100, 70);
+        metrics.record_engine(10, 100, 90);
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.verification_calls, 40);
+        assert_eq!(snapshot.verifier_lookups, 200);
+        assert_eq!(snapshot.verifier_cache_hits, 160);
+        assert!((snapshot.verifier_cache_hit_rate() - 0.8).abs() < 1e-12);
+        assert!((snapshot.evaluations_per_release() - 20.0).abs() < 1e-12);
     }
 }

@@ -322,6 +322,12 @@ impl Server {
         let latency = enqueued.elapsed();
         let released = items.iter().filter(|item| item.outcome.is_released()).count();
         metrics.record_batch(released as u64, (items.len() - released) as u64, latency);
+        let session_stats = session.stats();
+        metrics.record_engine(
+            session_stats.verification_calls as u64,
+            session_stats.cache_lookups as u64,
+            session_stats.cache_hits as u64,
+        );
         Ok(BatchReleaseResponse {
             analyst: batch.analyst,
             dataset: batch.dataset,
@@ -392,6 +398,14 @@ impl Server {
         };
         let config = request.to_config();
         let outcome = session.release_with_seed(request.record_id, &config, request.seed);
+        // The engine worked whether or not the release succeeded; record its
+        // verification cost and cache efficiency either way.
+        let session_stats = session.stats();
+        metrics.record_engine(
+            session_stats.verification_calls as u64,
+            session_stats.cache_lookups as u64,
+            session_stats.cache_hits as u64,
+        );
         // Publish a freshly discovered starting context whether or not the
         // release itself succeeded: the search result is valid and
         // expensive, and a retry must not pay for it again.
@@ -637,6 +651,27 @@ mod tests {
         let metrics = server.metrics();
         assert_eq!(metrics.served, 2);
         assert!(metrics.mean_latency > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn engine_metrics_expose_cache_hit_rate_and_evaluations_per_release() {
+        let server = toy_server(10.0, 1);
+        server.execute(toy_request("alice", 7)).unwrap();
+        let after_one = server.metrics();
+        assert!(after_one.verification_calls > 0, "a release must perform fresh f_M calls");
+        assert!(after_one.verifier_lookups >= after_one.verification_calls);
+        assert!(after_one.evaluations_per_release() > 0.0);
+        // A batch revisiting one record replays mostly from the shared
+        // verifier cache: the hit rate must be strictly positive.
+        server.execute_batch(toy_batch("alice", &[0, 0, 0])).unwrap();
+        let after_batch = server.metrics();
+        assert!(after_batch.verifier_cache_hits > after_one.verifier_cache_hits);
+        assert!(after_batch.verifier_cache_hit_rate() > 0.0);
+        assert!(after_batch.verifier_cache_hit_rate() <= 1.0);
+        assert!(
+            after_batch.verification_calls > after_one.verification_calls,
+            "the batch still pays for contexts it has not seen"
+        );
     }
 
     #[test]

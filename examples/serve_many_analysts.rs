@@ -126,5 +126,12 @@ fn main() {
         cache.hits,
         cache.misses,
     );
+    println!(
+        "verification engine: {} fresh f_M calls ({:.1} per release), \
+         verifier cache hit rate {:.0}%",
+        metrics.verification_calls,
+        metrics.evaluations_per_release(),
+        metrics.verifier_cache_hit_rate() * 100.0,
+    );
     server.shutdown();
 }
