@@ -13,6 +13,7 @@
 //! | [`service_throughput`] | (beyond the paper) `pcor-service` throughput vs. worker count |
 //! | [`batch`] | (beyond the paper) batched releases vs. equivalent singles |
 //! | [`verify_hotpath`] | (beyond the paper) `f_M` evaluation engines: from-scratch vs. incremental |
+//! | [`pool_breakeven`] | (beyond the paper) sharded-pass break-even: spawn-per-pass vs. persistent pool |
 
 pub mod batch;
 pub mod coe_match;
@@ -20,6 +21,7 @@ pub mod detectors;
 pub mod direct_vs_sampling;
 pub mod epsilon_sweep;
 pub mod overlap;
+pub mod pool_breakeven;
 pub mod ratio_check;
 pub mod samples_sweep;
 pub mod sampling;
@@ -87,6 +89,9 @@ pub enum ExperimentId {
     /// `f_M` verification engines: from-scratch vs. incremental/sharded
     /// (beyond the paper).
     VerifyHotpath,
+    /// Sharded-pass break-even: spawn-per-pass vs. persistent-pool
+    /// execution across dataset sizes (beyond the paper).
+    PoolBreakeven,
 }
 
 impl ExperimentId {
@@ -105,6 +110,7 @@ impl ExperimentId {
             ExperimentId::ServiceThroughput,
             ExperimentId::BatchVsSingles,
             ExperimentId::VerifyHotpath,
+            ExperimentId::PoolBreakeven,
         ]
     }
 
@@ -124,6 +130,7 @@ impl ExperimentId {
             "service" | "throughput" => vec![ExperimentId::ServiceThroughput],
             "batch" | "batch-vs-singles" => vec![ExperimentId::BatchVsSingles],
             "verify" | "verify-hotpath" | "hotpath" => vec![ExperimentId::VerifyHotpath],
+            "pool" | "pool-breakeven" | "breakeven" => vec![ExperimentId::PoolBreakeven],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -153,6 +160,9 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::VerifyHotpath => {
                 "verify hot path: f_M evaluation engines (pcor-data/core)"
             }
+            ExperimentId::PoolBreakeven => {
+                "pool break-even: spawn vs persistent-pool sharding (pcor-runtime/data)"
+            }
         };
         write!(f, "{name}")
     }
@@ -176,6 +186,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::ServiceThroughput => service_throughput::run(scale),
         ExperimentId::BatchVsSingles => batch::run(scale),
         ExperimentId::VerifyHotpath => verify_hotpath::run(scale),
+        ExperimentId::PoolBreakeven => pool_breakeven::run(scale),
     }
 }
 
@@ -197,6 +208,8 @@ mod tests {
         assert_eq!(ExperimentId::parse("batch-vs-singles"), vec![ExperimentId::BatchVsSingles]);
         assert_eq!(ExperimentId::parse("verify"), vec![ExperimentId::VerifyHotpath]);
         assert_eq!(ExperimentId::parse("verify-hotpath"), vec![ExperimentId::VerifyHotpath]);
+        assert_eq!(ExperimentId::parse("pool"), vec![ExperimentId::PoolBreakeven]);
+        assert_eq!(ExperimentId::parse("pool-breakeven"), vec![ExperimentId::PoolBreakeven]);
         assert_eq!(ExperimentId::parse("figures").len(), 5);
         assert!(ExperimentId::parse("nonsense").is_empty());
         for id in ExperimentId::all() {

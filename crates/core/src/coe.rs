@@ -193,6 +193,76 @@ pub fn enumerate_coe_with(
     })
 }
 
+/// Enumerates `COE_M(D, V)` on a resident [`pcor_runtime::ThreadPool`]:
+/// the Gray-code mask range is split into one chunk per pool worker and the
+/// chunks run as fork-join tasks on the pool (the calling thread helps
+/// execute), each on its own incremental cursor.
+///
+/// Results are identical to [`enumerate_coe`] — same entries, same
+/// deterministic order — the difference is purely *where* the work runs: a
+/// serving process enumerating reference files concurrently with releases
+/// shares one set of resident workers instead of spawning a thread burst
+/// per enumeration. This is the variant
+/// [`crate::ReleaseSession::reference`] picks when the session borrows a
+/// pool and the space is large enough to split.
+///
+/// # Errors
+/// * [`PcorError::TooManyAttributeValues`] when `t` exceeds `limit`;
+/// * data-layer errors otherwise.
+pub fn enumerate_coe_on(
+    pool: &pcor_runtime::ThreadPool,
+    dataset: &Dataset,
+    outlier_id: usize,
+    detector: &dyn OutlierDetector,
+    utility: &dyn Utility,
+    limit: usize,
+) -> Result<ReferenceFile> {
+    let t = dataset.schema().total_values();
+    if t > limit {
+        return Err(PcorError::TooManyAttributeValues { t, limit });
+    }
+    if outlier_id >= dataset.len() {
+        return Err(PcorError::InvalidConfig(format!(
+            "outlier id {outlier_id} out of range for a dataset of {} records",
+            dataset.len()
+        )));
+    }
+    let minimal = dataset.minimal_context(outlier_id)?;
+    let free_bits: Vec<usize> = (0..t).filter(|&bit| !minimal.get(bit)).collect();
+    let total: u64 = 1u64 << free_bits.len();
+
+    let shards = (pool.workers() as u64).clamp(1, total.max(1)) as usize;
+    let chunk = total.div_ceil(shards as u64);
+    let mut results: Vec<Result<Vec<ReferenceEntry>>> =
+        (0..total.div_ceil(chunk).max(1)).map(|_| Ok(Vec::new())).collect();
+    pool.scope(|scope| {
+        for (worker, slot) in results.iter_mut().enumerate() {
+            let lo = worker as u64 * chunk;
+            let hi = (lo + chunk).min(total);
+            let minimal = &minimal;
+            let free_bits = &free_bits;
+            scope.spawn(move || {
+                *slot = enumerate_gray_range(
+                    dataset, outlier_id, detector, utility, minimal, free_bits, lo, hi,
+                );
+            });
+        }
+    });
+    let mut entries: Vec<ReferenceEntry> = Vec::new();
+    for result in results {
+        entries.extend(result?);
+    }
+    // Deterministic order independent of scheduling, as in `enumerate_coe`.
+    entries.sort_by(|a, b| a.context.cmp(&b.context));
+    let max_utility = entries.iter().map(|e| e.utility).fold(f64::NEG_INFINITY, f64::max);
+    Ok(ReferenceFile {
+        outlier_id,
+        entries,
+        max_utility: if max_utility.is_finite() { max_utility } else { 0.0 },
+        contexts_examined: total as usize,
+    })
+}
+
 /// Enumerates `COE_M(D, V)`: every matching context of record `outlier_id`,
 /// with utilities, producing the reference file.
 ///
@@ -356,6 +426,27 @@ mod tests {
         ));
         assert!(matches!(
             enumerate_coe(&dataset, 1_000, &detector, &utility, 22),
+            Err(PcorError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn pool_enumeration_matches_serial_and_spawned() {
+        let dataset = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let pool = pcor_runtime::ThreadPool::new(2);
+        let via_pool = enumerate_coe_on(&pool, &dataset, 0, &detector, &utility, 22).unwrap();
+        let via_spawn = enumerate_coe(&dataset, 0, &detector, &utility, 22).unwrap();
+        assert_eq!(via_pool, via_spawn, "pool and spawn enumeration must be identical");
+        assert!(pool.stats().tasks_submitted > 0, "the enumeration must run on the pool");
+        // Error paths mirror enumerate_coe.
+        assert!(matches!(
+            enumerate_coe_on(&pool, &dataset, 0, &detector, &utility, 3),
+            Err(PcorError::TooManyAttributeValues { .. })
+        ));
+        assert!(matches!(
+            enumerate_coe_on(&pool, &dataset, 1_000, &detector, &utility, 22),
             Err(PcorError::InvalidConfig(_))
         ));
     }

@@ -83,7 +83,7 @@ pub mod starting;
 pub mod uniform;
 pub mod verify;
 
-pub use coe::{enumerate_coe, enumerate_coe_with, ReferenceEntry, ReferenceFile};
+pub use coe::{enumerate_coe, enumerate_coe_on, enumerate_coe_with, ReferenceEntry, ReferenceFile};
 pub use runner::find_random_outlier;
 pub use session::{ReleaseSession, ReleaseSessionBuilder, ReleaseSpec, SeedPolicy, SessionStats};
 pub use verify::{Evaluation, Verifier};

@@ -45,18 +45,25 @@
 //! assert!(first.guarantee.epsilon <= 0.2 + 1e-12);
 //! ```
 
-use crate::coe::{enumerate_coe_with, ReferenceFile};
+use crate::coe::{enumerate_coe_on, enumerate_coe_with, ReferenceFile};
 use crate::runner::OutlierQuery;
 use crate::starting::{find_starting_context, DEFAULT_SEARCH_BUDGET};
 use crate::verify::Verifier;
 use crate::{PcorError, PcorResult, Result, SamplingAlgorithm};
-use pcor_data::{Context, Dataset};
+use pcor_data::{Context, Dataset, ShardPolicy};
 use pcor_dp::Utility;
 use pcor_outlier::OutlierDetector;
+use pcor_runtime::ThreadPool;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Reference-file spaces at or beyond this many contexts enumerate on the
+/// session's pool (when one is attached); smaller spaces stay on the
+/// memoized serial path, whose cache reuse outweighs parallelism.
+const POOLED_REFERENCE_MIN_CONTEXTS: u64 = 4_096;
 
 /// Per-candidate starting-context search budget used by
 /// [`ReleaseSession::find_outliers`] (matches the historical behavior of
@@ -198,6 +205,7 @@ pub struct ReleaseSessionBuilder<'a> {
     utility: &'a dyn Utility,
     seed_policy: SeedPolicy,
     search_budget: usize,
+    pool: Option<Arc<ThreadPool>>,
 }
 
 impl<'a> ReleaseSessionBuilder<'a> {
@@ -216,6 +224,29 @@ impl<'a> ReleaseSessionBuilder<'a> {
         self
     }
 
+    /// Lends the session a resident [`ThreadPool`]. The session then runs
+    /// its parallel work on resident workers instead of spawning threads:
+    ///
+    /// * every verifier's fused AND/popcount pass shards on the pool via
+    ///   [`ShardPolicy::pooled`] (engaging from
+    ///   [`ShardPolicy::POOLED_MIN_WORDS`] words instead of the spawn
+    ///   policy's [`ShardPolicy::AUTO_MIN_WORDS`]), which covers the
+    ///   batched neighbor evaluation of the graph searches;
+    /// * large reference-file enumerations run fork-join on the pool
+    ///   ([`enumerate_coe_on`]).
+    ///
+    /// Like the verifier cache, the pool amortizes *computation only* —
+    /// results are bit-identical to the serial engine, so the released
+    /// distribution and the OCDP accounting are unchanged. One trade-off:
+    /// a pool-parallel reference enumeration runs on scratch cursors, so
+    /// its evaluations are counted in [`SessionStats`] but do not feed the
+    /// record's memo cache (the serial path does both).
+    #[must_use]
+    pub fn pool(mut self, pool: Arc<ThreadPool>) -> Self {
+        self.pool = Some(pool);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> ReleaseSession<'a> {
         ReleaseSession {
@@ -224,9 +255,11 @@ impl<'a> ReleaseSessionBuilder<'a> {
             utility: self.utility,
             seed_policy: self.seed_policy,
             search_budget: self.search_budget,
+            pool: self.pool,
             verifiers: HashMap::new(),
             starting_contexts: HashMap::new(),
             references: HashMap::new(),
+            pooled_reference_calls: 0,
             releases: 0,
             draws: 0,
         }
@@ -240,7 +273,9 @@ pub struct SessionStats {
     pub records_bound: usize,
     /// Successful releases served by the session.
     pub releases: u64,
-    /// Total uncached `f_M` verification calls across all verifiers.
+    /// Total uncached `f_M` verification calls across all verifiers, plus
+    /// the evaluations of any pool-parallel reference enumerations (those
+    /// run on scratch cursors, every context fresh).
     pub verification_calls: usize,
     /// Total evaluation requests across all verifiers (cache hits included).
     pub cache_lookups: usize,
@@ -276,9 +311,15 @@ pub struct ReleaseSession<'a> {
     utility: &'a dyn Utility,
     seed_policy: SeedPolicy,
     search_budget: usize,
+    pool: Option<Arc<ThreadPool>>,
     verifiers: HashMap<usize, Verifier<'a>>,
     starting_contexts: HashMap<usize, Context>,
     references: HashMap<usize, ReferenceFile>,
+    /// Fresh `f_M` evaluations performed by pool-parallel reference
+    /// enumerations (which run on scratch cursors outside the per-record
+    /// verifiers, so their work must be counted separately to keep
+    /// [`SessionStats::verification_calls`] complete).
+    pooled_reference_calls: usize,
     releases: u64,
     draws: u64,
 }
@@ -297,7 +338,13 @@ impl<'a> ReleaseSession<'a> {
             utility,
             seed_policy: SeedPolicy::default(),
             search_budget: DEFAULT_SEARCH_BUDGET,
+            pool: None,
         }
+    }
+
+    /// The resident pool the session runs parallel work on, if any.
+    pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
+        self.pool.as_ref()
     }
 
     /// The dataset the session is bound to.
@@ -325,7 +372,8 @@ impl<'a> ReleaseSession<'a> {
         SessionStats {
             records_bound: self.verifiers.len(),
             releases: self.releases,
-            verification_calls: self.verifiers.values().map(Verifier::calls).sum(),
+            verification_calls: self.verifiers.values().map(Verifier::calls).sum::<usize>()
+                + self.pooled_reference_calls,
             cache_lookups: self.verifiers.values().map(Verifier::lookups).sum(),
             cache_hits: self.verifiers.values().map(Verifier::cache_hits).sum(),
             cached_contexts: self.verifiers.values().map(Verifier::distinct_contexts).sum(),
@@ -335,9 +383,20 @@ impl<'a> ReleaseSession<'a> {
 
     fn verifier(&mut self, record_id: usize) -> &mut Verifier<'a> {
         let (dataset, detector, utility) = (self.dataset, self.detector, self.utility);
-        self.verifiers
-            .entry(record_id)
-            .or_insert_with(|| Verifier::new(dataset, detector, utility, record_id))
+        let pool = self.pool.as_ref();
+        self.verifiers.entry(record_id).or_insert_with(|| match pool {
+            // With a pool attached, the verifier's fused passes shard on
+            // resident workers (pool-sized, lower break-even). Results are
+            // bit-identical either way.
+            Some(pool) => Verifier::with_shard_policy(
+                dataset,
+                detector,
+                utility,
+                record_id,
+                ShardPolicy::pooled(Arc::clone(pool)),
+            ),
+            None => Verifier::new(dataset, detector, utility, record_id),
+        })
     }
 
     /// Runs one release for `record_id`, seeding the RNG from the session's
@@ -536,8 +595,16 @@ impl<'a> ReleaseSession<'a> {
         Ok(found)
     }
 
-    /// The reference file (`COE_M` enumeration) of `record_id`, computed on
-    /// the record's memoized verifier and cached for the session's lifetime.
+    /// The reference file (`COE_M` enumeration) of `record_id`, cached for
+    /// the session's lifetime.
+    ///
+    /// Small spaces enumerate serially on the record's memoized verifier
+    /// (reusing — and feeding — its `f_M` cache). When the session
+    /// [borrows a pool](ReleaseSessionBuilder::pool) with more than one
+    /// worker and the space holds at least 4 096 contexts, the enumeration
+    /// instead runs fork-join on the resident workers
+    /// ([`enumerate_coe_on`]), one Gray-code range per worker; the result
+    /// is identical.
     ///
     /// # Errors
     /// * [`PcorError::TooManyAttributeValues`] when `t` exceeds `limit`;
@@ -550,11 +617,51 @@ impl<'a> ReleaseSession<'a> {
             )));
         }
         if !self.references.contains_key(&record_id) {
-            let verifier = self.verifier(record_id);
-            let reference = enumerate_coe_with(verifier, limit)?;
+            let reference = match self.pooled_reference_plan(record_id, limit)? {
+                Some(pool) => {
+                    let reference = enumerate_coe_on(
+                        &pool,
+                        self.dataset,
+                        record_id,
+                        self.detector,
+                        self.utility,
+                        limit,
+                    )?;
+                    // The pooled enumeration ran on scratch cursors, one
+                    // fresh evaluation per examined context; keep the
+                    // session's verification accounting complete (the
+                    // memoized serial path counts through the verifier).
+                    self.pooled_reference_calls += reference.contexts_examined;
+                    reference
+                }
+                None => enumerate_coe_with(self.verifier(record_id), limit)?,
+            };
             self.references.insert(record_id, reference);
         }
         Ok(&self.references[&record_id])
+    }
+
+    /// Decides whether `reference` should enumerate on the session's pool:
+    /// requires an attached pool with parallelism and a space of at least
+    /// `POOLED_REFERENCE_MIN_CONTEXTS` contexts (below that, the serial
+    /// memoized walk wins through cache reuse).
+    fn pooled_reference_plan(
+        &self,
+        record_id: usize,
+        limit: usize,
+    ) -> Result<Option<Arc<ThreadPool>>> {
+        let Some(pool) = self.pool.as_ref().filter(|pool| pool.workers() > 1) else {
+            return Ok(None);
+        };
+        let t = self.dataset.schema().total_values();
+        if t > limit {
+            // Let the enumeration entry point raise the canonical error.
+            return Ok(None);
+        }
+        let minimal = self.dataset.minimal_context(record_id)?;
+        let free = (0..t).filter(|&bit| !minimal.get(bit)).count();
+        let contexts = 1u64 << free.min(63);
+        Ok((contexts >= POOLED_REFERENCE_MIN_CONTEXTS).then(|| Arc::clone(pool)))
     }
 }
 
@@ -575,6 +682,7 @@ mod tests {
     use pcor_data::{Attribute, Record, Schema};
     use pcor_dp::PopulationSizeUtility;
     use pcor_outlier::ZScoreDetector;
+    use pcor_runtime::ThreadPool;
 
     fn dataset() -> Dataset {
         let schema = Schema::new(
@@ -771,6 +879,34 @@ mod tests {
         assert_eq!(session.starting_context(0), Some(&minimal));
         let resolved = session.resolve_starting_context(0).unwrap();
         assert_eq!(resolved, minimal);
+    }
+
+    #[test]
+    fn pooled_sessions_release_identically_to_serial_sessions() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let pool = Arc::new(ThreadPool::new(2));
+        let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(8);
+
+        let mut plain = ReleaseSession::builder(&d, &detector, &utility).build();
+        let mut pooled =
+            ReleaseSession::builder(&d, &detector, &utility).pool(Arc::clone(&pool)).build();
+        assert!(plain.pool().is_none());
+        assert!(pooled.pool().is_some());
+        let a = plain.release_with_seed(0, &spec, 77).unwrap();
+        let b = pooled.release_with_seed(0, &spec, 77).unwrap();
+        // The pool amortizes computation only: identical released context,
+        // utility and guarantee for the same seed.
+        assert_eq!(a.context, b.context);
+        assert_eq!(a.utility, b.utility);
+        assert_eq!(a.guarantee, b.guarantee);
+        assert_eq!(a.verification_calls, b.verification_calls);
+        // Reference files agree too (small space -> memoized serial path,
+        // exercised through the pooled session for coverage).
+        let via_pooled = pooled.reference(0, 22).unwrap().clone();
+        let via_plain = plain.reference(0, 22).unwrap();
+        assert_eq!(via_pooled.context_set(), via_plain.context_set());
     }
 
     #[test]

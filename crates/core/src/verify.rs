@@ -284,8 +284,11 @@ impl<'a> Verifier<'a> {
         match self.cursor.as_mut() {
             Some(cursor) => cursor.move_to(context)?,
             None => {
-                self.cursor =
-                    Some(PopulationCursor::with_policy(self.dataset, context, self.policy)?);
+                self.cursor = Some(PopulationCursor::with_policy(
+                    self.dataset,
+                    context,
+                    self.policy.clone(),
+                )?);
             }
         }
         Ok(self.evaluate_at_cursor())
@@ -342,8 +345,11 @@ impl<'a> Verifier<'a> {
                 match self.cursor.as_mut() {
                     Some(cursor) => cursor.move_to(base)?,
                     None => {
-                        self.cursor =
-                            Some(PopulationCursor::with_policy(self.dataset, base, self.policy)?);
+                        self.cursor = Some(PopulationCursor::with_policy(
+                            self.dataset,
+                            base,
+                            self.policy.clone(),
+                        )?);
                     }
                 }
                 cursor_at_base = true;

@@ -19,15 +19,25 @@
 //!   AND + popcount pass over the `m` cached unions, instead of the full
 //!   per-attribute loop over all selected values;
 //! * [`ShardPolicy`] — for large `n`, the fused AND/popcount pass shards the
-//!   record-word space across `std::thread::scope` workers, parallelizing
-//!   evaluation *within* a single release rather than only across releases
-//!   (the "dataset sharding" ROADMAP item). Sharded and serial evaluation
-//!   are bit-identical: the pass is an exact word-wise AND.
+//!   record-word space across threads, parallelizing evaluation *within* a
+//!   single release rather than only across releases (the "dataset sharding"
+//!   ROADMAP item). Sharded and serial evaluation are bit-identical: the
+//!   pass is an exact word-wise AND. Two execution modes exist: spawning
+//!   `std::thread::scope` workers per pass (no setup, but tens of
+//!   microseconds of spawn cost, so the auto policy only engages at
+//!   [`ShardPolicy::AUTO_MIN_WORDS`] ≈ 4 M records), or — preferred —
+//!   submitting the shards to a resident [`pcor_runtime::ThreadPool`]
+//!   ([`ShardPolicy::pooled`]), whose amortized dispatch cost is a few
+//!   queue operations and therefore pays from
+//!   [`ShardPolicy::POOLED_MIN_WORDS`] ≈ 260 k records (measured by the
+//!   `pool-breakeven` experiment in `pcor-bench`).
 
 use crate::bitmap::RecordBitmap;
 use crate::context::Context;
 use crate::dataset::Dataset;
 use crate::{DataError, Result};
+use pcor_runtime::ThreadPool;
+use std::sync::Arc;
 
 /// Reusable buffers for from-scratch population evaluation.
 ///
@@ -73,21 +83,40 @@ impl PopulationScratch {
     }
 }
 
+/// How a sharded fused pass is executed.
+#[derive(Debug, Clone, Default)]
+enum ShardExecutor {
+    /// Spawn fresh `std::thread::scope` workers per pass (the PR 3 design;
+    /// pays thread-spawn cost on every pass).
+    #[default]
+    Spawn,
+    /// Submit the shards to a resident work-stealing pool; the submitting
+    /// thread helps execute, so dispatch costs a few queue operations.
+    Pool(Arc<ThreadPool>),
+}
+
 /// How the fused AND/popcount pass of a [`PopulationCursor`] distributes its
 /// word range across threads.
 ///
 /// Sharding is exact — the pass is a word-wise AND, so sharded and serial
-/// results are bit-identical — but spawning scoped threads costs tens of
-/// microseconds, which only pays off once a single pass streams megabytes.
-/// The [`ShardPolicy::auto`] default therefore stays serial below
-/// [`ShardPolicy::AUTO_MIN_WORDS`] words (≈ 4 M records).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// results are bit-identical — but parallelism has a dispatch cost that only
+/// pays off once a single pass streams enough memory:
+///
+/// * spawn-per-pass ([`ShardPolicy::auto`]) costs tens of microseconds of
+///   thread spawns and therefore stays serial below
+///   [`ShardPolicy::AUTO_MIN_WORDS`] words (≈ 4 M records);
+/// * pool-backed ([`ShardPolicy::pooled`]) runs the shards on resident
+///   [`pcor_runtime::ThreadPool`] workers — the submitting thread helps
+///   execute, so the overhead is a few queue operations and the break-even
+///   drops to [`ShardPolicy::POOLED_MIN_WORDS`] words (≈ 260 k records).
+#[derive(Debug, Clone)]
 pub struct ShardPolicy {
     /// Maximum number of worker threads for one pass.
     pub threads: usize,
     /// Minimum number of 64-bit words in the record space before the pass
     /// shards at all.
     pub min_words: usize,
+    executor: ShardExecutor,
 }
 
 impl ShardPolicy {
@@ -96,23 +125,60 @@ impl ShardPolicy {
     /// thread spawns.
     pub const AUTO_MIN_WORDS: usize = 1 << 16;
 
+    /// Word threshold of the [`ShardPolicy::pooled`] policy: 2^12 words
+    /// (≈ 260 k records). A resident pool's fork-join dispatch is a few
+    /// queue operations plus at most one wake, which one pass over a few
+    /// kilowords already amortizes — see `BENCH_pool.json` for the
+    /// spawn-vs-pool crossover measurement.
+    pub const POOLED_MIN_WORDS: usize = 1 << 12;
+
     /// Never shard; every pass runs on the calling thread.
     pub fn serial() -> Self {
-        ShardPolicy { threads: 1, min_words: usize::MAX }
+        ShardPolicy { threads: 1, min_words: usize::MAX, executor: ShardExecutor::Spawn }
     }
 
-    /// Shard across up to `available_parallelism` (capped at 8) threads once
-    /// the record space reaches [`ShardPolicy::AUTO_MIN_WORDS`] words.
+    /// Shard across up to `available_parallelism` (capped at 8) spawned
+    /// threads once the record space reaches
+    /// [`ShardPolicy::AUTO_MIN_WORDS`] words.
     pub fn auto() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        ShardPolicy { threads, min_words: Self::AUTO_MIN_WORDS }
+        ShardPolicy { threads, min_words: Self::AUTO_MIN_WORDS, executor: ShardExecutor::Spawn }
     }
 
-    /// Shard every pass across `threads` workers regardless of size — for
-    /// tests (bit-identity against serial) and benchmarks; production code
-    /// should prefer [`ShardPolicy::auto`].
+    /// Shard every pass across `threads` spawned workers regardless of size
+    /// — for tests (bit-identity against serial) and benchmarks; production
+    /// code should prefer [`ShardPolicy::auto`] or [`ShardPolicy::pooled`].
     pub fn forced(threads: usize) -> Self {
-        ShardPolicy { threads: threads.max(1), min_words: 0 }
+        ShardPolicy { threads: threads.max(1), min_words: 0, executor: ShardExecutor::Spawn }
+    }
+
+    /// Shard on the resident `pool` once the record space reaches
+    /// [`ShardPolicy::POOLED_MIN_WORDS`] words, using up to one shard per
+    /// pool worker. A pool with a single worker yields a serial policy
+    /// (sharding cannot win without parallelism), so this is always safe to
+    /// request — the policy right-sizes itself to the machine.
+    pub fn pooled(pool: Arc<ThreadPool>) -> Self {
+        let threads = pool.workers();
+        ShardPolicy {
+            threads,
+            min_words: Self::POOLED_MIN_WORDS,
+            executor: ShardExecutor::Pool(pool),
+        }
+    }
+
+    /// Shard every pass on `pool` across `threads` shards regardless of
+    /// size — the pooled counterpart of [`ShardPolicy::forced`], for tests
+    /// and benchmarks.
+    pub fn pooled_forced(pool: Arc<ThreadPool>, threads: usize) -> Self {
+        ShardPolicy { threads: threads.max(1), min_words: 0, executor: ShardExecutor::Pool(pool) }
+    }
+
+    /// The resident pool this policy executes on, if any.
+    pub fn pool(&self) -> Option<&Arc<ThreadPool>> {
+        match &self.executor {
+            ShardExecutor::Pool(pool) => Some(pool),
+            ShardExecutor::Spawn => None,
+        }
     }
 
     /// The number of shards a pass over `words` words uses under this policy.
@@ -124,6 +190,19 @@ impl ShardPolicy {
         }
     }
 }
+
+impl PartialEq for ShardPolicy {
+    fn eq(&self, other: &Self) -> bool {
+        let same_executor = match (&self.executor, &other.executor) {
+            (ShardExecutor::Spawn, ShardExecutor::Spawn) => true,
+            (ShardExecutor::Pool(a), ShardExecutor::Pool(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        self.threads == other.threads && self.min_words == other.min_words && same_executor
+    }
+}
+
+impl Eq for ShardPolicy {}
 
 impl Default for ShardPolicy {
     fn default() -> Self {
@@ -160,6 +239,8 @@ pub struct PopulationCursor<'a> {
     /// Whether `result`/`population_size` reflect the current context.
     fresh: bool,
     policy: ShardPolicy,
+    /// Per-shard popcount slots, reused across passes (no per-pass alloc).
+    shard_counts: Vec<usize>,
 }
 
 impl<'a> PopulationCursor<'a> {
@@ -192,6 +273,7 @@ impl<'a> PopulationCursor<'a> {
         }
         let n = dataset.len();
         let m = schema.num_attributes();
+        let shard_slots = policy.threads.max(1);
         let mut cursor = PopulationCursor {
             dataset,
             context: context.clone(),
@@ -202,6 +284,7 @@ impl<'a> PopulationCursor<'a> {
             population_size: 0,
             fresh: false,
             policy,
+            shard_counts: vec![0; shard_slots],
         };
         for attr in 0..m {
             cursor.rebuild_union(attr);
@@ -220,8 +303,8 @@ impl<'a> PopulationCursor<'a> {
     }
 
     /// The shard policy of the fused AND/popcount pass.
-    pub fn policy(&self) -> ShardPolicy {
-        self.policy
+    pub fn policy(&self) -> &ShardPolicy {
+        &self.policy
     }
 
     /// Flips one context bit and updates the touched attribute's cached
@@ -328,7 +411,8 @@ impl<'a> PopulationCursor<'a> {
 
     /// Recomputes the result bitmap and popcount when stale: one fused pass
     /// computing `AND over attributes i (U_i)` word by word, sharded across
-    /// scoped threads when the policy and size warrant it.
+    /// threads — spawned or pool-resident per the policy — when the policy
+    /// and size warrant it.
     fn refresh(&mut self) {
         if self.fresh {
             return;
@@ -341,27 +425,53 @@ impl<'a> PopulationCursor<'a> {
             self.population_size = 0;
             return;
         }
-        let PopulationCursor { attr_unions, result, .. } = self;
+        let PopulationCursor { attr_unions, result, shard_counts, .. } = self;
         let (first, rest) = attr_unions.split_first().expect("schemas have >= 1 attribute");
         let out = result.words_mut();
         let shards = self.policy.shards_for(out.len());
         if shards <= 1 {
             self.population_size = and_popcount(first.words(), rest, out, 0);
-        } else {
-            let chunk = out.len().div_ceil(shards);
-            self.population_size = std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(shards);
-                for (shard, out_chunk) in out.chunks_mut(chunk).enumerate() {
-                    let lo = shard * chunk;
-                    let first_words = &first.words()[lo..lo + out_chunk.len()];
+            return;
+        }
+        let chunk = out.len().div_ceil(shards);
+        match &self.policy.executor {
+            ShardExecutor::Spawn => {
+                self.population_size = std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(shards);
+                    for (shard, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                        let lo = shard * chunk;
+                        let first_words = &first.words()[lo..lo + out_chunk.len()];
+                        handles.push(
+                            scope.spawn(move || and_popcount(first_words, rest, out_chunk, lo)),
+                        );
+                    }
                     handles
-                        .push(scope.spawn(move || and_popcount(first_words, rest, out_chunk, lo)));
-                }
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("population shard worker panicked"))
-                    .sum()
-            });
+                        .into_iter()
+                        .map(|h| h.join().expect("population shard worker panicked"))
+                        .sum()
+                });
+            }
+            ShardExecutor::Pool(pool) => {
+                // Resident workers steal the shards while the submitting
+                // thread helps execute — the dispatch overhead is a few
+                // queue operations, which is what lowers the break-even to
+                // `POOLED_MIN_WORDS`. Per-shard counts land in reusable
+                // slots; a shard panic propagates out of `scope` like the
+                // spawn path's join would.
+                pool.scope(|scope| {
+                    for ((shard, out_chunk), count) in
+                        out.chunks_mut(chunk).enumerate().zip(shard_counts.iter_mut())
+                    {
+                        let lo = shard * chunk;
+                        let first_words = &first.words()[lo..lo + out_chunk.len()];
+                        scope.spawn(move || {
+                            *count = and_popcount(first_words, rest, out_chunk, lo);
+                        });
+                    }
+                });
+                let used = out.len().div_ceil(chunk);
+                self.population_size = shard_counts[..used].iter().sum();
+            }
         }
     }
 }
@@ -387,6 +497,7 @@ mod tests {
     use super::*;
     use crate::record::Record;
     use crate::schema::{Attribute, Schema};
+    use pcor_runtime::ThreadPool;
 
     fn dataset() -> Dataset {
         let schema = Schema::new(
@@ -510,5 +621,69 @@ mod tests {
         let auto = ShardPolicy::auto();
         assert_eq!(auto.shards_for(ShardPolicy::AUTO_MIN_WORDS - 1), 1);
         assert_eq!(ShardPolicy::default(), auto);
+        const _: () = assert!(ShardPolicy::POOLED_MIN_WORDS < ShardPolicy::AUTO_MIN_WORDS);
+    }
+
+    #[test]
+    fn pooled_policy_right_sizes_to_the_pool_and_compares_by_pool_identity() {
+        let pool = Arc::new(ThreadPool::new(3));
+        let policy = ShardPolicy::pooled(Arc::clone(&pool));
+        assert_eq!(policy.threads, 3);
+        assert_eq!(policy.min_words, ShardPolicy::POOLED_MIN_WORDS);
+        assert!(policy.pool().is_some());
+        assert_eq!(policy.shards_for(ShardPolicy::POOLED_MIN_WORDS), 3);
+        assert_eq!(policy.shards_for(ShardPolicy::POOLED_MIN_WORDS - 1), 1);
+        // A single-worker pool yields a policy that never shards.
+        let lone = ShardPolicy::pooled(Arc::new(ThreadPool::new(1)));
+        assert_eq!(lone.shards_for(1 << 20), 1);
+        // Equality is by pool identity, not by configuration.
+        assert_eq!(policy, ShardPolicy::pooled(Arc::clone(&pool)));
+        assert_ne!(policy, ShardPolicy::pooled(Arc::new(ThreadPool::new(3))));
+        assert_ne!(policy, ShardPolicy::auto());
+    }
+
+    #[test]
+    fn pool_sharded_pass_is_bit_identical_to_serial() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let pool = Arc::new(ThreadPool::new(2));
+        let context = Context::from_indices(t, [0, 2, 3, 5, 7]);
+        let mut serial =
+            PopulationCursor::with_policy(&d, &context, ShardPolicy::serial()).unwrap();
+        let mut pooled = PopulationCursor::with_policy(
+            &d,
+            &context,
+            ShardPolicy::pooled_forced(Arc::clone(&pool), 4),
+        )
+        .unwrap();
+        assert_eq!(serial.population(), pooled.population());
+        assert_eq!(serial.population_size(), pooled.population_size());
+        for bit in 0..t {
+            serial.flip(bit);
+            pooled.flip(bit);
+            assert_eq!(serial.population(), pooled.population());
+            assert_eq!(serial.population_size(), pooled.population_size());
+        }
+        // The pool actually executed fork-join work for those passes.
+        assert!(pool.stats().tasks_submitted > 0);
+    }
+
+    #[test]
+    fn pool_sharded_pass_survives_pool_shutdown() {
+        // After shutdown the scope degenerates to an inline serial loop; the
+        // evaluation must stay available and bit-identical.
+        let d = dataset();
+        let t = d.schema().total_values();
+        let pool = Arc::new(ThreadPool::new(2));
+        let context = Context::from_indices(t, [0, 3, 5]);
+        let mut pooled = PopulationCursor::with_policy(
+            &d,
+            &context,
+            ShardPolicy::pooled_forced(pool.clone(), 2),
+        )
+        .unwrap();
+        pool.shutdown();
+        let expected = d.population(&context).unwrap();
+        assert_eq!(pooled.population(), &expected);
     }
 }

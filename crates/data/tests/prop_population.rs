@@ -6,7 +6,16 @@
 use pcor_data::{
     Attribute, Context, Dataset, PopulationCursor, PopulationScratch, Record, Schema, ShardPolicy,
 };
+use pcor_runtime::ThreadPool;
 use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+/// One resident pool shared by every proptest case (what a serving process
+/// would do) — also exercises pool reuse across many unrelated fork-joins.
+fn shared_pool() -> Arc<ThreadPool> {
+    static POOL: OnceLock<Arc<ThreadPool>> = OnceLock::new();
+    Arc::clone(POOL.get_or_init(|| Arc::new(ThreadPool::new(3))))
+}
 
 /// Strategy: a small random schema (2–4 attributes, domains of 2–5 values).
 fn schema_strategy() -> impl Strategy<Value = Schema> {
@@ -62,8 +71,8 @@ proptest! {
 
     /// After ANY sequence of random single-bit flips, the cursor's population
     /// bitmap and popcount equal a from-scratch `Dataset::population` of the
-    /// same context — and the sharded pass is bit-identical to the serial one
-    /// at every step.
+    /// same context — and both sharded passes (spawn-per-pass and the
+    /// persistent pool) are bit-identical to the serial one at every step.
     #[test]
     fn cursor_tracks_from_scratch_population_under_random_flips(
         dataset in dataset_strategy(),
@@ -77,6 +86,12 @@ proptest! {
             PopulationCursor::with_policy(&dataset, &start, ShardPolicy::serial()).unwrap();
         let mut sharded =
             PopulationCursor::with_policy(&dataset, &start, ShardPolicy::forced(4)).unwrap();
+        let mut pooled = PopulationCursor::with_policy(
+            &dataset,
+            &start,
+            ShardPolicy::pooled_forced(shared_pool(), 4),
+        )
+        .unwrap();
         let mut reference = start;
         let mut state = flip_seed;
         for _ in 0..flips {
@@ -84,12 +99,15 @@ proptest! {
             let bit = (state >> 33) as usize % t;
             serial.flip(bit);
             sharded.flip(bit);
+            pooled.flip(bit);
             reference.flip(bit);
             let expected = dataset.population(&reference).unwrap();
             prop_assert_eq!(serial.population(), &expected);
             prop_assert_eq!(serial.population_size(), expected.count());
             prop_assert_eq!(sharded.population(), &expected);
             prop_assert_eq!(sharded.population_size(), expected.count());
+            prop_assert_eq!(pooled.population(), &expected);
+            prop_assert_eq!(pooled.population_size(), expected.count());
         }
     }
 

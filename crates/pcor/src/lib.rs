@@ -16,7 +16,11 @@
 //! * [`core`] — the five PCOR release algorithms, COE enumeration and the
 //!   privacy experiments (`pcor-core`);
 //! * [`service`] — the concurrent multi-analyst release server: dataset
-//!   registry, per-analyst budget ledger and worker pool (`pcor-service`).
+//!   registry, per-analyst budget ledger and streaming batch delivery
+//!   (`pcor-service`);
+//! * [`runtime`] — the persistent work-stealing thread pool shared by the
+//!   verification engine's sharded passes and the serving layer
+//!   (`pcor-runtime`).
 //!
 //! The most common entry points are re-exported at the crate root so a typical
 //! application only needs `use pcor::prelude::*`. The recommended way to
@@ -49,6 +53,7 @@ pub use pcor_data as data;
 pub use pcor_dp as dp;
 pub use pcor_graph as graph;
 pub use pcor_outlier as outlier;
+pub use pcor_runtime as runtime;
 pub use pcor_service as service;
 pub use pcor_stats as stats;
 
@@ -75,10 +80,11 @@ pub mod prelude {
         DetectorKind, GrubbsDetector, HistogramDetector, IqrDetector, LofDetector, OutlierDetector,
         PopulationMoments, ZScoreDetector,
     };
+    pub use pcor_runtime::ThreadPool;
     pub use pcor_service::{
-        BatchItem, BatchReleaseRequest, BatchReleaseResponse, BudgetLedger, DatasetRegistry,
-        ItemOutcome, ReleaseRequest, ReleaseResponse, RequestEnvelope, ResponseEnvelope, Server,
-        ServerConfig, ServiceError,
+        BatchItem, BatchReleaseRequest, BatchReleaseResponse, BatchStream, BudgetLedger,
+        DatasetRegistry, ItemOutcome, ReleaseRequest, ReleaseResponse, RequestEnvelope,
+        ResponseEnvelope, Server, ServerConfig, ServiceError,
     };
     pub use pcor_stats::{ConfidenceInterval, RuntimeSummary, UtilitySummary};
 }

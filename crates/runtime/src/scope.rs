@@ -1,0 +1,188 @@
+//! Structured fork-join (`std::thread::scope`-style) on the pool.
+
+use crate::pool::{Job, Shared};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A scope's task queue. Registered with the pool for the scope's lifetime
+/// so idle workers steal from it; the scope's waiter drains it directly.
+pub(crate) struct ScopeQueue {
+    jobs: Mutex<VecDeque<Job>>,
+}
+
+impl ScopeQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeQueue { jobs: Mutex::new(VecDeque::new()) })
+    }
+
+    fn push(&self, job: Job) {
+        self.jobs.lock().expect("scope queue poisoned").push_back(job);
+    }
+
+    pub(crate) fn pop(&self) -> Option<Job> {
+        self.jobs.lock().expect("scope queue poisoned").pop_front()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.jobs.lock().expect("scope queue poisoned").is_empty()
+    }
+}
+
+/// Spawned-but-unfinished bookkeeping of one scope.
+struct Progress {
+    pending: usize,
+    /// The first panic payload raised by a task of this scope.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+struct ScopeState {
+    progress: Mutex<Progress>,
+    done: Condvar,
+}
+
+impl ScopeState {
+    fn new() -> Arc<Self> {
+        Arc::new(ScopeState {
+            progress: Mutex::new(Progress { pending: 0, panic: None }),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Marks one task complete, recording its panic payload if any.
+    fn complete(&self, panic: Option<Box<dyn Any + Send>>) {
+        let mut progress = self.progress.lock().expect("scope state poisoned");
+        progress.pending -= 1;
+        if progress.panic.is_none() {
+            progress.panic = panic;
+        }
+        self.done.notify_all();
+    }
+}
+
+/// Erases a scoped closure's lifetime so it can travel through the pool's
+/// `'static` job queues.
+///
+/// # Safety
+/// The caller must guarantee the job is executed (or dropped) before
+/// `'scope` ends. [`Scope::run`] upholds this by refusing to return — even
+/// when the scope body panics — until every spawned task has completed.
+unsafe fn erase_job<'scope>(job: Box<dyn FnOnce() + Send + 'scope>) -> Job {
+    // SAFETY: identical vtable layout; only the lifetime parameter changes,
+    // and the caller contract bounds the job's real lifetime by 'scope.
+    unsafe {
+        std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send + 'static>>(
+            job,
+        )
+    }
+}
+
+/// A structured fork-join scope created by
+/// [`ThreadPool::scope`](crate::ThreadPool::scope).
+///
+/// Tasks spawned here may borrow data that outlives the `scope` call; the
+/// scope joins them all before returning, re-raising the first task panic
+/// afterwards (like [`std::thread::scope`]).
+pub struct Scope<'scope, 'env: 'scope> {
+    shared: &'scope Shared,
+    state: Arc<ScopeState>,
+    queue: Arc<ScopeQueue>,
+    _scope: PhantomData<&'scope mut &'scope ()>,
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task onto the scope. The task may borrow from the
+    /// environment; it starts as soon as a pool worker (or the scope's own
+    /// waiter) picks it up.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        self.state.progress.lock().expect("scope state poisoned").pending += 1;
+        let state = Arc::clone(&self.state);
+        let shared = self.shared;
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(f));
+            if outcome.is_err() {
+                shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            }
+            state.complete(outcome.err());
+        });
+        // SAFETY: `Scope::run` joins every spawned task before `'scope`
+        // ends, so the erased closure never outlives its borrows.
+        let job = unsafe { erase_job(job) };
+        self.shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.depth.fetch_add(1, Ordering::Relaxed);
+        self.queue.push(job);
+        // Wake an idle worker to steal, and the scope's waiter to help.
+        self.shared.notify_one();
+        self.state.done.notify_all();
+    }
+
+    /// Blocks until every spawned task has completed, executing the
+    /// scope's own queued tasks on this thread while waiting.
+    fn join_all(&self) {
+        loop {
+            // Help: drain our own queue first. This is what makes nested
+            // scopes on busy pools deadlock-free and keeps the fork-join
+            // overhead at a few queue operations when no worker is free.
+            while let Some(job) = self.queue.pop() {
+                self.shared.counters.depth.fetch_sub(1, Ordering::Relaxed);
+                self.shared.run_job(job);
+            }
+            let progress = self.state.progress.lock().expect("scope state poisoned");
+            if progress.pending == 0 && self.queue.is_empty() {
+                return;
+            }
+            if !self.queue.is_empty() {
+                // A running task spawned more scope work between our drain
+                // and the lock; go around and help again.
+                continue;
+            }
+            // Tasks are in flight on workers; wait for completion (or for a
+            // task to spawn more scope work).
+            let _unused = self.state.done.wait(progress).expect("scope state poisoned");
+        }
+    }
+}
+
+/// Runs the scope body `f`, then joins all spawned tasks, helping to
+/// execute them on the calling thread. The engine behind
+/// [`ThreadPool::scope`](crate::ThreadPool::scope).
+pub(crate) fn run_scope<'env, T, F>(shared: &Shared, f: F) -> T
+where
+    F: for<'s> FnOnce(&'s Scope<'s, 'env>) -> T,
+{
+    let scope = Scope {
+        shared,
+        state: ScopeState::new(),
+        queue: ScopeQueue::new(),
+        _scope: PhantomData,
+        _env: PhantomData,
+    };
+    shared.register_scope(&scope.queue);
+    // Catch a panicking body so the join below always runs: returning
+    // (or unwinding) past live borrowed tasks would be unsound.
+    let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+    scope.join_all();
+    shared.deregister_scope(&scope.queue);
+    let task_panic = scope.state.progress.lock().expect("scope state poisoned").panic.take();
+    match result {
+        Err(body_panic) => resume_unwind(body_panic),
+        Ok(value) => match task_panic {
+            Some(payload) => resume_unwind(payload),
+            None => value,
+        },
+    }
+}
+
+impl std::fmt::Debug for Scope<'_, '_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let progress = self.state.progress.lock().expect("scope state poisoned");
+        f.debug_struct("Scope").field("pending", &progress.pending).finish()
+    }
+}

@@ -1,0 +1,125 @@
+//! Panic-isolating completion handles for spawned tasks.
+
+use std::any::Any;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a [`JoinHandle`] resolved without a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The task panicked; the payload's message is preserved. The worker
+    /// thread that ran the task survived and keeps serving the pool.
+    Panicked(String),
+    /// The pool was shut down before the task could run.
+    Shutdown,
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+            JoinError::Shutdown => write!(f, "pool shut down before the task ran"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Renders a panic payload as text (the two shapes `panic!` produces).
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+enum SlotState<T> {
+    Pending,
+    Finished(Result<T, JoinError>),
+    Taken,
+}
+
+/// The one-shot rendezvous between a task and its handle.
+pub(crate) struct Slot<T> {
+    state: Mutex<SlotState<T>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(Slot { state: Mutex::new(SlotState::Pending), ready: Condvar::new() })
+    }
+
+    /// Publishes the task's outcome and wakes the joiner.
+    pub(crate) fn fill(&self, outcome: Result<T, JoinError>) {
+        let mut state = self.state.lock().expect("task slot poisoned");
+        if matches!(*state, SlotState::Pending) {
+            *state = SlotState::Finished(outcome);
+        }
+        self.ready.notify_all();
+    }
+
+    fn take(&self) -> Result<T, JoinError> {
+        let mut state = self.state.lock().expect("task slot poisoned");
+        loop {
+            match std::mem::replace(&mut *state, SlotState::Taken) {
+                SlotState::Finished(outcome) => return outcome,
+                SlotState::Pending => {
+                    *state = SlotState::Pending;
+                    state = self.ready.wait(state).expect("task slot poisoned");
+                }
+                SlotState::Taken => unreachable!("join consumes the handle"),
+            }
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        !matches!(*self.state.lock().expect("task slot poisoned"), SlotState::Pending)
+    }
+}
+
+/// A completion handle for a task submitted with
+/// [`ThreadPool::spawn`](crate::ThreadPool::spawn).
+///
+/// Dropping the handle detaches the task (it still runs). Panics inside the
+/// task are isolated: they resolve the handle with
+/// [`JoinError::Panicked`] instead of unwinding through the pool.
+pub struct JoinHandle<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub(crate) fn new(slot: Arc<Slot<T>>) -> Self {
+        JoinHandle { slot }
+    }
+
+    /// Creates a handle that is already resolved (used when the pool
+    /// refuses a task at submission time).
+    pub(crate) fn resolved(outcome: Result<T, JoinError>) -> Self {
+        let slot = Slot::new();
+        slot.fill(outcome);
+        JoinHandle { slot }
+    }
+
+    /// Blocks until the task finished and returns its value.
+    ///
+    /// # Errors
+    /// [`JoinError::Panicked`] if the task panicked, [`JoinError::Shutdown`]
+    /// if the pool was shut down before the task ran.
+    pub fn join(self) -> Result<T, JoinError> {
+        self.slot.take()
+    }
+
+    /// Whether the task has finished (without blocking).
+    pub fn is_finished(&self) -> bool {
+        self.slot.is_finished()
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").field("finished", &self.is_finished()).finish()
+    }
+}

@@ -110,7 +110,9 @@ pub use request::{
     ItemRelease, ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseBody,
     ResponseEnvelope, PROTOCOL_VERSION,
 };
-pub use server::{PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig};
+pub use server::{
+    BatchStream, PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig,
+};
 
 use pcor_core::runner::find_random_outlier;
 use pcor_outlier::DetectorKind;
@@ -125,8 +127,9 @@ pub mod prelude {
         BatchItem, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome, ReleaseRequest,
         ReleaseResponse, RequestEnvelope, ResponseEnvelope,
     };
-    pub use crate::server::{Server, ServerConfig};
+    pub use crate::server::{BatchStream, Server, ServerConfig};
     pub use crate::ServiceError;
+    pub use pcor_runtime::ThreadPool;
 }
 
 /// Errors produced by the serving layer.

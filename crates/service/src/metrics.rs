@@ -1,5 +1,6 @@
 //! Lock-free server counters.
 
+use pcor_runtime::PoolStats;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -78,6 +79,10 @@ impl ServerMetrics {
             verification_calls: self.verification_calls.load(Ordering::Relaxed),
             verifier_lookups: self.verifier_lookups.load(Ordering::Relaxed),
             verifier_cache_hits: self.verifier_cache_hits.load(Ordering::Relaxed),
+            pool_workers: 0,
+            pool_queue_depth: 0,
+            pool_tasks_executed: 0,
+            pool_tasks_stolen: 0,
         }
     }
 }
@@ -99,9 +104,29 @@ pub struct ServerMetricsSnapshot {
     pub verifier_lookups: u64,
     /// Verifier evaluation requests answered from memo caches.
     pub verifier_cache_hits: u64,
+    /// Resident workers of the server's execution pool.
+    pub pool_workers: usize,
+    /// Tasks queued on the pool (not yet started) at snapshot time.
+    pub pool_queue_depth: usize,
+    /// Tasks the pool has picked up for execution (requests, batch streams
+    /// and fork-join shards alike).
+    pub pool_tasks_executed: u64,
+    /// Tasks executed by a thread other than the queue owner's —
+    /// work-stealing activity between workers and fork-join scopes.
+    pub pool_tasks_stolen: u64,
 }
 
 impl ServerMetricsSnapshot {
+    /// Merges a pool health snapshot into the server counters (the server
+    /// calls this; `ServerMetrics` alone cannot see the pool).
+    #[must_use]
+    pub fn with_pool(mut self, pool: PoolStats) -> Self {
+        self.pool_workers = pool.workers;
+        self.pool_queue_depth = pool.queue_depth;
+        self.pool_tasks_executed = pool.tasks_executed;
+        self.pool_tasks_stolen = pool.tasks_stolen;
+        self
+    }
     /// Fraction of verifier evaluation requests answered from memo caches
     /// (`0.0` before any lookup happened).
     pub fn verifier_cache_hit_rate(&self) -> f64 {
@@ -140,6 +165,26 @@ mod tests {
         assert_eq!(snapshot.refused, 1);
         assert_eq!(snapshot.failed, 1);
         assert_eq!(snapshot.mean_latency, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn pool_health_merges_into_the_snapshot() {
+        let metrics = ServerMetrics::default();
+        metrics.record_served(Duration::from_millis(1));
+        let pool = PoolStats {
+            workers: 4,
+            queue_depth: 3,
+            tasks_submitted: 10,
+            tasks_executed: 7,
+            tasks_stolen: 2,
+            tasks_panicked: 0,
+        };
+        let snapshot = metrics.snapshot().with_pool(pool);
+        assert_eq!(snapshot.served, 1);
+        assert_eq!(snapshot.pool_workers, 4);
+        assert_eq!(snapshot.pool_queue_depth, 3);
+        assert_eq!(snapshot.pool_tasks_executed, 7);
+        assert_eq!(snapshot.pool_tasks_stolen, 2);
     }
 
     #[test]

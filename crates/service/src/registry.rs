@@ -202,6 +202,10 @@ impl DatasetRegistry {
     /// dataset under `detector`, serving repeats from the LRU. The boolean
     /// is `true` on a cache hit.
     ///
+    /// A freshly discovered context is cached at a weight equal to the
+    /// fresh `f_M` verification calls its search burned, so the
+    /// cost-weighted eviction keeps hard-won contexts over cheap ones.
+    ///
     /// # Errors
     /// Propagates [`ServiceError::Release`] when the record has no matching
     /// context (it is not a contextual outlier for this detector).
@@ -224,8 +228,13 @@ impl DatasetRegistry {
         let utility = PopulationSizeUtility;
         let mut verifier = Verifier::new(entry.dataset(), built.as_ref(), &utility, record_id);
         let context = find_starting_context(&mut verifier, self.search_budget)?;
+        let cost = verifier.calls() as u64;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.starting_contexts.lock().expect("cache poisoned").insert(key, context.clone());
+        self.starting_contexts.lock().expect("cache poisoned").insert_with_cost(
+            key,
+            context.clone(),
+            cost,
+        );
         Ok((context, false))
     }
 
@@ -252,16 +261,26 @@ impl DatasetRegistry {
     /// Publishes an externally resolved starting context into the shared
     /// cache (counted as one miss, mirroring the search path in
     /// [`starting_context`](DatasetRegistry::starting_context)).
+    ///
+    /// `discovery_cost` is the number of fresh `f_M` verification calls the
+    /// external search burned finding the context; the cache weighs
+    /// eviction by it, so contexts that are cheap to rediscover evict
+    /// first. Pass the measured call delta (a zero is clamped to 1).
     pub fn store_starting_context(
         &self,
         dataset: &str,
         record_id: usize,
         detector: DetectorKind,
         context: Context,
+        discovery_cost: u64,
     ) {
         let key: StartKey = (dataset.to_string(), record_id, detector);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.starting_contexts.lock().expect("cache poisoned").insert(key, context);
+        self.starting_contexts.lock().expect("cache poisoned").insert_with_cost(
+            key,
+            context,
+            discovery_cost,
+        );
     }
 
     /// Hit/miss counters of the starting-context cache.

@@ -1,21 +1,40 @@
-//! The bounded-queue worker pool executing release requests.
+//! The release server: request execution on a shared work-stealing pool.
 //!
-//! [`Server::start`] spawns `workers` threads draining one shared bounded
-//! channel of [`RequestEnvelope`]s. [`Server::submit`] /
-//! [`Server::submit_batch`] enqueue a request and return a future-like
-//! handle ([`PendingRelease`] / [`PendingBatch`]); [`Server::try_submit`]
-//! and [`Server::try_submit_batch`] refuse with
-//! [`ServiceError::QueueFull`] instead of blocking when the queue is at
-//! capacity (back-pressure for load generators). Raw envelopes go through
+//! [`Server::start`] owns (or [`Server::start_with_pool`] borrows) a
+//! resident [`pcor_runtime::ThreadPool`] and submits every request as a
+//! task on it — there is no dedicated request thread per worker anymore,
+//! and the *same* pool that executes requests also executes the
+//! fork-join shards of the incremental verification engine (sessions are
+//! built with the pool attached, so `ShardPolicy::pooled` sharding and
+//! pooled COE enumeration engage for large datasets). One set of resident
+//! threads serves both inter-release concurrency and intra-release
+//! parallelism; the helping fork-join of `pcor-runtime` makes that nesting
+//! deadlock-free.
+//!
+//! [`Server::submit`] / [`Server::submit_batch`] enqueue a request and
+//! return a completion handle ([`PendingRelease`] / [`PendingBatch`]:
+//! `wait()` blocks, `is_finished()` polls); [`Server::try_submit`] and
+//! [`Server::try_submit_batch`] refuse with [`ServiceError::QueueFull`]
+//! instead of blocking when `queue_capacity` requests are already in
+//! flight (back-pressure for load generators). Raw envelopes go through
 //! [`Server::submit_envelope`]. Every response carries the end-to-end
 //! latency (queue wait included) and the analyst's remaining budget.
 //!
+//! [`Server::submit_batch_streaming`] returns a [`BatchStream`] that
+//! yields each item's result **as it finishes** instead of blocking until
+//! the slowest item: the serving task pushes item responses through a
+//! bounded channel (capacity 1, so the server computes at most one item
+//! ahead of the consumer — streaming back-pressure), then a final summary.
+//! Dropping the stream cancels the batch's unprocessed items and refunds
+//! their ε slices.
+//!
 //! Budget safety under concurrency comes from the ledger's two-phase
-//! protocol: a worker *reserves* the request's ε — for a batch, the
-//! **sum** of the per-item budgets, refused whole if it does not fit —
-//! before touching the dataset, *commits* what the successful releases
-//! consumed and *refunds* the rest (for a batch: each failed item's slice).
-//! A worker panic refunds via the reservation's drop guard.
+//! protocol: a task *reserves* the request's ε — for a batch (streamed or
+//! not), the **sum** of the per-item budgets, refused whole if it does not
+//! fit — before touching the dataset, *commits* what the successful
+//! releases consumed and *refunds* the rest (for a batch: each failed
+//! item's slice). A panicking task refunds via the reservation's drop
+//! guard, and the pool isolates the panic so the worker survives.
 //!
 //! A batch is served on one [`pcor_core::ReleaseSession`]: the detector is
 //! built once and every record's memoized verifier is shared across the
@@ -32,17 +51,19 @@ use crate::request::{
 use crate::{Result, ServiceError};
 use pcor_core::ReleaseSession;
 use pcor_dp::PopulationSizeUtility;
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use pcor_runtime::ThreadPool;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
-/// Configuration of the worker pool.
+/// Configuration of the server's execution pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerConfig {
-    /// Number of worker threads.
+    /// Number of resident pool workers (when the server owns its pool).
     pub workers: usize,
-    /// Capacity of the bounded request queue.
+    /// Maximum number of requests in flight (queued or executing) before
+    /// [`Server::try_submit`] refuses and [`Server::submit`] blocks.
     pub queue_capacity: usize,
 }
 
@@ -54,7 +75,7 @@ impl Default for ServerConfig {
 }
 
 impl ServerConfig {
-    /// Sets the number of worker threads (`>= 1`).
+    /// Sets the number of pool workers (`>= 1`).
     #[must_use]
     pub fn with_workers(mut self, workers: usize) -> Self {
         assert!(workers >= 1, "a server needs at least one worker");
@@ -62,7 +83,7 @@ impl ServerConfig {
         self
     }
 
-    /// Sets the bounded queue capacity (`>= 1`).
+    /// Sets the in-flight request capacity (`>= 1`).
     #[must_use]
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
@@ -71,37 +92,119 @@ impl ServerConfig {
     }
 }
 
-struct Job {
-    envelope: RequestEnvelope,
-    enqueued: Instant,
-    reply: mpsc::Sender<Result<ResponseEnvelope>>,
+/// The in-flight request counter: admission control for submissions and
+/// the drain barrier for shutdown.
+struct Inflight {
+    count: Mutex<usize>,
+    changed: Condvar,
 }
 
-/// A handle to a submitted envelope; resolves to the response envelope.
+impl Inflight {
+    fn new() -> Arc<Self> {
+        Arc::new(Inflight { count: Mutex::new(0), changed: Condvar::new() })
+    }
+
+    /// Blocks until a slot under `capacity` is free, then takes it.
+    fn acquire(self: &Arc<Self>, capacity: usize) -> InflightSlot {
+        let mut count = self.count.lock().expect("inflight poisoned");
+        while *count >= capacity {
+            count = self.changed.wait(count).expect("inflight poisoned");
+        }
+        *count += 1;
+        InflightSlot { inflight: Arc::clone(self) }
+    }
+
+    /// Takes a slot if one is free under `capacity`.
+    fn try_acquire(self: &Arc<Self>, capacity: usize) -> Option<InflightSlot> {
+        let mut count = self.count.lock().expect("inflight poisoned");
+        if *count >= capacity {
+            return None;
+        }
+        *count += 1;
+        Some(InflightSlot { inflight: Arc::clone(self) })
+    }
+
+    /// Blocks until no request is in flight.
+    fn drain(&self) {
+        let mut count = self.count.lock().expect("inflight poisoned");
+        while *count > 0 {
+            count = self.changed.wait(count).expect("inflight poisoned");
+        }
+    }
+}
+
+/// An RAII in-flight slot: released (with a wakeup for blocked submitters
+/// and the shutdown drain) when dropped — including on task panic.
+struct InflightSlot {
+    inflight: Arc<Inflight>,
+}
+
+impl Drop for InflightSlot {
+    fn drop(&mut self) {
+        let mut count = self.inflight.count.lock().expect("inflight poisoned");
+        *count -= 1;
+        drop(count);
+        self.inflight.changed.notify_all();
+    }
+}
+
+/// A completion handle for a submitted envelope; resolves to the response
+/// envelope.
 #[derive(Debug)]
 pub struct PendingResponse {
     receiver: mpsc::Receiver<Result<ResponseEnvelope>>,
+    ready: Option<Result<ResponseEnvelope>>,
 }
 
 impl PendingResponse {
-    /// Blocks until the worker pool has answered.
+    fn new(receiver: mpsc::Receiver<Result<ResponseEnvelope>>) -> Self {
+        PendingResponse { receiver, ready: None }
+    }
+
+    /// Whether the response is ready (never blocks).
+    pub fn is_finished(&mut self) -> bool {
+        if self.ready.is_some() {
+            return true;
+        }
+        match self.receiver.try_recv() {
+            Ok(outcome) => {
+                self.ready = Some(outcome);
+                true
+            }
+            Err(mpsc::TryRecvError::Empty) => false,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.ready = Some(Err(ServiceError::Shutdown));
+                true
+            }
+        }
+    }
+
+    /// Blocks until the serving task has answered.
     ///
     /// # Errors
     /// Propagates the request's service error, or
     /// [`ServiceError::Shutdown`] if the server stopped first.
-    pub fn wait(self) -> Result<ResponseEnvelope> {
+    pub fn wait(mut self) -> Result<ResponseEnvelope> {
+        if let Some(outcome) = self.ready.take() {
+            return outcome;
+        }
         self.receiver.recv().map_err(|_| ServiceError::Shutdown)?
     }
 }
 
-/// A handle to a submitted single-record request; resolves to the response.
+/// A completion handle for a submitted single-record request.
 #[derive(Debug)]
 pub struct PendingRelease {
     inner: PendingResponse,
 }
 
 impl PendingRelease {
-    /// Blocks until the worker pool has answered.
+    /// Whether the response is ready (never blocks).
+    pub fn is_finished(&mut self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Blocks until the serving task has answered.
     ///
     /// # Errors
     /// Propagates the request's service error, or
@@ -113,14 +216,19 @@ impl PendingRelease {
     }
 }
 
-/// A handle to a submitted batch request; resolves to the batch response.
+/// A completion handle for a submitted batch request.
 #[derive(Debug)]
 pub struct PendingBatch {
     inner: PendingResponse,
 }
 
 impl PendingBatch {
-    /// Blocks until the worker pool has answered.
+    /// Whether the response is ready (never blocks).
+    pub fn is_finished(&mut self) -> bool {
+        self.inner.is_finished()
+    }
+
+    /// Blocks until the serving task has answered.
     ///
     /// # Errors
     /// Propagates the batch's service error (a refused batch is one error;
@@ -133,99 +241,195 @@ impl PendingBatch {
     }
 }
 
+/// One event of a streamed batch.
+pub(crate) enum StreamEvent {
+    Item(BatchItemResponse),
+    Done(Result<BatchReleaseResponse>),
+}
+
+/// An incrementally resolving batch created by
+/// [`Server::submit_batch_streaming`].
+///
+/// [`BatchStream::next_item`] yields each item's result as soon as the
+/// serving task finishes it — the analyst sees early results while later
+/// items are still searching. The channel between server and stream is
+/// bounded at one item, so the server computes at most one item ahead of
+/// the consumer (streaming back-pressure). After the last item,
+/// [`BatchStream::wait`] returns the same [`BatchReleaseResponse`] summary
+/// a [`PendingBatch`] would have: one summed-ε reservation up front,
+/// per-item commits and refunds resolved at the end.
+///
+/// Dropping the stream early **cancels** the batch: items not yet
+/// processed are skipped and their ε slices refunded with the failed
+/// items' (items already released stay committed — their mechanism ran).
+pub struct BatchStream {
+    receiver: mpsc::Receiver<StreamEvent>,
+    buffered: VecDeque<BatchItemResponse>,
+    done: Option<Result<BatchReleaseResponse>>,
+}
+
+impl BatchStream {
+    /// Blocks for the next finished item; `None` once every processed item
+    /// has been yielded (the summary is then available via
+    /// [`BatchStream::wait`]).
+    pub fn next_item(&mut self) -> Option<BatchItemResponse> {
+        if let Some(item) = self.buffered.pop_front() {
+            return Some(item);
+        }
+        if self.done.is_some() {
+            return None;
+        }
+        match self.receiver.recv() {
+            Ok(StreamEvent::Item(item)) => Some(item),
+            Ok(StreamEvent::Done(summary)) => {
+                self.done = Some(summary);
+                None
+            }
+            Err(_) => {
+                self.done = Some(Err(ServiceError::Shutdown));
+                None
+            }
+        }
+    }
+
+    /// Whether the whole batch (including its final accounting) has
+    /// resolved. Never blocks; buffers any items it drains on the way
+    /// (later [`BatchStream::next_item`] calls still see them).
+    pub fn is_finished(&mut self) -> bool {
+        if self.done.is_some() {
+            return true;
+        }
+        loop {
+            match self.receiver.try_recv() {
+                Ok(StreamEvent::Item(item)) => self.buffered.push_back(item),
+                Ok(StreamEvent::Done(summary)) => {
+                    self.done = Some(summary);
+                    return true;
+                }
+                Err(mpsc::TryRecvError::Empty) => return false,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.done = Some(Err(ServiceError::Shutdown));
+                    return true;
+                }
+            }
+        }
+    }
+
+    /// Drains any remaining items and returns the batch summary.
+    ///
+    /// # Errors
+    /// Propagates whole-batch refusals (budget, validation) and
+    /// [`ServiceError::Shutdown`] if the server died mid-stream.
+    pub fn wait(mut self) -> Result<BatchReleaseResponse> {
+        while self.next_item().is_some() {}
+        self.done.take().unwrap_or(Err(ServiceError::Shutdown))
+    }
+}
+
+impl std::fmt::Debug for BatchStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchStream")
+            .field("buffered", &self.buffered.len())
+            .field("done", &self.done.is_some())
+            .finish()
+    }
+}
+
 /// A concurrent multi-analyst PCOR release server.
 pub struct Server {
-    sender: Mutex<Option<mpsc::SyncSender<Job>>>,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    pool: Arc<ThreadPool>,
+    /// Whether [`Server::shutdown`] also shuts the pool down (false when
+    /// the pool was borrowed via [`Server::start_with_pool`]).
+    owns_pool: bool,
     registry: Arc<DatasetRegistry>,
     ledger: Arc<BudgetLedger>,
     metrics: Arc<ServerMetrics>,
+    inflight: Arc<Inflight>,
+    accepting: AtomicBool,
+    queue_capacity: usize,
 }
 
 impl Server {
-    /// Starts the worker pool.
+    /// Starts a server that owns a fresh pool of `config.workers` resident
+    /// workers.
     pub fn start(
         config: ServerConfig,
         registry: Arc<DatasetRegistry>,
         ledger: Arc<BudgetLedger>,
     ) -> Self {
-        let (sender, receiver) = mpsc::sync_channel::<Job>(config.queue_capacity);
-        let receiver = Arc::new(Mutex::new(receiver));
-        let metrics = Arc::new(ServerMetrics::default());
-        let mut workers = Vec::with_capacity(config.workers);
-        for worker_index in 0..config.workers {
-            let receiver = Arc::clone(&receiver);
-            let registry = Arc::clone(&registry);
-            let ledger = Arc::clone(&ledger);
-            let metrics = Arc::clone(&metrics);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("pcor-worker-{worker_index}"))
-                    .spawn(move || loop {
-                        // Hold the lock only while dequeueing, not while
-                        // serving, so workers run releases concurrently.
-                        let job = {
-                            let guard = receiver.lock().expect("queue poisoned");
-                            guard.recv()
-                        };
-                        let Ok(job) = job else {
-                            return; // Channel closed: shutdown.
-                        };
-                        let outcome = Self::handle_envelope(
-                            worker_index,
-                            &registry,
-                            &ledger,
-                            &metrics,
-                            job.envelope,
-                            job.enqueued,
-                        );
-                        // A dropped handle is fine; ignore send errors.
-                        let _ = job.reply.send(outcome);
-                    })
-                    .expect("failed to spawn worker thread"),
-            );
-        }
+        let pool = Arc::new(ThreadPool::new(config.workers));
+        let mut server = Self::start_with_pool(config, pool, registry, ledger);
+        server.owns_pool = true;
+        server
+    }
+
+    /// Starts a server on a borrowed pool — the seam for sharing one
+    /// resident pool between the server and other pool users (shutdown
+    /// then drains this server's requests but leaves the pool running).
+    pub fn start_with_pool(
+        config: ServerConfig,
+        pool: Arc<ThreadPool>,
+        registry: Arc<DatasetRegistry>,
+        ledger: Arc<BudgetLedger>,
+    ) -> Self {
         Server {
-            sender: Mutex::new(Some(sender)),
-            workers: Mutex::new(workers),
+            pool,
+            owns_pool: false,
             registry,
             ledger,
-            metrics,
+            metrics: Arc::new(ServerMetrics::default()),
+            inflight: Inflight::new(),
+            accepting: AtomicBool::new(true),
+            queue_capacity: config.queue_capacity,
         }
     }
 
-    /// Serves one envelope end to end on the calling worker thread.
+    /// Serves one envelope end to end on the calling pool worker.
     fn handle_envelope(
-        worker_index: usize,
         registry: &DatasetRegistry,
         ledger: &BudgetLedger,
         metrics: &ServerMetrics,
+        pool: &Arc<ThreadPool>,
         envelope: RequestEnvelope,
         enqueued: Instant,
     ) -> Result<ResponseEnvelope> {
         envelope.validate()?;
+        let worker_index = pool.current_worker().unwrap_or(0);
         match envelope.body {
             RequestBody::Single(request) => {
-                Self::handle(worker_index, registry, ledger, metrics, request, enqueued)
+                Self::handle(worker_index, registry, ledger, metrics, pool, request, enqueued)
                     .map(ResponseEnvelope::single)
             }
-            RequestBody::Batch(batch) => {
-                Self::handle_batch(worker_index, registry, ledger, metrics, batch, enqueued)
-                    .map(ResponseEnvelope::batch)
-            }
+            RequestBody::Batch(batch) => Self::handle_batch(
+                worker_index,
+                registry,
+                ledger,
+                metrics,
+                pool,
+                batch,
+                enqueued,
+                |_| true,
+            )
+            .map(ResponseEnvelope::batch),
         }
     }
 
-    /// Serves one batch on the calling worker thread: one summed-ε
-    /// reservation, one shared release session, per-item partial-failure
-    /// resolution.
+    /// Serves one batch on the calling pool worker: one summed-ε
+    /// reservation, one shared (pool-attached) release session, per-item
+    /// partial-failure resolution. `sink` observes each finished item in
+    /// order; returning `false` cancels the remaining items (their ε
+    /// slices are refunded with the failed items') — the streaming path's
+    /// dropped-consumer semantics.
+    #[allow(clippy::too_many_arguments)]
     fn handle_batch(
         worker_index: usize,
         registry: &DatasetRegistry,
         ledger: &BudgetLedger,
         metrics: &ServerMetrics,
+        pool: &Arc<ThreadPool>,
         batch: BatchReleaseRequest,
         enqueued: Instant,
+        mut sink: impl FnMut(&BatchItemResponse) -> bool,
     ) -> Result<BatchReleaseResponse> {
         let entry = registry.get(&batch.dataset)?;
         // Refuse the whole batch before any work when an item is malformed:
@@ -255,19 +459,29 @@ impl Server {
             }
         };
 
-        // One session for the whole batch: the detector is built once and
-        // every record's memoized verifier is shared across items.
+        // One session for the whole batch: the detector is built once,
+        // every record's memoized verifier is shared across items, and the
+        // server's resident pool backs the engine's sharded passes.
         let detector = batch.detector.build();
         let utility = PopulationSizeUtility;
-        let mut session =
-            ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility).build();
+        let mut session = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
+            .pool(Arc::clone(pool))
+            .build();
+        let needs_start = batch.algorithm.needs_starting_context();
 
         let mut items: Vec<BatchItemResponse> = Vec::with_capacity(batch.items.len());
         let mut committed = 0.0f64;
+        let mut cancelled = false;
         for item in &batch.items {
+            if cancelled {
+                // The consumer is gone: unprocessed items are skipped and
+                // their ε slices stay in the reservation for the refund.
+                break;
+            }
             // Warm the session from the cross-batch registry cache; on a
             // session-side miss the search runs on the item's verifier and
-            // the result is published back for future requests.
+            // the result is published back (weighted by its discovery
+            // cost) for future requests.
             let mut cache_hit = session.starting_context(item.record_id).is_some();
             if !cache_hit {
                 if let Some(context) =
@@ -277,8 +491,27 @@ impl Server {
                     cache_hit = true;
                 }
             }
+            // Resolve the starting context before the release so the
+            // discovery cost (fresh f_M calls) is measurable in isolation;
+            // the release reuses the cached result, so nothing is computed
+            // twice. A resolve failure fails the item with exactly the
+            // error the release itself would have produced.
+            let mut discovery_cost = 0u64;
+            let mut resolve_failure: Option<pcor_core::PcorError> = None;
+            if needs_start && !cache_hit {
+                let calls_before = session.stats().verification_calls;
+                match session.resolve_starting_context(item.record_id) {
+                    Ok(_) => {
+                        discovery_cost = (session.stats().verification_calls - calls_before) as u64;
+                    }
+                    Err(err) => resolve_failure = Some(err),
+                }
+            }
             let config = batch.item_config(item);
-            let result = session.release_with_seed(item.record_id, &config, item.seed);
+            let result = match resolve_failure {
+                Some(err) => Err(err),
+                None => session.release_with_seed(item.record_id, &config, item.seed),
+            };
             // Publish a freshly discovered starting context whether or not
             // the release itself succeeded: the search result is valid and
             // expensive, and a retry must not pay for it again.
@@ -289,6 +522,7 @@ impl Server {
                         item.record_id,
                         batch.detector,
                         context.clone(),
+                        discovery_cost,
                     );
                 }
             }
@@ -300,7 +534,10 @@ impl Server {
                         context: result.context,
                         utility: result.utility,
                         samples_collected: result.samples_collected,
-                        verification_calls: result.verification_calls,
+                        // The pre-release starting search is this item's
+                        // work; fold its calls back in so per-item counts
+                        // still sum to the batch total.
+                        verification_calls: result.verification_calls + discovery_cost as usize,
                         guarantee: result.guarantee,
                         cache_hit,
                     })
@@ -309,15 +546,14 @@ impl Server {
                 // ε slice stays in the reservation and is refunded below.
                 Err(err) => ItemOutcome::Failed { error: err.to_string() },
             };
-            items.push(BatchItemResponse {
-                record_id: item.record_id,
-                epsilon: item.epsilon,
-                outcome,
-            });
+            let response =
+                BatchItemResponse { record_id: item.record_id, epsilon: item.epsilon, outcome };
+            cancelled = !sink(&response);
+            items.push(response);
         }
 
         // Phase 2: commit what the successful items consumed; every failed
-        // item's slice goes back to the analyst.
+        // (and cancelled) item's slice goes back to the analyst.
         let remaining = ledger.commit_partial(reservation, committed);
         let latency = enqueued.elapsed();
         let released = items.iter().filter(|item| item.outcome.is_released()).count();
@@ -331,7 +567,7 @@ impl Server {
         Ok(BatchReleaseResponse {
             analyst: batch.analyst,
             dataset: batch.dataset,
-            verification_calls: session.stats().verification_calls,
+            verification_calls: session_stats.verification_calls,
             items,
             epsilon_committed: committed,
             epsilon_refunded: total_epsilon - committed,
@@ -341,13 +577,14 @@ impl Server {
         })
     }
 
-    /// Serves one single-record request end to end on the calling worker
-    /// thread.
+    /// Serves one single-record request end to end on the calling pool
+    /// worker.
     fn handle(
         worker_index: usize,
         registry: &DatasetRegistry,
         ledger: &BudgetLedger,
         metrics: &ServerMetrics,
+        pool: &Arc<ThreadPool>,
         request: ReleaseRequest,
         enqueued: Instant,
     ) -> Result<ReleaseResponse> {
@@ -375,16 +612,16 @@ impl Server {
             }
         };
 
-        // One single-release session, warmed from the registry's shared
-        // starting-context cache. On a miss the session resolves the context
-        // on the same verifier the release then runs on (no throwaway
-        // verifier, and the search's f_M calls are reported with the query);
-        // on failure the reservation drops below and refunds: a record that
-        // is not a contextual outlier consumed no privacy budget.
+        // One single-release session (pool-attached, warmed from the
+        // registry's shared starting-context cache). On a miss the session
+        // resolves the context on the same verifier the release then runs
+        // on; on failure the reservation drops below and refunds: a record
+        // that is not a contextual outlier consumed no privacy budget.
         let detector = request.detector.build();
         let utility = PopulationSizeUtility;
-        let mut session =
-            ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility).build();
+        let mut session = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
+            .pool(Arc::clone(pool))
+            .build();
         let cache_hit = match registry.cached_starting_context(
             &request.dataset,
             request.record_id,
@@ -396,8 +633,24 @@ impl Server {
             }
             None => false,
         };
+        // Resolve before releasing so the discovery cost is measurable (see
+        // the batch path); the release reuses the cached resolution.
+        let mut discovery_cost = 0u64;
+        let mut resolve_failure: Option<pcor_core::PcorError> = None;
+        if request.algorithm.needs_starting_context() && !cache_hit {
+            let calls_before = session.stats().verification_calls;
+            match session.resolve_starting_context(request.record_id) {
+                Ok(_) => {
+                    discovery_cost = (session.stats().verification_calls - calls_before) as u64;
+                }
+                Err(err) => resolve_failure = Some(err),
+            }
+        }
         let config = request.to_config();
-        let outcome = session.release_with_seed(request.record_id, &config, request.seed);
+        let outcome = match resolve_failure {
+            Some(err) => Err(err),
+            None => session.release_with_seed(request.record_id, &config, request.seed),
+        };
         // The engine worked whether or not the release succeeded; record its
         // verification cost and cache efficiency either way.
         let session_stats = session.stats();
@@ -416,6 +669,7 @@ impl Server {
                     request.record_id,
                     request.detector,
                     context.clone(),
+                    discovery_cost,
                 );
             }
         }
@@ -433,7 +687,9 @@ impl Server {
                     context: result.context,
                     utility: result.utility,
                     samples_collected: result.samples_collected,
-                    verification_calls: result.verification_calls,
+                    // The pre-release starting search is this query's work;
+                    // report it with the release's own calls as before.
+                    verification_calls: result.verification_calls + discovery_cost as usize,
                     guarantee: result.guarantee,
                     epsilon_spent: request.epsilon,
                     remaining_budget: remaining,
@@ -452,39 +708,56 @@ impl Server {
         }
     }
 
-    /// Enqueues a raw envelope, blocking while the queue is full.
+    /// Spawns the serving task for one admitted envelope.
+    fn dispatch(&self, envelope: RequestEnvelope, slot: InflightSlot) -> PendingResponse {
+        let (reply, receiver) = mpsc::channel();
+        let registry = Arc::clone(&self.registry);
+        let ledger = Arc::clone(&self.ledger);
+        let metrics = Arc::clone(&self.metrics);
+        let pool = Arc::clone(&self.pool);
+        let enqueued = Instant::now();
+        self.pool.spawn(move || {
+            // The slot lives for the task's duration; its drop (panic
+            // included) releases capacity and wakes blocked submitters.
+            let _slot = slot;
+            let outcome =
+                Self::handle_envelope(&registry, &ledger, &metrics, &pool, envelope, enqueued);
+            // A dropped handle is fine; ignore send errors.
+            let _ = reply.send(outcome);
+        });
+        PendingResponse::new(receiver)
+    }
+
+    /// Enqueues a raw envelope, blocking while `queue_capacity` requests
+    /// are in flight.
     ///
     /// # Errors
     /// Returns [`ServiceError::Shutdown`] after
     /// [`shutdown`](Server::shutdown).
     pub fn submit_envelope(&self, envelope: RequestEnvelope) -> Result<PendingResponse> {
-        let (reply, receiver) = mpsc::channel();
-        let job = Job { envelope, enqueued: Instant::now(), reply };
-        // Clone the sender out of the lock before sending: a blocking send
-        // while holding the mutex would serialize producers and make
-        // `try_submit` block on the lock, violating its contract.
-        let sender = self.current_sender()?;
-        sender.send(job).map_err(|_| ServiceError::Shutdown)?;
-        Ok(PendingResponse { receiver })
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
+        }
+        let slot = self.inflight.acquire(self.queue_capacity);
+        Ok(self.dispatch(envelope, slot))
     }
 
     /// Enqueues a raw envelope without blocking.
     ///
     /// # Errors
-    /// Returns [`ServiceError::QueueFull`] when the queue is at capacity and
-    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
+    /// Returns [`ServiceError::QueueFull`] when `queue_capacity` requests
+    /// are in flight and [`ServiceError::Shutdown`] after
+    /// [`shutdown`](Server::shutdown).
     pub fn try_submit_envelope(&self, envelope: RequestEnvelope) -> Result<PendingResponse> {
-        let (reply, receiver) = mpsc::channel();
-        let job = Job { envelope, enqueued: Instant::now(), reply };
-        let sender = self.current_sender()?;
-        match sender.try_send(job) {
-            Ok(()) => Ok(PendingResponse { receiver }),
-            Err(mpsc::TrySendError::Full(_)) => Err(ServiceError::QueueFull),
-            Err(mpsc::TrySendError::Disconnected(_)) => Err(ServiceError::Shutdown),
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
         }
+        let slot = self.inflight.try_acquire(self.queue_capacity).ok_or(ServiceError::QueueFull)?;
+        Ok(self.dispatch(envelope, slot))
     }
 
-    /// Enqueues a single-record request, blocking while the queue is full.
+    /// Enqueues a single-record request, blocking while the server is at
+    /// capacity.
     ///
     /// # Errors
     /// Returns [`ServiceError::Shutdown`] after
@@ -496,15 +769,15 @@ impl Server {
     /// Enqueues a single-record request without blocking.
     ///
     /// # Errors
-    /// Returns [`ServiceError::QueueFull`] when the queue is at capacity and
-    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
+    /// Returns [`ServiceError::QueueFull`] when the server is at capacity
+    /// and [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
     pub fn try_submit(&self, request: ReleaseRequest) -> Result<PendingRelease> {
         Ok(PendingRelease { inner: self.try_submit_envelope(RequestEnvelope::single(request))? })
     }
 
-    /// Enqueues a batch, blocking while the queue is full. The whole batch
-    /// occupies one queue slot and is served by one worker on one shared
-    /// session.
+    /// Enqueues a batch, blocking while the server is at capacity. The
+    /// whole batch occupies one in-flight slot and is served by one task on
+    /// one shared session.
     ///
     /// # Errors
     /// Returns [`ServiceError::Shutdown`] after
@@ -516,14 +789,58 @@ impl Server {
     /// Enqueues a batch without blocking.
     ///
     /// # Errors
-    /// Returns [`ServiceError::QueueFull`] when the queue is at capacity and
-    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
+    /// Returns [`ServiceError::QueueFull`] when the server is at capacity
+    /// and [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
     pub fn try_submit_batch(&self, batch: BatchReleaseRequest) -> Result<PendingBatch> {
         Ok(PendingBatch { inner: self.try_submit_envelope(RequestEnvelope::batch(batch))? })
     }
 
-    fn current_sender(&self) -> Result<mpsc::SyncSender<Job>> {
-        self.sender.lock().expect("sender poisoned").as_ref().cloned().ok_or(ServiceError::Shutdown)
+    /// Enqueues a batch whose item results stream back incrementally —
+    /// each item surfaces on the returned [`BatchStream`] as soon as it
+    /// finishes, instead of after the whole batch. ε accounting is
+    /// identical to [`Server::submit_batch`]: one summed-ε reservation up
+    /// front (refused whole if over budget), per-item refunds resolved in
+    /// the final summary.
+    ///
+    /// Blocks while the server is at capacity (the stream occupies one
+    /// in-flight slot until its final summary is produced).
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::InvalidRequest`] for malformed batches
+    /// (validated before admission) and [`ServiceError::Shutdown`] after
+    /// [`shutdown`](Server::shutdown).
+    pub fn submit_batch_streaming(&self, batch: BatchReleaseRequest) -> Result<BatchStream> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
+        }
+        batch.validate()?;
+        let slot = self.inflight.acquire(self.queue_capacity);
+        // Capacity 1: the serving task stays at most one finished item
+        // ahead of the consumer, and a consumer that drops the stream makes
+        // the next send fail, which cancels the remaining items.
+        let (events, receiver) = mpsc::sync_channel::<StreamEvent>(1);
+        let registry = Arc::clone(&self.registry);
+        let ledger = Arc::clone(&self.ledger);
+        let metrics = Arc::clone(&self.metrics);
+        let pool = Arc::clone(&self.pool);
+        let enqueued = Instant::now();
+        self.pool.spawn(move || {
+            let _slot = slot;
+            let worker_index = pool.current_worker().unwrap_or(0);
+            let item_events = events.clone();
+            let summary = Self::handle_batch(
+                worker_index,
+                &registry,
+                &ledger,
+                &metrics,
+                &pool,
+                batch,
+                enqueued,
+                move |item| item_events.send(StreamEvent::Item(item.clone())).is_ok(),
+            );
+            let _ = events.send(StreamEvent::Done(summary));
+        });
+        Ok(BatchStream { receiver, buffered: VecDeque::new(), done: None })
     }
 
     /// Submits a single-record request and blocks for its response.
@@ -553,20 +870,25 @@ impl Server {
         &self.ledger
     }
 
-    /// A snapshot of the server counters.
-    pub fn metrics(&self) -> ServerMetricsSnapshot {
-        self.metrics.snapshot()
+    /// The resident pool executing this server's requests (and the
+    /// verification engine's fork-join shards).
+    pub fn pool(&self) -> &Arc<ThreadPool> {
+        &self.pool
     }
 
-    /// Stops accepting requests, drains the queue and joins the workers.
+    /// A snapshot of the server counters, pool health included.
+    pub fn metrics(&self) -> ServerMetricsSnapshot {
+        self.metrics.snapshot().with_pool(self.pool.stats())
+    }
+
+    /// Stops accepting requests, waits for everything in flight to resolve
+    /// and — when the server owns its pool — shuts the pool down.
     /// Idempotent.
     pub fn shutdown(&self) {
-        // Dropping the sender closes the channel; workers drain what is
-        // already queued and then exit.
-        self.sender.lock().expect("sender poisoned").take();
-        let workers = std::mem::take(&mut *self.workers.lock().expect("workers poisoned"));
-        for worker in workers {
-            let _ = worker.join();
+        self.accepting.store(false, Ordering::Release);
+        self.inflight.drain();
+        if self.owns_pool {
+            self.pool.shutdown();
         }
     }
 }
@@ -581,7 +903,7 @@ impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("registry", &self.registry)
-            .field("metrics", &self.metrics.snapshot())
+            .field("metrics", &self.metrics())
             .finish()
     }
 }
@@ -675,6 +997,22 @@ mod tests {
     }
 
     #[test]
+    fn metrics_report_pool_health() {
+        let server = toy_server(10.0, 2);
+        server.execute(toy_request("alice", 7)).unwrap();
+        let metrics = server.metrics();
+        assert_eq!(metrics.pool_workers, 2);
+        // The executed counter is bumped just after the task's reply is
+        // sent; give the worker a moment to cross that line.
+        let started = Instant::now();
+        while server.metrics().pool_tasks_executed == 0 {
+            assert!(started.elapsed().as_secs() < 30, "the request must count as a pool task");
+            std::thread::yield_now();
+        }
+        assert_eq!(metrics.pool_queue_depth, 0);
+    }
+
+    #[test]
     fn identical_seeds_give_identical_releases() {
         let server = toy_server(1.0, 2);
         let a = server.execute(toy_request("alice", 42)).unwrap();
@@ -753,6 +1091,20 @@ mod tests {
     }
 
     #[test]
+    fn pending_handles_report_completion_without_blocking() {
+        let server = toy_server(10.0, 1);
+        let mut handle = server.submit(toy_request("alice", 5)).unwrap();
+        // Wait for completion via polling only.
+        let started = Instant::now();
+        while !handle.is_finished() {
+            assert!(started.elapsed().as_secs() < 30, "request never completed");
+            std::thread::yield_now();
+        }
+        let response = handle.wait().unwrap();
+        assert_eq!(response.record_id, 0);
+    }
+
+    #[test]
     fn shutdown_refuses_new_work_and_is_idempotent() {
         let server = toy_server(1.0, 2);
         server.execute(toy_request("alice", 1)).unwrap();
@@ -764,6 +1116,29 @@ mod tests {
             server.submit_batch(toy_batch("alice", &[0, 0])),
             Err(ServiceError::Shutdown)
         ));
+        assert!(matches!(
+            server.submit_batch_streaming(toy_batch("alice", &[0, 0])),
+            Err(ServiceError::Shutdown)
+        ));
+    }
+
+    #[test]
+    fn servers_can_share_one_resident_pool() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let ledger = Arc::new(BudgetLedger::new(10.0));
+        let server = Server::start_with_pool(
+            ServerConfig::default().with_workers(2),
+            Arc::clone(&pool),
+            Arc::clone(&registry),
+            Arc::clone(&ledger),
+        );
+        server.execute(toy_request("alice", 3)).unwrap();
+        // Shutting the server down drains its requests but leaves the
+        // borrowed pool running for other users.
+        server.shutdown();
+        assert_eq!(pool.spawn(|| 11).join().unwrap(), 11);
     }
 
     use crate::request::{BatchItem, BatchReleaseRequest, RequestEnvelope};
@@ -872,6 +1247,12 @@ mod tests {
         let unknown = BatchReleaseRequest { dataset: "nope".into(), ..unknown };
         assert!(matches!(server.execute_batch(unknown), Err(ServiceError::UnknownDataset(_))));
         assert!((server.ledger().remaining("alice", "toy") - 1.0).abs() < 1e-12);
+        // The streaming entry point validates before admission.
+        let empty = BatchReleaseRequest::new("alice", "toy").with_detector(DetectorKind::ZScore);
+        assert!(matches!(
+            server.submit_batch_streaming(empty),
+            Err(ServiceError::InvalidRequest(_))
+        ));
     }
 
     #[test]
@@ -889,9 +1270,9 @@ mod tests {
         assert!((server.ledger().remaining("alice", "toy") - 1.0).abs() < 1e-12);
     }
 
-    /// `try_submit` must refuse with `QueueFull` while a slow batch occupies
-    /// the single worker and the queue slot is taken — back-pressure for
-    /// load generators, now including the batch path.
+    /// `try_submit` must refuse with `QueueFull` while a slow batch holds
+    /// the only in-flight slot — back-pressure for load generators, now
+    /// enforced by the admission counter rather than a channel.
     #[test]
     fn try_submit_applies_back_pressure_under_a_full_queue() {
         let registry = Arc::new(DatasetRegistry::new());
@@ -902,7 +1283,7 @@ mod tests {
             registry,
             ledger,
         );
-        // A heavy batch keeps the lone worker busy for a while.
+        // A heavy batch occupies the single in-flight slot for a while.
         let slow = toy_batch("alice", &vec![0; 64]);
         let slow_handle = server.submit_batch(slow).unwrap();
         let mut queued = Vec::new();
@@ -917,11 +1298,78 @@ mod tests {
                 Err(other) => panic!("unexpected submit error: {other}"),
             }
         }
-        assert!(saw_queue_full, "a capacity-1 queue behind a busy worker must fill up");
+        assert!(saw_queue_full, "a capacity-1 server behind a slow batch must fill up");
         // Everything that was accepted still resolves.
         assert!(slow_handle.wait().is_ok());
         for handle in queued {
             assert!(handle.wait().is_ok());
         }
+    }
+
+    #[test]
+    fn streamed_batches_yield_items_before_the_batch_finishes() {
+        let server = toy_server(10.0, 1);
+        let mut stream = server.submit_batch_streaming(toy_batch("alice", &[0, 0, 0])).unwrap();
+        let first = stream.next_item().expect("a first item must arrive");
+        assert_eq!(first.record_id, 0);
+        assert!(first.outcome.is_released());
+        // The bounded event channel (capacity 1) guarantees the serving
+        // task cannot have delivered the final summary yet: item 2 has not
+        // even been sent when item 0 is consumed.
+        assert!(!stream.is_finished(), "the first item must surface before the batch completes");
+        let mut rest = Vec::new();
+        while let Some(item) = stream.next_item() {
+            rest.push(item);
+        }
+        assert_eq!(rest.len(), 2);
+        let summary = stream.wait().unwrap();
+        assert_eq!(summary.released(), 3);
+        assert!((summary.epsilon_committed - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn streamed_and_blocking_batches_account_identically() {
+        let streamed_server = toy_server(10.0, 1);
+        let blocking_server = toy_server(10.0, 1);
+        // Record 1 fails; 0s succeed. Same batch through both paths.
+        let stream =
+            streamed_server.submit_batch_streaming(toy_batch("alice", &[0, 1, 0])).unwrap();
+        let streamed = stream.wait().unwrap();
+        let blocking = blocking_server.execute_batch(toy_batch("alice", &[0, 1, 0])).unwrap();
+        assert_eq!(streamed.items, blocking.items);
+        assert_eq!(streamed.epsilon_committed, blocking.epsilon_committed);
+        assert_eq!(streamed.epsilon_refunded, blocking.epsilon_refunded);
+        assert_eq!(streamed.remaining_budget, blocking.remaining_budget);
+        assert_eq!(
+            streamed_server.ledger().spent("alice", "toy"),
+            blocking_server.ledger().spent("alice", "toy")
+        );
+    }
+
+    #[test]
+    fn dropping_a_stream_cancels_and_refunds_unprocessed_items() {
+        let server = toy_server(10.0, 1);
+        {
+            let mut stream = server.submit_batch_streaming(toy_batch("alice", &[0; 16])).unwrap();
+            // Consume one item, then walk away.
+            assert!(stream.next_item().is_some());
+        }
+        // Give the serving task time to notice the dropped consumer.
+        let started = Instant::now();
+        loop {
+            let reserved: f64 = server.ledger().snapshot().iter().map(|entry| entry.reserved).sum();
+            if reserved == 0.0 {
+                break;
+            }
+            assert!(started.elapsed().as_secs() < 30, "reservation never resolved");
+            std::thread::yield_now();
+        }
+        let spent = server.ledger().spent("alice", "toy");
+        // At least the consumed item committed; the cancelled tail
+        // refunded. (The capacity-1 channel means at most two extra items
+        // were computed after the consumer left.)
+        assert!(spent >= 0.2 - 1e-9, "served items stay committed, spent {spent}");
+        assert!(spent <= 0.2 * 4.0 + 1e-9, "cancelled items must refund, spent {spent}");
+        assert!((server.ledger().remaining("alice", "toy") + spent - 10.0).abs() < 1e-9);
     }
 }

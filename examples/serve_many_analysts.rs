@@ -133,5 +133,13 @@ fn main() {
         metrics.evaluations_per_release(),
         metrics.verifier_cache_hit_rate() * 100.0,
     );
+    println!(
+        "runtime pool: {} resident workers, queue depth {}, \
+         {} tasks executed ({} stolen)",
+        metrics.pool_workers,
+        metrics.pool_queue_depth,
+        metrics.pool_tasks_executed,
+        metrics.pool_tasks_stolen,
+    );
     server.shutdown();
 }
