@@ -14,12 +14,14 @@
 //! | [`batch`] | (beyond the paper) batched releases vs. equivalent singles |
 //! | [`verify_hotpath`] | (beyond the paper) `f_M` evaluation engines: from-scratch vs. incremental |
 //! | [`pool_breakeven`] | (beyond the paper) sharded-pass break-even: spawn-per-pass vs. persistent pool |
+//! | [`mechanisms`] | (beyond the paper) DP selection mechanisms at equal ε: Exponential vs permute-and-flip vs report-noisy-max |
 
 pub mod batch;
 pub mod coe_match;
 pub mod detectors;
 pub mod direct_vs_sampling;
 pub mod epsilon_sweep;
+pub mod mechanisms;
 pub mod overlap;
 pub mod pool_breakeven;
 pub mod ratio_check;
@@ -92,6 +94,9 @@ pub enum ExperimentId {
     /// Sharded-pass break-even: spawn-per-pass vs. persistent-pool
     /// execution across dataset sizes (beyond the paper).
     PoolBreakeven,
+    /// DP selection mechanisms at equal ε: Exponential vs permute-and-flip
+    /// vs report-noisy-max (beyond the paper).
+    Mechanisms,
 }
 
 impl ExperimentId {
@@ -111,6 +116,7 @@ impl ExperimentId {
             ExperimentId::BatchVsSingles,
             ExperimentId::VerifyHotpath,
             ExperimentId::PoolBreakeven,
+            ExperimentId::Mechanisms,
         ]
     }
 
@@ -131,6 +137,7 @@ impl ExperimentId {
             "batch" | "batch-vs-singles" => vec![ExperimentId::BatchVsSingles],
             "verify" | "verify-hotpath" | "hotpath" => vec![ExperimentId::VerifyHotpath],
             "pool" | "pool-breakeven" | "breakeven" => vec![ExperimentId::PoolBreakeven],
+            "mechanisms" | "mechanism" => vec![ExperimentId::Mechanisms],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -163,6 +170,9 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::PoolBreakeven => {
                 "pool break-even: spawn vs persistent-pool sharding (pcor-runtime/data)"
             }
+            ExperimentId::Mechanisms => {
+                "selection mechanisms at equal eps: EM vs PF vs RNM (pcor-dp/core)"
+            }
         };
         write!(f, "{name}")
     }
@@ -187,6 +197,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::BatchVsSingles => batch::run(scale),
         ExperimentId::VerifyHotpath => verify_hotpath::run(scale),
         ExperimentId::PoolBreakeven => pool_breakeven::run(scale),
+        ExperimentId::Mechanisms => mechanisms::run(scale),
     }
 }
 
@@ -210,6 +221,8 @@ mod tests {
         assert_eq!(ExperimentId::parse("verify-hotpath"), vec![ExperimentId::VerifyHotpath]);
         assert_eq!(ExperimentId::parse("pool"), vec![ExperimentId::PoolBreakeven]);
         assert_eq!(ExperimentId::parse("pool-breakeven"), vec![ExperimentId::PoolBreakeven]);
+        assert_eq!(ExperimentId::parse("mechanisms"), vec![ExperimentId::Mechanisms]);
+        assert_eq!(ExperimentId::parse("mechanism"), vec![ExperimentId::Mechanisms]);
         assert_eq!(ExperimentId::parse("figures").len(), 5);
         assert!(ExperimentId::parse("nonsense").is_empty());
         for id in ExperimentId::all() {

@@ -18,7 +18,6 @@ use crate::starting::{resolve_starting_context, DEFAULT_SEARCH_BUDGET};
 use crate::verify::Verifier;
 use crate::{PcorConfig, PcorResult, Result, SamplingAlgorithm};
 use pcor_data::Context;
-use pcor_dp::ExponentialMechanism;
 use rand::Rng;
 use std::collections::HashSet;
 use std::time::Duration;
@@ -40,9 +39,11 @@ pub fn run<R: Rng + ?Sized>(
         DEFAULT_SEARCH_BUDGET,
     )?;
 
-    let guarantee = SamplingAlgorithm::Bfs.guarantee(config.epsilon, config.samples)?;
+    let mechanism = config.mechanism_kind();
+    let guarantee =
+        SamplingAlgorithm::Bfs.guarantee(config.epsilon, config.samples)?.with_mechanism(mechanism);
     let epsilon1 = guarantee.epsilon_per_invocation;
-    let step_mechanism = ExponentialMechanism::new(epsilon1, verifier.utility().sensitivity())?;
+    let step_mechanism = mechanism.build(epsilon1, verifier.utility().sensitivity())?;
 
     // The frontier C_M (treated as a priority queue keyed by utility through
     // the Exponential mechanism) and the visited set.
@@ -57,7 +58,10 @@ pub fn run<R: Rng + ?Sized>(
         for candidate in &frontier {
             scores.push(verifier.evaluate(candidate)?.utility);
         }
-        let index = step_mechanism.select(&scores, rng)?;
+        let index = {
+            let mut erased: &mut R = rng;
+            step_mechanism.select(&scores, &mut erased)?
+        };
         let current = frontier.swap_remove(index);
         frontier_set.remove(&current);
         visited_set.insert(current.clone());
@@ -80,7 +84,7 @@ pub fn run<R: Rng + ?Sized>(
         }
     }
 
-    let (context, utility) = mechanism_draw(verifier, &visited, epsilon1, rng)?;
+    let (context, utility) = mechanism_draw(verifier, &visited, mechanism, epsilon1, rng)?;
     Ok(PcorResult {
         context,
         utility,
@@ -89,6 +93,7 @@ pub fn run<R: Rng + ?Sized>(
         guarantee,
         runtime: Duration::ZERO,
         algorithm: SamplingAlgorithm::Bfs,
+        mechanism,
     })
 }
 

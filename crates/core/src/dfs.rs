@@ -19,7 +19,6 @@ use crate::starting::{resolve_starting_context, DEFAULT_SEARCH_BUDGET};
 use crate::verify::Verifier;
 use crate::{PcorConfig, PcorResult, Result, SamplingAlgorithm};
 use pcor_data::Context;
-use pcor_dp::ExponentialMechanism;
 use rand::Rng;
 use std::collections::HashSet;
 use std::time::Duration;
@@ -41,9 +40,11 @@ pub fn run<R: Rng + ?Sized>(
         DEFAULT_SEARCH_BUDGET,
     )?;
 
-    let guarantee = SamplingAlgorithm::Dfs.guarantee(config.epsilon, config.samples)?;
+    let mechanism = config.mechanism_kind();
+    let guarantee =
+        SamplingAlgorithm::Dfs.guarantee(config.epsilon, config.samples)?.with_mechanism(mechanism);
     let epsilon1 = guarantee.epsilon_per_invocation;
-    let step_mechanism = ExponentialMechanism::new(epsilon1, verifier.utility().sensitivity())?;
+    let step_mechanism = mechanism.build(epsilon1, verifier.utility().sensitivity())?;
 
     let mut stack: Vec<Context> = vec![start.clone()];
     let mut visited_set: HashSet<Context> = HashSet::new();
@@ -76,12 +77,13 @@ pub fn run<R: Rng + ?Sized>(
             stack.pop();
         } else {
             // The utility-guided, differentially private child selection.
-            let index = step_mechanism.select(&child_scores, rng)?;
+            let mut erased: &mut R = rng;
+            let index = step_mechanism.select(&child_scores, &mut erased)?;
             stack.push(children.swap_remove(index));
         }
     }
 
-    let (context, utility) = mechanism_draw(verifier, &visited, epsilon1, rng)?;
+    let (context, utility) = mechanism_draw(verifier, &visited, mechanism, epsilon1, rng)?;
     Ok(PcorResult {
         context,
         utility,
@@ -90,6 +92,7 @@ pub fn run<R: Rng + ?Sized>(
         guarantee,
         runtime: Duration::ZERO,
         algorithm: SamplingAlgorithm::Dfs,
+        mechanism,
     })
 }
 

@@ -60,9 +60,12 @@ pub fn run<R: Rng + ?Sized>(
         return Err(PcorError::NoMatchingContext);
     }
 
-    let guarantee = SamplingAlgorithm::Direct.guarantee(config.epsilon, config.samples)?;
+    let mechanism = config.mechanism_kind();
+    let guarantee = SamplingAlgorithm::Direct
+        .guarantee(config.epsilon, config.samples)?
+        .with_mechanism(mechanism);
     let (context, utility) =
-        mechanism_draw(verifier, &matching, guarantee.epsilon_per_invocation, rng)?;
+        mechanism_draw(verifier, &matching, mechanism, guarantee.epsilon_per_invocation, rng)?;
     Ok(PcorResult {
         context,
         utility,
@@ -71,6 +74,7 @@ pub fn run<R: Rng + ?Sized>(
         guarantee,
         runtime: Duration::ZERO,
         algorithm: SamplingAlgorithm::Direct,
+        mechanism,
     })
 }
 

@@ -34,6 +34,14 @@
 //! empirical-ratio experiments of Section 6.7) and [`runner`]
 //! (repeat-and-measure harness used by `pcor-bench`).
 //!
+//! The table names the Exponential mechanism because the paper does, but
+//! every private draw goes through the pluggable [`SelectionMechanism`]
+//! API: a
+//! [`MechanismKind`] on [`ReleaseSpec`]/[`ReleaseSessionBuilder`] swaps in
+//! permute-and-flip or report-noisy-max at the same `ε₁`/`Δu`
+//! parameterization (default `Exponential`, bit-identical to the paper's
+//! engine for seeded runs).
+//!
 //! ## Quick start
 //!
 //! The recommended entry point is a [`ReleaseSession`]: bind the dataset,
@@ -84,6 +92,7 @@ pub mod uniform;
 pub mod verify;
 
 pub use coe::{enumerate_coe, enumerate_coe_on, enumerate_coe_with, ReferenceEntry, ReferenceFile};
+pub use pcor_dp::{MechanismKind, MechanismTally, SelectionMechanism};
 pub use runner::find_random_outlier;
 pub use session::{ReleaseSession, ReleaseSessionBuilder, ReleaseSpec, SeedPolicy, SessionStats};
 pub use verify::{Evaluation, Verifier};
@@ -270,6 +279,8 @@ pub struct PcorResult {
     pub runtime: Duration,
     /// The algorithm that produced the release.
     pub algorithm: SamplingAlgorithm,
+    /// The DP selection mechanism every private draw went through.
+    pub mechanism: MechanismKind,
 }
 
 /// Runs one one-shot PCOR release: given the dataset, the outlier record id,

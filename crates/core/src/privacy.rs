@@ -18,7 +18,7 @@
 use crate::coe::{enumerate_coe, ReferenceFile};
 use crate::Result;
 use pcor_data::Dataset;
-use pcor_dp::{ExponentialMechanism, Utility};
+use pcor_dp::{MechanismKind, Utility};
 use pcor_outlier::OutlierDetector;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -105,10 +105,9 @@ pub struct RatioCheck {
     pub holds: bool,
 }
 
-/// Evaluates the Section 6.7 ratio experiment: with the single-draw budget
-/// split (`ε₁ = ε/2`), compute the Exponential-mechanism output distribution
-/// over each dataset's COE set and compare the probabilities of the common
-/// contexts.
+/// Evaluates the Section 6.7 ratio experiment with the paper's Exponential
+/// mechanism — equivalent to
+/// [`empirical_ratio_check_with`]`(…, MechanismKind::Exponential)`.
 ///
 /// # Errors
 /// Propagates enumeration/mechanism errors. When either COE set is empty the
@@ -119,11 +118,33 @@ pub fn empirical_ratio_check(
     epsilon: f64,
     sensitivity: f64,
 ) -> Result<RatioCheck> {
+    empirical_ratio_check_with(original, neighbor, epsilon, sensitivity, MechanismKind::default())
+}
+
+/// Evaluates the Section 6.7 ratio experiment for one selection mechanism:
+/// with the single-draw budget split (`ε₁ = ε/2`), compute the mechanism's
+/// exact output distribution over each dataset's COE set and compare the
+/// probabilities of the common contexts against the `e^ε` bound.
+///
+/// Running this per [`MechanismKind`] is how the mechanism axis is
+/// empirically validated — every supported mechanism shares the `2ε₁Δu`
+/// per-draw guarantee, so each must pass the same bound.
+///
+/// # Errors
+/// Propagates enumeration/mechanism errors. When either COE set is empty the
+/// check trivially holds with `max_ratio = 1.0`.
+pub fn empirical_ratio_check_with(
+    original: &ReferenceFile,
+    neighbor: &ReferenceFile,
+    epsilon: f64,
+    sensitivity: f64,
+    kind: MechanismKind,
+) -> Result<RatioCheck> {
     let bound = epsilon.exp();
     if original.is_empty() || neighbor.is_empty() {
         return Ok(RatioCheck { max_ratio: 1.0, bound, common_contexts: 0, holds: true });
     }
-    let mechanism = ExponentialMechanism::new(epsilon / 2.0, sensitivity)?;
+    let mechanism = kind.build(epsilon / 2.0, sensitivity)?;
 
     let scores1: Vec<f64> = original.entries.iter().map(|e| e.utility).collect();
     let scores2: Vec<f64> = neighbor.entries.iter().map(|e| e.utility).collect();
@@ -241,6 +262,50 @@ mod tests {
             assert!(check.holds, "ratio {} exceeded bound {}", check.max_ratio, check.bound);
         }
         assert!(worst >= 1.0);
+    }
+
+    #[test]
+    fn ratio_check_holds_per_mechanism_on_neighboring_datasets() {
+        // The mechanism axis must not weaken the Section 6.7 bound: every
+        // supported mechanism's exact output distribution stays within e^ε
+        // on neighboring COE sets (PF is not a softmax, so this exercises a
+        // genuinely different distribution).
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let mut rng = ChaCha12Rng::seed_from_u64(23);
+        let coe1 = enumerate_coe(&d, 0, &detector, &utility, 22).unwrap();
+        for _ in 0..4 {
+            let (neighbor, removed) = d.random_neighbor(&mut rng, 1, &[0]).unwrap();
+            let new_id = reindex_after_removal(0, &removed).unwrap();
+            let coe2 = enumerate_coe(&neighbor, new_id, &detector, &utility, 22).unwrap();
+            for kind in pcor_dp::MechanismKind::all() {
+                let check = empirical_ratio_check_with(&coe1, &coe2, 0.2, 1.0, kind).unwrap();
+                assert!(check.common_contexts > 0);
+                assert!(
+                    check.holds,
+                    "{kind}: ratio {} exceeded bound {}",
+                    check.max_ratio, check.bound
+                );
+            }
+        }
+        // Exponential and report-noisy-max share one distribution, so their
+        // checks must agree exactly.
+        let (neighbor, removed) = d.random_neighbor(&mut rng, 1, &[0]).unwrap();
+        let new_id = reindex_after_removal(0, &removed).unwrap();
+        let coe2 = enumerate_coe(&neighbor, new_id, &detector, &utility, 22).unwrap();
+        let em =
+            empirical_ratio_check_with(&coe1, &coe2, 0.2, 1.0, pcor_dp::MechanismKind::Exponential)
+                .unwrap();
+        let rnm = empirical_ratio_check_with(
+            &coe1,
+            &coe2,
+            0.2,
+            1.0,
+            pcor_dp::MechanismKind::ReportNoisyMax,
+        )
+        .unwrap();
+        assert!((em.max_ratio - rnm.max_ratio).abs() < 1e-12);
     }
 
     #[test]

@@ -55,9 +55,12 @@ pub fn run<R: Rng + ?Sized>(
         break;
     }
 
-    let guarantee = SamplingAlgorithm::RandomWalk.guarantee(config.epsilon, config.samples)?;
+    let mechanism = config.mechanism_kind();
+    let guarantee = SamplingAlgorithm::RandomWalk
+        .guarantee(config.epsilon, config.samples)?
+        .with_mechanism(mechanism);
     let (context, utility) =
-        mechanism_draw(verifier, &samples, guarantee.epsilon_per_invocation, rng)?;
+        mechanism_draw(verifier, &samples, mechanism, guarantee.epsilon_per_invocation, rng)?;
     Ok(PcorResult {
         context,
         utility,
@@ -66,6 +69,7 @@ pub fn run<R: Rng + ?Sized>(
         guarantee,
         runtime: Duration::ZERO,
         algorithm: SamplingAlgorithm::RandomWalk,
+        mechanism,
     })
 }
 

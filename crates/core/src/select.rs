@@ -1,14 +1,21 @@
-//! Shared Exponential-mechanism selection helpers used by every algorithm.
+//! Shared selection-mechanism draw helpers used by every algorithm.
+//!
+//! Historically this drew through a hard-coded `ExponentialMechanism`; the
+//! draw is now generic over [`MechanismKind`], built per draw from the
+//! spec's mechanism choice. With the default `MechanismKind::Exponential`
+//! the RNG consumption is bit-identical to the historical code path.
 
 use crate::verify::Verifier;
 use crate::Result;
 use pcor_data::Context;
-use pcor_dp::ExponentialMechanism;
+use pcor_dp::MechanismKind;
 use rand::Rng;
 
-/// Draws one context from `candidates` with the Exponential mechanism at
-/// per-invocation budget `epsilon1`, scoring each candidate with the
-/// verifier's mechanism score (utility for matching contexts, `-∞` otherwise).
+/// Draws one context from `candidates` with the selection mechanism `kind`
+/// at per-invocation budget `epsilon1`, scoring each candidate with the
+/// verifier's mechanism score (utility for matching contexts, `-∞`
+/// otherwise — so only matching contexts can ever be released, whatever the
+/// mechanism).
 ///
 /// Returns the chosen context and its utility score.
 ///
@@ -18,16 +25,20 @@ use rand::Rng;
 pub fn mechanism_draw<R: Rng + ?Sized>(
     verifier: &mut Verifier<'_>,
     candidates: &[Context],
+    kind: MechanismKind,
     epsilon1: f64,
     rng: &mut R,
 ) -> Result<(Context, f64)> {
     let sensitivity = verifier.utility().sensitivity();
-    let mechanism = ExponentialMechanism::new(epsilon1, sensitivity)?;
+    let mechanism = kind.build(epsilon1, sensitivity)?;
     let mut scores = Vec::with_capacity(candidates.len());
     for candidate in candidates {
         scores.push(verifier.mechanism_score(candidate)?);
     }
-    let index = mechanism.select(&scores, rng)?;
+    // `&mut R` is itself an `RngCore`, so a reborrow erases the generic
+    // parameter without changing how the mechanism consumes randomness.
+    let mut erased: &mut R = rng;
+    let index = mechanism.select(&scores, &mut erased)?;
     let chosen = candidates[index].clone();
     let utility = verifier.evaluate(&chosen)?.utility;
     Ok((chosen, utility))
@@ -62,23 +73,56 @@ mod tests {
     }
 
     #[test]
-    fn draw_returns_a_matching_context_and_its_utility() {
+    fn draw_returns_a_matching_context_and_its_utility_for_every_mechanism() {
         let dataset = dataset();
         let detector = ZScoreDetector::new(2.0);
         let utility = PopulationSizeUtility;
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
-        let mut rng = ChaCha12Rng::seed_from_u64(1);
         let candidates = vec![
             dataset.minimal_context(0).unwrap(),
             Context::full(4),
             Context::from_indices(4, [1, 3]), // does not cover record 0
         ];
-        for _ in 0..50 {
-            let (chosen, utility_score) =
-                mechanism_draw(&mut verifier, &candidates, 1.0, &mut rng).unwrap();
-            assert!(verifier.is_matching(&chosen).unwrap());
-            assert!(utility_score > 0.0);
-            assert_ne!(chosen, candidates[2]);
+        for kind in MechanismKind::all() {
+            let mut rng = ChaCha12Rng::seed_from_u64(1);
+            for _ in 0..50 {
+                let (chosen, utility_score) =
+                    mechanism_draw(&mut verifier, &candidates, kind, 1.0, &mut rng).unwrap();
+                assert!(verifier.is_matching(&chosen).unwrap());
+                assert!(utility_score > 0.0);
+                assert_ne!(chosen, candidates[2], "{kind} released a non-matching context");
+            }
+        }
+    }
+
+    #[test]
+    fn the_default_mechanism_is_bit_identical_to_the_historical_draw() {
+        // The pre-trait engine built an ExponentialMechanism and drew one
+        // f64; the trait path must replay identically for equal seeds.
+        let dataset = dataset();
+        let detector = ZScoreDetector::new(2.0);
+        let utility = PopulationSizeUtility;
+        let candidates = vec![dataset.minimal_context(0).unwrap(), Context::full(4)];
+        let mut direct = Verifier::new(&dataset, &detector, &utility, 0);
+        let mut via_kind = Verifier::new(&dataset, &detector, &utility, 0);
+        for seed in 0..20 {
+            let mut rng_a = ChaCha12Rng::seed_from_u64(seed);
+            let mut rng_b = ChaCha12Rng::seed_from_u64(seed);
+            let mechanism = pcor_dp::ExponentialMechanism::new(0.7, 1.0).unwrap();
+            let mut scores = Vec::new();
+            for candidate in &candidates {
+                scores.push(direct.mechanism_score(candidate).unwrap());
+            }
+            let index = mechanism.select(&scores, &mut rng_a).unwrap();
+            let (chosen, _) = mechanism_draw(
+                &mut via_kind,
+                &candidates,
+                MechanismKind::Exponential,
+                0.7,
+                &mut rng_b,
+            )
+            .unwrap();
+            assert_eq!(chosen, candidates[index]);
         }
     }
 
@@ -88,9 +132,11 @@ mod tests {
         let detector = ZScoreDetector::new(2.0);
         let utility = PopulationSizeUtility;
         let mut verifier = Verifier::new(&dataset, &detector, &utility, 0);
-        let mut rng = ChaCha12Rng::seed_from_u64(2);
         let candidates = vec![Context::from_indices(4, [1, 3])];
-        assert!(mechanism_draw(&mut verifier, &candidates, 1.0, &mut rng).is_err());
-        assert!(mechanism_draw(&mut verifier, &[], 1.0, &mut rng).is_err());
+        for kind in MechanismKind::all() {
+            let mut rng = ChaCha12Rng::seed_from_u64(2);
+            assert!(mechanism_draw(&mut verifier, &candidates, kind, 1.0, &mut rng).is_err());
+            assert!(mechanism_draw(&mut verifier, &[], kind, 1.0, &mut rng).is_err());
+        }
     }
 }

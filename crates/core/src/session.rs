@@ -51,7 +51,7 @@ use crate::starting::{find_starting_context, DEFAULT_SEARCH_BUDGET};
 use crate::verify::Verifier;
 use crate::{PcorError, PcorResult, Result, SamplingAlgorithm};
 use pcor_data::{Context, Dataset, ShardPolicy};
-use pcor_dp::Utility;
+use pcor_dp::{MechanismKind, MechanismTally, Utility};
 use pcor_outlier::OutlierDetector;
 use pcor_runtime::ThreadPool;
 use rand::{Rng, SeedableRng};
@@ -91,6 +91,12 @@ pub struct ReleaseSpec {
     /// searches for one from the record's minimal context (a session caches
     /// the search result per record).
     pub starting_context: Option<Context>,
+    /// The DP selection mechanism drawing every private choice of this
+    /// release. `None` defers to the session's default (itself
+    /// [`MechanismKind::Exponential`] unless overridden on the builder), so
+    /// specs serialized before the mechanism axis existed keep their exact
+    /// behavior.
+    pub mechanism: Option<MechanismKind>,
 }
 
 impl ReleaseSpec {
@@ -104,6 +110,7 @@ impl ReleaseSpec {
             max_attempts: 200_000,
             enumeration_limit: 22,
             starting_context: None,
+            mechanism: None,
         }
     }
 
@@ -129,6 +136,19 @@ impl ReleaseSpec {
     pub fn with_starting_context(mut self, context: Context) -> Self {
         self.starting_context = Some(context);
         self
+    }
+
+    /// Selects the DP mechanism every private draw of this release goes
+    /// through (overriding the session default).
+    pub fn with_mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = Some(mechanism);
+        self
+    }
+
+    /// The effective mechanism of this spec when run outside a session
+    /// (`Exponential` unless explicitly set).
+    pub fn mechanism_kind(&self) -> MechanismKind {
+        self.mechanism.unwrap_or_default()
     }
 
     /// Validates the spec.
@@ -206,6 +226,7 @@ pub struct ReleaseSessionBuilder<'a> {
     seed_policy: SeedPolicy,
     search_budget: usize,
     pool: Option<Arc<ThreadPool>>,
+    mechanism: MechanismKind,
 }
 
 impl<'a> ReleaseSessionBuilder<'a> {
@@ -213,6 +234,15 @@ impl<'a> ReleaseSessionBuilder<'a> {
     #[must_use]
     pub fn seed_policy(mut self, policy: SeedPolicy) -> Self {
         self.seed_policy = policy;
+        self
+    }
+
+    /// Sets the session's default DP selection mechanism (default
+    /// [`MechanismKind::Exponential`], the paper's primitive). Specs with an
+    /// explicit [`ReleaseSpec::mechanism`] override it per release.
+    #[must_use]
+    pub fn mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = mechanism;
         self
     }
 
@@ -256,12 +286,14 @@ impl<'a> ReleaseSessionBuilder<'a> {
             seed_policy: self.seed_policy,
             search_budget: self.search_budget,
             pool: self.pool,
+            mechanism: self.mechanism,
             verifiers: HashMap::new(),
             starting_contexts: HashMap::new(),
             references: HashMap::new(),
             pooled_reference_calls: 0,
             releases: 0,
             draws: 0,
+            mechanism_releases: MechanismTally::default(),
         }
     }
 }
@@ -285,6 +317,9 @@ pub struct SessionStats {
     pub cached_contexts: usize,
     /// Starting contexts resolved and cached.
     pub starting_contexts: usize,
+    /// Successful releases broken down by the selection mechanism that
+    /// produced them.
+    pub mechanism_releases: MechanismTally,
 }
 
 impl SessionStats {
@@ -312,6 +347,7 @@ pub struct ReleaseSession<'a> {
     seed_policy: SeedPolicy,
     search_budget: usize,
     pool: Option<Arc<ThreadPool>>,
+    mechanism: MechanismKind,
     verifiers: HashMap<usize, Verifier<'a>>,
     starting_contexts: HashMap<usize, Context>,
     references: HashMap<usize, ReferenceFile>,
@@ -322,6 +358,7 @@ pub struct ReleaseSession<'a> {
     pooled_reference_calls: usize,
     releases: u64,
     draws: u64,
+    mechanism_releases: MechanismTally,
 }
 
 impl<'a> ReleaseSession<'a> {
@@ -339,7 +376,14 @@ impl<'a> ReleaseSession<'a> {
             seed_policy: SeedPolicy::default(),
             search_budget: DEFAULT_SEARCH_BUDGET,
             pool: None,
+            mechanism: MechanismKind::default(),
         }
+    }
+
+    /// The session's default DP selection mechanism (applied to specs that
+    /// leave [`ReleaseSpec::mechanism`] unset).
+    pub fn mechanism(&self) -> MechanismKind {
+        self.mechanism
     }
 
     /// The resident pool the session runs parallel work on, if any.
@@ -378,6 +422,7 @@ impl<'a> ReleaseSession<'a> {
             cache_hits: self.verifiers.values().map(Verifier::cache_hits).sum(),
             cached_contexts: self.verifiers.values().map(Verifier::distinct_contexts).sum(),
             starting_contexts: self.starting_contexts.len(),
+            mechanism_releases: self.mechanism_releases,
         }
     }
 
@@ -456,6 +501,11 @@ impl<'a> ReleaseSession<'a> {
         // behavior); cached repeats skip the search entirely.
         let calls_before = self.verifier(record_id).calls();
         let mut effective = spec.clone();
+        // A spec without an explicit mechanism draws through the session
+        // default (itself Exponential unless the builder overrode it).
+        if effective.mechanism.is_none() {
+            effective.mechanism = Some(self.mechanism);
+        }
         if effective.starting_context.is_none() && effective.algorithm.needs_starting_context() {
             effective.starting_context = Some(self.resolve_starting_context(record_id)?);
         }
@@ -471,6 +521,7 @@ impl<'a> ReleaseSession<'a> {
         result.runtime = started.elapsed();
         result.algorithm = effective.algorithm;
         self.releases += 1;
+        self.mechanism_releases.record(result.mechanism);
         Ok(result)
     }
 
@@ -907,6 +958,70 @@ mod tests {
         let via_pooled = pooled.reference(0, 22).unwrap().clone();
         let via_plain = plain.reference(0, 22).unwrap();
         assert_eq!(via_pooled.context_set(), via_plain.context_set());
+    }
+
+    #[test]
+    fn specs_select_mechanisms_per_release_and_stats_tally_them() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let mut session = ReleaseSession::builder(&d, &detector, &utility).build();
+        assert_eq!(session.mechanism(), MechanismKind::Exponential);
+        let base = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(8);
+        for kind in MechanismKind::all() {
+            let result =
+                session.release_with_seed(0, &base.clone().with_mechanism(kind), 5).unwrap();
+            assert_eq!(result.mechanism, kind);
+            assert_eq!(result.guarantee.mechanism, kind);
+            assert!((result.guarantee.epsilon - 0.2).abs() < 1e-12);
+        }
+        let tally = session.stats().mechanism_releases;
+        assert_eq!(tally.count(MechanismKind::Exponential), 1);
+        assert_eq!(tally.count(MechanismKind::PermuteAndFlip), 1);
+        assert_eq!(tally.count(MechanismKind::ReportNoisyMax), 1);
+        assert_eq!(tally.total(), 3);
+    }
+
+    #[test]
+    fn builder_default_mechanism_applies_when_the_spec_is_silent() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(8);
+        assert_eq!(spec.mechanism, None);
+        assert_eq!(spec.mechanism_kind(), MechanismKind::Exponential);
+
+        let mut session = ReleaseSession::builder(&d, &detector, &utility)
+            .mechanism(MechanismKind::PermuteAndFlip)
+            .build();
+        assert_eq!(session.mechanism(), MechanismKind::PermuteAndFlip);
+        let result = session.release_with_seed(0, &spec, 7).unwrap();
+        assert_eq!(result.mechanism, MechanismKind::PermuteAndFlip);
+        // An explicit spec mechanism overrides the session default.
+        let result = session
+            .release_with_seed(0, &spec.clone().with_mechanism(MechanismKind::Exponential), 7)
+            .unwrap();
+        assert_eq!(result.mechanism, MechanismKind::Exponential);
+    }
+
+    #[test]
+    fn default_mechanism_releases_are_unchanged_by_the_mechanism_axis() {
+        // The acceptance bar of the redesign: with MechanismKind::Exponential
+        // (explicit or defaulted) the released context is bit-identical for
+        // equal seeds.
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(8);
+        let explicit = spec.clone().with_mechanism(MechanismKind::Exponential);
+        let mut a = ReleaseSession::builder(&d, &detector, &utility).build();
+        let mut b = ReleaseSession::builder(&d, &detector, &utility).build();
+        for seed in [3u64, 99, 1234] {
+            let defaulted = a.release_with_seed(0, &spec, seed).unwrap();
+            let explicit = b.release_with_seed(0, &explicit, seed).unwrap();
+            assert_eq!(defaulted.context, explicit.context);
+            assert_eq!(defaulted.utility, explicit.utility);
+        }
     }
 
     #[test]

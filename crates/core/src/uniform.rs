@@ -45,9 +45,12 @@ pub fn run<R: Rng + ?Sized>(
         return Err(PcorError::NoSamples);
     }
 
-    let guarantee = SamplingAlgorithm::Uniform.guarantee(config.epsilon, config.samples)?;
+    let mechanism = config.mechanism_kind();
+    let guarantee = SamplingAlgorithm::Uniform
+        .guarantee(config.epsilon, config.samples)?
+        .with_mechanism(mechanism);
     let (context, utility) =
-        mechanism_draw(verifier, &samples, guarantee.epsilon_per_invocation, rng)?;
+        mechanism_draw(verifier, &samples, mechanism, guarantee.epsilon_per_invocation, rng)?;
     Ok(PcorResult {
         context,
         utility,
@@ -56,6 +59,7 @@ pub fn run<R: Rng + ?Sized>(
         guarantee,
         runtime: Duration::ZERO,
         algorithm: SamplingAlgorithm::Uniform,
+        mechanism,
     })
 }
 

@@ -21,6 +21,7 @@
 //! multiple releases (e.g. answering several outlier queries on the same
 //! dataset) and refuses to exceed the total.
 
+use crate::mechanism::MechanismKind;
 use crate::{DpError, Result};
 use serde::{Deserialize, Serialize};
 
@@ -54,6 +55,11 @@ pub struct OcdpGuarantee {
     pub invocations: usize,
     /// The notion the guarantee is stated in.
     pub notion: PrivacyNotion,
+    /// The selection mechanism the draws were made through. All supported
+    /// mechanisms share the `2ε₁Δu` per-draw bound, so the ε arithmetic is
+    /// identical — this field *records* the primitive for audit and
+    /// reporting.
+    pub mechanism: MechanismKind,
 }
 
 impl OcdpGuarantee {
@@ -70,6 +76,7 @@ impl OcdpGuarantee {
             epsilon_per_invocation: total_epsilon / 2.0,
             invocations: 1,
             notion: PrivacyNotion::OutputConstrained,
+            mechanism: MechanismKind::Exponential,
         })
     }
 
@@ -89,7 +96,16 @@ impl OcdpGuarantee {
             epsilon_per_invocation: total_epsilon / (2.0 * samples as f64 + 2.0),
             invocations: samples + 1,
             notion: PrivacyNotion::OutputConstrained,
+            mechanism: MechanismKind::Exponential,
         })
+    }
+
+    /// Records which selection mechanism made the draws. Does not change the
+    /// ε arithmetic (every supported mechanism costs `2ε₁Δu` per draw).
+    #[must_use]
+    pub fn with_mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = mechanism;
+        self
     }
 
     /// The total `ε` implied by composing `invocations` Exponential-mechanism
@@ -107,8 +123,12 @@ impl std::fmt::Display for OcdpGuarantee {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} with ε = {} (ε₁ = {:.6}, {} invocation(s))",
-            self.notion, self.epsilon, self.epsilon_per_invocation, self.invocations
+            "{} with ε = {} (ε₁ = {:.6}, {} invocation(s) via {})",
+            self.notion,
+            self.epsilon,
+            self.epsilon_per_invocation,
+            self.invocations,
+            self.mechanism
         )
     }
 }
@@ -303,7 +323,43 @@ mod tests {
         let s = g.to_string();
         assert!(s.contains("OCDP"));
         assert!(s.contains("0.2"));
+        assert!(s.contains("Exponential"));
         assert_eq!(PrivacyNotion::PureDp.to_string(), "ε-DP");
+    }
+
+    #[test]
+    fn pre_mechanism_guarantee_payloads_still_deserialize() {
+        // JSON persisted before the mechanism axis existed (audit logs,
+        // stored responses) has no `mechanism` field; it must deserialize
+        // to the mechanism that actually produced it — Exponential.
+        let old_json = r#"{
+            "epsilon": 0.2,
+            "epsilon_per_invocation": 0.1,
+            "invocations": 1,
+            "notion": "OutputConstrained"
+        }"#;
+        let guarantee: OcdpGuarantee = serde_json::from_str(old_json).unwrap();
+        assert_eq!(guarantee.mechanism, MechanismKind::Exponential);
+        assert_eq!(guarantee, OcdpGuarantee::single_draw(0.2).unwrap());
+        // Round-tripping a current guarantee keeps the recorded mechanism.
+        let current = OcdpGuarantee::graph_search(0.2, 10)
+            .unwrap()
+            .with_mechanism(MechanismKind::PermuteAndFlip);
+        let json = serde_json::to_string(&current).unwrap();
+        let back: OcdpGuarantee = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, current);
+    }
+
+    #[test]
+    fn guarantees_default_to_exponential_and_record_overrides() {
+        let g = OcdpGuarantee::single_draw(0.2).unwrap();
+        assert_eq!(g.mechanism, MechanismKind::Exponential);
+        let g = g.with_mechanism(MechanismKind::PermuteAndFlip);
+        assert_eq!(g.mechanism, MechanismKind::PermuteAndFlip);
+        // The ε arithmetic is untouched by the mechanism record.
+        assert_eq!(g.epsilon_per_invocation, 0.1);
+        assert!((g.composed_epsilon() - 0.2).abs() < 1e-12);
+        assert!(g.to_string().contains("PermuteAndFlip"));
     }
 
     #[test]

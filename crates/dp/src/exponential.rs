@@ -10,8 +10,9 @@
 //! scores (population sizes of tens of thousands, multiplied by `ε/(2Δu)`)
 //! never overflow `exp`.
 
+use crate::mechanism::{MechanismKind, SelectionMechanism};
 use crate::{DpError, Result};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 /// The Exponential mechanism with a fixed privacy parameter and sensitivity.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,16 +59,8 @@ impl ExponentialMechanism {
     /// Returns [`DpError::NoValidCandidates`] when every score is `-∞` or the
     /// slice is empty.
     pub fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
-        let max =
-            scores.iter().copied().filter(|s| s.is_finite()).fold(f64::NEG_INFINITY, f64::max);
-        if !max.is_finite() {
-            return Err(DpError::NoValidCandidates);
-        }
         let scale = self.epsilon / (2.0 * self.sensitivity);
-        let weights: Vec<f64> = scores
-            .iter()
-            .map(|&s| if s.is_finite() { (scale * (s - max)).exp() } else { 0.0 })
-            .collect();
+        let weights = crate::mechanism::shifted_weights(scores, scale)?;
         let total: f64 = weights.iter().sum();
         if total <= 0.0 || !total.is_finite() {
             return Err(DpError::NoValidCandidates);
@@ -120,11 +113,63 @@ impl ExponentialMechanism {
     }
 }
 
+/// The Exponential mechanism as a pluggable [`SelectionMechanism`].
+///
+/// The trait methods delegate verbatim to the inherent ones, so a draw
+/// through a `Box<dyn SelectionMechanism>` consumes the RNG identically to a
+/// direct call — seeded releases through the trait are bit-identical to the
+/// pre-trait engine.
+impl SelectionMechanism for ExponentialMechanism {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::Exponential
+    }
+
+    fn epsilon(&self) -> f64 {
+        ExponentialMechanism::epsilon(self)
+    }
+
+    fn sensitivity(&self) -> f64 {
+        ExponentialMechanism::sensitivity(self)
+    }
+
+    fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
+        ExponentialMechanism::probabilities(self, scores)
+    }
+
+    fn select(&self, scores: &[f64], rng: &mut dyn RngCore) -> Result<usize> {
+        ExponentialMechanism::select(self, scores, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
     use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn trait_draws_are_bit_identical_to_inherent_draws() {
+        // The trait object path must consume the RNG exactly like the
+        // inherent generic path: same seed, same sequence of selections.
+        let mechanism = ExponentialMechanism::new(0.8, 1.0).unwrap();
+        let scores = [2.0, 9.0, f64::NEG_INFINITY, 7.0, 4.5];
+        let mut direct_rng = ChaCha12Rng::seed_from_u64(314);
+        let mut boxed_rng = ChaCha12Rng::seed_from_u64(314);
+        let boxed: Box<dyn SelectionMechanism> =
+            MechanismKind::Exponential.build(0.8, 1.0).unwrap();
+        for _ in 0..500 {
+            let direct = mechanism.select(&scores, &mut direct_rng).unwrap();
+            let via_trait = boxed.select(&scores, &mut boxed_rng).unwrap();
+            assert_eq!(direct, via_trait);
+        }
+        assert_eq!(boxed.kind(), MechanismKind::Exponential);
+        assert_eq!(boxed.epsilon(), 0.8);
+        assert_eq!(boxed.sensitivity(), 1.0);
+        assert_eq!(
+            boxed.probabilities(&scores).unwrap(),
+            mechanism.probabilities(&scores).unwrap()
+        );
+    }
 
     #[test]
     fn construction_validates_parameters() {

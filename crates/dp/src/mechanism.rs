@@ -1,0 +1,312 @@
+//! The pluggable DP selection-mechanism API.
+//!
+//! PCOR's guarantee comes from drawing the released context through a
+//! differentially private *selection* primitive: given per-candidate utility
+//! scores, pick one index with a distribution that changes by at most `e^ε`
+//! between neighboring datasets. The paper fixes that primitive to the
+//! Exponential mechanism; this module makes it an API axis instead. Every
+//! search algorithm in `pcor-core` draws through a [`SelectionMechanism`],
+//! and a serializable [`MechanismKind`] selects the implementation end to
+//! end — release specs, the session builder and the service wire protocol
+//! all carry it.
+//!
+//! Three implementations ship with the workspace:
+//!
+//! | Kind | Mechanism | Guarantee | Expected utility |
+//! |------|-----------|-----------|------------------|
+//! | [`MechanismKind::Exponential`] | [`ExponentialMechanism`] (McSherry & Talwar 2007) | `2ε₁Δu` per draw | baseline |
+//! | [`MechanismKind::PermuteAndFlip`] | [`PermuteAndFlip`](crate::PermuteAndFlip) (McKenna & Sheldon 2020) | `2ε₁Δu` per draw | **never worse** than Exponential |
+//! | [`MechanismKind::ReportNoisyMax`] | [`ReportNoisyMax`](crate::ReportNoisyMax) (Gumbel noise) | `2ε₁Δu` per draw | identical distribution to Exponential |
+//!
+//! All three share the `ε₁`/`Δu` parameterization, so OCDP budget accounting
+//! ([`OcdpGuarantee`](crate::budget::OcdpGuarantee)) is mechanism-agnostic.
+//!
+//! ## The output-constrained contract
+//!
+//! Every implementation must uphold the OCDP scoring convention of
+//! Section 3.2: a candidate whose score is `-∞` (a non-matching context) has
+//! selection probability **exactly zero** — not merely negligible. This is
+//! what makes the released context always valid, and it is property-tested
+//! for all three mechanisms in `tests/prop_mechanism.rs`.
+
+use crate::{DpError, ExponentialMechanism, Result};
+use rand::RngCore;
+use serde::{Deserialize, Serialize};
+
+/// A differentially private selection primitive over scored candidates.
+///
+/// Implementations are parameterized by the per-invocation privacy budget
+/// `ε₁` and the utility sensitivity `Δu`, and promise an `exp(2ε₁Δu)` bound
+/// on how much any candidate's selection probability can change between
+/// neighboring score vectors (each score moving by at most `Δu`).
+///
+/// The trait is object-safe: the search algorithms hold a
+/// `Box<dyn SelectionMechanism>` built from a [`MechanismKind`], and
+/// randomness flows through `&mut dyn RngCore` (the vendored `rand` blanket
+/// impl makes every `RngCore` a full `Rng`).
+pub trait SelectionMechanism: std::fmt::Debug + Send + Sync {
+    /// Which [`MechanismKind`] this implementation is.
+    fn kind(&self) -> MechanismKind;
+
+    /// The per-invocation privacy parameter `ε₁`.
+    fn epsilon(&self) -> f64;
+
+    /// The utility sensitivity `Δu`.
+    fn sensitivity(&self) -> f64;
+
+    /// The exact selection probability of every candidate under this
+    /// mechanism's distribution over `scores`.
+    ///
+    /// Scores of `-∞` map to probability exactly `0` (the OCDP contract).
+    /// Exposed for the empirical privacy-ratio experiment (Section 6.7),
+    /// which compares output distributions on neighboring datasets, and for
+    /// the property tests.
+    ///
+    /// # Errors
+    /// Returns [`DpError::NoValidCandidates`] when every score is `-∞` or
+    /// the slice is empty.
+    fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>>;
+
+    /// Draws one candidate index according to the mechanism's distribution
+    /// over `scores`.
+    ///
+    /// A candidate with score `-∞` is never returned.
+    ///
+    /// # Errors
+    /// Returns [`DpError::NoValidCandidates`] when no candidate has a
+    /// finite score.
+    fn select(&self, scores: &[f64], rng: &mut dyn RngCore) -> Result<usize>;
+}
+
+/// The selection mechanisms a release can be drawn through.
+///
+/// Serializable and carried end to end: on [`ReleaseSpec`], on the session
+/// builder and in the v2 service wire protocol. The default is the paper's
+/// [`Exponential`](MechanismKind::Exponential) mechanism, and with the
+/// default every seeded release is bit-identical to the pre-trait engine.
+///
+/// [`ReleaseSpec`]: https://docs.rs/pcor-core
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub enum MechanismKind {
+    /// The Exponential mechanism (McSherry & Talwar 2007) — the paper's
+    /// primitive and the workspace default.
+    #[default]
+    Exponential,
+    /// Permute-and-flip (McKenna & Sheldon, NeurIPS 2020): same `2ε₁Δu`
+    /// guarantee, expected utility provably never worse than Exponential.
+    PermuteAndFlip,
+    /// Report-noisy-max with Gumbel noise: by the Gumbel-max trick its
+    /// output distribution is *identical* to the Exponential mechanism's,
+    /// which makes it a cross-check oracle in the property tests.
+    ReportNoisyMax,
+}
+
+/// Hand-written (instead of derived) so that a *missing* field — which the
+/// vendored serde surfaces as `Null` — deserializes to the historical
+/// default: payloads persisted before the mechanism axis existed (audit
+/// logs of guarantees, stored responses) were all produced by the
+/// Exponential mechanism. `Option<MechanismKind>` fields are unaffected:
+/// `Option`'s own impl maps `Null` to `None` before this one runs.
+impl serde::Deserialize for MechanismKind {
+    fn from_value(value: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        match value {
+            serde::Value::Null => Ok(MechanismKind::Exponential),
+            serde::Value::String(name) => match name.as_str() {
+                "Exponential" => Ok(MechanismKind::Exponential),
+                "PermuteAndFlip" => Ok(MechanismKind::PermuteAndFlip),
+                "ReportNoisyMax" => Ok(MechanismKind::ReportNoisyMax),
+                other => Err(serde::DeError::unknown_variant(other, "MechanismKind")),
+            },
+            other => Err(serde::DeError::expected("enum MechanismKind", other)),
+        }
+    }
+}
+
+impl MechanismKind {
+    /// All mechanisms, Exponential first.
+    pub fn all() -> [MechanismKind; 3] {
+        [MechanismKind::Exponential, MechanismKind::PermuteAndFlip, MechanismKind::ReportNoisyMax]
+    }
+
+    /// Builds the mechanism at per-invocation budget `epsilon1` and utility
+    /// sensitivity `sensitivity`.
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] / [`DpError::InvalidSensitivity`]
+    /// when either parameter is non-positive or non-finite.
+    pub fn build(&self, epsilon1: f64, sensitivity: f64) -> Result<Box<dyn SelectionMechanism>> {
+        Ok(match self {
+            MechanismKind::Exponential => {
+                Box::new(ExponentialMechanism::new(epsilon1, sensitivity)?)
+            }
+            MechanismKind::PermuteAndFlip => {
+                Box::new(crate::PermuteAndFlip::new(epsilon1, sensitivity)?)
+            }
+            MechanismKind::ReportNoisyMax => {
+                Box::new(crate::ReportNoisyMax::new(epsilon1, sensitivity)?)
+            }
+        })
+    }
+}
+
+impl std::fmt::Display for MechanismKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            MechanismKind::Exponential => "Exponential",
+            MechanismKind::PermuteAndFlip => "PermuteAndFlip",
+            MechanismKind::ReportNoisyMax => "ReportNoisyMax",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Per-mechanism release counters, reported by `SessionStats` and the
+/// service metrics so operators can see which mechanism produced each
+/// release.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MechanismTally {
+    /// Releases drawn through the Exponential mechanism.
+    pub exponential: u64,
+    /// Releases drawn through permute-and-flip.
+    pub permute_and_flip: u64,
+    /// Releases drawn through report-noisy-max.
+    pub report_noisy_max: u64,
+}
+
+impl MechanismTally {
+    /// Counts one release drawn through `kind`.
+    pub fn record(&mut self, kind: MechanismKind) {
+        match kind {
+            MechanismKind::Exponential => self.exponential += 1,
+            MechanismKind::PermuteAndFlip => self.permute_and_flip += 1,
+            MechanismKind::ReportNoisyMax => self.report_noisy_max += 1,
+        }
+    }
+
+    /// The count for `kind`.
+    pub fn count(&self, kind: MechanismKind) -> u64 {
+        match kind {
+            MechanismKind::Exponential => self.exponential,
+            MechanismKind::PermuteAndFlip => self.permute_and_flip,
+            MechanismKind::ReportNoisyMax => self.report_noisy_max,
+        }
+    }
+
+    /// Total releases across every mechanism.
+    pub fn total(&self) -> u64 {
+        self.exponential + self.permute_and_flip + self.report_noisy_max
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &MechanismTally) {
+        self.exponential += other.exponential;
+        self.permute_and_flip += other.permute_and_flip;
+        self.report_noisy_max += other.report_noisy_max;
+    }
+}
+
+/// Shared parameter validation for the mechanism constructors.
+pub(crate) fn validate_parameters(epsilon: f64, sensitivity: f64) -> Result<()> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(DpError::InvalidEpsilon(epsilon));
+    }
+    if !sensitivity.is_finite() || sensitivity <= 0.0 {
+        return Err(DpError::InvalidSensitivity(sensitivity));
+    }
+    Ok(())
+}
+
+/// Shared helper: the acceptance/softmax weights `exp(scale·(sᵢ − max))`
+/// with `-∞` scores mapped to weight exactly `0`, plus the finite maximum.
+///
+/// # Errors
+/// Returns [`DpError::NoValidCandidates`] when no score is finite.
+pub(crate) fn shifted_weights(scores: &[f64], scale: f64) -> Result<Vec<f64>> {
+    let max = scores.iter().copied().filter(|s| s.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return Err(DpError::NoValidCandidates);
+    }
+    Ok(scores
+        .iter()
+        .map(|&s| if s.is_finite() { (scale * (s - max)).exp() } else { 0.0 })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn kind_is_serializable_and_defaults_to_exponential() {
+        assert_eq!(MechanismKind::default(), MechanismKind::Exponential);
+        for kind in MechanismKind::all() {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: MechanismKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+            assert!(!kind.to_string().is_empty());
+        }
+        // A missing optional field deserializes to None — the v1 envelope
+        // back-compat path of the service protocol.
+        let absent: Option<MechanismKind> = serde_json::from_str("null").unwrap();
+        assert_eq!(absent, None);
+        // A missing *required* field (Null in the vendored serde) falls back
+        // to the historical default: pre-mechanism-axis payloads were all
+        // produced by the Exponential mechanism.
+        let defaulted: MechanismKind = serde_json::from_str("null").unwrap();
+        assert_eq!(defaulted, MechanismKind::Exponential);
+        assert!(serde_json::from_str::<MechanismKind>("\"Nonsense\"").is_err());
+        assert!(serde_json::from_str::<MechanismKind>("3").is_err());
+    }
+
+    #[test]
+    fn build_constructs_every_kind_and_validates_parameters() {
+        for kind in MechanismKind::all() {
+            let mechanism = kind.build(0.5, 1.0).unwrap();
+            assert_eq!(mechanism.kind(), kind);
+            assert_eq!(mechanism.epsilon(), 0.5);
+            assert_eq!(mechanism.sensitivity(), 1.0);
+            assert!(matches!(kind.build(0.0, 1.0), Err(DpError::InvalidEpsilon(_))));
+            assert!(matches!(kind.build(0.5, -1.0), Err(DpError::InvalidSensitivity(_))));
+        }
+    }
+
+    #[test]
+    fn every_kind_selects_through_the_trait_object() {
+        let scores = [f64::NEG_INFINITY, 3.0, 7.0, f64::NEG_INFINITY];
+        for kind in MechanismKind::all() {
+            let mechanism = kind.build(1.0, 1.0).unwrap();
+            let mut rng = ChaCha12Rng::seed_from_u64(11);
+            for _ in 0..200 {
+                let index = mechanism.select(&scores, &mut rng).unwrap();
+                assert!(index == 1 || index == 2, "{kind} selected -inf candidate {index}");
+            }
+            let p = mechanism.probabilities(&scores).unwrap();
+            assert_eq!(p[0], 0.0);
+            assert_eq!(p[3], 0.0);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p[2] > p[1], "{kind} must favor the higher score");
+        }
+    }
+
+    #[test]
+    fn tally_counts_per_kind() {
+        let mut tally = MechanismTally::default();
+        tally.record(MechanismKind::Exponential);
+        tally.record(MechanismKind::Exponential);
+        tally.record(MechanismKind::PermuteAndFlip);
+        tally.record(MechanismKind::ReportNoisyMax);
+        assert_eq!(tally.count(MechanismKind::Exponential), 2);
+        assert_eq!(tally.count(MechanismKind::PermuteAndFlip), 1);
+        assert_eq!(tally.count(MechanismKind::ReportNoisyMax), 1);
+        assert_eq!(tally.total(), 4);
+        let mut merged = MechanismTally::default();
+        merged.merge(&tally);
+        merged.merge(&tally);
+        assert_eq!(merged.total(), 8);
+        let json = serde_json::to_string(&tally).unwrap();
+        let back: MechanismTally = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, tally);
+    }
+}

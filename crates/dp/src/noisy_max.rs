@@ -1,0 +1,167 @@
+//! Report-noisy-max with Gumbel noise.
+//!
+//! Each finite-scored candidate's score is scaled by `ε₁/(2Δu)` and
+//! perturbed with an independent standard Gumbel draw; the arg-max is
+//! released. By the Gumbel-max trick the output distribution is **exactly**
+//! the Exponential mechanism's softmax at the same parameterization — which
+//! is precisely why the mechanism earns its keep here: it is an independent
+//! implementation of the same distribution, drawn through a completely
+//! different sampling path (noise-and-argmax instead of inverse-CDF), and
+//! the property tests use it as a cross-check oracle against
+//! [`ExponentialMechanism`].
+//!
+//! The OCDP contract carries over: `-∞`-scored candidates are excluded from
+//! the noisy race entirely, so their selection probability is exactly zero.
+
+use crate::mechanism::{validate_parameters, MechanismKind, SelectionMechanism};
+use crate::{DpError, ExponentialMechanism, Result};
+use rand::{Rng, RngCore};
+
+/// Report-noisy-max via Gumbel noise, distribution-equal to the Exponential
+/// mechanism.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportNoisyMax {
+    epsilon: f64,
+    sensitivity: f64,
+}
+
+impl ReportNoisyMax {
+    /// Creates a report-noisy-max mechanism with privacy parameter `epsilon`
+    /// (the per-invocation `ε₁`) and utility sensitivity `Δu` — the same
+    /// parameterization and the same `2ε₁Δu` per-draw guarantee as
+    /// [`ExponentialMechanism`].
+    ///
+    /// # Errors
+    /// Returns [`DpError::InvalidEpsilon`] / [`DpError::InvalidSensitivity`]
+    /// when either parameter is non-positive or non-finite.
+    pub fn new(epsilon: f64, sensitivity: f64) -> Result<Self> {
+        validate_parameters(epsilon, sensitivity)?;
+        Ok(ReportNoisyMax { epsilon, sensitivity })
+    }
+
+    /// The per-invocation privacy parameter `ε₁`.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The utility sensitivity `Δu`.
+    pub fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+}
+
+impl SelectionMechanism for ReportNoisyMax {
+    fn kind(&self) -> MechanismKind {
+        MechanismKind::ReportNoisyMax
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    fn sensitivity(&self) -> f64 {
+        self.sensitivity
+    }
+
+    fn probabilities(&self, scores: &[f64]) -> Result<Vec<f64>> {
+        // Gumbel-max: P(argmax_i scale·sᵢ + Gᵢ = r) is exactly the softmax
+        // over scale·s — the Exponential mechanism's closed form.
+        ExponentialMechanism::new(self.epsilon, self.sensitivity)?.probabilities(scores)
+    }
+
+    fn select(&self, scores: &[f64], rng: &mut dyn RngCore) -> Result<usize> {
+        let scale = self.epsilon / (2.0 * self.sensitivity);
+        let mut best: Option<(usize, f64)> = None;
+        for (index, &score) in scores.iter().enumerate() {
+            if !score.is_finite() {
+                continue;
+            }
+            // Standard Gumbel: -ln(-ln(U)), U ∈ [0, 1). U = 0 maps to -∞,
+            // which only makes this candidate lose — no NaN can arise.
+            let uniform: f64 = rng.random();
+            let gumbel = -(-uniform.ln()).ln();
+            let key = scale * score + gumbel;
+            if best.is_none_or(|(_, best_key)| key > best_key) {
+                best = Some((index, key));
+            }
+        }
+        best.map(|(index, _)| index).ok_or(DpError::NoValidCandidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    #[test]
+    fn construction_validates_parameters() {
+        assert!(ReportNoisyMax::new(0.1, 1.0).is_ok());
+        assert!(matches!(ReportNoisyMax::new(-1.0, 1.0), Err(DpError::InvalidEpsilon(_))));
+        assert!(matches!(ReportNoisyMax::new(0.1, 0.0), Err(DpError::InvalidSensitivity(_))));
+        let m = ReportNoisyMax::new(0.3, 1.5).unwrap();
+        assert_eq!(m.epsilon(), 0.3);
+        assert_eq!(m.sensitivity(), 1.5);
+    }
+
+    #[test]
+    fn probabilities_equal_the_exponential_closed_form() {
+        let rnm = ReportNoisyMax::new(0.7, 1.0).unwrap();
+        let em = ExponentialMechanism::new(0.7, 1.0).unwrap();
+        let scores = [1.0, 4.0, f64::NEG_INFINITY, 2.5];
+        let p_rnm = SelectionMechanism::probabilities(&rnm, &scores).unwrap();
+        let p_em = em.probabilities(&scores).unwrap();
+        for (a, b) in p_rnm.iter().zip(p_em.iter()) {
+            assert!((a - b).abs() < 1e-15);
+        }
+        assert_eq!(p_rnm[2], 0.0);
+    }
+
+    #[test]
+    fn empirical_frequencies_track_the_exponential_distribution() {
+        // The Gumbel-max sampling path must reproduce the softmax
+        // frequencies — this is the oracle property the cross-check tests
+        // lean on.
+        let rnm = ReportNoisyMax::new(1.0, 1.0).unwrap();
+        let scores = [1.0, 3.0, 5.0];
+        let expected = SelectionMechanism::probabilities(&rnm, &scores).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(7);
+        let trials = 60_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..trials {
+            counts[rnm.select(&scores, &mut rng).unwrap()] += 1;
+        }
+        for i in 0..scores.len() {
+            let freq = counts[i] as f64 / trials as f64;
+            assert!(
+                (freq - expected[i]).abs() < 0.01,
+                "candidate {i}: freq {freq} vs expected {}",
+                expected[i]
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_scores_never_win_the_noisy_race() {
+        let m = ReportNoisyMax::new(0.5, 1.0).unwrap();
+        let scores = [f64::NEG_INFINITY, -50.0, f64::NEG_INFINITY, -60.0];
+        let mut rng = ChaCha12Rng::seed_from_u64(3);
+        for _ in 0..2_000 {
+            let index = m.select(&scores, &mut rng).unwrap();
+            assert!(index == 1 || index == 3);
+        }
+        assert_eq!(
+            m.select(&[f64::NEG_INFINITY, f64::NEG_INFINITY], &mut rng),
+            Err(DpError::NoValidCandidates)
+        );
+        assert_eq!(m.select(&[], &mut rng), Err(DpError::NoValidCandidates));
+    }
+
+    #[test]
+    fn single_candidate_is_always_chosen() {
+        let m = ReportNoisyMax::new(0.2, 1.0).unwrap();
+        let mut rng = ChaCha12Rng::seed_from_u64(5);
+        assert_eq!(m.select(&[42.0], &mut rng).unwrap(), 0);
+    }
+}

@@ -1,8 +1,12 @@
-//! Property-based tests of the privacy substrate: the Exponential mechanism's
-//! distributional guarantees and the OCDP budget arithmetic.
+//! Property-based tests of the privacy substrate: the selection mechanisms'
+//! distributional guarantees (with report-noisy-max as a cross-check oracle
+//! for the Exponential mechanism) and the OCDP budget arithmetic.
 
 use pcor_dp::budget::OcdpGuarantee;
-use pcor_dp::{DpError, ExponentialMechanism, LaplaceMechanism};
+use pcor_dp::{
+    DpError, ExponentialMechanism, LaplaceMechanism, MechanismKind, ReportNoisyMax,
+    SelectionMechanism,
+};
 use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha12Rng;
@@ -72,8 +76,9 @@ proptest! {
         }
     }
 
-    /// `select` never returns an index whose score is -inf, and always returns
-    /// an in-range index.
+    /// The OCDP contract for *all three* mechanisms: `select` never returns
+    /// an index whose score is -inf, always returns an in-range index, and
+    /// `probabilities` assigns -inf candidates exactly zero mass.
     #[test]
     fn select_respects_the_support(
         scores in finite_scores(),
@@ -86,17 +91,73 @@ proptest! {
             .zip(invalid_mask.iter().chain(std::iter::repeat(&false)))
             .map(|(&s, &dead)| if dead { f64::NEG_INFINITY } else { s })
             .collect();
-        let mechanism = ExponentialMechanism::new(epsilon, 1.0).unwrap();
-        let mut rng = ChaCha12Rng::seed_from_u64(seed);
-        match mechanism.select(&masked, &mut rng) {
-            Ok(index) => {
-                prop_assert!(index < masked.len());
-                prop_assert!(masked[index].is_finite());
+        for kind in MechanismKind::all() {
+            let mechanism = kind.build(epsilon, 1.0).unwrap();
+            let mut rng = ChaCha12Rng::seed_from_u64(seed);
+            for _ in 0..8 {
+                match mechanism.select(&masked, &mut rng) {
+                    Ok(index) => {
+                        prop_assert!(index < masked.len());
+                        prop_assert!(masked[index].is_finite(),
+                            "{kind} selected a -inf candidate");
+                    }
+                    Err(DpError::NoValidCandidates) => {
+                        prop_assert!(masked.iter().all(|s| s.is_infinite()));
+                    }
+                    Err(other) => prop_assert!(false, "{kind}: unexpected error {other:?}"),
+                }
             }
-            Err(DpError::NoValidCandidates) => {
-                prop_assert!(masked.iter().all(|s| s.is_infinite()));
+            match mechanism.probabilities(&masked) {
+                Ok(probabilities) => {
+                    prop_assert_eq!(probabilities.len(), masked.len());
+                    prop_assert!((probabilities.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                    for (p, s) in probabilities.iter().zip(masked.iter()) {
+                        if s.is_infinite() {
+                            prop_assert_eq!(*p, 0.0,
+                                "{} gave a -inf candidate non-zero mass", kind);
+                        }
+                    }
+                }
+                Err(DpError::NoValidCandidates) => {
+                    prop_assert!(masked.iter().all(|s| s.is_infinite()));
+                }
+                Err(other) => prop_assert!(false, "{kind}: unexpected error {other:?}"),
             }
-            Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+        }
+    }
+
+    /// Every mechanism's exact probabilities respect the privacy ratio bound
+    /// on neighboring score vectors (each score moving by at most the
+    /// sensitivity) — the Section 6.7 property, mechanism-generic.
+    #[test]
+    fn every_mechanism_respects_the_privacy_bound(
+        scores in proptest::collection::vec(-100.0f64..100.0, 2..16),
+        epsilon in 0.01f64..2.0,
+        perturbation_seed in any::<u64>(),
+    ) {
+        let sensitivity = 1.0;
+        let mut state = perturbation_seed;
+        let neighbor_scores: Vec<f64> = scores
+            .iter()
+            .map(|&s| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let shift = ((state >> 33) as f64 / u32::MAX as f64) * 2.0 - 1.0; // [-1, 1]
+                s + shift * sensitivity
+            })
+            .collect();
+        let bound = epsilon.exp() + 1e-6;
+        for kind in MechanismKind::all() {
+            let mechanism = kind.build(epsilon / 2.0, sensitivity).unwrap();
+            let p1 = mechanism.probabilities(&scores).unwrap();
+            let p2 = mechanism.probabilities(&neighbor_scores).unwrap();
+            for i in 0..p1.len() {
+                if p1[i] > 1e-300 && p2[i] > 1e-300 {
+                    prop_assert!(p1[i] / p2[i] <= bound,
+                        "{kind}: ratio {} > {bound}", p1[i] / p2[i]);
+                    prop_assert!(p2[i] / p1[i] <= bound,
+                        "{kind}: ratio {} > {bound}", p2[i] / p1[i]);
+                }
+            }
         }
     }
 
@@ -125,5 +186,63 @@ proptest! {
         let expected = 1.0 / epsilon;
         prop_assert!(mean_abs > 0.5 * expected && mean_abs < 1.6 * expected,
             "mean |noise| {mean_abs} vs expected {expected}");
+    }
+}
+
+/// Report-noisy-max is the Gumbel-max implementation of the Exponential
+/// mechanism's distribution: on a fixed corpus of score vectors, the two
+/// mechanisms' empirical selection frequencies must agree within statistical
+/// tolerance — the cross-check oracle of the mechanism axis.
+#[test]
+fn noisy_max_and_exponential_agree_on_selection_frequencies() {
+    let corpus: [&[f64]; 4] = [
+        &[1.0, 3.0, 5.0],
+        &[10.0, 9.5, 9.0, 8.5, 0.0],
+        &[0.0, 0.0, 0.0, 4.0],
+        &[2.0, f64::NEG_INFINITY, 4.0, f64::NEG_INFINITY, 3.0],
+    ];
+    let trials = 40_000usize;
+    // Three-sigma tolerance for a binomial proportion at p <= 0.5.
+    let tolerance = 3.0 * (0.25 / trials as f64).sqrt();
+    for (vector_index, scores) in corpus.iter().enumerate() {
+        for epsilon in [0.4, 1.5] {
+            let em = ExponentialMechanism::new(epsilon, 1.0).unwrap();
+            let rnm = ReportNoisyMax::new(epsilon, 1.0).unwrap();
+            let mut em_counts = vec![0usize; scores.len()];
+            let mut rnm_counts = vec![0usize; scores.len()];
+            // Distinct streams per mechanism: agreement must come from the
+            // distributions, not from shared randomness.
+            let mut em_rng = ChaCha12Rng::seed_from_u64(0xE0 + vector_index as u64);
+            let mut rnm_rng = ChaCha12Rng::seed_from_u64(0x4E0 + vector_index as u64);
+            for _ in 0..trials {
+                em_counts[em.select(scores, &mut em_rng).unwrap()] += 1;
+                let mut erased: &mut ChaCha12Rng = &mut rnm_rng;
+                rnm_counts[SelectionMechanism::select(&rnm, scores, &mut erased).unwrap()] += 1;
+            }
+            let exact = em.probabilities(scores).unwrap();
+            for index in 0..scores.len() {
+                let em_freq = em_counts[index] as f64 / trials as f64;
+                let rnm_freq = rnm_counts[index] as f64 / trials as f64;
+                // Both empirical frequencies track the shared closed form…
+                assert!(
+                    (em_freq - exact[index]).abs() < tolerance,
+                    "vector {vector_index}, eps {epsilon}, candidate {index}: \
+                     EM freq {em_freq} vs exact {}",
+                    exact[index]
+                );
+                assert!(
+                    (rnm_freq - exact[index]).abs() < tolerance,
+                    "vector {vector_index}, eps {epsilon}, candidate {index}: \
+                     RNM freq {rnm_freq} vs exact {}",
+                    exact[index]
+                );
+                // …and therefore each other.
+                assert!(
+                    (em_freq - rnm_freq).abs() < 2.0 * tolerance,
+                    "vector {vector_index}, eps {epsilon}, candidate {index}: \
+                     EM {em_freq} vs RNM {rnm_freq}"
+                );
+            }
+        }
     }
 }

@@ -72,8 +72,9 @@ pub mod prelude {
         ShardPolicy,
     };
     pub use pcor_dp::{
-        BudgetAccountant, ExponentialMechanism, LaplaceMechanism, OverlapUtility,
-        PopulationSizeUtility, Utility,
+        BudgetAccountant, ExponentialMechanism, LaplaceMechanism, MechanismKind, MechanismTally,
+        OverlapUtility, PermuteAndFlip, PopulationSizeUtility, ReportNoisyMax, SelectionMechanism,
+        Utility,
     };
     pub use pcor_graph::ContextGraph;
     pub use pcor_outlier::{

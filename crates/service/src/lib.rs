@@ -108,7 +108,7 @@ pub use registry::{CacheStats, DatasetEntry, DatasetRegistry, DatasetStats};
 pub use request::{
     BatchItem, BatchItemResponse, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome,
     ItemRelease, ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseBody,
-    ResponseEnvelope, PROTOCOL_VERSION,
+    ResponseEnvelope, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{
     BatchStream, PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig,
@@ -129,6 +129,7 @@ pub mod prelude {
     };
     pub use crate::server::{BatchStream, Server, ServerConfig};
     pub use crate::ServiceError;
+    pub use pcor_dp::MechanismKind;
     pub use pcor_runtime::ThreadPool;
 }
 

@@ -1,5 +1,6 @@
 //! Lock-free server counters.
 
+use pcor_dp::{MechanismKind, MechanismTally};
 use pcor_runtime::PoolStats;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -18,6 +19,12 @@ pub struct ServerMetrics {
     verifier_lookups: AtomicU64,
     /// Verifier evaluation requests answered from the memo cache.
     verifier_cache_hits: AtomicU64,
+    /// Served releases drawn through the Exponential mechanism.
+    exponential_releases: AtomicU64,
+    /// Served releases drawn through permute-and-flip.
+    permute_and_flip_releases: AtomicU64,
+    /// Served releases drawn through report-noisy-max.
+    report_noisy_max_releases: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -50,6 +57,17 @@ impl ServerMetrics {
         self.verifier_cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
     }
 
+    /// Records which DP selection mechanism produced one served release
+    /// (single or batch item), so operators can see the mechanism mix.
+    pub fn record_mechanism(&self, mechanism: MechanismKind) {
+        let counter = match mechanism {
+            MechanismKind::Exponential => &self.exponential_releases,
+            MechanismKind::PermuteAndFlip => &self.permute_and_flip_releases,
+            MechanismKind::ReportNoisyMax => &self.report_noisy_max_releases,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a served batch with per-item resolution: `released` items
     /// count as served releases and `failed` items as failed releases, so
     /// the counters stay comparable with the single-request path. The
@@ -79,6 +97,11 @@ impl ServerMetrics {
             verification_calls: self.verification_calls.load(Ordering::Relaxed),
             verifier_lookups: self.verifier_lookups.load(Ordering::Relaxed),
             verifier_cache_hits: self.verifier_cache_hits.load(Ordering::Relaxed),
+            mechanism_releases: MechanismTally {
+                exponential: self.exponential_releases.load(Ordering::Relaxed),
+                permute_and_flip: self.permute_and_flip_releases.load(Ordering::Relaxed),
+                report_noisy_max: self.report_noisy_max_releases.load(Ordering::Relaxed),
+            },
             pool_workers: 0,
             pool_queue_depth: 0,
             pool_tasks_executed: 0,
@@ -104,6 +127,9 @@ pub struct ServerMetricsSnapshot {
     pub verifier_lookups: u64,
     /// Verifier evaluation requests answered from memo caches.
     pub verifier_cache_hits: u64,
+    /// Served releases broken down by the selection mechanism that produced
+    /// them.
+    pub mechanism_releases: MechanismTally,
     /// Resident workers of the server's execution pool.
     pub pool_workers: usize,
     /// Tasks queued on the pool (not yet started) at snapshot time.
@@ -185,6 +211,21 @@ mod tests {
         assert_eq!(snapshot.pool_queue_depth, 3);
         assert_eq!(snapshot.pool_tasks_executed, 7);
         assert_eq!(snapshot.pool_tasks_stolen, 2);
+    }
+
+    #[test]
+    fn mechanism_counters_report_the_release_mix() {
+        let metrics = ServerMetrics::default();
+        assert_eq!(metrics.snapshot().mechanism_releases, MechanismTally::default());
+        metrics.record_mechanism(MechanismKind::Exponential);
+        metrics.record_mechanism(MechanismKind::Exponential);
+        metrics.record_mechanism(MechanismKind::PermuteAndFlip);
+        metrics.record_mechanism(MechanismKind::ReportNoisyMax);
+        let tally = metrics.snapshot().mechanism_releases;
+        assert_eq!(tally.exponential, 2);
+        assert_eq!(tally.permute_and_flip, 1);
+        assert_eq!(tally.report_noisy_max, 1);
+        assert_eq!(tally.total(), 4);
     }
 
     #[test]

@@ -2,21 +2,29 @@
 //!
 //! Loading a dataset is cheap next to what the server derives from it per
 //! query: schema statistics (reported to analysts so they can form
-//! requests) and — far more expensive — the *verified starting context*
-//! `C_V` of a queried record, which requires a breadth-first search over
-//! super-contexts with a detector evaluation at every step. The registry
-//! memoizes both: statistics once per dataset, starting contexts in an LRU
-//! keyed by `(dataset, record, detector)` shared by all workers.
+//! requests), the *verified starting context* `C_V` of a queried record
+//! (a breadth-first search over super-contexts with a detector evaluation
+//! at every step), and — costliest of all — the **reference file**
+//! (`COE_M` enumeration) a Direct-mode deployment needs per record, which
+//! examines every context covering the record. The registry memoizes all
+//! three: statistics once per dataset, starting contexts and reference
+//! files in cost-weighted (GreedyDual) LRUs keyed by
+//! `(dataset, record, detector)` shared by all workers. Reference files
+//! are weighted by the number of contexts their enumeration examined, so
+//! the expensive big-schema enumerations outlive cheap ones. Re-registering
+//! a dataset under an existing name drops both caches — the derived state
+//! is invalid for the new data.
 //!
-//! Caching starting contexts is privacy-neutral: `C_V` is derived
-//! deterministically from the dataset and never released — it only seeds
-//! the private search — so reusing it across queries changes neither the
-//! released distribution nor the OCDP accounting.
+//! Caching either artifact is privacy-neutral: both are derived
+//! deterministically from the dataset and never released — `C_V` only
+//! seeds the private search and the reference file only scores candidates
+//! — so reuse changes neither the released distribution nor the OCDP
+//! accounting.
 
 use crate::cache::LruCache;
 use crate::{Result, ServiceError};
 use pcor_core::starting::{find_starting_context, DEFAULT_SEARCH_BUDGET};
-use pcor_core::Verifier;
+use pcor_core::{enumerate_coe, ReferenceFile, Verifier};
 use pcor_data::{Context, Dataset};
 use pcor_dp::PopulationSizeUtility;
 use pcor_outlier::DetectorKind;
@@ -27,6 +35,10 @@ use std::sync::{Arc, Mutex, RwLock};
 
 /// Default capacity of the starting-context LRU.
 pub const DEFAULT_STARTING_CONTEXT_CACHE: usize = 1024;
+
+/// Default capacity of the reference-file LRU (entries are whole `COE_M`
+/// enumerations, far heavier than a starting context).
+pub const DEFAULT_REFERENCE_FILE_CACHE: usize = 64;
 
 /// Memoized summary statistics of a registered dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -98,26 +110,35 @@ impl DatasetEntry {
     }
 }
 
-/// Hit/miss counters of the starting-context cache.
+/// Hit/miss counters of the registry's derived-state caches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CacheStats {
-    /// Lookups answered from the cache.
+    /// Starting-context lookups answered from the cache.
     pub hits: u64,
-    /// Lookups that ran the full search.
+    /// Starting-context lookups that ran the full search.
     pub misses: u64,
-    /// Entries currently cached.
+    /// Starting-context entries currently cached.
     pub len: usize,
+    /// Reference-file lookups answered from the cache.
+    pub reference_hits: u64,
+    /// Reference-file lookups that ran the full `COE_M` enumeration.
+    pub reference_misses: u64,
+    /// Reference files currently cached.
+    pub reference_len: usize,
 }
 
 type StartKey = (String, usize, DetectorKind);
 
-/// Thread-safe registry of named datasets with a shared starting-context
-/// cache.
+/// Thread-safe registry of named datasets with shared starting-context and
+/// reference-file caches.
 pub struct DatasetRegistry {
     datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
     starting_contexts: Mutex<LruCache<StartKey, Context>>,
+    reference_files: Mutex<LruCache<StartKey, Arc<ReferenceFile>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    reference_hits: AtomicU64,
+    reference_misses: AtomicU64,
     search_budget: usize,
 }
 
@@ -135,13 +156,17 @@ impl DatasetRegistry {
     }
 
     /// Creates an empty registry whose starting-context LRU holds at most
-    /// `cache_capacity` entries.
+    /// `cache_capacity` entries (the reference-file LRU stays at
+    /// [`DEFAULT_REFERENCE_FILE_CACHE`]).
     pub fn with_capacity(cache_capacity: usize) -> Self {
         DatasetRegistry {
             datasets: RwLock::new(HashMap::new()),
             starting_contexts: Mutex::new(LruCache::new(cache_capacity)),
+            reference_files: Mutex::new(LruCache::new(DEFAULT_REFERENCE_FILE_CACHE)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reference_hits: AtomicU64::new(0),
+            reference_misses: AtomicU64::new(0),
             search_budget: DEFAULT_SEARCH_BUDGET,
         }
     }
@@ -160,9 +185,11 @@ impl DatasetRegistry {
             datasets.insert(name.to_string(), Arc::clone(&entry)).is_some()
         };
         if replaced {
-            // Cached contexts for the old dataset are invalid; the cache is
-            // keyed by name, so the simplest sound policy is a full clear.
+            // Cached derived state for the old dataset is invalid; the
+            // caches are keyed by name, so the simplest sound policy is a
+            // full clear of both.
             self.starting_contexts.lock().expect("cache poisoned").clear();
+            self.reference_files.lock().expect("reference cache poisoned").clear();
         }
         entry
     }
@@ -283,12 +310,64 @@ impl DatasetRegistry {
         );
     }
 
-    /// Hit/miss counters of the starting-context cache.
+    /// The reference file (`COE_M` enumeration) of `record_id` of `entry`'s
+    /// dataset under `detector`, serving repeats from the shared LRU. The
+    /// boolean is `true` on a cache hit.
+    ///
+    /// This is the Direct-mode counterpart of
+    /// [`starting_context`](DatasetRegistry::starting_context): a deployment
+    /// answering Direct (Algorithm 1) queries — or normalizing released
+    /// utilities against the true best — re-enumerates the same record's
+    /// `COE_M` for every analyst without it. Entries are cached at a weight
+    /// equal to the contexts the enumeration examined, so GreedyDual
+    /// eviction keeps hard-won big-schema enumerations over cheap ones.
+    ///
+    /// # Errors
+    /// Propagates [`ServiceError::Release`] for enumeration failures (`t`
+    /// above `limit`, out-of-range ids).
+    pub fn reference_file(
+        &self,
+        entry: &DatasetEntry,
+        record_id: usize,
+        detector: DetectorKind,
+        limit: usize,
+    ) -> Result<(Arc<ReferenceFile>, bool)> {
+        let key: StartKey = (entry.name.clone(), record_id, detector);
+        if let Some(reference) =
+            self.reference_files.lock().expect("reference cache poisoned").get(&key)
+        {
+            self.reference_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(reference), true));
+        }
+        // Enumerate outside the cache lock: a COE walk can take seconds and
+        // other workers should keep hitting the cache meanwhile. Racing
+        // workers compute the same deterministic file; the double insert is
+        // harmless.
+        let built = detector.build();
+        let utility = PopulationSizeUtility;
+        let reference = Arc::new(
+            enumerate_coe(entry.dataset(), record_id, built.as_ref(), &utility, limit)
+                .map_err(|e| ServiceError::Release(e.to_string()))?,
+        );
+        let cost = reference.contexts_examined as u64;
+        self.reference_misses.fetch_add(1, Ordering::Relaxed);
+        self.reference_files.lock().expect("reference cache poisoned").insert_with_cost(
+            key,
+            Arc::clone(&reference),
+            cost,
+        );
+        Ok((reference, false))
+    }
+
+    /// Hit/miss counters of the registry's derived-state caches.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             len: self.starting_contexts.lock().expect("cache poisoned").len(),
+            reference_hits: self.reference_hits.load(Ordering::Relaxed),
+            reference_misses: self.reference_misses.load(Ordering::Relaxed),
+            reference_len: self.reference_files.lock().expect("reference cache poisoned").len(),
         }
     }
 }
@@ -377,12 +456,51 @@ mod tests {
     }
 
     #[test]
-    fn replacing_a_dataset_clears_the_cache() {
+    fn replacing_a_dataset_clears_both_caches() {
         let registry = DatasetRegistry::new();
         let entry = registry.register("toy", toy_dataset());
         registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
-        assert_eq!(registry.cache_stats().len, 1);
+        registry.reference_file(&entry, 0, DetectorKind::ZScore, 22).unwrap();
+        let stats = registry.cache_stats();
+        assert_eq!(stats.len, 1);
+        assert_eq!(stats.reference_len, 1);
         registry.register("toy", toy_dataset());
-        assert_eq!(registry.cache_stats().len, 0);
+        let stats = registry.cache_stats();
+        assert_eq!(stats.len, 0, "stale starting contexts must not survive re-registration");
+        assert_eq!(stats.reference_len, 0, "stale reference files must not survive");
+    }
+
+    #[test]
+    fn reference_files_hit_on_repeat_lookups_and_agree_with_enumeration() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        let (first, hit1) = registry.reference_file(&entry, 0, DetectorKind::ZScore, 22).unwrap();
+        assert!(!hit1, "first lookup must enumerate");
+        assert!(!first.is_empty(), "record 0 is a planted outlier");
+        let (second, hit2) = registry.reference_file(&entry, 0, DetectorKind::ZScore, 22).unwrap();
+        assert!(hit2, "second lookup must hit");
+        assert!(Arc::ptr_eq(&first, &second), "hits must share the cached allocation");
+        let stats = registry.cache_stats();
+        assert_eq!((stats.reference_hits, stats.reference_misses, stats.reference_len), (1, 1, 1));
+        // The cached file is the canonical enumeration.
+        let utility = PopulationSizeUtility;
+        let direct =
+            enumerate_coe(entry.dataset(), 0, DetectorKind::ZScore.build().as_ref(), &utility, 22)
+                .unwrap();
+        assert_eq!(first.context_set(), direct.context_set());
+        assert_eq!(first.max_utility, direct.max_utility);
+        // A different detector is a different key.
+        registry.reference_file(&entry, 0, DetectorKind::Iqr, 22).unwrap();
+        assert_eq!(registry.cache_stats().reference_len, 2);
+    }
+
+    #[test]
+    fn reference_file_failures_are_reported_without_caching() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        // An enumeration limit below t = 4 must refuse, not cache.
+        let result = registry.reference_file(&entry, 0, DetectorKind::ZScore, 2);
+        assert!(matches!(result, Err(ServiceError::Release(_))));
+        assert_eq!(registry.cache_stats().reference_len, 0);
     }
 }

@@ -11,6 +11,18 @@
 //! not speak with `ServiceError::UnsupportedProtocol` instead of
 //! misparsing them.
 //!
+//! ## Protocol versions
+//!
+//! * **v1** — the original envelope: single/batch bodies, no mechanism
+//!   choice. Still accepted: a v1 envelope deserializes with
+//!   `mechanism: None` and is served through the default
+//!   [`MechanismKind::Exponential`], byte-identical to a v1 server.
+//! * **v2** (current) — bodies carry an optional `mechanism` field
+//!   selecting the DP primitive ([`MechanismKind`]) the release is drawn
+//!   through. A v1 envelope that smuggles a `mechanism` field is refused
+//!   with `InvalidRequest` rather than silently honored, so custodians can
+//!   gate the mechanism axis on the negotiated version.
+//!
 //! A [`ReleaseRequest`] carries the analyst's principal name, the dataset
 //! and record they are querying, the detector, the release algorithm and
 //! its ε/samples knobs, and a deterministic seed. The seed makes the
@@ -44,6 +56,7 @@ use crate::{Result, ServiceError};
 use pcor_core::{PcorConfig, SamplingAlgorithm};
 use pcor_data::Context;
 use pcor_dp::budget::OcdpGuarantee;
+use pcor_dp::MechanismKind;
 use pcor_outlier::DetectorKind;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -67,11 +80,15 @@ pub struct ReleaseRequest {
     pub samples: usize,
     /// Seed of the per-request deterministic RNG.
     pub seed: u64,
+    /// The DP selection mechanism to draw the release through (a **v2**
+    /// protocol field). `None` — and every v1 envelope — means the default
+    /// [`MechanismKind::Exponential`].
+    pub mechanism: Option<MechanismKind>,
 }
 
 impl ReleaseRequest {
     /// Creates a request with the paper's default knobs (BFS, ε = 0.2,
-    /// `n = 50`, LOF detector, seed 0).
+    /// `n = 50`, LOF detector, seed 0, Exponential mechanism).
     pub fn new(analyst: &str, dataset: &str, record_id: usize) -> Self {
         ReleaseRequest {
             analyst: analyst.to_string(),
@@ -82,6 +99,7 @@ impl ReleaseRequest {
             epsilon: 0.2,
             samples: 50,
             seed: 0,
+            mechanism: None,
         }
     }
 
@@ -120,6 +138,14 @@ impl ReleaseRequest {
         self
     }
 
+    /// Selects the DP mechanism the release is drawn through (requires a
+    /// v2 envelope on the wire).
+    #[must_use]
+    pub fn with_mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = Some(mechanism);
+        self
+    }
+
     /// Validates the request's scalar knobs (the dataset/record existence
     /// checks happen against the registry at execution time).
     ///
@@ -149,7 +175,11 @@ impl ReleaseRequest {
     /// context is left unset: the server resolves it through the release
     /// session (warmed from the registry cache).
     pub fn to_config(&self) -> PcorConfig {
-        PcorConfig::new(self.algorithm, self.epsilon).with_samples(self.samples)
+        let config = PcorConfig::new(self.algorithm, self.epsilon).with_samples(self.samples);
+        match self.mechanism {
+            Some(mechanism) => config.with_mechanism(mechanism),
+            None => config,
+        }
     }
 }
 
@@ -174,6 +204,8 @@ pub struct ReleaseResponse {
     pub verification_calls: usize,
     /// The OCDP guarantee of the release.
     pub guarantee: OcdpGuarantee,
+    /// The DP selection mechanism that produced the release.
+    pub mechanism: MechanismKind,
     /// ε this release consumed (committed against the analyst's budget).
     pub epsilon_spent: f64,
     /// ε the analyst still has on this dataset after the release.
@@ -186,15 +218,21 @@ pub struct ReleaseResponse {
     pub worker: usize,
 }
 
-/// The wire-protocol version this build of the service speaks.
-pub const PROTOCOL_VERSION: u16 = 1;
+/// The wire-protocol version this build of the service speaks (v2: bodies
+/// may carry a `mechanism` field).
+pub const PROTOCOL_VERSION: u16 = 2;
+
+/// The oldest protocol version the server still accepts. v1 envelopes are
+/// served with the default mechanism, exactly as a v1 server would.
+pub const MIN_PROTOCOL_VERSION: u16 = 1;
 
 /// The versioned request envelope: every message to the server is one of
 /// these.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestEnvelope {
-    /// Protocol version; the server refuses versions other than
-    /// [`PROTOCOL_VERSION`].
+    /// Protocol version; the server accepts
+    /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and refuses
+    /// everything else.
     pub v: u16,
     /// The request payload.
     pub body: RequestBody,
@@ -211,17 +249,40 @@ impl RequestEnvelope {
         RequestEnvelope { v: PROTOCOL_VERSION, body: RequestBody::Batch(batch) }
     }
 
+    /// Re-stamps the envelope at an explicit protocol version (for clients
+    /// pinned to an older revision and for back-compat tests).
+    #[must_use]
+    pub fn at_version(mut self, v: u16) -> Self {
+        self.v = v;
+        self
+    }
+
+    /// The mechanism requested by the body, if any.
+    pub fn mechanism(&self) -> Option<MechanismKind> {
+        match &self.body {
+            RequestBody::Single(request) => request.mechanism,
+            RequestBody::Batch(batch) => batch.mechanism,
+        }
+    }
+
     /// Validates the envelope: version check plus body validation.
     ///
     /// # Errors
-    /// Returns [`ServiceError::UnsupportedProtocol`] for unknown versions and
-    /// propagates the body's validation errors.
+    /// Returns [`ServiceError::UnsupportedProtocol`] for versions outside
+    /// the accepted range, [`ServiceError::InvalidRequest`] for a v1
+    /// envelope carrying the v2 `mechanism` field, and propagates the
+    /// body's validation errors.
     pub fn validate(&self) -> Result<()> {
-        if self.v != PROTOCOL_VERSION {
+        if self.v < MIN_PROTOCOL_VERSION || self.v > PROTOCOL_VERSION {
             return Err(ServiceError::UnsupportedProtocol {
                 requested: self.v,
                 supported: PROTOCOL_VERSION,
             });
+        }
+        if self.v < 2 && self.mechanism().is_some() {
+            return Err(ServiceError::InvalidRequest(
+                "the mechanism field requires protocol v2".into(),
+            ));
         }
         match &self.body {
             RequestBody::Single(request) => request.validate(),
@@ -293,18 +354,24 @@ pub struct BatchReleaseRequest {
     pub detector: DetectorKind,
     /// The release algorithm shared by every item.
     pub algorithm: SamplingAlgorithm,
+    /// The DP selection mechanism shared by every item (a **v2** protocol
+    /// field). `None` — and every v1 envelope — means the default
+    /// [`MechanismKind::Exponential`].
+    pub mechanism: Option<MechanismKind>,
     /// The record queries.
     pub items: Vec<BatchItem>,
 }
 
 impl BatchReleaseRequest {
-    /// Creates an empty batch with the paper's default knobs (BFS, LOF).
+    /// Creates an empty batch with the paper's default knobs (BFS, LOF,
+    /// Exponential mechanism).
     pub fn new(analyst: &str, dataset: &str) -> Self {
         BatchReleaseRequest {
             analyst: analyst.to_string(),
             dataset: dataset.to_string(),
             detector: DetectorKind::Lof,
             algorithm: SamplingAlgorithm::Bfs,
+            mechanism: None,
             items: Vec::new(),
         }
     }
@@ -320,6 +387,14 @@ impl BatchReleaseRequest {
     #[must_use]
     pub fn with_algorithm(mut self, algorithm: SamplingAlgorithm) -> Self {
         self.algorithm = algorithm;
+        self
+    }
+
+    /// Selects the DP mechanism every item is drawn through (requires a v2
+    /// envelope on the wire).
+    #[must_use]
+    pub fn with_mechanism(mut self, mechanism: MechanismKind) -> Self {
+        self.mechanism = Some(mechanism);
         self
     }
 
@@ -379,7 +454,11 @@ impl BatchReleaseRequest {
 
     /// Maps one item's knobs onto a core [`PcorConfig`].
     pub fn item_config(&self, item: &BatchItem) -> PcorConfig {
-        PcorConfig::new(self.algorithm, item.epsilon).with_samples(item.samples)
+        let config = PcorConfig::new(self.algorithm, item.epsilon).with_samples(item.samples);
+        match self.mechanism {
+            Some(mechanism) => config.with_mechanism(mechanism),
+            None => config,
+        }
     }
 }
 
@@ -401,6 +480,15 @@ impl ResponseEnvelope {
     /// Wraps a batch response at the current protocol version.
     pub fn batch(response: BatchReleaseResponse) -> Self {
         ResponseEnvelope { v: PROTOCOL_VERSION, body: ResponseBody::Batch(response) }
+    }
+
+    /// Re-stamps the envelope at an explicit protocol version. The server
+    /// echoes the *request's* version here, so a v1 client never receives
+    /// a response stamped with a version it would refuse.
+    #[must_use]
+    pub fn at_version(mut self, v: u16) -> Self {
+        self.v = v;
+        self
     }
 
     /// Unwraps a single-record response, `None` for batch bodies.
@@ -447,6 +535,8 @@ pub struct ItemRelease {
     /// The OCDP guarantee of this item's release (identical to an
     /// equivalent single request).
     pub guarantee: OcdpGuarantee,
+    /// The DP selection mechanism that produced this item's release.
+    pub mechanism: MechanismKind,
     /// Whether the item's starting context was already cached (by the
     /// registry or by an earlier item of this batch).
     pub cache_hit: bool,
@@ -590,16 +680,90 @@ mod tests {
         let good = RequestEnvelope::single(ReleaseRequest::new("alice", "salary", 3));
         assert_eq!(good.v, PROTOCOL_VERSION);
         assert!(good.validate().is_ok());
-        let mut wrong_version = good.clone();
-        wrong_version.v = 2;
+        let wrong_version = good.clone().at_version(PROTOCOL_VERSION + 1);
         assert!(matches!(
             wrong_version.validate(),
-            Err(ServiceError::UnsupportedProtocol { requested: 2, supported: PROTOCOL_VERSION })
+            Err(ServiceError::UnsupportedProtocol { requested: 3, supported: PROTOCOL_VERSION })
         ));
+        let too_old = good.clone().at_version(0);
+        assert!(matches!(too_old.validate(), Err(ServiceError::UnsupportedProtocol { .. })));
         let bad_body = RequestEnvelope::single(ReleaseRequest::new("", "salary", 3));
         assert!(matches!(bad_body.validate(), Err(ServiceError::InvalidRequest(_))));
         let empty_batch = RequestEnvelope::batch(BatchReleaseRequest::new("alice", "salary"));
         assert!(matches!(empty_batch.validate(), Err(ServiceError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn v1_envelopes_without_a_mechanism_field_still_parse_and_validate() {
+        // A request serialized by a v1 client has no `mechanism` key at
+        // all; it must deserialize to `None` and validate at v = 1.
+        let v1_json = r#"{
+            "v": 1,
+            "body": {"Single": {
+                "analyst": "alice", "dataset": "salary", "record_id": 3,
+                "detector": "Lof", "algorithm": "Bfs",
+                "epsilon": 0.2, "samples": 50, "seed": 7
+            }}
+        }"#;
+        let envelope: RequestEnvelope = serde_json::from_str(v1_json).unwrap();
+        assert_eq!(envelope.v, 1);
+        assert!(envelope.validate().is_ok());
+        assert_eq!(envelope.mechanism(), None);
+        match &envelope.body {
+            RequestBody::Single(request) => {
+                assert_eq!(request.seed, 7);
+                assert_eq!(request.to_config().mechanism_kind(), MechanismKind::Exponential);
+            }
+            other => panic!("expected a single body, got {other:?}"),
+        }
+        // The same body round-trips through the v2 serializer unchanged.
+        let reserialized = serde_json::to_string(&envelope).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&reserialized).unwrap();
+        assert_eq!(back, envelope);
+    }
+
+    #[test]
+    fn v1_envelopes_cannot_smuggle_the_v2_mechanism_field() {
+        let request =
+            ReleaseRequest::new("alice", "salary", 3).with_mechanism(MechanismKind::PermuteAndFlip);
+        let v1 = RequestEnvelope::single(request).at_version(1);
+        match v1.validate() {
+            Err(ServiceError::InvalidRequest(msg)) => assert!(msg.contains("v2"), "{msg}"),
+            other => panic!("expected an invalid-request refusal, got {other:?}"),
+        }
+        let batch = BatchReleaseRequest::new("alice", "salary")
+            .with_mechanism(MechanismKind::ReportNoisyMax)
+            .push(BatchItem::new(0));
+        let v1 = RequestEnvelope::batch(batch).at_version(1);
+        assert!(matches!(v1.validate(), Err(ServiceError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn v2_envelopes_round_trip_the_mechanism_choice() {
+        let single = RequestEnvelope::single(
+            ReleaseRequest::new("alice", "salary", 3).with_mechanism(MechanismKind::PermuteAndFlip),
+        );
+        assert!(single.validate().is_ok());
+        assert_eq!(single.mechanism(), Some(MechanismKind::PermuteAndFlip));
+        let json = serde_json::to_string(&single).unwrap();
+        assert!(json.contains("PermuteAndFlip"));
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, single);
+        let batch = RequestEnvelope::batch(
+            BatchReleaseRequest::new("bob", "homicide")
+                .with_mechanism(MechanismKind::ReportNoisyMax)
+                .push(BatchItem::new(4)),
+        );
+        let json = serde_json::to_string(&batch).unwrap();
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, batch);
+        match &back.body {
+            RequestBody::Batch(batch) => {
+                let config = batch.item_config(&batch.items[0]);
+                assert_eq!(config.mechanism_kind(), MechanismKind::ReportNoisyMax);
+            }
+            other => panic!("expected a batch body, got {other:?}"),
+        }
     }
 
     #[test]

@@ -395,10 +395,13 @@ impl Server {
     ) -> Result<ResponseEnvelope> {
         envelope.validate()?;
         let worker_index = pool.current_worker().unwrap_or(0);
+        // Echo the request's (validated) protocol version so a client
+        // pinned to v1 never receives a response stamped v2.
+        let v = envelope.v;
         match envelope.body {
             RequestBody::Single(request) => {
                 Self::handle(worker_index, registry, ledger, metrics, pool, request, enqueued)
-                    .map(ResponseEnvelope::single)
+                    .map(|response| ResponseEnvelope::single(response).at_version(v))
             }
             RequestBody::Batch(batch) => Self::handle_batch(
                 worker_index,
@@ -410,7 +413,7 @@ impl Server {
                 enqueued,
                 |_| true,
             )
-            .map(ResponseEnvelope::batch),
+            .map(|response| ResponseEnvelope::batch(response).at_version(v)),
         }
     }
 
@@ -529,6 +532,7 @@ impl Server {
             let outcome = match result {
                 Ok(result) => {
                     committed += item.epsilon;
+                    metrics.record_mechanism(result.mechanism);
                     ItemOutcome::Released(ItemRelease {
                         predicate: result.context.to_predicate_string(entry.dataset().schema()),
                         context: result.context,
@@ -539,6 +543,7 @@ impl Server {
                         // still sum to the batch total.
                         verification_calls: result.verification_calls + discovery_cost as usize,
                         guarantee: result.guarantee,
+                        mechanism: result.mechanism,
                         cache_hit,
                     })
                 }
@@ -679,6 +684,7 @@ impl Server {
                 let remaining = ledger.commit(reservation);
                 let latency = enqueued.elapsed();
                 metrics.record_served(latency);
+                metrics.record_mechanism(result.mechanism);
                 Ok(ReleaseResponse {
                     analyst: request.analyst,
                     dataset: request.dataset,
@@ -691,6 +697,7 @@ impl Server {
                     // report it with the release's own calls as before.
                     verification_calls: result.verification_calls + discovery_cost as usize,
                     guarantee: result.guarantee,
+                    mechanism: result.mechanism,
                     epsilon_spent: request.epsilon,
                     remaining_budget: remaining,
                     cache_hit,
@@ -1253,6 +1260,66 @@ mod tests {
             server.submit_batch_streaming(empty),
             Err(ServiceError::InvalidRequest(_))
         ));
+    }
+
+    #[test]
+    fn mechanisms_are_selectable_end_to_end_and_reported() {
+        use pcor_dp::MechanismKind;
+        let server = toy_server(10.0, 1);
+        // Default (no mechanism field): Exponential, as always.
+        let default = server.execute(toy_request("alice", 7)).unwrap();
+        assert_eq!(default.mechanism, MechanismKind::Exponential);
+        assert_eq!(default.guarantee.mechanism, MechanismKind::Exponential);
+        // A v2 request selecting permute-and-flip serves through it.
+        let pf_request = toy_request("alice", 7).with_mechanism(MechanismKind::PermuteAndFlip);
+        let envelope = RequestEnvelope::single(pf_request);
+        assert_eq!(envelope.v, crate::request::PROTOCOL_VERSION);
+        let response =
+            server.submit_envelope(envelope).unwrap().wait().unwrap().into_single().unwrap();
+        assert_eq!(response.mechanism, MechanismKind::PermuteAndFlip);
+        assert_eq!(response.guarantee.mechanism, MechanismKind::PermuteAndFlip);
+        assert!((response.guarantee.epsilon - 0.2).abs() < 1e-12, "same ε accounting");
+        // Batches thread the shared mechanism into every item.
+        let batch = toy_batch("alice", &[0, 0]).with_mechanism(MechanismKind::ReportNoisyMax);
+        let batch_response = server.execute_batch(batch).unwrap();
+        for item in &batch_response.items {
+            assert_eq!(item.outcome.released().unwrap().mechanism, MechanismKind::ReportNoisyMax);
+        }
+        // The metrics report the mechanism mix.
+        let tally = server.metrics().mechanism_releases;
+        assert_eq!(tally.exponential, 1);
+        assert_eq!(tally.permute_and_flip, 1);
+        assert_eq!(tally.report_noisy_max, 2);
+    }
+
+    #[test]
+    fn v1_envelopes_are_served_with_the_default_mechanism() {
+        use pcor_dp::MechanismKind;
+        let server = toy_server(10.0, 1);
+        // A v1 client's envelope (no mechanism anywhere) is still accepted…
+        let v1 = RequestEnvelope::single(toy_request("alice", 5)).at_version(1);
+        let reply = server.submit_envelope(v1).unwrap().wait().unwrap();
+        // …the response echoes the client's version, not the server's…
+        assert_eq!(reply.v, 1, "a v1 client must not receive a v2-stamped response");
+        let response = reply.into_single().unwrap();
+        assert_eq!(response.mechanism, MechanismKind::Exponential);
+        // …and it is the identical release a v2 envelope with the same
+        // seed gets (the mechanism axis must not perturb old clients).
+        let v2 = RequestEnvelope::single(toy_request("bob", 5));
+        let v2_reply = server.submit_envelope(v2).unwrap().wait().unwrap();
+        assert_eq!(v2_reply.v, crate::request::PROTOCOL_VERSION);
+        let v2_response = v2_reply.into_single().unwrap();
+        assert_eq!(response.context, v2_response.context);
+        // A v1 envelope smuggling the v2 field is refused without spending.
+        let smuggled = RequestEnvelope::single(
+            toy_request("alice", 6).with_mechanism(MechanismKind::PermuteAndFlip),
+        )
+        .at_version(1);
+        match server.submit_envelope(smuggled).unwrap().wait() {
+            Err(ServiceError::InvalidRequest(msg)) => assert!(msg.contains("v2"), "{msg}"),
+            other => panic!("expected an invalid-request refusal, got {other:?}"),
+        }
+        assert!((server.ledger().remaining("alice", "toy") - 9.8).abs() < 1e-9);
     }
 
     #[test]

@@ -146,3 +146,58 @@ fn failed_releases_do_not_burn_budget() {
     server.execute(request("alice", record, 7)).unwrap();
     assert!(ledger.remaining("alice", "salary") < 1e-9);
 }
+
+/// The v1→v2 protocol bridge: a v1 envelope (serialized without any
+/// mechanism field, as an old client would) is accepted and served with
+/// the identical release a v2 envelope of the same seed gets, while a v2
+/// envelope can select permute-and-flip end to end — with the same ε
+/// accounting either way.
+#[test]
+fn v1_envelopes_round_trip_and_v2_selects_mechanisms() {
+    use pcor::dp::MechanismKind;
+    let (server, _registry, ledger, record) = salary_server(1.0, 1);
+
+    // Wire bytes an old v1 client would send: no `mechanism` key at all.
+    let v1_json = format!(
+        r#"{{"v":1,"body":{{"Single":{{"analyst":"alice","dataset":"salary",
+            "record_id":{record},"detector":"ZScore","algorithm":"Bfs",
+            "epsilon":0.1,"samples":8,"seed":9}}}}}}"#
+    );
+    let v1: RequestEnvelope = serde_json::from_str(&v1_json).unwrap();
+    assert_eq!(v1.v, 1);
+    let v1_response = server.submit_envelope(v1).unwrap().wait().unwrap().into_single().unwrap();
+    assert_eq!(v1_response.mechanism, MechanismKind::Exponential);
+
+    // The same request through a current v2 envelope replays identically.
+    let v2 = RequestEnvelope::single(request("bob", record, 9));
+    assert_eq!(v2.v, pcor::service::PROTOCOL_VERSION);
+    let v2_response = server.submit_envelope(v2).unwrap().wait().unwrap().into_single().unwrap();
+    assert_eq!(v1_response.context, v2_response.context);
+    assert_eq!(v1_response.utility, v2_response.utility);
+
+    // v2 selects permute-and-flip end to end; the ε accounting is
+    // mechanism-independent.
+    let pf = RequestEnvelope::single(
+        request("carol", record, 9).with_mechanism(MechanismKind::PermuteAndFlip),
+    );
+    let json = serde_json::to_string(&pf).unwrap();
+    let pf: RequestEnvelope = serde_json::from_str(&json).unwrap();
+    let pf_response = server.submit_envelope(pf).unwrap().wait().unwrap().into_single().unwrap();
+    assert_eq!(pf_response.mechanism, MechanismKind::PermuteAndFlip);
+    assert_eq!(pf_response.guarantee.mechanism, MechanismKind::PermuteAndFlip);
+    assert_eq!(pf_response.guarantee.epsilon, v1_response.guarantee.epsilon);
+    for analyst in ["alice", "bob", "carol"] {
+        assert!((ledger.spent(analyst, "salary") - 0.1).abs() < 1e-9);
+    }
+
+    // A v1 envelope smuggling the v2 mechanism field is refused whole.
+    let smuggled = RequestEnvelope::single(
+        request("alice", record, 10).with_mechanism(MechanismKind::ReportNoisyMax),
+    )
+    .at_version(1);
+    assert!(matches!(
+        server.submit_envelope(smuggled).unwrap().wait(),
+        Err(ServiceError::InvalidRequest(_))
+    ));
+    assert!((ledger.spent("alice", "salary") - 0.1).abs() < 1e-9);
+}
