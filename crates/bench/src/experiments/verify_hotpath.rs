@@ -149,7 +149,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
             "Verify hot path: one f_M evaluation per single-bit flip \
              (n = {records}, t = {t}, {STEPS} flips, ZScore + PopulationSize)"
         ),
-        &["Path", "calls/sec", "ns/call", "allocs/call", "Speedup"],
+        &["Path", "calls/sec", "ns/call", "allocs/call", "bytes/sec", "Speedup"],
     );
 
     let mut digests: Vec<Digest> = Vec::new();
@@ -158,9 +158,10 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         ["from-scratch (seed)", "scratch reuse", "incremental cursor", "incremental sharded"];
     for (index, path) in paths.iter().enumerate() {
         let started = Instant::now();
-        let (digest, allocs) = alloc_probe::counted(|| -> Result<Digest> {
+        let (outcome, allocs) = alloc_probe::counted(|| -> Result<(Digest, Option<u64>)> {
             let mut sizes = 0u64;
             let mut matches = 0u64;
+            let mut words: Option<u64> = None;
             match index {
                 0 => {
                     let mut context = start.clone();
@@ -208,17 +209,25 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
                         sizes += size as u64;
                         matches += matching as u64;
                     }
+                    words = Some(cursor.words_scanned());
                 }
             }
-            Ok(Digest { population_sizes: sizes, matching: matches })
+            Ok((Digest { population_sizes: sizes, matching: matches }, words))
         });
-        let digest = digest?;
+        let (digest, words) = outcome?;
         let elapsed = started.elapsed().as_secs_f64();
         let rate = STEPS as f64 / elapsed.max(1e-12);
         if index == 0 {
             baseline_rate = rate;
         }
         digests.push(digest);
+        // Bitmap bandwidth from the engine's own words-scanned counter
+        // (64-bit words, so bytes = words * 8). Only the cursor engine
+        // meters its passes; the historical paths have no counter and
+        // report `n/a` rather than an estimate.
+        let bytes_per_sec = words
+            .map(|w| format!("{:.0}", (w as f64 * 8.0) / elapsed.max(1e-12)))
+            .unwrap_or_else(|| "n/a".to_string());
         table.push_row(vec![
             path.to_string(),
             format!("{rate:.0}"),
@@ -226,6 +235,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
             allocs
                 .map(|a| format!("{:.1}", a as f64 / STEPS as f64))
                 .unwrap_or_else(|| "n/a".to_string()),
+            bytes_per_sec,
             format!("{:.2}x", rate / baseline_rate.max(1e-12)),
         ]);
     }
@@ -262,9 +272,19 @@ mod tests {
         let table = &output.tables[0];
         assert_eq!(table.rows.len(), 4);
         for row in &table.rows {
-            assert_eq!(row.len(), 5);
+            assert_eq!(row.len(), 6);
             let rate: f64 = row[1].parse().unwrap();
             assert!(rate > 0.0, "path {} reported no throughput", row[0]);
+        }
+        // The cursor engines meter their fused passes, so their bytes/sec
+        // column must carry a real positive number; the historical paths
+        // have no counter and report `n/a`.
+        for row in &table.rows[2..] {
+            let bytes: f64 = row[4].parse().unwrap();
+            assert!(bytes > 0.0, "path {} reported no bandwidth", row[0]);
+        }
+        for row in &table.rows[..2] {
+            assert_eq!(row[4], "n/a");
         }
         // No wall-clock ratio assertions here: timing comparisons belong in
         // the experiment's reported output (BENCH_verify.json), not in a

@@ -54,6 +54,7 @@ use pcor_data::{Context, Dataset, ShardPolicy};
 use pcor_dp::{MechanismKind, MechanismTally, Utility};
 use pcor_outlier::OutlierDetector;
 use pcor_runtime::ThreadPool;
+use pcor_telemetry::{SpanId, Telemetry, TraceId};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
 use serde::{Deserialize, Serialize};
@@ -227,6 +228,17 @@ pub struct ReleaseSessionBuilder<'a> {
     search_budget: usize,
     pool: Option<Arc<ThreadPool>>,
     mechanism: MechanismKind,
+    trace: Option<TraceContext>,
+}
+
+/// The telemetry hookup of a traced session: every release opens a
+/// `session.release` span (with a `session.verify` child) under `parent`
+/// within `trace`.
+#[derive(Clone)]
+struct TraceContext {
+    telemetry: Telemetry,
+    trace: TraceId,
+    parent: Option<SpanId>,
 }
 
 impl<'a> ReleaseSessionBuilder<'a> {
@@ -277,6 +289,22 @@ impl<'a> ReleaseSessionBuilder<'a> {
         self
     }
 
+    /// Attaches a telemetry bundle and the caller's trace position. Every
+    /// release the session runs then opens a `session.release` span (with a
+    /// `session.verify` child around the search itself) parented to
+    /// `parent` within `trace`, and records its wall time into the stage
+    /// histograms. Sessions without a trace context emit nothing.
+    #[must_use]
+    pub fn trace_context(
+        mut self,
+        telemetry: Telemetry,
+        trace: TraceId,
+        parent: Option<SpanId>,
+    ) -> Self {
+        self.trace = Some(TraceContext { telemetry, trace, parent });
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> ReleaseSession<'a> {
         ReleaseSession {
@@ -287,6 +315,7 @@ impl<'a> ReleaseSessionBuilder<'a> {
             search_budget: self.search_budget,
             pool: self.pool,
             mechanism: self.mechanism,
+            trace: self.trace,
             verifiers: HashMap::new(),
             starting_contexts: HashMap::new(),
             references: HashMap::new(),
@@ -315,6 +344,9 @@ pub struct SessionStats {
     pub cache_hits: usize,
     /// Total distinct contexts memoized across all verifiers.
     pub cached_contexts: usize,
+    /// Bitmap words read by the verifiers' fused population passes (×8
+    /// gives the bytes the verification hot loop touched).
+    pub words_scanned: u64,
     /// Starting contexts resolved and cached.
     pub starting_contexts: usize,
     /// Successful releases broken down by the selection mechanism that
@@ -348,6 +380,7 @@ pub struct ReleaseSession<'a> {
     search_budget: usize,
     pool: Option<Arc<ThreadPool>>,
     mechanism: MechanismKind,
+    trace: Option<TraceContext>,
     verifiers: HashMap<usize, Verifier<'a>>,
     starting_contexts: HashMap<usize, Context>,
     references: HashMap<usize, ReferenceFile>,
@@ -377,6 +410,7 @@ impl<'a> ReleaseSession<'a> {
             search_budget: DEFAULT_SEARCH_BUDGET,
             pool: None,
             mechanism: MechanismKind::default(),
+            trace: None,
         }
     }
 
@@ -421,6 +455,7 @@ impl<'a> ReleaseSession<'a> {
             cache_lookups: self.verifiers.values().map(Verifier::lookups).sum(),
             cache_hits: self.verifiers.values().map(Verifier::cache_hits).sum(),
             cached_contexts: self.verifiers.values().map(Verifier::distinct_contexts).sum(),
+            words_scanned: self.verifiers.values().map(Verifier::words_scanned).sum(),
             starting_contexts: self.starting_contexts.len(),
             mechanism_releases: self.mechanism_releases,
         }
@@ -496,6 +531,12 @@ impl<'a> ReleaseSession<'a> {
             )));
         }
         let started = std::time::Instant::now();
+        // Clone the (cheap, Arc-backed) trace hookup up front: the span
+        // guards must outlive the mutable verifier borrow below.
+        let trace = self.trace.clone();
+        let release_span =
+            trace.as_ref().map(|ctx| ctx.telemetry.span(ctx.trace, ctx.parent, "session.release"));
+        let release_span_id = release_span.as_ref().map(pcor_telemetry::SpanGuard::id);
         // Snapshot before resolving the starting context so a first release
         // counts its search calls (matching the historical one-shot
         // behavior); cached repeats skip the search entirely.
@@ -510,12 +551,17 @@ impl<'a> ReleaseSession<'a> {
             effective.starting_context = Some(self.resolve_starting_context(record_id)?);
         }
         let verifier = self.verifier(record_id);
-        let mut result = match effective.algorithm {
-            SamplingAlgorithm::Direct => crate::direct::run(verifier, &effective, rng),
-            SamplingAlgorithm::Uniform => crate::uniform::run(verifier, &effective, rng),
-            SamplingAlgorithm::RandomWalk => crate::random_walk::run(verifier, &effective, rng),
-            SamplingAlgorithm::Dfs => crate::dfs::run(verifier, &effective, rng),
-            SamplingAlgorithm::Bfs => crate::bfs::run(verifier, &effective, rng),
+        let mut result = {
+            let _verify_span = trace
+                .as_ref()
+                .map(|ctx| ctx.telemetry.span(ctx.trace, release_span_id, "session.verify"));
+            match effective.algorithm {
+                SamplingAlgorithm::Direct => crate::direct::run(verifier, &effective, rng),
+                SamplingAlgorithm::Uniform => crate::uniform::run(verifier, &effective, rng),
+                SamplingAlgorithm::RandomWalk => crate::random_walk::run(verifier, &effective, rng),
+                SamplingAlgorithm::Dfs => crate::dfs::run(verifier, &effective, rng),
+                SamplingAlgorithm::Bfs => crate::bfs::run(verifier, &effective, rng),
+            }
         }?;
         result.verification_calls = verifier.calls() - calls_before;
         result.runtime = started.elapsed();

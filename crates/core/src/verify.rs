@@ -240,6 +240,13 @@ impl<'a> Verifier<'a> {
         self.cache.len()
     }
 
+    /// Bitmap words read by the verifier's fused population passes so far
+    /// (×8 gives the bytes the verification hot loop touched). Zero until
+    /// the first uncached evaluation creates the cursor.
+    pub fn words_scanned(&self) -> u64 {
+        self.cursor.as_ref().map_or(0, |cursor| cursor.words_scanned())
+    }
+
     /// The minimal context of the queried record (its own attribute values).
     ///
     /// # Errors

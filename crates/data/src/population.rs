@@ -241,6 +241,8 @@ pub struct PopulationCursor<'a> {
     policy: ShardPolicy,
     /// Per-shard popcount slots, reused across passes (no per-pass alloc).
     shard_counts: Vec<usize>,
+    /// Total bitmap words read by fused passes over the cursor's lifetime.
+    words_scanned: u64,
 }
 
 impl<'a> PopulationCursor<'a> {
@@ -285,6 +287,7 @@ impl<'a> PopulationCursor<'a> {
             fresh: false,
             policy,
             shard_counts: vec![0; shard_slots],
+            words_scanned: 0,
         };
         for attr in 0..m {
             cursor.rebuild_union(attr);
@@ -305,6 +308,14 @@ impl<'a> PopulationCursor<'a> {
     /// The shard policy of the fused AND/popcount pass.
     pub fn policy(&self) -> &ShardPolicy {
         &self.policy
+    }
+
+    /// Total bitmap words read by the cursor's fused AND/popcount passes so
+    /// far (each pass reads `words × attribute count` words; ×8 gives the
+    /// bytes the hot loop touched). Telemetry feeds this into the
+    /// `verify-hotpath` bytes/sec figure.
+    pub fn words_scanned(&self) -> u64 {
+        self.words_scanned
     }
 
     /// Flips one context bit and updates the touched attribute's cached
@@ -428,6 +439,9 @@ impl<'a> PopulationCursor<'a> {
         let PopulationCursor { attr_unions, result, shard_counts, .. } = self;
         let (first, rest) = attr_unions.split_first().expect("schemas have >= 1 attribute");
         let out = result.words_mut();
+        // One fused pass reads every output word once from `first` and once
+        // per remaining attribute union.
+        self.words_scanned += (out.len() * (1 + rest.len())) as u64;
         let shards = self.policy.shards_for(out.len());
         if shards <= 1 {
             self.population_size = and_popcount(first.words(), rest, out, 0);

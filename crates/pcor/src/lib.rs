@@ -20,7 +20,10 @@
 //!   (`pcor-service`);
 //! * [`runtime`] — the persistent work-stealing thread pool shared by the
 //!   verification engine's sharded passes and the serving layer
-//!   (`pcor-runtime`).
+//!   (`pcor-runtime`);
+//! * [`telemetry`] — the observability bundle: metrics registry with a
+//!   Prometheus-text exporter, per-release tracing spans and the
+//!   privacy-budget audit log (`pcor-telemetry`).
 //!
 //! The most common entry points are re-exported at the crate root so a typical
 //! application only needs `use pcor::prelude::*`. The recommended way to
@@ -56,6 +59,7 @@ pub use pcor_outlier as outlier;
 pub use pcor_runtime as runtime;
 pub use pcor_service as service;
 pub use pcor_stats as stats;
+pub use pcor_telemetry as telemetry;
 
 /// Everything a typical PCOR application needs, in one import.
 pub mod prelude {
@@ -88,6 +92,9 @@ pub mod prelude {
         ResponseEnvelope, Server, ServerConfig, ServiceError,
     };
     pub use pcor_stats::{ConfidenceInterval, RuntimeSummary, UtilitySummary};
+    pub use pcor_telemetry::{
+        AuditLog, BudgetEvent, MetricsRegistry, Telemetry, TraceId, TraceSink,
+    };
 }
 
 #[cfg(test)]
@@ -115,5 +122,8 @@ mod tests {
         let _ = RequestEnvelope::batch(
             BatchReleaseRequest::new("a", "d").push(BatchItem::new(0).with_epsilon(0.1)),
         );
+        let telemetry = Telemetry::new();
+        assert!(telemetry.render_prometheus().is_empty());
+        let _ = TraceId::next();
     }
 }

@@ -160,6 +160,7 @@ impl Shared {
             if sleep.shutdown {
                 return;
             }
+            self.counters.parked.fetch_add(1, Ordering::Relaxed);
             let _unused = self.wake.wait(sleep).expect("pool sleep lock poisoned");
         }
     }

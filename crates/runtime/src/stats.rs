@@ -9,6 +9,7 @@ pub(crate) struct Counters {
     pub(crate) executed: AtomicU64,
     pub(crate) stolen: AtomicU64,
     pub(crate) panicked: AtomicU64,
+    pub(crate) parked: AtomicU64,
     /// Tasks pushed but not yet started (gauge).
     pub(crate) depth: AtomicUsize,
 }
@@ -22,6 +23,7 @@ impl Counters {
             tasks_executed: self.executed.load(Ordering::Relaxed),
             tasks_stolen: self.stolen.load(Ordering::Relaxed),
             tasks_panicked: self.panicked.load(Ordering::Relaxed),
+            worker_parks: self.parked.load(Ordering::Relaxed),
         }
     }
 }
@@ -47,4 +49,7 @@ pub struct PoolStats {
     pub tasks_stolen: u64,
     /// Tasks that panicked (isolated; the worker survived).
     pub tasks_panicked: u64,
+    /// Times a worker ran out of work and parked on the condvar (counted
+    /// at each wait, so spurious wakeups that re-park count again).
+    pub worker_parks: u64,
 }

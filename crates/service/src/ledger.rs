@@ -15,9 +15,25 @@
 //!
 //! Dropping a [`Reservation`] without committing refunds it automatically,
 //! so a panicking worker cannot leak budget.
+//!
+//! # Audit log and ordering
+//!
+//! With a [`Telemetry`] bundle attached
+//! ([`attach_telemetry`](BudgetLedger::attach_telemetry)), every ε movement
+//! appends a [`BudgetEvent`] to the bundle's audit log **while holding the
+//! ledger lock**. The audit log's logical clock therefore totally orders
+//! the events exactly as the accountant applied them: folding the events
+//! replays every account's state, and a [`snapshot`](BudgetLedger::snapshot)
+//! (also taken under the lock) is always consistent with the prefix of the
+//! log visible at that instant — the invariant
+//! `snapshot ≡ fold(audit events)` the service tests assert, and the
+//! ground the ROADMAP's write-ahead ledger will replay from. Per-account
+//! `pcor_budget_spent_epsilon` / `pcor_budget_remaining_epsilon` gauges are
+//! refreshed on the same occasions.
 
 use crate::{Result, ServiceError};
 use pcor_dp::BudgetAccountant;
+use pcor_telemetry::{BudgetEvent, Telemetry};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -29,6 +45,23 @@ type AccountKey = (String, String);
 struct LedgerInner {
     accounts: HashMap<AccountKey, BudgetAccountant>,
     grants: HashMap<AccountKey, f64>,
+    /// Attached observability bundle; events and gauges are emitted under
+    /// the ledger lock so audit order equals accountant order.
+    telemetry: Option<Telemetry>,
+}
+
+impl LedgerInner {
+    /// Refreshes the account's spent/remaining gauges (no-op when no
+    /// telemetry is attached or the account does not exist).
+    fn publish_gauges(&self, key: &AccountKey) {
+        let (Some(telemetry), Some(account)) = (&self.telemetry, self.accounts.get(key)) else {
+            return;
+        };
+        let labels = &[("analyst", key.0.as_str()), ("dataset", key.1.as_str())];
+        let registry = telemetry.registry();
+        registry.gauge("pcor_budget_spent_epsilon", labels).set(account.spent());
+        registry.gauge("pcor_budget_remaining_epsilon", labels).set(account.remaining());
+    }
 }
 
 /// Thread-safe per-`(analyst, dataset)` budget accounting.
@@ -64,6 +97,11 @@ pub struct Reservation {
     epsilon: f64,
     inner: Arc<Mutex<LedgerInner>>,
     resolved: bool,
+    /// The trace id of the release holding this ε (0 = untraced); carried
+    /// into the audit events so reserve/commit/refund of one release link.
+    trace: u64,
+    /// The DP mechanism of the release, when the caller knows it.
+    mechanism: Option<String>,
 }
 
 impl Reservation {
@@ -80,6 +118,11 @@ impl Reservation {
     /// The held ε.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+
+    /// The trace id this reservation's audit events carry (0 = untraced).
+    pub fn trace(&self) -> u64 {
+        self.trace
     }
 
     fn resolve(&mut self, commit: bool) {
@@ -107,6 +150,29 @@ impl Reservation {
                 debug_assert!(outcome.is_ok(), "reservation refund violated the protocol");
             }
         }
+        // Audit while still holding the lock: event order == account order.
+        if let Some(telemetry) = &inner.telemetry {
+            if spend > 0.0 {
+                telemetry.audit().append(BudgetEvent::Committed {
+                    seq: 0,
+                    analyst: self.key.0.clone(),
+                    dataset: self.key.1.clone(),
+                    epsilon: spend,
+                    mechanism: self.mechanism.clone(),
+                    trace: self.trace,
+                });
+            }
+            if refund > 0.0 {
+                telemetry.audit().append(BudgetEvent::Refunded {
+                    seq: 0,
+                    analyst: self.key.0.clone(),
+                    dataset: self.key.1.clone(),
+                    epsilon: refund,
+                    trace: self.trace,
+                });
+            }
+        }
+        inner.publish_gauges(&self.key);
     }
 }
 
@@ -128,9 +194,19 @@ impl BudgetLedger {
             inner: Arc::new(Mutex::new(LedgerInner {
                 accounts: HashMap::new(),
                 grants: HashMap::new(),
+                telemetry: None,
             })),
             default_grant,
         }
+    }
+
+    /// Attaches an observability bundle: from here on, every ε movement
+    /// appends a [`BudgetEvent`] to the bundle's audit log and refreshes
+    /// the per-account spent/remaining gauges (see the module docs for the
+    /// ordering guarantee).
+    pub fn attach_telemetry(&self, telemetry: Telemetry) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        inner.telemetry = Some(telemetry);
     }
 
     /// Overrides the grant for one `(analyst, dataset)` pair. Takes effect
@@ -150,6 +226,24 @@ impl BudgetLedger {
     /// cover the request and [`ServiceError::InvalidRequest`] for
     /// non-positive ε.
     pub fn reserve(&self, analyst: &str, dataset: &str, epsilon: f64) -> Result<Reservation> {
+        self.reserve_traced(analyst, dataset, epsilon, 0, None)
+    }
+
+    /// [`reserve`](BudgetLedger::reserve) with provenance: the trace id and
+    /// mechanism are carried into the reservation's audit events so the
+    /// whole reserve → commit/refund arc of one release links up. A trace
+    /// id of 0 means untraced.
+    ///
+    /// # Errors
+    /// Same contract as [`reserve`](BudgetLedger::reserve).
+    pub fn reserve_traced(
+        &self,
+        analyst: &str,
+        dataset: &str,
+        epsilon: f64,
+        trace: u64,
+        mechanism: Option<String>,
+    ) -> Result<Reservation> {
         if !epsilon.is_finite() || epsilon <= 0.0 {
             return Err(ServiceError::InvalidRequest(format!(
                 "epsilon must be positive, got {epsilon}"
@@ -164,14 +258,45 @@ impl BudgetLedger {
             .or_insert_with(|| BudgetAccountant::new(grant).expect("grant validated above"));
         match account.reserve(epsilon) {
             Ok(()) => {
-                Ok(Reservation { key, epsilon, inner: Arc::clone(&self.inner), resolved: false })
+                if let Some(telemetry) = &inner.telemetry {
+                    telemetry.audit().append(BudgetEvent::Reserved {
+                        seq: 0,
+                        analyst: key.0.clone(),
+                        dataset: key.1.clone(),
+                        epsilon,
+                        mechanism: mechanism.clone(),
+                        trace,
+                    });
+                }
+                inner.publish_gauges(&key);
+                Ok(Reservation {
+                    key,
+                    epsilon,
+                    inner: Arc::clone(&self.inner),
+                    resolved: false,
+                    trace,
+                    mechanism,
+                })
             }
-            Err(_) => Err(ServiceError::BudgetExhausted {
-                analyst: analyst.to_string(),
-                dataset: dataset.to_string(),
-                requested: epsilon,
-                remaining: account.remaining(),
-            }),
+            Err(_) => {
+                let remaining = account.remaining();
+                if let Some(telemetry) = &inner.telemetry {
+                    telemetry.audit().append(BudgetEvent::Refused {
+                        seq: 0,
+                        analyst: key.0.clone(),
+                        dataset: key.1.clone(),
+                        requested: epsilon,
+                        remaining,
+                        trace,
+                    });
+                }
+                Err(ServiceError::BudgetExhausted {
+                    analyst: analyst.to_string(),
+                    dataset: dataset.to_string(),
+                    requested: epsilon,
+                    remaining,
+                })
+            }
         }
     }
 
@@ -368,6 +493,116 @@ mod tests {
             Err(ServiceError::InvalidRequest(_))
         ));
         assert!(ledger.snapshot().is_empty());
+    }
+
+    /// The module-docs invariant: folding the audit log replays every
+    /// account, so `snapshot ≡ fold(audit events)` at any quiescent point.
+    #[test]
+    fn audit_log_replays_the_snapshot() {
+        let telemetry = Telemetry::new();
+        let ledger = BudgetLedger::new(1.0);
+        ledger.attach_telemetry(telemetry.clone());
+        let r = ledger
+            .reserve_traced("alice", "salary", 0.3, 7, Some("permute_and_flip".to_string()))
+            .unwrap();
+        ledger.commit(r);
+        let r = ledger.reserve("alice", "salary", 0.2).unwrap();
+        ledger.refund(r);
+        let r = ledger.reserve("bob", "salary", 0.6).unwrap();
+        ledger.commit_partial(r, 0.25);
+        assert!(ledger.reserve("alice", "salary", 0.9).is_err());
+
+        let accounts = telemetry.audit().fold();
+        let snapshot = ledger.snapshot();
+        assert_eq!(snapshot.len(), 2);
+        for entry in &snapshot {
+            let account = accounts
+                .get(&(entry.analyst.clone(), entry.dataset.clone()))
+                .expect("every ledger account has audit events");
+            assert!((account.committed - entry.spent).abs() < 1e-12);
+            assert!((account.outstanding() - entry.reserved).abs() < 1e-12);
+        }
+        // The refusal is on the record, stamped with its trace-less id.
+        let alice = accounts.get(&("alice".to_string(), "salary".to_string())).unwrap();
+        assert_eq!(alice.refusals, 1);
+        // Reserve and commit of the traced release share its trace id.
+        let events = telemetry.audit().events();
+        let linked: Vec<_> = events.iter().filter(|event| event.trace() == 7).collect();
+        assert_eq!(linked.len(), 2, "traced reserve + commit, got {linked:?}");
+        // Gauges reflect the final account state.
+        let labels = &[("analyst", "alice"), ("dataset", "salary")];
+        let registry = telemetry.registry();
+        let spent = registry.gauge("pcor_budget_spent_epsilon", labels).get();
+        let remaining = registry.gauge("pcor_budget_remaining_epsilon", labels).get();
+        assert!((spent - 0.3).abs() < 1e-12, "spent gauge {spent}");
+        assert!((remaining - 0.7).abs() < 1e-12, "remaining gauge {remaining}");
+    }
+
+    /// Any interleaving of reserve/commit/refund/partial/panic across
+    /// threads must leave the audit log balanced (zero ε outstanding), the
+    /// fold equal to the accountant's view, and the spent/remaining gauges
+    /// equal to the ledger's own answers.
+    #[test]
+    fn concurrent_interleavings_balance_the_audit_log_and_gauges() {
+        let telemetry = Telemetry::new();
+        let ledger = std::sync::Arc::new(BudgetLedger::new(4.0));
+        ledger.attach_telemetry(telemetry.clone());
+        std::thread::scope(|scope| {
+            for worker in 0u64..6 {
+                let ledger = std::sync::Arc::clone(&ledger);
+                scope.spawn(move || {
+                    for i in 0u64..30 {
+                        let trace = worker * 100 + i + 1;
+                        match ledger.reserve_traced("trent", "salary", 0.05, trace, None) {
+                            Ok(reservation) => match (worker + i) % 4 {
+                                0 => {
+                                    ledger.commit(reservation);
+                                }
+                                1 => {
+                                    ledger.refund(reservation);
+                                }
+                                2 => {
+                                    ledger.commit_partial(reservation, 0.02);
+                                }
+                                _ => {
+                                    // A panicking holder: the drop guard
+                                    // must refund and audit during unwind.
+                                    let outcome = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(move || {
+                                            let _held = reservation;
+                                            panic!("simulated worker death");
+                                        }),
+                                    );
+                                    assert!(outcome.is_err());
+                                }
+                            },
+                            Err(ServiceError::BudgetExhausted { .. }) => {}
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+        });
+        let accounts = telemetry.audit().fold();
+        let account = accounts.get(&("trent".to_string(), "salary".to_string())).unwrap();
+        assert!(
+            account.outstanding().abs() < 1e-9,
+            "audit log leaked ε: {}",
+            account.outstanding()
+        );
+        let spent = ledger.spent("trent", "salary");
+        let remaining = ledger.remaining("trent", "salary");
+        assert!((account.committed - spent).abs() < 1e-9, "fold disagrees with the accountant");
+        assert!((4.0 - spent - remaining).abs() < 1e-9, "ε vanished from the account");
+        let labels = &[("analyst", "trent"), ("dataset", "salary")];
+        let registry = telemetry.registry();
+        let spent_gauge = registry.gauge("pcor_budget_spent_epsilon", labels).get();
+        let remaining_gauge = registry.gauge("pcor_budget_remaining_epsilon", labels).get();
+        assert!((spent_gauge - spent).abs() < 1e-9, "spent gauge {spent_gauge} vs {spent}");
+        assert!(
+            (remaining_gauge - remaining).abs() < 1e-9,
+            "remaining gauge {remaining_gauge} vs {remaining}"
+        );
     }
 
     /// Many threads hammer one account; the number of successful commits

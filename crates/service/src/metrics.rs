@@ -19,6 +19,8 @@ pub struct ServerMetrics {
     verifier_lookups: AtomicU64,
     /// Verifier evaluation requests answered from the memo cache.
     verifier_cache_hits: AtomicU64,
+    /// Bitmap words scanned by fused population passes inside verifiers.
+    verifier_words_scanned: AtomicU64,
     /// Served releases drawn through the Exponential mechanism.
     exponential_releases: AtomicU64,
     /// Served releases drawn through permute-and-flip.
@@ -49,12 +51,20 @@ impl ServerMetrics {
     /// (single or batch): fresh `f_M` calls, total evaluation lookups and
     /// memo-cache hits, straight from the session's
     /// [`SessionStats`](pcor_core::SessionStats). Makes the incremental
-    /// engine's effect — evaluations per release and cache hit rate —
-    /// observable from the server side.
-    pub fn record_engine(&self, verification_calls: u64, lookups: u64, cache_hits: u64) {
+    /// engine's effect — evaluations per release, cache hit rate and the
+    /// bitmap words its fused passes actually scanned — observable from
+    /// the server side.
+    pub fn record_engine(
+        &self,
+        verification_calls: u64,
+        lookups: u64,
+        cache_hits: u64,
+        words_scanned: u64,
+    ) {
         self.verification_calls.fetch_add(verification_calls, Ordering::Relaxed);
         self.verifier_lookups.fetch_add(lookups, Ordering::Relaxed);
         self.verifier_cache_hits.fetch_add(cache_hits, Ordering::Relaxed);
+        self.verifier_words_scanned.fetch_add(words_scanned, Ordering::Relaxed);
     }
 
     /// Records which DP selection mechanism produced one served release
@@ -97,6 +107,7 @@ impl ServerMetrics {
             verification_calls: self.verification_calls.load(Ordering::Relaxed),
             verifier_lookups: self.verifier_lookups.load(Ordering::Relaxed),
             verifier_cache_hits: self.verifier_cache_hits.load(Ordering::Relaxed),
+            verifier_words_scanned: self.verifier_words_scanned.load(Ordering::Relaxed),
             mechanism_releases: MechanismTally {
                 exponential: self.exponential_releases.load(Ordering::Relaxed),
                 permute_and_flip: self.permute_and_flip_releases.load(Ordering::Relaxed),
@@ -127,6 +138,9 @@ pub struct ServerMetricsSnapshot {
     pub verifier_lookups: u64,
     /// Verifier evaluation requests answered from memo caches.
     pub verifier_cache_hits: u64,
+    /// Bitmap words scanned by the verifiers' fused population passes —
+    /// ×8 gives the bytes the verification hot loop actually touched.
+    pub verifier_words_scanned: u64,
     /// Served releases broken down by the selection mechanism that produced
     /// them.
     pub mechanism_releases: MechanismTally,
@@ -204,6 +218,7 @@ mod tests {
             tasks_executed: 7,
             tasks_stolen: 2,
             tasks_panicked: 0,
+            worker_parks: 5,
         };
         let snapshot = metrics.snapshot().with_pool(pool);
         assert_eq!(snapshot.served, 1);
@@ -236,12 +251,13 @@ mod tests {
         assert_eq!(empty.evaluations_per_release(), 0.0);
         metrics.record_served(Duration::from_millis(1));
         metrics.record_served(Duration::from_millis(1));
-        metrics.record_engine(30, 100, 70);
-        metrics.record_engine(10, 100, 90);
+        metrics.record_engine(30, 100, 70, 4096);
+        metrics.record_engine(10, 100, 90, 1024);
         let snapshot = metrics.snapshot();
         assert_eq!(snapshot.verification_calls, 40);
         assert_eq!(snapshot.verifier_lookups, 200);
         assert_eq!(snapshot.verifier_cache_hits, 160);
+        assert_eq!(snapshot.verifier_words_scanned, 5120);
         assert!((snapshot.verifier_cache_hit_rate() - 0.8).abs() < 1e-12);
         assert!((snapshot.evaluations_per_release() - 20.0).abs() < 1e-12);
     }

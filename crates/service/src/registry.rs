@@ -125,6 +125,10 @@ pub struct CacheStats {
     pub reference_misses: u64,
     /// Reference files currently cached.
     pub reference_len: usize,
+    /// Starting-context entries evicted by the GreedyDual policy.
+    pub evictions: u64,
+    /// Reference-file entries evicted by the GreedyDual policy.
+    pub reference_evictions: u64,
 }
 
 type StartKey = (String, usize, DetectorKind);
@@ -139,6 +143,8 @@ pub struct DatasetRegistry {
     misses: AtomicU64,
     reference_hits: AtomicU64,
     reference_misses: AtomicU64,
+    evictions: AtomicU64,
+    reference_evictions: AtomicU64,
     search_budget: usize,
 }
 
@@ -167,6 +173,8 @@ impl DatasetRegistry {
             misses: AtomicU64::new(0),
             reference_hits: AtomicU64::new(0),
             reference_misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            reference_evictions: AtomicU64::new(0),
             search_budget: DEFAULT_SEARCH_BUDGET,
         }
     }
@@ -257,11 +265,14 @@ impl DatasetRegistry {
         let context = find_starting_context(&mut verifier, self.search_budget)?;
         let cost = verifier.calls() as u64;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.starting_contexts.lock().expect("cache poisoned").insert_with_cost(
+        let evicted = self.starting_contexts.lock().expect("cache poisoned").insert_with_cost(
             key,
             context.clone(),
             cost,
         );
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         Ok((context, false))
     }
 
@@ -303,11 +314,14 @@ impl DatasetRegistry {
     ) {
         let key: StartKey = (dataset.to_string(), record_id, detector);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.starting_contexts.lock().expect("cache poisoned").insert_with_cost(
+        let evicted = self.starting_contexts.lock().expect("cache poisoned").insert_with_cost(
             key,
             context,
             discovery_cost,
         );
+        if evicted.is_some() {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// The reference file (`COE_M` enumeration) of `record_id` of `entry`'s
@@ -351,11 +365,14 @@ impl DatasetRegistry {
         );
         let cost = reference.contexts_examined as u64;
         self.reference_misses.fetch_add(1, Ordering::Relaxed);
-        self.reference_files.lock().expect("reference cache poisoned").insert_with_cost(
-            key,
-            Arc::clone(&reference),
-            cost,
-        );
+        let evicted = self
+            .reference_files
+            .lock()
+            .expect("reference cache poisoned")
+            .insert_with_cost(key, Arc::clone(&reference), cost);
+        if evicted.is_some() {
+            self.reference_evictions.fetch_add(1, Ordering::Relaxed);
+        }
         Ok((reference, false))
     }
 
@@ -368,6 +385,8 @@ impl DatasetRegistry {
             reference_hits: self.reference_hits.load(Ordering::Relaxed),
             reference_misses: self.reference_misses.load(Ordering::Relaxed),
             reference_len: self.reference_files.lock().expect("reference cache poisoned").len(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            reference_evictions: self.reference_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -492,6 +511,22 @@ mod tests {
         // A different detector is a different key.
         registry.reference_file(&entry, 0, DetectorKind::Iqr, 22).unwrap();
         assert_eq!(registry.cache_stats().reference_len, 2);
+    }
+
+    #[test]
+    fn greedy_dual_evictions_are_counted() {
+        let registry = DatasetRegistry::with_capacity(1);
+        let entry = registry.register("toy", toy_dataset());
+        let (context, _) = registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        assert_eq!(registry.cache_stats().evictions, 0);
+        // A second key against a capacity-1 LRU must evict the first.
+        registry.store_starting_context("toy", 1, DetectorKind::ZScore, context.clone(), 1);
+        assert_eq!(registry.cache_stats().evictions, 1);
+        // Replacing an existing key is an update, not an eviction.
+        registry.store_starting_context("toy", 1, DetectorKind::ZScore, context, 2);
+        let stats = registry.cache_stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.reference_evictions, 0);
     }
 
     #[test]

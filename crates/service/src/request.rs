@@ -234,6 +234,13 @@ pub struct RequestEnvelope {
     /// [`MIN_PROTOCOL_VERSION`]`..=`[`PROTOCOL_VERSION`] and refuses
     /// everything else.
     pub v: u16,
+    /// Optional client-supplied trace id for end-to-end observability: the
+    /// server adopts it as the release's `TraceId` (minting a fresh one
+    /// when absent), so a front end can correlate its own logs with the
+    /// server's spans and budget-audit events. Purely diagnostic — it never
+    /// influences the release — and absent from v1 envelopes, which
+    /// deserialize to `None`.
+    pub trace: Option<u64>,
     /// The request payload.
     pub body: RequestBody,
 }
@@ -241,12 +248,12 @@ pub struct RequestEnvelope {
 impl RequestEnvelope {
     /// Wraps a single-record request at the current protocol version.
     pub fn single(request: ReleaseRequest) -> Self {
-        RequestEnvelope { v: PROTOCOL_VERSION, body: RequestBody::Single(request) }
+        RequestEnvelope { v: PROTOCOL_VERSION, trace: None, body: RequestBody::Single(request) }
     }
 
     /// Wraps a batch request at the current protocol version.
     pub fn batch(batch: BatchReleaseRequest) -> Self {
-        RequestEnvelope { v: PROTOCOL_VERSION, body: RequestBody::Batch(batch) }
+        RequestEnvelope { v: PROTOCOL_VERSION, trace: None, body: RequestBody::Batch(batch) }
     }
 
     /// Re-stamps the envelope at an explicit protocol version (for clients
@@ -254,6 +261,14 @@ impl RequestEnvelope {
     #[must_use]
     pub fn at_version(mut self, v: u16) -> Self {
         self.v = v;
+        self
+    }
+
+    /// Attaches a client-chosen trace id (non-zero) the server will adopt
+    /// for this release's spans and audit events.
+    #[must_use]
+    pub fn with_trace(mut self, trace: u64) -> Self {
+        self.trace = Some(trace);
         self
     }
 

@@ -43,15 +43,16 @@
 
 use crate::ledger::BudgetLedger;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
-use crate::registry::DatasetRegistry;
+use crate::registry::{CacheStats, DatasetRegistry};
 use crate::request::{
     BatchItemResponse, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome, ItemRelease,
     ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseEnvelope,
 };
 use crate::{Result, ServiceError};
 use pcor_core::ReleaseSession;
-use pcor_dp::PopulationSizeUtility;
-use pcor_runtime::ThreadPool;
+use pcor_dp::{MechanismKind, PopulationSizeUtility};
+use pcor_runtime::{PoolStats, ThreadPool};
+use pcor_telemetry::{MetricsRegistry, SpanId, Telemetry, TraceId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
@@ -344,6 +345,7 @@ pub struct Server {
     registry: Arc<DatasetRegistry>,
     ledger: Arc<BudgetLedger>,
     metrics: Arc<ServerMetrics>,
+    telemetry: Telemetry,
     inflight: Arc<Inflight>,
     accepting: AtomicBool,
     queue_capacity: usize,
@@ -372,24 +374,122 @@ impl Server {
         registry: Arc<DatasetRegistry>,
         ledger: Arc<BudgetLedger>,
     ) -> Self {
+        let metrics = Arc::new(ServerMetrics::default());
+        let telemetry = Telemetry::new();
+        // From here on, every ε movement through the ledger lands in the
+        // bundle's audit log and refreshes the per-account gauges.
+        ledger.attach_telemetry(telemetry.clone());
+        // The server/pool/cache stat structs stay the programmatic API;
+        // a collector refreshes their gauge mirrors at each scrape, so one
+        // `render_prometheus()` shows the whole stack without a hot-path
+        // cost on the counters themselves.
+        {
+            let metrics = Arc::clone(&metrics);
+            let pool = Arc::clone(&pool);
+            let datasets = Arc::clone(&registry);
+            telemetry.register_collector(move |exporter| {
+                Self::publish_stats(
+                    exporter,
+                    &metrics.snapshot(),
+                    &pool.stats(),
+                    &datasets.cache_stats(),
+                );
+            });
+        }
         Server {
             pool,
             owns_pool: false,
             registry,
             ledger,
-            metrics: Arc::new(ServerMetrics::default()),
+            metrics,
+            telemetry,
             inflight: Inflight::new(),
             accepting: AtomicBool::new(true),
             queue_capacity: config.queue_capacity,
         }
     }
 
-    /// Serves one envelope end to end on the calling pool worker.
+    /// The stable Prometheus name of each mechanism, used as the
+    /// `mechanism` label value and in the budget audit log.
+    fn mechanism_name(mechanism: MechanismKind) -> &'static str {
+        match mechanism {
+            MechanismKind::Exponential => "exponential",
+            MechanismKind::PermuteAndFlip => "permute_and_flip",
+            MechanismKind::ReportNoisyMax => "report_noisy_max",
+        }
+    }
+
+    /// Mirrors the three snapshot structs into the metrics registry under
+    /// the stable `pcor_*` names the README documents. Runs at scrape time
+    /// (via the collector registered in [`Server::start_with_pool`]).
+    fn publish_stats(
+        exporter: &MetricsRegistry,
+        server: &ServerMetricsSnapshot,
+        pool: &PoolStats,
+        cache: &CacheStats,
+    ) {
+        for (name, help) in [
+            ("pcor_releases_served", "Releases answered successfully."),
+            ("pcor_releases_refused", "Releases refused for insufficient budget."),
+            ("pcor_release_mean_latency_seconds", "Mean end-to-end release latency."),
+            ("pcor_verifier_bytes_scanned", "Bitmap bytes the fused verification passes touched."),
+            ("pcor_mechanism_releases", "Releases per DP selection mechanism."),
+            ("pcor_cache_evictions", "Entries evicted by the GreedyDual policy."),
+            ("pcor_budget_spent_epsilon", "Epsilon permanently committed per analyst/dataset."),
+            ("pcor_budget_remaining_epsilon", "Epsilon still available per analyst/dataset."),
+        ] {
+            exporter.set_help(name, help);
+        }
+        let set = |name: &str, value: f64| exporter.gauge(name, &[]).set(value);
+        set("pcor_releases_served", server.served as f64);
+        set("pcor_releases_refused", server.refused as f64);
+        set("pcor_releases_failed", server.failed as f64);
+        set("pcor_release_mean_latency_seconds", server.mean_latency.as_secs_f64());
+        set("pcor_verifier_calls", server.verification_calls as f64);
+        set("pcor_verifier_lookups", server.verifier_lookups as f64);
+        set("pcor_verifier_cache_hits", server.verifier_cache_hits as f64);
+        set("pcor_verifier_words_scanned", server.verifier_words_scanned as f64);
+        set("pcor_verifier_bytes_scanned", (server.verifier_words_scanned * 8) as f64);
+        let tally = server.mechanism_releases;
+        for (mechanism, count) in [
+            ("exponential", tally.exponential),
+            ("permute_and_flip", tally.permute_and_flip),
+            ("report_noisy_max", tally.report_noisy_max),
+        ] {
+            exporter
+                .gauge("pcor_mechanism_releases", &[("mechanism", mechanism)])
+                .set(count as f64);
+        }
+        set("pcor_pool_workers", pool.workers as f64);
+        set("pcor_pool_queue_depth", pool.queue_depth as f64);
+        set("pcor_pool_tasks_submitted", pool.tasks_submitted as f64);
+        set("pcor_pool_tasks_executed", pool.tasks_executed as f64);
+        set("pcor_pool_tasks_stolen", pool.tasks_stolen as f64);
+        set("pcor_pool_tasks_panicked", pool.tasks_panicked as f64);
+        set("pcor_pool_worker_parks", pool.worker_parks as f64);
+        for (name, starting, reference) in [
+            ("pcor_cache_hits", cache.hits, cache.reference_hits),
+            ("pcor_cache_misses", cache.misses, cache.reference_misses),
+            ("pcor_cache_entries", cache.len as u64, cache.reference_len as u64),
+            ("pcor_cache_evictions", cache.evictions, cache.reference_evictions),
+        ] {
+            exporter.gauge(name, &[("cache", "starting_context")]).set(starting as f64);
+            exporter.gauge(name, &[("cache", "reference_file")]).set(reference as f64);
+        }
+    }
+
+    /// Serves one envelope end to end on the calling pool worker. `trace`
+    /// and `parent` (the root "server" span) thread causality down into the
+    /// ledger, session and verifier spans.
+    #[allow(clippy::too_many_arguments)]
     fn handle_envelope(
         registry: &DatasetRegistry,
         ledger: &BudgetLedger,
         metrics: &ServerMetrics,
         pool: &Arc<ThreadPool>,
+        telemetry: &Telemetry,
+        trace: TraceId,
+        parent: SpanId,
         envelope: RequestEnvelope,
         enqueued: Instant,
     ) -> Result<ResponseEnvelope> {
@@ -399,16 +499,28 @@ impl Server {
         // pinned to v1 never receives a response stamped v2.
         let v = envelope.v;
         match envelope.body {
-            RequestBody::Single(request) => {
-                Self::handle(worker_index, registry, ledger, metrics, pool, request, enqueued)
-                    .map(|response| ResponseEnvelope::single(response).at_version(v))
-            }
+            RequestBody::Single(request) => Self::handle(
+                worker_index,
+                registry,
+                ledger,
+                metrics,
+                pool,
+                telemetry,
+                trace,
+                parent,
+                request,
+                enqueued,
+            )
+            .map(|response| ResponseEnvelope::single(response).at_version(v)),
             RequestBody::Batch(batch) => Self::handle_batch(
                 worker_index,
                 registry,
                 ledger,
                 metrics,
                 pool,
+                telemetry,
+                trace,
+                parent,
                 batch,
                 enqueued,
                 |_| true,
@@ -430,6 +542,9 @@ impl Server {
         ledger: &BudgetLedger,
         metrics: &ServerMetrics,
         pool: &Arc<ThreadPool>,
+        telemetry: &Telemetry,
+        trace: TraceId,
+        parent: SpanId,
         batch: BatchReleaseRequest,
         enqueued: Instant,
         mut sink: impl FnMut(&BatchItemResponse) -> bool,
@@ -452,7 +567,18 @@ impl Server {
         // Phase 1: one reservation for the summed ε. A batch the analyst's
         // remaining budget cannot cover is refused whole, before any work.
         let total_epsilon = batch.total_epsilon();
-        let reservation = match ledger.reserve(&batch.analyst, &batch.dataset, total_epsilon) {
+        let mechanism = Self::mechanism_name(batch.mechanism.unwrap_or(MechanismKind::Exponential));
+        let reserve_outcome = {
+            let _reserve_span = telemetry.span(trace, Some(parent), "ledger.reserve");
+            ledger.reserve_traced(
+                &batch.analyst,
+                &batch.dataset,
+                total_epsilon,
+                trace.0,
+                Some(mechanism.to_string()),
+            )
+        };
+        let reservation = match reserve_outcome {
             Ok(reservation) => reservation,
             Err(err) => {
                 if matches!(err, ServiceError::BudgetExhausted { .. }) {
@@ -469,6 +595,7 @@ impl Server {
         let utility = PopulationSizeUtility;
         let mut session = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
             .pool(Arc::clone(pool))
+            .trace_context(telemetry.clone(), trace, Some(parent))
             .build();
         let needs_start = batch.algorithm.needs_starting_context();
 
@@ -568,6 +695,7 @@ impl Server {
             session_stats.verification_calls as u64,
             session_stats.cache_lookups as u64,
             session_stats.cache_hits as u64,
+            session_stats.words_scanned,
         );
         Ok(BatchReleaseResponse {
             analyst: batch.analyst,
@@ -584,12 +712,16 @@ impl Server {
 
     /// Serves one single-record request end to end on the calling pool
     /// worker.
+    #[allow(clippy::too_many_arguments)]
     fn handle(
         worker_index: usize,
         registry: &DatasetRegistry,
         ledger: &BudgetLedger,
         metrics: &ServerMetrics,
         pool: &Arc<ThreadPool>,
+        telemetry: &Telemetry,
+        trace: TraceId,
+        parent: SpanId,
         request: ReleaseRequest,
         enqueued: Instant,
     ) -> Result<ReleaseResponse> {
@@ -606,8 +738,19 @@ impl Server {
         // Phase 1: hold the budget before doing any work. Refusals are the
         // hard guarantee of the service: once an analyst's ε is gone, the
         // server answers nothing more about that dataset.
-        let reservation = match ledger.reserve(&request.analyst, &request.dataset, request.epsilon)
-        {
+        let mechanism =
+            Self::mechanism_name(request.mechanism.unwrap_or(MechanismKind::Exponential));
+        let reserve_outcome = {
+            let _reserve_span = telemetry.span(trace, Some(parent), "ledger.reserve");
+            ledger.reserve_traced(
+                &request.analyst,
+                &request.dataset,
+                request.epsilon,
+                trace.0,
+                Some(mechanism.to_string()),
+            )
+        };
+        let reservation = match reserve_outcome {
             Ok(reservation) => reservation,
             Err(err) => {
                 if matches!(err, ServiceError::BudgetExhausted { .. }) {
@@ -626,6 +769,7 @@ impl Server {
         let utility = PopulationSizeUtility;
         let mut session = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
             .pool(Arc::clone(pool))
+            .trace_context(telemetry.clone(), trace, Some(parent))
             .build();
         let cache_hit = match registry.cached_starting_context(
             &request.dataset,
@@ -663,6 +807,7 @@ impl Server {
             session_stats.verification_calls as u64,
             session_stats.cache_lookups as u64,
             session_stats.cache_hits as u64,
+            session_stats.words_scanned,
         );
         // Publish a freshly discovered starting context whether or not the
         // release itself succeeded: the search result is valid and
@@ -722,13 +867,26 @@ impl Server {
         let ledger = Arc::clone(&self.ledger);
         let metrics = Arc::clone(&self.metrics);
         let pool = Arc::clone(&self.pool);
+        let telemetry = self.telemetry.clone();
+        // Adopt the client's trace id when the envelope carries one (0 is
+        // reserved for "absent"); mint a fresh one otherwise.
+        let trace = match envelope.trace {
+            Some(id) if id != 0 => TraceId(id),
+            _ => TraceId::next(),
+        };
         let enqueued = Instant::now();
         self.pool.spawn(move || {
             // The slot lives for the task's duration; its drop (panic
             // included) releases capacity and wakes blocked submitters.
             let _slot = slot;
-            let outcome =
-                Self::handle_envelope(&registry, &ledger, &metrics, &pool, envelope, enqueued);
+            // The root span covers the whole serving task; queue wait is
+            // visible as the gap between `enqueued` and the span start.
+            let server_span = telemetry.span(trace, None, "server");
+            let parent = server_span.id();
+            let outcome = Self::handle_envelope(
+                &registry, &ledger, &metrics, &pool, &telemetry, trace, parent, envelope, enqueued,
+            );
+            server_span.finish();
             // A dropped handle is fine; ignore send errors.
             let _ = reply.send(outcome);
         });
@@ -830,21 +988,29 @@ impl Server {
         let ledger = Arc::clone(&self.ledger);
         let metrics = Arc::clone(&self.metrics);
         let pool = Arc::clone(&self.pool);
+        let telemetry = self.telemetry.clone();
+        let trace = TraceId::next();
         let enqueued = Instant::now();
         self.pool.spawn(move || {
             let _slot = slot;
             let worker_index = pool.current_worker().unwrap_or(0);
             let item_events = events.clone();
+            let server_span = telemetry.span(trace, None, "server");
+            let parent = server_span.id();
             let summary = Self::handle_batch(
                 worker_index,
                 &registry,
                 &ledger,
                 &metrics,
                 &pool,
+                &telemetry,
+                trace,
+                parent,
                 batch,
                 enqueued,
                 move |item| item_events.send(StreamEvent::Item(item.clone())).is_ok(),
             );
+            server_span.finish();
             let _ = events.send(StreamEvent::Done(summary));
         });
         Ok(BatchStream { receiver, buffered: VecDeque::new(), done: None })
@@ -886,6 +1052,14 @@ impl Server {
     /// A snapshot of the server counters, pool health included.
     pub fn metrics(&self) -> ServerMetricsSnapshot {
         self.metrics.snapshot().with_pool(self.pool.stats())
+    }
+
+    /// The server's observability bundle: the metrics registry (scrape it
+    /// with [`Telemetry::render_prometheus`]), the span ring buffer and the
+    /// privacy-budget audit log, all aggregated across every layer a
+    /// release touches.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Stops accepting requests, waits for everything in flight to resolve

@@ -1,0 +1,322 @@
+//! The privacy-budget audit log: an append-only, serializable record of
+//! every ε movement in the system.
+//!
+//! Every ledger operation appends one [`BudgetEvent`] carrying the analyst,
+//! dataset, the ε involved, the mechanism (when known), the release's trace
+//! id and a **logical clock** (`seq`). The emitting ledger appends while
+//! holding its account lock, so the logical clock is consistent with the
+//! accountant's own operation order: replaying the events in `seq` order
+//! reproduces every account's `spent`/`reserved` state exactly — the
+//! [`AuditLog::fold`] invariant the service tests assert, and the property
+//! that makes this log the precursor of the ROADMAP's write-ahead ledger
+//! (a WAL replays the same stream from disk instead of memory).
+//!
+//! Balance invariant: for every trace, the reserved ε equals the committed
+//! plus refunded ε once the release resolves — ε can move between `spent`
+//! and `remaining`, never leak.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One ε movement in the budget ledger.
+///
+/// `seq` is the log's logical clock: strictly increasing, assigned under
+/// the emitting ledger's account lock, so event order == accountant
+/// operation order. `trace` links the event to the release's trace (0 when
+/// the operation ran outside a traced request).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BudgetEvent {
+    /// ε was held for an in-flight release (phase 1).
+    Reserved {
+        /// Logical clock of the append.
+        seq: u64,
+        /// The analyst principal.
+        analyst: String,
+        /// The dataset the budget applies to.
+        dataset: String,
+        /// The held ε.
+        epsilon: f64,
+        /// The DP mechanism of the release, when known at reserve time.
+        mechanism: Option<String>,
+        /// The release's trace id (0 = untraced).
+        trace: u64,
+    },
+    /// Held ε became a permanent spend (phase 2, success).
+    Committed {
+        /// Logical clock of the append.
+        seq: u64,
+        /// The analyst principal.
+        analyst: String,
+        /// The dataset the budget applies to.
+        dataset: String,
+        /// The committed ε.
+        epsilon: f64,
+        /// The DP mechanism that consumed the ε, when known.
+        mechanism: Option<String>,
+        /// The release's trace id (0 = untraced).
+        trace: u64,
+    },
+    /// Held ε returned to the account (phase 2, failure / cancellation /
+    /// panic-refund via the drop guard).
+    Refunded {
+        /// Logical clock of the append.
+        seq: u64,
+        /// The analyst principal.
+        analyst: String,
+        /// The dataset the budget applies to.
+        dataset: String,
+        /// The refunded ε.
+        epsilon: f64,
+        /// The release's trace id (0 = untraced).
+        trace: u64,
+    },
+    /// A reservation was refused: the account could not cover the request.
+    /// No ε moved.
+    Refused {
+        /// Logical clock of the append.
+        seq: u64,
+        /// The analyst principal.
+        analyst: String,
+        /// The dataset the budget applies to.
+        dataset: String,
+        /// The ε the request asked for.
+        requested: f64,
+        /// The ε that was actually available.
+        remaining: f64,
+        /// The release's trace id (0 = untraced).
+        trace: u64,
+    },
+}
+
+impl BudgetEvent {
+    /// The event's logical clock.
+    pub fn seq(&self) -> u64 {
+        match self {
+            BudgetEvent::Reserved { seq, .. }
+            | BudgetEvent::Committed { seq, .. }
+            | BudgetEvent::Refunded { seq, .. }
+            | BudgetEvent::Refused { seq, .. } => *seq,
+        }
+    }
+
+    /// The `(analyst, dataset)` account the event touches.
+    pub fn account(&self) -> (&str, &str) {
+        match self {
+            BudgetEvent::Reserved { analyst, dataset, .. }
+            | BudgetEvent::Committed { analyst, dataset, .. }
+            | BudgetEvent::Refunded { analyst, dataset, .. }
+            | BudgetEvent::Refused { analyst, dataset, .. } => (analyst, dataset),
+        }
+    }
+
+    /// The event's trace id (0 = untraced).
+    pub fn trace(&self) -> u64 {
+        match self {
+            BudgetEvent::Reserved { trace, .. }
+            | BudgetEvent::Committed { trace, .. }
+            | BudgetEvent::Refunded { trace, .. }
+            | BudgetEvent::Refused { trace, .. } => *trace,
+        }
+    }
+}
+
+/// The replayed state of one `(analyst, dataset)` account, produced by
+/// [`AuditLog::fold`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AuditAccount {
+    /// ε committed (a permanent spend).
+    pub committed: f64,
+    /// ε refunded back to the account.
+    pub refunded: f64,
+    /// ε reserved over the account's lifetime (gross, not outstanding).
+    pub reserved: f64,
+    /// Reservations refused.
+    pub refusals: u64,
+}
+
+impl AuditAccount {
+    /// ε currently held by unresolved reservations:
+    /// `reserved − committed − refunded`.
+    pub fn outstanding(&self) -> f64 {
+        self.reserved - self.committed - self.refunded
+    }
+}
+
+/// The append-only budget audit log.
+///
+/// Appends assign the logical clock atomically and push under a short
+/// mutex; reads copy. The log is bounded only by memory — a serving
+/// deployment would periodically drain it to durable storage (the WAL the
+/// ROADMAP plans); tests and examples read it in place.
+#[derive(Debug, Default)]
+pub struct AuditLog {
+    clock: AtomicU64,
+    events: Mutex<Vec<BudgetEvent>>,
+}
+
+impl AuditLog {
+    /// Creates an empty log with the logical clock at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The next logical-clock value (what the next append will be stamped
+    /// with). Exposed so a ledger snapshot can record *as of which event*
+    /// it was taken.
+    pub fn clock(&self) -> u64 {
+        self.clock.load(Ordering::SeqCst)
+    }
+
+    /// Stamps `event`'s `seq` with the next logical clock and appends it.
+    /// Returns the assigned seq.
+    ///
+    /// Callers that need event order to match an external lock order (the
+    /// budget ledger does) must call this while holding that lock.
+    pub fn append(&self, mut event: BudgetEvent) -> u64 {
+        let seq = self.clock.fetch_add(1, Ordering::SeqCst);
+        match &mut event {
+            BudgetEvent::Reserved { seq: s, .. }
+            | BudgetEvent::Committed { seq: s, .. }
+            | BudgetEvent::Refunded { seq: s, .. }
+            | BudgetEvent::Refused { seq: s, .. } => *s = seq,
+        }
+        self.events.lock().expect("audit log poisoned").push(event);
+        seq
+    }
+
+    /// Number of events in the log.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("audit log poisoned").len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of every event, in append (= logical clock) order.
+    pub fn events(&self) -> Vec<BudgetEvent> {
+        self.events.lock().expect("audit log poisoned").clone()
+    }
+
+    /// Replays the log into per-account state — the fold the ledger
+    /// snapshot is asserted against.
+    pub fn fold(&self) -> BTreeMap<(String, String), AuditAccount> {
+        let events = self.events.lock().expect("audit log poisoned");
+        let mut accounts: BTreeMap<(String, String), AuditAccount> = BTreeMap::new();
+        for event in events.iter() {
+            let (analyst, dataset) = event.account();
+            let account = accounts.entry((analyst.to_string(), dataset.to_string())).or_default();
+            match event {
+                BudgetEvent::Reserved { epsilon, .. } => account.reserved += epsilon,
+                BudgetEvent::Committed { epsilon, .. } => account.committed += epsilon,
+                BudgetEvent::Refunded { epsilon, .. } => account.refunded += epsilon,
+                BudgetEvent::Refused { .. } => account.refusals += 1,
+            }
+        }
+        accounts
+    }
+
+    /// Serializes every event as a JSON array — the WAL-precursor dump.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.events()).expect("audit events serialize infallibly")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reserved(analyst: &str, epsilon: f64, trace: u64) -> BudgetEvent {
+        BudgetEvent::Reserved {
+            seq: 0,
+            analyst: analyst.into(),
+            dataset: "d".into(),
+            epsilon,
+            mechanism: Some("Exponential".into()),
+            trace,
+        }
+    }
+
+    #[test]
+    fn appends_assign_a_strictly_increasing_logical_clock() {
+        let log = AuditLog::new();
+        let a = log.append(reserved("alice", 0.2, 7));
+        let b = log.append(BudgetEvent::Committed {
+            seq: 99, // overwritten by append
+            analyst: "alice".into(),
+            dataset: "d".into(),
+            epsilon: 0.2,
+            mechanism: None,
+            trace: 7,
+        });
+        assert!(b > a);
+        let events = log.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq(), a);
+        assert_eq!(events[1].seq(), b);
+        assert_eq!(log.clock(), 2);
+        assert_eq!(events[0].trace(), 7);
+        assert_eq!(events[0].account(), ("alice", "d"));
+    }
+
+    #[test]
+    fn fold_replays_reserve_commit_refund_into_balances() {
+        let log = AuditLog::new();
+        log.append(reserved("alice", 0.6, 1));
+        log.append(BudgetEvent::Committed {
+            seq: 0,
+            analyst: "alice".into(),
+            dataset: "d".into(),
+            epsilon: 0.4,
+            mechanism: Some("PermuteAndFlip".into()),
+            trace: 1,
+        });
+        log.append(BudgetEvent::Refunded {
+            seq: 0,
+            analyst: "alice".into(),
+            dataset: "d".into(),
+            epsilon: 0.2,
+            trace: 1,
+        });
+        log.append(BudgetEvent::Refused {
+            seq: 0,
+            analyst: "bob".into(),
+            dataset: "d".into(),
+            requested: 0.5,
+            remaining: 0.1,
+            trace: 2,
+        });
+        let folded = log.fold();
+        let alice = folded[&("alice".to_string(), "d".to_string())];
+        assert!((alice.reserved - 0.6).abs() < 1e-12);
+        assert!((alice.committed - 0.4).abs() < 1e-12);
+        assert!((alice.refunded - 0.2).abs() < 1e-12);
+        assert!(alice.outstanding().abs() < 1e-12, "resolved traces leak no ε");
+        let bob = folded[&("bob".to_string(), "d".to_string())];
+        assert_eq!(bob.refusals, 1);
+        assert_eq!(bob.outstanding(), 0.0);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let log = AuditLog::new();
+        log.append(reserved("alice", 0.25, 42));
+        log.append(BudgetEvent::Refused {
+            seq: 0,
+            analyst: "eve".into(),
+            dataset: "d".into(),
+            requested: 1.0,
+            remaining: 0.0,
+            trace: 0,
+        });
+        let json = log.to_json();
+        let back: Vec<BudgetEvent> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, log.events());
+        assert!(json.contains("Reserved"));
+        assert!(json.contains("Refused"));
+        assert!(json.contains("Exponential"));
+    }
+}

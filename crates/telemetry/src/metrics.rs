@@ -1,0 +1,503 @@
+//! The metrics registry: atomic counters, gauges and log-linear histograms
+//! behind stable series names, with Prometheus-text and JSON export.
+//!
+//! Design goals, in order:
+//!
+//! 1. **Allocation-free hot path.** Recording into a counter, gauge or
+//!    histogram is one (histograms: three) relaxed atomic RMW — no locks,
+//!    no allocation, no formatting. Callers obtain an `Arc` handle once
+//!    (registration takes a short mutex) and hammer the atomics thereafter.
+//! 2. **Stable names.** Every series is a `name{label="value",…}` pair in
+//!    the Prometheus data model; the scrape surface is the contract, not
+//!    the Rust structs behind it (which this registry absorbs).
+//! 3. **Offline.** The exposition format is hand-rolled text; the JSON
+//!    snapshot goes through the vendored `serde` value tree.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge holding an arbitrary `f64` (stored as IEEE-754 bits in one
+/// atomic, so reads and writes are lock-free and tear-free).
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: AtomicU64::new(0f64.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Sub-bucket resolution of the log-linear histogram: each power of two is
+/// split into `2^SUB_BITS` linear sub-buckets (HdrHistogram's layout at low
+/// precision). 8 sub-buckets keep the quantile error under ~12.5% while the
+/// whole `u64` range fits in [`Histogram::BUCKETS`] fixed slots.
+const SUB_BITS: u32 = 3;
+const SUB_COUNT: u64 = 1 << SUB_BITS;
+
+/// A fixed-bucket log-linear histogram of `u64` observations (latencies in
+/// nanoseconds, sizes in bytes, …).
+///
+/// Recording is allocation-free and lock-free: one bucket increment plus a
+/// count and sum update, all relaxed atomics. Quantiles are estimated from
+/// the bucket upper bounds (log-linear layout ⇒ relative error bounded by
+/// the sub-bucket width, ~12.5%).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// Number of fixed buckets covering the full `u64` range.
+    pub const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB_COUNT as usize;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..Self::BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The bucket index of `value`: values below `SUB_COUNT` map linearly,
+    /// larger values keep `SUB_BITS` bits of mantissa below their leading
+    /// bit.
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_COUNT {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros(); // >= SUB_BITS
+        let shift = msb - SUB_BITS;
+        let sub = ((value >> shift) & (SUB_COUNT - 1)) as usize;
+        (((msb - SUB_BITS + 1) as usize) << SUB_BITS as usize) + sub
+    }
+
+    /// The exclusive upper bound of bucket `index` (the `le` edge reported
+    /// to Prometheus).
+    fn bucket_upper(index: usize) -> u64 {
+        if index < SUB_COUNT as usize {
+            return index as u64;
+        }
+        let octave = ((index >> SUB_BITS as usize) as u32) - 1 + SUB_BITS;
+        let sub = (index & (SUB_COUNT as usize - 1)) as u64;
+        let shift = octave - SUB_BITS;
+        ((1u64 << SUB_BITS) | sub)
+            .checked_shl(shift)
+            .map(|base| base.saturating_add((1u64 << shift) - 1))
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    pub fn record_duration(&self, value: Duration) {
+        self.record(value.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The estimated value at quantile `q ∈ [0, 1]` (upper bound of the
+    /// containing bucket; `0` for an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (index, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_upper(index);
+            }
+        }
+        u64::MAX
+    }
+
+    /// `(count, upper bound)` of every non-empty bucket, in ascending
+    /// bucket order — the raw material for exposition.
+    fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(index, bucket)| {
+                let count = bucket.load(Ordering::Relaxed);
+                (count > 0).then(|| (count, Self::bucket_upper(index)))
+            })
+            .collect()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One registered series: a metric name plus its sorted label set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct SeriesKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        labels.sort();
+        SeriesKey { name: name.to_string(), labels }
+    }
+
+    /// Renders `name{label="value",…}` (bare name when unlabeled).
+    fn render(&self, extra: Option<(&str, &str)>) -> String {
+        let mut parts: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        if let Some((k, v)) = extra {
+            parts.push(format!("{k}=\"{v}\""));
+        }
+        if parts.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, parts.join(","))
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    series: BTreeMap<SeriesKey, Series>,
+    help: BTreeMap<String, &'static str>,
+}
+
+/// The process-wide metrics registry: named counters, gauges and
+/// histograms, each identified by `(name, labels)`.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a short mutex and
+/// returns an `Arc` handle; callers cache the handle so the hot path never
+/// touches the registry again. Re-registering the same `(name, labels)`
+/// returns the existing series, so any layer can idempotently claim its
+/// metrics.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or creates the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the series already exists with a different metric type.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = SeriesKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Counter(Arc::new(Counter::default())))
+        {
+            Series::Counter(counter) => Arc::clone(counter),
+            other => panic!("series `{name}` already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the series already exists with a different metric type.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = SeriesKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner.series.entry(key).or_insert_with(|| Series::Gauge(Arc::new(Gauge::default()))) {
+            Series::Gauge(gauge) => Arc::clone(gauge),
+            other => panic!("series `{name}` already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the series already exists with a different metric type.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = SeriesKey::new(name, labels);
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        match inner
+            .series
+            .entry(key)
+            .or_insert_with(|| Series::Histogram(Arc::new(Histogram::new())))
+        {
+            Series::Histogram(histogram) => Arc::clone(histogram),
+            other => panic!("series `{name}` already registered as {other:?}"),
+        }
+    }
+
+    /// Attaches `# HELP` text to a metric name (shared by all its series).
+    pub fn set_help(&self, name: &str, help: &'static str) {
+        let mut inner = self.inner.lock().expect("metrics registry poisoned");
+        inner.help.insert(name.to_string(), help);
+    }
+
+    /// Whether a series with this exact `(name, labels)` exists.
+    pub fn contains(&self, name: &str, labels: &[(&str, &str)]) -> bool {
+        let key = SeriesKey::new(name, labels);
+        self.inner.lock().expect("metrics registry poisoned").series.contains_key(&key)
+    }
+
+    /// Renders every series in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` headers per metric name,
+    /// `name{labels} value` samples, histograms as cumulative `_bucket`
+    /// series plus `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut out = String::new();
+        let mut last_name: Option<&str> = None;
+        for (key, series) in &inner.series {
+            if last_name != Some(key.name.as_str()) {
+                last_name = Some(key.name.as_str());
+                if let Some(help) = inner.help.get(&key.name) {
+                    out.push_str(&format!("# HELP {} {help}\n", key.name));
+                }
+                let kind = match series {
+                    Series::Counter(_) => "counter",
+                    Series::Gauge(_) => "gauge",
+                    Series::Histogram(_) => "histogram",
+                };
+                out.push_str(&format!("# TYPE {} {kind}\n", key.name));
+            }
+            match series {
+                Series::Counter(counter) => {
+                    out.push_str(&format!("{} {}\n", key.render(None), counter.get()));
+                }
+                Series::Gauge(gauge) => {
+                    out.push_str(&format!("{} {}\n", key.render(None), gauge.get()));
+                }
+                Series::Histogram(histogram) => {
+                    let bucket_key = SeriesKey {
+                        name: format!("{}_bucket", key.name),
+                        labels: key.labels.clone(),
+                    };
+                    let mut cumulative = 0u64;
+                    for (count, upper) in histogram.nonzero_buckets() {
+                        cumulative += count;
+                        let le = upper.to_string();
+                        out.push_str(&format!(
+                            "{} {cumulative}\n",
+                            bucket_key.render(Some(("le", &le)))
+                        ));
+                    }
+                    out.push_str(&format!(
+                        "{} {}\n",
+                        bucket_key.render(Some(("le", "+Inf"))),
+                        histogram.count()
+                    ));
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        key.name,
+                        key.render(None).trim_start_matches(&key.name),
+                        histogram.sum()
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        key.name,
+                        key.render(None).trim_start_matches(&key.name),
+                        histogram.count()
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// A JSON snapshot of every series: counters and gauges by value,
+    /// histograms as `{count, sum, p50, p95, p99}`.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.lock().expect("metrics registry poisoned");
+        let mut entries: Vec<(String, serde::Value)> = Vec::new();
+        for (key, series) in &inner.series {
+            let value = match series {
+                Series::Counter(counter) => serde::Value::UInt(counter.get()),
+                Series::Gauge(gauge) => serde::Value::Float(gauge.get()),
+                Series::Histogram(histogram) => serde::Value::Object(vec![
+                    ("count".to_string(), serde::Value::UInt(histogram.count())),
+                    ("sum".to_string(), serde::Value::UInt(histogram.sum())),
+                    ("p50".to_string(), serde::Value::UInt(histogram.quantile(0.50))),
+                    ("p95".to_string(), serde::Value::UInt(histogram.quantile(0.95))),
+                    ("p99".to_string(), serde::Value::UInt(histogram.quantile(0.99))),
+                ]),
+            };
+            entries.push((key.render(None), value));
+        }
+        serde_json::to_string_pretty(&serde::Value::Object(entries))
+            .expect("metric snapshot serialization is infallible")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_register_and_accumulate() {
+        let registry = MetricsRegistry::new();
+        let c = registry.counter("pcor_test_total", &[("kind", "a")]);
+        c.inc();
+        c.add(4);
+        // Re-registration returns the same series.
+        assert_eq!(registry.counter("pcor_test_total", &[("kind", "a")]).get(), 5);
+        let g = registry.gauge("pcor_test_gauge", &[]);
+        g.set(2.5);
+        assert_eq!(registry.gauge("pcor_test_gauge", &[]).get(), 2.5);
+        assert!(registry.contains("pcor_test_total", &[("kind", "a")]));
+        assert!(!registry.contains("pcor_test_total", &[("kind", "b")]));
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_cover_u64() {
+        // Every value lands in a bucket whose bounds contain it, and bucket
+        // upper bounds are non-decreasing in the index.
+        let probes = [0u64, 1, 7, 8, 9, 100, 1_000, 1 << 20, (1 << 40) + 12345, u64::MAX];
+        for &v in &probes {
+            let index = Histogram::bucket_index(v);
+            assert!(index < Histogram::BUCKETS, "index {index} out of range for {v}");
+            assert!(Histogram::bucket_upper(index) >= v, "upper bound must cover {v}");
+            if index > 0 {
+                assert!(Histogram::bucket_upper(index - 1) < v, "lower bucket must not cover {v}");
+            }
+        }
+        let mut last = 0u64;
+        for index in 0..Histogram::BUCKETS {
+            let upper = Histogram::bucket_upper(index);
+            assert!(upper >= last, "bucket bounds must be monotone at {index}");
+            last = upper;
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_are_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let (p50, p95, p99) = (h.quantile(0.5), h.quantile(0.95), h.quantile(0.99));
+        assert!((400..=600).contains(&p50), "p50 = {p50}");
+        assert!((850..=1100).contains(&p95), "p95 = {p95}");
+        assert!(p99 >= p95 && p99 <= 1200, "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+    }
+
+    #[test]
+    fn prometheus_rendering_is_parseable() {
+        let registry = MetricsRegistry::new();
+        registry.set_help("pcor_requests_total", "Requests by outcome.");
+        registry.counter("pcor_requests_total", &[("outcome", "served")]).add(3);
+        registry.gauge("pcor_budget_remaining_epsilon", &[("analyst", "alice")]).set(0.8);
+        let h = registry.histogram("pcor_request_latency_nanos", &[("kind", "single")]);
+        h.record(1_000);
+        h.record(2_000);
+        let text = registry.render_prometheus();
+        assert!(text.contains("# HELP pcor_requests_total Requests by outcome."));
+        assert!(text.contains("# TYPE pcor_requests_total counter"));
+        assert!(text.contains("pcor_requests_total{outcome=\"served\"} 3"));
+        assert!(text.contains("pcor_budget_remaining_epsilon{analyst=\"alice\"} 0.8"));
+        assert!(text.contains("pcor_request_latency_nanos_count{kind=\"single\"} 2"));
+        assert!(text.contains("pcor_request_latency_nanos_sum{kind=\"single\"} 3000"));
+        assert!(text.contains("le=\"+Inf\"} 2"));
+        // Every sample line is `name_or_labels value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("sample lines have a value");
+            assert!(!series.is_empty());
+            assert!(
+                value == "+Inf" || value.parse::<f64>().is_ok(),
+                "unparseable sample value `{value}` in `{line}`"
+            );
+        }
+    }
+
+    #[test]
+    fn json_snapshot_exposes_quantiles() {
+        let registry = MetricsRegistry::new();
+        registry.counter("pcor_a_total", &[]).add(7);
+        let h = registry.histogram("pcor_lat", &[]);
+        for v in [10u64, 20, 30] {
+            h.record(v);
+        }
+        let json = registry.snapshot_json();
+        let value = serde_json::from_str_value(&json).unwrap();
+        assert_eq!(value.field("pcor_a_total"), &serde::Value::UInt(7));
+        let lat = value.field("pcor_lat");
+        assert_eq!(lat.field("count"), &serde::Value::UInt(3));
+        assert_eq!(lat.field("sum"), &serde::Value::UInt(60));
+    }
+}

@@ -1,0 +1,358 @@
+//! The structured tracing layer: per-release trace ids, causally linked
+//! spans and a bounded in-memory sink.
+//!
+//! A [`TraceId`] is minted per release (or supplied by the client on the
+//! request envelope) and propagated through every layer the release
+//! touches. Each layer opens a [`SpanGuard`] naming its *stage* — server,
+//! ledger, session, verifier, pool — parented to the caller's span; when
+//! the guard drops, the span's wall time is recorded into the shared
+//! `pcor_stage_duration_nanos{stage=…}` histogram and the finished span is
+//! pushed into the [`TraceSink`] ring buffer, where tests, examples and
+//! operators can drain and pretty-print it.
+//!
+//! Ids are minted from a process-wide atomic counter mixed through
+//! splitmix64, so they are unique, cheap and require no entropy source.
+
+use crate::metrics::MetricsRegistry;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The stage-duration histogram every finished span records into.
+pub const STAGE_DURATION_METRIC: &str = "pcor_stage_duration_nanos";
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// splitmix64: cheap, full-period mixing of the sequential id counter.
+fn mix(raw: u64) -> u64 {
+    let mut z = raw.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+fn next_id() -> u64 {
+    // Mixed ids are never 0 for raw >= 1 in practice; guard anyway so 0 can
+    // mean "absent" on the wire.
+    loop {
+        let id = mix(NEXT_ID.fetch_add(1, Ordering::Relaxed));
+        if id != 0 {
+            return id;
+        }
+    }
+}
+
+/// The identity of one release's causal trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Mints a fresh process-unique trace id.
+    pub fn next() -> Self {
+        TraceId(next_id())
+    }
+}
+
+impl std::fmt::Display for TraceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// The identity of one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// One finished span, as stored in the [`TraceSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The parent span, if any (`None` for the root).
+    pub parent: Option<SpanId>,
+    /// The instrumented stage (e.g. `"server"`, `"ledger.reserve"`).
+    pub stage: &'static str,
+    /// Start offset from the sink's epoch.
+    pub start: Duration,
+    /// Wall time the stage took.
+    pub elapsed: Duration,
+}
+
+/// A bounded ring buffer of finished spans.
+///
+/// Spans are pushed on guard drop; once `capacity` spans are buffered, the
+/// oldest are discarded — tracing never grows unbounded and never blocks
+/// the serving path for more than one short mutex.
+#[derive(Debug)]
+pub struct TraceSink {
+    epoch: Instant,
+    capacity: usize,
+    buffer: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl TraceSink {
+    /// Default ring-buffer capacity.
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    /// Creates a sink retaining at most `capacity` finished spans.
+    pub fn new(capacity: usize) -> Self {
+        TraceSink {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            buffer: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut buffer = self.buffer.lock().expect("trace sink poisoned");
+        if buffer.len() >= self.capacity {
+            buffer.pop_front();
+        }
+        buffer.push_back(record);
+    }
+
+    /// Number of buffered spans.
+    pub fn len(&self) -> usize {
+        self.buffer.lock().expect("trace sink poisoned").len()
+    }
+
+    /// Whether the sink holds no spans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns every buffered span, oldest first.
+    pub fn drain(&self) -> Vec<SpanRecord> {
+        self.buffer.lock().expect("trace sink poisoned").drain(..).collect()
+    }
+
+    /// A copy of the buffered spans, oldest first (the buffer is kept).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buffer.lock().expect("trace sink poisoned").iter().cloned().collect()
+    }
+
+    /// The spans of one trace, oldest first.
+    pub fn trace(&self, trace: TraceId) -> Vec<SpanRecord> {
+        self.buffer
+            .lock()
+            .expect("trace sink poisoned")
+            .iter()
+            .filter(|record| record.trace == trace)
+            .cloned()
+            .collect()
+    }
+
+    /// Pretty-prints `spans` as an indented tree per trace, children under
+    /// their parents, with per-stage wall times — the trace-dump format the
+    /// examples print and the README documents.
+    pub fn render(spans: &[SpanRecord]) -> String {
+        let mut out = String::new();
+        let mut traces: Vec<TraceId> = Vec::new();
+        for record in spans {
+            if !traces.contains(&record.trace) {
+                traces.push(record.trace);
+            }
+        }
+        for trace in traces {
+            out.push_str(&format!("trace {trace}\n"));
+            let of_trace: Vec<&SpanRecord> = spans.iter().filter(|r| r.trace == trace).collect();
+            // Roots: spans whose parent is absent from the buffer too (the
+            // parent may have been evicted from the ring).
+            let mut ordered: Vec<(&SpanRecord, usize)> = Vec::new();
+            fn visit<'r>(
+                node: &'r SpanRecord,
+                depth: usize,
+                all: &[&'r SpanRecord],
+                ordered: &mut Vec<(&'r SpanRecord, usize)>,
+            ) {
+                ordered.push((node, depth));
+                let mut children: Vec<&SpanRecord> =
+                    all.iter().copied().filter(|r| r.parent == Some(node.span)).collect();
+                children.sort_by_key(|r| r.start);
+                for child in children {
+                    visit(child, depth + 1, all, ordered);
+                }
+            }
+            let mut roots: Vec<&SpanRecord> = of_trace
+                .iter()
+                .copied()
+                .filter(|r| {
+                    r.parent.is_none() || !of_trace.iter().any(|p| Some(p.span) == r.parent)
+                })
+                .collect();
+            roots.sort_by_key(|r| r.start);
+            for root in roots {
+                visit(root, 0, &of_trace, &mut ordered);
+            }
+            for (record, depth) in ordered {
+                out.push_str(&format!(
+                    "{}{} {:.3} ms (start +{:.3} ms)\n",
+                    "  ".repeat(depth + 1),
+                    record.stage,
+                    record.elapsed.as_secs_f64() * 1e3,
+                    record.start.as_secs_f64() * 1e3,
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+/// A live span: created by [`crate::Telemetry::span`], finished on drop.
+///
+/// Dropping the guard records the elapsed wall time into the
+/// [`STAGE_DURATION_METRIC`] histogram for its stage and pushes the
+/// finished [`SpanRecord`] into the sink. Pass [`SpanGuard::id`] as the
+/// parent of child spans to link causality.
+#[derive(Debug)]
+pub struct SpanGuard {
+    sink: Arc<TraceSink>,
+    registry: Arc<MetricsRegistry>,
+    trace: TraceId,
+    span: SpanId,
+    parent: Option<SpanId>,
+    stage: &'static str,
+    started: Instant,
+}
+
+impl SpanGuard {
+    pub(crate) fn start(
+        sink: Arc<TraceSink>,
+        registry: Arc<MetricsRegistry>,
+        trace: TraceId,
+        parent: Option<SpanId>,
+        stage: &'static str,
+    ) -> Self {
+        SpanGuard {
+            sink,
+            registry,
+            trace,
+            span: SpanId(next_id()),
+            parent,
+            stage,
+            started: Instant::now(),
+        }
+    }
+
+    /// This span's id — the parent handle for child spans.
+    pub fn id(&self) -> SpanId {
+        self.span
+    }
+
+    /// The trace this span belongs to.
+    pub fn trace(&self) -> TraceId {
+        self.trace
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let elapsed = self.started.elapsed();
+        self.registry
+            .histogram(STAGE_DURATION_METRIC, &[("stage", self.stage)])
+            .record_duration(elapsed);
+        self.sink.push(SpanRecord {
+            trace: self.trace,
+            span: self.span,
+            parent: self.parent,
+            stage: self.stage,
+            start: self.started.saturating_duration_since(self.sink.epoch),
+            elapsed,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let id = TraceId::next();
+            assert_ne!(id.0, 0);
+            assert!(seen.insert(id.0), "trace ids must not repeat");
+        }
+    }
+
+    #[test]
+    fn spans_link_causally_and_land_in_the_sink() {
+        let sink = Arc::new(TraceSink::new(16));
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = TraceId::next();
+        let root =
+            SpanGuard::start(Arc::clone(&sink), Arc::clone(&registry), trace, None, "server");
+        let child = SpanGuard::start(
+            Arc::clone(&sink),
+            Arc::clone(&registry),
+            trace,
+            Some(root.id()),
+            "ledger.reserve",
+        );
+        let root_id = root.id();
+        child.finish();
+        root.finish();
+        let spans = sink.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage, "ledger.reserve");
+        assert_eq!(spans[0].parent, Some(root_id));
+        assert_eq!(spans[1].stage, "server");
+        assert_eq!(spans[1].parent, None);
+        // Both stages recorded their wall time.
+        assert!(registry.contains(STAGE_DURATION_METRIC, &[("stage", "server")]));
+        assert!(registry.contains(STAGE_DURATION_METRIC, &[("stage", "ledger.reserve")]));
+    }
+
+    #[test]
+    fn the_ring_buffer_is_bounded() {
+        let sink = Arc::new(TraceSink::new(4));
+        let registry = Arc::new(MetricsRegistry::new());
+        for _ in 0..10 {
+            SpanGuard::start(
+                Arc::clone(&sink),
+                Arc::clone(&registry),
+                TraceId::next(),
+                None,
+                "stage",
+            );
+        }
+        assert_eq!(sink.len(), 4);
+        assert!(!sink.is_empty());
+    }
+
+    #[test]
+    fn render_indents_children_under_parents() {
+        let sink = Arc::new(TraceSink::new(16));
+        let registry = Arc::new(MetricsRegistry::new());
+        let trace = TraceId::next();
+        let root =
+            SpanGuard::start(Arc::clone(&sink), Arc::clone(&registry), trace, None, "server");
+        SpanGuard::start(
+            Arc::clone(&sink),
+            Arc::clone(&registry),
+            trace,
+            Some(root.id()),
+            "session",
+        );
+        drop(root);
+        let text = TraceSink::render(&sink.snapshot());
+        assert!(text.contains(&format!("trace {trace}")));
+        let server_line = text.lines().find(|l| l.trim_start().starts_with("server")).unwrap();
+        let session_line = text.lines().find(|l| l.trim_start().starts_with("session")).unwrap();
+        let indent = |l: &str| l.len() - l.trim_start().len();
+        assert!(indent(session_line) > indent(server_line), "children indent deeper");
+    }
+}

@@ -141,5 +141,28 @@ fn main() {
         metrics.pool_tasks_executed,
         metrics.pool_tasks_stolen,
     );
+
+    // The same numbers — plus budget gauges and per-stage latency
+    // histograms — in one Prometheus scrape, ready for a /metrics endpoint.
+    let telemetry = server.telemetry();
+    println!("\n--- Prometheus scrape (excerpt) ---");
+    for line in
+        telemetry.render_prometheus().lines().filter(|line| !line.starts_with('#')).filter(|line| {
+            line.starts_with("pcor_releases_")
+                || line.starts_with("pcor_budget_")
+                || line.starts_with("pcor_verifier_bytes_scanned")
+                || line.starts_with("pcor_mechanism_releases")
+        })
+    {
+        println!("{line}");
+    }
+
+    // And one full release's life, stage by stage, from the trace ring
+    // buffer: server → ledger.reserve → session.release → session.verify.
+    let spans = telemetry.sink().snapshot();
+    if let Some(verified) = spans.iter().rev().find(|span| span.stage == "session.verify") {
+        println!("\n--- trace {:#x} ---", verified.trace.0);
+        print!("{}", TraceSink::render(&telemetry.sink().trace(verified.trace)));
+    }
     server.shutdown();
 }

@@ -91,4 +91,25 @@ fn main() {
         metrics.pool_queue_depth,
     );
     assert!(metrics.pool_tasks_executed >= 1);
+
+    // The streamed batch is fully observable after the fact: its trace
+    // (server → ledger → per-item session spans) and the budget audit
+    // trail both live in the server's telemetry handle.
+    let telemetry = server.telemetry();
+    if let Some(root) =
+        telemetry.sink().snapshot().iter().find(|span| span.stage == "server").cloned()
+    {
+        println!("\n--- trace {:#x} (batch lifecycle) ---", root.trace.0);
+        print!("{}", TraceSink::render(&telemetry.sink().trace(root.trace)));
+    }
+    println!("\n--- budget audit trail (first 6 events) ---");
+    for event in telemetry.audit().events().iter().take(6) {
+        println!("  {event:?}");
+    }
+    println!("\n--- budget gauges from one scrape ---");
+    for line in
+        telemetry.render_prometheus().lines().filter(|line| line.starts_with("pcor_budget_"))
+    {
+        println!("{line}");
+    }
 }
