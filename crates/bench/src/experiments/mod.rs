@@ -15,6 +15,7 @@
 //! | [`verify_hotpath`] | (beyond the paper) `f_M` evaluation engines: from-scratch vs. incremental |
 //! | [`pool_breakeven`] | (beyond the paper) sharded-pass break-even: spawn-per-pass vs. persistent pool |
 //! | [`mechanisms`] | (beyond the paper) DP selection mechanisms at equal ε: Exponential vs permute-and-flip vs report-noisy-max |
+//! | [`wal`] | (beyond the paper) WAL durability: append throughput per fsync policy, replay vs checkpointed replay |
 
 pub mod batch;
 pub mod coe_match;
@@ -29,6 +30,7 @@ pub mod samples_sweep;
 pub mod sampling;
 pub mod service_throughput;
 pub mod verify_hotpath;
+pub mod wal;
 
 use crate::report::{Histogram, Table};
 use serde::{Deserialize, Serialize};
@@ -97,6 +99,9 @@ pub enum ExperimentId {
     /// DP selection mechanisms at equal ε: Exponential vs permute-and-flip
     /// vs report-noisy-max (beyond the paper).
     Mechanisms,
+    /// WAL durability: append throughput per fsync policy and replay cost
+    /// with/without checkpoints (beyond the paper).
+    Wal,
 }
 
 impl ExperimentId {
@@ -117,6 +122,7 @@ impl ExperimentId {
             ExperimentId::VerifyHotpath,
             ExperimentId::PoolBreakeven,
             ExperimentId::Mechanisms,
+            ExperimentId::Wal,
         ]
     }
 
@@ -138,6 +144,7 @@ impl ExperimentId {
             "verify" | "verify-hotpath" | "hotpath" => vec![ExperimentId::VerifyHotpath],
             "pool" | "pool-breakeven" | "breakeven" => vec![ExperimentId::PoolBreakeven],
             "mechanisms" | "mechanism" => vec![ExperimentId::Mechanisms],
+            "wal" | "durability" | "wal-replay" => vec![ExperimentId::Wal],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -173,6 +180,9 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::Mechanisms => {
                 "selection mechanisms at equal eps: EM vs PF vs RNM (pcor-dp/core)"
             }
+            ExperimentId::Wal => {
+                "WAL durability: fsync policies + checkpointed replay (pcor-wal/service)"
+            }
         };
         write!(f, "{name}")
     }
@@ -198,6 +208,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::VerifyHotpath => verify_hotpath::run(scale),
         ExperimentId::PoolBreakeven => pool_breakeven::run(scale),
         ExperimentId::Mechanisms => mechanisms::run(scale),
+        ExperimentId::Wal => wal::run(scale),
     }
 }
 

@@ -23,7 +23,11 @@
 //!   (`pcor-runtime`);
 //! * [`telemetry`] — the observability bundle: metrics registry with a
 //!   Prometheus-text exporter, per-release tracing spans and the
-//!   privacy-budget audit log (`pcor-telemetry`).
+//!   privacy-budget audit log (`pcor-telemetry`);
+//! * [`wal`] — the segmented, CRC-framed, torn-tail-tolerant write-ahead
+//!   log behind the crash-safe budget ledger
+//!   ([`DurableLedger`](pcor_service::DurableLedger)) and its warm cache
+//!   restarts (`pcor-wal`).
 //!
 //! The most common entry points are re-exported at the crate root so a typical
 //! application only needs `use pcor::prelude::*`. The recommended way to
@@ -60,6 +64,7 @@ pub use pcor_runtime as runtime;
 pub use pcor_service as service;
 pub use pcor_stats as stats;
 pub use pcor_telemetry as telemetry;
+pub use pcor_wal as wal;
 
 /// Everything a typical PCOR application needs, in one import.
 pub mod prelude {
@@ -88,8 +93,9 @@ pub mod prelude {
     pub use pcor_runtime::ThreadPool;
     pub use pcor_service::{
         BatchItem, BatchReleaseRequest, BatchReleaseResponse, BatchStream, BudgetLedger,
-        DatasetRegistry, ItemOutcome, ReleaseRequest, ReleaseResponse, RequestEnvelope,
-        ResponseEnvelope, Server, ServerConfig, ServiceError,
+        DatasetRegistry, DurableLedger, ItemOutcome, RecoveryReport, ReleaseRequest,
+        ReleaseResponse, RequestEnvelope, ResponseEnvelope, Server, ServerConfig, ServiceError,
+        WalConfig,
     };
     pub use pcor_stats::{ConfidenceInterval, RuntimeSummary, UtilitySummary};
     pub use pcor_telemetry::{

@@ -125,6 +125,34 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Exports every entry as `(key, value, cost)` in ascending eviction
+    /// order (lowest GreedyDual priority first, ties by least recent use).
+    ///
+    /// The ordering is what makes warm restarts faithful: re-inserting the
+    /// exported entries *in order* via [`LruCache::seed_entry`] rebuilds an
+    /// equivalent cache — under uniform costs the stamp order reproduces
+    /// the exact LRU order, and under mixed costs the relative priorities
+    /// are preserved (each re-insert stamps `clock + cost` with the clock
+    /// at its restart baseline).
+    pub fn export_entries(&self) -> Vec<(K, V, u64)>
+    where
+        V: Clone,
+    {
+        let mut entries: Vec<_> = self.entries.iter().collect();
+        entries.sort_by_key(|(_, entry)| (entry.priority, entry.stamp));
+        entries
+            .into_iter()
+            .map(|(key, entry)| (key.clone(), entry.value.clone(), entry.cost))
+            .collect()
+    }
+
+    /// Inserts one exported entry during warm-restart seeding — exactly
+    /// [`LruCache::insert_with_cost`], named so call sites read as what
+    /// they are.
+    pub fn seed_entry(&mut self, key: K, value: V, cost: u64) -> Option<(K, V)> {
+        self.insert_with_cost(key, value, cost)
+    }
 }
 
 #[cfg(test)]
@@ -227,5 +255,68 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_is_rejected() {
         let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn export_orders_entries_by_eviction_priority() {
+        let mut cache = LruCache::new(3);
+        cache.insert_with_cost("expensive", 1, 1_000);
+        cache.insert_with_cost("cheap-old", 2, 2);
+        cache.insert_with_cost("cheap-new", 3, 2);
+        let exported = cache.export_entries();
+        let keys: Vec<_> = exported.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec!["cheap-old", "cheap-new", "expensive"]);
+        assert_eq!(exported[2], ("expensive", 1, 1_000));
+    }
+
+    #[test]
+    fn uniform_cost_round_trip_preserves_lru_order() {
+        let mut original = LruCache::new(3);
+        for key in ["a", "b", "c"] {
+            original.insert(key, 0);
+        }
+        original.get(&"a"); // eviction order is now b, c, a
+
+        let mut restored = LruCache::new(3);
+        for (key, value, cost) in original.export_entries() {
+            restored.seed_entry(key, value, cost);
+        }
+        assert_eq!(restored.len(), 3);
+        // The restored cache must evict in the same order the original
+        // would have: b first, then c, protecting the recently-hit a.
+        assert_eq!(restored.insert("d", 0).map(|(k, _)| k), Some("b"));
+        assert_eq!(restored.insert("e", 0).map(|(k, _)| k), Some("c"));
+        assert_eq!(restored.get(&"a"), Some(&0));
+    }
+
+    #[test]
+    fn mixed_cost_round_trip_preserves_relative_protection() {
+        let mut original = LruCache::new(3);
+        original.insert_with_cost("expensive", 1, 500);
+        original.insert_with_cost("cheap-1", 2, 2);
+        original.insert_with_cost("cheap-2", 3, 2);
+
+        let mut restored = LruCache::new(3);
+        for (key, value, cost) in original.export_entries() {
+            restored.seed_entry(key, value, cost);
+        }
+        assert_eq!(restored.insert_with_cost("new", 4, 2).map(|(k, _)| k), Some("cheap-1"));
+        assert_eq!(restored.get(&"expensive"), Some(&1));
+    }
+
+    #[test]
+    fn seeding_respects_capacity() {
+        let mut original = LruCache::new(4);
+        for key in 0..4u32 {
+            original.insert(key, key);
+        }
+        let mut restored = LruCache::new(2);
+        for (key, value, cost) in original.export_entries() {
+            restored.seed_entry(key, value, cost);
+        }
+        // Only the two most-protected entries survive a smaller cache.
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.get(&3), Some(&3));
+        assert_eq!(restored.get(&2), Some(&2));
     }
 }

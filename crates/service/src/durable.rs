@@ -1,0 +1,669 @@
+//! Crash-safe budget accounting: the [`BudgetLedger`] journaled through a
+//! [`pcor_wal::Wal`], with replay-on-startup recovery and warm-restart
+//! state.
+//!
+//! # What is journaled
+//!
+//! Every audited [`BudgetEvent`] — reserve, commit, refund, refusal — is
+//! appended to the WAL **inside the accountant-lock critical section**,
+//! stamped with the audit log's logical clock. The on-disk record order is
+//! therefore exactly the order the accountant applied the operations, and
+//! the recovered stream is gap-free by construction
+//! ([`AuditLog::verify_events_contiguous`] gates every replay).
+//!
+//! Under [`FsyncPolicy::OnCommit`] (the default) only `Committed` records
+//! force an fsync: every acknowledged spend is durable *with its whole
+//! prefix* (appends are sequential, so syncing a commit syncs everything
+//! before it), while reserve/refund bookkeeping between commits may be
+//! lost to a power failure — which recovery treats as "never happened",
+//! the safe direction: a lost reserve held no released privacy.
+//!
+//! # Recovery
+//!
+//! [`DurableLedger::open`] replays the log: the newest checkpoint (if any)
+//! restores each account's `(total, spent)` wholesale, the event tail is
+//! folded on top via the same arithmetic as [`AuditLog::fold`], and any
+//! reservation left dangling by a crash — `Reserved` with no matching
+//! `Committed`/`Refunded` — is refunded with a *synthesized* `Refunded`
+//! event appended to both the audit log and the WAL. The synthesized
+//! refund makes recovery idempotent: a second replay of the same log sees
+//! the trace balanced and repairs nothing.
+//!
+//! # Warm restarts
+//!
+//! Checkpoints carry the registry's exported [`WarmState`] — the hot
+//! GreedyDual entries of the starting-context and reference-file caches —
+//! so a restarted server re-seeds its caches
+//! ([`DurableLedger::seed_registry`]) instead of re-paying fresh `f_M`
+//! discovery. Entries are validated against dataset fingerprints at seed
+//! time; changed data drops its derived state.
+//!
+//! # Journal failures
+//!
+//! The journal fails **closed**: after the first WAL write error, the
+//! failing reserve is rolled back and refused
+//! ([`crate::ServiceError::Durability`]), and every subsequent reserve is
+//! refused too — a ledger that cannot persist its decisions stops making
+//! them. In-flight resolutions still settle in memory (the privacy was
+//! already released; refusing would change nothing) and are counted in
+//! [`DurableLedger::journal_errors`] / the `pcor_wal_journal_errors`
+//! gauge. Because journaling stops entirely at the first failure, the WAL
+//! always remains a contiguous prefix of the audit log.
+
+use crate::ledger::{BudgetLedger, LedgerEntry};
+use crate::registry::{DatasetRegistry, WarmState};
+use crate::{Result, ServiceError};
+use pcor_telemetry::{AuditLog, BudgetEvent, Telemetry};
+use pcor_wal::{FsyncPolicy, Wal, WalError, WalOptions, WalStats};
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outstanding ε below this threshold is float noise, not a dangling
+/// reservation.
+const DANGLING_EPSILON: f64 = 1e-12;
+
+/// Configuration of the durable ledger's WAL.
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the log segments; created if absent.
+    pub dir: PathBuf,
+    /// When records are flushed to stable storage.
+    pub fsync: FsyncPolicy,
+    /// Segment rotation threshold in bytes.
+    pub segment_max_bytes: u64,
+    /// Write a compaction checkpoint after this many journaled records
+    /// (`0` disables automatic checkpoints; explicit
+    /// [`DurableLedger::checkpoint`] calls still work).
+    pub checkpoint_interval: u64,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            dir: PathBuf::from("pcor-wal"),
+            fsync: FsyncPolicy::OnCommit,
+            segment_max_bytes: 8 * 1024 * 1024,
+            checkpoint_interval: 4096,
+        }
+    }
+}
+
+impl WalConfig {
+    /// A config rooted at `dir` with every other knob at its default.
+    pub fn at(dir: impl Into<PathBuf>) -> Self {
+        WalConfig { dir: dir.into(), ..WalConfig::default() }
+    }
+}
+
+/// The shared WAL handle the ledger journals through. Fails closed: the
+/// first write error poisons it, every later append is refused, and the
+/// on-disk log stays a contiguous prefix of the audit log.
+#[derive(Clone)]
+pub(crate) struct Journal {
+    wal: Arc<Mutex<Wal>>,
+    errors: Arc<AtomicU64>,
+    failed: Arc<AtomicBool>,
+}
+
+impl Journal {
+    fn new(wal: Wal) -> Self {
+        Journal {
+            wal: Arc::new(Mutex::new(wal)),
+            errors: Arc::new(AtomicU64::new(0)),
+            failed: Arc::new(AtomicBool::new(false)),
+        }
+    }
+
+    /// Serializes and appends one event. `commit_point` drives
+    /// [`FsyncPolicy::OnCommit`].
+    pub(crate) fn append(&self, event: &BudgetEvent, commit_point: bool) -> Result<()> {
+        if self.failed.load(Ordering::SeqCst) {
+            self.errors.fetch_add(1, Ordering::SeqCst);
+            return Err(ServiceError::Durability("journal has failed closed".to_string()));
+        }
+        let payload = serde_json::to_string(event).expect("budget events serialize infallibly");
+        let outcome =
+            self.wal.lock().expect("wal poisoned").append(payload.as_bytes(), commit_point);
+        if let Err(err) = outcome {
+            self.failed.store(true, Ordering::SeqCst);
+            self.errors.fetch_add(1, Ordering::SeqCst);
+            return Err(ServiceError::Durability(err.to_string()));
+        }
+        Ok(())
+    }
+
+    pub(crate) fn checkpoint(&self, payload: &[u8]) -> std::result::Result<(), WalError> {
+        self.wal.lock().expect("wal poisoned").checkpoint(payload)
+    }
+
+    fn sync(&self) -> std::result::Result<(), WalError> {
+        self.wal.lock().expect("wal poisoned").sync()
+    }
+
+    fn stats(&self) -> WalStats {
+        self.wal.lock().expect("wal poisoned").stats()
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("errors", &self.errors.load(Ordering::SeqCst))
+            .field("failed", &self.failed.load(Ordering::SeqCst))
+            .finish()
+    }
+}
+
+/// One account inside a [`LedgerCheckpoint`]. Outstanding reservations are
+/// deliberately absent: at replay time an unresolved hold either resolves
+/// in the tail (whose events land after the checkpoint) or died with the
+/// process (and must be released).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CheckpointAccount {
+    analyst: String,
+    dataset: String,
+    total: f64,
+    spent: f64,
+}
+
+/// The self-contained snapshot a checkpoint record carries: the audit
+/// clock it was taken at (every tail event's seq is `≥ clock`,
+/// contiguously — both are written under the ledger lock), the account
+/// balances, and the warm cache state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LedgerCheckpoint {
+    clock: u64,
+    accounts: Vec<CheckpointAccount>,
+    warm: WarmState,
+}
+
+/// What [`DurableLedger::open`] did to get the ledger back.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Tail events replayed (after the checkpoint, when one exists).
+    pub events_replayed: usize,
+    /// Whether a checkpoint anchored the replay.
+    pub from_checkpoint: bool,
+    /// The checkpoint's audit clock (0 without one).
+    pub checkpoint_clock: u64,
+    /// Accounts restored (checkpoint and tail combined).
+    pub accounts_restored: usize,
+    /// Dangling reservations refunded with synthesized events.
+    pub dangling_refunded: usize,
+    /// Total ε those refunds released back.
+    pub refunded_epsilon: f64,
+    /// Torn-tail bytes truncated during WAL recovery.
+    pub truncated_bytes: u64,
+    /// Wall time of the whole replay.
+    pub replay_duration: Duration,
+}
+
+/// A [`BudgetLedger`] whose every decision is journaled to a WAL before
+/// being acknowledged, rebuilt from that WAL on startup.
+pub struct DurableLedger {
+    ledger: BudgetLedger,
+    journal: Journal,
+    telemetry: Telemetry,
+    config: WalConfig,
+    report: RecoveryReport,
+    /// Warm cache state recovered from the checkpoint, consumed by
+    /// [`seed_registry`](DurableLedger::seed_registry).
+    warm: Mutex<Option<WarmState>>,
+    warm_contexts_seeded: AtomicUsize,
+    warm_references_seeded: AtomicUsize,
+    /// Serializes checkpoint writers; the auto path try-locks so request
+    /// workers never queue behind a checkpoint already in progress.
+    checkpoint_guard: Mutex<()>,
+}
+
+impl DurableLedger {
+    /// Opens the WAL under `config`, replays it into `ledger`, and attaches
+    /// the journal so every subsequent ledger decision is persisted.
+    ///
+    /// Grants ([`BudgetLedger::set_grant`]) must be configured on `ledger`
+    /// *before* this call: accounts seen only in the event tail are
+    /// restored against their configured grant.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Durability`] for WAL corruption, a
+    /// non-contiguous event stream, undecodable records, or a failed
+    /// repair write.
+    pub fn open(config: WalConfig, ledger: BudgetLedger) -> Result<Self> {
+        let started = Instant::now();
+        let options = WalOptions {
+            dir: config.dir.clone(),
+            fsync: config.fsync,
+            segment_max_bytes: config.segment_max_bytes,
+        };
+        let (wal, replay) = Wal::open(options).map_err(durability)?;
+
+        let checkpoint: Option<LedgerCheckpoint> = match &replay.checkpoint {
+            Some(bytes) => Some(decode(bytes, "checkpoint")?),
+            None => None,
+        };
+        let mut events = Vec::with_capacity(replay.events.len());
+        for bytes in &replay.events {
+            events.push(decode::<BudgetEvent>(bytes, "event")?);
+        }
+
+        // Integrity gate: the tail must be gap- and duplicate-free, and
+        // anchored exactly at the checkpoint's clock when one exists.
+        let anchor = checkpoint.as_ref().map(|cp| cp.clock);
+        AuditLog::verify_events_contiguous(&events, anchor).map_err(durability)?;
+
+        // Rebuild the audit log with the original seqs; fresh appends
+        // continue the numbering. An empty tail still advances the clock
+        // past the compacted prefix.
+        let audit = AuditLog::replay(events.clone());
+        if let Some(cp) = &checkpoint {
+            audit.advance_clock(cp.clock);
+        }
+        let telemetry = Telemetry::with_audit(audit);
+        ledger.attach_telemetry(telemetry.clone());
+
+        // Restore balances: checkpoint accounts wholesale, then the tail's
+        // committed ε folded on top. Tail-only accounts open against their
+        // configured grant (`remaining` on an untouched account).
+        let mut balances: std::collections::BTreeMap<(String, String), (f64, f64)> =
+            std::collections::BTreeMap::new();
+        if let Some(cp) = &checkpoint {
+            for account in &cp.accounts {
+                balances.insert(
+                    (account.analyst.clone(), account.dataset.clone()),
+                    (account.total, account.spent),
+                );
+            }
+        }
+        for ((analyst, dataset), folded) in AuditLog::fold_events(&events) {
+            let entry = balances
+                .entry((analyst.clone(), dataset.clone()))
+                .or_insert_with(|| (ledger.remaining(&analyst, &dataset), 0.0));
+            entry.1 += folded.committed;
+        }
+        let accounts_restored = balances.len();
+        for ((analyst, dataset), (total, spent)) in &balances {
+            ledger.restore_account(analyst, dataset, *total, *spent)?;
+        }
+
+        // Attach the journal before repairing, so synthesized refunds are
+        // persisted like any live refund.
+        let journal = Journal::new(wal);
+        ledger.attach_journal(journal.clone());
+
+        // Refund dangling reservations: per (account, trace) outstanding ε
+        // in the tail. One synthesized event per dangling key makes the
+        // repair idempotent — a second replay sees the trace balanced.
+        let mut outstanding: std::collections::BTreeMap<(String, String, u64), f64> =
+            std::collections::BTreeMap::new();
+        for event in &events {
+            let (analyst, dataset) = event.account();
+            let key = (analyst.to_string(), dataset.to_string(), event.trace());
+            match event {
+                BudgetEvent::Reserved { epsilon, .. } => {
+                    *outstanding.entry(key).or_default() += epsilon
+                }
+                BudgetEvent::Committed { epsilon, .. } | BudgetEvent::Refunded { epsilon, .. } => {
+                    *outstanding.entry(key).or_default() -= epsilon
+                }
+                BudgetEvent::Refused { .. } => {}
+            }
+        }
+        let mut dangling_refunded = 0usize;
+        let mut refunded_epsilon = 0.0;
+        for ((analyst, dataset, trace), epsilon) in outstanding {
+            if epsilon > DANGLING_EPSILON {
+                ledger.synthesize_refund(&analyst, &dataset, epsilon, trace)?;
+                dangling_refunded += 1;
+                refunded_epsilon += epsilon;
+            }
+        }
+        journal.sync().map_err(durability)?;
+
+        let report = RecoveryReport {
+            events_replayed: events.len(),
+            from_checkpoint: checkpoint.is_some(),
+            checkpoint_clock: anchor.unwrap_or(0),
+            accounts_restored,
+            dangling_refunded,
+            refunded_epsilon,
+            truncated_bytes: replay.truncated_bytes,
+            replay_duration: started.elapsed(),
+        };
+        let warm = checkpoint.map(|cp| cp.warm).filter(|warm| !warm.is_empty());
+        Ok(DurableLedger {
+            ledger,
+            journal,
+            telemetry,
+            config,
+            report,
+            warm: Mutex::new(warm),
+            warm_contexts_seeded: AtomicUsize::new(0),
+            warm_references_seeded: AtomicUsize::new(0),
+            checkpoint_guard: Mutex::new(()),
+        })
+    }
+
+    /// The journaled ledger.
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// The telemetry bundle built around the replayed audit log.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// What recovery found and repaired.
+    pub fn report(&self) -> &RecoveryReport {
+        &self.report
+    }
+
+    /// The WAL configuration this ledger was opened with.
+    pub fn config(&self) -> &WalConfig {
+        &self.config
+    }
+
+    /// Writer-side WAL statistics (records, bytes, fsyncs, segments,
+    /// checkpoints).
+    pub fn wal_stats(&self) -> WalStats {
+        self.journal.stats()
+    }
+
+    /// Journal append failures since open (0 in a healthy deployment).
+    pub fn journal_errors(&self) -> u64 {
+        self.journal.errors.load(Ordering::SeqCst)
+    }
+
+    /// Warm cache entries seeded into a registry so far, as
+    /// `(starting contexts, reference files)`.
+    pub fn warm_seeded(&self) -> (usize, usize) {
+        (
+            self.warm_contexts_seeded.load(Ordering::SeqCst),
+            self.warm_references_seeded.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Seeds `registry`'s caches from the checkpoint's warm state,
+    /// consuming it. Returns how many `(contexts, references)` were
+    /// accepted; entries for missing or changed datasets are dropped (see
+    /// [`DatasetRegistry::seed_warm_state`]). Call after registering
+    /// datasets.
+    pub fn seed_registry(&self, registry: &DatasetRegistry) -> (usize, usize) {
+        let Some(warm) = self.warm.lock().expect("warm state poisoned").take() else {
+            return (0, 0);
+        };
+        let (contexts, references) = registry.seed_warm_state(warm);
+        self.warm_contexts_seeded.fetch_add(contexts, Ordering::SeqCst);
+        self.warm_references_seeded.fetch_add(references, Ordering::SeqCst);
+        (contexts, references)
+    }
+
+    /// Writes a compaction checkpoint: account balances plus (when a
+    /// registry is given) its warm cache state. Replay afterwards is
+    /// `O(checkpoint + tail)`. Returns the audit clock the checkpoint
+    /// captured.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Durability`] when the WAL write fails.
+    pub fn checkpoint(&self, registry: Option<&DatasetRegistry>) -> Result<u64> {
+        let _guard = self.checkpoint_guard.lock().expect("checkpoint guard poisoned");
+        self.write_checkpoint(registry)
+    }
+
+    /// Writes a checkpoint if at least `checkpoint_interval` records
+    /// landed since the last one — the post-request auto-compaction hook.
+    /// Skips (returning `Ok(None)`) when the interval has not elapsed or
+    /// another checkpoint is already in progress.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Durability`] when the WAL write fails.
+    pub fn maybe_checkpoint(&self, registry: Option<&DatasetRegistry>) -> Result<Option<u64>> {
+        if self.config.checkpoint_interval == 0 {
+            return Ok(None);
+        }
+        if self.journal.stats().records_since_checkpoint < self.config.checkpoint_interval {
+            return Ok(None);
+        }
+        let Ok(_guard) = self.checkpoint_guard.try_lock() else {
+            return Ok(None);
+        };
+        // Re-check under the guard: the checkpoint that just finished may
+        // have reset the counter.
+        if self.journal.stats().records_since_checkpoint < self.config.checkpoint_interval {
+            return Ok(None);
+        }
+        self.write_checkpoint(registry).map(Some)
+    }
+
+    fn write_checkpoint(&self, registry: Option<&DatasetRegistry>) -> Result<u64> {
+        let warm = registry.map(|r| r.export_warm_state()).unwrap_or_default();
+        self.ledger.write_checkpoint(|clock, entries| {
+            let accounts = entries
+                .into_iter()
+                .map(|entry: LedgerEntry| CheckpointAccount {
+                    analyst: entry.analyst,
+                    dataset: entry.dataset,
+                    total: entry.total,
+                    spent: entry.spent,
+                })
+                .collect();
+            let checkpoint = LedgerCheckpoint { clock, accounts, warm };
+            serde_json::to_string(&checkpoint)
+                .expect("checkpoints serialize infallibly")
+                .into_bytes()
+        })
+    }
+}
+
+impl std::fmt::Debug for DurableLedger {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DurableLedger")
+            .field("dir", &self.config.dir)
+            .field("fsync", &self.config.fsync)
+            .field("report", &self.report)
+            .finish()
+    }
+}
+
+fn durability(err: impl std::fmt::Display) -> ServiceError {
+    ServiceError::Durability(err.to_string())
+}
+
+fn decode<T: Deserialize>(bytes: &[u8], what: &str) -> Result<T> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|err| ServiceError::Durability(format!("undecodable {what} record: {err}")))?;
+    serde_json::from_str(text)
+        .map_err(|err| ServiceError::Durability(format!("undecodable {what} record: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn test_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("pcor-durable-{tag}-{}-{unique}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn open(dir: &Path, grant: f64) -> DurableLedger {
+        DurableLedger::open(WalConfig::at(dir.to_path_buf()), BudgetLedger::new(grant)).unwrap()
+    }
+
+    #[test]
+    fn committed_spend_survives_a_restart() {
+        let dir = test_dir("commit");
+        {
+            let durable = open(&dir, 1.0);
+            let ledger = durable.ledger();
+            let r = ledger.reserve_traced("alice", "salary", 0.3, 1, None).unwrap();
+            ledger.commit(r);
+            let r = ledger.reserve_traced("alice", "salary", 0.2, 2, None).unwrap();
+            ledger.refund(r);
+        }
+        let durable = open(&dir, 1.0);
+        assert!((durable.ledger().spent("alice", "salary") - 0.3).abs() < 1e-12);
+        assert!((durable.ledger().remaining("alice", "salary") - 0.7).abs() < 1e-12);
+        assert_eq!(durable.report().events_replayed, 4);
+        assert_eq!(durable.report().dangling_refunded, 0);
+        // The invariant the whole subsystem exists for:
+        // snapshot ≡ fold(replayed events).
+        let folded = durable.telemetry().audit().fold();
+        for entry in durable.ledger().snapshot() {
+            let account = &folded[&(entry.analyst.clone(), entry.dataset.clone())];
+            assert!((account.committed - entry.spent).abs() < 1e-12);
+            assert!((account.outstanding() - entry.reserved).abs() < 1e-12);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dangling_reservations_are_refunded_exactly_once() {
+        let dir = test_dir("dangling");
+        {
+            let durable = open(&dir, 1.0);
+            let ledger = durable.ledger();
+            let r = ledger.reserve_traced("alice", "salary", 0.3, 1, None).unwrap();
+            ledger.commit(r);
+            // A crash mid-release: the reservation never resolves and its
+            // drop-guard refund never runs.
+            let dangling = ledger.reserve_traced("alice", "salary", 0.5, 2, None).unwrap();
+            std::mem::forget(dangling);
+        }
+        let durable = open(&dir, 1.0);
+        assert_eq!(durable.report().dangling_refunded, 1);
+        assert!((durable.report().refunded_epsilon - 0.5).abs() < 1e-12);
+        assert!((durable.ledger().spent("alice", "salary") - 0.3).abs() < 1e-12);
+        assert!(
+            (durable.ledger().remaining("alice", "salary") - 0.7).abs() < 1e-12,
+            "the dangling 0.5 must be back"
+        );
+        let folded = durable.telemetry().audit().fold();
+        let account = &folded[&("alice".to_string(), "salary".to_string())];
+        assert!(account.outstanding().abs() < 1e-12, "synthesized refund balances the log");
+        drop(durable);
+
+        // Idempotence: a second replay of the repaired log is a no-op.
+        let durable = open(&dir, 1.0);
+        assert_eq!(durable.report().dangling_refunded, 0, "repair must not repeat");
+        assert!((durable.ledger().remaining("alice", "salary") - 0.7).abs() < 1e-12);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_bound_replay_to_the_tail() {
+        let dir = test_dir("checkpoint");
+        {
+            let durable = open(&dir, 100.0);
+            for i in 0..20u64 {
+                let r =
+                    durable.ledger().reserve_traced("alice", "salary", 0.1, i + 1, None).unwrap();
+                durable.ledger().commit(r);
+            }
+            durable.checkpoint(None).unwrap();
+            let r = durable.ledger().reserve_traced("alice", "salary", 0.1, 99, None).unwrap();
+            durable.ledger().commit(r);
+        }
+        let durable = open(&dir, 100.0);
+        assert!(durable.report().from_checkpoint);
+        assert_eq!(durable.report().checkpoint_clock, 40);
+        assert_eq!(durable.report().events_replayed, 2, "only the tail is replayed");
+        assert!((durable.ledger().spent("alice", "salary") - 2.1).abs() < 1e-9);
+        // Fresh appends continue the seq numbering past checkpoint + tail.
+        let r = durable.ledger().reserve_traced("alice", "salary", 0.1, 100, None).unwrap();
+        durable.ledger().commit(r);
+        assert_eq!(durable.telemetry().audit().verify_contiguous(), Ok(()));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_reservation_straddling_a_checkpoint_replays_correctly() {
+        let dir = test_dir("straddle");
+        {
+            let durable = open(&dir, 1.0);
+            let held = durable.ledger().reserve_traced("alice", "salary", 0.4, 1, None).unwrap();
+            // Checkpoint while the reservation is in flight: its Reserved
+            // event is compacted away, its Committed lands in the tail.
+            durable.checkpoint(None).unwrap();
+            durable.ledger().commit(held);
+        }
+        let durable = open(&dir, 1.0);
+        assert!((durable.ledger().spent("alice", "salary") - 0.4).abs() < 1e-12);
+        assert_eq!(
+            durable.report().dangling_refunded,
+            0,
+            "a tail commit without its reserved event is not dangling"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn auto_checkpoints_fire_on_the_configured_interval() {
+        let dir = test_dir("auto");
+        let config = WalConfig { checkpoint_interval: 6, ..WalConfig::at(dir.clone()) };
+        let durable = DurableLedger::open(config, BudgetLedger::new(10.0)).unwrap();
+        for i in 0..4u64 {
+            let r = durable.ledger().reserve_traced("alice", "salary", 0.1, i + 1, None).unwrap();
+            durable.ledger().commit(r);
+            // 2 records per round trip: the interval elapses after round 3.
+            durable.maybe_checkpoint(None).unwrap();
+        }
+        assert_eq!(durable.wal_stats().checkpoints, 1);
+        assert!(durable.wal_stats().records_since_checkpoint < 6);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn a_corrupt_log_is_refused_not_misread() {
+        let dir = test_dir("corrupt");
+        {
+            let durable = open(&dir, 1.0);
+            let r = durable.ledger().reserve_traced("alice", "salary", 0.3, 1, None).unwrap();
+            durable.ledger().commit(r);
+            let r = durable.ledger().reserve_traced("alice", "salary", 0.3, 2, None).unwrap();
+            durable.ledger().commit(r);
+        }
+        // Flip one byte inside the first record, leaving intact data after
+        // it — mid-log corruption.
+        let segment = dir.join("wal-00000000000000000000.seg");
+        let mut bytes = std::fs::read(&segment).unwrap();
+        bytes[12] ^= 0x20;
+        std::fs::write(&segment, &bytes).unwrap();
+        match DurableLedger::open(WalConfig::at(dir.clone()), BudgetLedger::new(1.0)) {
+            Err(ServiceError::Durability(msg)) => {
+                assert!(msg.contains("corrupt"), "got: {msg}");
+            }
+            other => panic!("expected a durability refusal, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn grants_configured_before_open_shape_tail_only_accounts() {
+        let dir = test_dir("grants");
+        {
+            let ledger = BudgetLedger::new(1.0);
+            ledger.set_grant("vip", "salary", 5.0);
+            let durable = DurableLedger::open(WalConfig::at(dir.clone()), ledger).unwrap();
+            let r = durable.ledger().reserve_traced("vip", "salary", 2.0, 1, None).unwrap();
+            durable.ledger().commit(r);
+        }
+        let ledger = BudgetLedger::new(1.0);
+        ledger.set_grant("vip", "salary", 5.0);
+        let durable = DurableLedger::open(WalConfig::at(dir.clone()), ledger).unwrap();
+        assert!((durable.ledger().remaining("vip", "salary") - 3.0).abs() < 1e-12);
+        // A grant shrunk below the recorded spend never un-spends.
+        let ledger = BudgetLedger::new(1.0);
+        let durable = DurableLedger::open(WalConfig::at(dir.clone()), ledger).unwrap();
+        assert!((durable.ledger().spent("vip", "salary") - 2.0).abs() < 1e-12);
+        assert!(durable.ledger().remaining("vip", "salary") >= 0.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

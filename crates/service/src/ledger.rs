@@ -31,6 +31,7 @@
 //! `pcor_budget_spent_epsilon` / `pcor_budget_remaining_epsilon` gauges are
 //! refreshed on the same occasions.
 
+use crate::durable::Journal;
 use crate::{Result, ServiceError};
 use pcor_dp::BudgetAccountant;
 use pcor_telemetry::{BudgetEvent, Telemetry};
@@ -48,6 +49,9 @@ struct LedgerInner {
     /// Attached observability bundle; events and gauges are emitted under
     /// the ledger lock so audit order equals accountant order.
     telemetry: Option<Telemetry>,
+    /// Attached WAL journal; every audited event is appended here, still
+    /// under the ledger lock, so the on-disk order equals the audit order.
+    journal: Option<Journal>,
 }
 
 impl LedgerInner {
@@ -65,6 +69,12 @@ impl LedgerInner {
 }
 
 /// Thread-safe per-`(analyst, dataset)` budget accounting.
+///
+/// Cloning is cheap and **shares** state: every clone meters the same
+/// accounts, grants, telemetry and journal — the seam that lets a
+/// [`crate::DurableLedger`] own the ledger it journals while the server
+/// holds its own handle to the very same accounts.
+#[derive(Clone)]
 pub struct BudgetLedger {
     inner: Arc<Mutex<LedgerInner>>,
     default_grant: f64,
@@ -151,25 +161,37 @@ impl Reservation {
             }
         }
         // Audit while still holding the lock: event order == account order.
+        // The commit/refund has already been applied to the accountant (the
+        // privacy, if any, is already released), so journaling here is
+        // best-effort: a WAL failure is counted and fails the journal
+        // closed — subsequent *reserves* refuse — but cannot un-resolve.
         if let Some(telemetry) = &inner.telemetry {
             if spend > 0.0 {
-                telemetry.audit().append(BudgetEvent::Committed {
+                let event = BudgetEvent::Committed {
                     seq: 0,
                     analyst: self.key.0.clone(),
                     dataset: self.key.1.clone(),
                     epsilon: spend,
                     mechanism: self.mechanism.clone(),
                     trace: self.trace,
-                });
+                };
+                let seq = telemetry.audit().append(event.clone());
+                if let Some(journal) = &inner.journal {
+                    let _ = journal.append(&event.with_seq(seq), true);
+                }
             }
             if refund > 0.0 {
-                telemetry.audit().append(BudgetEvent::Refunded {
+                let event = BudgetEvent::Refunded {
                     seq: 0,
                     analyst: self.key.0.clone(),
                     dataset: self.key.1.clone(),
                     epsilon: refund,
                     trace: self.trace,
-                });
+                };
+                let seq = telemetry.audit().append(event.clone());
+                if let Some(journal) = &inner.journal {
+                    let _ = journal.append(&event.with_seq(seq), false);
+                }
             }
         }
         inner.publish_gauges(&self.key);
@@ -195,6 +217,7 @@ impl BudgetLedger {
                 accounts: HashMap::new(),
                 grants: HashMap::new(),
                 telemetry: None,
+                journal: None,
             })),
             default_grant,
         }
@@ -207,6 +230,137 @@ impl BudgetLedger {
     pub fn attach_telemetry(&self, telemetry: Telemetry) {
         let mut inner = self.inner.lock().expect("ledger poisoned");
         inner.telemetry = Some(telemetry);
+    }
+
+    /// The attached observability bundle, if any. The durable startup path
+    /// builds its [`Telemetry`] around the replayed audit log and the
+    /// server reuses it instead of creating a fresh (empty) one.
+    pub fn telemetry(&self) -> Option<Telemetry> {
+        self.inner.lock().expect("ledger poisoned").telemetry.clone()
+    }
+
+    /// Attaches a WAL journal: from here on every audited [`BudgetEvent`]
+    /// is also appended to the journal under the ledger lock. Requires an
+    /// attached [`Telemetry`] (the journal copies the audit log's seqs); a
+    /// journal without telemetry journals nothing.
+    pub(crate) fn attach_journal(&self, journal: Journal) {
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        inner.journal = Some(journal);
+    }
+
+    /// Restores one account to `(total, spent)` during WAL recovery,
+    /// without emitting audit events or journal records (the events that
+    /// justify this state are the ones just replayed).
+    ///
+    /// A `spent` exceeding `total` (a grant shrunk between runs) raises the
+    /// restored total to `spent`: committed ε is never un-spent.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Durability`] when the pair cannot form a
+    /// valid accountant (non-finite or negative values).
+    pub(crate) fn restore_account(
+        &self,
+        analyst: &str,
+        dataset: &str,
+        total: f64,
+        spent: f64,
+    ) -> Result<()> {
+        if !total.is_finite() || !spent.is_finite() || spent < -1e-12 {
+            return Err(ServiceError::Durability(format!(
+                "cannot restore account ({analyst}, {dataset}): total {total}, spent {spent}"
+            )));
+        }
+        let spent = spent.max(0.0);
+        let total = total.max(spent).max(f64::MIN_POSITIVE);
+        let mut account = BudgetAccountant::new(total).map_err(|err| {
+            ServiceError::Durability(format!(
+                "cannot restore account ({analyst}, {dataset}): {err}"
+            ))
+        })?;
+        if spent > 0.0 {
+            account.reserve(spent).and_then(|()| account.commit(spent)).map_err(|err| {
+                ServiceError::Durability(format!(
+                    "cannot restore account ({analyst}, {dataset}): {err}"
+                ))
+            })?;
+        }
+        let mut inner = self.inner.lock().expect("ledger poisoned");
+        let key = (analyst.to_string(), dataset.to_string());
+        inner.accounts.insert(key.clone(), account);
+        inner.publish_gauges(&key);
+        Ok(())
+    }
+
+    /// Appends a synthesized `Refunded` event for a dangling reservation
+    /// found during WAL recovery — audited and journaled like a live
+    /// refund, but without touching the accountant (the restored account
+    /// already excludes the dangling hold).
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Durability`] when the journal refuses the
+    /// record: recovery must not acknowledge a repair it could not persist.
+    pub(crate) fn synthesize_refund(
+        &self,
+        analyst: &str,
+        dataset: &str,
+        epsilon: f64,
+        trace: u64,
+    ) -> Result<()> {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        let Some(telemetry) = &inner.telemetry else {
+            return Err(ServiceError::Durability(
+                "cannot synthesize a refund without telemetry".to_string(),
+            ));
+        };
+        let event = BudgetEvent::Refunded {
+            seq: 0,
+            analyst: analyst.to_string(),
+            dataset: dataset.to_string(),
+            epsilon,
+            trace,
+        };
+        let seq = telemetry.audit().append(event.clone());
+        if let Some(journal) = &inner.journal {
+            journal.append(&event.with_seq(seq), true)?;
+        }
+        Ok(())
+    }
+
+    /// Writes a compaction checkpoint through the attached journal, under
+    /// the ledger lock so the snapshot is serialized against event
+    /// appends: every journaled event after the checkpoint carries a seq
+    /// `≥` the returned clock, contiguously.
+    ///
+    /// `build` receives the audit clock and the account snapshot and
+    /// returns the serialized checkpoint payload. Returns the clock.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::Durability`] without a journal or when the
+    /// WAL write fails.
+    pub(crate) fn write_checkpoint(
+        &self,
+        build: impl FnOnce(u64, Vec<LedgerEntry>) -> Vec<u8>,
+    ) -> Result<u64> {
+        let inner = self.inner.lock().expect("ledger poisoned");
+        let Some(journal) = &inner.journal else {
+            return Err(ServiceError::Durability("no journal attached".to_string()));
+        };
+        let clock = inner.telemetry.as_ref().map(|t| t.audit().clock()).unwrap_or(0);
+        let entries: Vec<LedgerEntry> = inner
+            .accounts
+            .iter()
+            .map(|((analyst, dataset), account)| LedgerEntry {
+                analyst: analyst.clone(),
+                dataset: dataset.clone(),
+                total: account.total(),
+                spent: account.spent(),
+                reserved: account.reserved(),
+                remaining: account.remaining(),
+            })
+            .collect();
+        let payload = build(clock, entries);
+        journal.checkpoint(&payload).map_err(|err| ServiceError::Durability(err.to_string()))?;
+        Ok(clock)
     }
 
     /// Overrides the grant for one `(analyst, dataset)` pair. Takes effect
@@ -258,15 +412,45 @@ impl BudgetLedger {
             .or_insert_with(|| BudgetAccountant::new(grant).expect("grant validated above"));
         match account.reserve(epsilon) {
             Ok(()) => {
+                let mut journal_error = None;
                 if let Some(telemetry) = &inner.telemetry {
-                    telemetry.audit().append(BudgetEvent::Reserved {
+                    let event = BudgetEvent::Reserved {
                         seq: 0,
                         analyst: key.0.clone(),
                         dataset: key.1.clone(),
                         epsilon,
                         mechanism: mechanism.clone(),
                         trace,
-                    });
+                    };
+                    let seq = telemetry.audit().append(event.clone());
+                    if let Some(journal) = &inner.journal {
+                        if let Err(err) = journal.append(&event.with_seq(seq), false) {
+                            journal_error = Some(err);
+                        }
+                    }
+                }
+                if let Some(err) = journal_error {
+                    // The hold could not be made durable: roll it back and
+                    // refuse the request rather than serve a release the
+                    // restarted ledger would not remember. The rollback is
+                    // audited so the in-memory log stays balanced; the
+                    // journal has failed closed, so nothing else lands on
+                    // disk after the lost record and the WAL stays a
+                    // contiguous prefix.
+                    if let Some(account) = inner.accounts.get_mut(&key) {
+                        let _ = account.refund(epsilon);
+                    }
+                    if let Some(telemetry) = &inner.telemetry {
+                        telemetry.audit().append(BudgetEvent::Refunded {
+                            seq: 0,
+                            analyst: key.0.clone(),
+                            dataset: key.1.clone(),
+                            epsilon,
+                            trace,
+                        });
+                    }
+                    inner.publish_gauges(&key);
+                    return Err(err);
                 }
                 inner.publish_gauges(&key);
                 Ok(Reservation {
@@ -281,14 +465,18 @@ impl BudgetLedger {
             Err(_) => {
                 let remaining = account.remaining();
                 if let Some(telemetry) = &inner.telemetry {
-                    telemetry.audit().append(BudgetEvent::Refused {
+                    let event = BudgetEvent::Refused {
                         seq: 0,
                         analyst: key.0.clone(),
                         dataset: key.1.clone(),
                         requested: epsilon,
                         remaining,
                         trace,
-                    });
+                    };
+                    let seq = telemetry.audit().append(event.clone());
+                    if let Some(journal) = &inner.journal {
+                        let _ = journal.append(&event.with_seq(seq), false);
+                    }
                 }
                 Err(ServiceError::BudgetExhausted {
                     analyst: analyst.to_string(),

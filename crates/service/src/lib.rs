@@ -95,6 +95,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod durable;
 pub mod ledger;
 pub mod metrics;
 pub mod registry;
@@ -102,9 +103,13 @@ pub mod request;
 pub mod server;
 
 pub use cache::LruCache;
+pub use durable::{DurableLedger, RecoveryReport, WalConfig};
 pub use ledger::{BudgetLedger, LedgerEntry, Reservation};
 pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
-pub use registry::{CacheStats, DatasetEntry, DatasetRegistry, DatasetStats};
+pub use registry::{
+    CacheStats, DatasetEntry, DatasetRegistry, DatasetStats, WarmContext, WarmDataset,
+    WarmReference, WarmState,
+};
 pub use request::{
     BatchItem, BatchItemResponse, BatchReleaseRequest, BatchReleaseResponse, ItemOutcome,
     ItemRelease, ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseBody,
@@ -121,6 +126,7 @@ use rand_chacha::ChaCha12Rng;
 
 /// Everything an embedding application needs, in one import.
 pub mod prelude {
+    pub use crate::durable::{DurableLedger, RecoveryReport, WalConfig};
     pub use crate::ledger::{BudgetLedger, LedgerEntry};
     pub use crate::registry::{DatasetEntry, DatasetRegistry};
     pub use crate::request::{
@@ -169,6 +175,9 @@ pub enum ServiceError {
     InvalidRequest(String),
     /// The release itself failed (no matching context, config errors, …).
     Release(String),
+    /// The durable ledger could not persist or replay its state (WAL
+    /// write failure, corruption, or a non-contiguous recovered stream).
+    Durability(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -188,6 +197,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Shutdown => write!(f, "server is shut down"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Release(msg) => write!(f, "release failed: {msg}"),
+            ServiceError::Durability(msg) => write!(f, "durability failure: {msg}"),
         }
     }
 }

@@ -133,6 +133,67 @@ pub struct CacheStats {
 
 type StartKey = (String, usize, DetectorKind);
 
+/// One exported starting-context cache entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmContext {
+    /// The dataset name the context was derived from.
+    pub dataset: String,
+    /// The queried record.
+    pub record_id: usize,
+    /// The detector the context was verified under.
+    pub detector: DetectorKind,
+    /// The verified starting context itself.
+    pub context: Context,
+    /// Its discovery cost (fresh `f_M` calls burned finding it).
+    pub cost: u64,
+}
+
+/// One exported reference-file cache entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmReference {
+    /// The dataset name the file was enumerated from.
+    pub dataset: String,
+    /// The queried record.
+    pub record_id: usize,
+    /// The detector the enumeration scored with.
+    pub detector: DetectorKind,
+    /// The full `COE_M` enumeration.
+    pub reference: ReferenceFile,
+    /// Its discovery cost (contexts the enumeration examined).
+    pub cost: u64,
+}
+
+/// The fingerprint a warm entry is validated against at seed time: derived
+/// state is only re-seeded for a dataset re-registered under the same name
+/// with identical summary statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WarmDataset {
+    /// The registry name.
+    pub name: String,
+    /// The dataset's summary statistics when the state was exported.
+    pub stats: DatasetStats,
+}
+
+/// Serializable hot cache state for warm restarts: the GreedyDual entries
+/// of both derived-state caches, in ascending eviction order, plus the
+/// dataset fingerprints they were derived from.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WarmState {
+    /// Fingerprints of the datasets the entries below were derived from.
+    pub datasets: Vec<WarmDataset>,
+    /// Starting-context entries, lowest eviction priority first.
+    pub starting_contexts: Vec<WarmContext>,
+    /// Reference-file entries, lowest eviction priority first.
+    pub reference_files: Vec<WarmReference>,
+}
+
+impl WarmState {
+    /// Whether there is nothing to seed.
+    pub fn is_empty(&self) -> bool {
+        self.starting_contexts.is_empty() && self.reference_files.is_empty()
+    }
+}
+
 /// Thread-safe registry of named datasets with shared starting-context and
 /// reference-file caches.
 pub struct DatasetRegistry {
@@ -376,6 +437,104 @@ impl DatasetRegistry {
         Ok((reference, false))
     }
 
+    /// Exports the hot entries of both derived-state caches (plus the
+    /// fingerprints of the datasets they came from) for a warm restart.
+    ///
+    /// Entries come out in ascending eviction order via
+    /// [`LruCache::export_entries`], so seeding them back in order
+    /// reproduces the caches' relative protection.
+    pub fn export_warm_state(&self) -> WarmState {
+        let datasets: Vec<WarmDataset> = {
+            let map = self.datasets.read().expect("registry poisoned");
+            let mut fingerprints: Vec<WarmDataset> = map
+                .values()
+                .map(|entry| WarmDataset { name: entry.name.clone(), stats: entry.stats.clone() })
+                .collect();
+            fingerprints.sort_by(|a, b| a.name.cmp(&b.name));
+            fingerprints
+        };
+        let starting_contexts = self
+            .starting_contexts
+            .lock()
+            .expect("cache poisoned")
+            .export_entries()
+            .into_iter()
+            .map(|((dataset, record_id, detector), context, cost)| WarmContext {
+                dataset,
+                record_id,
+                detector,
+                context,
+                cost,
+            })
+            .collect();
+        let reference_files = self
+            .reference_files
+            .lock()
+            .expect("reference cache poisoned")
+            .export_entries()
+            .into_iter()
+            .map(|((dataset, record_id, detector), reference, cost)| WarmReference {
+                dataset,
+                record_id,
+                detector,
+                reference: reference.as_ref().clone(),
+                cost,
+            })
+            .collect();
+        WarmState { datasets, starting_contexts, reference_files }
+    }
+
+    /// Seeds both caches from exported warm state, returning how many
+    /// `(starting contexts, reference files)` were accepted.
+    ///
+    /// Only entries whose dataset is currently registered under the same
+    /// name *with identical summary statistics* are seeded — derived state
+    /// for changed or missing data is silently dropped (a restart with new
+    /// data pays fresh discovery, never serves stale contexts). Seeding
+    /// counts neither hits nor misses; evictions forced by a smaller cache
+    /// are counted as usual.
+    pub fn seed_warm_state(&self, warm: WarmState) -> (usize, usize) {
+        let eligible: HashMap<&str, bool> = {
+            let map = self.datasets.read().expect("registry poisoned");
+            warm.datasets
+                .iter()
+                .map(|fp| {
+                    let matches = map.get(&fp.name).is_some_and(|entry| entry.stats == fp.stats);
+                    (fp.name.as_str(), matches)
+                })
+                .collect()
+        };
+        let mut contexts_seeded = 0;
+        {
+            let mut cache = self.starting_contexts.lock().expect("cache poisoned");
+            for entry in warm.starting_contexts {
+                if eligible.get(entry.dataset.as_str()).copied() != Some(true) {
+                    continue;
+                }
+                let key: StartKey = (entry.dataset, entry.record_id, entry.detector);
+                if cache.seed_entry(key, entry.context, entry.cost).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                contexts_seeded += 1;
+            }
+        }
+        let mut references_seeded = 0;
+        {
+            let mut cache = self.reference_files.lock().expect("reference cache poisoned");
+            for entry in warm.reference_files {
+                if eligible.get(entry.dataset.as_str()).copied() != Some(true) {
+                    continue;
+                }
+                let key: StartKey = (entry.dataset, entry.record_id, entry.detector);
+                if cache.seed_entry(key, Arc::new(entry.reference), entry.cost).is_some() {
+                    self.reference_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                references_seeded += 1;
+            }
+        }
+        (contexts_seeded, references_seeded)
+    }
+
     /// Hit/miss counters of the registry's derived-state caches.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
@@ -527,6 +686,54 @@ mod tests {
         let stats = registry.cache_stats();
         assert_eq!(stats.evictions, 1);
         assert_eq!(stats.reference_evictions, 0);
+    }
+
+    #[test]
+    fn warm_state_round_trips_into_cache_hits() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        registry.reference_file(&entry, 0, DetectorKind::ZScore, 22).unwrap();
+        let warm = registry.export_warm_state();
+        assert_eq!(warm.datasets.len(), 1);
+        assert_eq!(warm.starting_contexts.len(), 1);
+        assert_eq!(warm.reference_files.len(), 1);
+        assert!(warm.starting_contexts[0].cost >= 1, "discovery cost travels with the entry");
+
+        // A "restarted" registry with the same dataset accepts the seed…
+        let restarted = DatasetRegistry::new();
+        restarted.register("toy", toy_dataset());
+        let (contexts, references) = restarted.seed_warm_state(warm.clone());
+        assert_eq!((contexts, references), (1, 1));
+        // …and the first lookups are hits that agree with fresh discovery.
+        let entry = restarted.get("toy").unwrap();
+        let (context, hit) = restarted.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        assert!(hit, "a seeded context must hit on first lookup");
+        assert_eq!(context, warm.starting_contexts[0].context);
+        let (reference, hit) =
+            restarted.reference_file(&entry, 0, DetectorKind::ZScore, 22).unwrap();
+        assert!(hit, "a seeded reference file must hit on first lookup");
+        assert_eq!(reference.as_ref(), &warm.reference_files[0].reference);
+    }
+
+    #[test]
+    fn warm_state_for_changed_or_missing_datasets_is_dropped() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.register("toy", toy_dataset());
+        registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        let warm = registry.export_warm_state();
+
+        // Missing dataset: nothing to validate against.
+        let empty = DatasetRegistry::new();
+        assert_eq!(empty.seed_warm_state(warm.clone()), (0, 0));
+
+        // Same name, different data: the fingerprint mismatch drops it.
+        let changed = DatasetRegistry::new();
+        let schema = Schema::new(vec![Attribute::from_values("A", &["a0", "a1"])], "M").unwrap();
+        let records = vec![Record::new(vec![0], 1.0), Record::new(vec![1], 2.0)];
+        changed.register("toy", Dataset::new(schema, records).unwrap());
+        assert_eq!(changed.seed_warm_state(warm), (0, 0));
+        assert_eq!(changed.cache_stats().len, 0);
     }
 
     #[test]

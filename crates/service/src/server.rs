@@ -41,6 +41,7 @@
 //! batch's items, so repeat records cost strictly fewer fresh `f_M`
 //! verification calls than equivalent single requests.
 
+use crate::durable::DurableLedger;
 use crate::ledger::BudgetLedger;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
 use crate::registry::{CacheStats, DatasetRegistry};
@@ -344,6 +345,10 @@ pub struct Server {
     owns_pool: bool,
     registry: Arc<DatasetRegistry>,
     ledger: Arc<BudgetLedger>,
+    /// Present on servers started via [`Server::start_durable`]: the WAL
+    /// journal behind the ledger, auto-checkpointed after requests and a
+    /// final time at shutdown.
+    durable: Option<Arc<DurableLedger>>,
     metrics: Arc<ServerMetrics>,
     telemetry: Telemetry,
     inflight: Arc<Inflight>,
@@ -365,6 +370,38 @@ impl Server {
         server
     }
 
+    /// Starts a server whose budget ledger is the given crash-safe
+    /// [`DurableLedger`]: every ε decision is journaled to the WAL before
+    /// acknowledgement, the registry's caches are seeded from the
+    /// checkpoint's warm state (register datasets *before* this call), the
+    /// WAL auto-compacts after requests once `checkpoint_interval` records
+    /// accumulate, and [`Server::shutdown`] writes one final checkpoint so
+    /// the next start replays only a tail.
+    ///
+    /// The server's telemetry is the durable ledger's bundle — its audit
+    /// log already holds the replayed event history, and
+    /// [`Server::telemetry`] scrapes expose `pcor_wal_*` gauges alongside
+    /// the usual server series.
+    pub fn start_durable(
+        config: ServerConfig,
+        registry: Arc<DatasetRegistry>,
+        durable: Arc<DurableLedger>,
+    ) -> Self {
+        // Warm restart: re-seed the starting-context and reference-file
+        // caches before the first request can miss on them.
+        durable.seed_registry(&registry);
+        let ledger = Arc::new(durable.ledger().clone());
+        let mut server = Self::start(config, registry, ledger);
+        {
+            let durable = Arc::clone(&durable);
+            server.telemetry.register_collector(move |exporter| {
+                Self::publish_wal_stats(exporter, &durable);
+            });
+        }
+        server.durable = Some(durable);
+        server
+    }
+
     /// Starts a server on a borrowed pool — the seam for sharing one
     /// resident pool between the server and other pool users (shutdown
     /// then drains this server's requests but leaves the pool running).
@@ -375,7 +412,11 @@ impl Server {
         ledger: Arc<BudgetLedger>,
     ) -> Self {
         let metrics = Arc::new(ServerMetrics::default());
-        let telemetry = Telemetry::new();
+        // Reuse a telemetry bundle the ledger already carries — the durable
+        // startup path builds one around the *replayed* audit log, and a
+        // fresh bundle here would silently discard that history and its
+        // clock. A plain ledger gets a fresh bundle as before.
+        let telemetry = ledger.telemetry().unwrap_or_default();
         // From here on, every ε movement through the ledger lands in the
         // bundle's audit log and refreshes the per-account gauges.
         ledger.attach_telemetry(telemetry.clone());
@@ -401,6 +442,7 @@ impl Server {
             owns_pool: false,
             registry,
             ledger,
+            durable: None,
             metrics,
             telemetry,
             inflight: Inflight::new(),
@@ -476,6 +518,49 @@ impl Server {
             exporter.gauge(name, &[("cache", "starting_context")]).set(starting as f64);
             exporter.gauge(name, &[("cache", "reference_file")]).set(reference as f64);
         }
+    }
+
+    /// Mirrors the durable ledger's WAL health into the metrics registry —
+    /// registered as a collector by [`Server::start_durable`], so every
+    /// scrape reports durability alongside throughput.
+    fn publish_wal_stats(exporter: &MetricsRegistry, durable: &DurableLedger) {
+        for (name, help) in [
+            ("pcor_wal_appended_records", "Records appended to the WAL since open."),
+            ("pcor_wal_appended_bytes", "Payload bytes appended to the WAL since open."),
+            ("pcor_wal_fsyncs", "fsync calls the WAL issued (policy-dependent)."),
+            ("pcor_wal_segments", "Live WAL segment files on disk."),
+            ("pcor_wal_checkpoints", "Compaction checkpoints written since open."),
+            ("pcor_wal_records_since_checkpoint", "Tail length a restart would replay."),
+            ("pcor_wal_journal_errors", "Journal append failures (nonzero = fail-closed)."),
+            ("pcor_wal_replay_events", "Events replayed by the last startup recovery."),
+            ("pcor_wal_replay_seconds", "Wall time of the last startup recovery."),
+            ("pcor_wal_dangling_refunded", "Crash-dangling reservations refunded at recovery."),
+            ("pcor_wal_refunded_epsilon", "Epsilon those dangling refunds released."),
+            ("pcor_wal_warm_seeded", "Warm cache entries re-seeded from the checkpoint."),
+        ] {
+            exporter.set_help(name, help);
+        }
+        let stats = durable.wal_stats();
+        let report = durable.report();
+        let set = |name: &str, value: f64| exporter.gauge(name, &[]).set(value);
+        set("pcor_wal_appended_records", stats.appended_records as f64);
+        set("pcor_wal_appended_bytes", stats.appended_bytes as f64);
+        set("pcor_wal_fsyncs", stats.fsyncs as f64);
+        set("pcor_wal_segments", stats.segments as f64);
+        set("pcor_wal_checkpoints", stats.checkpoints as f64);
+        set("pcor_wal_records_since_checkpoint", stats.records_since_checkpoint as f64);
+        set("pcor_wal_journal_errors", durable.journal_errors() as f64);
+        set("pcor_wal_replay_events", report.events_replayed as f64);
+        set("pcor_wal_replay_seconds", report.replay_duration.as_secs_f64());
+        set("pcor_wal_dangling_refunded", report.dangling_refunded as f64);
+        set("pcor_wal_refunded_epsilon", report.refunded_epsilon);
+        let (contexts, references) = durable.warm_seeded();
+        exporter
+            .gauge("pcor_wal_warm_seeded", &[("cache", "starting_context")])
+            .set(contexts as f64);
+        exporter
+            .gauge("pcor_wal_warm_seeded", &[("cache", "reference_file")])
+            .set(references as f64);
     }
 
     /// Serves one envelope end to end on the calling pool worker. `trace`
@@ -865,6 +950,7 @@ impl Server {
         let (reply, receiver) = mpsc::channel();
         let registry = Arc::clone(&self.registry);
         let ledger = Arc::clone(&self.ledger);
+        let durable = self.durable.clone();
         let metrics = Arc::clone(&self.metrics);
         let pool = Arc::clone(&self.pool);
         let telemetry = self.telemetry.clone();
@@ -889,6 +975,13 @@ impl Server {
             server_span.finish();
             // A dropped handle is fine; ignore send errors.
             let _ = reply.send(outcome);
+            // Auto-compaction rides the serving task, after the reply is
+            // already on its way: the analyst never waits on a checkpoint.
+            // A failed checkpoint leaves the existing log intact (replay
+            // just stays long); the next eligible request retries.
+            if let Some(durable) = &durable {
+                let _ = durable.maybe_checkpoint(Some(&registry));
+            }
         });
         PendingResponse::new(receiver)
     }
@@ -986,6 +1079,7 @@ impl Server {
         let (events, receiver) = mpsc::sync_channel::<StreamEvent>(1);
         let registry = Arc::clone(&self.registry);
         let ledger = Arc::clone(&self.ledger);
+        let durable = self.durable.clone();
         let metrics = Arc::clone(&self.metrics);
         let pool = Arc::clone(&self.pool);
         let telemetry = self.telemetry.clone();
@@ -1012,6 +1106,10 @@ impl Server {
             );
             server_span.finish();
             let _ = events.send(StreamEvent::Done(summary));
+            // Same post-reply auto-compaction as the dispatch path.
+            if let Some(durable) = &durable {
+                let _ = durable.maybe_checkpoint(Some(&registry));
+            }
         });
         Ok(BatchStream { receiver, buffered: VecDeque::new(), done: None })
     }
@@ -1043,6 +1141,12 @@ impl Server {
         &self.ledger
     }
 
+    /// The crash-safe ledger behind this server, when it was started via
+    /// [`Server::start_durable`] (`None` on a plain in-memory server).
+    pub fn durable(&self) -> Option<&Arc<DurableLedger>> {
+        self.durable.as_ref()
+    }
+
     /// The resident pool executing this server's requests (and the
     /// verification engine's fork-join shards).
     pub fn pool(&self) -> &Arc<ThreadPool> {
@@ -1066,8 +1170,17 @@ impl Server {
     /// and — when the server owns its pool — shuts the pool down.
     /// Idempotent.
     pub fn shutdown(&self) {
-        self.accepting.store(false, Ordering::Release);
+        let was_accepting = self.accepting.swap(false, Ordering::AcqRel);
         self.inflight.drain();
+        // One final compaction after the drain, so the next start replays a
+        // checkpoint plus an empty tail and re-seeds its caches warm. Only
+        // the shutdown that actually closed the doors writes it; a failure
+        // here merely leaves a longer (still valid) log for replay.
+        if was_accepting {
+            if let Some(durable) = &self.durable {
+                let _ = durable.checkpoint(Some(&self.registry));
+            }
+        }
         if self.owns_pool {
             self.pool.shutdown();
         }
@@ -1612,5 +1725,97 @@ mod tests {
         assert!(spent >= 0.2 - 1e-9, "served items stay committed, spent {spent}");
         assert!(spent <= 0.2 * 4.0 + 1e-9, "cancelled items must refund, spent {spent}");
         assert!((server.ledger().remaining("alice", "toy") + spent - 10.0).abs() < 1e-9);
+    }
+
+    fn wal_test_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicU64;
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("pcor-server-wal-{tag}-{}-{unique}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn durable_server(dir: &std::path::Path, grant: f64) -> Server {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let durable = Arc::new(
+            crate::durable::DurableLedger::open(
+                crate::durable::WalConfig::at(dir),
+                BudgetLedger::new(grant),
+            )
+            .unwrap(),
+        );
+        Server::start_durable(
+            ServerConfig::default().with_workers(1).with_queue_capacity(16),
+            registry,
+            Arc::clone(&durable),
+        )
+    }
+
+    #[test]
+    fn plain_servers_carry_no_durable_ledger() {
+        let server = toy_server(1.0, 1);
+        assert!(server.durable().is_none());
+    }
+
+    #[test]
+    fn a_durable_server_restart_restores_budgets_and_serves_caches_warm() {
+        let dir = wal_test_dir("restart");
+        let remaining_before = {
+            let server = durable_server(&dir, 1.0);
+            let response = server.execute(toy_request("alice", 7)).unwrap();
+            assert!(!response.cache_hit, "a cold start has nothing cached");
+            // The scrape must report durability next to throughput.
+            let scrape = server.telemetry().render_prometheus();
+            assert!(scrape.contains("pcor_wal_appended_records"));
+            assert!(scrape.contains("pcor_wal_journal_errors 0"));
+            server.shutdown();
+            response.remaining_budget
+        };
+        let server = durable_server(&dir, 1.0);
+        let durable = server.durable().expect("started durable");
+        // Shutdown wrote a final checkpoint: the restart replays it plus an
+        // empty tail, and the ledger resumes exactly where it stopped.
+        assert!(durable.report().from_checkpoint);
+        assert_eq!(durable.report().events_replayed, 0);
+        assert!((server.ledger().remaining("alice", "toy") - remaining_before).abs() < 1e-9);
+        // Warm restart: the checkpoint carried the starting-context cache,
+        // so the very first release after the restart hits it.
+        let response = server.execute(toy_request("alice", 8)).unwrap();
+        assert!(response.cache_hit, "the restarted server must serve from the warmed cache");
+        assert!((response.remaining_budget - (remaining_before - 0.2)).abs() < 1e-9);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serving_traffic_auto_checkpoints_once_the_interval_elapses() {
+        let dir = wal_test_dir("auto");
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let mut config = crate::durable::WalConfig::at(&dir);
+        // Each served release journals two records (reserve + commit): the
+        // second request crosses the interval and triggers compaction.
+        config.checkpoint_interval = 3;
+        let durable =
+            Arc::new(crate::durable::DurableLedger::open(config, BudgetLedger::new(10.0)).unwrap());
+        let server = Server::start_durable(
+            ServerConfig::default().with_workers(1).with_queue_capacity(16),
+            registry,
+            Arc::clone(&durable),
+        );
+        server.execute(toy_request("alice", 1)).unwrap();
+        server.execute(toy_request("alice", 2)).unwrap();
+        // The auto-checkpoint runs on the serving task after the reply is
+        // already delivered; wait for it to land.
+        let started = Instant::now();
+        while durable.wal_stats().checkpoints == 0 {
+            assert!(started.elapsed().as_secs() < 30, "the interval checkpoint never fired");
+            std::thread::yield_now();
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

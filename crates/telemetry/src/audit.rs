@@ -120,7 +120,59 @@ impl BudgetEvent {
             | BudgetEvent::Refused { trace, .. } => *trace,
         }
     }
+
+    /// Returns the event with its `seq` replaced — used by the durable
+    /// ledger to stamp the journaled copy with the clock value the
+    /// in-memory append just assigned.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        match &mut self {
+            BudgetEvent::Reserved { seq: s, .. }
+            | BudgetEvent::Committed { seq: s, .. }
+            | BudgetEvent::Refunded { seq: s, .. }
+            | BudgetEvent::Refused { seq: s, .. } => *s = seq,
+        }
+        self
+    }
 }
+
+/// How a sequence check failed: the stream skipped clock values or
+/// repeated one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeqErrorKind {
+    /// `found > expected`: at least one event is missing.
+    Gap,
+    /// `found ≤` an already-seen seq: a duplicate (or reordered) event.
+    Duplicate,
+}
+
+/// The first offender found by a contiguity check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeqError {
+    /// Position of the offending event in the checked stream.
+    pub index: usize,
+    /// The seq the stream should have carried at that position.
+    pub expected: u64,
+    /// The seq it actually carried.
+    pub found: u64,
+    /// Whether values were skipped or repeated.
+    pub kind: SeqErrorKind,
+}
+
+impl std::fmt::Display for SeqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            SeqErrorKind::Gap => "gap",
+            SeqErrorKind::Duplicate => "duplicate",
+        };
+        write!(
+            f,
+            "audit seq {kind} at event {}: expected seq {}, found {}",
+            self.index, self.expected, self.found
+        )
+    }
+}
+
+impl std::error::Error for SeqError {}
 
 /// The replayed state of one `(analyst, dataset)` account, produced by
 /// [`AuditLog::fold`].
@@ -160,6 +212,21 @@ impl AuditLog {
     /// Creates an empty log with the logical clock at zero.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rebuilds a log from replayed events, preserving their seqs and
+    /// setting the clock past the highest one — the WAL recovery path.
+    /// Fresh appends continue the original numbering seamlessly.
+    pub fn replay(events: Vec<BudgetEvent>) -> Self {
+        let clock = events.iter().map(|e| e.seq() + 1).max().unwrap_or(0);
+        AuditLog { clock: AtomicU64::new(clock), events: Mutex::new(events) }
+    }
+
+    /// Advances the logical clock to at least `to`. Used when a checkpoint
+    /// recorded clock `to` but the tail after it is empty, so fresh appends
+    /// never reuse a seq the compacted prefix already spent.
+    pub fn advance_clock(&self, to: u64) {
+        self.clock.fetch_max(to, Ordering::SeqCst);
     }
 
     /// The next logical-clock value (what the next append will be stamped
@@ -205,8 +272,14 @@ impl AuditLog {
     /// snapshot is asserted against.
     pub fn fold(&self) -> BTreeMap<(String, String), AuditAccount> {
         let events = self.events.lock().expect("audit log poisoned");
+        Self::fold_events(&events)
+    }
+
+    /// The same fold over an externally-held event stream (e.g. one just
+    /// replayed from a WAL, before any log exists to hold it).
+    pub fn fold_events(events: &[BudgetEvent]) -> BTreeMap<(String, String), AuditAccount> {
         let mut accounts: BTreeMap<(String, String), AuditAccount> = BTreeMap::new();
-        for event in events.iter() {
+        for event in events {
             let (analyst, dataset) = event.account();
             let account = accounts.entry((analyst.to_string(), dataset.to_string())).or_default();
             match event {
@@ -217,6 +290,42 @@ impl AuditLog {
             }
         }
         accounts
+    }
+
+    /// Checks that the log's seqs are gap-free and duplicate-free,
+    /// surfacing the first offender. An empty log is trivially contiguous.
+    ///
+    /// This is the WAL replay integrity gate: a recovered stream whose
+    /// clocks skip or repeat means records were lost or re-delivered, and
+    /// replaying it would produce wrong balances.
+    pub fn verify_contiguous(&self) -> Result<(), SeqError> {
+        let events = self.events.lock().expect("audit log poisoned");
+        Self::verify_events_contiguous(&events, None)
+    }
+
+    /// The same check over an externally-held stream. When `start` is
+    /// given the first event must carry exactly that seq (a WAL tail must
+    /// start where its checkpoint's clock left off); otherwise the first
+    /// event anchors the expectation.
+    pub fn verify_events_contiguous(
+        events: &[BudgetEvent],
+        start: Option<u64>,
+    ) -> Result<(), SeqError> {
+        let anchor = match (events.first(), start) {
+            (None, _) => return Ok(()),
+            (Some(first), None) => first.seq(),
+            (Some(_), Some(start)) => start,
+        };
+        for (index, event) in events.iter().enumerate() {
+            let expected = anchor + index as u64;
+            let found = event.seq();
+            if found != expected {
+                let kind =
+                    if found > expected { SeqErrorKind::Gap } else { SeqErrorKind::Duplicate };
+                return Err(SeqError { index, expected, found, kind });
+            }
+        }
+        Ok(())
     }
 
     /// Serializes every event as a JSON array — the WAL-precursor dump.
@@ -298,6 +407,83 @@ mod tests {
         let bob = folded[&("bob".to_string(), "d".to_string())];
         assert_eq!(bob.refusals, 1);
         assert_eq!(bob.outstanding(), 0.0);
+    }
+
+    #[test]
+    fn verify_contiguous_accepts_an_empty_log() {
+        let log = AuditLog::new();
+        assert_eq!(log.verify_contiguous(), Ok(()));
+        assert_eq!(AuditLog::verify_events_contiguous(&[], Some(7)), Ok(()));
+    }
+
+    #[test]
+    fn verify_contiguous_accepts_dense_streams_from_any_anchor() {
+        let log = AuditLog::new();
+        log.append(reserved("alice", 0.1, 1));
+        log.append(reserved("alice", 0.1, 2));
+        log.append(reserved("bob", 0.1, 3));
+        assert_eq!(log.verify_contiguous(), Ok(()));
+        // A tail starting mid-history anchors at its own first seq…
+        let tail: Vec<_> = log.events().into_iter().skip(1).collect();
+        assert_eq!(AuditLog::verify_events_contiguous(&tail, None), Ok(()));
+        // …and matches an explicit checkpoint clock.
+        assert_eq!(AuditLog::verify_events_contiguous(&tail, Some(1)), Ok(()));
+    }
+
+    #[test]
+    fn verify_contiguous_surfaces_the_first_gap() {
+        let events = vec![
+            reserved("alice", 0.1, 1).with_seq(0),
+            reserved("alice", 0.1, 2).with_seq(1),
+            reserved("alice", 0.1, 3).with_seq(4),
+            reserved("alice", 0.1, 4).with_seq(5),
+        ];
+        let err = AuditLog::verify_events_contiguous(&events, None).unwrap_err();
+        assert_eq!(err, SeqError { index: 2, expected: 2, found: 4, kind: SeqErrorKind::Gap });
+        assert!(err.to_string().contains("gap"));
+    }
+
+    #[test]
+    fn verify_contiguous_surfaces_the_first_duplicate() {
+        let events = vec![
+            reserved("alice", 0.1, 1).with_seq(3),
+            reserved("alice", 0.1, 2).with_seq(4),
+            reserved("alice", 0.1, 3).with_seq(4),
+        ];
+        let err = AuditLog::verify_events_contiguous(&events, None).unwrap_err();
+        assert_eq!(
+            err,
+            SeqError { index: 2, expected: 5, found: 4, kind: SeqErrorKind::Duplicate }
+        );
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn verify_contiguous_pins_the_start_when_a_checkpoint_clock_is_given() {
+        let events = vec![reserved("alice", 0.1, 1).with_seq(9)];
+        let err = AuditLog::verify_events_contiguous(&events, Some(7)).unwrap_err();
+        assert_eq!(err.kind, SeqErrorKind::Gap);
+        assert_eq!(err.expected, 7);
+        assert_eq!(err.found, 9);
+    }
+
+    #[test]
+    fn replay_preserves_seqs_and_continues_the_clock() {
+        let original = AuditLog::new();
+        original.append(reserved("alice", 0.3, 1));
+        original.append(reserved("bob", 0.2, 2));
+        let rebuilt = AuditLog::replay(original.events());
+        assert_eq!(rebuilt.events(), original.events());
+        assert_eq!(rebuilt.clock(), original.clock());
+        let next = rebuilt.append(reserved("carol", 0.1, 3));
+        assert_eq!(next, 2, "fresh appends continue the original numbering");
+        assert_eq!(rebuilt.verify_contiguous(), Ok(()));
+
+        // An empty tail after a checkpoint: the clock advances to the
+        // checkpoint's value so compacted seqs are never reissued.
+        let empty = AuditLog::replay(Vec::new());
+        empty.advance_clock(17);
+        assert_eq!(empty.append(reserved("dave", 0.1, 4)), 17);
     }
 
     #[test]

@@ -37,7 +37,7 @@ mod audit;
 mod metrics;
 mod trace;
 
-pub use audit::{AuditAccount, AuditLog, BudgetEvent};
+pub use audit::{AuditAccount, AuditLog, BudgetEvent, SeqError, SeqErrorKind};
 pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 pub use trace::{SpanGuard, SpanId, SpanRecord, TraceId, TraceSink, STAGE_DURATION_METRIC};
 
@@ -75,6 +75,13 @@ impl Telemetry {
             audit: Arc::new(AuditLog::new()),
             collectors: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Creates a bundle around an existing audit log — the WAL recovery
+    /// path, where the log (with its original seqs and clock) is rebuilt
+    /// from replayed events before any telemetry exists to hold it.
+    pub fn with_audit(audit: AuditLog) -> Self {
+        Telemetry { audit: Arc::new(audit), ..Self::new() }
     }
 
     /// The shared metrics registry.

@@ -1,0 +1,222 @@
+//! The on-disk record frame: `[len: u32 LE][crc: u32 LE][kind: u8][payload]`.
+//!
+//! `len` counts the kind byte plus the payload; `crc` is the CRC-32 (IEEE)
+//! of the same bytes. A frame is *valid* only when it is fully present and
+//! its checksum matches — the reader classifies anything else as either a
+//! torn tail (an interrupted final write: the frame runs past the end of
+//! the segment, or it is the very last thing in the segment and fails its
+//! checksum) or mid-log corruption (a bad frame with intact data after it,
+//! which no crash of this writer can produce).
+
+/// Bytes of the `len` + `crc` frame header.
+pub const FRAME_HEADER_BYTES: usize = 8;
+
+/// Upper bound on `len`. Rejecting absurd lengths early keeps a torn
+/// header (whose garbage `len` could point anywhere) from being chased as
+/// if it were a real frame.
+pub const MAX_RECORD_BYTES: usize = 1 << 26;
+
+/// The kind tag of one record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// An application event — the WAL's bread and butter.
+    Event,
+    /// A compaction checkpoint: a self-contained snapshot that subsumes
+    /// every record before it.
+    Checkpoint,
+}
+
+impl RecordKind {
+    fn tag(self) -> u8 {
+        match self {
+            RecordKind::Event => 1,
+            RecordKind::Checkpoint => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            1 => Some(RecordKind::Event),
+            2 => Some(RecordKind::Checkpoint),
+            _ => None,
+        }
+    }
+}
+
+/// CRC-32 (IEEE 802.3, the zlib polynomial), table-driven.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// The CRC-32 (IEEE) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Appends one framed record to `out`.
+pub fn encode_frame(kind: RecordKind, payload: &[u8], out: &mut Vec<u8>) {
+    let len = payload.len() + 1;
+    assert!(len <= MAX_RECORD_BYTES, "record of {len} bytes exceeds the frame limit");
+    out.reserve(FRAME_HEADER_BYTES + len);
+    out.extend_from_slice(&(len as u32).to_le_bytes());
+    let body_start = out.len() + 4 + 1;
+    let mut crc_input = Vec::with_capacity(len);
+    crc_input.push(kind.tag());
+    crc_input.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(&crc_input).to_le_bytes());
+    out.push(kind.tag());
+    out.extend_from_slice(payload);
+    debug_assert_eq!(out.len(), body_start + payload.len());
+}
+
+/// The outcome of decoding the frame at one offset.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameOutcome {
+    /// A valid frame: its kind, payload bytes and the offset just past it.
+    Frame {
+        /// The record's kind tag.
+        kind: RecordKind,
+        /// The record payload (kind byte stripped).
+        payload: Vec<u8>,
+        /// Offset of the next frame.
+        next: usize,
+    },
+    /// The offset is exactly the end of the segment — a clean end.
+    Clean,
+    /// The bytes at the offset are an interrupted final write: the frame is
+    /// incomplete, overruns the segment, or is the segment's very last
+    /// frame with a bad checksum. Recovery truncates the segment here.
+    Torn,
+    /// A bad frame with intact data after it — this writer never produces
+    /// that shape, so the segment is corrupt (bit rot, external edits).
+    Corrupt(String),
+}
+
+/// Decodes the frame starting at `offset` of `bytes`.
+pub fn decode_frame(bytes: &[u8], offset: usize) -> FrameOutcome {
+    let remaining = bytes.len() - offset;
+    if remaining == 0 {
+        return FrameOutcome::Clean;
+    }
+    if remaining < FRAME_HEADER_BYTES {
+        return FrameOutcome::Torn;
+    }
+    let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    if len == 0 || len > MAX_RECORD_BYTES || len > remaining - FRAME_HEADER_BYTES {
+        // A garbage or overrunning length: a torn header write. If real
+        // data followed, the CRC path below would have caught a clean
+        // frame instead, so this is only ever the end of the segment.
+        return FrameOutcome::Torn;
+    }
+    let body = &bytes[offset + FRAME_HEADER_BYTES..offset + FRAME_HEADER_BYTES + len];
+    let next = offset + FRAME_HEADER_BYTES + len;
+    if crc32(body) != crc {
+        // A fully-present frame with a bad checksum: a torn payload write
+        // when nothing follows it, corruption when something does.
+        return if next == bytes.len() {
+            FrameOutcome::Torn
+        } else {
+            FrameOutcome::Corrupt(format!("checksum mismatch at offset {offset}"))
+        };
+    }
+    match RecordKind::from_tag(body[0]) {
+        Some(kind) => FrameOutcome::Frame { kind, payload: body[1..].to_vec(), next },
+        None => {
+            FrameOutcome::Corrupt(format!("unknown record kind {} at offset {offset}", body[0]))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_the_ieee_check_value() {
+        // The canonical CRC-32 check: crc32(b"123456789") == 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        encode_frame(RecordKind::Event, b"hello", &mut buf);
+        encode_frame(RecordKind::Checkpoint, b"", &mut buf);
+        let first = decode_frame(&buf, 0);
+        let FrameOutcome::Frame { kind, payload, next } = first else {
+            panic!("expected a frame, got {first:?}");
+        };
+        assert_eq!(kind, RecordKind::Event);
+        assert_eq!(payload, b"hello");
+        let second = decode_frame(&buf, next);
+        let FrameOutcome::Frame { kind, payload, next } = second else {
+            panic!("expected a frame, got {second:?}");
+        };
+        assert_eq!(kind, RecordKind::Checkpoint);
+        assert!(payload.is_empty());
+        assert_eq!(decode_frame(&buf, next), FrameOutcome::Clean);
+    }
+
+    #[test]
+    fn every_truncation_of_the_final_frame_is_torn() {
+        let mut buf = Vec::new();
+        encode_frame(RecordKind::Event, b"first", &mut buf);
+        let prefix = buf.len();
+        encode_frame(RecordKind::Event, b"second record payload", &mut buf);
+        for cut in prefix + 1..buf.len() {
+            assert_eq!(
+                decode_frame(&buf[..cut], prefix),
+                FrameOutcome::Torn,
+                "cut at {cut} must read as a torn tail"
+            );
+        }
+    }
+
+    #[test]
+    fn a_bad_frame_with_data_after_it_is_corruption() {
+        let mut buf = Vec::new();
+        encode_frame(RecordKind::Event, b"first", &mut buf);
+        encode_frame(RecordKind::Event, b"second", &mut buf);
+        // Flip a payload byte of the *first* frame: its checksum fails while
+        // the second frame is intact after it.
+        buf[FRAME_HEADER_BYTES + 2] ^= 0x40;
+        assert!(matches!(decode_frame(&buf, 0), FrameOutcome::Corrupt(_)));
+    }
+
+    #[test]
+    fn a_bad_final_checksum_is_a_torn_tail() {
+        let mut buf = Vec::new();
+        encode_frame(RecordKind::Event, b"only", &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        assert_eq!(decode_frame(&buf, 0), FrameOutcome::Torn);
+    }
+
+    #[test]
+    fn unknown_kind_tags_are_corruption() {
+        let mut buf = Vec::new();
+        let body = [9u8, b'x'];
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&crc32(&body).to_le_bytes());
+        buf.extend_from_slice(&body);
+        assert!(matches!(decode_frame(&buf, 0), FrameOutcome::Corrupt(_)));
+    }
+}

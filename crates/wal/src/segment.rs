@@ -1,0 +1,78 @@
+//! Segment files: naming, listing, and directory durability.
+//!
+//! A log directory holds segments named `wal-{index:020}.seg` with a
+//! strictly monotone index, so lexicographic order *is* append order. New
+//! indices never reuse old ones, even after compaction prunes a prefix —
+//! replay can therefore trust that a gap in indices below the first
+//! retained segment means "compacted away", while a gap between retained
+//! segments means someone deleted data.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File extension of a live segment.
+pub const SEGMENT_EXTENSION: &str = "seg";
+
+const SEGMENT_PREFIX: &str = "wal-";
+const INDEX_DIGITS: usize = 20;
+
+/// Builds the path of the segment with the given index.
+pub fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("{SEGMENT_PREFIX}{index:0INDEX_DIGITS$}.{SEGMENT_EXTENSION}"))
+}
+
+/// Parses a segment file name back into its index.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let stem = name.strip_prefix(SEGMENT_PREFIX)?.strip_suffix(&format!(".{SEGMENT_EXTENSION}"))?;
+    if stem.len() != INDEX_DIGITS || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse().ok()
+}
+
+/// Lists the segment indices present in `dir`, ascending.
+///
+/// Non-segment files are ignored so a crash-leftover temp file cannot wedge
+/// recovery.
+pub fn list_segments(dir: &Path) -> io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(index) = entry.file_name().to_str().and_then(parse_segment_name) {
+            indices.push(index);
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+/// Fsyncs the directory itself so renames/creates/deletes inside it are
+/// durable. A no-op error on platforms that refuse to open directories is
+/// surfaced to the caller — the workspace only targets Unix, where this
+/// works.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_and_sort_in_append_order() {
+        let dir = Path::new("/tmp");
+        let earlier = segment_path(dir, 7);
+        let later = segment_path(dir, 123);
+        assert!(earlier.file_name().unwrap() < later.file_name().unwrap());
+        assert_eq!(parse_segment_name(earlier.file_name().unwrap().to_str().unwrap()), Some(7));
+        assert_eq!(parse_segment_name(later.file_name().unwrap().to_str().unwrap()), Some(123));
+    }
+
+    #[test]
+    fn foreign_files_are_not_segments() {
+        assert_eq!(parse_segment_name("wal-0000000000000000000x.seg"), None);
+        assert_eq!(parse_segment_name("wal-7.seg"), None);
+        assert_eq!(parse_segment_name("checkpoint.tmp"), None);
+        assert_eq!(parse_segment_name("wal-00000000000000000007.log"), None);
+    }
+}

@@ -1,0 +1,306 @@
+//! Integration tests of the crash-safe budget ledger: a child process is
+//! killed between `Reserved` and `Committed` and the restarted server must
+//! resume from exactly the pre-crash committed state, and a proptest
+//! truncates the on-disk log at arbitrary byte offsets and proves replay
+//! always yields a consistent prefix (or refuses) — never a wrong balance.
+
+use pcor::prelude::*;
+use pcor::wal::FsyncPolicy;
+use proptest::prelude::*;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+fn test_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("pcor-wal-it-{tag}-{}-{unique}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Record 0 is a planted outlier in its own (a0, b0) cell — the same
+/// deterministic workload the server's unit tests use, so the crash child
+/// never depends on a random outlier search succeeding.
+fn toy_dataset() -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Attribute::from_values("A", &["a0", "a1"]),
+            Attribute::from_values("B", &["b0", "b1"]),
+        ],
+        "M",
+    )
+    .unwrap();
+    let mut records = vec![Record::new(vec![0, 0], 900.0)];
+    for i in 0..40 {
+        records
+            .push(Record::new(vec![(i % 2) as u16, ((i / 2) % 2) as u16], 100.0 + (i % 7) as f64));
+    }
+    Dataset::new(schema, records).unwrap()
+}
+
+fn toy_request(seed: u64) -> ReleaseRequest {
+    ReleaseRequest::new("alice", "toy", 0)
+        .with_detector(DetectorKind::ZScore)
+        .with_algorithm(SamplingAlgorithm::Bfs)
+        .with_epsilon(0.2)
+        .with_samples(5)
+        .with_seed(seed)
+}
+
+fn durable_config(dir: &Path) -> WalConfig {
+    let mut config = WalConfig::at(dir);
+    // Every record reaches stable storage before it is acknowledged: the
+    // abort below must not be able to take acknowledged state with it.
+    config.fsync = FsyncPolicy::EveryRecord;
+    config
+}
+
+/// The child half of the kill test: serve one release through the full
+/// durable stack (its ε is committed and on disk), then take the summed-ε
+/// batch reservation and die before any item commits — the worst possible
+/// moment, with ε held but nothing released. Never returns.
+fn run_crash_child(dir: &str) -> ! {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register("toy", toy_dataset());
+    let durable = Arc::new(
+        DurableLedger::open(durable_config(Path::new(dir)), BudgetLedger::new(1.0)).unwrap(),
+    );
+    let server = Server::start_durable(
+        ServerConfig::default().with_workers(1).with_queue_capacity(8),
+        registry,
+        durable,
+    );
+    let response = server.execute(toy_request(7)).unwrap();
+    println!("COMMITTED_REMAINING={}", response.remaining_budget);
+    // The batch path's phase 1: one reservation for the summed item ε,
+    // journaled as `Reserved`. The process dies between that record and
+    // the batch's `Committed` — the reservation's drop-guard refund never
+    // runs, so only WAL recovery can give the ε back.
+    let held = server
+        .ledger()
+        .reserve_traced("alice", "toy", 0.3, 999, Some("exponential".to_string()))
+        .unwrap();
+    println!("RESERVED={}", held.epsilon());
+    std::io::stdout().flush().unwrap();
+    std::mem::forget(held);
+    std::process::abort();
+}
+
+#[test]
+fn kill_mid_batch_recovers_exactly_the_committed_state() {
+    // Re-invoked in the child with the WAL directory in the environment.
+    if let Ok(dir) = std::env::var("PCOR_WAL_CRASH_DIR") {
+        run_crash_child(&dir);
+    }
+
+    let dir = test_dir("crash");
+    let exe = std::env::current_exe().unwrap();
+    let output = std::process::Command::new(exe)
+        .args([
+            "kill_mid_batch_recovers_exactly_the_committed_state",
+            "--exact",
+            "--nocapture",
+            "--test-threads=1",
+        ])
+        .env("PCOR_WAL_CRASH_DIR", dir.display().to_string())
+        .output()
+        .unwrap();
+    assert!(!output.status.success(), "the child must abort mid-batch, not exit cleanly");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    // The libtest harness prints its `test … ` prefix on the same line as
+    // the child's first write, so match the key anywhere in a line.
+    let field = |key: &str| -> f64 {
+        stdout
+            .lines()
+            .find_map(|line| line.split(key).nth(1))
+            .unwrap_or_else(|| panic!("child never printed {key}: {stdout}"))
+            .trim()
+            .parse()
+            .unwrap()
+    };
+    let committed_remaining = field("COMMITTED_REMAINING=");
+    let reserved = field("RESERVED=");
+    assert!((reserved - 0.3).abs() < 1e-12);
+
+    // Restart: replay must refund the dangling batch reservation and land
+    // on exactly the pre-crash committed balance.
+    let durable = DurableLedger::open(durable_config(&dir), BudgetLedger::new(1.0)).unwrap();
+    let report = report_snapshot(&durable);
+    assert_eq!(report.dangling_refunded, 1, "the orphaned batch hold must be refunded once");
+    assert!((report.refunded_epsilon - reserved).abs() < 1e-12);
+    let ledger = durable.ledger();
+    assert!(
+        (ledger.remaining("alice", "toy") - committed_remaining).abs() < 1e-9,
+        "restart must resume at the pre-crash committed state: {} vs {committed_remaining}",
+        ledger.remaining("alice", "toy"),
+    );
+    // The ledger invariant the WAL exists for: snapshot ≡ fold(replayed
+    // events), and no ε is leaked in either direction.
+    let folded = durable.telemetry().audit().fold();
+    for entry in ledger.snapshot() {
+        let account = &folded[&(entry.analyst.clone(), entry.dataset.clone())];
+        assert!((account.committed - entry.spent).abs() < 1e-12);
+        assert!((account.outstanding() - entry.reserved).abs() < 1e-12);
+        assert!(entry.reserved.abs() < 1e-12, "no reservation may survive a restart");
+    }
+    // A second replay of the repaired log is a no-op: the synthesized
+    // refund balanced the trace.
+    drop(durable);
+    let again = DurableLedger::open(durable_config(&dir), BudgetLedger::new(1.0)).unwrap();
+    assert_eq!(again.report().dangling_refunded, 0, "the repair must be idempotent");
+    assert!((again.ledger().remaining("alice", "toy") - committed_remaining).abs() < 1e-9);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+fn report_snapshot(durable: &DurableLedger) -> RecoveryReport {
+    durable.report().clone()
+}
+
+/// The deterministic six-event history the truncation tests replay:
+/// reserve/commit 0.3, reserve/refund 0.2, reserve/commit 0.1.
+/// `COMMITTED_BY_PREFIX[p]` is the committed ε after the first `p` events.
+const COMMITTED_BY_PREFIX: [f64; 7] = [0.0, 0.0, 0.3, 0.3, 0.3, 0.3, 0.4];
+const SEGMENT_NAME: &str = "wal-00000000000000000000.seg";
+
+/// Builds the golden log once and returns its raw segment bytes.
+fn golden_log_bytes() -> &'static [u8] {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let dir = test_dir("golden");
+        {
+            let durable =
+                DurableLedger::open(durable_config(&dir), BudgetLedger::new(1.0)).unwrap();
+            let ledger = durable.ledger();
+            let r = ledger.reserve_traced("alice", "salary", 0.3, 1, None).unwrap();
+            ledger.commit(r);
+            let r = ledger.reserve_traced("alice", "salary", 0.2, 2, None).unwrap();
+            ledger.refund(r);
+            let r = ledger.reserve_traced("alice", "salary", 0.1, 3, None).unwrap();
+            ledger.commit(r);
+        }
+        let bytes = std::fs::read(dir.join(SEGMENT_NAME)).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+        bytes
+    })
+}
+
+/// Byte offsets at which each frame of the log ends, in order — the only
+/// truncation points at which a whole extra event survives.
+fn frame_ends(bytes: &[u8]) -> Vec<usize> {
+    let mut ends = Vec::new();
+    let mut offset = 0usize;
+    while offset + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 8 + len;
+        ends.push(offset);
+    }
+    assert_eq!(*ends.last().unwrap(), bytes.len(), "the golden log must end on a frame");
+    ends
+}
+
+/// Replays the golden log truncated to its first `cut` bytes and checks
+/// the outcome is a consistent prefix: the replayed event count is the
+/// number of whole surviving frames, the balance is that prefix's fold
+/// (dangling holds refunded), and nothing stays reserved. A refusal
+/// (`ServiceError::Durability`) is also acceptable; a wrong balance never.
+fn check_truncation(cut: usize) {
+    let bytes = golden_log_bytes();
+    let ends = frame_ends(bytes);
+    let surviving = ends.iter().filter(|&&end| end <= cut).count();
+    let dir = test_dir("truncate");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join(SEGMENT_NAME), &bytes[..cut]).unwrap();
+    match DurableLedger::open(durable_config(&dir), BudgetLedger::new(1.0)) {
+        Ok(durable) => {
+            assert_eq!(
+                durable.report().events_replayed,
+                surviving,
+                "cut at {cut}: replay must see exactly the whole surviving frames"
+            );
+            let expected_spent = COMMITTED_BY_PREFIX[surviving];
+            let ledger = durable.ledger();
+            let spent = ledger.spent("alice", "salary");
+            assert!(
+                (spent - expected_spent).abs() < 1e-12,
+                "cut at {cut}: spent {spent} but the {surviving}-event prefix committed \
+                 {expected_spent}"
+            );
+            assert!((ledger.remaining("alice", "salary") - (1.0 - expected_spent)).abs() < 1e-12);
+            for entry in ledger.snapshot() {
+                assert!(entry.reserved.abs() < 1e-12, "cut at {cut}: ε left reserved");
+            }
+            durable.telemetry().audit().verify_contiguous().unwrap();
+        }
+        Err(ServiceError::Durability(_)) => {
+            // Refusing a damaged log is always sound; serving from a wrong
+            // balance is the only failure mode.
+        }
+        Err(other) => panic!("cut at {cut}: unexpected error kind {other}"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Exhaustive: every byte offset of the log, including 0 and the full
+/// length. The log is a few hundred bytes, so this is cheap and strictly
+/// stronger than sampling.
+#[test]
+fn every_truncation_offset_replays_a_consistent_prefix() {
+    let len = golden_log_bytes().len();
+    for cut in 0..=len {
+        check_truncation(cut);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized double-coverage of the same invariant, plus corruption:
+    /// after truncating at a random offset, also flip a random byte of the
+    /// surviving prefix — replay must still produce either a consistent
+    /// (possibly shorter) prefix or a durability refusal, never a wrong
+    /// balance.
+    #[test]
+    fn truncated_and_corrupted_logs_never_yield_a_wrong_balance(
+        cut_raw in any::<usize>(),
+        flip_at_raw in any::<usize>(),
+        flip_mask in 1u8..=255,
+    ) {
+        let bytes = golden_log_bytes();
+        let cut = cut_raw % (bytes.len() + 1);
+        check_truncation(cut);
+
+        // Corruption round: damage one byte inside the truncated prefix.
+        if cut == 0 {
+            return Ok(());
+        }
+        let flip_at = flip_at_raw % cut;
+        let mut damaged = bytes[..cut].to_vec();
+        damaged[flip_at] ^= flip_mask;
+        let dir = test_dir("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(SEGMENT_NAME), &damaged).unwrap();
+        match DurableLedger::open(durable_config(&dir), BudgetLedger::new(1.0)) {
+            Ok(durable) => {
+                // Whatever survived decoding must still be a self-consistent
+                // prefix of the true history: contiguous, fully resolved, and
+                // its balance equal to its own fold.
+                let surviving = durable.report().events_replayed;
+                prop_assert!(surviving <= 6);
+                let expected_spent = COMMITTED_BY_PREFIX[surviving];
+                let spent = durable.ledger().spent("alice", "salary");
+                prop_assert!(
+                    (spent - expected_spent).abs() < 1e-12,
+                    "flip at {} of cut {}: spent {} vs prefix {}",
+                    flip_at, cut, spent, expected_spent
+                );
+                durable.telemetry().audit().verify_contiguous().unwrap();
+            }
+            Err(ServiceError::Durability(_)) => {}
+            Err(other) => panic!("unexpected error kind {other}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
