@@ -15,6 +15,10 @@
 //!    while a checkpointed one replays `O(checkpoint + tail)`. The sweep
 //!    measures both on the same history; the summary reports the
 //!    speedup. Results land in `BENCH_wal.json` via `reproduce --json`.
+//! 3. **Does group commit pay under concurrency?** Concurrent committers
+//!    drive reserve/commit pairs through the [`DurableLedger`] with the
+//!    leader/follower fsync coalescing on and off; the off rows are the
+//!    pre-group in-lock-fsync baseline.
 
 use crate::config::ExperimentScale;
 use crate::report::Table;
@@ -108,6 +112,61 @@ fn build_history(dir: &Path, events: usize) -> Result<()> {
     Ok(())
 }
 
+/// Drives `committers` threads through a [`DurableLedger`], each issuing
+/// `pairs` reserve/commit pairs, and returns (commits/sec, fsyncs).
+///
+/// With `group_commit` the journal coalesces concurrent commit fsyncs
+/// through the [`GroupWal`](pcor_wal::GroupWal) leader/follower protocol;
+/// without it every committer syncs inside the journal lock — the
+/// pre-group baseline.
+fn measure_group_commit(committers: usize, pairs: usize, group_commit: bool) -> Result<(f64, u64)> {
+    let dir = scratch_dir("group");
+    let config = WalConfig {
+        group_commit,
+        // No auto-checkpoints: the measurement is pure append + fsync.
+        checkpoint_interval: 0,
+        ..WalConfig::at(dir.clone())
+    };
+    let durable = DurableLedger::open(config, BudgetLedger::new(1e9)).map_err(service_error)?;
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..committers)
+            .map(|worker| {
+                let durable = &durable;
+                scope.spawn(move || -> Result<()> {
+                    let ledger = durable.ledger();
+                    let analyst = format!("committer-{worker}");
+                    for i in 0..pairs as u64 {
+                        let trace = (worker as u64) * pairs as u64 + i + 1;
+                        let r = ledger
+                            .reserve_traced(&analyst, "salary", 0.25, trace, None)
+                            .map_err(service_error)?;
+                        ledger.commit(r);
+                    }
+                    Ok(())
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("committer thread panicked")?;
+        }
+        Ok::<(), BenchError>(())
+    })?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let commits = (committers * pairs) as f64;
+    let committed: f64 = durable.ledger().snapshot().iter().map(|entry| entry.spent).sum();
+    if (committed - 0.25 * commits).abs() > 1e-6 {
+        return Err(BenchError::Service(format!(
+            "group-commit ledger committed {committed}, expected {}",
+            0.25 * commits
+        )));
+    }
+    let fsyncs = durable.wal_stats().fsyncs;
+    drop(durable);
+    std::fs::remove_dir_all(&dir).map_err(|e| BenchError::Service(e.to_string()))?;
+    Ok((commits / elapsed.max(1e-12), fsyncs))
+}
+
 /// Opens the log and returns (events replayed, replay seconds, committed ε
 /// across all accounts — the correctness digest).
 fn measure_replay(dir: &Path) -> Result<(usize, f64, f64)> {
@@ -124,12 +183,17 @@ fn measure_replay(dir: &Path) -> Result<(usize, f64, f64)> {
 /// Returns [`BenchError::Service`] on WAL failures or when a replayed
 /// balance diverges from the appended history.
 pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
-    let (append_records, replay_sweep, tail_events): (usize, &[usize], usize) =
-        if scale.salary_records < 2_000 {
-            (600, &[600, 2_400], 24)
-        } else {
-            (8_000, &[4_000, 16_000, 64_000], 64)
-        };
+    let (append_records, replay_sweep, tail_events, committer_sweep, commit_pairs): (
+        usize,
+        &[usize],
+        usize,
+        &[usize],
+        usize,
+    ) = if scale.salary_records < 2_000 {
+        (600, &[600, 2_400], 24, &[1, 4], 40)
+    } else {
+        (8_000, &[4_000, 16_000, 64_000], 64, &[1, 4, 8], 250)
+    };
 
     // ---- Append throughput per fsync policy. ----
     let mut append_table = Table::new(
@@ -231,7 +295,30 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         summary.push_row(vec![events.to_string(), format!("{speedup:.1}x")]);
     }
 
-    Ok(ExperimentOutput { tables: vec![append_table, replay_table, summary], figures: vec![] })
+    // ---- Cross-request group commit vs in-lock fsync. ----
+    let mut group_table = Table::new(
+        format!(
+            "Group commit: concurrent committers through the durable ledger \
+             ({commit_pairs} reserve/commit pairs per committer, fsync on commit)"
+        ),
+        &["committers", "Variant", "commits/sec", "fsyncs"],
+    );
+    for &committers in committer_sweep {
+        for group in [true, false] {
+            let (rate, fsyncs) = measure_group_commit(committers, commit_pairs, group)?;
+            group_table.push_row(vec![
+                committers.to_string(),
+                if group { "group commit" } else { "in-lock fsync" }.to_string(),
+                format!("{rate:.0}"),
+                fsyncs.to_string(),
+            ]);
+        }
+    }
+
+    Ok(ExperimentOutput {
+        tables: vec![append_table, replay_table, summary, group_table],
+        figures: vec![],
+    })
 }
 
 use super::ExperimentOutput;
@@ -244,7 +331,7 @@ mod tests {
     fn wal_experiment_reports_policies_and_tail_bounded_replay() {
         let scale = ExperimentScale::smoke();
         let output = run(&scale).expect("wal experiment");
-        assert_eq!(output.tables.len(), 3);
+        assert_eq!(output.tables.len(), 4);
         // 3 fsync policies.
         assert_eq!(output.tables[0].rows.len(), 3);
         for row in &output.tables[0].rows {
@@ -261,5 +348,13 @@ mod tests {
             assert!(tail < full, "the checkpoint must bound the replayed tail");
         }
         assert_eq!(output.tables[2].rows.len(), 2);
+        // 2 committer counts x {group commit, in-lock fsync}; every
+        // variant moves commits (the ε digest is hard-checked inside
+        // `run`, so a passing row proves zero lost commits too).
+        assert_eq!(output.tables[3].rows.len(), 4);
+        for row in &output.tables[3].rows {
+            let rate: f64 = row[2].parse().unwrap();
+            assert!(rate > 0.0, "{} committers ({}) reported no throughput", row[0], row[1]);
+        }
     }
 }

@@ -79,6 +79,7 @@
 #![warn(missing_docs)]
 
 pub mod bfs;
+pub mod cancel;
 pub mod coe;
 pub mod dfs;
 pub mod direct;
@@ -91,6 +92,7 @@ pub mod starting;
 pub mod uniform;
 pub mod verify;
 
+pub use cancel::CancelToken;
 pub use coe::{enumerate_coe, enumerate_coe_on, enumerate_coe_with, ReferenceEntry, ReferenceFile};
 pub use pcor_dp::{MechanismKind, MechanismTally, SelectionMechanism};
 pub use runner::find_random_outlier;
@@ -138,6 +140,10 @@ pub enum PcorError {
     Data(String),
     /// An error from the privacy substrate.
     Dp(pcor_dp::DpError),
+    /// The release was cooperatively cancelled (explicit cancel or an
+    /// expired deadline on its [`CancelToken`]). No private draw was
+    /// published; the caller may refund the release's reserved budget.
+    Cancelled,
 }
 
 impl std::fmt::Display for PcorError {
@@ -155,6 +161,7 @@ impl std::fmt::Display for PcorError {
             PcorError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             PcorError::Data(msg) => write!(f, "data error: {msg}"),
             PcorError::Dp(e) => write!(f, "privacy error: {e}"),
+            PcorError::Cancelled => write!(f, "the release was cancelled before completion"),
         }
     }
 }

@@ -45,6 +45,7 @@
 //! assert!(first.guarantee.epsilon <= 0.2 + 1e-12);
 //! ```
 
+use crate::cancel::CancelToken;
 use crate::coe::{enumerate_coe_on, enumerate_coe_with, ReferenceFile};
 use crate::runner::OutlierQuery;
 use crate::starting::{find_starting_context, DEFAULT_SEARCH_BUDGET};
@@ -229,6 +230,7 @@ pub struct ReleaseSessionBuilder<'a> {
     pool: Option<Arc<ThreadPool>>,
     mechanism: MechanismKind,
     trace: Option<TraceContext>,
+    cancel: Option<CancelToken>,
 }
 
 /// The telemetry hookup of a traced session: every release opens a
@@ -305,6 +307,18 @@ impl<'a> ReleaseSessionBuilder<'a> {
         self
     }
 
+    /// Attaches a [`CancelToken`]: every verifier the session creates
+    /// checks it before each fresh `f_M` evaluation, so a tripped token
+    /// stops in-flight releases with [`PcorError::Cancelled`] within one
+    /// verification call. The session stays usable afterwards — memo
+    /// caches are intact — which is what lets a serving layer refund a
+    /// cancelled release's budget and keep the session warm.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Finalizes the session.
     pub fn build(self) -> ReleaseSession<'a> {
         ReleaseSession {
@@ -316,6 +330,7 @@ impl<'a> ReleaseSessionBuilder<'a> {
             pool: self.pool,
             mechanism: self.mechanism,
             trace: self.trace,
+            cancel: self.cancel,
             verifiers: HashMap::new(),
             starting_contexts: HashMap::new(),
             references: HashMap::new(),
@@ -381,6 +396,7 @@ pub struct ReleaseSession<'a> {
     pool: Option<Arc<ThreadPool>>,
     mechanism: MechanismKind,
     trace: Option<TraceContext>,
+    cancel: Option<CancelToken>,
     verifiers: HashMap<usize, Verifier<'a>>,
     starting_contexts: HashMap<usize, Context>,
     references: HashMap<usize, ReferenceFile>,
@@ -411,6 +427,7 @@ impl<'a> ReleaseSession<'a> {
             pool: None,
             mechanism: MechanismKind::default(),
             trace: None,
+            cancel: None,
         }
     }
 
@@ -464,18 +481,25 @@ impl<'a> ReleaseSession<'a> {
     fn verifier(&mut self, record_id: usize) -> &mut Verifier<'a> {
         let (dataset, detector, utility) = (self.dataset, self.detector, self.utility);
         let pool = self.pool.as_ref();
-        self.verifiers.entry(record_id).or_insert_with(|| match pool {
-            // With a pool attached, the verifier's fused passes shard on
-            // resident workers (pool-sized, lower break-even). Results are
-            // bit-identical either way.
-            Some(pool) => Verifier::with_shard_policy(
-                dataset,
-                detector,
-                utility,
-                record_id,
-                ShardPolicy::pooled(Arc::clone(pool)),
-            ),
-            None => Verifier::new(dataset, detector, utility, record_id),
+        let cancel = self.cancel.as_ref();
+        self.verifiers.entry(record_id).or_insert_with(|| {
+            let mut verifier = match pool {
+                // With a pool attached, the verifier's fused passes shard on
+                // resident workers (pool-sized, lower break-even). Results
+                // are bit-identical either way.
+                Some(pool) => Verifier::with_shard_policy(
+                    dataset,
+                    detector,
+                    utility,
+                    record_id,
+                    ShardPolicy::pooled(Arc::clone(pool)),
+                ),
+                None => Verifier::new(dataset, detector, utility, record_id),
+            };
+            if let Some(token) = cancel {
+                verifier.set_cancel_token(token.clone());
+            }
+            verifier
         })
     }
 
@@ -1068,6 +1092,30 @@ mod tests {
             assert_eq!(defaulted.context, explicit.context);
             assert_eq!(defaulted.utility, explicit.utility);
         }
+    }
+
+    #[test]
+    fn tripped_cancel_tokens_stop_releases_between_verifications() {
+        let d = dataset();
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let token = CancelToken::new();
+        let mut session =
+            ReleaseSession::builder(&d, &detector, &utility).cancel_token(token.clone()).build();
+        let spec = ReleaseSpec::new(SamplingAlgorithm::Bfs, 0.2).with_samples(8);
+        // Untripped: releases flow normally.
+        session.release_with_seed(0, &spec, 5).unwrap();
+        let cached_calls = session.stats().verification_calls;
+        token.cancel();
+        // A replayed release is served from the memo cache as far as it
+        // goes, but the first *fresh* evaluation fails with Cancelled.
+        let outcome = session.release_with_seed(1, &spec, 5);
+        assert_eq!(outcome, Err(PcorError::Cancelled));
+        assert_eq!(
+            session.stats().verification_calls,
+            cached_calls,
+            "a cancelled release must not run fresh verification work"
+        );
     }
 
     #[test]

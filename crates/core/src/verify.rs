@@ -31,6 +31,7 @@
 //! exactly the scoring rule of Section 3.2 that makes the Exponential
 //! mechanism output constrained.
 
+use crate::cancel::CancelToken;
 use crate::{PcorError, Result};
 use pcor_data::{Context, Dataset, PopulationCursor, RecordBitmap, ShardPolicy};
 use pcor_dp::Utility;
@@ -164,6 +165,9 @@ pub struct Verifier<'a> {
     /// Whether the detector decides from population moments (probed once at
     /// construction; `supports_moments` is constant per instance).
     use_moments: bool,
+    /// Cooperative cancellation, checked before every fresh evaluation
+    /// (cache hits are never blocked). `None` means uncancellable.
+    cancel: Option<CancelToken>,
     calls: usize,
     lookups: usize,
 }
@@ -199,8 +203,32 @@ impl<'a> Verifier<'a> {
             metrics_buf: Vec::new(),
             policy,
             use_moments: detector.supports_moments(),
+            cancel: None,
             calls: 0,
             lookups: 0,
+        }
+    }
+
+    /// Attaches a cancellation token. Every subsequent *fresh* evaluation
+    /// first checks it and fails with [`PcorError::Cancelled`] once the
+    /// token trips; memoized answers keep flowing (they cost nothing and a
+    /// cancelled release's caller may still read cached state). Bounded
+    /// cancellation latency: at most one verification call.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The attached cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
+    }
+
+    /// Fails with [`PcorError::Cancelled`] when the attached token (if
+    /// any) has tripped.
+    fn check_cancelled(&self) -> Result<()> {
+        match &self.cancel {
+            Some(token) => token.check(),
+            None => Ok(()),
         }
     }
 
@@ -281,6 +309,7 @@ impl<'a> Verifier<'a> {
         if let Some(cached) = self.cache.get(&key) {
             return Ok(*cached);
         }
+        self.check_cancelled()?;
         let evaluation = self.evaluate_fresh(context)?;
         self.cache.insert(key, evaluation);
         Ok(evaluation)
@@ -346,6 +375,7 @@ impl<'a> Verifier<'a> {
                 out.push(*cached);
                 continue;
             }
+            self.check_cancelled()?;
             if !cursor_at_base {
                 // Position once; after each miss we flip back, so the cursor
                 // stays at `base` for the rest of the walk.

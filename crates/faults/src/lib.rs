@@ -1,0 +1,545 @@
+//! Deterministic fault injection for the PCOR serving stack.
+//!
+//! Robustness claims are only as good as the failures they were tested
+//! against, and real failures — transient disk errors, fsync stalls, slow
+//! workers, stuck parks, skewed clocks — are exactly the ones that refuse
+//! to show up on demand. This crate makes them show up on demand, twice:
+//!
+//! 1. **Seeded mode** ([`FaultPlan::seeded`]): probabilistic rules decide
+//!    per *(site, hit-count)* whether to fire, driven by a splitmix64 hash
+//!    of `(seed, site, hit)`. The decision depends only on those three
+//!    values — never on wall-clock time or thread scheduling — so a given
+//!    seed fires the same faults at the same site hits on every run that
+//!    performs the same operations.
+//! 2. **Scripted mode** ([`FaultPlan::scripted`]): an explicit schedule of
+//!    `(site, hit, kind)` entries, typically recorded from a seeded run
+//!    via [`Faults::schedule`] and serialized with [`encode_schedule`].
+//!    Replaying a recorded schedule is byte-reproducible: running the same
+//!    workload under the parsed schedule fires the identical faults, and
+//!    re-encoding what fired yields the identical bytes.
+//!
+//! Production code holds a [`Faults`] handle (cheap to clone; the
+//! [`Faults::disabled`] default is a `None` and costs one branch per
+//! seam). Seams call [`Faults::io`] where an injected failure surfaces as
+//! an `io::Error` (WAL writes and fsyncs) and [`Faults::hit`] where it
+//! cannot (pool task start/park, service admission): there, latency and
+//! stalls sleep, panics panic, and clock skew accumulates into
+//! [`Faults::skew`] for the deadline layer to consume.
+//!
+//! The crate is dependency-free by design: it sits below `pcor-wal` and
+//! `pcor-runtime`, the two crates that otherwise depend on nothing.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Injection-site names, one per seam the serving stack exposes.
+///
+/// Sites are plain strings so chaos drivers can target them from recorded
+/// schedules; these constants are the ones the first-party crates wire up.
+pub mod site {
+    /// A WAL record write (`pcor-wal`, before the frame hits the file).
+    pub const WAL_APPEND: &str = "wal.append";
+    /// A WAL fsync (`pcor-wal`, before `sync_data`).
+    pub const WAL_FSYNC: &str = "wal.fsync";
+    /// A pool task about to execute (`pcor-runtime`, inside the panic
+    /// isolation boundary).
+    pub const POOL_TASK_START: &str = "pool.task_start";
+    /// A worker about to park on the idle condvar (`pcor-runtime`).
+    pub const POOL_PARK: &str = "pool.park";
+    /// A release about to run on the serving path (`pcor-service`).
+    pub const SERVICE_RELEASE: &str = "service.release";
+}
+
+/// What an injected fault does at its seam.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the operation with an injected `io::Error` (WAL seams) or be
+    /// ignored (non-IO seams).
+    IoError,
+    /// Sleep for the given duration before the fsync proceeds.
+    FsyncStall(Duration),
+    /// Sleep for the given duration before the operation proceeds.
+    Latency(Duration),
+    /// Panic at the seam (pool seams isolate it like any worker panic).
+    Panic,
+    /// Advance the injected clock skew by the given amount; deadlines
+    /// computed against [`Faults::skew`] fire that much earlier.
+    ClockSkew(Duration),
+}
+
+impl FaultKind {
+    fn encode(&self) -> String {
+        match self {
+            FaultKind::IoError => "io-error".to_string(),
+            FaultKind::FsyncStall(d) => format!("stall:{}us", d.as_micros()),
+            FaultKind::Latency(d) => format!("latency:{}us", d.as_micros()),
+            FaultKind::Panic => "panic".to_string(),
+            FaultKind::ClockSkew(d) => format!("skew:{}us", d.as_micros()),
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, ScheduleParseError> {
+        let parse_us = |payload: &str| -> Result<Duration, ScheduleParseError> {
+            let digits = payload.strip_suffix("us").ok_or_else(|| ScheduleParseError {
+                line: payload.to_string(),
+                reason: "expected a `<micros>us` duration".to_string(),
+            })?;
+            let micros: u64 = digits.parse().map_err(|_| ScheduleParseError {
+                line: payload.to_string(),
+                reason: "duration is not an integer".to_string(),
+            })?;
+            Ok(Duration::from_micros(micros))
+        };
+        match text {
+            "io-error" => Ok(FaultKind::IoError),
+            "panic" => Ok(FaultKind::Panic),
+            other => {
+                if let Some(payload) = other.strip_prefix("stall:") {
+                    Ok(FaultKind::FsyncStall(parse_us(payload)?))
+                } else if let Some(payload) = other.strip_prefix("latency:") {
+                    Ok(FaultKind::Latency(parse_us(payload)?))
+                } else if let Some(payload) = other.strip_prefix("skew:") {
+                    Ok(FaultKind::ClockSkew(parse_us(payload)?))
+                } else {
+                    Err(ScheduleParseError {
+                        line: other.to_string(),
+                        reason: "unknown fault kind".to_string(),
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// One fault that fired (or is scheduled to fire): `kind` at the `hit`-th
+/// traversal of `site` (hits count from 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledFault {
+    /// The injection site (see [`site`]).
+    pub site: String,
+    /// The 1-based hit count at that site.
+    pub hit: u64,
+    /// What fires.
+    pub kind: FaultKind,
+}
+
+/// A malformed line in an encoded schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleParseError {
+    /// The offending input.
+    pub line: String,
+    /// Why it was refused.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ScheduleParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad schedule line {:?}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ScheduleParseError {}
+
+/// Serializes a schedule as one `site@hit=kind` line per fault — the
+/// recorded artifact a chaos test commits and replays.
+pub fn encode_schedule(schedule: &[ScheduledFault]) -> String {
+    let mut out = String::new();
+    for fault in schedule {
+        out.push_str(&format!("{}@{}={}\n", fault.site, fault.hit, fault.kind.encode()));
+    }
+    out
+}
+
+/// Parses [`encode_schedule`]'s format. Blank lines and `#` comments are
+/// ignored.
+///
+/// # Errors
+/// Returns [`ScheduleParseError`] on any line that is not
+/// `site@hit=kind`.
+pub fn parse_schedule(text: &str) -> Result<Vec<ScheduledFault>, ScheduleParseError> {
+    let mut schedule = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |reason: &str| ScheduleParseError {
+            line: line.to_string(),
+            reason: reason.to_string(),
+        };
+        let (head, kind) = line.split_once('=').ok_or_else(|| bad("missing `=`"))?;
+        let (site, hit) = head.split_once('@').ok_or_else(|| bad("missing `@`"))?;
+        if site.is_empty() {
+            return Err(bad("empty site"));
+        }
+        let hit: u64 = hit.parse().map_err(|_| bad("hit is not an integer"))?;
+        if hit == 0 {
+            return Err(bad("hits count from 1"));
+        }
+        schedule.push(ScheduledFault {
+            site: site.to_string(),
+            hit,
+            kind: FaultKind::parse(kind)?,
+        });
+    }
+    Ok(schedule)
+}
+
+/// One probabilistic rule of a seeded plan.
+#[derive(Debug, Clone)]
+struct FaultRule {
+    site: String,
+    kind: FaultKind,
+    probability: f64,
+}
+
+/// A fault plan under construction: either seeded probabilistic rules, a
+/// scripted schedule, or both (script entries win on collision).
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    script: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan whose probabilistic rules are driven by `seed`.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan { seed, rules: Vec::new(), script: Vec::new() }
+    }
+
+    /// A plan that fires exactly `schedule` — usually a recorded run
+    /// parsed back with [`parse_schedule`].
+    pub fn scripted(schedule: Vec<ScheduledFault>) -> Self {
+        FaultPlan { seed: 0, rules: Vec::new(), script: schedule }
+    }
+
+    /// Adds a probabilistic rule: at every hit of `site`, fire `kind` with
+    /// `probability` (clamped to `[0, 1]`). Rules are consulted in
+    /// insertion order; the first that fires wins the hit.
+    pub fn rule(mut self, site: &str, kind: FaultKind, probability: f64) -> Self {
+        self.rules.push(FaultRule {
+            site: site.to_string(),
+            kind,
+            probability: probability.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// Adds one scripted entry on top of the seeded rules.
+    pub fn at(mut self, site: &str, hit: u64, kind: FaultKind) -> Self {
+        self.script.push(ScheduledFault { site: site.to_string(), hit, kind });
+        self
+    }
+
+    /// Builds the shareable handle the seams consume.
+    pub fn build(self) -> Faults {
+        let mut script: HashMap<(String, u64), FaultKind> = HashMap::new();
+        for entry in self.script {
+            script.insert((entry.site, entry.hit), entry.kind);
+        }
+        Faults {
+            inner: Some(Arc::new(Inner {
+                seed: self.seed,
+                rules: self.rules,
+                script,
+                state: Mutex::new(State::default()),
+            })),
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct State {
+    hits: HashMap<String, u64>,
+    fired: Vec<ScheduledFault>,
+    skew: Duration,
+}
+
+#[derive(Debug)]
+struct Inner {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    script: HashMap<(String, u64), FaultKind>,
+    state: Mutex<State>,
+}
+
+/// The handle production code threads through its seams. Cloning shares
+/// the plan, the hit counters, and the recorded schedule.
+#[derive(Debug, Clone, Default)]
+pub struct Faults {
+    inner: Option<Arc<Inner>>,
+}
+
+impl Faults {
+    /// The no-op handle every production default uses: one `None` branch
+    /// per seam, no allocation, nothing ever fires.
+    pub fn disabled() -> Self {
+        Faults { inner: None }
+    }
+
+    /// Whether a plan is attached at all.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Passes an IO seam: returns the injected error on [`FaultKind::IoError`],
+    /// sleeps on stalls and latency, panics on [`FaultKind::Panic`], and
+    /// accumulates [`FaultKind::ClockSkew`]. `Ok(())` when nothing fires.
+    ///
+    /// # Errors
+    /// The injected `io::Error` (kind `Other`, message naming the site).
+    pub fn io(&self, site: &str) -> std::io::Result<()> {
+        match self.fire(site) {
+            Some(FaultKind::IoError) => {
+                Err(std::io::Error::other(format!("injected fault at {site}")))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Passes a non-IO seam: identical to [`Faults::io`] except that an
+    /// injected [`FaultKind::IoError`] has no channel to surface through
+    /// and is recorded but otherwise ignored.
+    pub fn hit(&self, site: &str) {
+        let _ = self.fire(site);
+    }
+
+    /// The accumulated injected clock skew. Deadline layers subtract this
+    /// from their budgets so a skewed clock makes deadlines fire early —
+    /// the conservative direction.
+    pub fn skew(&self) -> Duration {
+        match &self.inner {
+            Some(inner) => inner.state.lock().expect("fault state poisoned").skew,
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Every fault fired so far, in firing order — the recorded schedule
+    /// [`encode_schedule`] serializes and [`FaultPlan::scripted`] replays.
+    pub fn schedule(&self) -> Vec<ScheduledFault> {
+        match &self.inner {
+            Some(inner) => inner.state.lock().expect("fault state poisoned").fired.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Total hits recorded at `site` (1-based; 0 when never traversed).
+    pub fn hits(&self, site: &str) -> u64 {
+        match &self.inner {
+            Some(inner) => inner
+                .state
+                .lock()
+                .expect("fault state poisoned")
+                .hits
+                .get(site)
+                .copied()
+                .unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Decides and applies the side effects that must happen under the
+    /// state lock (recording, skew); sleeping and panicking happen after
+    /// the lock is released.
+    fn fire(&self, site: &str) -> Option<FaultKind> {
+        let inner = self.inner.as_ref()?;
+        let kind = {
+            let mut state = inner.state.lock().expect("fault state poisoned");
+            let hit = state.hits.entry(site.to_string()).or_insert(0);
+            *hit += 1;
+            let hit = *hit;
+            let kind = inner.decide(site, hit)?;
+            state.fired.push(ScheduledFault { site: site.to_string(), hit, kind });
+            if let FaultKind::ClockSkew(d) = kind {
+                state.skew += d;
+            }
+            kind
+        };
+        match kind {
+            FaultKind::FsyncStall(d) | FaultKind::Latency(d) => std::thread::sleep(d),
+            FaultKind::Panic => panic!("injected panic at {site}"),
+            _ => {}
+        }
+        Some(kind)
+    }
+}
+
+impl Inner {
+    fn decide(&self, site: &str, hit: u64) -> Option<FaultKind> {
+        if let Some(kind) = self.script.get(&(site.to_string(), hit)) {
+            return Some(*kind);
+        }
+        for (index, rule) in self.rules.iter().enumerate() {
+            if rule.site != site || rule.probability <= 0.0 {
+                continue;
+            }
+            // Deterministic in (seed, site, hit, rule index) only: no
+            // clocks, no thread identity, no global state.
+            let draw = unit_float(splitmix64(
+                self.seed
+                    ^ fnv1a(site.as_bytes())
+                    ^ hit.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ (index as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9),
+            ));
+            if draw < rule.probability {
+                return Some(rule.kind);
+            }
+        }
+        None
+    }
+}
+
+/// SplitMix64: the statelessly-seedable mixer the workspace standardizes
+/// on for deterministic derived randomness.
+fn splitmix64(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, folding a site name into the splitmix input.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xCBF2_9CE4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Maps a hash to `[0, 1)` with 53 bits of precision.
+fn unit_float(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let faults = Faults::disabled();
+        assert!(!faults.enabled());
+        assert!(faults.io(site::WAL_APPEND).is_ok());
+        faults.hit(site::POOL_PARK);
+        assert_eq!(faults.skew(), Duration::ZERO);
+        assert!(faults.schedule().is_empty());
+        assert_eq!(faults.hits(site::WAL_APPEND), 0);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_per_site_and_hit() {
+        let run = |seed: u64| {
+            let faults =
+                FaultPlan::seeded(seed).rule(site::WAL_APPEND, FaultKind::IoError, 0.25).build();
+            let outcomes: Vec<bool> =
+                (0..64).map(|_| faults.io(site::WAL_APPEND).is_err()).collect();
+            (outcomes, faults.schedule())
+        };
+        let (a_outcomes, a_schedule) = run(7);
+        let (b_outcomes, b_schedule) = run(7);
+        assert_eq!(a_outcomes, b_outcomes, "same seed must fire identically");
+        assert_eq!(a_schedule, b_schedule);
+        assert!(a_outcomes.iter().any(|&fired| fired), "p=0.25 over 64 hits must fire");
+        assert!(!a_outcomes.iter().all(|&fired| fired), "p=0.25 must not always fire");
+        let (c_outcomes, _) = run(8);
+        assert_ne!(a_outcomes, c_outcomes, "different seeds must differ");
+    }
+
+    #[test]
+    fn recorded_schedules_replay_byte_reproducibly() {
+        let seeded = FaultPlan::seeded(42)
+            .rule(site::WAL_APPEND, FaultKind::IoError, 0.3)
+            .rule(site::WAL_FSYNC, FaultKind::FsyncStall(Duration::from_micros(50)), 0.2)
+            .build();
+        for _ in 0..40 {
+            let _ = seeded.io(site::WAL_APPEND);
+            let _ = seeded.io(site::WAL_FSYNC);
+        }
+        let recorded = seeded.schedule();
+        assert!(!recorded.is_empty());
+        let encoded = encode_schedule(&recorded);
+
+        // Parse → replay the same workload → identical bytes out.
+        let replayed = FaultPlan::scripted(parse_schedule(&encoded).unwrap()).build();
+        for _ in 0..40 {
+            let _ = replayed.io(site::WAL_APPEND);
+            let _ = replayed.io(site::WAL_FSYNC);
+        }
+        assert_eq!(replayed.schedule(), recorded);
+        assert_eq!(encode_schedule(&replayed.schedule()), encoded);
+    }
+
+    #[test]
+    fn scripted_entries_fire_at_their_exact_hit() {
+        let faults = FaultPlan::seeded(0).at(site::WAL_APPEND, 3, FaultKind::IoError).build();
+        assert!(faults.io(site::WAL_APPEND).is_ok());
+        assert!(faults.io(site::WAL_APPEND).is_ok());
+        assert!(faults.io(site::WAL_APPEND).is_err());
+        assert!(faults.io(site::WAL_APPEND).is_ok());
+        assert_eq!(faults.hits(site::WAL_APPEND), 4);
+    }
+
+    #[test]
+    fn clock_skew_accumulates() {
+        let faults = FaultPlan::seeded(0)
+            .at(site::SERVICE_RELEASE, 1, FaultKind::ClockSkew(Duration::from_millis(2)))
+            .at(site::SERVICE_RELEASE, 2, FaultKind::ClockSkew(Duration::from_millis(3)))
+            .build();
+        faults.hit(site::SERVICE_RELEASE);
+        assert_eq!(faults.skew(), Duration::from_millis(2));
+        faults.hit(site::SERVICE_RELEASE);
+        assert_eq!(faults.skew(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn injected_panics_panic_and_are_recorded_first() {
+        let faults = FaultPlan::seeded(0).at(site::POOL_TASK_START, 1, FaultKind::Panic).build();
+        let observer = faults.clone();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            observer.hit(site::POOL_TASK_START);
+        }));
+        assert!(outcome.is_err(), "the injected panic must unwind");
+        let schedule = faults.schedule();
+        assert_eq!(schedule.len(), 1);
+        assert_eq!(schedule[0].kind, FaultKind::Panic);
+    }
+
+    #[test]
+    fn schedule_round_trip_covers_every_kind() {
+        let schedule = vec![
+            ScheduledFault { site: "wal.append".into(), hit: 1, kind: FaultKind::IoError },
+            ScheduledFault {
+                site: "wal.fsync".into(),
+                hit: 2,
+                kind: FaultKind::FsyncStall(Duration::from_micros(1500)),
+            },
+            ScheduledFault {
+                site: "pool.task_start".into(),
+                hit: 9,
+                kind: FaultKind::Latency(Duration::from_millis(3)),
+            },
+            ScheduledFault { site: "pool.park".into(), hit: 4, kind: FaultKind::Panic },
+            ScheduledFault {
+                site: "service.release".into(),
+                hit: 7,
+                kind: FaultKind::ClockSkew(Duration::from_millis(10)),
+            },
+        ];
+        let encoded = encode_schedule(&schedule);
+        assert_eq!(parse_schedule(&encoded).unwrap(), schedule);
+        // Comments and blank lines are tolerated.
+        let annotated = format!("# recorded chaos run\n\n{encoded}");
+        assert_eq!(parse_schedule(&annotated).unwrap(), schedule);
+    }
+
+    #[test]
+    fn malformed_schedules_are_refused() {
+        for bad in ["nonsense", "site@x=panic", "site@0=panic", "@1=panic", "site@1=warp:3us"] {
+            assert!(parse_schedule(bad).is_err(), "{bad:?} must be refused");
+        }
+    }
+}

@@ -58,6 +58,7 @@
 pub use pcor_core as core;
 pub use pcor_data as data;
 pub use pcor_dp as dp;
+pub use pcor_faults as faults;
 pub use pcor_graph as graph;
 pub use pcor_outlier as outlier;
 pub use pcor_runtime as runtime;
@@ -93,7 +94,7 @@ pub mod prelude {
     pub use pcor_runtime::ThreadPool;
     pub use pcor_service::{
         BatchItem, BatchReleaseRequest, BatchReleaseResponse, BatchStream, BudgetLedger,
-        DatasetRegistry, DurableLedger, ItemOutcome, RecoveryReport, ReleaseRequest,
+        DatasetRegistry, DurableLedger, HealthReport, ItemOutcome, RecoveryReport, ReleaseRequest,
         ReleaseResponse, RequestEnvelope, ResponseEnvelope, Server, ServerConfig, ServiceError,
         WalConfig,
     };

@@ -3,6 +3,7 @@
 use crate::scope::{Scope, ScopeQueue};
 use crate::stats::{Counters, PoolStats};
 use crate::task::{panic_message, JoinError, JoinHandle, Slot};
+use pcor_faults::Faults;
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -38,6 +39,10 @@ pub(crate) struct Shared {
     sleep: Mutex<SleepState>,
     wake: Condvar,
     pub(crate) counters: Counters,
+    /// Fault-injection handle consulted when a task starts
+    /// ([`pcor_faults::site::POOL_TASK_START`]) and before a worker parks
+    /// ([`pcor_faults::site::POOL_PARK`]). Disabled by default.
+    faults: Faults,
 }
 
 impl Shared {
@@ -138,7 +143,14 @@ impl Shared {
     /// worker thread down either.
     pub(crate) fn run_job(&self, job: Job) {
         self.counters.executed.fetch_add(1, Ordering::Relaxed);
-        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+        let faults = &self.faults;
+        let body = move || {
+            // Inside the unwind boundary: an injected panic is isolated and
+            // counted exactly like a panicking task body would be.
+            faults.hit(pcor_faults::site::POOL_TASK_START);
+            job();
+        };
+        if catch_unwind(AssertUnwindSafe(body)).is_err() {
             self.counters.panicked.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -150,6 +162,16 @@ impl Shared {
             if let Some(job) = self.find_job(index) {
                 self.run_job(job);
                 continue;
+            }
+            // Park seam, deliberately *before* the sleep lock: an injected
+            // stall here delays the worker without blocking notifiers. An
+            // injected panic is swallowed — the worker must stay resident.
+            if catch_unwind(AssertUnwindSafe(|| {
+                self.faults.hit(pcor_faults::site::POOL_PARK);
+            }))
+            .is_err()
+            {
+                self.counters.panicked.fetch_add(1, Ordering::Relaxed);
             }
             let mut sleep = self.sleep.lock().expect("pool sleep lock poisoned");
             if sleep.tokens > 0 {
@@ -182,6 +204,15 @@ pub struct ThreadPool {
 impl ThreadPool {
     /// Starts a pool with `workers` resident worker threads (`>= 1`).
     pub fn new(workers: usize) -> Self {
+        Self::with_faults(workers, Faults::disabled())
+    }
+
+    /// Starts a pool with fault injection wired into the worker loop: task
+    /// starts and parks consult `faults`, so chaos schedules can force
+    /// panics and latency spikes inside real workers. Injected task-start
+    /// panics are isolated by the same unwind boundary as task-body panics
+    /// and show up in [`PoolStats::panicked`](crate::PoolStats).
+    pub fn with_faults(workers: usize, faults: Faults) -> Self {
         let workers = workers.max(1);
         let shared = Arc::new(Shared {
             id: POOL_IDS.fetch_add(1, Ordering::Relaxed),
@@ -191,6 +222,7 @@ impl ThreadPool {
             sleep: Mutex::new(SleepState { tokens: 0, shutdown: false }),
             wake: Condvar::new(),
             counters: Counters::default(),
+            faults,
         });
         let threads = (0..workers)
             .map(|index| {
@@ -243,11 +275,14 @@ impl ThreadPool {
             return JoinHandle::resolved(Err(JoinError::Shutdown));
         }
         let slot = Slot::new();
-        let task_slot = Arc::clone(&slot);
+        // The guard resolves the handle if the job is dropped without ever
+        // running (e.g. a fault-injected abort upstream of the body), so a
+        // `join` can never hang on an abandoned task.
+        let guard = crate::task::AbandonGuard::new(Arc::clone(&slot));
         let shared = Arc::clone(&self.shared);
         let accepted = self.shared.push_job(Box::new(move || {
             let outcome = catch_unwind(AssertUnwindSafe(f));
-            task_slot.fill(outcome.map_err(|payload| {
+            guard.slot().fill(outcome.map_err(|payload| {
                 shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
                 JoinError::Panicked(panic_message(payload.as_ref()))
             }));
@@ -457,5 +492,48 @@ mod tests {
         let inner = Arc::clone(&pool);
         let index = pool.spawn(move || inner.current_worker()).join().unwrap();
         assert!(matches!(index, Some(i) if i < 2));
+    }
+
+    #[test]
+    fn injected_task_start_panics_resolve_handles_and_spare_the_workers() {
+        use pcor_faults::{site, FaultKind, FaultPlan};
+        let faults = FaultPlan::seeded(7).at(site::POOL_TASK_START, 1, FaultKind::Panic).build();
+        let pool = ThreadPool::with_faults(2, faults);
+        // The first task to start is killed before its body runs; the
+        // abandon guard must still resolve its handle instead of hanging.
+        let first = pool.spawn(|| 1);
+        assert!(matches!(first.join(), Err(JoinError::Panicked(_))));
+        // The worker survived the injected panic and keeps serving.
+        let rest: Vec<_> = (0..8).map(|i| pool.spawn(move || i)).collect();
+        let total: i32 = rest.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, (0..8).sum());
+        // Join the workers first: the panicked counter is bumped after the
+        // unwind finishes, which can trail the handle resolution.
+        pool.shutdown();
+        assert!(pool.stats().tasks_panicked >= 1);
+    }
+
+    #[test]
+    fn injected_scope_task_aborts_reraise_instead_of_hanging() {
+        use pcor_faults::{site, FaultKind, FaultPlan};
+        let faults = FaultPlan::seeded(7).at(site::POOL_TASK_START, 1, FaultKind::Panic).build();
+        let pool = ThreadPool::with_faults(1, faults);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|scope| scope.spawn(|| {}));
+        }));
+        assert!(outcome.is_err(), "the aborted scope task must re-raise, not hang or vanish");
+    }
+
+    #[test]
+    fn injected_park_latency_only_delays_the_workers() {
+        use pcor_faults::{site, FaultKind, FaultPlan};
+        let faults = FaultPlan::seeded(7)
+            .rule(site::POOL_PARK, FaultKind::Latency(Duration::from_micros(200)), 1.0)
+            .build();
+        let pool = ThreadPool::with_faults(2, faults);
+        let handles: Vec<_> = (0..8).map(|i| pool.spawn(move || i * 2)).collect();
+        let total: i32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, (0..8).map(|i| i * 2).sum());
+        assert_eq!(pool.stats().tasks_panicked, 0);
     }
 }

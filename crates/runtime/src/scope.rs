@@ -63,6 +63,32 @@ impl ScopeState {
     }
 }
 
+/// Completes the scope task on drop if the body never did — the job was
+/// dropped without running (a fault-injected abort). Without this, an
+/// abandoned task would leave `pending` stuck above zero and
+/// [`Scope::run`]'s join would wait forever.
+struct TaskGuard {
+    state: Arc<ScopeState>,
+    done: bool,
+}
+
+impl TaskGuard {
+    fn finish(mut self, panic: Option<Box<dyn Any + Send>>) {
+        self.done = true;
+        self.state.complete(panic);
+    }
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        if !self.done {
+            // Surface the abandonment as a task panic so the scope
+            // re-raises it instead of silently skipping the task.
+            self.state.complete(Some(Box::new("scope task aborted before completion".to_string())));
+        }
+    }
+}
+
 /// Erases a scoped closure's lifetime so it can travel through the pool's
 /// `'static` job queues.
 ///
@@ -103,14 +129,14 @@ impl<'scope, 'env> Scope<'scope, 'env> {
         F: FnOnce() + Send + 'scope,
     {
         self.state.progress.lock().expect("scope state poisoned").pending += 1;
-        let state = Arc::clone(&self.state);
+        let guard = TaskGuard { state: Arc::clone(&self.state), done: false };
         let shared = self.shared;
         let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
             let outcome = catch_unwind(AssertUnwindSafe(f));
             if outcome.is_err() {
                 shared.counters.panicked.fetch_add(1, Ordering::Relaxed);
             }
-            state.complete(outcome.err());
+            guard.finish(outcome.err());
         });
         // SAFETY: `Scope::run` joins every spawned task before `'scope`
         // ends, so the erased closure never outlives its borrows.

@@ -80,6 +80,31 @@ impl<T> Slot<T> {
     }
 }
 
+/// Resolves the slot with [`JoinError::Panicked`] when dropped while the
+/// task never published an outcome — the job was dropped without running
+/// (a fault-injected abort, or a panic upstream of the task body). Since
+/// [`Slot::fill`] is first-write-wins, the guard is a no-op on every path
+/// where the task completed normally.
+pub(crate) struct AbandonGuard<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> AbandonGuard<T> {
+    pub(crate) fn new(slot: Arc<Slot<T>>) -> Self {
+        AbandonGuard { slot }
+    }
+
+    pub(crate) fn slot(&self) -> &Slot<T> {
+        &self.slot
+    }
+}
+
+impl<T> Drop for AbandonGuard<T> {
+    fn drop(&mut self) {
+        self.slot.fill(Err(JoinError::Panicked("task aborted before completion".to_string())));
+    }
+}
+
 /// A completion handle for a task submitted with
 /// [`ThreadPool::spawn`](crate::ThreadPool::spawn).
 ///

@@ -40,24 +40,48 @@
 //!
 //! # Journal failures
 //!
-//! The journal fails **closed**: after the first WAL write error, the
-//! failing reserve is rolled back and refused
-//! ([`crate::ServiceError::Durability`]), and every subsequent reserve is
-//! refused too — a ledger that cannot persist its decisions stops making
-//! them. In-flight resolutions still settle in memory (the privacy was
-//! already released; refusing would change nothing) and are counted in
-//! [`DurableLedger::journal_errors`] / the `pcor_wal_journal_errors`
-//! gauge. Because journaling stops entirely at the first failure, the WAL
-//! always remains a contiguous prefix of the audit log.
+//! The journal fails **closed, but not forever**. A WAL write error is
+//! first retried in place with bounded, jittered backoff
+//! ([`WalConfig::retry_attempts`]) — a transient `EINTR`-class hiccup
+//! recovers invisibly. When retries exhaust, the record moves to an
+//! in-memory **backlog** (preserving audit order), the failing reserve is
+//! rolled back and refused ([`crate::ServiceError::Durability`]), and a
+//! consecutive-failure counter feeds a **circuit breaker**: after
+//! [`WalConfig::breaker_trip_after`] exhausted appends the breaker opens
+//! and the ledger goes read-only — every reserve is refused up front
+//! (`Journal::accepting_reserves`) without touching the disk. After
+//! [`WalConfig::breaker_cooldown`] the breaker half-opens: the next append
+//! is a probe, and its success drains the backlog in order (so the on-disk
+//! log remains a contiguous prefix of the audit log) and closes the
+//! breaker again.
+//!
+//! In-flight resolutions still settle in memory across all of this (the
+//! privacy was already released; refusing would change nothing); their
+//! events wait in the backlog and land once the disk heals. Failures are
+//! counted in [`DurableLedger::journal_errors`] / the
+//! `pcor_wal_journal_errors` gauge, and the breaker's position is
+//! reported by [`DurableLedger::journal_health`].
+//!
+//! # Group commit
+//!
+//! Under [`FsyncPolicy::OnCommit`] the journal writes through a
+//! [`GroupWal`]: commit-point appends return a [`CommitTicket`] instead of
+//! fsyncing inside the ledger lock, and the ledger awaits durability
+//! *after* releasing the lock — concurrent committers coalesce into one
+//! fsync. Set [`WalConfig::group_commit`] to `false` to restore the
+//! in-lock fsync (the pre-group baseline the bench suite compares
+//! against).
 
 use crate::ledger::{BudgetLedger, LedgerEntry};
 use crate::registry::{DatasetRegistry, WarmState};
 use crate::{Result, ServiceError};
+use pcor_faults::Faults;
 use pcor_telemetry::{AuditLog, BudgetEvent, Telemetry};
-use pcor_wal::{FsyncPolicy, Wal, WalError, WalOptions, WalStats};
+use pcor_wal::{CommitTicket, FsyncPolicy, GroupWal, Wal, WalOptions, WalStats};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -78,6 +102,27 @@ pub struct WalConfig {
     /// (`0` disables automatic checkpoints; explicit
     /// [`DurableLedger::checkpoint`] calls still work).
     pub checkpoint_interval: u64,
+    /// Coalesce concurrent commit fsyncs through the [`GroupWal`]
+    /// leader/follower protocol (only meaningful under
+    /// [`FsyncPolicy::OnCommit`]). `false` restores the in-lock fsync.
+    pub group_commit: bool,
+    /// Total write attempts per record (first try + retries) before the
+    /// record falls back to the backlog. Minimum effective value is 1.
+    pub retry_attempts: u32,
+    /// Base delay of the exponential retry backoff (doubled per attempt,
+    /// jittered ±50%).
+    pub retry_backoff: Duration,
+    /// Ceiling of the retry backoff.
+    pub retry_backoff_max: Duration,
+    /// Consecutive exhausted appends that trip the circuit breaker into
+    /// its open (read-only) state.
+    pub breaker_trip_after: u32,
+    /// How long an open breaker refuses reserves before half-opening for
+    /// a probe write.
+    pub breaker_cooldown: Duration,
+    /// Fault-injection plan threaded into the WAL (disabled by default;
+    /// the chaos tests use it to script disk failures).
+    pub faults: Faults,
 }
 
 impl Default for WalConfig {
@@ -87,6 +132,13 @@ impl Default for WalConfig {
             fsync: FsyncPolicy::OnCommit,
             segment_max_bytes: 8 * 1024 * 1024,
             checkpoint_interval: 4096,
+            group_commit: true,
+            retry_attempts: 3,
+            retry_backoff: Duration::from_micros(500),
+            retry_backoff_max: Duration::from_millis(10),
+            breaker_trip_after: 3,
+            breaker_cooldown: Duration::from_millis(250),
+            faults: Faults::disabled(),
         }
     }
 }
@@ -98,61 +150,346 @@ impl WalConfig {
     }
 }
 
-/// The shared WAL handle the ledger journals through. Fails closed: the
-/// first write error poisons it, every later append is refused, and the
-/// on-disk log stays a contiguous prefix of the audit log.
+/// Where the journal's circuit breaker stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: appends go straight to the WAL.
+    Closed,
+    /// Tripped: reserves are refused until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: the next append is a probe.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// The gauge encoding exported as `pcor_breaker_state`:
+    /// 0 closed, 1 half-open, 2 open.
+    pub fn gauge(self) -> f64 {
+        match self {
+            BreakerState::Closed => 0.0,
+            BreakerState::HalfOpen => 1.0,
+            BreakerState::Open => 2.0,
+        }
+    }
+}
+
+impl std::fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// A point-in-time report of the journal's failure-handling machinery,
+/// surfaced through [`DurableLedger::journal_health`] and the server's
+/// health endpoint.
+#[derive(Debug, Clone)]
+pub struct JournalHealth {
+    /// Circuit-breaker position.
+    pub breaker: BreakerState,
+    /// Events waiting in memory for the disk to heal.
+    pub backlog: usize,
+    /// Appends that exhausted their retries since open.
+    pub errors: u64,
+    /// Appends that failed at least once but landed within their retry
+    /// budget.
+    pub retries_recovered: u64,
+    /// Times the breaker tripped open.
+    pub trips: u64,
+    /// Whether a reserve offered right now would be accepted.
+    pub accepting_reserves: bool,
+}
+
+enum Breaker {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+struct JournalControl {
+    breaker: Breaker,
+    consecutive_failures: u32,
+    /// Records that exhausted their retries, in audit order; flushed ahead
+    /// of any new write so the disk never sees a gap.
+    backlog: VecDeque<(Vec<u8>, bool)>,
+    /// splitmix64 state for backoff jitter.
+    jitter: u64,
+}
+
+#[derive(Default)]
+struct JournalCounters {
+    /// Appends refused or exhausted (the `pcor_wal_journal_errors` gauge).
+    errors: AtomicU64,
+    /// Appends that recovered within their retry budget.
+    retries_recovered: AtomicU64,
+    /// Breaker trips.
+    trips: AtomicU64,
+}
+
+/// The retry/breaker knobs the journal copied out of its [`WalConfig`].
+#[derive(Clone)]
+struct JournalPolicy {
+    group_commit: bool,
+    retry_attempts: u32,
+    retry_backoff: Duration,
+    retry_backoff_max: Duration,
+    breaker_trip_after: u32,
+    breaker_cooldown: Duration,
+}
+
+/// The shared WAL handle the ledger journals through.
+///
+/// Failure handling is layered (see the module docs): bounded jittered
+/// retries per append, an audit-ordered backlog for records the disk
+/// refused, and a circuit breaker that turns repeated exhaustion into an
+/// up-front read-only refusal with periodic half-open probes. The on-disk
+/// log is always a contiguous prefix of the audit log: the backlog is
+/// flushed, in order, before any younger record may land.
 #[derive(Clone)]
 pub(crate) struct Journal {
-    wal: Arc<Mutex<Wal>>,
-    errors: Arc<AtomicU64>,
-    failed: Arc<AtomicBool>,
+    wal: Arc<GroupWal>,
+    control: Arc<Mutex<JournalControl>>,
+    counters: Arc<JournalCounters>,
+    policy: JournalPolicy,
 }
 
 impl Journal {
-    fn new(wal: Wal) -> Self {
+    fn new(wal: Wal, config: &WalConfig) -> Self {
         Journal {
-            wal: Arc::new(Mutex::new(wal)),
-            errors: Arc::new(AtomicU64::new(0)),
-            failed: Arc::new(AtomicBool::new(false)),
+            wal: Arc::new(GroupWal::new(wal)),
+            control: Arc::new(Mutex::new(JournalControl {
+                breaker: Breaker::Closed,
+                consecutive_failures: 0,
+                backlog: VecDeque::new(),
+                jitter: 0x9e3779b97f4a7c15,
+            })),
+            counters: Arc::new(JournalCounters::default()),
+            policy: JournalPolicy {
+                group_commit: config.group_commit,
+                retry_attempts: config.retry_attempts.max(1),
+                retry_backoff: config.retry_backoff,
+                retry_backoff_max: config.retry_backoff_max,
+                breaker_trip_after: config.breaker_trip_after.max(1),
+                breaker_cooldown: config.breaker_cooldown,
+            },
+        }
+    }
+
+    /// Whether a reserve offered right now would be journaled: the breaker
+    /// is closed, half-open (probing), or open with an elapsed cooldown.
+    /// The ledger checks this before taking a hold, so an open breaker
+    /// makes the service read-only without a doomed disk write.
+    pub(crate) fn accepting_reserves(&self) -> bool {
+        let control = self.control.lock().expect("journal control poisoned");
+        match control.breaker {
+            Breaker::Closed | Breaker::HalfOpen => true,
+            Breaker::Open { until } => Instant::now() >= until,
         }
     }
 
     /// Serializes and appends one event. `commit_point` drives
-    /// [`FsyncPolicy::OnCommit`].
-    pub(crate) fn append(&self, event: &BudgetEvent, commit_point: bool) -> Result<()> {
-        if self.failed.load(Ordering::SeqCst) {
-            self.errors.fetch_add(1, Ordering::SeqCst);
-            return Err(ServiceError::Durability("journal has failed closed".to_string()));
-        }
+    /// [`FsyncPolicy::OnCommit`]; under group commit the returned ticket
+    /// must be passed to [`Journal::wait_durable`] (outside the ledger
+    /// lock) before the commit is acknowledged.
+    ///
+    /// On failure the record is preserved in the backlog — the caller's
+    /// audit append stands, and the disk catches up when it heals.
+    pub(crate) fn append(&self, event: &BudgetEvent, commit_point: bool) -> Result<CommitTicket> {
         let payload = serde_json::to_string(event).expect("budget events serialize infallibly");
-        let outcome =
-            self.wal.lock().expect("wal poisoned").append(payload.as_bytes(), commit_point);
-        if let Err(err) = outcome {
-            self.failed.store(true, Ordering::SeqCst);
-            self.errors.fetch_add(1, Ordering::SeqCst);
-            return Err(ServiceError::Durability(err.to_string()));
+        let payload = payload.into_bytes();
+        let mut control = self.control.lock().expect("journal control poisoned");
+
+        match control.breaker {
+            Breaker::Open { until } if Instant::now() < until => {
+                control.backlog.push_back((payload, commit_point));
+                self.counters.errors.fetch_add(1, Ordering::SeqCst);
+                return Err(ServiceError::Durability(
+                    "journal breaker is open; record backlogged".to_string(),
+                ));
+            }
+            Breaker::Open { .. } => control.breaker = Breaker::HalfOpen,
+            _ => {}
+        }
+
+        if let Err(err) = self.flush_backlog(&mut control) {
+            control.backlog.push_back((payload, commit_point));
+            self.note_failure(&mut control);
+            return Err(err);
+        }
+        match self.write_with_retries(&mut control, &payload, commit_point) {
+            Ok(ticket) => {
+                control.consecutive_failures = 0;
+                control.breaker = Breaker::Closed;
+                if ticket.pending() && !self.policy.group_commit {
+                    // Group commit disabled: restore the classic
+                    // fsync-inside-the-append behaviour. The record is
+                    // already appended, so a sync failure is counted but
+                    // must not re-enter the backlog (it would duplicate).
+                    return match self.wal.wait_durable(ticket) {
+                        Ok(()) => Ok(CommitTicket::NONE),
+                        Err(err) => {
+                            self.note_failure(&mut control);
+                            Err(ServiceError::Durability(err.to_string()))
+                        }
+                    };
+                }
+                Ok(ticket)
+            }
+            Err(err) => {
+                control.backlog.push_back((payload, commit_point));
+                self.note_failure(&mut control);
+                Err(err)
+            }
+        }
+    }
+
+    /// Blocks until `ticket`'s commit record is durable (no-op for empty
+    /// tickets). Call after releasing the ledger lock so concurrent
+    /// commits coalesce into one fsync.
+    pub(crate) fn wait_durable(&self, ticket: CommitTicket) -> Result<()> {
+        if !ticket.pending() {
+            return Ok(());
+        }
+        self.wal.wait_durable(ticket).map_err(|err| {
+            let mut control = self.control.lock().expect("journal control poisoned");
+            self.note_failure(&mut control);
+            ServiceError::Durability(err.to_string())
+        })
+    }
+
+    /// One failed append or fsync: count it, and trip the breaker once the
+    /// consecutive run reaches the configured threshold.
+    fn note_failure(&self, control: &mut JournalControl) {
+        self.counters.errors.fetch_add(1, Ordering::SeqCst);
+        control.consecutive_failures = control.consecutive_failures.saturating_add(1);
+        if control.consecutive_failures >= self.policy.breaker_trip_after {
+            if !matches!(control.breaker, Breaker::Open { .. }) {
+                self.counters.trips.fetch_add(1, Ordering::SeqCst);
+            }
+            control.breaker =
+                Breaker::Open { until: Instant::now() + self.policy.breaker_cooldown };
+        }
+    }
+
+    /// Drains the backlog in order. Stops (preserving the remainder) at
+    /// the first record the disk still refuses.
+    fn flush_backlog(&self, control: &mut JournalControl) -> Result<()> {
+        while let Some((payload, commit_point)) = control.backlog.front().cloned() {
+            let ticket = self.write_with_retries(control, &payload, commit_point)?;
+            // Popped as soon as the append lands: a sync failure below
+            // must not replay the frame (it is in the log; only its
+            // durability is pending, and any later successful sync covers
+            // it).
+            control.backlog.pop_front();
+            // Backlogged commits were acknowledged long ago; make them
+            // durable inline rather than handing tickets nobody awaits.
+            if ticket.pending() {
+                self.wal
+                    .wait_durable(ticket)
+                    .map_err(|err| ServiceError::Durability(err.to_string()))?;
+            }
         }
         Ok(())
     }
 
-    pub(crate) fn checkpoint(&self, payload: &[u8]) -> std::result::Result<(), WalError> {
-        self.wal.lock().expect("wal poisoned").checkpoint(payload)
+    /// Appends one frame with bounded, jittered exponential backoff.
+    fn write_with_retries(
+        &self,
+        control: &mut JournalControl,
+        payload: &[u8],
+        commit_point: bool,
+    ) -> Result<CommitTicket> {
+        let mut last_err = None;
+        for attempt in 0..self.policy.retry_attempts {
+            match self.wal.append(payload, commit_point) {
+                Ok(ticket) => {
+                    if attempt > 0 {
+                        self.counters.retries_recovered.fetch_add(1, Ordering::SeqCst);
+                    }
+                    return Ok(ticket);
+                }
+                Err(err) => {
+                    last_err = Some(err);
+                    if attempt + 1 < self.policy.retry_attempts {
+                        std::thread::sleep(self.backoff(control, attempt));
+                    }
+                }
+            }
+        }
+        let err = last_err.expect("retry loop runs at least once");
+        Err(ServiceError::Durability(err.to_string()))
     }
 
-    fn sync(&self) -> std::result::Result<(), WalError> {
-        self.wal.lock().expect("wal poisoned").sync()
+    /// `base · 2^attempt`, capped, jittered to 50–150% via splitmix64.
+    fn backoff(&self, control: &mut JournalControl, attempt: u32) -> Duration {
+        control.jitter = control.jitter.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = control.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^= z >> 31;
+        let exp = self.policy.retry_backoff.saturating_mul(1u32 << attempt.min(16));
+        let capped = exp.min(self.policy.retry_backoff_max);
+        let jitter_permille = 500 + (z % 1001); // 500..=1500
+        capped.mul_f64(jitter_permille as f64 / 1000.0)
+    }
+
+    pub(crate) fn checkpoint(&self, payload: &[u8]) -> Result<()> {
+        let mut control = self.control.lock().expect("journal control poisoned");
+        self.flush_backlog(&mut control)?;
+        self.wal.checkpoint(payload).map_err(|err| {
+            self.note_failure(&mut control);
+            ServiceError::Durability(err.to_string())
+        })
+    }
+
+    fn sync(&self) -> Result<()> {
+        let mut control = self.control.lock().expect("journal control poisoned");
+        self.flush_backlog(&mut control)?;
+        self.wal.sync().map_err(|err| ServiceError::Durability(err.to_string()))
     }
 
     fn stats(&self) -> WalStats {
-        self.wal.lock().expect("wal poisoned").stats()
+        self.wal.stats()
+    }
+
+    pub(crate) fn errors(&self) -> u64 {
+        self.counters.errors.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn health(&self) -> JournalHealth {
+        let control = self.control.lock().expect("journal control poisoned");
+        let breaker = match control.breaker {
+            Breaker::Closed => BreakerState::Closed,
+            Breaker::HalfOpen => BreakerState::HalfOpen,
+            Breaker::Open { until } => {
+                if Instant::now() >= until {
+                    BreakerState::HalfOpen
+                } else {
+                    BreakerState::Open
+                }
+            }
+        };
+        JournalHealth {
+            breaker,
+            backlog: control.backlog.len(),
+            errors: self.counters.errors.load(Ordering::SeqCst),
+            retries_recovered: self.counters.retries_recovered.load(Ordering::SeqCst),
+            trips: self.counters.trips.load(Ordering::SeqCst),
+            accepting_reserves: !matches!(breaker, BreakerState::Open),
+        }
     }
 }
 
 impl std::fmt::Debug for Journal {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let health = self.health();
         f.debug_struct("Journal")
-            .field("errors", &self.errors.load(Ordering::SeqCst))
-            .field("failed", &self.failed.load(Ordering::SeqCst))
+            .field("breaker", &health.breaker)
+            .field("backlog", &health.backlog)
+            .field("errors", &health.errors)
             .finish()
     }
 }
@@ -237,6 +574,7 @@ impl DurableLedger {
             dir: config.dir.clone(),
             fsync: config.fsync,
             segment_max_bytes: config.segment_max_bytes,
+            faults: config.faults.clone(),
         };
         let (wal, replay) = Wal::open(options).map_err(durability)?;
 
@@ -290,7 +628,7 @@ impl DurableLedger {
 
         // Attach the journal before repairing, so synthesized refunds are
         // persisted like any live refund.
-        let journal = Journal::new(wal);
+        let journal = Journal::new(wal, &config);
         ledger.attach_journal(journal.clone());
 
         // Refund dangling reservations: per (account, trace) outstanding ε
@@ -320,7 +658,7 @@ impl DurableLedger {
                 refunded_epsilon += epsilon;
             }
         }
-        journal.sync().map_err(durability)?;
+        journal.sync()?;
 
         let report = RecoveryReport {
             events_replayed: events.len(),
@@ -374,7 +712,18 @@ impl DurableLedger {
 
     /// Journal append failures since open (0 in a healthy deployment).
     pub fn journal_errors(&self) -> u64 {
-        self.journal.errors.load(Ordering::SeqCst)
+        self.journal.errors()
+    }
+
+    /// The journal's breaker position, backlog depth and failure counters.
+    pub fn journal_health(&self) -> JournalHealth {
+        self.journal.health()
+    }
+
+    /// Whether the journal would accept a new reserve right now (`false`
+    /// while the circuit breaker is open: the ledger is read-only).
+    pub fn accepting_reserves(&self) -> bool {
+        self.journal.accepting_reserves()
     }
 
     /// Warm cache entries seeded into a registry so far, as

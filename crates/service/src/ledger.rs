@@ -35,6 +35,7 @@ use crate::durable::Journal;
 use crate::{Result, ServiceError};
 use pcor_dp::BudgetAccountant;
 use pcor_telemetry::{BudgetEvent, Telemetry};
+use pcor_wal::CommitTicket;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -135,20 +136,25 @@ impl Reservation {
         self.trace
     }
 
-    fn resolve(&mut self, commit: bool) {
-        self.resolve_split(if commit { self.epsilon } else { 0.0 });
+    fn resolve(&mut self, commit: bool) -> Option<(Journal, CommitTicket)> {
+        self.resolve_split(if commit { self.epsilon } else { 0.0 })
     }
 
     /// Commits `spend` of the held ε and refunds the rest, atomically under
     /// the ledger lock. `spend = 0` refunds everything; `spend = ε` commits
     /// everything.
-    fn resolve_split(&mut self, spend: f64) {
+    ///
+    /// Under group commit a spend's journal append defers its fsync; the
+    /// returned `(journal, ticket)` pair must be awaited **after** the
+    /// ledger lock is released so concurrent commits share one flush.
+    fn resolve_split(&mut self, spend: f64) -> Option<(Journal, CommitTicket)> {
         if self.resolved {
-            return;
+            return None;
         }
         self.resolved = true;
         let spend = spend.clamp(0.0, self.epsilon);
         let refund = self.epsilon - spend;
+        let mut pending = None;
         let mut inner = self.inner.lock().expect("ledger poisoned");
         if let Some(account) = inner.accounts.get_mut(&self.key) {
             if spend > 0.0 {
@@ -163,8 +169,9 @@ impl Reservation {
         // Audit while still holding the lock: event order == account order.
         // The commit/refund has already been applied to the accountant (the
         // privacy, if any, is already released), so journaling here is
-        // best-effort: a WAL failure is counted and fails the journal
-        // closed — subsequent *reserves* refuse — but cannot un-resolve.
+        // best-effort: a WAL failure parks the event in the journal's
+        // backlog — subsequent *reserves* refuse while the breaker is
+        // open — but cannot un-resolve.
         if let Some(telemetry) = &inner.telemetry {
             if spend > 0.0 {
                 let event = BudgetEvent::Committed {
@@ -177,7 +184,11 @@ impl Reservation {
                 };
                 let seq = telemetry.audit().append(event.clone());
                 if let Some(journal) = &inner.journal {
-                    let _ = journal.append(&event.with_seq(seq), true);
+                    if let Ok(ticket) = journal.append(&event.with_seq(seq), true) {
+                        if ticket.pending() {
+                            pending = Some((journal.clone(), ticket));
+                        }
+                    }
                 }
             }
             if refund > 0.0 {
@@ -195,6 +206,7 @@ impl Reservation {
             }
         }
         inner.publish_gauges(&self.key);
+        pending
     }
 }
 
@@ -202,7 +214,10 @@ impl Drop for Reservation {
     fn drop(&mut self) {
         // An unresolved reservation means the request died before the
         // release ran to completion; no privacy was released, so refund.
-        self.resolve(false);
+        // Refunds never carry a commit ticket, so there is nothing to
+        // await here.
+        let pending = self.resolve(false);
+        debug_assert!(pending.is_none(), "a refund must not defer an fsync");
     }
 }
 
@@ -321,7 +336,8 @@ impl BudgetLedger {
         };
         let seq = telemetry.audit().append(event.clone());
         if let Some(journal) = &inner.journal {
-            journal.append(&event.with_seq(seq), true)?;
+            let ticket = journal.append(&event.with_seq(seq), true)?;
+            journal.wait_durable(ticket)?;
         }
         Ok(())
     }
@@ -359,7 +375,7 @@ impl BudgetLedger {
             })
             .collect();
         let payload = build(clock, entries);
-        journal.checkpoint(&payload).map_err(|err| ServiceError::Durability(err.to_string()))?;
+        journal.checkpoint(&payload)?;
         Ok(clock)
     }
 
@@ -405,6 +421,16 @@ impl BudgetLedger {
         }
         let key = (analyst.to_string(), dataset.to_string());
         let mut inner = self.inner.lock().expect("ledger poisoned");
+        // Fail-closed read-only mode: while the journal's circuit breaker
+        // is open, refuse the reserve before taking a hold — no doomed
+        // disk write, no rollback churn.
+        if let Some(journal) = &inner.journal {
+            if !journal.accepting_reserves() {
+                return Err(ServiceError::Durability(
+                    "journal breaker is open; the ledger is read-only".to_string(),
+                ));
+            }
+        }
         let grant = inner.grants.get(&key).copied().unwrap_or(self.default_grant);
         let account = inner
             .accounts
@@ -430,24 +456,28 @@ impl BudgetLedger {
                     }
                 }
                 if let Some(err) = journal_error {
-                    // The hold could not be made durable: roll it back and
-                    // refuse the request rather than serve a release the
-                    // restarted ledger would not remember. The rollback is
-                    // audited so the in-memory log stays balanced; the
-                    // journal has failed closed, so nothing else lands on
-                    // disk after the lost record and the WAL stays a
-                    // contiguous prefix.
+                    // The hold could not be made durable *now*: roll it
+                    // back and refuse the request rather than serve a
+                    // release the restarted ledger might not remember.
+                    // Both the rollback and the failed reserve are offered
+                    // to the journal — its backlog preserves them in audit
+                    // order, so when the disk heals the WAL is still a
+                    // contiguous prefix of the audit log.
                     if let Some(account) = inner.accounts.get_mut(&key) {
                         let _ = account.refund(epsilon);
                     }
                     if let Some(telemetry) = &inner.telemetry {
-                        telemetry.audit().append(BudgetEvent::Refunded {
+                        let event = BudgetEvent::Refunded {
                             seq: 0,
                             analyst: key.0.clone(),
                             dataset: key.1.clone(),
                             epsilon,
                             trace,
-                        });
+                        };
+                        let seq = telemetry.audit().append(event.clone());
+                        if let Some(journal) = &inner.journal {
+                            let _ = journal.append(&event.with_seq(seq), false);
+                        }
                     }
                     inner.publish_gauges(&key);
                     return Err(err);
@@ -491,14 +521,16 @@ impl BudgetLedger {
     /// Commits a reservation: the held ε becomes a permanent spend.
     /// Returns the account's remaining budget.
     pub fn commit(&self, mut reservation: Reservation) -> f64 {
-        reservation.resolve(true);
+        let pending = reservation.resolve(true);
+        Self::await_durable(pending);
         self.remaining(reservation.analyst(), reservation.dataset())
     }
 
     /// Refunds a reservation: the held ε returns to the account.
     /// Returns the account's remaining budget.
     pub fn refund(&self, mut reservation: Reservation) -> f64 {
-        reservation.resolve(false);
+        let pending = reservation.resolve(false);
+        Self::await_durable(pending);
         self.remaining(reservation.analyst(), reservation.dataset())
     }
 
@@ -508,8 +540,18 @@ impl BudgetLedger {
     /// successful slices commit). `spend` is clamped to `[0, ε]`.
     /// Returns the account's remaining budget.
     pub fn commit_partial(&self, mut reservation: Reservation, spend: f64) -> f64 {
-        reservation.resolve_split(spend);
+        let pending = reservation.resolve_split(spend);
+        Self::await_durable(pending);
         self.remaining(reservation.analyst(), reservation.dataset())
+    }
+
+    /// Awaits a deferred commit fsync outside the ledger lock — the group
+    /// commit rendezvous. A sync failure is already counted by the
+    /// journal; the commit stands in memory either way.
+    fn await_durable(pending: Option<(Journal, CommitTicket)>) {
+        if let Some((journal, ticket)) = pending {
+            let _ = journal.wait_durable(ticket);
+        }
     }
 
     /// The ε still available to `analyst` on `dataset` (the full grant if

@@ -103,7 +103,7 @@ pub mod request;
 pub mod server;
 
 pub use cache::LruCache;
-pub use durable::{DurableLedger, RecoveryReport, WalConfig};
+pub use durable::{BreakerState, DurableLedger, JournalHealth, RecoveryReport, WalConfig};
 pub use ledger::{BudgetLedger, LedgerEntry, Reservation};
 pub use metrics::{ServerMetrics, ServerMetricsSnapshot};
 pub use registry::{
@@ -116,7 +116,7 @@ pub use request::{
     ResponseEnvelope, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{
-    BatchStream, PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig,
+    BatchStream, HealthReport, PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig,
 };
 
 use pcor_core::runner::find_random_outlier;
@@ -141,9 +141,32 @@ pub mod prelude {
 
 /// Errors produced by the serving layer.
 ///
-/// Marked `#[non_exhaustive]`: downstream matches must keep a wildcard arm
-/// so the envelope protocol can grow new refusal kinds without a semver
-/// break.
+/// Marked `#[non_exhaustive]`: the envelope protocol grows new refusal
+/// kinds without a semver break, so downstream matches **must** keep a
+/// wildcard arm. Match on the variants you can act on and funnel the rest
+/// into your generic failure path:
+///
+/// ```
+/// use pcor_service::ServiceError;
+/// # fn classify(err: ServiceError) -> &'static str {
+/// match err {
+///     // Transient pressure: back off and retry.
+///     ServiceError::QueueFull | ServiceError::Overloaded { .. } => "retry later",
+///     // The request's own budget ran out; retrying won't help.
+///     ServiceError::DeadlineExceeded | ServiceError::Cancelled => "give up",
+///     // Future variants land here instead of breaking the build.
+///     _ => "failed",
+/// }
+/// # }
+/// # assert_eq!(classify(ServiceError::QueueFull), "retry later");
+/// ```
+///
+/// The two admission refusals are deliberately distinct:
+/// [`QueueFull`](ServiceError::QueueFull) is *reactive* (the bounded queue
+/// literally has no slot) while [`Overloaded`](ServiceError::Overloaded)
+/// is *proactive* (a slot exists, but measured service latency says the
+/// request would miss its deadline anyway) and carries a `retry_after`
+/// hint sized from the current backlog.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum ServiceError {
@@ -169,6 +192,20 @@ pub enum ServiceError {
     },
     /// The bounded request queue is full (back-pressure).
     QueueFull,
+    /// The server shed the request before queuing it: the measured
+    /// service latency and current backlog say it would miss its deadline
+    /// (or the server's load-shed threshold). Retry after the hint.
+    Overloaded {
+        /// How long the admission controller suggests waiting before a
+        /// retry, sized from the current backlog.
+        retry_after: std::time::Duration,
+    },
+    /// The request's deadline passed before the release completed; any
+    /// reserved ε was refunded (no private draw was published).
+    DeadlineExceeded,
+    /// The request was cooperatively cancelled mid-release; any reserved
+    /// ε was refunded (no private draw was published).
+    Cancelled,
     /// The server is shutting down and no longer accepts requests.
     Shutdown,
     /// The request was structurally invalid.
@@ -194,6 +231,15 @@ impl std::fmt::Display for ServiceError {
                  requested ε = {requested}, remaining ε = {remaining}"
             ),
             ServiceError::QueueFull => write!(f, "request queue is full"),
+            ServiceError::Overloaded { retry_after } => {
+                write!(f, "server is overloaded; retry after {}ms", retry_after.as_millis())
+            }
+            ServiceError::DeadlineExceeded => {
+                write!(f, "request deadline exceeded; reserved budget was refunded")
+            }
+            ServiceError::Cancelled => {
+                write!(f, "request was cancelled; reserved budget was refunded")
+            }
             ServiceError::Shutdown => write!(f, "server is shut down"),
             ServiceError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
             ServiceError::Release(msg) => write!(f, "release failed: {msg}"),
@@ -206,7 +252,13 @@ impl std::error::Error for ServiceError {}
 
 impl From<pcor_core::PcorError> for ServiceError {
     fn from(e: pcor_core::PcorError) -> Self {
-        ServiceError::Release(e.to_string())
+        match e {
+            // A cooperative stop is a lifecycle outcome, not a release
+            // failure: the caller distinguishes it to refund the exact
+            // reserved slice.
+            pcor_core::PcorError::Cancelled => ServiceError::Cancelled,
+            other => ServiceError::Release(other.to_string()),
+        }
     }
 }
 
@@ -247,9 +299,15 @@ mod tests {
         let text = e.to_string();
         assert!(text.contains("alice") && text.contains("0.2") && text.contains("0.1"));
         assert!(ServiceError::QueueFull.to_string().contains("queue"));
+        let e = ServiceError::Overloaded { retry_after: std::time::Duration::from_millis(40) };
+        assert!(e.to_string().contains("overloaded") && e.to_string().contains("40ms"));
+        assert!(ServiceError::DeadlineExceeded.to_string().contains("deadline"));
+        assert!(ServiceError::Cancelled.to_string().contains("cancelled"));
         assert!(ServiceError::Shutdown.to_string().contains("shut down"));
         assert!(ServiceError::InvalidRequest("x".into()).to_string().contains("x"));
         let e: ServiceError = pcor_core::PcorError::NoMatchingContext.into();
         assert!(matches!(e, ServiceError::Release(_)));
+        let e: ServiceError = pcor_core::PcorError::Cancelled.into();
+        assert_eq!(e, ServiceError::Cancelled);
     }
 }

@@ -27,6 +27,12 @@ pub struct ServerMetrics {
     permute_and_flip_releases: AtomicU64,
     /// Served releases drawn through report-noisy-max.
     report_noisy_max_releases: AtomicU64,
+    /// Requests answered `DeadlineExceeded` — refused past-deadline at
+    /// task start or cooperatively cancelled mid-release.
+    deadline_exceeded: AtomicU64,
+    /// Requests shed at admission (`Overloaded`) because the estimated
+    /// queue wait already exceeded their deadline.
+    shed: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -45,6 +51,21 @@ impl ServerMetrics {
     /// Records a failed release (non-budget error).
     pub fn record_failed(&self) {
         self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request that ended as `DeadlineExceeded` — whether it was
+    /// refused at task start (queued past its deadline) or cooperatively
+    /// cancelled between verification calls mid-release.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed at admission with `Overloaded`: the
+    /// estimated queue wait already exceeded its deadline, so refusing
+    /// immediately is strictly better than queueing work destined to time
+    /// out.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Records the verification engine's work for one served request
@@ -113,6 +134,8 @@ impl ServerMetrics {
                 permute_and_flip: self.permute_and_flip_releases.load(Ordering::Relaxed),
                 report_noisy_max: self.report_noisy_max_releases.load(Ordering::Relaxed),
             },
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
             pool_workers: 0,
             pool_queue_depth: 0,
             pool_tasks_executed: 0,
@@ -144,6 +167,12 @@ pub struct ServerMetricsSnapshot {
     /// Served releases broken down by the selection mechanism that produced
     /// them.
     pub mechanism_releases: MechanismTally,
+    /// Requests answered `DeadlineExceeded` (refused past-deadline at task
+    /// start, or cancelled cooperatively mid-release with a full refund).
+    pub deadline_exceeded: u64,
+    /// Requests shed at admission with `Overloaded` (estimated wait past
+    /// the deadline); sheds never reserve or spend ε.
+    pub shed: u64,
     /// Resident workers of the server's execution pool.
     pub pool_workers: usize,
     /// Tasks queued on the pool (not yet started) at snapshot time.
@@ -226,6 +255,22 @@ mod tests {
         assert_eq!(snapshot.pool_queue_depth, 3);
         assert_eq!(snapshot.pool_tasks_executed, 7);
         assert_eq!(snapshot.pool_tasks_stolen, 2);
+    }
+
+    #[test]
+    fn lifecycle_counters_track_deadlines_and_sheds() {
+        let metrics = ServerMetrics::default();
+        let empty = metrics.snapshot();
+        assert_eq!((empty.deadline_exceeded, empty.shed), (0, 0));
+        metrics.record_deadline_exceeded();
+        metrics.record_deadline_exceeded();
+        metrics.record_shed();
+        let snapshot = metrics.snapshot();
+        assert_eq!(snapshot.deadline_exceeded, 2);
+        assert_eq!(snapshot.shed, 1);
+        // Neither outcome counts as served or failed: they are their own
+        // lifecycle terminal states.
+        assert_eq!((snapshot.served, snapshot.failed), (0, 0));
     }
 
     #[test]

@@ -129,6 +129,39 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Reference-file entries evicted by the GreedyDual policy.
     pub reference_evictions: u64,
+    /// Current capacity of the starting-context LRU (autotuning may move
+    /// it between its configured baseline and 16× baseline per dataset).
+    pub capacity: usize,
+    /// Current capacity of the reference-file LRU.
+    pub reference_capacity: usize,
+}
+
+/// What one [`DatasetRegistry::autotune_caches`] pass decided, per cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheTuning {
+    /// Starting-context capacity before and after the pass.
+    pub starting: (usize, usize),
+    /// Reference-file capacity before and after the pass.
+    pub reference: (usize, usize),
+}
+
+impl CacheTuning {
+    /// Whether the pass changed either capacity.
+    pub fn changed(&self) -> bool {
+        self.starting.0 != self.starting.1 || self.reference.0 != self.reference.1
+    }
+}
+
+/// Counter baselines from the previous autotune pass, so each pass reasons
+/// about the *window* since the last one rather than all-time totals.
+#[derive(Debug, Default)]
+struct TuneWindow {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    reference_hits: u64,
+    reference_misses: u64,
+    reference_evictions: u64,
 }
 
 type StartKey = (String, usize, DetectorKind);
@@ -207,6 +240,13 @@ pub struct DatasetRegistry {
     evictions: AtomicU64,
     reference_evictions: AtomicU64,
     search_budget: usize,
+    /// The configured baselines autotuning shrinks back toward.
+    base_capacity: usize,
+    base_reference_capacity: usize,
+    /// Requests served since the last autotune pass (gates
+    /// [`DatasetRegistry::maybe_autotune`]).
+    requests_since_tune: AtomicU64,
+    tune_window: Mutex<TuneWindow>,
 }
 
 impl Default for DatasetRegistry {
@@ -237,6 +277,10 @@ impl DatasetRegistry {
             evictions: AtomicU64::new(0),
             reference_evictions: AtomicU64::new(0),
             search_budget: DEFAULT_SEARCH_BUDGET,
+            base_capacity: cache_capacity,
+            base_reference_capacity: DEFAULT_REFERENCE_FILE_CACHE,
+            requests_since_tune: AtomicU64::new(0),
+            tune_window: Mutex::new(TuneWindow::default()),
         }
     }
 
@@ -537,18 +581,147 @@ impl DatasetRegistry {
 
     /// Hit/miss counters of the registry's derived-state caches.
     pub fn cache_stats(&self) -> CacheStats {
+        // One lock per cache: a guard born inside the struct literal would
+        // live to the end of the whole expression and deadlock a second
+        // lock of the same cache.
+        let (len, capacity) = {
+            let cache = self.starting_contexts.lock().expect("cache poisoned");
+            (cache.len(), cache.capacity())
+        };
+        let (reference_len, reference_capacity) = {
+            let cache = self.reference_files.lock().expect("reference cache poisoned");
+            (cache.len(), cache.capacity())
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            len: self.starting_contexts.lock().expect("cache poisoned").len(),
+            len,
             reference_hits: self.reference_hits.load(Ordering::Relaxed),
             reference_misses: self.reference_misses.load(Ordering::Relaxed),
-            reference_len: self.reference_files.lock().expect("reference cache poisoned").len(),
+            reference_len,
             evictions: self.evictions.load(Ordering::Relaxed),
             reference_evictions: self.reference_evictions.load(Ordering::Relaxed),
+            capacity,
+            reference_capacity,
         }
     }
+
+    /// Counts one served request toward the autotune interval and runs
+    /// [`autotune_caches`](DatasetRegistry::autotune_caches) once every
+    /// [`AUTOTUNE_INTERVAL`] requests — the serving path calls this after
+    /// each reply, off the client's latency path.
+    pub fn maybe_autotune(&self) -> Option<CacheTuning> {
+        let served = self.requests_since_tune.fetch_add(1, Ordering::Relaxed) + 1;
+        if !served.is_multiple_of(AUTOTUNE_INTERVAL) {
+            return None;
+        }
+        Some(self.autotune_caches())
+    }
+
+    /// Re-sizes both derived-state caches from their own hit/eviction
+    /// counters. The heuristic, applied independently per cache over the
+    /// *window* since the previous pass:
+    ///
+    /// - **Grow ×2** when the cache evicted during the window *and* its
+    ///   window hit rate was at least 50%: evictions while the cache earns
+    ///   its keep mean the working set is larger than the capacity, so
+    ///   every eviction is a future re-discovery the server will pay for.
+    ///   Growth is capped at 16× the per-dataset baseline (the configured
+    ///   capacity × the number of registered datasets) so a scan-heavy
+    ///   workload cannot balloon memory for entries it never revisits.
+    /// - **Shrink ×½** (floored at the configured baseline) when nothing
+    ///   evicted *and* occupancy is below ¼ of capacity: the working set
+    ///   fits with a wide margin and the memory can go back.
+    /// - **Hold** otherwise — in particular under eviction pressure with a
+    ///   poor hit rate, where a bigger cache would only buffer entries
+    ///   nobody asks for twice.
+    ///
+    /// Shrinking evicts the lowest-priority (cheapest-to-rediscover)
+    /// entries via [`LruCache::set_capacity`]; those evictions are counted
+    /// like any other. Returns what changed, for logs and tests.
+    pub fn autotune_caches(&self) -> CacheTuning {
+        let datasets = self.len().max(1);
+        let mut window = self.tune_window.lock().expect("tune window poisoned");
+        let (hits, misses) =
+            (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed));
+        let evictions = self.evictions.load(Ordering::Relaxed);
+        let starting = {
+            let mut cache = self.starting_contexts.lock().expect("cache poisoned");
+            let next = Self::tuned_capacity(
+                cache.capacity(),
+                cache.len(),
+                self.base_capacity,
+                self.base_capacity.saturating_mul(16).saturating_mul(datasets),
+                hits - window.hits,
+                misses - window.misses,
+                evictions - window.evictions,
+            );
+            let before = cache.capacity();
+            if next != before {
+                let evicted = cache.set_capacity(next);
+                self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+            (before, next)
+        };
+        let (reference_hits, reference_misses) = (
+            self.reference_hits.load(Ordering::Relaxed),
+            self.reference_misses.load(Ordering::Relaxed),
+        );
+        let reference_evictions = self.reference_evictions.load(Ordering::Relaxed);
+        let reference = {
+            let mut cache = self.reference_files.lock().expect("reference cache poisoned");
+            let next = Self::tuned_capacity(
+                cache.capacity(),
+                cache.len(),
+                self.base_reference_capacity,
+                self.base_reference_capacity.saturating_mul(16).saturating_mul(datasets),
+                reference_hits - window.reference_hits,
+                reference_misses - window.reference_misses,
+                reference_evictions - window.reference_evictions,
+            );
+            let before = cache.capacity();
+            if next != before {
+                let evicted = cache.set_capacity(next);
+                self.reference_evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+            }
+            (before, next)
+        };
+        *window = TuneWindow {
+            hits,
+            misses,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            reference_hits,
+            reference_misses,
+            reference_evictions: self.reference_evictions.load(Ordering::Relaxed),
+        };
+        CacheTuning { starting, reference }
+    }
+
+    /// The pure decision function behind
+    /// [`autotune_caches`](DatasetRegistry::autotune_caches).
+    fn tuned_capacity(
+        capacity: usize,
+        len: usize,
+        floor: usize,
+        ceiling: usize,
+        hits: u64,
+        misses: u64,
+        evictions: u64,
+    ) -> usize {
+        let lookups = hits + misses;
+        let hit_rate = if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 };
+        if evictions > 0 && hit_rate >= 0.5 {
+            return capacity.saturating_mul(2).min(ceiling.max(floor));
+        }
+        if evictions == 0 && len < capacity / 4 && capacity > floor {
+            return (capacity / 2).max(floor);
+        }
+        capacity
+    }
 }
+
+/// Requests between two [`DatasetRegistry::maybe_autotune`] passes.
+pub const AUTOTUNE_INTERVAL: u64 = 256;
 
 impl std::fmt::Debug for DatasetRegistry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -734,6 +907,90 @@ mod tests {
         changed.register("toy", Dataset::new(schema, records).unwrap());
         assert_eq!(changed.seed_warm_state(warm), (0, 0));
         assert_eq!(changed.cache_stats().len, 0);
+    }
+
+    #[test]
+    fn autotune_grows_under_eviction_pressure_with_a_good_hit_rate() {
+        let registry = DatasetRegistry::with_capacity(2);
+        let entry = registry.register("toy", toy_dataset());
+        let (context, _) = registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        // Build a window with a ≥50% hit rate and at least one eviction:
+        // lots of hits on the resident key, then inserts that overflow the
+        // capacity-2 cache.
+        for _ in 0..10 {
+            registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        }
+        for record in 1..4 {
+            registry.store_starting_context(
+                "toy",
+                record,
+                DetectorKind::ZScore,
+                context.clone(),
+                1,
+            );
+        }
+        assert!(registry.cache_stats().evictions > 0);
+        let tuning = registry.autotune_caches();
+        assert_eq!(tuning.starting, (2, 4), "eviction pressure + hits must double the cache");
+        assert!(tuning.changed());
+        assert_eq!(registry.cache_stats().capacity, 4);
+        // The reference cache saw no traffic: it must hold.
+        assert_eq!(tuning.reference.0, tuning.reference.1);
+        // A quiet follow-up window holds the grown capacity (len is not
+        // below a quarter of capacity).
+        let tuning = registry.autotune_caches();
+        assert!(!tuning.changed(), "a quiet window must not oscillate, got {tuning:?}");
+    }
+
+    #[test]
+    fn autotune_shrinks_idle_oversized_caches_back_to_the_baseline() {
+        let registry = DatasetRegistry::with_capacity(64);
+        let entry = registry.register("toy", toy_dataset());
+        // One resident entry in a 64-slot cache: under ¼ occupancy with no
+        // evictions, the capacity halves per pass but never drops below
+        // the configured baseline… which is 64, so first verify the floor.
+        registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+        let tuning = registry.autotune_caches();
+        assert_eq!(tuning.starting, (64, 64), "a cache at its baseline never shrinks below it");
+
+        // Grow it artificially, then let idleness shrink it back.
+        {
+            let registry = DatasetRegistry::with_capacity(8);
+            let entry = registry.register("toy", toy_dataset());
+            let (context, _) = registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+            for _ in 0..10 {
+                registry.starting_context(&entry, 0, DetectorKind::ZScore).unwrap();
+            }
+            for record in 1..10 {
+                registry.store_starting_context(
+                    "toy",
+                    record,
+                    DetectorKind::ZScore,
+                    context.clone(),
+                    1,
+                );
+            }
+            let grown = registry.autotune_caches();
+            assert_eq!(grown.starting, (8, 16));
+            // Drain the cache below a quarter of the grown capacity (a
+            // re-registration clears it), then run quiet passes.
+            registry.register("toy", toy_dataset());
+            let shrunk = registry.autotune_caches();
+            assert_eq!(shrunk.starting, (16, 8), "an idle window must halve toward the baseline");
+            let held = registry.autotune_caches();
+            assert_eq!(held.starting, (8, 8), "the baseline is the floor");
+        }
+    }
+
+    #[test]
+    fn maybe_autotune_gates_on_the_request_interval() {
+        let registry = DatasetRegistry::with_capacity(4);
+        registry.register("toy", toy_dataset());
+        for _ in 0..AUTOTUNE_INTERVAL - 1 {
+            assert!(registry.maybe_autotune().is_none());
+        }
+        assert!(registry.maybe_autotune().is_some(), "the interval-th request must tune");
+        assert!(registry.maybe_autotune().is_none(), "the counter must reset");
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //!   [`MechanismKind::Exponential`], byte-identical to a v1 server.
 //! * **v2** (current) — bodies carry an optional `mechanism` field
 //!   selecting the DP primitive ([`MechanismKind`]) the release is drawn
-//!   through. A v1 envelope that smuggles a `mechanism` field is refused
-//!   with `InvalidRequest` rather than silently honored, so custodians can
-//!   gate the mechanism axis on the negotiated version.
+//!   through, and the envelope carries an optional `deadline_ms` budget:
+//!   the server sheds or cancels the request once that much wall time has
+//!   elapsed since admission, refunding any reserved ε
+//!   (`ServiceError::DeadlineExceeded`). A v1 envelope that smuggles
+//!   either v2 field is refused with `InvalidRequest` rather than
+//!   silently honored, so custodians can gate both axes on the negotiated
+//!   version.
 //!
 //! A [`ReleaseRequest`] carries the analyst's principal name, the dataset
 //! and record they are querying, the detector, the release algorithm and
@@ -241,6 +245,13 @@ pub struct RequestEnvelope {
     /// influences the release — and absent from v1 envelopes, which
     /// deserialize to `None`.
     pub trace: Option<u64>,
+    /// Optional wall-clock budget for the whole request, in milliseconds
+    /// since admission (a **v2** protocol field; v1 envelopes deserialize
+    /// to `None` = no deadline). Once elapsed, a queued request is
+    /// answered [`ServiceError::DeadlineExceeded`] without running and an
+    /// in-flight release is cooperatively cancelled at its next
+    /// verification call, refunding its reserved ε.
+    pub deadline_ms: Option<u64>,
     /// The request payload.
     pub body: RequestBody,
 }
@@ -248,12 +259,22 @@ pub struct RequestEnvelope {
 impl RequestEnvelope {
     /// Wraps a single-record request at the current protocol version.
     pub fn single(request: ReleaseRequest) -> Self {
-        RequestEnvelope { v: PROTOCOL_VERSION, trace: None, body: RequestBody::Single(request) }
+        RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            trace: None,
+            deadline_ms: None,
+            body: RequestBody::Single(request),
+        }
     }
 
     /// Wraps a batch request at the current protocol version.
     pub fn batch(batch: BatchReleaseRequest) -> Self {
-        RequestEnvelope { v: PROTOCOL_VERSION, trace: None, body: RequestBody::Batch(batch) }
+        RequestEnvelope {
+            v: PROTOCOL_VERSION,
+            trace: None,
+            deadline_ms: None,
+            body: RequestBody::Batch(batch),
+        }
     }
 
     /// Re-stamps the envelope at an explicit protocol version (for clients
@@ -272,6 +293,19 @@ impl RequestEnvelope {
         self
     }
 
+    /// Sets the request's wall-clock deadline, in milliseconds from
+    /// admission (requires a v2 envelope on the wire).
+    #[must_use]
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// The request's deadline as a [`Duration`], if one was set.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline_ms.map(Duration::from_millis)
+    }
+
     /// The mechanism requested by the body, if any.
     pub fn mechanism(&self) -> Option<MechanismKind> {
         match &self.body {
@@ -285,8 +319,8 @@ impl RequestEnvelope {
     /// # Errors
     /// Returns [`ServiceError::UnsupportedProtocol`] for versions outside
     /// the accepted range, [`ServiceError::InvalidRequest`] for a v1
-    /// envelope carrying the v2 `mechanism` field, and propagates the
-    /// body's validation errors.
+    /// envelope carrying a v2 field (`mechanism`, `deadline_ms`) or a zero
+    /// deadline, and propagates the body's validation errors.
     pub fn validate(&self) -> Result<()> {
         if self.v < MIN_PROTOCOL_VERSION || self.v > PROTOCOL_VERSION {
             return Err(ServiceError::UnsupportedProtocol {
@@ -297,6 +331,16 @@ impl RequestEnvelope {
         if self.v < 2 && self.mechanism().is_some() {
             return Err(ServiceError::InvalidRequest(
                 "the mechanism field requires protocol v2".into(),
+            ));
+        }
+        if self.v < 2 && self.deadline_ms.is_some() {
+            return Err(ServiceError::InvalidRequest(
+                "the deadline_ms field requires protocol v2".into(),
+            ));
+        }
+        if self.deadline_ms == Some(0) {
+            return Err(ServiceError::InvalidRequest(
+                "deadline_ms must be positive; omit the field for no deadline".into(),
             ));
         }
         match &self.body {
@@ -751,6 +795,42 @@ mod tests {
             .push(BatchItem::new(0));
         let v1 = RequestEnvelope::batch(batch).at_version(1);
         assert!(matches!(v1.validate(), Err(ServiceError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn deadlines_are_a_v2_field_and_round_trip() {
+        let envelope = RequestEnvelope::single(ReleaseRequest::new("alice", "salary", 3))
+            .with_deadline_ms(1500);
+        assert!(envelope.validate().is_ok());
+        assert_eq!(envelope.deadline(), Some(Duration::from_millis(1500)));
+        let json = serde_json::to_string(&envelope).unwrap();
+        assert!(json.contains("deadline_ms"));
+        let back: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, envelope);
+
+        // A v1 envelope cannot smuggle a deadline.
+        let v1 = envelope.clone().at_version(1);
+        match v1.validate() {
+            Err(ServiceError::InvalidRequest(msg)) => assert!(msg.contains("v2"), "{msg}"),
+            other => panic!("expected an invalid-request refusal, got {other:?}"),
+        }
+        // A zero deadline is meaningless: refuse it loudly instead of
+        // expiring every such request at admission.
+        let zero =
+            RequestEnvelope::single(ReleaseRequest::new("alice", "salary", 3)).with_deadline_ms(0);
+        assert!(matches!(zero.validate(), Err(ServiceError::InvalidRequest(_))));
+        // v1 JSON without the field still parses to "no deadline".
+        let v1_json = r#"{
+            "v": 1,
+            "body": {"Single": {
+                "analyst": "alice", "dataset": "salary", "record_id": 3,
+                "detector": "Lof", "algorithm": "Bfs",
+                "epsilon": 0.2, "samples": 50, "seed": 7
+            }}
+        }"#;
+        let parsed: RequestEnvelope = serde_json::from_str(v1_json).unwrap();
+        assert_eq!(parsed.deadline_ms, None);
+        assert!(parsed.validate().is_ok());
     }
 
     #[test]

@@ -40,8 +40,27 @@
 //! built once and every record's memoized verifier is shared across the
 //! batch's items, so repeat records cost strictly fewer fresh `f_M`
 //! verification calls than equivalent single requests.
+//!
+//! # Hardened lifecycle
+//!
+//! A v2 envelope may carry a deadline (`deadline_ms`); it becomes a
+//! [`pcor_core::cancel::CancelToken`] the whole serving path shares. A
+//! queued request already past its deadline is answered
+//! [`ServiceError::DeadlineExceeded`] without reserving; one cancelled
+//! mid-release stops within a single verification call (the verifier
+//! checks the token before every fresh evaluation) and the reservation's
+//! drop refunds exactly the reserved slice — no private draw was
+//! published, so no ε is owed. At admission, a deadline the estimated
+//! queue wait (mean latency × in-flight count) already exceeds is shed
+//! with [`ServiceError::Overloaded`] and a `retry_after` hint, *before*
+//! taking an in-flight slot; literal capacity exhaustion keeps its own
+//! reactive refusal, [`ServiceError::QueueFull`]. [`Server::health`]
+//! rolls the lifecycle into a readiness report (journal breaker state
+//! included on durable servers), mirrored into the Prometheus scrape as
+//! `pcor_ready`, `pcor_breaker_state`, `pcor_deadline_exceeded_total`,
+//! `pcor_shed_total` and `pcor_retries_total`.
 
-use crate::durable::DurableLedger;
+use crate::durable::{DurableLedger, JournalHealth};
 use crate::ledger::BudgetLedger;
 use crate::metrics::{ServerMetrics, ServerMetricsSnapshot};
 use crate::registry::{CacheStats, DatasetRegistry};
@@ -50,8 +69,10 @@ use crate::request::{
     ReleaseRequest, ReleaseResponse, RequestBody, RequestEnvelope, ResponseEnvelope,
 };
 use crate::{Result, ServiceError};
+use pcor_core::cancel::CancelToken;
 use pcor_core::ReleaseSession;
 use pcor_dp::{MechanismKind, PopulationSizeUtility};
+use pcor_faults::{site, Faults};
 use pcor_runtime::{PoolStats, ThreadPool};
 use pcor_telemetry::{MetricsRegistry, SpanId, Telemetry, TraceId};
 use std::collections::VecDeque;
@@ -60,19 +81,24 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Configuration of the server's execution pool.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Number of resident pool workers (when the server owns its pool).
     pub workers: usize,
     /// Maximum number of requests in flight (queued or executing) before
     /// [`Server::try_submit`] refuses and [`Server::submit`] blocks.
     pub queue_capacity: usize,
+    /// Fault-injection handle for the serving path ([`Faults::disabled`]
+    /// in production): the `service.release` seam fires at the start of
+    /// every serving task, and accumulated [`Faults::skew`] shortens
+    /// request deadlines so chaos runs can force expiry deterministically.
+    pub faults: Faults,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-        ServerConfig { workers, queue_capacity: 128 }
+        ServerConfig { workers, queue_capacity: 128, faults: Faults::disabled() }
     }
 }
 
@@ -90,6 +116,14 @@ impl ServerConfig {
     pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity >= 1, "queue capacity must be at least 1");
         self.queue_capacity = capacity;
+        self
+    }
+
+    /// Attaches a fault-injection handle to the serving path (chaos
+    /// harnesses only; the default is disabled).
+    #[must_use]
+    pub fn with_faults(mut self, faults: Faults) -> Self {
+        self.faults = faults;
         self
     }
 }
@@ -132,6 +166,11 @@ impl Inflight {
         while *count > 0 {
             count = self.changed.wait(count).expect("inflight poisoned");
         }
+    }
+
+    /// Requests currently in flight (queued or executing).
+    fn current(&self) -> usize {
+        *self.count.lock().expect("inflight poisoned")
     }
 }
 
@@ -352,8 +391,35 @@ pub struct Server {
     metrics: Arc<ServerMetrics>,
     telemetry: Telemetry,
     inflight: Arc<Inflight>,
-    accepting: AtomicBool,
+    accepting: Arc<AtomicBool>,
     queue_capacity: usize,
+    faults: Faults,
+}
+
+/// A point-in-time readiness report — what a load balancer's health
+/// endpoint would serve, also mirrored into the Prometheus scrape as
+/// `pcor_ready`, `pcor_accepting`, `pcor_inflight_requests` and (on
+/// durable servers) `pcor_breaker_state`.
+#[derive(Debug, Clone)]
+pub struct HealthReport {
+    /// Whether the server accepts new submissions (false after
+    /// [`Server::shutdown`]).
+    pub accepting: bool,
+    /// Requests currently in flight (queued or executing).
+    pub inflight: usize,
+    /// The admission capacity those requests count against.
+    pub queue_capacity: usize,
+    /// Journal health on durable servers (`None` on in-memory servers).
+    pub journal: Option<JournalHealth>,
+    /// Requests answered [`ServiceError::DeadlineExceeded`] so far.
+    pub deadline_exceeded: u64,
+    /// Requests shed at admission with [`ServiceError::Overloaded`] so far.
+    pub shed: u64,
+    /// The roll-up: the server is accepting and — on durable servers — the
+    /// journal breaker is not open (an open breaker fail-closes the ledger
+    /// read-only, so new reserves would be refused). A full queue does
+    /// *not* clear readiness: queueing is healthy back-pressure.
+    pub ready: bool,
 }
 
 impl Server {
@@ -394,8 +460,9 @@ impl Server {
         let mut server = Self::start(config, registry, ledger);
         {
             let durable = Arc::clone(&durable);
+            let accepting = Arc::clone(&server.accepting);
             server.telemetry.register_collector(move |exporter| {
-                Self::publish_wal_stats(exporter, &durable);
+                Self::publish_wal_stats(exporter, &durable, &accepting);
             });
         }
         server.durable = Some(durable);
@@ -437,6 +504,22 @@ impl Server {
                 );
             });
         }
+        let inflight = Inflight::new();
+        let accepting = Arc::new(AtomicBool::new(true));
+        // The readiness slice of the scrape. On a durable server the
+        // collector registered by `start_durable` runs later and overrides
+        // `pcor_ready` with the breaker folded in.
+        {
+            let inflight = Arc::clone(&inflight);
+            let accepting = Arc::clone(&accepting);
+            telemetry.register_collector(move |exporter| {
+                exporter.set_help("pcor_ready", "1 when the server would pass a readiness probe.");
+                let up = accepting.load(Ordering::Acquire);
+                exporter.gauge("pcor_accepting", &[]).set(if up { 1.0 } else { 0.0 });
+                exporter.gauge("pcor_inflight_requests", &[]).set(inflight.current() as f64);
+                exporter.gauge("pcor_ready", &[]).set(if up { 1.0 } else { 0.0 });
+            });
+        }
         Server {
             pool,
             owns_pool: false,
@@ -445,9 +528,10 @@ impl Server {
             durable: None,
             metrics,
             telemetry,
-            inflight: Inflight::new(),
-            accepting: AtomicBool::new(true),
+            inflight,
+            accepting,
             queue_capacity: config.queue_capacity,
+            faults: config.faults,
         }
     }
 
@@ -476,6 +560,8 @@ impl Server {
             ("pcor_release_mean_latency_seconds", "Mean end-to-end release latency."),
             ("pcor_verifier_bytes_scanned", "Bitmap bytes the fused verification passes touched."),
             ("pcor_mechanism_releases", "Releases per DP selection mechanism."),
+            ("pcor_deadline_exceeded_total", "Requests answered DeadlineExceeded."),
+            ("pcor_shed_total", "Requests shed at admission (Overloaded)."),
             ("pcor_cache_evictions", "Entries evicted by the GreedyDual policy."),
             ("pcor_budget_spent_epsilon", "Epsilon permanently committed per analyst/dataset."),
             ("pcor_budget_remaining_epsilon", "Epsilon still available per analyst/dataset."),
@@ -502,6 +588,8 @@ impl Server {
                 .gauge("pcor_mechanism_releases", &[("mechanism", mechanism)])
                 .set(count as f64);
         }
+        set("pcor_deadline_exceeded_total", server.deadline_exceeded as f64);
+        set("pcor_shed_total", server.shed as f64);
         set("pcor_pool_workers", pool.workers as f64);
         set("pcor_pool_queue_depth", pool.queue_depth as f64);
         set("pcor_pool_tasks_submitted", pool.tasks_submitted as f64);
@@ -514,16 +602,22 @@ impl Server {
             ("pcor_cache_misses", cache.misses, cache.reference_misses),
             ("pcor_cache_entries", cache.len as u64, cache.reference_len as u64),
             ("pcor_cache_evictions", cache.evictions, cache.reference_evictions),
+            ("pcor_cache_capacity", cache.capacity as u64, cache.reference_capacity as u64),
         ] {
             exporter.gauge(name, &[("cache", "starting_context")]).set(starting as f64);
             exporter.gauge(name, &[("cache", "reference_file")]).set(reference as f64);
         }
     }
 
-    /// Mirrors the durable ledger's WAL health into the metrics registry —
-    /// registered as a collector by [`Server::start_durable`], so every
-    /// scrape reports durability alongside throughput.
-    fn publish_wal_stats(exporter: &MetricsRegistry, durable: &DurableLedger) {
+    /// Mirrors the durable ledger's WAL and journal health into the
+    /// metrics registry — registered as a collector by
+    /// [`Server::start_durable`], so every scrape reports durability
+    /// (breaker state and retry outcomes included) alongside throughput.
+    fn publish_wal_stats(
+        exporter: &MetricsRegistry,
+        durable: &DurableLedger,
+        accepting: &AtomicBool,
+    ) {
         for (name, help) in [
             ("pcor_wal_appended_records", "Records appended to the WAL since open."),
             ("pcor_wal_appended_bytes", "Payload bytes appended to the WAL since open."),
@@ -531,7 +625,11 @@ impl Server {
             ("pcor_wal_segments", "Live WAL segment files on disk."),
             ("pcor_wal_checkpoints", "Compaction checkpoints written since open."),
             ("pcor_wal_records_since_checkpoint", "Tail length a restart would replay."),
-            ("pcor_wal_journal_errors", "Journal append failures (nonzero = fail-closed)."),
+            ("pcor_wal_journal_errors", "Journal appends that exhausted their retries."),
+            ("pcor_retries_total", "Journal append retries by outcome."),
+            ("pcor_breaker_state", "Journal circuit breaker: 0 closed, 1 half-open, 2 open."),
+            ("pcor_journal_backlog", "Audit records awaiting a journal recovery flush."),
+            ("pcor_breaker_trips", "Times the journal breaker opened."),
             ("pcor_wal_replay_events", "Events replayed by the last startup recovery."),
             ("pcor_wal_replay_seconds", "Wall time of the last startup recovery."),
             ("pcor_wal_dangling_refunded", "Crash-dangling reservations refunded at recovery."),
@@ -542,6 +640,7 @@ impl Server {
         }
         let stats = durable.wal_stats();
         let report = durable.report();
+        let journal = durable.journal_health();
         let set = |name: &str, value: f64| exporter.gauge(name, &[]).set(value);
         set("pcor_wal_appended_records", stats.appended_records as f64);
         set("pcor_wal_appended_bytes", stats.appended_bytes as f64);
@@ -549,7 +648,21 @@ impl Server {
         set("pcor_wal_segments", stats.segments as f64);
         set("pcor_wal_checkpoints", stats.checkpoints as f64);
         set("pcor_wal_records_since_checkpoint", stats.records_since_checkpoint as f64);
-        set("pcor_wal_journal_errors", durable.journal_errors() as f64);
+        set("pcor_wal_journal_errors", journal.errors as f64);
+        exporter
+            .gauge("pcor_retries_total", &[("outcome", "recovered")])
+            .set(journal.retries_recovered as f64);
+        exporter
+            .gauge("pcor_retries_total", &[("outcome", "exhausted")])
+            .set(journal.errors as f64);
+        set("pcor_breaker_state", journal.breaker.gauge());
+        set("pcor_journal_backlog", journal.backlog as f64);
+        set("pcor_breaker_trips", journal.trips as f64);
+        // Fold the breaker into readiness: an open breaker means reserves
+        // are refused (fail-closed read-only), so the server is not ready
+        // even though it is still up and answering.
+        let ready = accepting.load(Ordering::Acquire) && journal.accepting_reserves;
+        set("pcor_ready", if ready { 1.0 } else { 0.0 });
         set("pcor_wal_replay_events", report.events_replayed as f64);
         set("pcor_wal_replay_seconds", report.replay_duration.as_secs_f64());
         set("pcor_wal_dangling_refunded", report.dangling_refunded as f64);
@@ -565,7 +678,10 @@ impl Server {
 
     /// Serves one envelope end to end on the calling pool worker. `trace`
     /// and `parent` (the root "server" span) thread causality down into the
-    /// ledger, session and verifier spans.
+    /// ledger, session and verifier spans. `cancel` (present when the
+    /// envelope carried a deadline) is checked by the verifier before
+    /// every fresh evaluation, so a tripped deadline stops the release
+    /// within one verification call and refunds its reservation.
     #[allow(clippy::too_many_arguments)]
     fn handle_envelope(
         registry: &DatasetRegistry,
@@ -577,6 +693,7 @@ impl Server {
         parent: SpanId,
         envelope: RequestEnvelope,
         enqueued: Instant,
+        cancel: Option<&CancelToken>,
     ) -> Result<ResponseEnvelope> {
         envelope.validate()?;
         let worker_index = pool.current_worker().unwrap_or(0);
@@ -595,6 +712,7 @@ impl Server {
                 parent,
                 request,
                 enqueued,
+                cancel,
             )
             .map(|response| ResponseEnvelope::single(response).at_version(v)),
             RequestBody::Batch(batch) => Self::handle_batch(
@@ -608,6 +726,7 @@ impl Server {
                 parent,
                 batch,
                 enqueued,
+                cancel,
                 |_| true,
             )
             .map(|response| ResponseEnvelope::batch(response).at_version(v)),
@@ -632,6 +751,7 @@ impl Server {
         parent: SpanId,
         batch: BatchReleaseRequest,
         enqueued: Instant,
+        cancel: Option<&CancelToken>,
         mut sink: impl FnMut(&BatchItemResponse) -> bool,
     ) -> Result<BatchReleaseResponse> {
         let entry = registry.get(&batch.dataset)?;
@@ -678,19 +798,31 @@ impl Server {
         // server's resident pool backs the engine's sharded passes.
         let detector = batch.detector.build();
         let utility = PopulationSizeUtility;
-        let mut session = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
+        let mut builder = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
             .pool(Arc::clone(pool))
-            .trace_context(telemetry.clone(), trace, Some(parent))
-            .build();
+            .trace_context(telemetry.clone(), trace, Some(parent));
+        if let Some(token) = cancel {
+            builder = builder.cancel_token(token.clone());
+        }
+        let mut session = builder.build();
         let needs_start = batch.algorithm.needs_starting_context();
 
         let mut items: Vec<BatchItemResponse> = Vec::with_capacity(batch.items.len());
         let mut committed = 0.0f64;
         let mut cancelled = false;
         for item in &batch.items {
+            // A tripped deadline cancels the batch's tail exactly like a
+            // dropped stream consumer: items already released stay
+            // committed, the unprocessed items' ε slices stay in the
+            // reservation for the refund below.
+            if !cancelled && cancel.is_some_and(|token| token.is_cancelled()) {
+                metrics.record_deadline_exceeded();
+                cancelled = true;
+            }
             if cancelled {
-                // The consumer is gone: unprocessed items are skipped and
-                // their ε slices stay in the reservation for the refund.
+                // The consumer is gone (or the deadline passed):
+                // unprocessed items are skipped and their ε slices stay in
+                // the reservation for the refund.
                 break;
             }
             // Warm the session from the cross-batch registry cache; on a
@@ -809,6 +941,7 @@ impl Server {
         parent: SpanId,
         request: ReleaseRequest,
         enqueued: Instant,
+        cancel: Option<&CancelToken>,
     ) -> Result<ReleaseResponse> {
         let entry = registry.get(&request.dataset)?;
         if request.record_id >= entry.dataset().len() {
@@ -852,10 +985,13 @@ impl Server {
         // that is not a contextual outlier consumed no privacy budget.
         let detector = request.detector.build();
         let utility = PopulationSizeUtility;
-        let mut session = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
+        let mut builder = ReleaseSession::builder(entry.dataset(), detector.as_ref(), &utility)
             .pool(Arc::clone(pool))
-            .trace_context(telemetry.clone(), trace, Some(parent))
-            .build();
+            .trace_context(telemetry.clone(), trace, Some(parent));
+        if let Some(token) = cancel {
+            builder = builder.cancel_token(token.clone());
+        }
+        let mut session = builder.build();
         let cache_hit = match registry.cached_starting_context(
             &request.dataset,
             request.record_id,
@@ -935,6 +1071,20 @@ impl Server {
                     worker: worker_index,
                 })
             }
+            Err(pcor_core::PcorError::Cancelled) => {
+                // The verifier stopped between fresh evaluations; no
+                // private draw was published, so the drop of `reservation`
+                // refunds exactly the reserved slice. A tripped deadline
+                // reports as such; an explicit cancel (other token owners)
+                // as Cancelled.
+                drop(reservation);
+                if cancel.is_some_and(|token| token.deadline_exceeded()) {
+                    metrics.record_deadline_exceeded();
+                    Err(ServiceError::DeadlineExceeded)
+                } else {
+                    Err(ServiceError::Cancelled)
+                }
+            }
             Err(err) => {
                 // The release failed before producing output; the drop of
                 // `reservation` refunds the held ε.
@@ -954,6 +1104,13 @@ impl Server {
         let metrics = Arc::clone(&self.metrics);
         let pool = Arc::clone(&self.pool);
         let telemetry = self.telemetry.clone();
+        let faults = self.faults.clone();
+        // An envelope deadline becomes a cancel token the whole serving
+        // path shares; accumulated injected clock skew shortens it, so
+        // chaos runs can force expiry deterministically.
+        let cancel = envelope
+            .deadline()
+            .map(|timeout| CancelToken::deadline_after(timeout.saturating_sub(faults.skew())));
         // Adopt the client's trace id when the envelope carries one (0 is
         // reserved for "absent"); mint a fresh one otherwise.
         let trace = match envelope.trace {
@@ -965,13 +1122,33 @@ impl Server {
             // The slot lives for the task's duration; its drop (panic
             // included) releases capacity and wakes blocked submitters.
             let _slot = slot;
+            // The service seam: injected latency simulates a slow serving
+            // task (deadline pressure), an injected panic exercises the
+            // refund-on-unwind guarantees.
+            faults.hit(site::SERVICE_RELEASE);
             // The root span covers the whole serving task; queue wait is
             // visible as the gap between `enqueued` and the span start.
             let server_span = telemetry.span(trace, None, "server");
             let parent = server_span.id();
-            let outcome = Self::handle_envelope(
-                &registry, &ledger, &metrics, &pool, &telemetry, trace, parent, envelope, enqueued,
-            );
+            let outcome = if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
+                // The request sat in the queue past its own deadline:
+                // answer without reserving or touching the dataset.
+                metrics.record_deadline_exceeded();
+                Err(ServiceError::DeadlineExceeded)
+            } else {
+                Self::handle_envelope(
+                    &registry,
+                    &ledger,
+                    &metrics,
+                    &pool,
+                    &telemetry,
+                    trace,
+                    parent,
+                    envelope,
+                    enqueued,
+                    cancel.as_ref(),
+                )
+            };
             server_span.finish();
             // A dropped handle is fine; ignore send errors.
             let _ = reply.send(outcome);
@@ -982,20 +1159,56 @@ impl Server {
             if let Some(durable) = &durable {
                 let _ = durable.maybe_checkpoint(Some(&registry));
             }
+            // Cache-capacity autotuning rides here too: every
+            // AUTOTUNE_INTERVAL-th request re-sizes the derived-state
+            // caches from their own hit/eviction counters.
+            let _ = registry.maybe_autotune();
         });
         PendingResponse::new(receiver)
+    }
+
+    /// Proactive load shedding: a request that carries a deadline the
+    /// estimated queue wait already blows is refused with
+    /// [`ServiceError::Overloaded`] *before* it takes an in-flight slot —
+    /// an immediate refusal with a `retry_after` hint beats queueing work
+    /// destined to time out (and beats blocking the submitter for it).
+    ///
+    /// The estimate is deliberately simple and observable: mean served
+    /// latency × requests currently in flight. Requests without deadlines
+    /// are never shed, servers with no latency history yet admit
+    /// everything (the cancel token still enforces the deadline
+    /// downstream), and literal capacity exhaustion keeps its own reactive
+    /// refusal, [`ServiceError::QueueFull`].
+    fn shed_if_doomed(&self, envelope: &RequestEnvelope) -> Result<()> {
+        let Some(deadline) = envelope.deadline() else { return Ok(()) };
+        // Injected clock skew makes deadlines effectively earlier, exactly
+        // as it does for the serving-side cancel token.
+        let deadline = deadline.saturating_sub(self.faults.skew());
+        let mean = self.metrics.snapshot().mean_latency;
+        if mean.is_zero() {
+            return Ok(());
+        }
+        let queued = self.inflight.current().min(u32::MAX as usize) as u32;
+        let estimated_wait = mean.saturating_mul(queued);
+        if estimated_wait > deadline {
+            self.metrics.record_shed();
+            return Err(ServiceError::Overloaded { retry_after: estimated_wait - deadline });
+        }
+        Ok(())
     }
 
     /// Enqueues a raw envelope, blocking while `queue_capacity` requests
     /// are in flight.
     ///
     /// # Errors
-    /// Returns [`ServiceError::Shutdown`] after
-    /// [`shutdown`](Server::shutdown).
+    /// Returns [`ServiceError::Overloaded`] when the envelope carries a
+    /// deadline the estimated queue wait already exceeds, and
+    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
     pub fn submit_envelope(&self, envelope: RequestEnvelope) -> Result<PendingResponse> {
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ServiceError::Shutdown);
         }
+        self.shed_if_doomed(&envelope)?;
         let slot = self.inflight.acquire(self.queue_capacity);
         Ok(self.dispatch(envelope, slot))
     }
@@ -1004,12 +1217,14 @@ impl Server {
     ///
     /// # Errors
     /// Returns [`ServiceError::QueueFull`] when `queue_capacity` requests
-    /// are in flight and [`ServiceError::Shutdown`] after
-    /// [`shutdown`](Server::shutdown).
+    /// are in flight, [`ServiceError::Overloaded`] when the envelope
+    /// carries a deadline the estimated queue wait already exceeds, and
+    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
     pub fn try_submit_envelope(&self, envelope: RequestEnvelope) -> Result<PendingResponse> {
         if !self.accepting.load(Ordering::Acquire) {
             return Err(ServiceError::Shutdown);
         }
+        self.shed_if_doomed(&envelope)?;
         let slot = self.inflight.try_acquire(self.queue_capacity).ok_or(ServiceError::QueueFull)?;
         Ok(self.dispatch(envelope, slot))
     }
@@ -1102,14 +1317,17 @@ impl Server {
                 parent,
                 batch,
                 enqueued,
+                None,
                 move |item| item_events.send(StreamEvent::Item(item.clone())).is_ok(),
             );
             server_span.finish();
             let _ = events.send(StreamEvent::Done(summary));
-            // Same post-reply auto-compaction as the dispatch path.
+            // Same post-reply auto-compaction and autotuning as the
+            // dispatch path.
             if let Some(durable) = &durable {
                 let _ = durable.maybe_checkpoint(Some(&registry));
             }
+            let _ = registry.maybe_autotune();
         });
         Ok(BatchStream { receiver, buffered: VecDeque::new(), done: None })
     }
@@ -1156,6 +1374,28 @@ impl Server {
     /// A snapshot of the server counters, pool health included.
     pub fn metrics(&self) -> ServerMetricsSnapshot {
         self.metrics.snapshot().with_pool(self.pool.stats())
+    }
+
+    /// A readiness report for health endpoints: whether the server accepts
+    /// work, how loaded it is, and — on durable servers — the journal's
+    /// breaker/backlog state. `ready` is the roll-up a load balancer
+    /// should route on; the same signals are exported as `pcor_ready`,
+    /// `pcor_accepting`, `pcor_inflight_requests` and `pcor_breaker_state`
+    /// in the Prometheus scrape.
+    pub fn health(&self) -> HealthReport {
+        let accepting = self.accepting.load(Ordering::Acquire);
+        let journal = self.durable.as_ref().map(|durable| durable.journal_health());
+        let ready = accepting && journal.as_ref().is_none_or(|health| health.accepting_reserves);
+        let snapshot = self.metrics.snapshot();
+        HealthReport {
+            accepting,
+            inflight: self.inflight.current(),
+            queue_capacity: self.queue_capacity,
+            journal,
+            deadline_exceeded: snapshot.deadline_exceeded,
+            shed: snapshot.shed,
+            ready,
+        }
     }
 
     /// The server's observability bundle: the metrics registry (scrape it
@@ -1727,6 +1967,104 @@ mod tests {
         assert!((server.ledger().remaining("alice", "toy") + spent - 10.0).abs() < 1e-9);
     }
 
+    /// A queued request that is already past its deadline when a worker
+    /// picks it up must be answered `DeadlineExceeded` without reserving
+    /// (or spending) any ε.
+    #[test]
+    fn past_due_queued_requests_are_refused_without_spending() {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let ledger = Arc::new(BudgetLedger::new(1_000.0));
+        let server = Server::start(
+            ServerConfig::default().with_workers(1).with_queue_capacity(4),
+            registry,
+            ledger,
+        );
+        // A heavy batch occupies the single worker long enough for the
+        // 1 ms deadline behind it to expire in the queue.
+        let slow = server.submit_batch(toy_batch("alice", &vec![0; 64])).unwrap();
+        let envelope = RequestEnvelope::single(toy_request("bob", 1)).with_deadline_ms(1);
+        let pending = server.submit_envelope(envelope).unwrap();
+        match pending.wait() {
+            Err(ServiceError::DeadlineExceeded) => {}
+            other => panic!("expected a deadline refusal, got {other:?}"),
+        }
+        assert!((server.ledger().remaining("bob", "toy") - 1_000.0).abs() < 1e-12);
+        assert!(server.metrics().deadline_exceeded >= 1);
+        assert!(slow.wait().is_ok());
+        // The scrape reports the lifecycle counter.
+        let scrape = server.telemetry().render_prometheus();
+        assert!(scrape.contains("pcor_deadline_exceeded_total"), "{scrape}");
+        assert!(scrape.contains("pcor_ready 1"), "{scrape}");
+    }
+
+    /// With injected clock skew collapsing every deadline to zero, a
+    /// loaded server sheds deadlined requests at admission — before they
+    /// take an in-flight slot — while deadline-free traffic still queues.
+    #[test]
+    fn admission_sheds_doomed_deadlines_under_injected_skew() {
+        use pcor_faults::{FaultKind, FaultPlan, ScheduledFault};
+        use std::time::Duration;
+        // The first pass of the service seam advances the injected clock
+        // by an hour: every later deadline is effectively already over.
+        let faults = FaultPlan::scripted(vec![ScheduledFault {
+            site: pcor_faults::site::SERVICE_RELEASE.to_string(),
+            hit: 1,
+            kind: FaultKind::ClockSkew(Duration::from_secs(3600)),
+        }])
+        .build();
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let ledger = Arc::new(BudgetLedger::new(1_000.0));
+        let server = Server::start(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(8)
+                .with_faults(faults.clone()),
+            registry,
+            ledger,
+        );
+        // Serve once: establishes a nonzero mean latency and fires the
+        // skew fault at the seam.
+        server.execute(toy_request("alice", 1)).unwrap();
+        assert!(faults.skew() >= Duration::from_secs(3600));
+        // Hold the worker so the in-flight count is nonzero…
+        let slow = server.submit_batch(toy_batch("alice", &vec![0; 64])).unwrap();
+        // …then a deadlined request is doomed (estimated wait > 0 ≥ the
+        // skew-collapsed deadline) and must be shed at admission.
+        let envelope = RequestEnvelope::single(toy_request("bob", 2)).with_deadline_ms(1);
+        match server.submit_envelope(envelope) {
+            Err(ServiceError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO, "the hint must say how long to back off");
+            }
+            other => panic!("expected an admission shed, got {other:?}"),
+        }
+        // Deadline-free traffic is never shed.
+        let pending = server.submit(toy_request("carol", 3)).unwrap();
+        assert!(server.metrics().shed >= 1);
+        assert!((server.ledger().remaining("bob", "toy") - 1_000.0).abs() < 1e-12);
+        assert!(slow.wait().is_ok());
+        assert!(pending.wait().is_ok());
+        let scrape = server.telemetry().render_prometheus();
+        assert!(scrape.contains("pcor_shed_total"), "{scrape}");
+    }
+
+    #[test]
+    fn health_reports_readiness_and_clears_on_shutdown() {
+        let server = toy_server(1.0, 1);
+        let health = server.health();
+        assert!(health.ready && health.accepting);
+        assert!(health.journal.is_none(), "a plain server has no journal");
+        assert_eq!(health.queue_capacity, 16);
+        assert_eq!(health.inflight, 0);
+        server.shutdown();
+        let health = server.health();
+        assert!(!health.ready && !health.accepting);
+        let scrape = server.telemetry().render_prometheus();
+        assert!(scrape.contains("pcor_ready 0"), "{scrape}");
+        assert!(scrape.contains("pcor_accepting 0"), "{scrape}");
+    }
+
     fn wal_test_dir(tag: &str) -> std::path::PathBuf {
         use std::sync::atomic::AtomicU64;
         static NEXT: AtomicU64 = AtomicU64::new(0);
@@ -1771,6 +2109,17 @@ mod tests {
             let scrape = server.telemetry().render_prometheus();
             assert!(scrape.contains("pcor_wal_appended_records"));
             assert!(scrape.contains("pcor_wal_journal_errors 0"));
+            // …including the journal's circuit breaker and retry series.
+            assert!(scrape.contains("pcor_breaker_state 0"), "{scrape}");
+            assert!(scrape.contains("pcor_retries_total{outcome=\"recovered\"}"), "{scrape}");
+            assert!(scrape.contains("pcor_ready 1"), "{scrape}");
+            // The health surface sees the same journal state.
+            let health = server.health();
+            assert!(health.ready);
+            let journal = health.journal.expect("a durable server reports its journal");
+            assert_eq!(journal.breaker, crate::durable::BreakerState::Closed);
+            assert_eq!(journal.backlog, 0);
+            assert!(journal.accepting_reserves);
             server.shutdown();
             response.remaining_budget
         };

@@ -49,12 +49,15 @@
 #![warn(missing_docs)]
 
 pub mod frame;
+pub mod group;
 pub mod log;
 pub mod segment;
 
 pub use frame::{crc32, RecordKind, FRAME_HEADER_BYTES, MAX_RECORD_BYTES};
+pub use group::{CommitTicket, GroupWal};
 pub use log::{Replay, Wal};
 
+use pcor_faults::Faults;
 use std::path::PathBuf;
 
 /// When appended records are flushed to stable storage.
@@ -95,6 +98,11 @@ pub struct WalOptions {
     /// Rotate to a new segment once the active one reaches this many
     /// bytes. One oversized record may exceed it; the next append rotates.
     pub segment_max_bytes: u64,
+    /// Fault-injection handle consulted before every record write
+    /// ([`pcor_faults::site::WAL_APPEND`]) and fsync
+    /// ([`pcor_faults::site::WAL_FSYNC`]). The disabled default costs one
+    /// branch per seam.
+    pub faults: Faults,
 }
 
 impl Default for WalOptions {
@@ -103,6 +111,7 @@ impl Default for WalOptions {
             dir: PathBuf::from("pcor-wal"),
             fsync: FsyncPolicy::OnCommit,
             segment_max_bytes: 8 * 1024 * 1024,
+            faults: Faults::disabled(),
         }
     }
 }

@@ -211,11 +211,17 @@ impl Wal {
     /// Flushes buffered-but-unsynced records to stable storage.
     pub fn sync(&mut self) -> Result<(), WalError> {
         if self.unsynced > 0 {
+            self.options.faults.io(pcor_faults::site::WAL_FSYNC)?;
             self.active.file.sync_data()?;
             self.unsynced = 0;
             self.stats.fsyncs += 1;
         }
         Ok(())
+    }
+
+    /// The fsync policy this log was opened with.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.options.fsync
     }
 
     /// A snapshot of the writer-side statistics.
@@ -249,7 +255,19 @@ impl Wal {
         // a process abort (not just a clean drop) leaves every accepted
         // record kernel-visible, and only power loss tests the fsync
         // policy.
-        self.active.file.write_all(&frame)?;
+        let outcome = self
+            .options
+            .faults
+            .io(pcor_faults::site::WAL_APPEND)
+            .and_then(|()| self.active.file.write_all(&frame));
+        if let Err(err) = outcome {
+            // A failed write may have landed part of the frame. Truncate
+            // back to the last accepted record so a retry appends a clean
+            // frame instead of stacking a good record onto a torn one —
+            // which replay would rightly refuse as mid-log corruption.
+            let _ = self.active.file.set_len(self.active.bytes);
+            return Err(WalError::Io(err));
+        }
         self.active.bytes += frame.len() as u64;
         self.unsynced += 1;
         self.stats.appended_records += 1;
@@ -458,6 +476,26 @@ mod tests {
         assert_eq!(replay.checkpoint.as_deref(), Some(b"cp".as_slice()));
         assert!(replay.events.is_empty());
         assert!(!resurrected.exists(), "open() must finish the interrupted prune");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn injected_append_errors_leave_the_log_retryable() {
+        use pcor_faults::{site, FaultKind, FaultPlan};
+        let dir = test_dir("faults");
+        let faults = FaultPlan::seeded(0).at(site::WAL_APPEND, 2, FaultKind::IoError).build();
+        let (mut wal, _) =
+            Wal::open(WalOptions { dir: dir.clone(), faults, ..WalOptions::default() }).unwrap();
+        wal.append(b"first", true).unwrap();
+        assert!(wal.append(b"doomed", true).is_err());
+        assert_eq!(wal.stats().appended_records, 1);
+        // The failed frame was truncated away: a retry appends cleanly and
+        // replay sees a contiguous, uncorrupted log.
+        wal.append(b"retried", true).unwrap();
+        drop(wal);
+        let (_, replay) = Wal::open(opts(&dir)).unwrap();
+        assert_eq!(replay.events, vec![b"first".to_vec(), b"retried".to_vec()]);
+        assert_eq!(replay.truncated_bytes, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

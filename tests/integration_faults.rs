@@ -1,0 +1,233 @@
+//! Chaos integration tests: a live durable server driven through a seeded
+//! fault schedule — scripted disk write failures, fsync stalls, injected
+//! release latency, and clock skew — must stay up, shed or retry per
+//! policy, and leak zero ε: the audit fold, the in-memory ledger, and the
+//! state recovered from the WAL after a restart all agree exactly.
+
+use pcor::faults::{site, FaultKind, FaultPlan, ScheduledFault};
+use pcor::prelude::*;
+use pcor::wal::FsyncPolicy;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn test_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let unique = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("pcor-faults-it-{tag}-{}-{unique}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Record 0 is a planted outlier in its own (a0, b0) cell — deterministic,
+/// so chaos outcomes depend on the fault schedule, not on a random search.
+fn toy_dataset() -> Dataset {
+    let schema = Schema::new(
+        vec![
+            Attribute::from_values("A", &["a0", "a1"]),
+            Attribute::from_values("B", &["b0", "b1"]),
+        ],
+        "M",
+    )
+    .unwrap();
+    let mut records = vec![Record::new(vec![0, 0], 900.0)];
+    for i in 0..40 {
+        records
+            .push(Record::new(vec![(i % 2) as u16, ((i / 2) % 2) as u16], 100.0 + (i % 7) as f64));
+    }
+    Dataset::new(schema, records).unwrap()
+}
+
+fn toy_request(analyst: &str, seed: u64) -> ReleaseRequest {
+    ReleaseRequest::new(analyst, "toy", 0)
+        .with_detector(DetectorKind::ZScore)
+        .with_algorithm(SamplingAlgorithm::Bfs)
+        .with_epsilon(0.2)
+        .with_samples(3)
+        .with_seed(seed)
+}
+
+/// Sums committed ε across the audit fold and checks the zero-leak
+/// invariants every chaos scenario must uphold.
+fn assert_zero_leak(server: &Server, grant: f64) -> f64 {
+    let audit = server.telemetry().audit();
+    audit.verify_contiguous().expect("audit seqs must be gap-free under faults");
+    let accounts = audit.fold();
+    let mut committed_total = 0.0;
+    for ((analyst, dataset), account) in &accounts {
+        assert!(
+            account.outstanding().abs() < 1e-9,
+            "{analyst}/{dataset} leaked {} ε under the fault schedule",
+            account.outstanding()
+        );
+        committed_total += account.committed;
+    }
+    for entry in server.ledger().snapshot() {
+        let folded = accounts
+            .get(&(entry.analyst.clone(), entry.dataset.clone()))
+            .map(|account| account.committed)
+            .unwrap_or(0.0);
+        assert!(
+            (entry.spent - folded).abs() < 1e-9,
+            "{}/{}: ledger spent {} != audit fold {}",
+            entry.analyst,
+            entry.dataset,
+            entry.spent,
+            folded
+        );
+        assert!(
+            (entry.remaining - (grant - entry.spent)).abs() < 1e-9,
+            "{}/{}: remaining diverged from grant - spent",
+            entry.analyst,
+            entry.dataset
+        );
+    }
+    committed_total
+}
+
+/// A scripted storm of disk faults against a live durable server: three
+/// journal appends fail with I/O errors and one fsync stalls, all mid-run.
+/// The retry/backoff policy must absorb them (or the backlog must carry
+/// them to a later flush), the server must keep serving, and after a
+/// restart the recovered balances must equal the pre-crash audit fold —
+/// zero ε lost to the storm, zero ε leaked by it.
+#[test]
+fn a_scripted_disk_fault_storm_neither_loses_nor_leaks_epsilon() {
+    let dir = test_dir("storm");
+    let grant = 50.0;
+    let wal_faults = FaultPlan::scripted(vec![
+        ScheduledFault { site: site::WAL_APPEND.to_string(), hit: 3, kind: FaultKind::IoError },
+        ScheduledFault { site: site::WAL_APPEND.to_string(), hit: 7, kind: FaultKind::IoError },
+        ScheduledFault { site: site::WAL_APPEND.to_string(), hit: 12, kind: FaultKind::IoError },
+        ScheduledFault {
+            site: site::WAL_FSYNC.to_string(),
+            hit: 2,
+            kind: FaultKind::FsyncStall(Duration::from_millis(5)),
+        },
+    ])
+    .build();
+    let service_faults = FaultPlan::seeded(7)
+        .rule(site::SERVICE_RELEASE, FaultKind::Latency(Duration::from_millis(2)), 0.3)
+        .build();
+
+    let committed_before = {
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.register("toy", toy_dataset());
+        let mut config = WalConfig::at(&dir);
+        config.fsync = FsyncPolicy::EveryRecord;
+        config.faults = wal_faults;
+        let durable =
+            Arc::new(DurableLedger::open(config, BudgetLedger::new(grant)).expect("open wal"));
+        let server = Server::start_durable(
+            ServerConfig::default()
+                .with_workers(2)
+                .with_queue_capacity(32)
+                .with_faults(service_faults),
+            registry,
+            Arc::clone(&durable),
+        );
+
+        let mut served = 0u32;
+        for seed in 0..20u64 {
+            let analyst = ["alice", "bob"][seed as usize % 2];
+            if server.execute(toy_request(analyst, seed)).is_ok() {
+                served += 1;
+            }
+        }
+        assert!(served > 0, "the storm must not take the whole service down");
+        let health = server.health();
+        assert!(health.accepting, "a storm the retries absorb must leave the server accepting");
+
+        // The scripted faults all fired mid-run; the tail of the schedule
+        // is clean, so a checkpoint now compacts the (possibly backlogged)
+        // history into a durable snapshot.
+        durable.checkpoint(None).expect("post-storm checkpoint");
+        let committed = assert_zero_leak(&server, grant);
+        assert!(
+            (committed - 0.2 * f64::from(served)).abs() < 1e-9,
+            "{served} served releases must commit exactly 0.2 ε each, got {committed}"
+        );
+        server.shutdown();
+        committed
+    };
+
+    // Restart with no faults: the recovered ledger must agree with the
+    // pre-restart audit fold to the last ulp — the storm lost nothing.
+    let recovered =
+        DurableLedger::open(WalConfig::at(&dir), BudgetLedger::new(grant)).expect("recover wal");
+    let recovered_committed: f64 =
+        recovered.ledger().snapshot().iter().map(|entry| entry.spent).sum();
+    assert!(
+        (recovered_committed - committed_before).abs() < 1e-9,
+        "recovered {recovered_committed} ε but the audit fold said {committed_before}"
+    );
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Doomed deadlines under injected clock skew: requests that cannot make
+/// their deadline are refused at admission (`Overloaded`) or cancelled
+/// mid-flight (`DeadlineExceeded`), and either way the analyst is never
+/// charged — the lifecycle counters and health surface record the carnage
+/// while deadline-free traffic keeps flowing.
+#[test]
+fn doomed_deadlines_are_shed_or_cancelled_without_charges() {
+    let grant = 10.0;
+    let faults = FaultPlan::scripted(vec![ScheduledFault {
+        site: site::SERVICE_RELEASE.to_string(),
+        hit: 1,
+        kind: FaultKind::ClockSkew(Duration::from_secs(3600)),
+    }])
+    .build();
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.register("toy", toy_dataset());
+    let ledger = Arc::new(BudgetLedger::new(grant));
+    let server = Server::start(
+        ServerConfig::default().with_workers(1).with_queue_capacity(16).with_faults(faults),
+        registry,
+        Arc::clone(&ledger),
+    );
+
+    // First request arms the skew fault and establishes a mean latency for
+    // the admission estimator.
+    server.execute(toy_request("alice", 1)).expect("deadline-free warm-up");
+
+    // With the clock skewed an hour forward, every finite deadline is
+    // already hopeless. None of these may charge ε.
+    let mut refusals = 0;
+    for seed in 0..5u64 {
+        let envelope =
+            RequestEnvelope::single(toy_request("doomed", seed)).with_deadline_ms(seed % 3);
+        match server.submit_envelope(envelope) {
+            Ok(pending) => {
+                let outcome = pending.wait();
+                assert!(outcome.is_err(), "an hour-skewed deadline cannot be served");
+                refusals += 1;
+            }
+            Err(ServiceError::Overloaded { retry_after }) => {
+                assert!(retry_after > Duration::ZERO, "a shed must tell the client when to retry");
+                refusals += 1;
+            }
+            Err(other) => panic!("unexpected admission error: {other}"),
+        }
+    }
+    assert_eq!(refusals, 5);
+    assert_eq!(ledger.spent("doomed", "toy"), 0.0, "a doomed request must never be charged");
+
+    // Deadline-free traffic still flows, and the surfaces saw the carnage.
+    server.execute(toy_request("alice", 99)).expect("deadline-free traffic keeps flowing");
+    let health = server.health();
+    assert!(health.ready, "shedding doomed requests must not clear readiness");
+    assert!(
+        health.deadline_exceeded + health.shed >= 5,
+        "every doomed request lands in a lifecycle counter: {health:?}"
+    );
+    let scrape = server.telemetry().render_prometheus();
+    assert!(scrape.contains("pcor_deadline_exceeded_total"));
+    assert!(scrape.contains("pcor_shed_total"));
+    let committed = assert_zero_leak(&server, grant);
+    assert!((committed - 0.4).abs() < 1e-9, "exactly the two served releases commit ε");
+    server.shutdown();
+}
