@@ -99,7 +99,7 @@ fn run_for(
         table.push_row(row);
     }
 
-    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+    Ok(ExperimentOutput { tables: vec![table], ..ExperimentOutput::default() })
 }
 
 #[cfg(test)]

@@ -63,7 +63,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         ]);
     }
 
-    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+    Ok(ExperimentOutput { tables: vec![table], ..ExperimentOutput::default() })
 }
 
 #[cfg(test)]

@@ -158,7 +158,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         }
     }
 
-    Ok(ExperimentOutput { tables: vec![exact, end_to_end], figures: vec![] })
+    Ok(ExperimentOutput { tables: vec![exact, end_to_end], ..ExperimentOutput::default() })
 }
 
 #[cfg(test)]

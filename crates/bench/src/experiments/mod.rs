@@ -35,6 +35,21 @@ pub mod wal;
 use crate::report::{Histogram, Table};
 use serde::{Deserialize, Serialize};
 
+/// Machine context a benchmark run was measured under, persisted alongside
+/// the tables so a committed `BENCH_*.json` is interpretable later: the same
+/// bytes/sec means something different on 1 core without AVX-512 than on 32
+/// cores with it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEnvironment {
+    /// Logical CPUs visible to the process (`nproc`).
+    pub nproc: usize,
+    /// The fused-pass kernel the dispatcher selected (`PCOR_KERNEL` respected).
+    pub kernel: String,
+    /// Measured STREAM-triad memory bandwidth in bytes/sec — the denominator
+    /// of the `% membw` column in the kernel table.
+    pub triad_bytes_per_sec: f64,
+}
+
 /// The output of one experiment: paper-style tables plus the histogram series
 /// behind the corresponding figures.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -43,13 +58,20 @@ pub struct ExperimentOutput {
     pub tables: Vec<Table>,
     /// Histogram series (figures).
     pub figures: Vec<Histogram>,
+    /// Machine context, when the experiment measured it (absent in older
+    /// `BENCH_*.json` files; missing fields deserialize to `None`).
+    pub environment: Option<RunEnvironment>,
 }
 
 impl ExperimentOutput {
-    /// Merges another output into this one.
+    /// Merges another output into this one. The first measured environment
+    /// wins — all experiments in one invocation ran on the same machine.
     pub fn extend(&mut self, other: ExperimentOutput) {
         self.tables.extend(other.tables);
         self.figures.extend(other.figures);
+        if self.environment.is_none() {
+            self.environment = other.environment;
+        }
     }
 }
 

@@ -217,7 +217,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         },
     ]);
 
-    Ok(ExperimentOutput { tables: vec![table, summary], figures: vec![] })
+    Ok(ExperimentOutput { tables: vec![table, summary], ..ExperimentOutput::default() })
 }
 
 use super::ExperimentOutput;

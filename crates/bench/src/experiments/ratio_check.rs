@@ -85,7 +85,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         ]);
     }
 
-    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+    Ok(ExperimentOutput { tables: vec![table], ..ExperimentOutput::default() })
 }
 
 #[cfg(test)]

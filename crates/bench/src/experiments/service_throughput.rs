@@ -96,7 +96,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         server.shutdown();
     }
 
-    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+    Ok(ExperimentOutput { tables: vec![table], ..ExperimentOutput::default() })
 }
 
 #[cfg(test)]

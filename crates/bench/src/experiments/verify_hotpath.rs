@@ -15,33 +15,54 @@
 //! * **scratch reuse** — `Dataset::population_into` on a
 //!   [`PopulationScratch`] plus the columnar metric gather: same passes,
 //!   zero allocation;
-//! * **incremental cursor** — the new engine: a [`PopulationCursor`]
-//!   advancing by one flip (one attribute-block union update + one fused
-//!   AND/popcount pass) and the detector answered from single-pass
-//!   shifted population moments, exactly as `pcor_core::Verifier`
-//!   evaluates;
-//! * **incremental sharded** — the same cursor with the fused pass forcibly
-//!   sharded across scoped threads. Bit-identical by construction; at
-//!   laptop-scale `n` the spawn overhead dominates (the auto policy only
-//!   shards beyond ~4 M records), which this row makes visible.
+//! * **incremental cursor (rescan)** — a [`PopulationCursor`] advancing by
+//!   one flip (one attribute-block union update + one fused AND/popcount
+//!   pass through the dispatched kernel), but with the detector's shifted
+//!   moments recomputed from scratch every call — the engine as it stood
+//!   before the moment tracker;
+//! * **incremental moments** — the same cursor with
+//!   [`PopulationCursor::track_moments`] enabled: the moments are carried
+//!   as centered sufficient statistics and updated from the XOR word-diff
+//!   of consecutive populations (Neumaier-compensated, with a scheduled
+//!   full refresh every [`PopulationCursor::MOMENT_REFRESH_INTERVAL`]
+//!   syncs), exactly as `pcor_core::Verifier` evaluates;
+//! * **incremental sharded (gated)** — the tracked-moments cursor under the
+//!   production pooled policy. Below the measured break-even
+//!   ([`ShardPolicy::POOLED_MIN_WORDS`]) the pass runs serial on the
+//!   dispatched kernel and the row stays allocation-free; sharding only
+//!   engages where it pays.
 //!
-//! Every path walks the *same* flip sequence and must produce the same
-//! per-step population sizes and outlier verdicts — the experiment
-//! hard-fails on any divergence. Results land in `BENCH_verify.json` via
+//! The `words/call` column counts every 64-bit word an engine touches per
+//! evaluation (fused pass + moment maintenance) from the cursor's own
+//! meters — the incremental-moments row must scan strictly fewer words per
+//! call than the full-rescan row, and `run` hard-fails if it does not.
+//!
+//! A second table microbenchmarks the fused AND+popcount kernels themselves
+//! (every kernel the host supports, scalar always included) over synthetic
+//! word streams, reporting raw bytes/sec and the fraction of the machine's
+//! measured STREAM-triad bandwidth ([`crate::membw`]) each kernel sustains.
+//!
+//! Every engine path walks the *same* flip sequence and must produce the
+//! same per-step population sizes and outlier verdicts — the experiment
+//! hard-fails on any divergence, and likewise if any kernel's output is not
+//! bit-identical to scalar. Results land in `BENCH_verify.json` via
 //! `reproduce --json`, extending the BENCH trajectory of `BENCH_batch.json`.
 
 use crate::alloc_probe;
 use crate::config::ExperimentScale;
 use crate::report::Table;
 use crate::{BenchError, Result};
-use pcor_data::{Context, Dataset, PopulationCursor, PopulationScratch, ShardPolicy};
+use pcor_data::kernel::{self, KernelKind};
+use pcor_data::{Context, Dataset, PopulationCursor, PopulationScratch, RecordBitmap, ShardPolicy};
 use pcor_dp::{PopulationSizeUtility, Utility};
 use pcor_outlier::{OutlierDetector, PopulationMoments, ZScoreDetector};
+use pcor_runtime::ThreadPool;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
 use std::time::Instant;
 
-use super::ExperimentOutput;
+use super::{ExperimentOutput, RunEnvironment};
 
 /// Single-bit flips evaluated per path.
 const STEPS: usize = 1_024;
@@ -84,10 +105,38 @@ fn seed_engine_step(
     Ok((population_size, matching))
 }
 
-/// The new engine's verification at a cursor position: fused population +
-/// moment-based detector verdict (what `pcor_core::Verifier` runs per fresh
-/// evaluation).
-fn engine_step(
+/// Cursor verification with the moments recomputed from scratch each call
+/// (the pre-tracker engine). Returns `(size, matching, moment_words)` where
+/// `moment_words` counts what the rescan touched: one sweep of the
+/// population bitmap plus one metric load per member.
+fn rescan_engine_step(
+    dataset: &Dataset,
+    cursor: &mut PopulationCursor<'_>,
+    outlier_id: usize,
+    detector: &dyn OutlierDetector,
+    utility: &dyn Utility,
+) -> (usize, bool, u64) {
+    let (context, population, population_size) = cursor.evaluated();
+    let _utility_score = utility.score(dataset, context, population);
+    let pop_words = population.words().len() as u64;
+    let (matching, moment_words) = if population.contains(outlier_id) {
+        let value = dataset.metric(outlier_id);
+        let (sum, sum_sq_dev) = dataset.population_metric_moments(population, value);
+        let verdict = detector.is_outlier_by_moments(
+            &PopulationMoments::new(population_size, sum, sum_sq_dev),
+            value,
+        );
+        (verdict, pop_words + population_size as u64)
+    } else {
+        (false, 0)
+    };
+    (population_size, matching, moment_words)
+}
+
+/// Cursor verification answered from the tracked moments (the production
+/// engine; `cursor` must have `track_moments` enabled). Word accounting
+/// comes from the cursor's own `moment_words_scanned` meter.
+fn tracked_engine_step(
     dataset: &Dataset,
     cursor: &mut PopulationCursor<'_>,
     outlier_id: usize,
@@ -96,9 +145,10 @@ fn engine_step(
 ) -> (usize, bool) {
     let (context, population, population_size) = cursor.evaluated();
     let _utility_score = utility.score(dataset, context, population);
-    let matching = if population.contains(outlier_id) {
+    let covers = population.contains(outlier_id);
+    let matching = if covers {
         let value = dataset.metric(outlier_id);
-        let (sum, sum_sq_dev) = dataset.population_metric_moments(population, value);
+        let (sum, sum_sq_dev) = cursor.moments();
         detector
             .is_outlier_by_moments(&PopulationMoments::new(population_size, sum, sum_sq_dev), value)
     } else {
@@ -107,12 +157,94 @@ fn engine_step(
     (population_size, matching)
 }
 
+/// Fills a bitmap's words from a splitmix-style PRNG.
+fn seeded_stream(words: usize, mut state: u64) -> RecordBitmap {
+    let mut bitmap = RecordBitmap::new(words * 64);
+    for w in bitmap.words_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *w = state;
+    }
+    bitmap
+}
+
+/// Microbenchmarks every supported fused-pass kernel over synthetic word
+/// streams: raw bytes/sec, fraction of measured triad bandwidth, and speedup
+/// over scalar. Hard-fails if any kernel's count or output bitmap diverges
+/// from the scalar reference.
+fn kernel_microbench(scale: &ExperimentScale, triad: f64, nproc: usize) -> Result<Table> {
+    // Streams sized past the last-level cache at real scales so bytes/sec is
+    // a memory number, not a cache number; smoke keeps unit tests fast.
+    let words = if scale.salary_records < 2_000 { 1 << 12 } else { 1 << 20 };
+    const REST: usize = 3;
+    let first = seeded_stream(words, scale.seed ^ 0x5EED);
+    let rest: Vec<RecordBitmap> =
+        (0..REST).map(|i| seeded_stream(words, scale.seed ^ (0xA5A5 + i as u64))).collect();
+    // Read-byte accounting, matching the engine table: the pass streams the
+    // first bitmap plus each rest bitmap once per call.
+    let bytes_per_pass = (words * (1 + REST) * 8) as f64;
+    let target_bytes = if scale.salary_records < 2_000 { 1 << 25 } else { 1 << 28 } as f64;
+    let iters = ((target_bytes / bytes_per_pass) as usize).max(3);
+
+    let mut expected_out = vec![0u64; words];
+    let expected = kernel::scalar_pass(first.words(), &rest, &mut expected_out, 0);
+
+    let selected = kernel::selected();
+    let mut rates: Vec<(KernelKind, f64)> = Vec::new();
+    let mut out = vec![0u64; words];
+    for kind in KernelKind::supported() {
+        let func = kind.func();
+        // Warm-up pass doubles as the bit-identity check against scalar.
+        out.fill(u64::MAX);
+        let count = func(first.words(), &rest, &mut out, 0);
+        if count != expected || out != expected_out {
+            return Err(BenchError::Service(format!(
+                "kernel divergence: `{kind}` disagreed with the scalar reference"
+            )));
+        }
+        let started = Instant::now();
+        let mut checksum = 0usize;
+        for _ in 0..iters {
+            checksum = checksum.wrapping_add(func(first.words(), &rest, &mut out, 0));
+        }
+        let elapsed = started.elapsed().as_secs_f64();
+        std::hint::black_box(checksum);
+        rates.push((kind, bytes_per_pass * iters as f64 / elapsed.max(1e-12)));
+    }
+    let scalar_rate = rates
+        .iter()
+        .find(|(kind, _)| *kind == KernelKind::Scalar)
+        .map(|&(_, rate)| rate)
+        .expect("scalar kernel is always supported");
+
+    let mut table = Table::new(
+        format!(
+            "Fused AND+popcount kernels ({words} words x {} streams, {iters} passes/kernel, \
+             triad = {:.2} GB/s, nproc = {nproc})",
+            1 + REST,
+            triad / 1e9
+        ),
+        &["Kernel", "dispatched", "bytes/sec", "% membw", "vs scalar"],
+    );
+    for (kind, rate) in &rates {
+        table.push_row(vec![
+            kind.name().to_string(),
+            if *kind == selected { "yes".to_string() } else { String::new() },
+            format!("{rate:.0}"),
+            format!("{:.0}%", rate / triad.max(1e-12) * 100.0),
+            format!("{:.2}x", rate / scalar_rate.max(1e-12)),
+        ]);
+    }
+    Ok(table)
+}
+
 /// Runs the verify-hotpath comparison.
 ///
 /// # Errors
 /// Returns [`BenchError::NoOutlierFound`] when the workload has no
 /// contextual outliers, and a [`BenchError::Service`] divergence error if
-/// any engine generation disagrees with the seed engine.
+/// any engine generation disagrees with the seed engine, any kernel
+/// disagrees with scalar, or the tracked-moments engine fails to scan
+/// strictly fewer words per call than the rescan engine.
 pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
     // Tiny scales (smoke / CI) keep their size; real runs measure at
     // n >= 10k, where the acceptance numbers are defined.
@@ -130,8 +262,13 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
     let outliers = pcor_core::runner::find_random_outliers(&dataset, &detector, 1, 2_000, &mut rng)
         .map_err(|_| BenchError::NoOutlierFound)?;
     let outlier_id = outliers[0].record_id;
+    let origin = dataset.metric(outlier_id);
     let start = outliers[0].starting_context.clone();
     let t = dataset.schema().total_values();
+
+    let nproc = std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1);
+    let triad = crate::membw::triad_bytes_per_sec();
+    let selected = kernel::selected();
 
     // One shared random single-bit flip sequence over the bits *outside*
     // the record's minimal context: the searches spend their budget on
@@ -143,19 +280,31 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
     let flips: Vec<usize> =
         (0..STEPS).map(|_| free_bits[rng.random_range(0..free_bits.len())]).collect();
 
-    let n_threads = ShardPolicy::auto().threads.max(2);
+    // The gated row uses the production pooled policy: persistent pool, one
+    // shard per worker, serial below the measured break-even. The pool is
+    // built outside the counted section — it is process state, not per-call
+    // cost.
+    let pool = Arc::new(ThreadPool::for_available_parallelism());
+
     let mut table = Table::new(
         format!(
             "Verify hot path: one f_M evaluation per single-bit flip \
-             (n = {records}, t = {t}, {STEPS} flips, ZScore + PopulationSize)"
+             (n = {records}, t = {t}, {STEPS} flips, ZScore + PopulationSize, \
+             kernel = {selected})"
         ),
-        &["Path", "calls/sec", "ns/call", "allocs/call", "bytes/sec", "Speedup"],
+        &["Path", "calls/sec", "ns/call", "allocs/call", "words/call", "bytes/sec", "Speedup"],
     );
 
     let mut digests: Vec<Digest> = Vec::new();
+    let mut words_per_path: Vec<Option<u64>> = Vec::new();
     let mut baseline_rate = 0.0f64;
-    let paths: [&str; 4] =
-        ["from-scratch (seed)", "scratch reuse", "incremental cursor", "incremental sharded"];
+    let paths: [&str; 5] = [
+        "from-scratch (seed)",
+        "scratch reuse",
+        "incremental cursor (rescan)",
+        "incremental moments",
+        "incremental sharded (gated)",
+    ];
     for (index, path) in paths.iter().enumerate() {
         let started = Instant::now();
         let (outcome, allocs) = alloc_probe::counted(|| -> Result<(Digest, Option<u64>)> {
@@ -195,21 +344,46 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
                         matches += matching as u64;
                     }
                 }
-                _ => {
-                    let policy = if index == 2 {
-                        ShardPolicy::serial()
-                    } else {
-                        ShardPolicy::forced(n_threads)
-                    };
-                    let mut cursor = PopulationCursor::with_policy(&dataset, &start, policy)?;
+                2 => {
+                    let mut cursor =
+                        PopulationCursor::with_policy(&dataset, &start, ShardPolicy::serial())?;
+                    let mut moment_words = 0u64;
                     for &bit in &flips {
                         cursor.flip(bit);
-                        let (size, matching) =
-                            engine_step(&dataset, &mut cursor, outlier_id, &detector, &utility);
+                        let (size, matching, scanned) = rescan_engine_step(
+                            &dataset,
+                            &mut cursor,
+                            outlier_id,
+                            &detector,
+                            &utility,
+                        );
+                        sizes += size as u64;
+                        matches += matching as u64;
+                        moment_words += scanned;
+                    }
+                    words = Some(cursor.words_scanned() + moment_words);
+                }
+                _ => {
+                    let policy = if index == 3 {
+                        ShardPolicy::serial()
+                    } else {
+                        ShardPolicy::pooled(Arc::clone(&pool))
+                    };
+                    let mut cursor = PopulationCursor::with_policy(&dataset, &start, policy)?;
+                    cursor.track_moments(origin);
+                    for &bit in &flips {
+                        cursor.flip(bit);
+                        let (size, matching) = tracked_engine_step(
+                            &dataset,
+                            &mut cursor,
+                            outlier_id,
+                            &detector,
+                            &utility,
+                        );
                         sizes += size as u64;
                         matches += matching as u64;
                     }
-                    words = Some(cursor.words_scanned());
+                    words = Some(cursor.words_scanned() + cursor.moment_words_scanned());
                 }
             }
             Ok((Digest { population_sizes: sizes, matching: matches }, words))
@@ -221,13 +395,11 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
             baseline_rate = rate;
         }
         digests.push(digest);
-        // Bitmap bandwidth from the engine's own words-scanned counter
-        // (64-bit words, so bytes = words * 8). Only the cursor engine
-        // meters its passes; the historical paths have no counter and
-        // report `n/a` rather than an estimate.
-        let bytes_per_sec = words
-            .map(|w| format!("{:.0}", (w as f64 * 8.0) / elapsed.max(1e-12)))
-            .unwrap_or_else(|| "n/a".to_string());
+        words_per_path.push(words);
+        // Word/byte traffic from the engines' own meters (fused pass plus
+        // moment maintenance; 64-bit words, so bytes = words * 8). Only the
+        // cursor engines meter their passes; the historical paths have no
+        // counter and report `n/a` rather than an estimate.
         table.push_row(vec![
             path.to_string(),
             format!("{rate:.0}"),
@@ -235,7 +407,12 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
             allocs
                 .map(|a| format!("{:.1}", a as f64 / STEPS as f64))
                 .unwrap_or_else(|| "n/a".to_string()),
-            bytes_per_sec,
+            words
+                .map(|w| format!("{:.1}", w as f64 / STEPS as f64))
+                .unwrap_or_else(|| "n/a".to_string()),
+            words
+                .map(|w| format!("{:.0}", (w as f64 * 8.0) / elapsed.max(1e-12)))
+                .unwrap_or_else(|| "n/a".to_string()),
             format!("{:.2}x", rate / baseline_rate.max(1e-12)),
         ]);
     }
@@ -257,7 +434,28 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
         }
     }
 
-    Ok(ExperimentOutput { tables: vec![table], figures: vec![] })
+    // The point of the moment tracker: strictly less word traffic per call
+    // than recomputing the moments from scratch. Deterministic for the same
+    // reason as the digest check — the meters count work, not time.
+    let rescan_words = words_per_path[2].expect("rescan engine meters its words");
+    let tracked_words = words_per_path[3].expect("tracked engine meters its words");
+    if tracked_words >= rescan_words {
+        return Err(BenchError::Service(format!(
+            "moment tracker regression: tracked engine scanned {tracked_words} words \
+             vs {rescan_words} for the full rescan"
+        )));
+    }
+
+    let kernels = kernel_microbench(scale, triad, nproc)?;
+    Ok(ExperimentOutput {
+        tables: vec![table, kernels],
+        figures: vec![],
+        environment: Some(RunEnvironment {
+            nproc,
+            kernel: selected.name().to_string(),
+            triad_bytes_per_sec: triad,
+        }),
+    })
 }
 
 #[cfg(test)]
@@ -268,29 +466,55 @@ mod tests {
     fn all_paths_agree_and_report_rates() {
         let scale = ExperimentScale::smoke();
         let output = run(&scale).expect("verify-hotpath experiment");
-        assert_eq!(output.tables.len(), 1);
+        assert_eq!(output.tables.len(), 2);
         let table = &output.tables[0];
-        assert_eq!(table.rows.len(), 4);
+        assert_eq!(table.rows.len(), 5);
         for row in &table.rows {
-            assert_eq!(row.len(), 6);
+            assert_eq!(row.len(), 7);
             let rate: f64 = row[1].parse().unwrap();
             assert!(rate > 0.0, "path {} reported no throughput", row[0]);
         }
-        // The cursor engines meter their fused passes, so their bytes/sec
-        // column must carry a real positive number; the historical paths
-        // have no counter and report `n/a`.
+        // The cursor engines meter their words, so words/call and bytes/sec
+        // must carry real positive numbers; the historical paths have no
+        // counter and report `n/a`.
         for row in &table.rows[2..] {
-            let bytes: f64 = row[4].parse().unwrap();
+            let words: f64 = row[4].parse().unwrap();
+            assert!(words > 0.0, "path {} reported no word traffic", row[0]);
+            let bytes: f64 = row[5].parse().unwrap();
             assert!(bytes > 0.0, "path {} reported no bandwidth", row[0]);
         }
         for row in &table.rows[..2] {
             assert_eq!(row[4], "n/a");
+            assert_eq!(row[5], "n/a");
         }
+        // The tracked-moments row scans strictly fewer words per call than
+        // the rescan row (also hard-enforced inside `run`).
+        let rescan: f64 = table.rows[2][4].parse().unwrap();
+        let tracked: f64 = table.rows[3][4].parse().unwrap();
+        assert!(tracked < rescan, "tracked {tracked} >= rescan {rescan}");
         // No wall-clock ratio assertions here: timing comparisons belong in
         // the experiment's reported output (BENCH_verify.json), not in a
         // pass/fail unit test that would flake on loaded CI runners. The
         // load-bearing correctness check — every engine generation produced
         // identical population sizes and verdicts — already ran inside
         // `run` (it returns an error on any divergence).
+
+        // Kernel table: scalar always present, exactly one dispatched row,
+        // and every bytes/sec entry is a real positive number.
+        let kernels = &output.tables[1];
+        assert!(kernels.rows.iter().any(|row| row[0] == "scalar"));
+        assert_eq!(kernels.rows.iter().filter(|row| row[1] == "yes").count(), 1);
+        for row in &kernels.rows {
+            assert_eq!(row.len(), 5);
+            let rate: f64 = row[2].parse().unwrap();
+            assert!(rate > 0.0, "kernel {} reported no throughput", row[0]);
+            assert!(row[3].ends_with('%'), "kernel {} membw column: {}", row[0], row[3]);
+        }
+
+        // Environment metadata rides along for the JSON artifact.
+        let env = output.environment.as_ref().expect("environment recorded");
+        assert!(env.nproc >= 1);
+        assert!(env.triad_bytes_per_sec > 0.0);
+        assert_eq!(env.kernel, pcor_data::kernel::selected().name());
     }
 }

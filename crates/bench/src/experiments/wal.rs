@@ -317,7 +317,7 @@ pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
 
     Ok(ExperimentOutput {
         tables: vec![append_table, replay_table, summary, group_table],
-        figures: vec![],
+        ..ExperimentOutput::default()
     })
 }
 

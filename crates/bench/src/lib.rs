@@ -23,6 +23,7 @@ pub mod alloc_probe;
 pub mod config;
 pub mod experiments;
 pub mod measure;
+pub mod membw;
 pub mod report;
 pub mod workloads;
 

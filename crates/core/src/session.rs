@@ -51,7 +51,7 @@ use crate::runner::OutlierQuery;
 use crate::starting::{find_starting_context, DEFAULT_SEARCH_BUDGET};
 use crate::verify::Verifier;
 use crate::{PcorError, PcorResult, Result, SamplingAlgorithm};
-use pcor_data::{Context, Dataset, ShardPolicy};
+use pcor_data::{Context, Dataset, KernelKind, ShardPolicy};
 use pcor_dp::{MechanismKind, MechanismTally, Utility};
 use pcor_outlier::OutlierDetector;
 use pcor_runtime::ThreadPool;
@@ -362,6 +362,12 @@ pub struct SessionStats {
     /// Bitmap words read by the verifiers' fused population passes (×8
     /// gives the bytes the verification hot loop touched).
     pub words_scanned: u64,
+    /// Words read by the verifiers' incremental moment syncs (bitmap diffs
+    /// plus one word per metric load); zero for slice-path detectors.
+    pub moment_words_scanned: u64,
+    /// The fused-pass kernel the session's verifiers run with (the
+    /// process-wide runtime dispatch — `PCOR_KERNEL` or feature detection).
+    pub kernel: KernelKind,
     /// Starting contexts resolved and cached.
     pub starting_contexts: usize,
     /// Successful releases broken down by the selection mechanism that
@@ -473,6 +479,12 @@ impl<'a> ReleaseSession<'a> {
             cache_hits: self.verifiers.values().map(Verifier::cache_hits).sum(),
             cached_contexts: self.verifiers.values().map(Verifier::distinct_contexts).sum(),
             words_scanned: self.verifiers.values().map(Verifier::words_scanned).sum(),
+            moment_words_scanned: self.verifiers.values().map(Verifier::moment_words_scanned).sum(),
+            kernel: self
+                .verifiers
+                .values()
+                .next()
+                .map_or_else(pcor_data::kernel::selected, Verifier::kernel),
             starting_contexts: self.starting_contexts.len(),
             mechanism_releases: self.mechanism_releases,
         }

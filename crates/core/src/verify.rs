@@ -33,6 +33,7 @@
 
 use crate::cancel::CancelToken;
 use crate::{PcorError, Result};
+use pcor_data::kernel::KernelKind;
 use pcor_data::{Context, Dataset, PopulationCursor, RecordBitmap, ShardPolicy};
 use pcor_dp::Utility;
 use pcor_outlier::{OutlierDetector, PopulationMoments};
@@ -275,6 +276,18 @@ impl<'a> Verifier<'a> {
         self.cursor.as_ref().map_or(0, |cursor| cursor.words_scanned())
     }
 
+    /// Words read by the cursor's incremental moment syncs (bitmap diffs
+    /// plus one word per metric load). Zero for slice-path detectors.
+    pub fn moment_words_scanned(&self) -> u64 {
+        self.cursor.as_ref().map_or(0, |cursor| cursor.moment_words_scanned())
+    }
+
+    /// The fused-pass kernel this verifier's evaluations run with (from its
+    /// shard policy; by default the process-wide dispatched kernel).
+    pub fn kernel(&self) -> KernelKind {
+        self.policy.kernel()
+    }
+
     /// The minimal context of the queried record (its own attribute values).
     ///
     /// # Errors
@@ -315,37 +328,62 @@ impl<'a> Verifier<'a> {
         Ok(evaluation)
     }
 
-    /// Runs one uncached evaluation at `context`, repositioning the cursor.
-    fn evaluate_fresh(&mut self, context: &Context) -> Result<Evaluation> {
+    /// Positions the cursor at `context`, creating it on first use. A new
+    /// cursor of a moment-decidable verifier immediately starts tracking
+    /// incremental moments centered on the queried record's metric.
+    fn position_cursor(&mut self, context: &Context) -> Result<()> {
         match self.cursor.as_mut() {
             Some(cursor) => cursor.move_to(context)?,
             None => {
-                self.cursor = Some(PopulationCursor::with_policy(
-                    self.dataset,
-                    context,
-                    self.policy.clone(),
-                )?);
+                let mut cursor =
+                    PopulationCursor::with_policy(self.dataset, context, self.policy.clone())?;
+                if self.use_moments {
+                    cursor.track_moments(self.dataset.metric(self.outlier_id));
+                }
+                self.cursor = Some(cursor);
             }
         }
+        Ok(())
+    }
+
+    /// Runs one uncached evaluation at `context`, repositioning the cursor.
+    fn evaluate_fresh(&mut self, context: &Context) -> Result<Evaluation> {
+        self.position_cursor(context)?;
         Ok(self.evaluate_at_cursor())
     }
 
     /// Evaluates at the cursor's current position. The caller has already
     /// positioned the cursor and checked the cache.
+    ///
+    /// Moment-decidable detectors are answered from the cursor's tracked
+    /// sufficient statistics — an incremental diff sync instead of the
+    /// from-scratch metric rescan `classify_population` performs — which is
+    /// exactly why the verifier owns a stateful cursor. Slice detectors and
+    /// uncovered contexts go through `classify_population` unchanged.
     fn evaluate_at_cursor(&mut self) -> Evaluation {
         self.calls += 1;
         let cursor = self.cursor.as_mut().expect("cursor positioned by caller");
         let (current, population, population_size) = cursor.evaluated();
         let utility = self.utility.score(self.dataset, current, population);
-        let matching = classify_population(
-            self.dataset,
-            population,
-            population_size,
-            self.outlier_id,
-            self.detector,
-            self.use_moments,
-            &mut self.metrics_buf,
-        );
+        let covers = self.outlier_id < population.len() && population.contains(self.outlier_id);
+        let matching = if covers && self.use_moments {
+            let value = self.dataset.metric(self.outlier_id);
+            let (sum, sum_sq_dev) = cursor.moments();
+            let moments = PopulationMoments::new(population_size, sum, sum_sq_dev);
+            self.detector.is_outlier_by_moments(&moments, value)
+        } else if covers {
+            classify_population(
+                self.dataset,
+                population,
+                population_size,
+                self.outlier_id,
+                self.detector,
+                false,
+                &mut self.metrics_buf,
+            )
+        } else {
+            false
+        };
         Evaluation { matching, utility, population_size }
     }
 
@@ -379,16 +417,7 @@ impl<'a> Verifier<'a> {
             if !cursor_at_base {
                 // Position once; after each miss we flip back, so the cursor
                 // stays at `base` for the rest of the walk.
-                match self.cursor.as_mut() {
-                    Some(cursor) => cursor.move_to(base)?,
-                    None => {
-                        self.cursor = Some(PopulationCursor::with_policy(
-                            self.dataset,
-                            base,
-                            self.policy.clone(),
-                        )?);
-                    }
-                }
+                self.position_cursor(base)?;
                 cursor_at_base = true;
             }
             let cursor = self.cursor.as_mut().expect("cursor positioned above");
@@ -550,6 +579,116 @@ mod tests {
                 sharded.evaluate(&context).unwrap(),
                 "sharded evaluation diverged at mask {mask:04b}"
             );
+        }
+    }
+
+    /// Forces the slice path of any moment-decidable detector — the
+    /// from-scratch reference the incremental moment path must agree with.
+    struct SlicePath<D>(D);
+
+    impl<D: OutlierDetector> OutlierDetector for SlicePath<D> {
+        fn name(&self) -> &'static str {
+            "SlicePath"
+        }
+        fn is_outlier(&self, population: &[f64], target: usize) -> bool {
+            self.0.is_outlier(population, target)
+        }
+        fn supports_moments(&self) -> bool {
+            false
+        }
+    }
+
+    /// A wider dataset with adversarial metric magnitudes: a large common
+    /// offset with small spread maximizes cancellation in the moment
+    /// accumulators, which is exactly what the Neumaier compensation and the
+    /// origin shift are there to survive.
+    fn adversarial() -> Dataset {
+        let schema = Schema::new(
+            vec![
+                Attribute::from_values("A", &["a0", "a1", "a2"]),
+                Attribute::from_values("B", &["b0", "b1"]),
+                Attribute::from_values("C", &["c0", "c1", "c2"]),
+            ],
+            "M",
+        )
+        .unwrap();
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut records: Vec<Record> = (0..300)
+            .map(|i| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let jitter = ((state >> 40) as f64) / (1u64 << 24) as f64; // [0, 1)
+                Record::new(
+                    vec![(i % 3) as u16, ((i / 3) % 2) as u16, ((i / 5) % 3) as u16],
+                    1.0e9 + jitter,
+                )
+            })
+            .collect();
+        // One genuinely extreme record in every subgroup it belongs to.
+        records.push(Record::new(vec![0, 0, 0], 1.0e9 + 50.0));
+        Dataset::new(schema, records).unwrap()
+    }
+
+    #[test]
+    fn moment_path_verdicts_agree_with_slice_path_over_long_walks() {
+        let dataset = adversarial();
+        let outlier_id = dataset.len() - 1;
+        let detector = ZScoreDetector::new(2.5);
+        assert!(detector.supports_moments());
+        let slice_detector = SlicePath(ZScoreDetector::new(2.5));
+        let utility = PopulationSizeUtility;
+        let mut tracked = Verifier::new(&dataset, &detector, &utility, outlier_id);
+        let mut reference = Verifier::new(&dataset, &slice_detector, &utility, outlier_id);
+
+        let t = dataset.schema().total_values();
+        let mut context = dataset.minimal_context(outlier_id).unwrap();
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut matched = 0usize;
+        // Long enough to cross the default refresh interval (256) several
+        // times: each uncached evaluation is one delta sync.
+        for step in 0..600 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            context.flip((state >> 33) as usize % t);
+            let a = tracked.evaluate(&context).unwrap();
+            let b = reference.evaluate(&context).unwrap();
+            assert_eq!(a, b, "verdict diverged at step {step}");
+            matched += a.matching as usize;
+        }
+        // The walk exercised both verdicts and the incremental path did sync.
+        assert!(matched > 0, "walk never produced a matching context");
+        assert!(tracked.moment_words_scanned() > 0);
+        assert_eq!(reference.moment_words_scanned(), 0);
+    }
+
+    #[test]
+    fn all_supported_kernels_evaluate_identically() {
+        let dataset = adversarial();
+        let outlier_id = dataset.len() - 1;
+        let detector = ZScoreDetector::new(2.5);
+        let utility = PopulationSizeUtility;
+        let t = dataset.schema().total_values();
+        let mut reference = Verifier::with_shard_policy(
+            &dataset,
+            &detector,
+            &utility,
+            outlier_id,
+            ShardPolicy::serial().with_kernel(KernelKind::Scalar),
+        );
+        for kind in KernelKind::supported() {
+            let policy = ShardPolicy::serial().with_kernel(kind);
+            let mut verifier =
+                Verifier::with_shard_policy(&dataset, &detector, &utility, outlier_id, policy);
+            assert_eq!(verifier.kernel(), kind);
+            let mut context = dataset.minimal_context(outlier_id).unwrap();
+            let mut state = 0xDEADBEEFCAFEF00Du64;
+            for step in 0..128 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                context.flip((state >> 33) as usize % t);
+                assert_eq!(
+                    verifier.evaluate(&context).unwrap(),
+                    reference.evaluate(&context).unwrap(),
+                    "kernel {kind} diverged at step {step}"
+                );
+            }
         }
     }
 

@@ -35,6 +35,7 @@
 use crate::bitmap::RecordBitmap;
 use crate::context::Context;
 use crate::dataset::Dataset;
+use crate::kernel::{self, KernelFn, KernelKind};
 use crate::{DataError, Result};
 use pcor_runtime::ThreadPool;
 use std::sync::Arc;
@@ -109,6 +110,12 @@ enum ShardExecutor {
 ///   [`pcor_runtime::ThreadPool`] workers — the submitting thread helps
 ///   execute, so the overhead is a few queue operations and the break-even
 ///   drops to [`ShardPolicy::POOLED_MIN_WORDS`] words (≈ 260 k records).
+///
+/// Every policy also carries the [`KernelKind`] its fused passes run with —
+/// by default the process-wide dispatched kernel ([`kernel::selected`]), so
+/// pooled shards and spawned shards execute the same SIMD implementation as
+/// serial passes. [`ShardPolicy::with_kernel`] pins an explicit kernel for
+/// in-process comparisons (tests, benchmarks).
 #[derive(Debug, Clone)]
 pub struct ShardPolicy {
     /// Maximum number of worker threads for one pass.
@@ -117,6 +124,7 @@ pub struct ShardPolicy {
     /// shards at all.
     pub min_words: usize,
     executor: ShardExecutor,
+    kernel: KernelKind,
 }
 
 impl ShardPolicy {
@@ -134,7 +142,12 @@ impl ShardPolicy {
 
     /// Never shard; every pass runs on the calling thread.
     pub fn serial() -> Self {
-        ShardPolicy { threads: 1, min_words: usize::MAX, executor: ShardExecutor::Spawn }
+        ShardPolicy {
+            threads: 1,
+            min_words: usize::MAX,
+            executor: ShardExecutor::Spawn,
+            kernel: kernel::selected(),
+        }
     }
 
     /// Shard across up to `available_parallelism` (capped at 8) spawned
@@ -142,14 +155,24 @@ impl ShardPolicy {
     /// [`ShardPolicy::AUTO_MIN_WORDS`] words.
     pub fn auto() -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
-        ShardPolicy { threads, min_words: Self::AUTO_MIN_WORDS, executor: ShardExecutor::Spawn }
+        ShardPolicy {
+            threads,
+            min_words: Self::AUTO_MIN_WORDS,
+            executor: ShardExecutor::Spawn,
+            kernel: kernel::selected(),
+        }
     }
 
     /// Shard every pass across `threads` spawned workers regardless of size
     /// — for tests (bit-identity against serial) and benchmarks; production
     /// code should prefer [`ShardPolicy::auto`] or [`ShardPolicy::pooled`].
     pub fn forced(threads: usize) -> Self {
-        ShardPolicy { threads: threads.max(1), min_words: 0, executor: ShardExecutor::Spawn }
+        ShardPolicy {
+            threads: threads.max(1),
+            min_words: 0,
+            executor: ShardExecutor::Spawn,
+            kernel: kernel::selected(),
+        }
     }
 
     /// Shard on the resident `pool` once the record space reaches
@@ -163,6 +186,7 @@ impl ShardPolicy {
             threads,
             min_words: Self::POOLED_MIN_WORDS,
             executor: ShardExecutor::Pool(pool),
+            kernel: kernel::selected(),
         }
     }
 
@@ -170,7 +194,29 @@ impl ShardPolicy {
     /// size — the pooled counterpart of [`ShardPolicy::forced`], for tests
     /// and benchmarks.
     pub fn pooled_forced(pool: Arc<ThreadPool>, threads: usize) -> Self {
-        ShardPolicy { threads: threads.max(1), min_words: 0, executor: ShardExecutor::Pool(pool) }
+        ShardPolicy {
+            threads: threads.max(1),
+            min_words: 0,
+            executor: ShardExecutor::Pool(pool),
+            kernel: kernel::selected(),
+        }
+    }
+
+    /// Pins an explicit fused-pass kernel on this policy. Unsupported kinds
+    /// degrade to the scalar implementation at dispatch time
+    /// ([`KernelKind::func`]), so a pinned policy is always safe to run.
+    ///
+    /// The default for every constructor is [`kernel::selected`] — the
+    /// process-wide dispatched kernel (honoring `PCOR_KERNEL`); pinning is
+    /// for comparing kernels within one process.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The fused-pass kernel this policy's passes run with.
+    pub fn kernel(&self) -> KernelKind {
+        self.kernel
     }
 
     /// The resident pool this policy executes on, if any.
@@ -198,7 +244,10 @@ impl PartialEq for ShardPolicy {
             (ShardExecutor::Pool(a), ShardExecutor::Pool(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
-        self.threads == other.threads && self.min_words == other.min_words && same_executor
+        self.threads == other.threads
+            && self.min_words == other.min_words
+            && self.kernel == other.kernel
+            && same_executor
     }
 }
 
@@ -239,13 +288,33 @@ pub struct PopulationCursor<'a> {
     /// Whether `result`/`population_size` reflect the current context.
     fresh: bool,
     policy: ShardPolicy,
+    /// The fused-pass implementation, resolved once from the policy's
+    /// [`KernelKind`]; serial passes and every shard call the same pointer.
+    kernel: KernelFn,
     /// Per-shard popcount slots, reused across passes (no per-pass alloc).
     shard_counts: Vec<usize>,
     /// Total bitmap words read by fused passes over the cursor's lifetime.
     words_scanned: u64,
+    /// Incremental sufficient statistics for moment-decidable detectors,
+    /// enabled by [`PopulationCursor::track_moments`].
+    moments: Option<MomentTracker>,
+    /// Whether the population may have moved since the tracker last synced.
+    moments_dirty: bool,
+    /// Words read by moment syncs (bitmap diffs + one word per metric load),
+    /// metered separately from the fused passes.
+    moment_words: u64,
 }
 
 impl<'a> PopulationCursor<'a> {
+    /// Default drift-bound refresh interval of the moment tracker: after
+    /// this many consecutive delta syncs the statistics are rebuilt from
+    /// scratch. Each delta applies two compensated additions whose rounding
+    /// error is bounded by a few ulps of the running magnitude, so even 256
+    /// deltas stay far inside the slack of any detector threshold; the
+    /// scheduled rescan makes the bound unconditional rather than
+    /// statistical.
+    pub const MOMENT_REFRESH_INTERVAL: u32 = 256;
+
     /// Positions a new cursor at `context` with the default (auto) shard
     /// policy.
     ///
@@ -276,6 +345,7 @@ impl<'a> PopulationCursor<'a> {
         let n = dataset.len();
         let m = schema.num_attributes();
         let shard_slots = policy.threads.max(1);
+        let kernel_fn = policy.kernel.func();
         let mut cursor = PopulationCursor {
             dataset,
             context: context.clone(),
@@ -286,8 +356,12 @@ impl<'a> PopulationCursor<'a> {
             population_size: 0,
             fresh: false,
             policy,
+            kernel: kernel_fn,
             shard_counts: vec![0; shard_slots],
             words_scanned: 0,
+            moments: None,
+            moments_dirty: false,
+            moment_words: 0,
         };
         for attr in 0..m {
             cursor.rebuild_union(attr);
@@ -337,6 +411,7 @@ impl<'a> PopulationCursor<'a> {
             self.rebuild_union(attr);
         }
         self.fresh = false;
+        self.moments_dirty = true;
         now_set
     }
 
@@ -378,6 +453,7 @@ impl<'a> PopulationCursor<'a> {
             }
         }
         self.fresh = false;
+        self.moments_dirty = true;
         Ok(())
     }
 
@@ -402,6 +478,69 @@ impl<'a> PopulationCursor<'a> {
     pub fn evaluated(&mut self) -> (&Context, &RecordBitmap, usize) {
         self.refresh();
         (&self.context, &self.result, self.population_size)
+    }
+
+    /// Enables incremental moment tracking with deviations centered on
+    /// `origin` (the queried record's metric — see
+    /// [`Dataset::population_metric_moments`] for why the origin matters
+    /// numerically), using the default refresh interval
+    /// [`PopulationCursor::MOMENT_REFRESH_INTERVAL`].
+    pub fn track_moments(&mut self, origin: f64) {
+        self.track_moments_every(origin, Self::MOMENT_REFRESH_INTERVAL);
+    }
+
+    /// Enables incremental moment tracking with an explicit drift-bound
+    /// refresh interval: after `refresh_every` delta syncs the tracker
+    /// rebuilds its statistics from scratch, discarding any accumulated
+    /// floating-point drift. `refresh_every` is clamped to at least 1;
+    /// interval 1 degenerates to a full rescan on every sync (useful in
+    /// tests as the drift-free reference).
+    pub fn track_moments_every(&mut self, origin: f64, refresh_every: u32) {
+        self.moments = Some(MomentTracker::new(origin, self.dataset.len(), refresh_every.max(1)));
+        self.moments_dirty = true;
+    }
+
+    /// The `(Σ x, Σ (x − x̄)²)` sufficient statistics of the current
+    /// population's metric values — the same quantities as
+    /// [`Dataset::population_metric_moments`] with the tracker's origin, but
+    /// maintained incrementally: the tracker diffs the population bitmap
+    /// against its last-synced copy and applies per-record deltas under
+    /// compensated (Neumaier) summation, instead of rescanning every member.
+    /// A scheduled full rescan every `refresh_every` syncs bounds drift.
+    ///
+    /// # Panics
+    /// Panics unless [`PopulationCursor::track_moments`] enabled tracking.
+    pub fn moments(&mut self) -> (f64, f64) {
+        self.refresh();
+        let metrics = self.dataset.metrics();
+        let dirty = std::mem::take(&mut self.moments_dirty);
+        let PopulationCursor { result, moments, moment_words, population_size, .. } = self;
+        let tracker =
+            moments.as_mut().expect("moment tracking not enabled; call track_moments() first");
+        if dirty || !tracker.synced {
+            *moment_words += tracker.sync(result, metrics);
+        }
+        debug_assert_eq!(tracker.count, *population_size, "tracker count diverged");
+        tracker.moments()
+    }
+
+    /// Words read by moment syncs so far (bitmap-diff words plus one word
+    /// per `f64` metric load) — the incremental counterpart of the
+    /// full-rescan cost `words + |D_C|` per call. Metered separately from
+    /// [`PopulationCursor::words_scanned`].
+    pub fn moment_words_scanned(&self) -> u64 {
+        self.moment_words
+    }
+
+    /// Number of full moment rescans performed (first sync + scheduled
+    /// drift-bound refreshes).
+    pub fn moment_full_refreshes(&self) -> u64 {
+        self.moments.as_ref().map_or(0, |t| t.full_refreshes)
+    }
+
+    /// Number of incremental (diff-based) moment syncs performed.
+    pub fn moment_delta_syncs(&self) -> u64 {
+        self.moments.as_ref().map_or(0, |t| t.delta_syncs)
     }
 
     /// Rebuilds `attr`'s union from the context's selected values and resets
@@ -436,7 +575,8 @@ impl<'a> PopulationCursor<'a> {
             self.population_size = 0;
             return;
         }
-        let PopulationCursor { attr_unions, result, shard_counts, .. } = self;
+        let PopulationCursor { attr_unions, result, shard_counts, kernel, .. } = self;
+        let kernel = *kernel;
         let (first, rest) = attr_unions.split_first().expect("schemas have >= 1 attribute");
         let out = result.words_mut();
         // One fused pass reads every output word once from `first` and once
@@ -444,26 +584,28 @@ impl<'a> PopulationCursor<'a> {
         self.words_scanned += (out.len() * (1 + rest.len())) as u64;
         let shards = self.policy.shards_for(out.len());
         if shards <= 1 {
-            self.population_size = and_popcount(first.words(), rest, out, 0);
+            self.population_size = kernel(first.words(), rest, out, 0);
             return;
         }
         let chunk = out.len().div_ceil(shards);
         match &self.policy.executor {
             ShardExecutor::Spawn => {
-                self.population_size = std::thread::scope(|scope| {
-                    let mut handles = Vec::with_capacity(shards);
-                    for (shard, out_chunk) in out.chunks_mut(chunk).enumerate() {
+                // Per-shard counts land in the reusable `shard_counts` slots
+                // (no per-pass handle collection); `std::thread::scope` joins
+                // every spawned worker on exit and propagates its panic.
+                std::thread::scope(|scope| {
+                    for ((shard, out_chunk), count) in
+                        out.chunks_mut(chunk).enumerate().zip(shard_counts.iter_mut())
+                    {
                         let lo = shard * chunk;
                         let first_words = &first.words()[lo..lo + out_chunk.len()];
-                        handles.push(
-                            scope.spawn(move || and_popcount(first_words, rest, out_chunk, lo)),
-                        );
+                        scope.spawn(move || {
+                            *count = kernel(first_words, rest, out_chunk, lo);
+                        });
                     }
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("population shard worker panicked"))
-                        .sum()
                 });
+                let used = out.len().div_ceil(chunk);
+                self.population_size = shard_counts[..used].iter().sum();
             }
             ShardExecutor::Pool(pool) => {
                 // Resident workers steal the shards while the submitting
@@ -479,7 +621,7 @@ impl<'a> PopulationCursor<'a> {
                         let lo = shard * chunk;
                         let first_words = &first.words()[lo..lo + out_chunk.len()];
                         scope.spawn(move || {
-                            *count = and_popcount(first_words, rest, out_chunk, lo);
+                            *count = kernel(first_words, rest, out_chunk, lo);
                         });
                     }
                 });
@@ -490,20 +632,152 @@ impl<'a> PopulationCursor<'a> {
     }
 }
 
-/// The fused pass over one word range: `out[k] = first[k] AND (AND over rest
-/// of rest[attr][lo + k])`, returning the popcount of the range. `first` is
-/// pre-sliced to the range; `rest` bitmaps are indexed at `lo + k`.
-fn and_popcount(first: &[u64], rest: &[RecordBitmap], out: &mut [u64], lo: usize) -> usize {
-    let mut count = 0usize;
-    for (k, (slot, &word)) in out.iter_mut().zip(first).enumerate() {
-        let mut w = word;
-        for union in rest {
-            w &= union.words()[lo + k];
+/// Incrementally maintained centered sufficient statistics of a population's
+/// metric values: exact integer `count`, and compensated accumulators for
+/// `Σ d` and `Σ d²` with `d = x − origin`.
+///
+/// The tracker keeps a copy of the population bitmap as of its last sync
+/// (`prev`). Syncing XOR-diffs the current population against that copy and
+/// applies one add/remove delta per changed record — `O(words)` streaming
+/// over two bitmaps plus `O(changed)` metric loads, instead of the full
+/// rescan's one metric load per population member. Because deltas are
+/// floating-point additions, error can accumulate over long flip sequences;
+/// Neumaier compensation keeps the per-delta error at a few ulps and a
+/// scheduled full rescan every `refresh_every` syncs re-zeroes the drift
+/// outright, so verdicts may safely depend on the tracked values.
+#[derive(Debug)]
+struct MomentTracker {
+    /// Deviation origin (the queried record's metric).
+    origin: f64,
+    /// Population bitmap as of the last sync.
+    prev: RecordBitmap,
+    /// Exact member count as of the last sync.
+    count: usize,
+    /// Compensated `Σ (x − origin)` over current members.
+    sum_dev: Neumaier,
+    /// Compensated `Σ (x − origin)²` over current members.
+    sum_sq: Neumaier,
+    /// Whether the tracker has synced at least once since construction.
+    synced: bool,
+    /// Delta syncs since the last full rescan.
+    syncs_since_refresh: u32,
+    /// Drift bound: full rescan after this many delta syncs.
+    refresh_every: u32,
+    /// Lifetime full rescans (first sync + scheduled refreshes).
+    full_refreshes: u64,
+    /// Lifetime delta syncs.
+    delta_syncs: u64,
+}
+
+impl MomentTracker {
+    fn new(origin: f64, len: usize, refresh_every: u32) -> Self {
+        MomentTracker {
+            origin,
+            prev: RecordBitmap::new(len),
+            count: 0,
+            sum_dev: Neumaier::default(),
+            sum_sq: Neumaier::default(),
+            synced: false,
+            syncs_since_refresh: 0,
+            refresh_every,
+            full_refreshes: 0,
+            delta_syncs: 0,
         }
-        *slot = w;
-        count += w.count_ones() as usize;
     }
-    count
+
+    /// Brings the statistics in line with `result`, returning the number of
+    /// words read (bitmap words + one per metric load).
+    fn sync(&mut self, result: &RecordBitmap, metrics: &[f64]) -> u64 {
+        if !self.synced || self.syncs_since_refresh >= self.refresh_every {
+            return self.rescan(result, metrics);
+        }
+        let words = result.words();
+        let prev = self.prev.words_mut();
+        let mut changed = 0u64;
+        for (word_index, (&now, old)) in words.iter().zip(prev.iter_mut()).enumerate() {
+            let mut diff = now ^ *old;
+            if diff == 0 {
+                continue;
+            }
+            *old = now;
+            while diff != 0 {
+                let id = word_index * 64 + diff.trailing_zeros() as usize;
+                diff &= diff - 1;
+                let d = metrics[id] - self.origin;
+                if (now >> (id % 64)) & 1 == 1 {
+                    self.count += 1;
+                    self.sum_dev.add(d);
+                    self.sum_sq.add(d * d);
+                } else {
+                    self.count -= 1;
+                    self.sum_dev.add(-d);
+                    self.sum_sq.add(-(d * d));
+                }
+                changed += 1;
+            }
+        }
+        self.syncs_since_refresh += 1;
+        self.delta_syncs += 1;
+        2 * words.len() as u64 + changed
+    }
+
+    /// Full rescan: copies the population into `prev` and rebuilds both
+    /// accumulators from scratch, zeroing any accumulated drift.
+    fn rescan(&mut self, result: &RecordBitmap, metrics: &[f64]) -> u64 {
+        self.prev.words_mut().copy_from_slice(result.words());
+        self.count = 0;
+        self.sum_dev = Neumaier::default();
+        self.sum_sq = Neumaier::default();
+        for id in result.iter_ones() {
+            let d = metrics[id] - self.origin;
+            self.sum_dev.add(d);
+            self.sum_sq.add(d * d);
+            self.count += 1;
+        }
+        self.synced = true;
+        self.syncs_since_refresh = 0;
+        self.full_refreshes += 1;
+        2 * result.words().len() as u64 + self.count as u64
+    }
+
+    /// The `(Σ x, Σ (x − x̄)²)` pair, de-centered exactly like
+    /// [`Dataset::population_metric_moments`] (same shifted-variance
+    /// identity, same zero clamp) so the two paths agree to summation order.
+    fn moments(&self) -> (f64, f64) {
+        if self.count == 0 {
+            return (0.0, 0.0);
+        }
+        let sum_dev = self.sum_dev.value();
+        let sum = self.origin * self.count as f64 + sum_dev;
+        let sum_sq_dev = (self.sum_sq.value() - sum_dev * sum_dev / self.count as f64).max(0.0);
+        (sum, sum_sq_dev)
+    }
+}
+
+/// Neumaier (improved Kahan) compensated accumulator: tracks the rounding
+/// error of every addition in a parallel compensation term, so sums of
+/// mixed-sign deltas with adversarial magnitudes stay accurate to a few ulps
+/// of the running total instead of drifting with the sequence length.
+#[derive(Debug, Clone, Copy, Default)]
+struct Neumaier {
+    sum: f64,
+    compensation: f64,
+}
+
+impl Neumaier {
+    fn add(&mut self, value: f64) {
+        let total = self.sum + value;
+        if self.sum.abs() >= value.abs() {
+            self.compensation += (self.sum - total) + value;
+        } else {
+            self.compensation += (value - total) + self.sum;
+        }
+        self.sum = total;
+    }
+
+    fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
 }
 
 #[cfg(test)]
@@ -680,6 +954,87 @@ mod tests {
         }
         // The pool actually executed fork-join work for those passes.
         assert!(pool.stats().tasks_submitted > 0);
+    }
+
+    #[test]
+    fn tracked_moments_match_from_scratch_over_flips() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let origin = d.metric(42);
+        let start = Context::from_indices(t, [0, 3, 5]);
+        let mut cursor = PopulationCursor::new(&d, &start).unwrap();
+        // Interval 3 forces several refresh boundaries inside the walk.
+        cursor.track_moments_every(origin, 3);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for step in 0..100 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            cursor.flip((state >> 33) as usize % t);
+            let (sum, sum_sq_dev) = cursor.moments();
+            let expected = d.population_metric_moments(cursor.population(), origin);
+            let tol = 1e-9 * (1.0 + expected.0.abs());
+            assert!((sum - expected.0).abs() <= tol, "step {step}: sum {sum} vs {expected:?}");
+            let tol = 1e-9 * (1.0 + expected.1.abs());
+            assert!((sum_sq_dev - expected.1).abs() <= tol, "step {step}: sq {sum_sq_dev}");
+        }
+        assert!(cursor.moment_full_refreshes() > 1, "refresh boundary never crossed");
+        assert!(cursor.moment_delta_syncs() > cursor.moment_full_refreshes());
+        assert!(cursor.moment_words_scanned() > 0);
+    }
+
+    #[test]
+    fn tracked_moments_skip_sync_when_population_unchanged() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let context = Context::full(t);
+        let mut cursor = PopulationCursor::new(&d, &context).unwrap();
+        cursor.track_moments(d.metric(0));
+        let first = cursor.moments();
+        let words_after_first = cursor.moment_words_scanned();
+        // No movement between calls: the tracker must not re-diff.
+        assert_eq!(cursor.moments(), first);
+        assert_eq!(cursor.moment_words_scanned(), words_after_first);
+    }
+
+    #[test]
+    #[should_panic(expected = "moment tracking not enabled")]
+    fn moments_without_tracking_panics() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let mut cursor = PopulationCursor::new(&d, &Context::full(t)).unwrap();
+        cursor.moments();
+    }
+
+    #[test]
+    fn policies_carry_kernels_and_cursors_run_them_identically() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let context = Context::from_indices(t, [0, 2, 3, 5, 7]);
+        let mut reference =
+            PopulationCursor::with_policy(&d, &context, ShardPolicy::serial()).unwrap();
+        for kind in crate::kernel::KernelKind::supported() {
+            let policy = ShardPolicy::serial().with_kernel(kind);
+            assert_eq!(policy.kernel(), kind);
+            // Kernel participates in policy equality.
+            if kind != ShardPolicy::serial().kernel() {
+                assert_ne!(policy, ShardPolicy::serial());
+            }
+            let mut cursor = PopulationCursor::with_policy(&d, &context, policy).unwrap();
+            assert_eq!(cursor.population(), reference.population());
+            assert_eq!(cursor.population_size(), reference.population_size());
+        }
+    }
+
+    #[test]
+    fn neumaier_recovers_catastrophic_cancellation() {
+        // 1e16 + 1 − 1e16 loses the 1 in naive f64 summation.
+        let mut naive = 0.0f64;
+        let mut comp = Neumaier::default();
+        for x in [1e16, 1.0, -1e16] {
+            naive += x;
+            comp.add(x);
+        }
+        assert_eq!(naive, 0.0);
+        assert_eq!(comp.value(), 1.0);
     }
 
     #[test]

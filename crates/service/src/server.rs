@@ -559,6 +559,11 @@ impl Server {
             ("pcor_releases_refused", "Releases refused for insufficient budget."),
             ("pcor_release_mean_latency_seconds", "Mean end-to-end release latency."),
             ("pcor_verifier_bytes_scanned", "Bitmap bytes the fused verification passes touched."),
+            ("pcor_kernel_selected", "Dispatched fused-pass kernel (info gauge; value is 1)."),
+            (
+                "pcor_kernel_bytes_scanned",
+                "Bitmap bytes scanned, labeled by the dispatched kernel.",
+            ),
             ("pcor_mechanism_releases", "Releases per DP selection mechanism."),
             ("pcor_deadline_exceeded_total", "Requests answered DeadlineExceeded."),
             ("pcor_shed_total", "Requests shed at admission (Overloaded)."),
@@ -578,6 +583,14 @@ impl Server {
         set("pcor_verifier_cache_hits", server.verifier_cache_hits as f64);
         set("pcor_verifier_words_scanned", server.verifier_words_scanned as f64);
         set("pcor_verifier_bytes_scanned", (server.verifier_words_scanned * 8) as f64);
+        // Kernel identity: which fused-pass implementation the runtime
+        // dispatch chose for this process, and the bytes it scanned — the
+        // per-kernel bytes/sec numerator for dashboards.
+        let kernel = pcor_data::kernel::selected().name();
+        exporter.gauge("pcor_kernel_selected", &[("kernel", kernel)]).set(1.0);
+        exporter
+            .gauge("pcor_kernel_bytes_scanned", &[("kernel", kernel)])
+            .set((server.verifier_words_scanned * 8) as f64);
         let tally = server.mechanism_releases;
         for (mechanism, count) in [
             ("exponential", tally.exponential),

@@ -1,0 +1,115 @@
+//! Cross-kernel determinism: seeded end-to-end releases must be
+//! digest-identical no matter which fused-pass kernel `PCOR_KERNEL`
+//! dispatches.
+//!
+//! `PCOR_KERNEL` is read once per process (`OnceLock`), so a single test
+//! process cannot observe two dispatch decisions. The driver test therefore
+//! re-executes its own test binary — filtered down to the `digest_helper`
+//! test — once per kernel under test, captures the release digest each
+//! subprocess prints, and asserts they are all identical. The helper is a
+//! no-op unless the driver's marker variable is set, so a normal
+//! `cargo test` run doesn't do the workload twice.
+
+use pcor::data::kernel::{self, KernelKind};
+use pcor::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// FNV-1a over every release-visible output of a seeded multi-algorithm run.
+fn release_digest() -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    let mut fold = |bytes: &[u8]| {
+        for &byte in bytes {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100000001b3);
+        }
+    };
+
+    let dataset = salary_dataset(&SalaryConfig::tiny().with_records(600)).expect("salary dataset");
+    let detector = ZScoreDetector::new(3.0);
+    let utility = PopulationSizeUtility;
+    let mut rng = ChaCha12Rng::seed_from_u64(11);
+    let outlier = find_random_outlier(&dataset, &detector, 400, &mut rng).expect("outlier");
+
+    for algorithm in SamplingAlgorithm::all() {
+        let config = PcorConfig::new(algorithm, 0.2)
+            .with_samples(15)
+            .with_max_attempts(50_000)
+            .with_starting_context(outlier.starting_context.clone());
+        let result =
+            release_context(&dataset, outlier.record_id, &detector, &utility, &config, &mut rng)
+                .unwrap_or_else(|e| panic!("{algorithm} failed: {e}"));
+        for word in result.context.words() {
+            fold(&word.to_le_bytes());
+        }
+        fold(&(result.verification_calls as u64).to_le_bytes());
+        fold(&result.guarantee.epsilon.to_le_bytes());
+        let size = dataset.population_ids(&result.context).expect("population").len();
+        fold(&(size as u64).to_le_bytes());
+    }
+    hash
+}
+
+/// Prints the digest (and the dispatched kernel) when re-executed by the
+/// driver below; inert in a normal test run.
+#[test]
+fn digest_helper() {
+    if std::env::var_os("PCOR_KERNEL_DIGEST").is_none() {
+        return;
+    }
+    println!("kernel={}", kernel::selected().name());
+    println!("digest={:016x}", release_digest());
+}
+
+#[test]
+fn seeded_releases_are_digest_identical_across_kernels() {
+    let exe = std::env::current_exe().expect("test binary path");
+    // `auto` plus every concretely supported kernel on this host (always
+    // includes `scalar`), so the scalar-vs-auto acceptance pair is covered
+    // on any machine and wider pairs wherever SIMD exists.
+    let mut requests: Vec<String> = vec!["auto".to_string()];
+    requests.extend(KernelKind::supported().into_iter().map(|kind| kind.name().to_string()));
+
+    let mut digests: Vec<(String, String, String)> = Vec::new();
+    for request in &requests {
+        let output = std::process::Command::new(&exe)
+            .args(["digest_helper", "--exact", "--nocapture"])
+            .env("PCOR_KERNEL", request)
+            .env("PCOR_KERNEL_DIGEST", "1")
+            .output()
+            .expect("re-exec test binary");
+        assert!(
+            output.status.success(),
+            "PCOR_KERNEL={request} helper failed:\n{}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        // libtest may glue its "test digest_helper ... " header onto the
+        // first printed line, so match the key anywhere in a line.
+        let field = |key: &str| {
+            stdout
+                .lines()
+                .find_map(|line| line.find(key).map(|at| &line[at + key.len()..]))
+                .unwrap_or_else(|| panic!("no `{key}` line under PCOR_KERNEL={request}:\n{stdout}"))
+                .to_string()
+        };
+        digests.push((request.clone(), field("kernel="), field("digest=")));
+    }
+
+    // A concrete supported kernel name must actually be dispatched, not
+    // silently replaced — otherwise this test would compare scalar with
+    // itself and prove nothing.
+    for (request, selected, _) in &digests {
+        if request != "auto" {
+            assert_eq!(selected, request, "requested kernel was not dispatched");
+        }
+    }
+    let (_, _, reference) = &digests[0];
+    for (request, selected, digest) in &digests {
+        assert_eq!(
+            digest, reference,
+            "PCOR_KERNEL={request} (dispatched {selected}) diverged from {}",
+            digests[0].0
+        );
+    }
+}

@@ -181,10 +181,18 @@ fn a_batch_release_is_fully_observable_in_one_scrape() {
         "pcor_cache_evictions",
         "pcor_budget_spent_epsilon",
         "pcor_budget_remaining_epsilon",
+        "pcor_kernel_selected",
+        "pcor_kernel_bytes_scanned",
         STAGE_DURATION_METRIC,
     ] {
         assert!(scrape.contains(name), "scrape must carry `{name}`:\n{scrape}");
     }
+    // The kernel info gauge names the dispatched fused-pass kernel.
+    let kernel = pcor::data::kernel::selected().name();
+    assert!(
+        scrape.contains(&format!("pcor_kernel_selected{{kernel=\"{kernel}\"}} 1")),
+        "scrape must name the dispatched kernel:\n{scrape}"
+    );
     // Spot-check collector values against their programmatic sources.
     let metrics = server.metrics();
     let served_line = scrape
