@@ -8,7 +8,7 @@
 //!   table2 .. table13   the corresponding table (paired tables run together)
 //!   figure1 .. figure5  the experiment behind the corresponding figure
 //!   sampling overlap detectors epsilon samples coe-salary coe-homicide
-//!   ratio direct figures service batch verify pool mechanisms wal
+//!   ratio direct figures service batch verify pool mechanisms wal net
 //! ```
 //!
 //! Examples:

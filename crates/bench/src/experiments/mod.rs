@@ -16,6 +16,7 @@
 //! | [`pool_breakeven`] | (beyond the paper) sharded-pass break-even: spawn-per-pass vs. persistent pool |
 //! | [`mechanisms`] | (beyond the paper) DP selection mechanisms at equal ε: Exponential vs permute-and-flip vs report-noisy-max |
 //! | [`wal`] | (beyond the paper) WAL durability: append throughput per fsync policy, replay vs checkpointed replay |
+//! | [`net`] | (beyond the paper) `pcor-net` reactor: frames/sec, p99 round trip and shed rate vs connections × in-flight |
 
 pub mod batch;
 pub mod coe_match;
@@ -23,6 +24,7 @@ pub mod detectors;
 pub mod direct_vs_sampling;
 pub mod epsilon_sweep;
 pub mod mechanisms;
+pub mod net;
 pub mod overlap;
 pub mod pool_breakeven;
 pub mod ratio_check;
@@ -124,6 +126,9 @@ pub enum ExperimentId {
     /// WAL durability: append throughput per fsync policy and replay cost
     /// with/without checkpoints (beyond the paper).
     Wal,
+    /// Reactor wire front: frames/sec, p99 round trip and shed rate across
+    /// connections × pipelined in-flight envelopes (beyond the paper).
+    Net,
 }
 
 impl ExperimentId {
@@ -145,6 +150,7 @@ impl ExperimentId {
             ExperimentId::PoolBreakeven,
             ExperimentId::Mechanisms,
             ExperimentId::Wal,
+            ExperimentId::Net,
         ]
     }
 
@@ -167,6 +173,7 @@ impl ExperimentId {
             "pool" | "pool-breakeven" | "breakeven" => vec![ExperimentId::PoolBreakeven],
             "mechanisms" | "mechanism" => vec![ExperimentId::Mechanisms],
             "wal" | "durability" | "wal-replay" => vec![ExperimentId::Wal],
+            "net" | "reactor" | "wire" => vec![ExperimentId::Net],
             "figures" => vec![
                 ExperimentId::Sampling,
                 ExperimentId::Overlap,
@@ -205,6 +212,9 @@ impl std::fmt::Display for ExperimentId {
             ExperimentId::Wal => {
                 "WAL durability: fsync policies + checkpointed replay (pcor-wal/service)"
             }
+            ExperimentId::Net => {
+                "reactor wire front: frames/sec, p99 RTT, shed rate (pcor-net/service)"
+            }
         };
         write!(f, "{name}")
     }
@@ -231,6 +241,7 @@ pub fn run(id: ExperimentId, scale: &crate::ExperimentScale) -> crate::Result<Ex
         ExperimentId::PoolBreakeven => pool_breakeven::run(scale),
         ExperimentId::Mechanisms => mechanisms::run(scale),
         ExperimentId::Wal => wal::run(scale),
+        ExperimentId::Net => net::run(scale),
     }
 }
 
@@ -256,6 +267,8 @@ mod tests {
         assert_eq!(ExperimentId::parse("pool-breakeven"), vec![ExperimentId::PoolBreakeven]);
         assert_eq!(ExperimentId::parse("mechanisms"), vec![ExperimentId::Mechanisms]);
         assert_eq!(ExperimentId::parse("mechanism"), vec![ExperimentId::Mechanisms]);
+        assert_eq!(ExperimentId::parse("net"), vec![ExperimentId::Net]);
+        assert_eq!(ExperimentId::parse("reactor"), vec![ExperimentId::Net]);
         assert_eq!(ExperimentId::parse("figures").len(), 5);
         assert!(ExperimentId::parse("nonsense").is_empty());
         for id in ExperimentId::all() {

@@ -1,0 +1,181 @@
+//! Wire-front throughput: the epoll reactor under a herd of pipelining
+//! analyst connections.
+//!
+//! Not a paper experiment — this measures the `pcor-net` subsystem: one
+//! reactor thread multiplexing `connections` concurrent TCP clients, each
+//! keeping `in-flight` framed envelopes pipelined on its connection.
+//! Reported per (connections × in-flight) cell: wall time, answered
+//! frames/second through the reactor, the p99 send→terminal-reply round
+//! trip, and the shed rate (envelopes refused at admission with a
+//! retryable error — the back-pressure path working as designed, not a
+//! failure).
+
+use crate::config::ExperimentScale;
+use crate::report::Table;
+use crate::{BenchError, Result};
+use pcor_core::runner::find_random_outliers;
+use pcor_data::generator::{salary_dataset, SalaryConfig};
+use pcor_net::{NetClient, NetConfig, NetFront};
+use pcor_outlier::DetectorKind;
+use pcor_service::{
+    BudgetLedger, DatasetRegistry, ReleaseRequest, RequestEnvelope, Server, ServerConfig, WireReply,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use super::ExperimentOutput;
+
+/// Concurrent connection counts compared.
+const CONNECTIONS: [usize; 3] = [4, 16, 64];
+/// Pipelined envelopes kept in flight per connection.
+const IN_FLIGHT: [usize; 2] = [1, 4];
+/// Server-side worker pool and admission queue behind the reactor.
+const WORKERS: usize = 4;
+const QUEUE: usize = 64;
+
+/// Runs the reactor throughput grid.
+///
+/// # Errors
+/// Returns [`BenchError::NoOutlierFound`] when the workload has no
+/// contextual outliers; reactor and socket failures surface as
+/// [`BenchError::Service`]. Requires Linux (the reactor is epoll-based).
+pub fn run(scale: &ExperimentScale) -> Result<ExperimentOutput> {
+    let dataset = salary_dataset(&SalaryConfig::reduced().with_records(scale.salary_records))?;
+    let detector = DetectorKind::ZScore;
+    let built = detector.build();
+    let mut rng = ChaCha12Rng::seed_from_u64(scale.seed ^ 0x0EAC707);
+    let outliers = find_random_outliers(&dataset, built.as_ref(), 4, 2_000, &mut rng)
+        .map_err(|_| BenchError::NoOutlierFound)?;
+    let records: Vec<usize> = outliers.iter().map(|q| q.record_id).collect();
+
+    // Rounds of `in-flight` envelopes per connection; bounded so the worst
+    // grid cell stays minutes even at paper scale.
+    let rounds = scale.repetitions.clamp(2, 8);
+    let mut table = Table::new(
+        format!(
+            "Reactor wire front: pipelined envelopes (BFS, eps = {}, n = {}, {} workers, queue {})",
+            scale.epsilon, scale.samples, WORKERS, QUEUE
+        ),
+        &["Conns", "In-flight", "Envelopes", "Wall (ms)", "Frames/s", "p99 RTT (ms)", "Shed %"],
+    );
+
+    for &conns in &CONNECTIONS {
+        for &inflight in &IN_FLIGHT {
+            // Fresh server and reactor per cell: identical work, cold cache.
+            let registry = Arc::new(DatasetRegistry::new());
+            registry.register("salary", dataset.clone());
+            let ledger = Arc::new(BudgetLedger::new(f64::MAX / 2.0));
+            let server = Arc::new(Server::start(
+                ServerConfig::default().with_workers(WORKERS).with_queue_capacity(QUEUE),
+                registry,
+                ledger,
+            ));
+            let front = NetFront::bind(
+                NetConfig::default().with_http_addr(None).with_max_inflight(inflight.max(1)),
+                Arc::clone(&server),
+            )
+            .map_err(|e| BenchError::Service(format!("reactor bind: {e}")))?;
+            let addr = front.rpc_addr();
+
+            let started = Instant::now();
+            let mut handles = Vec::with_capacity(conns);
+            for conn in 0..conns {
+                let records = records.clone();
+                let epsilon = scale.epsilon;
+                let samples = scale.samples;
+                let seed = scale.seed;
+                handles.push(std::thread::spawn(
+                    move || -> std::io::Result<(Vec<Duration>, usize)> {
+                        let mut client = NetClient::connect(addr)?;
+                        client.set_read_timeout(Some(Duration::from_secs(300)))?;
+                        let mut latencies = Vec::with_capacity(rounds * inflight);
+                        let mut shed = 0;
+                        for round in 0..rounds {
+                            let window_start = Instant::now();
+                            for slot in 0..inflight {
+                                let i = (round * inflight + slot) as u64;
+                                let request = ReleaseRequest::new(
+                                    &format!("analyst-{conn}"),
+                                    "salary",
+                                    records[(conn + round + slot) % records.len()],
+                                )
+                                .with_detector(DetectorKind::ZScore)
+                                .with_epsilon(epsilon)
+                                .with_samples(samples)
+                                .with_seed(seed ^ (conn as u64) << 16 ^ i);
+                                client.send(&RequestEnvelope::single(request))?;
+                            }
+                            for _ in 0..inflight {
+                                match client.recv()? {
+                                    WireReply::Response(_) => {}
+                                    WireReply::Error(error) if error.is_backpressure() => shed += 1,
+                                    other => {
+                                        return Err(std::io::Error::other(format!(
+                                            "unexpected reply {other:?}"
+                                        )))
+                                    }
+                                }
+                                latencies.push(window_start.elapsed());
+                            }
+                        }
+                        Ok((latencies, shed))
+                    },
+                ));
+            }
+
+            let mut latencies = Vec::new();
+            let mut shed = 0usize;
+            for handle in handles {
+                let (conn_latencies, conn_shed) = handle
+                    .join()
+                    .map_err(|_| BenchError::Service("client thread panicked".to_string()))?
+                    .map_err(|e| BenchError::Service(format!("client io: {e}")))?;
+                latencies.extend(conn_latencies);
+                shed += conn_shed;
+            }
+            let wall = started.elapsed();
+            front.shutdown();
+            server.shutdown();
+
+            let envelopes = latencies.len();
+            latencies.sort_unstable();
+            let p99 = latencies[((envelopes as f64 * 0.99) as usize).min(envelopes - 1)];
+            table.push_row(vec![
+                conns.to_string(),
+                inflight.to_string(),
+                envelopes.to_string(),
+                format!("{:.1}", wall.as_secs_f64() * 1e3),
+                format!("{:.1}", envelopes as f64 / wall.as_secs_f64()),
+                format!("{:.2}", p99.as_secs_f64() * 1e3),
+                format!("{:.1}", 100.0 * shed as f64 / envelopes as f64),
+            ]);
+        }
+    }
+
+    Ok(ExperimentOutput { tables: vec![table], ..ExperimentOutput::default() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn smoke_scale_produces_the_full_grid() {
+        let mut scale = ExperimentScale::smoke();
+        scale.repetitions = 2;
+        scale.samples = 4;
+        let output = run(&scale).expect("net experiment");
+        assert_eq!(output.tables.len(), 1);
+        assert_eq!(output.tables[0].rows.len(), CONNECTIONS.len() * IN_FLIGHT.len());
+        for row in &output.tables[0].rows {
+            assert_eq!(row.len(), 7);
+            let frames: f64 = row[4].parse().unwrap();
+            assert!(frames > 0.0, "frames/s must be positive, got {frames}");
+            let shed: f64 = row[6].parse().unwrap();
+            assert!((0.0..=100.0).contains(&shed));
+        }
+    }
+}

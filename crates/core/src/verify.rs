@@ -38,6 +38,7 @@ use pcor_data::{Context, Dataset, PopulationCursor, RecordBitmap, ShardPolicy};
 use pcor_dp::Utility;
 use pcor_outlier::{OutlierDetector, PopulationMoments};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// The cached outcome of evaluating one context.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -213,9 +214,21 @@ impl<'a> Verifier<'a> {
     /// Attaches a cancellation token. Every subsequent *fresh* evaluation
     /// first checks it and fails with [`PcorError::Cancelled`] once the
     /// token trips; memoized answers keep flowing (they cost nothing and a
-    /// cancelled release's caller may still read cached state). Bounded
-    /// cancellation latency: at most one verification call.
+    /// cancelled release's caller may still read cached state).
+    ///
+    /// The token is also installed as the shard-halt probe of the verifier's
+    /// population cursor, so cancellation preempts a fused `f_M` pass *in
+    /// flight* — shards bail at the next sub-chunk boundary instead of
+    /// finishing the scan — bounding cancellation latency to microseconds
+    /// rather than one full verification call. An interrupted evaluation is
+    /// discarded (never cached) and surfaces as [`PcorError::Cancelled`].
     pub fn set_cancel_token(&mut self, token: CancelToken) {
+        let probe = token.clone();
+        let halt: pcor_data::HaltFn = Arc::new(move || probe.is_cancelled());
+        self.policy.set_halt(Some(Arc::clone(&halt)));
+        if let Some(cursor) = self.cursor.as_mut() {
+            cursor.set_halt(Some(halt));
+        }
         self.cancel = Some(token);
     }
 
@@ -349,7 +362,7 @@ impl<'a> Verifier<'a> {
     /// Runs one uncached evaluation at `context`, repositioning the cursor.
     fn evaluate_fresh(&mut self, context: &Context) -> Result<Evaluation> {
         self.position_cursor(context)?;
-        Ok(self.evaluate_at_cursor())
+        self.evaluate_at_cursor()
     }
 
     /// Evaluates at the cursor's current position. The caller has already
@@ -360,9 +373,20 @@ impl<'a> Verifier<'a> {
     /// from-scratch metric rescan `classify_population` performs — which is
     /// exactly why the verifier owns a stateful cursor. Slice detectors and
     /// uncovered contexts go through `classify_population` unchanged.
-    fn evaluate_at_cursor(&mut self) -> Evaluation {
-        self.calls += 1;
+    ///
+    /// # Errors
+    /// [`PcorError::Cancelled`] when the fused pass was preempted by the
+    /// cancel token's halt probe mid-scan; the partial result is discarded
+    /// and nothing is cached or counted.
+    fn evaluate_at_cursor(&mut self) -> Result<Evaluation> {
         let cursor = self.cursor.as_mut().expect("cursor positioned by caller");
+        // Force the pass before reading any of its outputs so an interrupted
+        // (partial) evaluation is visible and discarded here.
+        cursor.population_size();
+        if cursor.interrupted() {
+            return Err(PcorError::Cancelled);
+        }
+        self.calls += 1;
         let (current, population, population_size) = cursor.evaluated();
         let utility = self.utility.score(self.dataset, current, population);
         let covers = self.outlier_id < population.len() && population.contains(self.outlier_id);
@@ -384,7 +408,7 @@ impl<'a> Verifier<'a> {
         } else {
             false
         };
-        Evaluation { matching, utility, population_size }
+        Ok(Evaluation { matching, utility, population_size })
     }
 
     /// Evaluates all `t` single-bit neighbors of `base` in one batched cursor
@@ -423,7 +447,11 @@ impl<'a> Verifier<'a> {
             let cursor = self.cursor.as_mut().expect("cursor positioned above");
             cursor.flip(bit);
             let evaluation = self.evaluate_at_cursor();
+            // Flip back before propagating any error so the cursor stays at
+            // `base` (move_to recovers from arbitrary positions anyway, but
+            // the invariant keeps the fast path honest).
             self.cursor.as_mut().expect("cursor positioned above").flip(bit);
+            let evaluation = evaluation?;
             self.cache.insert(key, evaluation);
             out.push(evaluation);
         }
@@ -739,5 +767,51 @@ mod tests {
             fp_key(fingerprint_parts(&Context::empty(5))),
             fp_key(fingerprint_parts(&Context::empty(6)))
         );
+    }
+
+    #[test]
+    fn cancel_token_preempts_fused_pass_in_flight() {
+        let dataset = toy();
+        let detector = ZScoreDetector::new(1.4);
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 9);
+        let own = dataset.minimal_context(9).unwrap();
+        // Warm the cache with one evaluation, then cancel: the cached answer
+        // keeps flowing while fresh work is preempted.
+        let cached = verifier.evaluate(&own).unwrap();
+        let token = CancelToken::new();
+        verifier.set_cancel_token(token.clone());
+        assert_eq!(verifier.evaluate(&own).unwrap(), cached);
+        token.cancel();
+        assert_eq!(verifier.evaluate(&own).unwrap(), cached);
+        let other = Context::full(own.len());
+        let calls_before = verifier.calls();
+        assert!(matches!(verifier.evaluate(&other), Err(PcorError::Cancelled)));
+        // The preempted evaluation was discarded: not counted, not cached,
+        // and a fresh verifier agrees on the answer it would have produced.
+        assert_eq!(verifier.calls(), calls_before);
+        let mut fresh = Verifier::new(&dataset, &detector, &utility, 9);
+        fresh.set_cancel_token(CancelToken::new());
+        let expected = fresh.evaluate(&other).unwrap();
+        let mut replaced = Verifier::new(&dataset, &detector, &utility, 9);
+        replaced.set_cancel_token(CancelToken::new());
+        assert_eq!(replaced.evaluate(&other).unwrap(), expected);
+    }
+
+    #[test]
+    fn halt_probe_reaches_an_existing_cursor() {
+        let dataset = toy();
+        let detector = ZScoreDetector::new(1.4);
+        let utility = PopulationSizeUtility;
+        let mut verifier = Verifier::new(&dataset, &detector, &utility, 9);
+        let own = dataset.minimal_context(9).unwrap();
+        // First evaluation creates the cursor; installing the token after
+        // must still preempt that cursor's passes.
+        verifier.evaluate(&own).unwrap();
+        let token = CancelToken::new();
+        verifier.set_cancel_token(token.clone());
+        token.cancel();
+        assert!(matches!(verifier.evaluate(&Context::full(own.len())), Err(PcorError::Cancelled)));
+        assert!(matches!(verifier.evaluate_neighbors(&own), Err(PcorError::Cancelled)));
     }
 }

@@ -43,7 +43,7 @@ pub use bitmap::RecordBitmap;
 pub use context::Context;
 pub use dataset::Dataset;
 pub use kernel::KernelKind;
-pub use population::{PopulationCursor, PopulationScratch, ShardPolicy};
+pub use population::{HaltFn, PopulationCursor, PopulationScratch, ShardPolicy};
 pub use record::Record;
 pub use schema::{Attribute, Schema};
 

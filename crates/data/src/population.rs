@@ -38,7 +38,15 @@ use crate::dataset::Dataset;
 use crate::kernel::{self, KernelFn, KernelKind};
 use crate::{DataError, Result};
 use pcor_runtime::ThreadPool;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// A cooperative stop probe threaded into sharded fused passes: shards
+/// poll it between sub-chunks and abandon the pass when it returns `true`.
+/// The closure form keeps `pcor-data` below the crate that owns request
+/// lifecycles — `pcor-core` adapts its `CancelToken` (deadline included)
+/// into one of these without this crate knowing what a request is.
+pub type HaltFn = Arc<dyn Fn() -> bool + Send + Sync>;
 
 /// Reusable buffers for from-scratch population evaluation.
 ///
@@ -116,7 +124,7 @@ enum ShardExecutor {
 /// pooled shards and spawned shards execute the same SIMD implementation as
 /// serial passes. [`ShardPolicy::with_kernel`] pins an explicit kernel for
 /// in-process comparisons (tests, benchmarks).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ShardPolicy {
     /// Maximum number of worker threads for one pass.
     pub threads: usize,
@@ -125,6 +133,21 @@ pub struct ShardPolicy {
     pub min_words: usize,
     executor: ShardExecutor,
     kernel: KernelKind,
+    /// Cooperative stop probe polled between sub-chunks of every pass
+    /// (serial and sharded); `None` means passes always run to completion.
+    halt: Option<HaltFn>,
+}
+
+impl std::fmt::Debug for ShardPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPolicy")
+            .field("threads", &self.threads)
+            .field("min_words", &self.min_words)
+            .field("executor", &self.executor)
+            .field("kernel", &self.kernel)
+            .field("halt", &self.halt.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
 }
 
 impl ShardPolicy {
@@ -147,6 +170,7 @@ impl ShardPolicy {
             min_words: usize::MAX,
             executor: ShardExecutor::Spawn,
             kernel: kernel::selected(),
+            halt: None,
         }
     }
 
@@ -160,6 +184,7 @@ impl ShardPolicy {
             min_words: Self::AUTO_MIN_WORDS,
             executor: ShardExecutor::Spawn,
             kernel: kernel::selected(),
+            halt: None,
         }
     }
 
@@ -172,6 +197,7 @@ impl ShardPolicy {
             min_words: 0,
             executor: ShardExecutor::Spawn,
             kernel: kernel::selected(),
+            halt: None,
         }
     }
 
@@ -187,6 +213,7 @@ impl ShardPolicy {
             min_words: Self::POOLED_MIN_WORDS,
             executor: ShardExecutor::Pool(pool),
             kernel: kernel::selected(),
+            halt: None,
         }
     }
 
@@ -199,6 +226,7 @@ impl ShardPolicy {
             min_words: 0,
             executor: ShardExecutor::Pool(pool),
             kernel: kernel::selected(),
+            halt: None,
         }
     }
 
@@ -227,6 +255,29 @@ impl ShardPolicy {
         }
     }
 
+    /// Attaches a cooperative stop probe: every fused pass (serial or
+    /// sharded) polls it between sub-chunks and abandons the pass —
+    /// marking its cursor [`PopulationCursor::interrupted`] — when it
+    /// returns `true`. This is how a request deadline reaches into a pass
+    /// already running on pool workers: the probe typically wraps a cancel
+    /// token shared with the request lifecycle.
+    #[must_use]
+    pub fn with_halt(mut self, halt: HaltFn) -> Self {
+        self.halt = Some(halt);
+        self
+    }
+
+    /// Installs or clears the stop probe in place (see
+    /// [`ShardPolicy::with_halt`]).
+    pub fn set_halt(&mut self, halt: Option<HaltFn>) {
+        self.halt = halt;
+    }
+
+    /// The installed stop probe, if any.
+    pub fn halt(&self) -> Option<&HaltFn> {
+        self.halt.as_ref()
+    }
+
     /// The number of shards a pass over `words` words uses under this policy.
     fn shards_for(&self, words: usize) -> usize {
         if self.threads > 1 && words >= self.min_words {
@@ -244,10 +295,16 @@ impl PartialEq for ShardPolicy {
             (ShardExecutor::Pool(a), ShardExecutor::Pool(b)) => Arc::ptr_eq(a, b),
             _ => false,
         };
+        let same_halt = match (&self.halt, &other.halt) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
         self.threads == other.threads
             && self.min_words == other.min_words
             && self.kernel == other.kernel
             && same_executor
+            && same_halt
     }
 }
 
@@ -287,6 +344,12 @@ pub struct PopulationCursor<'a> {
     population_size: usize,
     /// Whether `result`/`population_size` reflect the current context.
     fresh: bool,
+    /// Whether the last pass was abandoned by the policy's halt probe. An
+    /// interrupted pass leaves `result` partial and `population_size` at 0,
+    /// and `fresh` stays false so the next accessor recomputes; callers
+    /// observing this must discard the evaluation (and not let a moment
+    /// tracker sync against the partial bitmap).
+    interrupted: bool,
     policy: ShardPolicy,
     /// The fused-pass implementation, resolved once from the policy's
     /// [`KernelKind`]; serial passes and every shard call the same pointer.
@@ -355,6 +418,7 @@ impl<'a> PopulationCursor<'a> {
             result: RecordBitmap::new(n),
             population_size: 0,
             fresh: false,
+            interrupted: false,
             policy,
             kernel: kernel_fn,
             shard_counts: vec![0; shard_slots],
@@ -382,6 +446,21 @@ impl<'a> PopulationCursor<'a> {
     /// The shard policy of the fused AND/popcount pass.
     pub fn policy(&self) -> &ShardPolicy {
         &self.policy
+    }
+
+    /// Installs or clears the halt probe on this cursor's policy — the
+    /// hook [`ShardPolicy::with_halt`] describes, but applicable to a
+    /// cursor that already exists (a verifier positions its cursor lazily
+    /// and may receive its cancel token either side of that).
+    pub fn set_halt(&mut self, halt: Option<HaltFn>) {
+        self.policy.set_halt(halt);
+    }
+
+    /// Whether the most recent pass was abandoned by the halt probe. The
+    /// cursor stays usable — the next accessor recomputes from the cached
+    /// unions — but the evaluation that set this flag must be discarded.
+    pub fn interrupted(&self) -> bool {
+        self.interrupted
     }
 
     /// Total bitmap words read by the cursor's fused AND/popcount passes so
@@ -512,6 +591,17 @@ impl<'a> PopulationCursor<'a> {
     /// Panics unless [`PopulationCursor::track_moments`] enabled tracking.
     pub fn moments(&mut self) -> (f64, f64) {
         self.refresh();
+        if self.interrupted {
+            // The pass was abandoned and `result` is partial garbage: do not
+            // sync the tracker against it (and keep `moments_dirty` set so
+            // the next complete pass does sync). The stale statistics
+            // returned here are as discarded as the evaluation itself.
+            let tracker = self
+                .moments
+                .as_ref()
+                .expect("moment tracking not enabled; call track_moments() first");
+            return tracker.moments();
+        }
         let metrics = self.dataset.metrics();
         let dirty = std::mem::take(&mut self.moments_dirty);
         let PopulationCursor { result, moments, moment_words, population_size, .. } = self;
@@ -568,6 +658,7 @@ impl<'a> PopulationCursor<'a> {
             return;
         }
         self.fresh = true;
+        self.interrupted = false;
         if self.selected.contains(&0) {
             // Ill-formed context (an attribute with no selected value):
             // empty population by definition.
@@ -575,6 +666,16 @@ impl<'a> PopulationCursor<'a> {
             self.population_size = 0;
             return;
         }
+        let halt = self.policy.halt().cloned();
+        if halt.as_ref().is_some_and(|probe| probe()) {
+            // Already cancelled before any work: abandon without touching
+            // the bitmap so the caller can discard and retry cheaply.
+            self.fresh = false;
+            self.interrupted = true;
+            self.population_size = 0;
+            return;
+        }
+        let halted = AtomicBool::new(false);
         let PopulationCursor { attr_unions, result, shard_counts, kernel, .. } = self;
         let kernel = *kernel;
         let (first, rest) = attr_unions.split_first().expect("schemas have >= 1 attribute");
@@ -583,53 +684,103 @@ impl<'a> PopulationCursor<'a> {
         // per remaining attribute union.
         self.words_scanned += (out.len() * (1 + rest.len())) as u64;
         let shards = self.policy.shards_for(out.len());
+        // `Option<(&HaltFn, &AtomicBool)>` is `Copy`, so each shard closure
+        // captures its own copy of the probe pair.
+        let probe = halt.as_ref().map(|probe| (probe, &halted));
         if shards <= 1 {
-            self.population_size = kernel(first.words(), rest, out, 0);
-            return;
+            self.population_size = run_shard(kernel, first.words(), rest, out, 0, probe);
+        } else {
+            let chunk = out.len().div_ceil(shards);
+            match &self.policy.executor {
+                ShardExecutor::Spawn => {
+                    // Per-shard counts land in the reusable `shard_counts`
+                    // slots (no per-pass handle collection);
+                    // `std::thread::scope` joins every spawned worker on exit
+                    // and propagates its panic.
+                    std::thread::scope(|scope| {
+                        for ((shard, out_chunk), count) in
+                            out.chunks_mut(chunk).enumerate().zip(shard_counts.iter_mut())
+                        {
+                            let lo = shard * chunk;
+                            let first_words = &first.words()[lo..lo + out_chunk.len()];
+                            scope.spawn(move || {
+                                *count = run_shard(kernel, first_words, rest, out_chunk, lo, probe);
+                            });
+                        }
+                    });
+                    let used = out.len().div_ceil(chunk);
+                    self.population_size = shard_counts[..used].iter().sum();
+                }
+                ShardExecutor::Pool(pool) => {
+                    // Resident workers steal the shards while the submitting
+                    // thread helps execute — the dispatch overhead is a few
+                    // queue operations, which is what lowers the break-even to
+                    // `POOLED_MIN_WORDS`. Per-shard counts land in reusable
+                    // slots; a shard panic propagates out of `scope` like the
+                    // spawn path's join would.
+                    pool.scope(|scope| {
+                        for ((shard, out_chunk), count) in
+                            out.chunks_mut(chunk).enumerate().zip(shard_counts.iter_mut())
+                        {
+                            let lo = shard * chunk;
+                            let first_words = &first.words()[lo..lo + out_chunk.len()];
+                            scope.spawn(move || {
+                                *count = run_shard(kernel, first_words, rest, out_chunk, lo, probe);
+                            });
+                        }
+                    });
+                    let used = out.len().div_ceil(chunk);
+                    self.population_size = shard_counts[..used].iter().sum();
+                }
+            }
         }
-        let chunk = out.len().div_ceil(shards);
-        match &self.policy.executor {
-            ShardExecutor::Spawn => {
-                // Per-shard counts land in the reusable `shard_counts` slots
-                // (no per-pass handle collection); `std::thread::scope` joins
-                // every spawned worker on exit and propagates its panic.
-                std::thread::scope(|scope| {
-                    for ((shard, out_chunk), count) in
-                        out.chunks_mut(chunk).enumerate().zip(shard_counts.iter_mut())
-                    {
-                        let lo = shard * chunk;
-                        let first_words = &first.words()[lo..lo + out_chunk.len()];
-                        scope.spawn(move || {
-                            *count = kernel(first_words, rest, out_chunk, lo);
-                        });
-                    }
-                });
-                let used = out.len().div_ceil(chunk);
-                self.population_size = shard_counts[..used].iter().sum();
-            }
-            ShardExecutor::Pool(pool) => {
-                // Resident workers steal the shards while the submitting
-                // thread helps execute — the dispatch overhead is a few
-                // queue operations, which is what lowers the break-even to
-                // `POOLED_MIN_WORDS`. Per-shard counts land in reusable
-                // slots; a shard panic propagates out of `scope` like the
-                // spawn path's join would.
-                pool.scope(|scope| {
-                    for ((shard, out_chunk), count) in
-                        out.chunks_mut(chunk).enumerate().zip(shard_counts.iter_mut())
-                    {
-                        let lo = shard * chunk;
-                        let first_words = &first.words()[lo..lo + out_chunk.len()];
-                        scope.spawn(move || {
-                            *count = kernel(first_words, rest, out_chunk, lo);
-                        });
-                    }
-                });
-                let used = out.len().div_ceil(chunk);
-                self.population_size = shard_counts[..used].iter().sum();
-            }
+        if halted.load(Ordering::Relaxed) {
+            // Partial pass: `result` holds a mix of new and stale words.
+            // Leave the cursor stale so the next accessor recomputes, and
+            // flag the interruption so this evaluation gets discarded.
+            self.fresh = false;
+            self.interrupted = true;
+            self.population_size = 0;
         }
     }
+}
+
+/// Granularity, in output words, between halt-probe checks inside one shard
+/// of the fused pass. 4096 words (32 KiB of `first` plus the same per
+/// remaining attribute) amortises the probe to well under 1% of kernel time
+/// while bounding cancellation latency to microseconds per shard.
+const HALT_CHECK_WORDS: usize = 1 << 12;
+
+/// Runs `kernel` over one shard's words. With no halt probe this is a single
+/// kernel call; with one, the shard proceeds in [`HALT_CHECK_WORDS`]-word
+/// sub-chunks, checking the shared `halted` flag and the probe between them.
+/// Once any shard observes a halt it publishes it so sibling shards stop at
+/// their next boundary, and the partial count returned is meaningless — the
+/// caller discards the whole pass.
+fn run_shard(
+    kernel: KernelFn,
+    first: &[u64],
+    rest: &[RecordBitmap],
+    out: &mut [u64],
+    lo: usize,
+    halt: Option<(&HaltFn, &AtomicBool)>,
+) -> usize {
+    let Some((halt, halted)) = halt else {
+        return kernel(first, rest, out, lo);
+    };
+    let total = out.len();
+    let mut count = 0;
+    let mut done = 0;
+    while done < total {
+        if halted.load(Ordering::Relaxed) || halt() {
+            halted.store(true, Ordering::Relaxed);
+            return count;
+        }
+        let len = HALT_CHECK_WORDS.min(total - done);
+        count += kernel(&first[done..done + len], rest, &mut out[done..done + len], lo + done);
+        done += len;
+    }
+    count
 }
 
 /// Incrementally maintained centered sufficient statistics of a population's
@@ -1054,5 +1205,71 @@ mod tests {
         pool.shutdown();
         let expected = d.population(&context).unwrap();
         assert_eq!(pooled.population(), &expected);
+    }
+
+    #[test]
+    fn halt_before_any_work_interrupts_and_recovers() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let context = Context::from_indices(t, [0, 3, 5]);
+        let mut cursor =
+            PopulationCursor::with_policy(&d, &context, ShardPolicy::serial()).unwrap();
+        cursor.set_halt(Some(Arc::new(|| true)));
+        assert_eq!(cursor.population_size(), 0);
+        assert!(cursor.interrupted());
+        // Clearing the halt recovers the exact evaluation: `fresh` stayed
+        // false, so the next accessor recomputes from the cached unions.
+        cursor.set_halt(None);
+        let expected = d.population(&context).unwrap();
+        assert_eq!(cursor.population(), &expected);
+        assert!(!cursor.interrupted());
+    }
+
+    #[test]
+    fn halt_mid_pass_discards_partial_result_across_executors() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let context = Context::from_indices(t, [0, 1, 2, 3, 4, 5, 6, 7, 8]);
+        let pool = Arc::new(ThreadPool::new(2));
+        for policy in
+            [ShardPolicy::serial(), ShardPolicy::forced(2), ShardPolicy::pooled_forced(pool, 2)]
+        {
+            let mut cursor = PopulationCursor::with_policy(&d, &context, policy).unwrap();
+            // Fires on the second probe: the up-front check passes, then the
+            // first shard to probe again trips it and publishes the halt.
+            let probes = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+            let seen = Arc::clone(&probes);
+            cursor.set_halt(Some(Arc::new(move || seen.fetch_add(1, Ordering::Relaxed) >= 1)));
+            assert_eq!(cursor.population_size(), 0);
+            assert!(cursor.interrupted());
+            cursor.set_halt(None);
+            let expected = d.population(&context).unwrap();
+            assert_eq!(cursor.population(), &expected);
+            assert_eq!(cursor.population_size(), expected.count());
+        }
+    }
+
+    #[test]
+    fn interrupted_pass_never_corrupts_moment_tracking() {
+        let d = dataset();
+        let t = d.schema().total_values();
+        let context = Context::full(t);
+        let mut cursor =
+            PopulationCursor::with_policy(&d, &context, ShardPolicy::serial()).unwrap();
+        cursor.track_moments(0.0);
+        let clean = cursor.moments();
+        // Move the context, then interrupt the recompute: moments() must not
+        // sync the tracker against the partial bitmap.
+        cursor.flip(1);
+        cursor.set_halt(Some(Arc::new(|| true)));
+        assert_eq!(cursor.moments(), clean);
+        assert!(cursor.interrupted());
+        // After the halt clears, the tracker syncs against the completed
+        // pass and matches the from-scratch statistics.
+        cursor.set_halt(None);
+        let expected = d.population_metric_moments(cursor.population(), 0.0);
+        let tracked = cursor.moments();
+        assert!((tracked.0 - expected.0).abs() < 1e-6);
+        assert!((tracked.1 - expected.1).abs() < 1e-6);
     }
 }

@@ -49,6 +49,12 @@ pub mod site {
     pub const POOL_PARK: &str = "pool.park";
     /// A release about to run on the serving path (`pcor-service`).
     pub const SERVICE_RELEASE: &str = "service.release";
+    /// A socket accept on the reactor (`pcor-net`).
+    pub const NET_ACCEPT: &str = "net.accept";
+    /// A socket read on the reactor (`pcor-net`).
+    pub const NET_READ: &str = "net.read";
+    /// A socket write on the reactor (`pcor-net`).
+    pub const NET_WRITE: &str = "net.write";
 }
 
 /// What an injected fault does at its seam.
@@ -66,6 +72,12 @@ pub enum FaultKind {
     /// Advance the injected clock skew by the given amount; deadlines
     /// computed against [`Faults::skew`] fire that much earlier.
     ClockSkew(Duration),
+    /// Cap the next socket read/write at this many bytes (a short I/O —
+    /// the kernel-level partial transfer every robust reactor must absorb).
+    ShortIo(usize),
+    /// Abort the operation as if the peer reset the connection
+    /// (`ECONNRESET` mid-frame).
+    Reset,
 }
 
 impl FaultKind {
@@ -76,6 +88,8 @@ impl FaultKind {
             FaultKind::Latency(d) => format!("latency:{}us", d.as_micros()),
             FaultKind::Panic => "panic".to_string(),
             FaultKind::ClockSkew(d) => format!("skew:{}us", d.as_micros()),
+            FaultKind::ShortIo(cap) => format!("short:{cap}b"),
+            FaultKind::Reset => "reset".to_string(),
         }
     }
 
@@ -94,6 +108,7 @@ impl FaultKind {
         match text {
             "io-error" => Ok(FaultKind::IoError),
             "panic" => Ok(FaultKind::Panic),
+            "reset" => Ok(FaultKind::Reset),
             other => {
                 if let Some(payload) = other.strip_prefix("stall:") {
                     Ok(FaultKind::FsyncStall(parse_us(payload)?))
@@ -101,6 +116,16 @@ impl FaultKind {
                     Ok(FaultKind::Latency(parse_us(payload)?))
                 } else if let Some(payload) = other.strip_prefix("skew:") {
                     Ok(FaultKind::ClockSkew(parse_us(payload)?))
+                } else if let Some(payload) = other.strip_prefix("short:") {
+                    let digits = payload.strip_suffix('b').ok_or_else(|| ScheduleParseError {
+                        line: payload.to_string(),
+                        reason: "expected a `<bytes>b` cap".to_string(),
+                    })?;
+                    let cap: usize = digits.parse().map_err(|_| ScheduleParseError {
+                        line: payload.to_string(),
+                        reason: "byte cap is not an integer".to_string(),
+                    })?;
+                    Ok(FaultKind::ShortIo(cap))
                 } else {
                     Err(ScheduleParseError {
                         line: other.to_string(),
@@ -265,6 +290,18 @@ struct Inner {
     state: Mutex<State>,
 }
 
+/// How an injected fault alters the next socket I/O — the verdict
+/// [`Faults::socket`] hands the reactor's read/write seams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketFault {
+    /// Fail the I/O with an injected `io::Error` (the connection closes).
+    Error,
+    /// Fail the I/O as if the peer sent `RST` (`ECONNRESET`).
+    Reset,
+    /// Let at most this many bytes through on this call (a short I/O).
+    Short(usize),
+}
+
 /// The handle production code threads through its seams. Cloning shares
 /// the plan, the hit counters, and the recorded schedule.
 #[derive(Debug, Clone, Default)]
@@ -295,7 +332,25 @@ impl Faults {
             Some(FaultKind::IoError) => {
                 Err(std::io::Error::other(format!("injected fault at {site}")))
             }
+            Some(FaultKind::Reset) => Err(std::io::Error::new(
+                std::io::ErrorKind::ConnectionReset,
+                format!("injected reset at {site}"),
+            )),
             _ => Ok(()),
+        }
+    }
+
+    /// Passes a socket seam: returns how the reactor must alter the next
+    /// I/O on this connection, `None` when nothing fires. Latency and
+    /// stalls sleep in place (a stalled event loop is exactly the failure
+    /// being simulated), panics panic, and clock skew accumulates — only
+    /// the byte-level kinds surface as a verdict.
+    pub fn socket(&self, site: &str) -> Option<SocketFault> {
+        match self.fire(site) {
+            Some(FaultKind::IoError) => Some(SocketFault::Error),
+            Some(FaultKind::Reset) => Some(SocketFault::Reset),
+            Some(FaultKind::ShortIo(cap)) => Some(SocketFault::Short(cap)),
+            _ => None,
         }
     }
 
@@ -528,6 +583,8 @@ mod tests {
                 hit: 7,
                 kind: FaultKind::ClockSkew(Duration::from_millis(10)),
             },
+            ScheduledFault { site: "net.read".into(), hit: 2, kind: FaultKind::ShortIo(3) },
+            ScheduledFault { site: "net.write".into(), hit: 5, kind: FaultKind::Reset },
         ];
         let encoded = encode_schedule(&schedule);
         assert_eq!(parse_schedule(&encoded).unwrap(), schedule);
@@ -538,8 +595,33 @@ mod tests {
 
     #[test]
     fn malformed_schedules_are_refused() {
-        for bad in ["nonsense", "site@x=panic", "site@0=panic", "@1=panic", "site@1=warp:3us"] {
+        for bad in [
+            "nonsense",
+            "site@x=panic",
+            "site@0=panic",
+            "@1=panic",
+            "site@1=warp:3us",
+            "site@1=short:3",
+            "site@1=short:xb",
+        ] {
             assert!(parse_schedule(bad).is_err(), "{bad:?} must be refused");
         }
+    }
+
+    #[test]
+    fn socket_seams_surface_byte_level_verdicts() {
+        let faults = FaultPlan::seeded(0)
+            .at(site::NET_READ, 1, FaultKind::ShortIo(4))
+            .at(site::NET_READ, 2, FaultKind::Reset)
+            .at(site::NET_WRITE, 1, FaultKind::IoError)
+            .build();
+        assert_eq!(faults.socket(site::NET_READ), Some(SocketFault::Short(4)));
+        assert_eq!(faults.socket(site::NET_READ), Some(SocketFault::Reset));
+        assert_eq!(faults.socket(site::NET_READ), None);
+        assert_eq!(faults.socket(site::NET_WRITE), Some(SocketFault::Error));
+        // The IO seam maps a reset to ECONNRESET.
+        let reset = FaultPlan::seeded(0).at(site::NET_WRITE, 1, FaultKind::Reset).build();
+        let err = reset.io(site::NET_WRITE).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
     }
 }

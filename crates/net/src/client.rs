@@ -1,0 +1,164 @@
+//! A small blocking client for the envelope protocol — what an analyst
+//! SDK, the integration tests, and the bench load generator all share.
+//!
+//! Deliberately synchronous: one [`NetClient`] is one TCP connection with
+//! a frame decoder; concurrency comes from using many of them (the
+//! reactor side is where a thread must never block, not here). The
+//! misbehaving-peer helpers ([`NetClient::send_partial`],
+//! [`NetClient::slow_send`], [`NetClient::reset`]) exist for the
+//! fault-injection tests: torn frames, slow-loris writers and hard RSTs
+//! are cheap to produce from a real socket.
+
+use pcor_service::{decode_reply, encode_request, FrameDecoder, RequestEnvelope, WireReply};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// One blocking connection to a [`crate::NetFront`]'s envelope listener.
+#[derive(Debug)]
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+}
+
+impl NetClient {
+    /// Connects with a 30-second default read timeout (tests override).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+        Ok(NetClient { stream, decoder: FrameDecoder::new() })
+    }
+
+    /// Overrides the blocking-read timeout (`None` blocks forever).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)
+    }
+
+    /// The local (client-side) socket address.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.stream.local_addr()
+    }
+
+    /// Sends one framed envelope.
+    pub fn send(&mut self, envelope: &RequestEnvelope) -> io::Result<()> {
+        self.stream.write_all(&encode_request(envelope))
+    }
+
+    /// Sends raw bytes as-is (hostile-input tests).
+    pub fn send_bytes(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)
+    }
+
+    /// Sends only the first `prefix` bytes of the envelope's frame — a
+    /// torn frame the server must neither answer nor choke on. Returns
+    /// how many bytes actually went out.
+    pub fn send_partial(&mut self, envelope: &RequestEnvelope, prefix: usize) -> io::Result<usize> {
+        let frame = encode_request(envelope);
+        let cut = prefix.min(frame.len());
+        self.stream.write_all(&frame[..cut])?;
+        Ok(cut)
+    }
+
+    /// Sends the envelope `chunk` bytes at a time with `pause` between
+    /// chunks — a slow-loris writer; the frame still completes.
+    pub fn slow_send(
+        &mut self,
+        envelope: &RequestEnvelope,
+        chunk: usize,
+        pause: Duration,
+    ) -> io::Result<()> {
+        let frame = encode_request(envelope);
+        let mut sent = 0;
+        while sent < frame.len() {
+            let end = frame.len().min(sent + chunk.max(1));
+            self.stream.write_all(&frame[sent..end])?;
+            self.stream.flush()?;
+            sent = end;
+            if sent < frame.len() {
+                std::thread::sleep(pause);
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocks for the next framed reply.
+    ///
+    /// # Errors
+    /// Read timeouts and socket errors pass through; a closed peer is
+    /// [`io::ErrorKind::UnexpectedEof`], undecodable replies are
+    /// [`io::ErrorKind::InvalidData`].
+    pub fn recv(&mut self) -> io::Result<WireReply> {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match self.decoder.next_frame() {
+                Ok(Some(payload)) => {
+                    return decode_reply(&payload)
+                        .map_err(|err| io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, err.to_string()))
+                }
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.decoder.extend(&buf[..n]),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => {}
+                Err(err) => return Err(err),
+            }
+        }
+    }
+
+    /// Sends one envelope and collects every reply through the terminal
+    /// one: zero or more `Item`s followed by a `Response` or `Error`,
+    /// returned in arrival order (terminal last).
+    pub fn call(&mut self, envelope: &RequestEnvelope) -> io::Result<Vec<WireReply>> {
+        self.send(envelope)?;
+        let mut replies = Vec::new();
+        loop {
+            let reply = self.recv()?;
+            let terminal = !matches!(reply, WireReply::Item(_));
+            replies.push(reply);
+            if terminal {
+                return Ok(replies);
+            }
+        }
+    }
+
+    /// Closes with a hard RST instead of an orderly FIN (SO_LINGER with a
+    /// zero timeout), so the server sees a mid-stream connection reset.
+    pub fn reset(self) -> io::Result<()> {
+        #[cfg(unix)]
+        {
+            use std::os::fd::AsRawFd;
+            crate::sys::set_linger_reset(self.stream.as_raw_fd())?;
+        }
+        drop(self.stream);
+        Ok(())
+    }
+}
+
+/// One-shot `GET` against the reactor's HTTP listener; returns the status
+/// code and body. The listener speaks `Connection: close`, so reading to
+/// EOF delimits the response.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: pcor\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed status line"))?;
+    let body =
+        response.split_once("\r\n\r\n").map(|(_, body)| body.to_string()).unwrap_or_default();
+    Ok((status, body))
+}

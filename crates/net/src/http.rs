@@ -1,0 +1,82 @@
+//! Just enough HTTP/1.1 to be probed and scraped.
+//!
+//! The health/metrics listener serves exactly two resources — `GET
+//! /healthz` from [`Server::health`] and `GET /metrics` from the
+//! Prometheus-text exporter — with `Connection: close` semantics, so the
+//! parser never needs keep-alive, chunking, or body handling. Anything
+//! else gets the appropriate 4xx and the same close-after-reply
+//! treatment.
+
+use pcor_service::{HealthReport, Server};
+
+/// Builds the full response once a complete request head (terminated by a
+/// blank line) is buffered; `None` while more bytes are needed.
+pub(crate) fn respond(buf: &[u8], server: &Server) -> Option<Vec<u8>> {
+    let head_end = find_head_end(buf)?;
+    let head = String::from_utf8_lossy(&buf[..head_end]);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    let response = match (method, path) {
+        ("GET", "/healthz") => {
+            let health = server.health();
+            let status = if health.ready { "200 OK" } else { "503 Service Unavailable" };
+            build(status, "application/json", &health_json(&health))
+        }
+        ("GET", "/metrics") => build(
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &server.telemetry().render_prometheus(),
+        ),
+        ("GET", _) => build("404 Not Found", "text/plain; charset=utf-8", "not found\n"),
+        _ => build("405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n"),
+    };
+    Some(response)
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|window| window == b"\r\n\r\n").map(|pos| pos + 4)
+}
+
+fn build(status: &str, content_type: &str, body: &str) -> Vec<u8> {
+    format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+/// The readiness report as a flat JSON object (the shape a load
+/// balancer's probe matcher wants; journal details stay in `/metrics`).
+fn health_json(health: &HealthReport) -> String {
+    format!(
+        "{{\"ready\":{},\"accepting\":{},\"inflight\":{},\"queue_capacity\":{},\"deadline_exceeded\":{},\"shed\":{}}}\n",
+        health.ready,
+        health.accepting,
+        health.inflight,
+        health.queue_capacity,
+        health.deadline_exceeded,
+        health.shed
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_end_detection_waits_for_the_blank_line() {
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x"), None);
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\n\r\n"), Some(18));
+        assert_eq!(find_head_end(b"GET / HTTP/1.1\r\nHost: x\r\n\r\ntrailing"), Some(27));
+    }
+
+    #[test]
+    fn responses_carry_length_and_close() {
+        let response = String::from_utf8(build("200 OK", "text/plain", "hi\n")).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(response.contains("Content-Length: 3\r\n"));
+        assert!(response.contains("Connection: close\r\n"));
+        assert!(response.ends_with("\r\n\r\nhi\n"));
+    }
+}

@@ -1,0 +1,251 @@
+//! The thin unsafe floor of the reactor: raw `epoll` bindings declared by
+//! hand (the workspace is offline — no `libc`, no `mio`), wrapped into a
+//! safe [`Epoll`] handle, plus the one `setsockopt` the test client needs
+//! to force a hard RST.
+//!
+//! Only Linux gets a real implementation. Elsewhere the same API compiles
+//! but [`Epoll::new`] returns [`std::io::ErrorKind::Unsupported`], so the
+//! crate builds everywhere while the reactor itself is Linux-only — the
+//! same shape the kernel-dispatch layer uses for SIMD paths.
+
+use std::io;
+
+/// Readiness bits (subset of the kernel's `EPOLL*` mask we use).
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition (always reported, never subscribed).
+pub const EPOLLERR: u32 = 0x008;
+/// Hangup (always reported, never subscribed).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer shut down its writing half — lets a reap beat a read of 0.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+#[cfg(target_os = "linux")]
+mod imp {
+    use super::*;
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_void};
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const SOL_SOCKET: c_int = 1;
+    const SO_LINGER: c_int = 13;
+
+    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
+    /// packs it so 32- and 64-bit layouts agree); field reads below copy
+    /// out of the struct rather than borrowing into it.
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[repr(C)]
+    struct Linger {
+        l_onoff: c_int,
+        l_linger: c_int,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+        fn setsockopt(
+            fd: c_int,
+            level: c_int,
+            optname: c_int,
+            optval: *const c_void,
+            optlen: u32,
+        ) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    /// An owned epoll instance. Registration keys are caller-chosen `u64`
+    /// tokens delivered back verbatim in each readiness event.
+    #[derive(Debug)]
+    pub struct Epoll {
+        epfd: RawFd,
+    }
+
+    impl Epoll {
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers involved.
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            Ok(Epoll { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            let mut event = EpollEvent { events: interest, data: token };
+            let event_ptr =
+                if op == EPOLL_CTL_DEL { std::ptr::null_mut() } else { &mut event as *mut _ };
+            // SAFETY: `event` outlives the call (the kernel copies it), and
+            // a null event is exactly what DEL expects.
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, event_ptr) })?;
+            Ok(())
+        }
+
+        /// Registers `fd` for `interest`, tagging events with `token`.
+        pub fn add(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        /// Replaces `fd`'s registered interest.
+        pub fn modify(&self, fd: RawFd, interest: u32, token: u64) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        /// Deregisters `fd`.
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Blocks up to `timeout_ms` (`-1` = forever) for readiness, filling
+        /// `events`; returns how many fired. An `EINTR` wakeup reports as
+        /// zero events rather than an error — the reactor just loops.
+        pub fn wait(&self, events: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+            let max = events.len().min(c_int::MAX as usize) as c_int;
+            // SAFETY: `events` is a valid writable buffer of `max` entries.
+            match cvt(unsafe { epoll_wait(self.epfd, events.as_mut_ptr(), max, timeout_ms) }) {
+                Ok(n) => Ok(n as usize),
+                Err(err) if err.kind() == io::ErrorKind::Interrupted => Ok(0),
+                Err(err) => Err(err),
+            }
+        }
+    }
+
+    impl Drop for Epoll {
+        fn drop(&mut self) {
+            // SAFETY: `epfd` is owned and closed exactly once.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// Arms `SO_LINGER` with a zero timeout so the next close sends RST
+    /// instead of FIN — the client-side lever for mid-frame reset tests.
+    pub fn set_linger_reset(fd: RawFd) -> io::Result<()> {
+        let linger = Linger { l_onoff: 1, l_linger: 0 };
+        // SAFETY: `linger` is a valid `struct linger` for the duration of
+        // the call and the length matches.
+        cvt(unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_LINGER,
+                (&linger as *const Linger).cast(),
+                std::mem::size_of::<Linger>() as u32,
+            )
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    use super::*;
+
+    /// Stand-in event record so the reactor compiles off-Linux.
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    /// Unsupported placeholder: construction fails, nothing else is
+    /// reachable.
+    #[derive(Debug)]
+    pub struct Epoll;
+
+    impl Epoll {
+        pub fn new() -> io::Result<Self> {
+            Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "pcor-net's epoll reactor requires Linux",
+            ))
+        }
+
+        pub fn add(&self, _fd: i32, _interest: u32, _token: u64) -> io::Result<()> {
+            unreachable!("Epoll::new never succeeds off-Linux")
+        }
+
+        pub fn modify(&self, _fd: i32, _interest: u32, _token: u64) -> io::Result<()> {
+            unreachable!("Epoll::new never succeeds off-Linux")
+        }
+
+        pub fn delete(&self, _fd: i32) -> io::Result<()> {
+            unreachable!("Epoll::new never succeeds off-Linux")
+        }
+
+        pub fn wait(&self, _events: &mut [EpollEvent], _timeout_ms: i32) -> io::Result<usize> {
+            unreachable!("Epoll::new never succeeds off-Linux")
+        }
+    }
+
+    pub fn set_linger_reset(_fd: i32) -> io::Result<()> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "SO_LINGER reset requires Linux"))
+    }
+}
+
+pub use imp::{set_linger_reset, Epoll, EpollEvent};
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn epoll_reports_readability_with_the_registered_token() {
+        let epoll = Epoll::new().unwrap();
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        epoll.add(rx.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 8];
+        // Nothing readable yet: a zero-timeout wait returns no events.
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+        tx.write_all(b"x").unwrap();
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert_eq!(n, 1);
+        // Copy packed fields out before asserting (no unaligned refs).
+        let (token, bits) = (events[0].data, events[0].events);
+        assert_eq!(token, 42);
+        assert_ne!(bits & EPOLLIN, 0);
+        epoll.delete(rx.as_raw_fd()).unwrap();
+        assert_eq!(epoll.wait(&mut events, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn modify_switches_interest() {
+        let epoll = Epoll::new().unwrap();
+        let (tx, rx) = UnixStream::pair().unwrap();
+        drop(tx);
+        rx.set_nonblocking(true).unwrap();
+        // Subscribe to nothing but hangup-class events (always on): a
+        // closed peer still fires.
+        epoll.add(rx.as_raw_fd(), 0, 7).unwrap();
+        epoll.modify(rx.as_raw_fd(), EPOLLIN | EPOLLRDHUP, 7).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let n = epoll.wait(&mut events, 1000).unwrap();
+        assert!(n >= 1);
+        let (token, bits) = (events[0].data, events[0].events);
+        assert_eq!(token, 7);
+        assert_ne!(bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP), 0);
+    }
+}

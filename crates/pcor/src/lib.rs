@@ -60,6 +60,7 @@ pub use pcor_data as data;
 pub use pcor_dp as dp;
 pub use pcor_faults as faults;
 pub use pcor_graph as graph;
+pub use pcor_net as net;
 pub use pcor_outlier as outlier;
 pub use pcor_runtime as runtime;
 pub use pcor_service as service;
@@ -87,6 +88,7 @@ pub mod prelude {
         Utility,
     };
     pub use pcor_graph::ContextGraph;
+    pub use pcor_net::{http_get, NetClient, NetConfig, NetFront};
     pub use pcor_outlier::{
         DetectorKind, GrubbsDetector, HistogramDetector, IqrDetector, LofDetector, OutlierDetector,
         PopulationMoments, ZScoreDetector,

@@ -101,6 +101,7 @@ pub mod metrics;
 pub mod registry;
 pub mod request;
 pub mod server;
+pub mod wire;
 
 pub use cache::LruCache;
 pub use durable::{BreakerState, DurableLedger, JournalHealth, RecoveryReport, WalConfig};
@@ -116,7 +117,12 @@ pub use request::{
     ResponseEnvelope, MIN_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use server::{
-    BatchStream, HealthReport, PendingBatch, PendingRelease, PendingResponse, Server, ServerConfig,
+    BatchStream, EnvelopeSubmission, HealthReport, PendingBatch, PendingRelease, PendingResponse,
+    Server, ServerConfig,
+};
+pub use wire::{
+    decode_reply, decode_request, encode_reply, encode_request, frame_bytes, FrameDecoder,
+    FrameError, WireError, WireReply, FRAME_HEADER_LEN, MAX_FRAME_LEN,
 };
 
 use pcor_core::runner::find_random_outlier;

@@ -78,7 +78,7 @@ use pcor_telemetry::{MetricsRegistry, SpanId, Telemetry, TraceId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of the server's execution pool.
 #[derive(Debug, Clone)]
@@ -333,6 +333,42 @@ impl BatchStream {
         }
     }
 
+    /// Non-blocking [`BatchStream::next_item`]: a finished item if one is
+    /// ready right now, `None` otherwise (which means *not yet* until
+    /// [`BatchStream::try_take_summary`] returns the final accounting).
+    /// This is the poll surface the network reactor drains between epoll
+    /// wakeups — it must never park a reactor thread on a slow release.
+    pub fn try_next_item(&mut self) -> Option<BatchItemResponse> {
+        if let Some(item) = self.buffered.pop_front() {
+            return Some(item);
+        }
+        if self.done.is_some() {
+            return None;
+        }
+        match self.receiver.try_recv() {
+            Ok(StreamEvent::Item(item)) => Some(item),
+            Ok(StreamEvent::Done(summary)) => {
+                self.done = Some(summary);
+                None
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                self.done = Some(Err(ServiceError::Shutdown));
+                None
+            }
+        }
+    }
+
+    /// Takes the final summary once every item has been yielded and the
+    /// batch's accounting has resolved; `None` while items are pending or
+    /// still buffered. Never blocks.
+    pub fn try_take_summary(&mut self) -> Option<Result<BatchReleaseResponse>> {
+        if !self.buffered.is_empty() || !self.is_finished() || !self.buffered.is_empty() {
+            return None;
+        }
+        self.done.take()
+    }
+
     /// Whether the whole batch (including its final accounting) has
     /// resolved. Never blocks; buffers any items it drains on the way
     /// (later [`BatchStream::next_item`] calls still see them).
@@ -374,6 +410,26 @@ impl std::fmt::Debug for BatchStream {
             .field("done", &self.done.is_some())
             .finish()
     }
+}
+
+/// What [`Server::try_submit_envelope_streaming`] admitted: the completion
+/// surface differs by body kind, because a batch over the wire streams
+/// items before its terminal summary while a single has exactly one
+/// answer. Dropping either variant mid-flight cancels the work and
+/// refunds unprocessed ε — the disconnect-safety contract the network
+/// front relies on.
+#[derive(Debug)]
+pub enum EnvelopeSubmission {
+    /// A single release: resolves to one response envelope.
+    Single(PendingResponse),
+    /// A batch: items stream back, then a summary to be wrapped in a
+    /// response envelope echoing `version`.
+    Stream {
+        /// The (validated) protocol version the response must echo.
+        version: u16,
+        /// The incrementally resolving batch.
+        stream: BatchStream,
+    },
 }
 
 /// A concurrent multi-analyst PCOR release server.
@@ -1301,6 +1357,79 @@ impl Server {
         }
         batch.validate()?;
         let slot = self.inflight.acquire(self.queue_capacity);
+        Ok(self.dispatch_batch_streaming(batch, slot, None, None))
+    }
+
+    /// [`Server::submit_batch_streaming`] without blocking — the network
+    /// reactor's admission path, which must refuse rather than park.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::QueueFull`] when `queue_capacity` requests
+    /// are in flight, plus everything
+    /// [`Server::submit_batch_streaming`] returns.
+    pub fn try_submit_batch_streaming(&self, batch: BatchReleaseRequest) -> Result<BatchStream> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
+        }
+        batch.validate()?;
+        let slot = self.inflight.try_acquire(self.queue_capacity).ok_or(ServiceError::QueueFull)?;
+        Ok(self.dispatch_batch_streaming(batch, slot, None, None))
+    }
+
+    /// Non-blocking envelope admission for the network front: single
+    /// requests resolve like [`Server::try_submit_envelope`], batches get
+    /// the streaming treatment so items can be written to the wire as they
+    /// finish. The envelope is validated (version range included) and
+    /// shed-checked up front; a batch envelope's `deadline_ms` becomes the
+    /// serving task's cancel token exactly as on the single path.
+    ///
+    /// # Errors
+    /// Returns [`ServiceError::QueueFull`] at capacity,
+    /// [`ServiceError::Overloaded`] when the backlog already dooms the
+    /// deadline, [`ServiceError::UnsupportedProtocol`] /
+    /// [`ServiceError::InvalidRequest`] for malformed envelopes, and
+    /// [`ServiceError::Shutdown`] after [`shutdown`](Server::shutdown).
+    pub fn try_submit_envelope_streaming(
+        &self,
+        envelope: RequestEnvelope,
+    ) -> Result<EnvelopeSubmission> {
+        if !self.accepting.load(Ordering::Acquire) {
+            return Err(ServiceError::Shutdown);
+        }
+        envelope.validate()?;
+        self.shed_if_doomed(&envelope)?;
+        let version = envelope.v;
+        match envelope.body {
+            RequestBody::Single(_) => {
+                let slot = self
+                    .inflight
+                    .try_acquire(self.queue_capacity)
+                    .ok_or(ServiceError::QueueFull)?;
+                Ok(EnvelopeSubmission::Single(self.dispatch(envelope, slot)))
+            }
+            RequestBody::Batch(batch) => {
+                let cancel = envelope.deadline_ms.map(Duration::from_millis).map(|timeout| {
+                    CancelToken::deadline_after(timeout.saturating_sub(self.faults.skew()))
+                });
+                let trace = envelope.trace.filter(|&id| id != 0).map(TraceId);
+                let slot = self
+                    .inflight
+                    .try_acquire(self.queue_capacity)
+                    .ok_or(ServiceError::QueueFull)?;
+                let stream = self.dispatch_batch_streaming(batch, slot, cancel, trace);
+                Ok(EnvelopeSubmission::Stream { version, stream })
+            }
+        }
+    }
+
+    /// Spawns the serving task for one admitted streaming batch.
+    fn dispatch_batch_streaming(
+        &self,
+        batch: BatchReleaseRequest,
+        slot: InflightSlot,
+        cancel: Option<CancelToken>,
+        trace: Option<TraceId>,
+    ) -> BatchStream {
         // Capacity 1: the serving task stays at most one finished item
         // ahead of the consumer, and a consumer that drops the stream makes
         // the next send fail, which cancels the remaining items.
@@ -1311,7 +1440,7 @@ impl Server {
         let metrics = Arc::clone(&self.metrics);
         let pool = Arc::clone(&self.pool);
         let telemetry = self.telemetry.clone();
-        let trace = TraceId::next();
+        let trace = trace.unwrap_or_else(TraceId::next);
         let enqueued = Instant::now();
         self.pool.spawn(move || {
             let _slot = slot;
@@ -1319,20 +1448,26 @@ impl Server {
             let item_events = events.clone();
             let server_span = telemetry.span(trace, None, "server");
             let parent = server_span.id();
-            let summary = Self::handle_batch(
-                worker_index,
-                &registry,
-                &ledger,
-                &metrics,
-                &pool,
-                &telemetry,
-                trace,
-                parent,
-                batch,
-                enqueued,
-                None,
-                move |item| item_events.send(StreamEvent::Item(item.clone())).is_ok(),
-            );
+            let summary = if cancel.as_ref().is_some_and(|token| token.is_cancelled()) {
+                // Queued past its own deadline: answer without reserving.
+                metrics.record_deadline_exceeded();
+                Err(ServiceError::DeadlineExceeded)
+            } else {
+                Self::handle_batch(
+                    worker_index,
+                    &registry,
+                    &ledger,
+                    &metrics,
+                    &pool,
+                    &telemetry,
+                    trace,
+                    parent,
+                    batch,
+                    enqueued,
+                    cancel.as_ref(),
+                    move |item| item_events.send(StreamEvent::Item(item.clone())).is_ok(),
+                )
+            };
             server_span.finish();
             let _ = events.send(StreamEvent::Done(summary));
             // Same post-reply auto-compaction and autotuning as the
@@ -1342,7 +1477,7 @@ impl Server {
             }
             let _ = registry.maybe_autotune();
         });
-        Ok(BatchStream { receiver, buffered: VecDeque::new(), done: None })
+        BatchStream { receiver, buffered: VecDeque::new(), done: None }
     }
 
     /// Submits a single-record request and blocks for its response.

@@ -1,0 +1,378 @@
+//! The on-the-wire form of the envelope protocol: length-prefixed JSON
+//! frames plus the reply vocabulary the network front streams back.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. The prefix makes framing self-describing — a
+//! reader never has to guess where one JSON document ends and the next
+//! begins on a byte stream that TCP may deliver in arbitrary slices — and
+//! the [`FrameDecoder`] enforces a hard payload cap so a hostile or
+//! corrupt length prefix cannot make the server buffer gigabytes.
+//!
+//! Requests on the wire are ordinary [`RequestEnvelope`]s (v1 and v2 both
+//! parse; see [`crate::request`]). Replies are [`WireReply`]s, because a
+//! streamed batch needs more than one message per request: each finished
+//! item surfaces as [`WireReply::Item`] the moment the serving task
+//! resolves it, the final summary (or a single request's only answer)
+//! arrives as [`WireReply::Response`], and refusals — back-pressure
+//! included — travel as [`WireReply::Error`] carrying the machine-readable
+//! error kind and the admission controller's `retry_after` hint.
+//!
+//! Replies to one connection are strictly FIFO with respect to its
+//! requests, so a client that pipelines envelopes correlates answers by
+//! order: every request produces exactly one terminal reply (`Response`
+//! or `Error`), preceded by zero or more `Item`s.
+
+use crate::request::{BatchItemResponse, RequestEnvelope, ResponseEnvelope};
+use crate::{Result, ServiceError};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Default cap on a frame payload (bytes). Generous for envelopes — a
+/// maximal batch serializes well under this — and small enough that one
+/// connection cannot hold the reactor's memory hostage.
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Bytes of length prefix in front of every payload.
+pub const FRAME_HEADER_LEN: usize = 4;
+
+/// A framing violation — unlike a [`ServiceError`], this poisons the byte
+/// stream itself (resynchronizing after a bad length prefix is
+/// impossible), so the connection must close.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix announces a payload over the decoder's cap.
+    Oversized {
+        /// The announced payload length.
+        announced: usize,
+        /// The decoder's cap.
+        max: usize,
+    },
+    /// The payload bytes are not UTF-8 (envelopes are JSON text).
+    InvalidUtf8,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { announced, max } => {
+                write!(f, "frame announces {announced} bytes, over the {max}-byte cap")
+            }
+            FrameError::InvalidUtf8 => write!(f, "frame payload is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Appends one frame (length prefix + payload) to `out`.
+///
+/// # Panics
+/// Panics if the payload length does not fit a `u32` — callers cap
+/// payloads at [`MAX_FRAME_LEN`], orders of magnitude below that.
+pub fn encode_frame(payload: &str, out: &mut Vec<u8>) {
+    let len = u32::try_from(payload.len()).expect("frame payload over u32::MAX bytes");
+    out.extend_from_slice(&len.to_be_bytes());
+    out.extend_from_slice(payload.as_bytes());
+}
+
+/// A frame as a standalone byte vector.
+pub fn frame_bytes(payload: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    encode_frame(payload, &mut out);
+    out
+}
+
+/// An incremental decoder for the length-prefixed framing: feed it byte
+/// slices in whatever sizes the socket delivers, pull complete payloads
+/// out. Torn frames — a length prefix split across reads, a payload
+/// arriving one byte at a time — reassemble transparently.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes already consumed from the front of `buf`; compacted lazily
+    /// so per-frame extraction is amortized O(payload).
+    consumed: usize,
+    max_frame: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder with the default [`MAX_FRAME_LEN`] cap.
+    pub fn new() -> Self {
+        Self::with_max_frame(MAX_FRAME_LEN)
+    }
+
+    /// A decoder with an explicit payload cap.
+    pub fn with_max_frame(max_frame: usize) -> Self {
+        FrameDecoder { buf: Vec::new(), consumed: 0, max_frame }
+    }
+
+    /// Feeds raw socket bytes into the decoder.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact before growing: everything before `consumed` is dead.
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        } else if self.consumed > self.max_frame {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Extracts the next complete payload, `Ok(None)` when more bytes are
+    /// needed.
+    ///
+    /// # Errors
+    /// [`FrameError::Oversized`] when the length prefix exceeds the cap
+    /// and [`FrameError::InvalidUtf8`] for non-text payloads; both mean
+    /// the stream is unrecoverable and the connection must close.
+    pub fn next_frame(&mut self) -> std::result::Result<Option<String>, FrameError> {
+        let pending = &self.buf[self.consumed..];
+        if pending.len() < FRAME_HEADER_LEN {
+            return Ok(None);
+        }
+        let announced =
+            u32::from_be_bytes([pending[0], pending[1], pending[2], pending[3]]) as usize;
+        if announced > self.max_frame {
+            return Err(FrameError::Oversized { announced, max: self.max_frame });
+        }
+        if pending.len() < FRAME_HEADER_LEN + announced {
+            return Ok(None);
+        }
+        let payload = &pending[FRAME_HEADER_LEN..FRAME_HEADER_LEN + announced];
+        let text = std::str::from_utf8(payload).map_err(|_| FrameError::InvalidUtf8)?.to_string();
+        self.consumed += FRAME_HEADER_LEN + announced;
+        Ok(Some(text))
+    }
+}
+
+/// One framed message from server to client.
+///
+/// Per request, a connection sees zero or more [`Item`](WireReply::Item)s
+/// followed by exactly one terminal [`Response`](WireReply::Response) or
+/// [`Error`](WireReply::Error), in request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WireReply {
+    /// The terminal answer: a single release's response envelope, or a
+    /// batch's final summary.
+    Response(ResponseEnvelope),
+    /// One streamed batch item, sent as soon as the serving task resolved
+    /// it.
+    Item(BatchItemResponse),
+    /// A refusal, before or instead of an answer.
+    Error(WireError),
+}
+
+/// A [`ServiceError`] flattened into wire-stable fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Machine-readable error class (stable; clients dispatch on it).
+    pub kind: String,
+    /// Human-readable detail.
+    pub message: String,
+    /// For back-pressure refusals: how long the admission controller
+    /// suggests waiting before a retry, in milliseconds.
+    pub retry_after_ms: Option<u64>,
+}
+
+impl WireError {
+    /// Flattens a service error for the wire. Back-pressure refusals
+    /// ([`ServiceError::QueueFull`], [`ServiceError::Overloaded`]) carry a
+    /// `retry_after_ms` hint — `QueueFull` has no measured estimate, so it
+    /// advertises a small fixed backoff.
+    pub fn from_service(err: &ServiceError) -> Self {
+        let kind = match err {
+            ServiceError::UnknownDataset(_) => "unknown-dataset",
+            ServiceError::UnsupportedProtocol { .. } => "unsupported-protocol",
+            ServiceError::BudgetExhausted { .. } => "budget-exhausted",
+            ServiceError::QueueFull => "queue-full",
+            ServiceError::Overloaded { .. } => "overloaded",
+            ServiceError::DeadlineExceeded => "deadline-exceeded",
+            ServiceError::Cancelled => "cancelled",
+            ServiceError::Shutdown => "shutdown",
+            ServiceError::InvalidRequest(_) => "invalid-request",
+            ServiceError::Release(_) => "release-failed",
+            ServiceError::Durability(_) => "durability",
+        };
+        let retry_after_ms = match err {
+            ServiceError::Overloaded { retry_after } => {
+                // Round up so a zero-but-nonempty hint never becomes
+                // "retry immediately".
+                Some((retry_after.as_millis() as u64).max(1))
+            }
+            ServiceError::QueueFull => Some(5),
+            _ => None,
+        };
+        WireError { kind: kind.to_string(), message: err.to_string(), retry_after_ms }
+    }
+
+    /// The retry hint as a [`Duration`], when present.
+    pub fn retry_after(&self) -> Option<Duration> {
+        self.retry_after_ms.map(Duration::from_millis)
+    }
+
+    /// Whether this refusal is transient back-pressure worth retrying.
+    pub fn is_backpressure(&self) -> bool {
+        self.kind == "queue-full" || self.kind == "overloaded"
+    }
+}
+
+/// Serializes a request envelope into one frame.
+pub fn encode_request(envelope: &RequestEnvelope) -> Vec<u8> {
+    frame_bytes(&serde_json::to_string(envelope).expect("envelope serialization is infallible"))
+}
+
+/// Parses a frame payload into a request envelope.
+///
+/// # Errors
+/// [`ServiceError::InvalidRequest`] when the payload is not an envelope.
+pub fn decode_request(payload: &str) -> Result<RequestEnvelope> {
+    serde_json::from_str(payload)
+        .map_err(|err| ServiceError::InvalidRequest(format!("malformed envelope: {err}")))
+}
+
+/// Serializes a reply into one frame.
+pub fn encode_reply(reply: &WireReply) -> Vec<u8> {
+    frame_bytes(&serde_json::to_string(reply).expect("reply serialization is infallible"))
+}
+
+/// Parses a frame payload into a reply.
+///
+/// # Errors
+/// [`ServiceError::InvalidRequest`] when the payload is not a reply.
+pub fn decode_reply(payload: &str) -> Result<WireReply> {
+    serde_json::from_str(payload)
+        .map_err(|err| ServiceError::InvalidRequest(format!("malformed reply: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReleaseRequest;
+    use proptest::prelude::*;
+
+    fn toy_envelope() -> RequestEnvelope {
+        RequestEnvelope::single(ReleaseRequest::new("alice", "salary", 3).with_epsilon(0.2))
+    }
+
+    #[test]
+    fn frames_round_trip_through_the_decoder() {
+        let mut decoder = FrameDecoder::new();
+        let envelope = toy_envelope();
+        decoder.extend(&encode_request(&envelope));
+        let payload = decoder.next_frame().unwrap().expect("one whole frame buffered");
+        assert_eq!(decode_request(&payload).unwrap(), envelope);
+        assert_eq!(decoder.next_frame().unwrap(), None);
+        assert_eq!(decoder.buffered(), 0);
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        let refusal = WireReply::Error(WireError::from_service(&ServiceError::Overloaded {
+            retry_after: Duration::from_millis(40),
+        }));
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&encode_reply(&refusal));
+        let payload = decoder.next_frame().unwrap().unwrap();
+        let parsed = decode_reply(&payload).unwrap();
+        assert_eq!(parsed, refusal);
+        match parsed {
+            WireReply::Error(err) => {
+                assert!(err.is_backpressure());
+                assert_eq!(err.retry_after(), Some(Duration::from_millis(40)));
+            }
+            other => panic!("expected an error reply, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn queue_full_carries_a_nonzero_hint() {
+        let err = WireError::from_service(&ServiceError::QueueFull);
+        assert!(err.is_backpressure());
+        assert!(err.retry_after().unwrap() > Duration::ZERO);
+        let terminal = WireError::from_service(&ServiceError::Cancelled);
+        assert!(!terminal.is_backpressure());
+        assert_eq!(terminal.retry_after(), None);
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_not_buffered() {
+        let mut decoder = FrameDecoder::with_max_frame(16);
+        let mut bytes = Vec::new();
+        encode_frame(&"x".repeat(17), &mut bytes);
+        decoder.extend(&bytes);
+        assert_eq!(decoder.next_frame(), Err(FrameError::Oversized { announced: 17, max: 16 }));
+        // A hostile prefix alone (no payload behind it) is refused too.
+        let mut decoder = FrameDecoder::with_max_frame(16);
+        decoder.extend(&u32::MAX.to_be_bytes());
+        assert!(matches!(decoder.next_frame(), Err(FrameError::Oversized { .. })));
+    }
+
+    #[test]
+    fn non_utf8_payloads_are_refused() {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&3u32.to_be_bytes());
+        decoder.extend(&[0xFF, 0xFE, 0xFD]);
+        assert_eq!(decoder.next_frame(), Err(FrameError::InvalidUtf8));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Splitting the byte stream at every position — the torn reads
+        /// TCP is allowed to produce — never changes what decodes.
+        fn torn_buffers_reassemble_at_every_split(split_seed in 0usize..10_000) {
+            let envelopes = vec![
+                toy_envelope(),
+                RequestEnvelope::single(
+                    ReleaseRequest::new("bob", "homicide", 7).with_epsilon(0.1),
+                )
+                .with_deadline_ms(250)
+                .with_trace(99),
+            ];
+            let mut stream = Vec::new();
+            for envelope in &envelopes {
+                stream.extend_from_slice(&encode_request(envelope));
+            }
+            let split = split_seed % stream.len();
+            let mut decoder = FrameDecoder::new();
+            decoder.extend(&stream[..split]);
+            let mut seen = Vec::new();
+            while let Some(payload) = decoder.next_frame().unwrap() {
+                seen.push(decode_request(&payload).unwrap());
+            }
+            decoder.extend(&stream[split..]);
+            while let Some(payload) = decoder.next_frame().unwrap() {
+                seen.push(decode_request(&payload).unwrap());
+            }
+            prop_assert_eq!(seen, envelopes);
+        }
+
+        /// Byte-at-a-time delivery (the pathological slow sender) decodes
+        /// identically to one contiguous delivery.
+        fn byte_at_a_time_matches_contiguous(extra in 0usize..64) {
+            let envelope = toy_envelope().with_trace(extra as u64 + 1);
+            let bytes = encode_request(&envelope);
+            let mut decoder = FrameDecoder::new();
+            let mut decoded = None;
+            for &byte in &bytes {
+                decoder.extend(&[byte]);
+                if let Some(payload) = decoder.next_frame().unwrap() {
+                    decoded = Some(decode_request(&payload).unwrap());
+                }
+            }
+            prop_assert_eq!(decoded, Some(envelope));
+        }
+    }
+}

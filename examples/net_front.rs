@@ -1,0 +1,144 @@
+//! The PCOR server on the wire: an epoll reactor front serving framed
+//! envelopes over TCP plus health and metrics over HTTP.
+//!
+//! One `NetFront` thread owns every connection. A small herd of analyst
+//! clients connects concurrently: some stream batches item by item, some
+//! pipeline singles, one walks away mid-batch (the reactor refunds the
+//! unserved tail), and a probe scrapes `/healthz` and `/metrics` over
+//! plain HTTP. At the end the audit log is folded to prove the hostile
+//! departure leaked no ε.
+//!
+//! Run with:
+//!
+//! ```bash
+//! cargo run --release -p pcor --example net_front
+//! ```
+
+use pcor::net::{http_get, NetClient, NetConfig, NetFront};
+use pcor::prelude::*;
+use pcor::service::{find_serviceable_outlier, ResponseBody, WireReply};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let registry = Arc::new(DatasetRegistry::new());
+    let dataset =
+        salary_dataset(&SalaryConfig::reduced().with_records(2_000)).expect("dataset generation");
+    let entry = registry.register("salary", dataset);
+    let ledger = Arc::new(BudgetLedger::new(8.0));
+    let server = Arc::new(Server::start(
+        ServerConfig::default().with_workers(2).with_queue_capacity(16),
+        Arc::clone(&registry),
+        Arc::clone(&ledger),
+    ));
+
+    let records: Vec<usize> = (0..3)
+        .filter_map(|i| find_serviceable_outlier(&entry, DetectorKind::ZScore, 400, 50 + i))
+        .collect();
+    assert!(!records.is_empty(), "the synthetic workload plants outliers");
+
+    let front = NetFront::bind(NetConfig::default(), Arc::clone(&server))
+        .expect("the reactor front requires Linux epoll");
+    let rpc = front.rpc_addr();
+    println!("reactor listening: rpc={rpc} http={:?}", front.http_addr());
+
+    // --- a herd of concurrent analysts ------------------------------------
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for (i, analyst) in ["alice", "bob", "carol", "dave"].iter().enumerate() {
+        let records = records.clone();
+        let analyst = analyst.to_string();
+        handles.push(std::thread::spawn(move || -> (usize, usize) {
+            let mut client = NetClient::connect(rpc).expect("connect");
+            client.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+            let batch = BatchReleaseRequest::new(&analyst, "salary")
+                .with_detector(DetectorKind::ZScore)
+                .with_items(
+                    (0..4)
+                        .map(|j| {
+                            BatchItem::new(records[j % records.len()])
+                                .with_epsilon(0.1)
+                                .with_samples(10)
+                                .with_seed((i * 10 + j) as u64)
+                        })
+                        .collect(),
+                );
+            let replies = client.call(&RequestEnvelope::batch(batch)).expect("terminal reply");
+            let items = replies.iter().filter(|r| matches!(r, WireReply::Item(_))).count();
+            let released = replies
+                .iter()
+                .filter_map(|reply| match reply {
+                    WireReply::Response(envelope) => match &envelope.body {
+                        ResponseBody::Batch(summary) => Some(
+                            summary.items.iter().filter(|item| item.outcome.is_released()).count(),
+                        ),
+                        ResponseBody::Single(_) => None,
+                    },
+                    _ => None,
+                })
+                .sum();
+            (items, released)
+        }));
+    }
+
+    // --- one analyst walks away mid-batch ----------------------------------
+    let mut deserter = NetClient::connect(rpc).expect("connect");
+    deserter.set_read_timeout(Some(Duration::from_secs(120))).unwrap();
+    let abandoned = BatchReleaseRequest::new("mallory", "salary")
+        .with_detector(DetectorKind::ZScore)
+        .with_items(
+            (0..6)
+                .map(|j| {
+                    BatchItem::new(records[j % records.len()])
+                        .with_epsilon(0.1)
+                        .with_samples(100)
+                        .with_seed(900 + j as u64)
+                })
+                .collect(),
+        );
+    deserter.send(&RequestEnvelope::batch(abandoned)).expect("send");
+    let first = deserter.recv().expect("first streamed item");
+    assert!(matches!(first, WireReply::Item(_)));
+    deserter.reset().expect("hard RST");
+    println!("mallory deserted after 1 of 6 items (hard RST)");
+
+    let mut total_items = 0;
+    let mut total_released = 0;
+    for handle in handles {
+        let (items, released) = handle.join().expect("analyst thread");
+        total_items += items;
+        total_released += released;
+    }
+    println!(
+        "served {total_items} streamed items ({total_released} released) to 4 analysts in {:?}",
+        started.elapsed()
+    );
+
+    // --- HTTP probes --------------------------------------------------------
+    let http = front.http_addr().expect("http listener is on by default");
+    let (status, health) = http_get(http, "/healthz").expect("healthz");
+    println!("GET /healthz -> {status} {health}");
+    let (status, metrics) = http_get(http, "/metrics").expect("metrics");
+    let net_series = metrics.lines().filter(|l| l.starts_with("pcor_net_")).count();
+    println!("GET /metrics -> {status} ({net_series} pcor_net_* sample lines)");
+    assert_eq!(status, 200);
+    assert!(net_series > 0, "the scrape must export reactor series");
+
+    // --- the desertion leaked nothing --------------------------------------
+    let drain = Instant::now() + Duration::from_secs(60);
+    while server.health().inflight > 0 {
+        assert!(Instant::now() < drain, "server never drained");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let accounts = server.telemetry().audit().fold();
+    let outstanding: f64 = accounts.values().map(|account| account.outstanding().abs()).sum();
+    assert!(outstanding < 1e-9, "leaked {outstanding} ε");
+    let mallory = ledger.spent("mallory", "salary");
+    assert!(mallory < 0.6, "the deserted batch must refund its tail, spent {mallory}");
+    println!("audit fold: zero outstanding epsilon across {} accounts", accounts.len());
+    println!("mallory spent {mallory:.2} of 0.60 requested; the rest was refunded");
+
+    front.shutdown();
+    server.shutdown();
+    println!("net front example complete");
+}
