@@ -291,9 +291,15 @@ impl Conn {
 
     /// Moves finished results from the request queue into the write
     /// buffer, strictly FIFO: the head request must produce its terminal
-    /// reply before the next request's replies may start.
-    pub(crate) fn pump_replies(&mut self, metrics: &NetMetrics) {
+    /// reply before the next request's replies may start. Stops once the
+    /// buffered bytes reach `write_buf_limit` so the per-connection
+    /// memory cap bounds replies too, not just reads; returns `true` in
+    /// that case so the caller re-pumps after `flush` makes progress.
+    pub(crate) fn pump_replies(&mut self, metrics: &NetMetrics, config: &NetConfig) -> bool {
         while let Some(head) = self.queue.front_mut() {
+            if self.write_buf.len() - self.written >= config.write_buf_limit {
+                return true;
+            }
             match head {
                 PendingReply::Refused { error } => {
                     let reply = WireReply::Error(error.clone());
@@ -305,7 +311,7 @@ impl Conn {
                     let finished =
                         pending.as_mut().map(PendingResponse::is_finished).unwrap_or(true);
                     if !finished {
-                        return;
+                        return false;
                     }
                     let outcome =
                         pending.take().expect("single entry consumed exactly once").wait();
@@ -323,13 +329,18 @@ impl Conn {
                     self.queue.pop_front();
                 }
                 PendingReply::Stream { version, stream } => {
-                    while let Some(item) = stream.try_next_item() {
+                    while self.write_buf.len() - self.written < config.write_buf_limit {
+                        let Some(item) = stream.try_next_item() else { break };
                         metrics.replies_item.inc();
                         self.write_buf.extend_from_slice(&encode_reply(&WireReply::Item(item)));
                     }
+                    if self.write_buf.len() - self.written >= config.write_buf_limit {
+                        // Buffer full mid-stream: resume once flush drains.
+                        return true;
+                    }
                     let Some(summary) = stream.try_take_summary() else {
                         // Head still computing: FIFO blocks later replies.
-                        return;
+                        return false;
                     };
                     let reply = match summary {
                         Ok(response) => {
@@ -348,6 +359,7 @@ impl Conn {
                 }
             }
         }
+        false
     }
 
     /// Writes buffered reply bytes until the socket would block or the
@@ -366,8 +378,8 @@ impl Conn {
                 Some(SocketFault::Short(cap)) => cap.max(1),
                 None => usize::MAX,
             };
-            let end = self.write_buf.len().min(self.written + cap);
-            match self.stream.write(&self.write_buf[self.written..end]) {
+            let len = (self.write_buf.len() - self.written).min(cap);
+            match self.stream.write(&self.write_buf[self.written..self.written + len]) {
                 Ok(0) => return Err(CloseReason::Io),
                 Ok(n) => {
                     self.written += n;
@@ -391,5 +403,92 @@ impl Conn {
             }
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcor_telemetry::MetricsRegistry;
+    use std::net::TcpListener;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (server, client)
+    }
+
+    fn refused_entry() -> PendingReply {
+        PendingReply::Refused {
+            error: WireError {
+                kind: "queue-full".to_string(),
+                message: "test refusal".to_string(),
+                retry_after_ms: Some(5),
+            },
+        }
+    }
+
+    /// Regression: re-entering `flush` with `written > 0` on the
+    /// fault-free path (write cap `usize::MAX`) must not overflow when
+    /// computing the write window.
+    #[test]
+    fn flush_resumes_after_partial_write_without_overflow() {
+        let (server, _client) = socket_pair();
+        server.set_nonblocking(true).unwrap();
+        let config = NetConfig::default();
+        let metrics = NetMetrics::register(&MetricsRegistry::new());
+        let faults = Faults::disabled();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, Proto::Rpc, &config, now);
+        // Far more than loopback send+receive buffers absorb: the first
+        // flush stops on WouldBlock with bytes still buffered.
+        conn.write_buf = vec![0xAB; 32 * 1024 * 1024];
+        assert!(conn.flush(&faults, &metrics, now).is_ok());
+        assert!(conn.written > 0, "kernel accepted nothing");
+        assert!(conn.pending_write() > 0, "socket absorbed the whole buffer");
+        // The second call re-enters mid-buffer; before the fix this
+        // overflowed `written + cap` and panicked.
+        assert!(conn.flush(&faults, &metrics, now).is_ok());
+        assert!(conn.written <= conn.write_buf.len());
+    }
+
+    /// `pump_replies` stops buffering once `write_buf_limit` is reached
+    /// (reporting `true` so the reactor re-pumps after flush progress)
+    /// and drains the rest across pump/flush rounds.
+    #[test]
+    fn pump_replies_respects_write_buf_limit() {
+        let (server, _client) = socket_pair();
+        server.set_nonblocking(true).unwrap();
+        let config = NetConfig::default().with_write_buf_limit(64);
+        let metrics = NetMetrics::register(&MetricsRegistry::new());
+        let faults = Faults::disabled();
+        let now = Instant::now();
+        let mut conn = Conn::new(server, Proto::Rpc, &config, now);
+        for _ in 0..64 {
+            conn.queue.push_back(refused_entry());
+        }
+        assert!(conn.pump_replies(&metrics, &config), "pump must stop at the cap");
+        assert!(!conn.queue.is_empty(), "cap should hold back most of the queue");
+        // One reply may overshoot the cap, but never more than that.
+        let one_reply = match refused_entry() {
+            PendingReply::Refused { error } => encode_reply(&WireReply::Error(error)).len(),
+            _ => unreachable!(),
+        };
+        assert!(conn.pending_write() < config.write_buf_limit + one_reply);
+        // Alternating pump/flush (the reactor's service loop) drains all
+        // 64 replies without ever exceeding the bound.
+        loop {
+            conn.flush(&faults, &metrics, now).unwrap();
+            assert!(conn.pending_write() < config.write_buf_limit + one_reply);
+            if !conn.pump_replies(&metrics, &config) {
+                break;
+            }
+        }
+        conn.flush(&faults, &metrics, now).unwrap();
+        assert!(conn.queue.is_empty());
+        assert_eq!(conn.pending_write(), 0);
+        assert_eq!(metrics.replies_error.get(), 64);
     }
 }

@@ -305,10 +305,18 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(id as usize).and_then(Option::as_mut) else {
             return;
         };
-        conn.pump_replies(&self.metrics);
-        if let Err(reason) = conn.flush(&self.faults, &self.metrics, now) {
-            self.close(id, reason);
-            return;
+        loop {
+            let capped = conn.pump_replies(&self.metrics, &self.config);
+            if let Err(reason) = conn.flush(&self.faults, &self.metrics, now) {
+                self.close(id, reason);
+                return;
+            }
+            // A capped pump left ready replies behind; keep alternating
+            // pump/flush while the socket accepts bytes. Once the socket
+            // backs up, EPOLLOUT re-enters this path to drain the rest.
+            if !capped || conn.pending_write() > 0 {
+                break;
+            }
         }
         if conn.has_inflight() {
             self.inflight.insert(id);

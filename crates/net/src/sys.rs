@@ -31,13 +31,54 @@ mod imp {
     const EPOLL_CTL_DEL: c_int = 2;
     const EPOLL_CTL_MOD: c_int = 3;
     const EPOLL_CLOEXEC: c_int = 0x80000;
+    // Socket-level constants are arch-specific on Linux: mips and sparc
+    // inherited different values from their BSD-era ABIs.
+    #[cfg(not(any(
+        target_arch = "mips",
+        target_arch = "mips32r6",
+        target_arch = "mips64",
+        target_arch = "mips64r6",
+        target_arch = "sparc",
+        target_arch = "sparc64"
+    )))]
     const SOL_SOCKET: c_int = 1;
+    #[cfg(not(any(
+        target_arch = "mips",
+        target_arch = "mips32r6",
+        target_arch = "mips64",
+        target_arch = "mips64r6",
+        target_arch = "sparc",
+        target_arch = "sparc64"
+    )))]
     const SO_LINGER: c_int = 13;
+    #[cfg(any(
+        target_arch = "mips",
+        target_arch = "mips32r6",
+        target_arch = "mips64",
+        target_arch = "mips64r6",
+        target_arch = "sparc",
+        target_arch = "sparc64"
+    ))]
+    const SOL_SOCKET: c_int = 0xffff;
+    #[cfg(any(
+        target_arch = "mips",
+        target_arch = "mips32r6",
+        target_arch = "mips64",
+        target_arch = "mips64r6",
+        target_arch = "sparc",
+        target_arch = "sparc64"
+    ))]
+    const SO_LINGER: c_int = 0x0080;
 
-    /// The kernel's `struct epoll_event`. Packed on x86-64 (the kernel ABI
-    /// packs it so 32- and 64-bit layouts agree); field reads below copy
-    /// out of the struct rather than borrowing into it.
-    #[repr(C, packed)]
+    /// The kernel's `struct epoll_event`. The kernel ABI packs it **only
+    /// on x86/x86-64** (so 32- and 64-bit layouts agree there); every
+    /// other arch uses natural alignment — a 16-byte event with `data` at
+    /// offset 8. Mirroring that exactly matters: a packed 12-byte layout
+    /// on aarch64 would make `epoll_wait` scribble past the buffer.
+    /// Field reads below copy out of the struct rather than borrowing
+    /// into it (required where it really is packed).
+    #[repr(C)]
+    #[cfg_attr(any(target_arch = "x86", target_arch = "x86_64"), repr(packed))]
     #[derive(Clone, Copy)]
     pub struct EpollEvent {
         pub events: u32,
